@@ -1,0 +1,50 @@
+//===- BenchSupport.h - Shared helpers for the bench binaries --*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small shared pieces for the figure/table-regenerating binaries: banner
+/// printing and the common synthesize-the-whole-suite step.  Every binary
+/// prints a self-describing header so the combined bench log reads like
+/// the paper's evaluation section.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_BENCH_BENCHSUPPORT_H
+#define STENSO_BENCH_BENCHSUPPORT_H
+
+#include "evalsuite/Harness.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+#include <string>
+
+namespace stenso {
+namespace bench {
+
+inline void printBanner(const std::string &Title, const std::string &Paper) {
+  std::cout << "\n"
+            << "==============================================================="
+               "=================\n"
+            << Title << "\n"
+            << "Reproduces: " << Paper << "\n"
+            << "==============================================================="
+               "=================\n";
+}
+
+/// Geometric mean over speedups, clamped away from zero for safety.
+inline double geomeanSpeedup(const std::vector<double> &Speedups) {
+  std::vector<double> Clamped;
+  Clamped.reserve(Speedups.size());
+  for (double S : Speedups)
+    Clamped.push_back(std::max(S, 1e-3));
+  return geometricMean(Clamped);
+}
+
+} // namespace bench
+} // namespace stenso
+
+#endif // STENSO_BENCH_BENCHSUPPORT_H

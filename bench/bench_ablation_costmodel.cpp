@@ -1,0 +1,61 @@
+//===- bench_ablation_costmodel.cpp - Cost model ablation (Sec. V-B) ------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section V-B / VI-C: FLOPS vs measured cost estimation.  The analytic
+/// FLOP model cannot rank FLOP-equivalent programs (np.power(A,2) vs A*A,
+/// np.sum(A*x,axis=1) vs np.dot(A,x)); the measured model distinguishes
+/// them and prunes more reliably.  This ablation runs the full suite
+/// under both models and compares outcomes and pruning behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "dsl/Parser.h"
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::bench;
+using namespace stenso::synth;
+
+int main() {
+  printBanner("Ablation — FLOPS vs measured cost model (Sections V-B, VI-C)",
+              "\"[the measured model] distinguishes between the costs of "
+              "FLOP-equivalent operations ... enabling more effective "
+              "pruning\"");
+
+  double Timeout = suiteTimeoutSeconds(20);
+  TablePrinter Table({"Benchmark", "flops: result", "measured: result",
+                      "flops pruned", "measured pruned"});
+  int FlopsImproved = 0, MeasuredImproved = 0, Different = 0;
+  for (const BenchmarkDef &Def : benchmarkSuite()) {
+    auto Reduced = parseProgram(Def.sourceFor(false), Def.declsFor(false));
+    SynthesisConfig Flops = evaluationConfig(Timeout);
+    Flops.CostModelName = "flops";
+    SynthesisConfig Measured = evaluationConfig(Timeout);
+
+    SynthesisResult RF = Synthesizer(Flops).run(*Reduced.Prog, Def.scaler());
+    SynthesisResult RM = Synthesizer(Measured).run(*Reduced.Prog,
+                                                   Def.scaler());
+    FlopsImproved += RF.Improved;
+    MeasuredImproved += RM.Improved;
+    Different += RF.OptimizedSource != RM.OptimizedSource;
+    Table.addRow({Def.Name, RF.OptimizedSource, RM.OptimizedSource,
+                  std::to_string(RF.Stats.PrunedByCost),
+                  std::to_string(RM.Stats.PrunedByCost)});
+  }
+  std::cout << "\n";
+  Table.print(std::cout);
+  std::cout << "\nImproved under flops: " << FlopsImproved
+            << "/33; under measured: " << MeasuredImproved
+            << "/33; different outputs on " << Different
+            << " benchmarks.\nExpected shape: the measured model improves "
+               "at least as many benchmarks and\npicks hardware-cheaper "
+               "forms where FLOP counts tie (power-vs-multiply,\n"
+               "reduction-vs-contraction).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- bench_ablation_depth.cpp - Sketch-depth ablation (Sec. VII-E) ------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section VII-E: the enumeration-depth trade-off.  Increasing the stub
+/// depth explodes the sketch library but shortens the recursion; the
+/// paper finds d = 2 optimal.  This ablation sweeps depth 1, 2, 3 with
+/// the default restricted combination and depth 2 with the full
+/// (quadratic) combination, on a representative benchmark subset.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "dsl/Parser.h"
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::bench;
+using namespace stenso::synth;
+
+int main() {
+  printBanner("Ablation — sketch enumeration depth (Section VII-E)",
+              "\"We found that an enumeration depth of d = 2 is the "
+              "optimal value in this trade-off.\"");
+
+  const char *Names[] = {"diag_dot",      "mat_vec_prod", "scale_dot",
+                         "trace_dot",     "common_factor", "synth_6",
+                         "euclidian_dist", "synth_11"};
+
+  struct Variant {
+    const char *Label;
+    int MaxDepth;
+    bool Full;
+  };
+  const Variant Variants[] = {{"d=1", 1, false},
+                              {"d=2 (default)", 2, false},
+                              {"d=3", 3, false},
+                              {"d=2 full-combination", 2, true}};
+
+  double Timeout = suiteTimeoutSeconds(20);
+  TablePrinter Table({"Benchmark", "Variant", "Stubs", "Sketches",
+                      "Synthesis", "Improved", "Cost vs original"});
+  for (const char *Name : Names) {
+    const BenchmarkDef *Def = findBenchmark(Name);
+    auto Reduced = parseProgram(Def->sourceFor(false), Def->declsFor(false));
+    for (const Variant &V : Variants) {
+      SynthesisConfig Config = evaluationConfig(Timeout);
+      Config.Library.MaxDepth = V.MaxDepth;
+      Config.Library.FullCombination = V.Full;
+      Config.Library.MaxStubs = 30000;
+      SynthesisResult R = Synthesizer(Config).run(*Reduced.Prog,
+                                                  Def->scaler());
+      double Ratio = R.OriginalCost > 0 ? R.OptimizedCost / R.OriginalCost
+                                        : 1.0;
+      Table.addRow({Name, V.Label, std::to_string(R.Stats.NumStubs),
+                    std::to_string(R.Stats.NumSketches),
+                    R.TimedOut ? "TIMEOUT"
+                               : TablePrinter::formatDouble(
+                                     R.SynthesisSeconds, 2) + "s",
+                    R.Improved ? "yes" : "no",
+                    TablePrinter::formatDouble(100.0 * Ratio, 1) + "%"});
+    }
+  }
+  std::cout << "\n";
+  Table.print(std::cout);
+  std::cout << "\nExpected shape: d=1 misses solutions that need two-op "
+               "building blocks; d=3 and\nthe full combination inflate the "
+               "library (and synthesis time) with little\nquality gain — "
+               "except where the optimum genuinely needs paired deep "
+               "operands\n(synth_11's (A*A)^2*A).\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+//===- bench_egraph_vs_synthesis.cpp - The Section VIII comparison --------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section VIII positions STENSO against e-graph optimizers (TENSAT):
+/// equality saturation applies a *given* rule set exhaustively and is
+/// "fundamentally limited by the completeness of its given rewrite
+/// rules", while STENSO "discovers programs from first principles" and
+/// its findings "can be extracted and added as new rules to e-graph-based
+/// systems".
+///
+/// This experiment quantifies both halves of that claim:
+///   1. run STENSO on a *training* half of the benchmark suite and mine
+///      its rewrites into rules;
+///   2. hand those rules to the equality-saturation engine and optimize
+///      the *whole* suite with it;
+///   3. compare against STENSO-from-scratch on every benchmark.
+///
+/// Expected shape: on trained patterns the e-graph matches STENSO at a
+/// tiny fraction of the time; on the held-out half it recovers only the
+/// rewrites that happen to transfer, leaving the rest unoptimized.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "dsl/Parser.h"
+#include "dsl/Printer.h"
+#include "egraph/EGraph.h"
+#include "support/Timer.h"
+
+using namespace stenso;
+using namespace stenso::dsl;
+using namespace stenso::evalsuite;
+using namespace stenso::bench;
+
+int main() {
+  printBanner("Equality saturation with mined rules vs STENSO (Section "
+              "VIII)",
+              "\"e-graph systems are fundamentally limited by defined rule "
+              "sets; STENSO['s] transformations can be incorporated into "
+              "[their] rule sets\"");
+
+  double Timeout = suiteTimeoutSeconds(30);
+  std::cout << "\nPhase 1: STENSO on every benchmark (rule mining uses the "
+               "even-indexed half)...\n";
+  std::vector<BenchmarkRun> Runs =
+      synthesizeSuite(evaluationConfig(Timeout), nullptr);
+
+  // Mine rules from the training half.
+  egraph::EGraph Graph;
+  int Mined = 0;
+  for (size_t I = 0; I < Runs.size(); I += 2) {
+    const BenchmarkRun &Run = Runs[I];
+    if (!Run.Synthesis.Improved)
+      continue;
+    auto Orig = parseProgram(Run.Def->sourceFor(false),
+                             Run.Def->declsFor(false));
+    auto Opt = parseProgram(Run.Synthesis.OptimizedSource,
+                            Run.Def->declsFor(false));
+    if (Orig && Opt &&
+        Graph.addRule(Orig.Prog->getRoot(), Opt.Prog->getRoot()))
+      ++Mined;
+  }
+  std::cout << "Mined " << Mined << " rules from "
+            << (Runs.size() + 1) / 2 << " training benchmarks.\n\n";
+
+  synth::MeasuredCostModel Model;
+  TablePrinter Table({"Benchmark", "Set", "STENSO cost ratio",
+                      "E-graph cost ratio", "E-graph time", "E-graph output"});
+  int TrainRecovered = 0, TrainTotal = 0, TestRecovered = 0, TestTotal = 0;
+
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    const BenchmarkRun &Run = Runs[I];
+    const BenchmarkDef &Def = *Run.Def;
+    bool Training = I % 2 == 0;
+    auto Reduced = parseProgram(Def.sourceFor(false), Def.declsFor(false));
+    synth::ShapeScaler Scaler = Def.scaler();
+
+    double StensoRatio = Run.Synthesis.OriginalCost > 0
+                             ? Run.Synthesis.OptimizedCost /
+                                   Run.Synthesis.OriginalCost
+                             : 1.0;
+
+    // Equality saturation with the mined rules.
+    egraph::EGraph G;
+    for (size_t R = 0; R < Runs.size(); R += 2) {
+      if (!Runs[R].Synthesis.Improved)
+        continue;
+      auto O = parseProgram(Runs[R].Def->sourceFor(false),
+                            Runs[R].Def->declsFor(false));
+      auto N = parseProgram(Runs[R].Synthesis.OptimizedSource,
+                            Runs[R].Def->declsFor(false));
+      if (O && N)
+        G.addRule(O.Prog->getRoot(), N.Prog->getRoot());
+    }
+
+    WallTimer Timer;
+    std::string EgraphRatioText = "n/a (loops)";
+    std::string Output = Def.sourceFor(false);
+    double EgraphRatio = 1.0;
+    std::optional<egraph::ClassId> Root =
+        G.addProgram(Reduced.Prog->getRoot());
+    if (Root) {
+      G.saturate();
+      std::unique_ptr<Program> Best = G.extract(*Root, Model, Scaler);
+      if (Best) {
+        double OrigCost =
+            Model.costOfTree(Reduced.Prog->getRoot(), Scaler);
+        double BestCost = Model.costOfTree(Best->getRoot(), Scaler);
+        EgraphRatio = OrigCost > 0 ? BestCost / OrigCost : 1.0;
+        EgraphRatioText =
+            TablePrinter::formatDouble(100.0 * EgraphRatio, 1) + "%";
+        Output = printProgram(*Best);
+      }
+    }
+    double Seconds = Timer.elapsedSeconds();
+
+    // "Recovered" = the e-graph got within 10% of STENSO's cost ratio.
+    bool Recovered = EgraphRatio <= StensoRatio * 1.10;
+    (Training ? TrainTotal : TestTotal) += 1;
+    (Training ? TrainRecovered : TestRecovered) += Recovered;
+
+    Table.addRow({Def.Name, Training ? "train" : "held-out",
+                  TablePrinter::formatDouble(100.0 * StensoRatio, 1) + "%",
+                  EgraphRatioText,
+                  TablePrinter::formatDouble(Seconds * 1e3, 1) + " ms",
+                  Output});
+  }
+
+  Table.print(std::cout);
+  std::cout << "\nE-graph matches STENSO on " << TrainRecovered << "/"
+            << TrainTotal << " training benchmarks and " << TestRecovered
+            << "/" << TestTotal
+            << " held-out benchmarks.\nExpected shape: near-complete "
+               "recovery where rules were mined (in milliseconds,\nvs "
+               "seconds of synthesis), sharp drop-off on unseen patterns — "
+               "the completeness\nlimitation Section VIII describes, and "
+               "the complementarity it proposes.\n";
+  return 0;
+}

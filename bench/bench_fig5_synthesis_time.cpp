@@ -1,0 +1,108 @@
+//===- bench_fig5_synthesis_time.cpp - Regenerates Figure 5 ----------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 5: synthesis time per benchmark for three synthesizers:
+///
+///   * STENSO with branch-and-bound (full system),
+///   * STENSO with the simplification objective only (no cost pruning),
+///   * a TASO-like bottom-up enumerative baseline.
+///
+/// Paper shape: B&B synthesizes every benchmark within the budget; the
+/// simplification-only variant times out on roughly a quarter of them;
+/// the bottom-up baseline fails to scale beyond small kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "dsl/Parser.h"
+#include "synth/BottomUpSynthesizer.h"
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::bench;
+using namespace stenso::synth;
+
+namespace {
+
+std::string cell(double Seconds, bool TimedOut, bool Improved) {
+  if (TimedOut)
+    return "TIMEOUT";
+  std::string Out = TablePrinter::formatDouble(Seconds, 2) + "s";
+  if (!Improved)
+    Out += " (kept)";
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  printBanner("Figure 5 — synthesis times of STENSO variants and baseline",
+              "Fig. 5 (B&B solves all; unpruned times out on ~1/4; "
+              "bottom-up fails to scale)");
+
+  double Timeout = suiteTimeoutSeconds(15);
+  std::cout << "\nPer-benchmark timeout: " << Timeout
+            << " s (paper uses 600 s; set STENSO_TIMEOUT to change)\n\n";
+
+  SynthesisConfig WithBnB = evaluationConfig(Timeout);
+  SynthesisConfig SimplOnly = WithBnB;
+  SimplOnly.UseBranchAndBound = false;
+  BottomUpConfig BottomUp;
+  BottomUp.CostModelName = "measured";
+  BottomUp.TimeoutSeconds = Timeout;
+  BottomUp.MaxDepth = 4;
+  BottomUp.MaxPrograms = 150000;
+
+  TablePrinter Table({"Benchmark", "STENSO (B&B)", "Simplification-only",
+                      "Bottom-up baseline"});
+  int BnBTimeouts = 0, SimplTimeouts = 0, BottomUpFails = 0;
+  double BnBTotal = 0, SimplTotal = 0;
+  for (const BenchmarkDef &Def : benchmarkSuite()) {
+    auto Reduced = parseProgram(Def.sourceFor(false), Def.declsFor(false));
+    if (!Reduced) {
+      std::cerr << "parse failure on " << Def.Name << "\n";
+      return 1;
+    }
+
+    SynthesisResult RB = Synthesizer(WithBnB).run(*Reduced.Prog,
+                                                  Def.scaler());
+    SynthesisResult RS = Synthesizer(SimplOnly).run(*Reduced.Prog,
+                                                    Def.scaler());
+    SynthesisResult RU = BottomUpSynthesizer(BottomUp).run(*Reduced.Prog,
+                                                           Def.scaler());
+    BnBTimeouts += RB.TimedOut;
+    SimplTimeouts += RS.TimedOut;
+    // The bottom-up baseline "fails" when it neither improves nor proves
+    // anything within its budget (timeout or program-cap exhaustion).
+    bool BottomUpFailed = RU.TimedOut || !RU.Improved;
+    BottomUpFails += BottomUpFailed;
+    BnBTotal += RB.SynthesisSeconds;
+    SimplTotal += RS.SynthesisSeconds;
+
+    Table.addRow({Def.Name, cell(RB.SynthesisSeconds, RB.TimedOut,
+                                 RB.Improved),
+                  cell(RS.SynthesisSeconds, RS.TimedOut, RS.Improved),
+                  RU.TimedOut ? "TIMEOUT"
+                              : cell(RU.SynthesisSeconds, false,
+                                     RU.Improved)});
+  }
+
+  std::cout << "FIGURE 5: Synthesis times (lower is better)\n\n";
+  Table.print(std::cout);
+  std::cout << "\nSummary: STENSO(B&B) timeouts: " << BnBTimeouts << "/33"
+            << " (total " << TablePrinter::formatDouble(BnBTotal, 1)
+            << " s); simplification-only timeouts: " << SimplTimeouts
+            << "/33 (total " << TablePrinter::formatDouble(SimplTotal, 1)
+            << " s); bottom-up failed/timed out on " << BottomUpFails
+            << "/33.\n"
+            << "Paper shape: the unpruned search exceeds B&B's time on 1/3 "
+               "of benchmarks and\ntimes out on ~1/4; branch-and-bound "
+               "synthesizes everything without degrading\nsolution "
+               "quality.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- bench_fig7_class_speedups.cpp - Regenerates Figure 7 ----------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 7: geometric-mean speedup per transformation class on the AMD
+/// platform profile, per framework.  Paper reference: Vectorization leads
+/// (10.7x NumPy / 2.9x JAX / 4.4x PyTorch), Identity Replacement second
+/// (6.1x / 3.5x / 2.1x).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include <map>
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::bench;
+using backend::BackendConfig;
+using backend::FrameworkKind;
+
+int main() {
+  printBanner("Figure 7 — geomean speedups by transformation class (AMD)",
+              "Fig. 7 (Vectorization 10.7x NumPy; Identity Replacement "
+              "6.1x NumPy)");
+
+  double Timeout = suiteTimeoutSeconds(30);
+  std::vector<BenchmarkRun> Runs =
+      synthesizeSuite(evaluationConfig(Timeout), nullptr);
+
+  // class -> framework -> speedups
+  std::map<TransformClass, std::map<FrameworkKind, std::vector<double>>>
+      ByClass;
+  for (FrameworkKind Kind :
+       {FrameworkKind::NumPyEager, FrameworkKind::XlaLike,
+        FrameworkKind::InductorLike}) {
+    BackendConfig Config;
+    Config.Kind = Kind; // AMD platform profile is the default
+    for (const BenchmarkRun &Run : Runs)
+      ByClass[Run.Def->Class][Kind].push_back(
+          measureSpeedup(Run, Config).speedup());
+  }
+
+  TablePrinter Table({"Transformation Class", "NumPy", "JAX",
+                      "PyTorch-Inductor", "#Benchmarks"});
+  for (TransformClass Class : allTransformClasses()) {
+    auto &PerFramework = ByClass[Class];
+    Table.addRow(
+        {toString(Class),
+         TablePrinter::formatDouble(
+             geomeanSpeedup(PerFramework[FrameworkKind::NumPyEager]), 2) +
+             "x",
+         TablePrinter::formatDouble(
+             geomeanSpeedup(PerFramework[FrameworkKind::XlaLike]), 2) +
+             "x",
+         TablePrinter::formatDouble(
+             geomeanSpeedup(PerFramework[FrameworkKind::InductorLike]), 2) +
+             "x",
+         std::to_string(
+             PerFramework[FrameworkKind::NumPyEager].size())});
+  }
+
+  std::cout << "\nFIGURE 7: Geometric mean speedups by transformation class "
+               "on the AMD profile\n\n";
+  Table.print(std::cout);
+  std::cout << "\nPaper: Vectorization 10.7x/2.9x/4.4x (NumPy/JAX/PyTorch); "
+               "Identity Replacement\n6.1x/3.5x/2.1x.  Expected shape: "
+               "Vectorization dominates on the eager backend;\nclasses "
+               "covered by the compiled frameworks' own rules (simple "
+               "strength\nreductions) compress towards 1x there.\n";
+  return 0;
+}

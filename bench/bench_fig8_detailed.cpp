@@ -1,0 +1,65 @@
+//===- bench_fig8_detailed.cpp - Regenerates Figure 8 ----------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 8: per-benchmark speedups, grouped by transformation class, on
+/// all three framework stand-ins (AMD platform profile).  Paper
+/// highlights: vec_lerp 16.4x on NumPy, log_exp 23.6x, reshape_dot 6.1x.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include <map>
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::bench;
+using backend::BackendConfig;
+using backend::FrameworkKind;
+
+int main() {
+  printBanner("Figure 8 — detailed per-benchmark speedups by class (AMD)",
+              "Fig. 8 (vec_lerp 16.4x, log_exp 23.6x, reshape_dot 6.1x on "
+              "NumPy)");
+
+  double Timeout = suiteTimeoutSeconds(30);
+  std::vector<BenchmarkRun> Runs =
+      synthesizeSuite(evaluationConfig(Timeout), nullptr);
+
+  struct Row {
+    const BenchmarkRun *Run;
+    double NumPy, Jax, Inductor;
+  };
+  std::map<TransformClass, std::vector<Row>> ByClass;
+  for (const BenchmarkRun &Run : Runs) {
+    Row R{&Run, 0, 0, 0};
+    BackendConfig Config;
+    Config.Kind = FrameworkKind::NumPyEager;
+    R.NumPy = measureSpeedup(Run, Config).speedup();
+    Config.Kind = FrameworkKind::XlaLike;
+    R.Jax = measureSpeedup(Run, Config).speedup();
+    Config.Kind = FrameworkKind::InductorLike;
+    R.Inductor = measureSpeedup(Run, Config).speedup();
+    ByClass[Run.Def->Class].push_back(R);
+  }
+
+  std::cout << "\nFIGURE 8: Speedups of STENSO-optimized programs per "
+               "benchmark and framework\n";
+  for (TransformClass Class : allTransformClasses()) {
+    std::cout << "\n--- " << toString(Class) << " ---\n";
+    TablePrinter Table({"Benchmark", "NumPy", "JAX", "PyTorch-Inductor",
+                        "Synthesized Program"});
+    for (const Row &R : ByClass[Class])
+      Table.addRow({R.Run->Def->Name,
+                    TablePrinter::formatDouble(R.NumPy, 2) + "x",
+                    TablePrinter::formatDouble(R.Jax, 2) + "x",
+                    TablePrinter::formatDouble(R.Inductor, 2) + "x",
+                    R.Run->Synthesis.OptimizedSource});
+    Table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,186 @@
+//===- bench_microops.cpp - Tensor-runtime microbenchmarks -----------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the tensor runtime's kernels.  The
+/// measured cost model and the framework stand-ins inherit their realism
+/// from these relative op costs (dot faster than multiply+sum, power
+/// slower than multiply, transposes cheap); this binary makes those
+/// ratios visible and regression-checkable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+#include "tensor/TensorOps.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace stenso;
+
+namespace {
+
+Tensor randomTensor(Shape S, uint64_t Seed) {
+  RNG Rng(Seed);
+  Tensor T(S);
+  for (int64_t I = 0; I < T.getNumElements(); ++I)
+    T.at(I) = Rng.positive();
+  return T;
+}
+
+void BM_ElementwiseAdd(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N}), 1), B = randomTensor(Shape({N}), 2);
+  for (auto _ : State) {
+    Tensor C = tops::add(A, B);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_ElementwiseAdd)->Arg(1024)->Arg(65536)->Arg(262144);
+
+void BM_ElementwiseMultiply(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N}), 1), B = randomTensor(Shape({N}), 2);
+  for (auto _ : State) {
+    Tensor C = tops::multiply(A, B);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_ElementwiseMultiply)->Arg(65536);
+
+void BM_PowerSquare(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N}), 1);
+  Tensor Two = Tensor::scalar(2.0);
+  for (auto _ : State) {
+    Tensor C = tops::power(A, Two);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_PowerSquare)->Arg(65536);
+
+void BM_PowerGeneral(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N}), 1);
+  Tensor Exp = Tensor::scalar(2.5);
+  for (auto _ : State) {
+    Tensor C = tops::power(A, Exp);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_PowerGeneral)->Arg(65536);
+
+void BM_BroadcastRowVector(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N, N}), 1);
+  Tensor X = randomTensor(Shape({N}), 2);
+  for (auto _ : State) {
+    Tensor C = tops::multiply(A, X);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N * N);
+}
+BENCHMARK(BM_BroadcastRowVector)->Arg(256);
+
+void BM_InnerProduct(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N}), 1), B = randomTensor(Shape({N}), 2);
+  for (auto _ : State) {
+    Tensor C = tops::dot(A, B);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_InnerProduct)->Arg(65536)->Arg(262144);
+
+void BM_MulThenSum(benchmark::State &State) {
+  // The unfused equivalent of the inner product: temporary + two passes.
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N}), 1), B = randomTensor(Shape({N}), 2);
+  for (auto _ : State) {
+    Tensor C = tops::sumAll(tops::multiply(A, B));
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_MulThenSum)->Arg(65536)->Arg(262144);
+
+void BM_MatMul(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N, N}), 1);
+  Tensor B = randomTensor(Shape({N, N}), 2);
+  for (auto _ : State) {
+    Tensor C = tops::dot(A, B);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N * N * N);
+}
+BENCHMARK(BM_MatMul)->Arg(48)->Arg(96);
+
+void BM_MatVec(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N, N}), 1);
+  Tensor X = randomTensor(Shape({N}), 2);
+  for (auto _ : State) {
+    Tensor C = tops::dot(A, X);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N * N);
+}
+BENCHMARK(BM_MatVec)->Arg(256);
+
+void BM_Transpose(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N, N}), 1);
+  for (auto _ : State) {
+    Tensor C = tops::transpose(A);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N * N);
+}
+BENCHMARK(BM_Transpose)->Arg(256);
+
+void BM_SumAxis(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N, N}), 1);
+  for (auto _ : State) {
+    Tensor C = tops::sum(A, State.range(1));
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N * N);
+}
+BENCHMARK(BM_SumAxis)->Args({256, 0})->Args({256, 1});
+
+void BM_Stack(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N}), 1), B = randomTensor(Shape({N}), 2);
+  std::vector<Tensor> Parts = {A, B};
+  for (auto _ : State) {
+    Tensor C = tops::stack(Parts, 0);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * N);
+}
+BENCHMARK(BM_Stack)->Arg(65536);
+
+void BM_Where(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Tensor A = randomTensor(Shape({N}), 1), B = randomTensor(Shape({N}), 2);
+  Tensor Cond = tops::less(A, B);
+  for (auto _ : State) {
+    Tensor C = tops::where(Cond, A, B);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_Where)->Arg(65536);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+//===- custom_cost_model.cpp - Choosing and scaling cost models ------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the two cost estimators (paper Section V-B / VI-C) and
+/// the shape scaler.  np.sum(A * x, axis=1) and np.dot(A, x) perform the
+/// same FLOPs, so the analytic model cannot choose between them; the
+/// measured model profiles both op sequences at the *workload's real
+/// sizes* (mapped from the small search shapes through a ShapeScaler) and
+/// picks the fused contraction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Parser.h"
+#include "synth/Synthesizer.h"
+
+#include <iostream>
+
+using namespace stenso;
+using namespace stenso::dsl;
+using namespace stenso::synth;
+
+int main() {
+  // The program is declared at small "search" shapes (symbolic execution
+  // is exponential in tensor volume)...
+  std::string Source = "np.sum(A * x, axis=1)";
+  InputDecls SearchShapes = {
+      {"A", TensorType{DType::Float64, Shape({3, 4})}},
+      {"x", TensorType{DType::Float64, Shape({4})}},
+  };
+  ParseResult Program = parseProgram(Source, SearchShapes);
+  if (!Program) {
+    std::cerr << "parse error: " << Program.Error << "\n";
+    return 1;
+  }
+
+  // ...while the scaler tells the cost models that extent 3 really means
+  // 384 and extent 4 really means 512 in production.
+  ShapeScaler Scaler;
+  Scaler.addMapping(3, 384);
+  Scaler.addMapping(4, 512);
+
+  for (const char *Model : {"flops", "measured"}) {
+    SynthesisConfig Config;
+    Config.CostModelName = Model;
+    Config.TimeoutSeconds = 60;
+    SynthesisResult Result = Synthesizer(Config).run(*Program.Prog, Scaler);
+    std::cout << "cost model '" << Model << "':\n"
+              << "  result:  " << Result.OptimizedSource << "\n"
+              << "  cost:    " << Result.OriginalCost << " -> "
+              << Result.OptimizedCost << " "
+              << (std::string(Model) == "flops" ? "FLOPs" : "seconds")
+              << "\n"
+              << "  pruned " << Result.Stats.PrunedByCost
+              << " branches by cost, " << Result.Stats.PrunedBySimplification
+              << " by the simplification objective\n";
+  }
+
+  std::cout << "\nThe FLOP model keeps the original (both forms cost 2*n*m "
+               "FLOPs); the measured\nmodel discovers np.dot(A, x) — one "
+               "fused pass instead of multiply + temporary +\nreduce.  "
+               "This is why the paper's evaluation uses the measured "
+               "estimator.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- framework_comparison.cpp - One kernel across three backends ---------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-kernel version of the paper's Figure 4: compile and time one
+/// program before and after superoptimization on the three framework
+/// stand-ins (NumPy eager, JAX/XLA-like, PyTorch-Inductor-like), showing
+/// how much of the headroom each framework's own rules already capture.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/ExecutionEngine.h"
+#include "dsl/Parser.h"
+#include "support/RNG.h"
+#include "support/TablePrinter.h"
+#include "synth/Synthesizer.h"
+
+#include <iostream>
+
+using namespace stenso;
+using namespace stenso::dsl;
+using namespace stenso::backend;
+
+int main() {
+  // Strength-reduction bait: the compiled stand-ins rewrite pow(x, 2)
+  // themselves, but none of them knows exp(log(x)) - or does it?  Compare
+  // how much STENSO adds on top of each framework.
+  std::string Source = "np.power(np.exp(np.log(A + B)), 2) / (A + B)";
+  InputDecls Inputs = {
+      {"A", TensorType{DType::Float64, Shape({65536})}},
+      {"B", TensorType{DType::Float64, Shape({65536})}},
+  };
+  ParseResult Original = parseProgram(Source, Inputs);
+  if (!Original) {
+    std::cerr << "parse error: " << Original.Error << "\n";
+    return 1;
+  }
+
+  // Search at a reduced shape; scale costs to the real 65536.
+  InputDecls Small = {{"A", TensorType{DType::Float64, Shape({3})}},
+                      {"B", TensorType{DType::Float64, Shape({3})}}};
+  ParseResult Reduced = parseProgram(Source, Small);
+  synth::ShapeScaler Scaler;
+  Scaler.addMapping(3, 65536);
+
+  synth::SynthesisConfig Config;
+  Config.CostModelName = "measured";
+  Config.TimeoutSeconds = 45;
+  synth::SynthesisResult Result =
+      synth::Synthesizer(Config).run(*Reduced.Prog, Scaler);
+  std::cout << "original:  " << Source << "\n"
+            << "optimized: " << Result.OptimizedSource << "\n\n";
+
+  ParseResult Optimized = parseProgram(Result.OptimizedSource, Inputs);
+  if (!Optimized) {
+    std::cerr << "lift error: " << Optimized.Error << "\n";
+    return 1;
+  }
+
+  RNG Rng(7);
+  InputBinding Binding;
+  for (const auto &[Name, Type] : Inputs) {
+    Tensor T(Type.TShape);
+    for (int64_t I = 0; I < T.getNumElements(); ++I)
+      T.at(I) = Rng.positive();
+    Binding.emplace(Name, std::move(T));
+  }
+
+  TablePrinter Table({"Framework", "original", "optimized", "speedup"});
+  for (FrameworkKind Kind : {FrameworkKind::NumPyEager,
+                             FrameworkKind::XlaLike,
+                             FrameworkKind::InductorLike}) {
+    BackendConfig BC;
+    BC.Kind = Kind;
+    ExecutionEngine Before(BC), After(BC);
+    Before.compile(*Original.Prog);
+    After.compile(*Optimized.Prog);
+    double TB = Before.measureSeconds(Binding);
+    double TA = After.measureSeconds(Binding);
+    Table.addRow({toString(Kind),
+                  TablePrinter::formatDouble(TB * 1e6, 1) + " us",
+                  TablePrinter::formatDouble(TA * 1e6, 1) + " us",
+                  TablePrinter::formatDouble(TB / TA, 2) + "x"});
+  }
+  Table.print(std::cout);
+  std::cout << "\nExpected shape: large gain on eager NumPy; the XLA-like "
+               "backend already cancels\nexp(log(...)) so STENSO adds "
+               "less there; the Inductor-like rule set lacks that\nrule "
+               "and benefits more.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- rule_replay.cpp - Mine once, rewrite forever -------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper frames synthesis cost as a one-time overhead whose results
+/// "can be cached and reused indefinitely" and whose rules "could be
+/// added to compilers" (Sections VII-D/E).  This example does exactly
+/// that: superoptimize a handful of kernels once (seconds each), collect
+/// the generalized rules into a RuleBook, and then rewrite *new* programs
+/// at *new* shapes in microseconds — no search involved.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Parser.h"
+#include "dsl/Printer.h"
+#include "evalsuite/RuleBook.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+#include "synth/Synthesizer.h"
+
+#include <iostream>
+
+using namespace stenso;
+using namespace stenso::dsl;
+
+namespace {
+
+TensorType vec(int64_t N) { return TensorType{DType::Float64, Shape({N})}; }
+TensorType mat(int64_t R, int64_t C) {
+  return TensorType{DType::Float64, Shape({R, C})};
+}
+
+} // namespace
+
+int main() {
+  // Phase 1: the expensive part — superoptimize training kernels once.
+  struct Seed {
+    const char *Source;
+    InputDecls Inputs;
+  };
+  const Seed Seeds[] = {
+      {"np.diag(np.dot(A, B))", {{"A", mat(3, 3)}, {"B", mat(3, 3)}}},
+      {"np.exp(np.log(A) - np.log(B))", {{"A", vec(4)}, {"B", vec(4)}}},
+      {"np.power(A, 2)", {{"A", vec(4)}}},
+      {"(A + B) / np.sqrt(A + B)", {{"A", vec(4)}, {"B", vec(4)}}},
+      {"A * B + C * B", {{"A", vec(4)}, {"B", vec(4)}, {"C", vec(4)}}},
+  };
+
+  evalsuite::RuleBook Book;
+  synth::SynthesisConfig Config;
+  Config.TimeoutSeconds = 45;
+  double SynthesisSeconds = 0;
+  for (const Seed &S : Seeds) {
+    ParseResult P = parseProgram(S.Source, S.Inputs);
+    synth::SynthesisResult R = synth::Synthesizer(Config).run(*P.Prog);
+    SynthesisSeconds += R.SynthesisSeconds;
+    if (R.Improved && Book.addRule(P.Prog->getRoot(),
+                                   R.Optimized->getRoot()))
+      std::cout << "mined: " << S.Source << "  =>  " << R.OptimizedSource
+                << "\n";
+  }
+  std::cout << "\n" << Book.size() << " rules mined in "
+            << TablePrinter::formatDouble(SynthesisSeconds, 1)
+            << " s of synthesis.\n\n";
+
+  // Phase 2: the cheap part — rewrite unseen programs at unseen shapes.
+  struct Subject {
+    const char *Source;
+    InputDecls Inputs;
+  };
+  const Subject Subjects[] = {
+      {"np.diag(np.dot(P, Q)) * w",
+       {{"P", mat(16, 16)}, {"Q", mat(16, 16)}, {"w", vec(16)}}},
+      {"np.power(np.exp(np.log(u) - np.log(v)), 2)",
+       {{"u", vec(100)}, {"v", vec(100)}}},
+      {"(s + t) / np.sqrt(s + t) + s * r + t * r",
+       {{"s", vec(50)}, {"t", vec(50)}, {"r", vec(50)}}},
+  };
+
+  TablePrinter Table({"Program", "Rewritten", "Rules fired", "Time"});
+  RNG Rng(99);
+  for (const Subject &S : Subjects) {
+    ParseResult P = parseProgram(S.Source, S.Inputs);
+    Program Dest;
+    WallTimer Timer;
+    int Applied = 0;
+    const Node *Out = Book.applyVerified(Dest, P.Prog->getRoot(), Rng, 3,
+                                         &Applied);
+    double Micros = Timer.elapsedSeconds() * 1e6;
+    Table.addRow({S.Source, printNode(Out), std::to_string(Applied),
+                  TablePrinter::formatDouble(Micros, 0) + " us"});
+  }
+  Table.print(std::cout);
+  std::cout << "\nRule replay is ~10^5x faster than re-running synthesis — "
+               "this is how the\ndiscovered rewrites would ship inside a "
+               "conventional compiler pass.\n";
+  return 0;
+}

@@ -1,0 +1,693 @@
+//===- ExecutionEngine.cpp - Tensor-framework performance stand-ins -------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/ExecutionEngine.h"
+
+#include "support/Error.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+#include "tensor/TensorOps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <unordered_set>
+
+using namespace stenso;
+using namespace stenso::backend;
+using namespace stenso::dsl;
+
+std::string backend::toString(FrameworkKind Kind) {
+  switch (Kind) {
+  case FrameworkKind::NumPyEager:
+    return "NumPy";
+  case FrameworkKind::XlaLike:
+    return "JAX";
+  case FrameworkKind::InductorLike:
+    return "PyTorch-Inductor";
+  }
+  stenso_unreachable("unknown framework kind");
+}
+
+std::vector<PlatformProfile> PlatformProfile::all() {
+  return {amd7950x(), i7_8700k(), m3pro()};
+}
+
+// Base overhead constants (seconds) at OverheadScale == 1, modelled on
+// typical per-op costs: CPython + NumPy dispatch is on the order of a
+// microsecond; XLA / Inductor kernel launches are an order of magnitude
+// cheaper; the Python loop of a comprehension adds interpreter time per
+// iteration on top of its body's op dispatches.
+static constexpr double NumPyPerOpSeconds = 1.2e-6;
+static constexpr double NumPyPerTripSeconds = 1.6e-6;
+static constexpr double XlaPerKernelSeconds = 2.0e-7;
+static constexpr double InductorPerKernelSeconds = 1.3e-7;
+
+double BackendConfig::perOpSeconds() const {
+  double Base = 0;
+  switch (Kind) {
+  case FrameworkKind::NumPyEager:
+    Base = NumPyPerOpSeconds;
+    break;
+  case FrameworkKind::XlaLike:
+    Base = XlaPerKernelSeconds;
+    break;
+  case FrameworkKind::InductorLike:
+    Base = InductorPerKernelSeconds;
+    break;
+  }
+  return Base * Platform.OverheadScale;
+}
+
+double BackendConfig::perTripSeconds() const {
+  if (Kind != FrameworkKind::NumPyEager)
+    return 0;
+  return NumPyPerTripSeconds * Platform.OverheadScale;
+}
+
+bool BackendConfig::fusesElementwise() const {
+  if (OverrideFusion)
+    return *OverrideFusion;
+  return Kind != FrameworkKind::NumPyEager;
+}
+
+RuleSet BackendConfig::rules() const {
+  if (OverrideRules && !*OverrideRules)
+    return RuleSet::none();
+  switch (Kind) {
+  case FrameworkKind::NumPyEager:
+    return RuleSet::none();
+  case FrameworkKind::XlaLike:
+    return RuleSet::xlaLike();
+  case FrameworkKind::InductorLike:
+    return RuleSet::inductorLike();
+  }
+  stenso_unreachable("unknown framework kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Busy-waits for \p Seconds; stands in for interpreter and kernel-launch
+/// overhead that our in-process engine does not naturally pay.
+void spinFor(double Seconds) {
+  if (Seconds <= 0)
+    return;
+  WallTimer Timer;
+  while (Timer.elapsedSeconds() < Seconds) {
+  }
+}
+
+/// Ops a compiled framework fuses into elementwise kernels.
+bool isFusableElementwise(OpKind Kind) {
+  return isElementwiseBinary(Kind) || isElementwiseUnary(Kind) ||
+         Kind == OpKind::Where;
+}
+
+/// Reductions a compiled framework fuses elementwise producers into.
+bool isReduction(OpKind Kind) {
+  return Kind == OpKind::Sum || Kind == OpKind::SumAll ||
+         Kind == OpKind::Max || Kind == OpKind::MaxAll;
+}
+
+/// Evaluates the compiled graph, paying the configured overheads.
+class Executor {
+public:
+  Executor(const BackendConfig &Config, const InputBinding &Inputs)
+      : Config(Config), Inputs(Inputs) {}
+
+  /// Pointer-based evaluation (no payload copies — copies would distort
+  /// the timing the engine exists to produce).  Returned pointers stay
+  /// valid for the executor's lifetime except for loop-dependent results,
+  /// which the comprehension invalidates per trip after use.
+  const Tensor *eval(const Node *N) {
+    if (N->isInput()) {
+      // Inputs (including loop variables, whose binding changes every
+      // iteration) are never memoized — lookups are free anyway.
+      auto Bound = LoopBindings.find(N);
+      if (Bound != LoopBindings.end())
+        return &Bound->second;
+      auto It = Inputs.find(N->getName());
+      if (It == Inputs.end())
+        reportFatalError("unbound input '" + N->getName() + "'");
+      return &It->second;
+    }
+    auto Cached = Memo.find(N);
+    if (Cached != Memo.end())
+      return &Cached->second;
+    Tensor Result = compute(N);
+    return &Memo.insert_or_assign(N, std::move(Result)).first->second;
+  }
+
+private:
+  Tensor compute(const Node *N) {
+    switch (N->getKind()) {
+    case OpKind::Constant:
+      return Tensor::scalar(N->getValue().toDouble());
+    case OpKind::Comprehension:
+      return evalComprehension(N);
+    default:
+      break;
+    }
+
+    if (Config.fusesElementwise() && isFusableElementwise(N->getKind()))
+      return evalFusedRegion(N);
+
+    // Compiled frameworks fuse elementwise producers into reductions
+    // (XLA's loop fusion): sum(A * x, axis=1) runs as one pass with no
+    // materialized temporary and no extra kernel launch.
+    if (Config.fusesElementwise() && isReduction(N->getKind()) &&
+        isFusableElementwise(N->getOperand(0)->getKind()))
+      return evalFusedReduction(N);
+
+    // Unfused op: pay one dispatch and materialize the result.
+    spinFor(Config.perOpSeconds());
+    std::vector<const Tensor *> Operands;
+    Operands.reserve(N->getNumOperands());
+    for (const Node *Op : N->getOperands())
+      Operands.push_back(eval(Op));
+    return applyOp(N, Operands);
+  }
+
+  Tensor applyOp(const Node *N, const std::vector<const Tensor *> &Ops) {
+    switch (N->getKind()) {
+    case OpKind::Full:
+      return Tensor::full(N->getAttrs().ShapeAttr, Ops[0]->item(),
+                          N->getType().Dtype);
+    case OpKind::Add:
+      return tops::add(*Ops[0], *Ops[1]);
+    case OpKind::Subtract:
+      return tops::subtract(*Ops[0], *Ops[1]);
+    case OpKind::Multiply:
+      return tops::multiply(*Ops[0], *Ops[1]);
+    case OpKind::Divide:
+      return tops::divide(*Ops[0], *Ops[1]);
+    case OpKind::Power:
+      return tops::power(*Ops[0], *Ops[1]);
+    case OpKind::Maximum:
+      return tops::maximum(*Ops[0], *Ops[1]);
+    case OpKind::Less:
+      return tops::less(*Ops[0], *Ops[1]);
+    case OpKind::Sqrt:
+      return tops::sqrt(*Ops[0]);
+    case OpKind::Exp:
+      return tops::exp(*Ops[0]);
+    case OpKind::Log:
+      return tops::log(*Ops[0]);
+    case OpKind::Where:
+      return tops::where(*Ops[0], *Ops[1], *Ops[2]);
+    case OpKind::Triu:
+      return tops::triu(*Ops[0], N->getAttrs().Diagonal);
+    case OpKind::Tril:
+      return tops::tril(*Ops[0], N->getAttrs().Diagonal);
+    case OpKind::Dot:
+      return tops::dot(*Ops[0], *Ops[1]);
+    case OpKind::Tensordot:
+      return tops::tensordot(*Ops[0], *Ops[1], N->getAttrs().AxesA,
+                             N->getAttrs().AxesB);
+    case OpKind::Diag:
+      return tops::diag(*Ops[0]);
+    case OpKind::Trace:
+      return tops::trace(*Ops[0]);
+    case OpKind::Transpose:
+      return tops::transpose(*Ops[0], N->getAttrs().Perm);
+    case OpKind::Reshape:
+      return tops::reshape(*Ops[0], N->getAttrs().ShapeAttr);
+    case OpKind::Stack: {
+      std::vector<Tensor> Parts;
+      Parts.reserve(Ops.size());
+      for (const Tensor *T : Ops)
+        Parts.push_back(*T);
+      return tops::stack(Parts, N->getAttrs().Axis.value_or(0));
+    }
+    case OpKind::Sum:
+      return tops::sum(*Ops[0], *N->getAttrs().Axis);
+    case OpKind::SumAll:
+      return tops::sumAll(*Ops[0]);
+    case OpKind::Max:
+      return tops::max(*Ops[0], *N->getAttrs().Axis);
+    case OpKind::MaxAll:
+      return tops::maxAll(*Ops[0]);
+    case OpKind::Input:
+    case OpKind::Constant:
+    case OpKind::Comprehension:
+      break;
+    }
+    stenso_unreachable("handled elsewhere");
+  }
+
+  /// Evaluates a maximal fused elementwise region rooted at \p Root as a
+  /// single kernel: one dispatch, no materialized intermediates in main
+  /// memory.  The region is flattened to a postorder instruction list and
+  /// executed as a chunked vector VM (numexpr-style): every instruction
+  /// runs a tight loop over a cache-resident chunk, so throughput matches
+  /// a real fused XLA/Inductor kernel (feeds read once, output written
+  /// once, scratch stays in L1).
+  Tensor evalFusedRegion(const Node *Root) {
+    const Shape &OutShape = Root->getType().TShape;
+    Tensor Result(OutShape, Root->getType().Dtype);
+    double *PR = Result.data();
+    runFusedRegion(Root, [PR](const double *Chunk, int64_t Count,
+                              int64_t Base) {
+      std::copy(Chunk, Chunk + Count, PR + Base);
+    });
+    return Result;
+  }
+
+  /// Runs the chunked vector VM over the fused region rooted at \p Root,
+  /// handing each computed chunk (values, count, base flat index) to
+  /// \p Consume.  Pays one kernel launch for the whole region.
+  template <typename ConsumerT>
+  void runFusedRegion(const Node *Root, ConsumerT Consume) {
+    // Evaluate the region's external feeds first (they pay their own
+    // costs), then pay one kernel launch for the whole region.
+    std::vector<const Node *> FeedOrder;
+    std::unordered_map<const Node *, const Tensor *> Feeds;
+    collectFeeds(Root, FeedOrder, Feeds);
+    if (!InFusedLoop)
+      spinFor(Config.perOpSeconds());
+
+    const Shape &OutShape = Root->getType().TShape;
+
+    // Postorder instruction list; FeedIndex >= 0 encodes a load.
+    struct Instr {
+      OpKind Kind;
+      int FeedIndex = -1;
+    };
+    std::vector<Instr> Prog;
+    std::unordered_map<const Node *, int> FeedIndexOf;
+    for (size_t I = 0; I < FeedOrder.size(); ++I)
+      FeedIndexOf[FeedOrder[I]] = static_cast<int>(I);
+    size_t MaxDepth = 0, Depth = 0;
+    std::function<void(const Node *)> Flatten = [&](const Node *N) {
+      auto Feed = FeedIndexOf.find(N);
+      if (Feed != FeedIndexOf.end()) {
+        Prog.push_back(Instr{OpKind::Input, Feed->second});
+        MaxDepth = std::max(MaxDepth, ++Depth);
+        return;
+      }
+      for (const Node *Op : N->getOperands())
+        Flatten(Op);
+      Depth -= N->getNumOperands() - 1;
+      Prog.push_back(Instr{N->getKind(), -1});
+    };
+    Flatten(Root);
+
+    // Per-feed load plans: contiguous (same shape), splat (scalar), or a
+    // strided gather through incremental broadcast offsets.
+    struct FeedPlan {
+      const double *Data = nullptr;
+      bool Contiguous = false;
+      bool Scalar = false;
+      std::vector<int64_t> Strides;
+      int64_t Offset = 0; // gather walker state
+    };
+    size_t NumFeeds = FeedOrder.size();
+    std::vector<FeedPlan> Plans(NumFeeds);
+    for (size_t I = 0; I < NumFeeds; ++I) {
+      const Tensor &T = *Feeds.at(FeedOrder[I]);
+      Plans[I].Data = T.data();
+      Plans[I].Scalar = T.getNumElements() == 1;
+      Plans[I].Contiguous = !Plans[I].Scalar && T.getShape() == OutShape;
+      if (!Plans[I].Scalar && !Plans[I].Contiguous)
+        Plans[I].Strides = broadcastStrides(T.getShape(), OutShape);
+    }
+
+    constexpr int64_t ChunkSize = 512;
+    int64_t N = OutShape.getNumElements();
+    int64_t Rank = OutShape.getRank();
+
+    // Value stack of chunk buffers plus one gather buffer per feed.
+    std::vector<std::vector<double>> Stack(
+        MaxDepth + 1, std::vector<double>(ChunkSize));
+    std::vector<std::vector<double>> Gather(
+        NumFeeds, std::vector<double>(ChunkSize));
+    std::vector<int64_t> Index(static_cast<size_t>(std::max<int64_t>(Rank, 1)),
+                               0);
+
+    for (int64_t Base = 0; Base < N; Base += ChunkSize) {
+      int64_t Count = std::min(ChunkSize, N - Base);
+
+      // Gather strided feeds for this chunk.  The walk advances through
+      // the broadcast output space in runs of the innermost axis, so
+      // common broadcasts (row/column vectors) copy contiguous or
+      // constant runs rather than single elements.
+      bool AnyGather = false;
+      for (size_t I = 0; I < NumFeeds; ++I)
+        AnyGather |= !Plans[I].Scalar && !Plans[I].Contiguous;
+      if (AnyGather) {
+        int64_t InnerDim = Rank > 0 ? OutShape.getDim(Rank - 1) : 1;
+        int64_t Filled = 0;
+        while (Filled < Count) {
+          size_t LastIdx = static_cast<size_t>(std::max<int64_t>(Rank - 1, 0));
+          int64_t Run =
+              std::min(Count - Filled, InnerDim - (Rank > 0 ? Index[LastIdx]
+                                                            : 0));
+          for (size_t I = 0; I < NumFeeds; ++I) {
+            FeedPlan &Plan = Plans[I];
+            if (Plan.Scalar || Plan.Contiguous)
+              continue;
+            double *Dst = Gather[I].data() + Filled;
+            int64_t Stride = Rank > 0 ? Plan.Strides[LastIdx] : 0;
+            const double *Src = Plan.Data + Plan.Offset;
+            if (Stride == 0)
+              std::fill(Dst, Dst + Run, Src[0]);
+            else if (Stride == 1)
+              std::copy(Src, Src + Run, Dst);
+            else
+              for (int64_t E = 0; E < Run; ++E)
+                Dst[E] = Src[E * Stride];
+            Plan.Offset += Stride * Run;
+          }
+          Filled += Run;
+          if (Rank == 0)
+            break;
+          // Advance the multi-index by Run along the innermost axis,
+          // carrying into outer axes at the end of each row.
+          Index[LastIdx] += Run;
+          for (int64_t Axis = Rank - 1;
+               Axis >= 0 && Index[static_cast<size_t>(Axis)] ==
+                                OutShape.getDim(Axis);
+               --Axis) {
+            size_t AxisIdx = static_cast<size_t>(Axis);
+            Index[AxisIdx] = 0;
+            for (size_t I = 0; I < NumFeeds; ++I) {
+              FeedPlan &Plan = Plans[I];
+              if (Plan.Scalar || Plan.Contiguous)
+                continue;
+              Plan.Offset -= Plan.Strides[AxisIdx] * OutShape.getDim(Axis);
+              if (Axis > 0)
+                Plan.Offset += Plan.Strides[AxisIdx - 1];
+            }
+            if (Axis > 0)
+              ++Index[AxisIdx - 1];
+          }
+        }
+      }
+
+      // Execute the instruction list over the chunk.
+      size_t Top = 0; // next free stack slot
+      for (const Instr &In : Prog) {
+        if (In.FeedIndex >= 0) {
+          const FeedPlan &Plan = Plans[static_cast<size_t>(In.FeedIndex)];
+          double *Dst = Stack[Top++].data();
+          if (Plan.Scalar) {
+            std::fill(Dst, Dst + Count, Plan.Data[0]);
+          } else if (Plan.Contiguous) {
+            std::copy(Plan.Data + Base, Plan.Data + Base + Count, Dst);
+          } else {
+            const double *Src =
+                Gather[static_cast<size_t>(In.FeedIndex)].data();
+            std::copy(Src, Src + Count, Dst);
+          }
+          continue;
+        }
+        switch (In.Kind) {
+        case OpKind::Add: {
+          double *B = Stack[--Top].data(), *A = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            A[E] += B[E];
+          break;
+        }
+        case OpKind::Subtract: {
+          double *B = Stack[--Top].data(), *A = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            A[E] -= B[E];
+          break;
+        }
+        case OpKind::Multiply: {
+          double *B = Stack[--Top].data(), *A = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            A[E] *= B[E];
+          break;
+        }
+        case OpKind::Divide: {
+          double *B = Stack[--Top].data(), *A = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            A[E] /= B[E];
+          break;
+        }
+        case OpKind::Power: {
+          double *B = Stack[--Top].data(), *A = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            A[E] = tops::scalarPow(A[E], B[E]);
+          break;
+        }
+        case OpKind::Maximum: {
+          double *B = Stack[--Top].data(), *A = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            A[E] = std::max(A[E], B[E]);
+          break;
+        }
+        case OpKind::Less: {
+          double *B = Stack[--Top].data(), *A = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            A[E] = A[E] < B[E] ? 1.0 : 0.0;
+          break;
+        }
+        case OpKind::Sqrt: {
+          double *A = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            A[E] = std::sqrt(A[E]);
+          break;
+        }
+        case OpKind::Exp: {
+          double *A = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            A[E] = std::exp(A[E]);
+          break;
+        }
+        case OpKind::Log: {
+          double *A = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            A[E] = std::log(A[E]);
+          break;
+        }
+        case OpKind::Where: {
+          double *F = Stack[--Top].data();
+          double *T = Stack[--Top].data();
+          double *C = Stack[Top - 1].data();
+          for (int64_t E = 0; E < Count; ++E)
+            C[E] = C[E] != 0.0 ? T[E] : F[E];
+          break;
+        }
+        default:
+          stenso_unreachable("non-fusable op in fused region");
+        }
+      }
+      Consume(Stack[0].data(), Count, Base);
+    }
+  }
+
+  /// Fused producer + reduction: one pass, no materialized temporary, no
+  /// extra launch for the reduce step.
+  Tensor evalFusedReduction(const Node *N) {
+    const Node *Producer = N->getOperand(0);
+    const Shape &InShape = Producer->getType().TShape;
+    bool IsSum = N->getKind() == OpKind::Sum || N->getKind() == OpKind::SumAll;
+
+    // View the producer's output as (Outer, K, Inner) around the reduced
+    // axis; full reductions collapse everything into K.
+    int64_t Axis = 0, K = 1, Inner = 1, Outer = 1;
+    if (N->getKind() == OpKind::Sum || N->getKind() == OpKind::Max) {
+      Axis = InShape.normalizeAxis(*N->getAttrs().Axis);
+      K = InShape.getDim(Axis);
+      for (int64_t I = Axis + 1; I < InShape.getRank(); ++I)
+        Inner *= InShape.getDim(I);
+      for (int64_t I = 0; I < Axis; ++I)
+        Outer *= InShape.getDim(I);
+    } else {
+      K = InShape.getNumElements();
+    }
+
+    Tensor Result = Tensor::full(
+        N->getType().TShape,
+        IsSum ? 0.0 : -std::numeric_limits<double>::infinity());
+    double *PR = Result.data();
+
+    // Incremental (o, k, i) counters across chunk boundaries, consumed in
+    // runs so the accumulation loops stay tight.
+    int64_t O = 0, KI = 0, I = 0;
+    runFusedRegion(Producer, [&](const double *Chunk, int64_t Count,
+                                 int64_t /*Base*/) {
+      int64_t E = 0;
+      while (E < Count) {
+        if (Inner == 1) {
+          // Reducing the innermost span: a scalar accumulation run.
+          int64_t Run = std::min(Count - E, K - KI);
+          double &Slot = PR[O];
+          if (IsSum) {
+            double Acc = 0;
+            for (int64_t R = 0; R < Run; ++R)
+              Acc += Chunk[E + R];
+            Slot += Acc;
+          } else {
+            double Acc = Slot;
+            for (int64_t R = 0; R < Run; ++R)
+              Acc = std::max(Acc, Chunk[E + R]);
+            Slot = Acc;
+          }
+          E += Run;
+          KI += Run;
+          if (KI == K) {
+            KI = 0;
+            ++O;
+          }
+        } else {
+          // Reducing an outer axis: element-parallel run along Inner.
+          int64_t Run = std::min(Count - E, Inner - I);
+          double *Row = PR + O * Inner + I;
+          if (IsSum) {
+            for (int64_t R = 0; R < Run; ++R)
+              Row[R] += Chunk[E + R];
+          } else {
+            for (int64_t R = 0; R < Run; ++R)
+              Row[R] = std::max(Row[R], Chunk[E + R]);
+          }
+          E += Run;
+          I += Run;
+          if (I == Inner) {
+            I = 0;
+            if (++KI == K) {
+              KI = 0;
+              ++O;
+            }
+          }
+        }
+      }
+    });
+    return Result;
+  }
+
+  /// Gathers the non-fusable sources feeding a fused region, in
+  /// deterministic discovery order.
+  void collectFeeds(const Node *N, std::vector<const Node *> &Order,
+                    std::unordered_map<const Node *, const Tensor *> &Feeds) {
+    if (!isFusableElementwise(N->getKind())) {
+      if (!Feeds.count(N)) {
+        Order.push_back(N);
+        Feeds.emplace(N, eval(N));
+      }
+      return;
+    }
+    for (const Node *Op : N->getOperands())
+      collectFeeds(Op, Order, Feeds);
+  }
+
+  Tensor evalComprehension(const Node *N) {
+    const Tensor *Iterated = eval(N->getOperand(0));
+    int64_t Count = Iterated->getShape().getDim(0);
+    const Node *Var = N->getLoopVar();
+
+    // Nodes whose value depends on the loop variable must be recomputed
+    // (and un-memoized) per iteration.
+    std::unordered_set<const Node *> Dependent;
+    markDependent(N->getOperand(1), Var, Dependent);
+
+    // Compiled frameworks trace the Python loop away and fuse the
+    // unrolled elementwise bodies into (close to) one kernel: charge one
+    // launch for the whole loop and silence per-iteration launches of
+    // fused regions inside.
+    bool Compiled = Config.fusesElementwise();
+    bool SavedInFusedLoop = InFusedLoop;
+    if (Compiled) {
+      spinFor(Config.perOpSeconds());
+      InFusedLoop = true;
+    }
+
+    std::vector<Tensor> Parts;
+    Parts.reserve(static_cast<size_t>(Count));
+    for (int64_t I = 0; I < Count; ++I) {
+      spinFor(Config.perTripSeconds());
+      LoopBindings.insert_or_assign(Var, sliceLeading(*Iterated, I));
+      for (const Node *D : Dependent)
+        Memo.erase(D);
+      Parts.push_back(*eval(N->getOperand(1)));
+    }
+    LoopBindings.erase(Var);
+    for (const Node *D : Dependent)
+      Memo.erase(D);
+    InFusedLoop = SavedInFusedLoop;
+
+    // The final stack is one more data-movement op.
+    spinFor(Config.perOpSeconds());
+    return tops::stack(Parts, N->getAttrs().Axis.value_or(0));
+  }
+
+  /// Marks nodes in \p N's subtree that transitively reference \p Var.
+  bool markDependent(const Node *N, const Node *Var,
+                     std::unordered_set<const Node *> &Out) {
+    if (N == Var)
+      return true;
+    bool Depends = false;
+    for (const Node *Op : N->getOperands())
+      Depends |= markDependent(Op, Var, Out);
+    if (N->getKind() == OpKind::Comprehension)
+      Depends |= markDependent(N->getLoopVar(), Var, Out);
+    if (Depends)
+      Out.insert(N);
+    return Depends;
+  }
+
+  const BackendConfig &Config;
+  const InputBinding &Inputs;
+  std::unordered_map<const Node *, Tensor> Memo;
+  std::unordered_map<const Node *, Tensor> LoopBindings;
+  /// True while executing a traced (compiled) loop body: fused-region
+  /// launches inside are already covered by the loop's single launch.
+  bool InFusedLoop = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ExecutionEngine
+//===----------------------------------------------------------------------===//
+
+ExecutionEngine::ExecutionEngine(BackendConfig Config)
+    : Config(std::move(Config)) {}
+ExecutionEngine::~ExecutionEngine() = default;
+ExecutionEngine::ExecutionEngine(ExecutionEngine &&) = default;
+ExecutionEngine &ExecutionEngine::operator=(ExecutionEngine &&) = default;
+
+void ExecutionEngine::compile(const dsl::Program &P) {
+  assert(P.getRoot() && "program has no root");
+  auto Result = std::make_unique<Program>();
+  Result->setRoot(applyRewriteRules(*Result, P.getRoot(), Config.rules()));
+  Compiled = std::move(Result);
+}
+
+const Program &ExecutionEngine::getCompiledProgram() const {
+  assert(Compiled && "compile() not called");
+  return *Compiled;
+}
+
+Tensor ExecutionEngine::execute(const InputBinding &Inputs) const {
+  assert(Compiled && "compile() not called");
+  Executor Exec(Config, Inputs);
+  return *Exec.eval(Compiled->getRoot());
+}
+
+double ExecutionEngine::measureSeconds(const InputBinding &Inputs,
+                                       int Reps) const {
+  volatile double Sink = 0;
+  Tensor Warm = execute(Inputs);
+  Sink = Sink + Warm.at(0);
+  std::vector<double> Times;
+  Times.reserve(static_cast<size_t>(Reps));
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    WallTimer Timer;
+    Tensor Out = execute(Inputs);
+    Times.push_back(Timer.elapsedSeconds());
+    Sink = Sink + Out.at(0);
+  }
+  (void)Sink;
+  return median(Times);
+}

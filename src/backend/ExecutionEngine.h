@@ -1,0 +1,117 @@
+//===- ExecutionEngine.h - Tensor-framework performance stand-ins -* C++ -*===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution backends standing in for the paper's measurement targets
+/// (Section VI-B).  One engine, three framework presets:
+///
+///   * NumPyEager — op-by-op evaluation: every operation pays a Python/
+///     dispatch overhead and materializes its result; comprehensions pay
+///     an additional per-iteration interpreter charge.
+///   * XlaLike (JAX) — graph capture: a fixed rewrite-rule pass (see
+///     RewriteRules.h), structural CSE, and fusion of elementwise chains
+///     into single kernels; small per-kernel launch overhead.
+///     Comprehensions are traced/unrolled: no Python loop charge, but one
+///     kernel sequence per iteration.
+///   * InductorLike (PyTorch 2) — like XlaLike with a slightly different
+///     rule set and the lowest launch overhead (compiled C++ loops).
+///
+/// Platform profiles scale the overhead constants, standing in for the
+/// paper's AMD 7950X / i7-8700K / M3 Pro machines (we have one machine;
+/// the platform axis of Figs. 4/8 only rescales constants).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_BACKEND_EXECUTIONENGINE_H
+#define STENSO_BACKEND_EXECUTIONENGINE_H
+
+#include "backend/RewriteRules.h"
+#include "dsl/Interpreter.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace stenso {
+namespace backend {
+
+/// The three framework presets.
+enum class FrameworkKind { NumPyEager, XlaLike, InductorLike };
+
+std::string toString(FrameworkKind Kind);
+
+/// Overhead calibration standing in for one evaluation machine.
+struct PlatformProfile {
+  std::string Name;
+  /// Multiplier on all dispatch/loop overhead constants.
+  double OverheadScale = 1.0;
+
+  static PlatformProfile amd7950x() { return {"AMD-7950X", 1.0}; }
+  static PlatformProfile i7_8700k() { return {"Intel-i7-8700K", 1.45}; }
+  static PlatformProfile m3pro() { return {"Apple-M3-Pro", 0.8}; }
+  /// The three platforms of the paper's evaluation.
+  static std::vector<PlatformProfile> all();
+};
+
+/// A framework preset bound to a platform profile.
+struct BackendConfig {
+  FrameworkKind Kind = FrameworkKind::NumPyEager;
+  PlatformProfile Platform = PlatformProfile::amd7950x();
+
+  /// Ablation overrides; nullopt takes the preset's default.  Disabling
+  /// fusion makes a compiled preset execute op-by-op (at its cheap launch
+  /// cost); disabling rules skips the fixed rewrite pass.
+  std::optional<bool> OverrideFusion;
+  std::optional<bool> OverrideRules;
+
+  std::string name() const {
+    return toString(Kind) + "/" + Platform.Name;
+  }
+
+  /// Per-operation (eager) or per-kernel (compiled) dispatch overhead.
+  double perOpSeconds() const;
+  /// Extra per-iteration interpreter charge for comprehensions (eager
+  /// only; compiled frameworks trace the loop away).
+  double perTripSeconds() const;
+  /// Whether elementwise chains fuse into single kernels.
+  bool fusesElementwise() const;
+  /// The framework's fixed rewrite-rule set.
+  RuleSet rules() const;
+};
+
+/// Compiles a DSL program for one backend configuration and executes or
+/// times it.
+class ExecutionEngine {
+public:
+  explicit ExecutionEngine(BackendConfig Config);
+  ~ExecutionEngine();
+  ExecutionEngine(ExecutionEngine &&);
+  ExecutionEngine &operator=(ExecutionEngine &&);
+
+  /// Captures and optimizes \p P according to the preset.  Must be called
+  /// before execute/measure.
+  void compile(const dsl::Program &P);
+
+  /// Runs the compiled program, paying the preset's overheads.
+  Tensor execute(const dsl::InputBinding &Inputs) const;
+
+  /// Median wall-clock seconds over \p Reps runs (one warm-up first).
+  double measureSeconds(const dsl::InputBinding &Inputs, int Reps = 5) const;
+
+  const BackendConfig &getConfig() const { return Config; }
+  /// The post-rewrite program (for tests inspecting what the framework's
+  /// own rules achieved).
+  const dsl::Program &getCompiledProgram() const;
+
+private:
+  BackendConfig Config;
+  std::unique_ptr<dsl::Program> Compiled;
+};
+
+} // namespace backend
+} // namespace stenso
+
+#endif // STENSO_BACKEND_EXECUTIONENGINE_H

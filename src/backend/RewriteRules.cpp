@@ -1,0 +1,242 @@
+//===- RewriteRules.cpp - Fixed framework rewrite rule sets ---------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/RewriteRules.h"
+
+#include "support/Hashing.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace stenso;
+using namespace stenso::backend;
+using namespace stenso::dsl;
+
+RuleSet RuleSet::xlaLike() {
+  RuleSet R;
+  R.FoldConstants = true;
+  R.EliminateIdentity = true;
+  R.PowerToMultiply = true;
+  R.PowerToChain = true;
+  R.DoubleTranspose = true;
+  R.ExpLogInverse = true;
+  R.CollapseReshapes = true;
+  R.CommonSubexpressions = true;
+  return R;
+}
+
+RuleSet RuleSet::inductorLike() {
+  RuleSet R;
+  R.FoldConstants = true;
+  R.EliminateIdentity = true;
+  R.PowerToMultiply = true;
+  R.PowerToChain = true;
+  R.DoubleTranspose = true;
+  // Inductor's decompositions cover reciprocal-style strength reduction
+  // but (in this stand-in) not the exp/log inverse cancellation.
+  R.DivideByConstant = true;
+  R.CollapseReshapes = true;
+  R.CommonSubexpressions = true;
+  return R;
+}
+
+namespace {
+
+/// Post-order rewriter with optional structural CSE.
+class Rewriter {
+public:
+  Rewriter(Program &Dest, const RuleSet &Rules) : Dest(Dest), Rules(Rules) {}
+
+  const Node *visit(const Node *N) {
+    auto Cached = Memo.find(N);
+    if (Cached != Memo.end())
+      return Cached->second;
+    const Node *Result = rewrite(N);
+    if (Rules.CommonSubexpressions)
+      Result = dedupe(Result);
+    Memo.emplace(N, Result);
+    return Result;
+  }
+
+private:
+  static bool isDefaultTranspose(const Node *N) {
+    return N->getKind() == OpKind::Transpose && N->getAttrs().Perm.empty();
+  }
+
+  std::optional<double> constantValue(const Node *N) {
+    if (N->isConstant())
+      return N->getValue().toDouble();
+    return std::nullopt;
+  }
+
+  const Node *rewrite(const Node *N) {
+    switch (N->getKind()) {
+    case OpKind::Input:
+      return Dest.input(N->getName(), N->getType());
+    case OpKind::Constant:
+      return Dest.constant(N->getValue());
+    case OpKind::Comprehension: {
+      const Node *Iterated = visit(N->getOperand(0));
+      const Node *Var =
+          Dest.loopVar(N->getLoopVar()->getName(), N->getLoopVar()->getType());
+      LoopVars.emplace(N->getLoopVar(), Var);
+      Memo.emplace(N->getLoopVar(), Var);
+      const Node *Body = visit(N->getOperand(1));
+      const Node *Result = Dest.tryMakeComprehension(
+          Iterated, Var, Body, N->getAttrs().Axis.value_or(0));
+      assert(Result && "rewrite broke a comprehension");
+      return Result;
+    }
+    default:
+      break;
+    }
+
+    std::vector<const Node *> Ops;
+    Ops.reserve(N->getNumOperands());
+    for (const Node *Op : N->getOperands())
+      Ops.push_back(visit(Op));
+
+    // Pattern rules on the rebuilt operands.
+    switch (N->getKind()) {
+    case OpKind::Power: {
+      std::optional<double> Exp = constantValue(Ops[1]);
+      if (Rules.PowerToMultiply && Exp && *Exp == 2.0)
+        return Dest.make(OpKind::Multiply, {Ops[0], Ops[0]});
+      if (Rules.PowerToChain && Exp && *Exp == static_cast<int>(*Exp) &&
+          std::abs(*Exp) >= 1 && std::abs(*Exp) <= 8) {
+        int E = std::abs(static_cast<int>(*Exp));
+        const Node *Acc = Ops[0];
+        for (int I = 1; I < E; ++I)
+          Acc = Dest.make(OpKind::Multiply, {Acc, Ops[0]});
+        if (*Exp < 0)
+          Acc = Dest.make(OpKind::Divide, {Dest.constant(Rational(1)), Acc});
+        return Acc;
+      }
+      break;
+    }
+    case OpKind::Transpose:
+      if (Rules.DoubleTranspose && isDefaultTranspose(N) &&
+          isDefaultTranspose(Ops[0]))
+        return Ops[0]->getOperand(0);
+      break;
+    case OpKind::Exp:
+      if (Rules.ExpLogInverse && Ops[0]->getKind() == OpKind::Log)
+        return Ops[0]->getOperand(0);
+      break;
+    case OpKind::Log:
+      if (Rules.ExpLogInverse && Ops[0]->getKind() == OpKind::Exp)
+        return Ops[0]->getOperand(0);
+      break;
+    case OpKind::Reshape:
+      if (Rules.CollapseReshapes) {
+        if (Ops[0]->getKind() == OpKind::Reshape)
+          return Dest.make(OpKind::Reshape, {Ops[0]->getOperand(0)},
+                           N->getAttrs());
+        if (Ops[0]->getType().TShape == N->getAttrs().ShapeAttr)
+          return Ops[0];
+      }
+      break;
+    case OpKind::Add:
+    case OpKind::Subtract:
+      if (Rules.EliminateIdentity) {
+        std::optional<double> Rhs = constantValue(Ops[1]);
+        if (Rhs && *Rhs == 0.0 && Ops[0]->getType() == N->getType())
+          return Ops[0];
+        if (N->getKind() == OpKind::Add) {
+          std::optional<double> Lhs = constantValue(Ops[0]);
+          if (Lhs && *Lhs == 0.0 && Ops[1]->getType() == N->getType())
+            return Ops[1];
+        }
+      }
+      break;
+    case OpKind::Multiply:
+      if (Rules.EliminateIdentity) {
+        for (int Side = 0; Side < 2; ++Side) {
+          std::optional<double> C = constantValue(Ops[static_cast<size_t>(Side)]);
+          const Node *Other = Ops[static_cast<size_t>(1 - Side)];
+          if (C && *C == 1.0 && Other->getType() == N->getType())
+            return Other;
+        }
+      }
+      break;
+    case OpKind::Divide:
+      if (Rules.EliminateIdentity) {
+        std::optional<double> Rhs = constantValue(Ops[1]);
+        if (Rhs && *Rhs == 1.0 && Ops[0]->getType() == N->getType())
+          return Ops[0];
+      }
+      if (Rules.DivideByConstant && Ops[1]->isConstant() &&
+          !Ops[1]->getValue().isZero())
+        return Dest.make(
+            OpKind::Multiply,
+            {Ops[0], Dest.constant(Rational(1) / Ops[1]->getValue())});
+      break;
+    default:
+      break;
+    }
+
+    // Scalar constant folding for elementwise ops.
+    if (Rules.FoldConstants &&
+        (isElementwiseBinary(N->getKind()) ||
+         isElementwiseUnary(N->getKind())) &&
+        N->getType().isScalar()) {
+      bool AllConst = true;
+      for (const Node *Op : Ops)
+        AllConst &= Op->isConstant();
+      if (AllConst && N->getKind() != OpKind::Less) {
+        // Fold through rational arithmetic where exact, else leave.
+        if (N->getKind() == OpKind::Add)
+          return Dest.constant(Ops[0]->getValue() + Ops[1]->getValue());
+        if (N->getKind() == OpKind::Subtract)
+          return Dest.constant(Ops[0]->getValue() - Ops[1]->getValue());
+        if (N->getKind() == OpKind::Multiply)
+          return Dest.constant(Ops[0]->getValue() * Ops[1]->getValue());
+        if (N->getKind() == OpKind::Divide && !Ops[1]->getValue().isZero())
+          return Dest.constant(Ops[0]->getValue() / Ops[1]->getValue());
+      }
+    }
+
+    return Dest.make(N->getKind(), std::move(Ops), N->getAttrs());
+  }
+
+  /// Structural CSE over the destination graph.
+  const Node *dedupe(const Node *N) {
+    std::ostringstream Key;
+    Key << static_cast<int>(N->getKind());
+    if (N->isInput())
+      Key << ":" << N->getName();
+    if (N->isConstant())
+      Key << ":" << N->getValue().toString();
+    for (const Node *Op : N->getOperands())
+      Key << "," << Op;
+    const NodeAttrs &A = N->getAttrs();
+    if (A.Axis)
+      Key << ";x" << *A.Axis;
+    Key << ";k" << A.Diagonal;
+    for (int64_t P : A.Perm)
+      Key << ";p" << P;
+    for (int64_t X : A.AxesA)
+      Key << ";a" << X;
+    for (int64_t X : A.AxesB)
+      Key << ";b" << X;
+    Key << ";s" << A.ShapeAttr.toString();
+    auto [It, Inserted] = CSE.emplace(Key.str(), N);
+    return It->second;
+  }
+
+  Program &Dest;
+  const RuleSet &Rules;
+  std::unordered_map<const Node *, const Node *> Memo;
+  std::unordered_map<const Node *, const Node *> LoopVars;
+  std::unordered_map<std::string, const Node *> CSE;
+};
+
+} // namespace
+
+const Node *backend::applyRewriteRules(Program &Dest, const Node *N,
+                                       const RuleSet &Rules) {
+  return Rewriter(Dest, Rules).visit(N);
+}

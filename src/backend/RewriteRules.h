@@ -1,0 +1,57 @@
+//===- RewriteRules.h - Fixed framework rewrite rule sets ------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *fixed* rewrite rules of the compiled-framework stand-ins.  These
+/// model the pattern-matching passes of XLA (JAX) and TorchInductor: a
+/// small, hard-coded set of local simplifications.  They deliberately do
+/// NOT include the deep rewrites STENSO discovers (diagonal-of-matmul,
+/// reduction-as-contraction, loop vectorization, cross-term factoring) —
+/// reproducing the paper's central claim that fixed rule sets leave those
+/// gains on the table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_BACKEND_REWRITERULES_H
+#define STENSO_BACKEND_REWRITERULES_H
+
+#include "dsl/Node.h"
+
+namespace stenso {
+namespace backend {
+
+/// Which local rules a framework applies.
+struct RuleSet {
+  bool FoldConstants = false;      ///< scalar constant folding
+  bool EliminateIdentity = false;  ///< x+0, x*1, x*0, x/1
+  bool PowerToMultiply = false;    ///< pow(x, 2) -> x*x
+  /// pow(x, c) for small integer c -> multiply chain (and reciprocal for
+  /// negative c); XLA and Inductor both decompose small powers.
+  bool PowerToChain = false;
+  bool DoubleTranspose = false;    ///< (x^T)^T -> x
+  bool ExpLogInverse = false;      ///< exp(log x) -> x, log(exp x) -> x
+  bool CollapseReshapes = false;   ///< reshape(reshape(x)) -> reshape(x)
+  bool DivideByConstant = false;   ///< x / c -> x * (1/c)
+  bool CommonSubexpressions = false; ///< structural CSE
+
+  /// No rewriting at all (NumPy eager).
+  static RuleSet none() { return RuleSet(); }
+  /// The XLA-like algebraic simplifier subset.
+  static RuleSet xlaLike();
+  /// The Inductor-like subset (slightly different coverage).
+  static RuleSet inductorLike();
+};
+
+/// Applies \p Rules to the tree rooted at \p N, rebuilding into \p Dest.
+/// Returns the rewritten root.  CSE (when enabled) may turn the tree into
+/// a DAG.
+const dsl::Node *applyRewriteRules(dsl::Program &Dest, const dsl::Node *N,
+                                   const RuleSet &Rules);
+
+} // namespace backend
+} // namespace stenso
+
+#endif // STENSO_BACKEND_REWRITERULES_H

@@ -1,0 +1,110 @@
+//===- FlopCost.cpp - Analytic FLOP cost model -----------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/FlopCost.h"
+
+#include "support/Error.h"
+
+using namespace stenso;
+using namespace stenso::dsl;
+
+/// Relative weight of transcendental functions versus one add/mul.  XLA's
+/// cost analysis similarly charges a fixed multiplier for exp/log/pow.
+static constexpr double TranscendentalWeight = 4.0;
+
+/// Charge per element written by pure data-movement ops (transpose,
+/// reshape, stack, diag, masking, full).  XLA counts these as zero FLOPs
+/// but does account for bytes accessed; a small per-element charge plays
+/// that role here, so that e.g. transpose(transpose(A)) costs more than A.
+static constexpr double DataMovementWeight = 0.25;
+
+double dsl::flopCostForOp(OpKind Kind, const Shape &OutShape,
+                          const std::vector<Shape> &OperandShapes,
+                          const NodeAttrs &Attrs) {
+  double OutElems = static_cast<double>(OutShape.getNumElements());
+  switch (Kind) {
+  case OpKind::Input:
+  case OpKind::Constant:
+    return 0;
+
+  case OpKind::Add:
+  case OpKind::Subtract:
+  case OpKind::Multiply:
+  case OpKind::Divide:
+  case OpKind::Maximum:
+  case OpKind::Less:
+  case OpKind::Where:
+    return OutElems;
+
+  case OpKind::Power:
+  case OpKind::Sqrt:
+  case OpKind::Exp:
+  case OpKind::Log:
+    return TranscendentalWeight * OutElems;
+
+  case OpKind::Full:
+  case OpKind::Triu:
+  case OpKind::Tril:
+  case OpKind::Transpose:
+  case OpKind::Reshape:
+  case OpKind::Stack:
+  case OpKind::Diag:
+    return DataMovementWeight * OutElems;
+
+  case OpKind::Dot: {
+    // 2 * |out| * contracted extent (multiply + add per element pair).
+    const Shape &A = OperandShapes.at(0);
+    double Contracted = static_cast<double>(A.getDim(A.getRank() - 1));
+    return 2.0 * OutElems * Contracted;
+  }
+  case OpKind::Tensordot: {
+    const Shape &A = OperandShapes.at(0);
+    double Contracted = 1;
+    for (int64_t Axis : Attrs.AxesA)
+      Contracted *= static_cast<double>(A.getDim(A.normalizeAxis(Axis)));
+    return 2.0 * OutElems * Contracted;
+  }
+
+  case OpKind::Trace:
+    return static_cast<double>(std::min(OperandShapes.at(0).getDim(0),
+                                        OperandShapes.at(0).getDim(1)));
+
+  case OpKind::Sum:
+  case OpKind::SumAll:
+  case OpKind::Max:
+  case OpKind::MaxAll:
+    return static_cast<double>(OperandShapes.at(0).getNumElements());
+
+  case OpKind::Comprehension:
+    // Charged by flopCost (body cost times trip count); the stack itself
+    // is free.
+    return 0;
+  }
+  stenso_unreachable("unknown op kind");
+}
+
+double dsl::flopCostOfOp(const Node *N) {
+  std::vector<Shape> OperandShapes;
+  OperandShapes.reserve(N->getNumOperands());
+  for (const Node *Op : N->getOperands())
+    OperandShapes.push_back(Op->getType().TShape);
+  return flopCostForOp(N->getKind(), N->getType().TShape, OperandShapes,
+                       N->getAttrs());
+}
+
+double dsl::flopCost(const Node *N) {
+  if (N->getKind() == OpKind::Comprehension) {
+    double Iterated = flopCost(N->getOperand(0));
+    double Body = flopCost(N->getOperand(1));
+    double Trips = static_cast<double>(
+        N->getOperand(0)->getType().TShape.getDim(0));
+    return Iterated + Trips * Body;
+  }
+  double Total = flopCostOfOp(N);
+  for (const Node *Op : N->getOperands())
+    Total += flopCost(Op);
+  return Total;
+}

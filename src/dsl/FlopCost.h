@@ -1,0 +1,42 @@
+//===- FlopCost.h - Analytic FLOP cost model -------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analytic floating-point-operation cost model, mirroring the JAX /
+/// XLA HLO cost analysis the paper's `flops` estimator wraps (Section
+/// V-B).  Data-movement ops (transpose, reshape, stack, diag, masking)
+/// count zero FLOPs; contractions count 2*|out|*|contracted|; reductions
+/// count |in|; elementwise ops count |out| (transcendentals weighted).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_DSL_FLOPCOST_H
+#define STENSO_DSL_FLOPCOST_H
+
+#include "dsl/Node.h"
+
+namespace stenso {
+namespace dsl {
+
+/// FLOPs of one \p Kind operation with the given result/operand shapes.
+/// This shape-based entry point lets cost models evaluate an op at shapes
+/// other than the node's own (the synthesizer searches at reduced shapes
+/// but costs candidates at the benchmark's original shapes).
+double flopCostForOp(OpKind Kind, const Shape &OutShape,
+                     const std::vector<Shape> &OperandShapes,
+                     const NodeAttrs &Attrs);
+
+/// FLOPs of the single operation at \p N (operands excluded).
+double flopCostOfOp(const Node *N);
+
+/// Total FLOPs of the expression tree rooted at \p N.  Comprehension
+/// bodies are charged once per iteration.
+double flopCost(const Node *N);
+
+} // namespace dsl
+} // namespace stenso
+
+#endif // STENSO_DSL_FLOPCOST_H

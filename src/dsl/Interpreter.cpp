@@ -1,0 +1,170 @@
+//===- Interpreter.cpp - Reference DSL interpreter -------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Interpreter.h"
+
+#include "support/Error.h"
+#include "tensor/TensorOps.h"
+
+#include <memory>
+
+using namespace stenso;
+using namespace stenso::dsl;
+
+Tensor dsl::sliceLeading(const Tensor &T, int64_t Index) {
+  const Shape &S = T.getShape();
+  if (S.getRank() < 1)
+    reportFatalError("cannot slice a scalar");
+  assert(Index >= 0 && Index < S.getDim(0) && "slice index out of range");
+  Shape SliceShape = S.dropAxis(0);
+  int64_t SliceElems = SliceShape.getNumElements();
+  std::vector<double> Data(static_cast<size_t>(SliceElems));
+  const double *Src = T.data() + Index * SliceElems;
+  std::copy(Src, Src + SliceElems, Data.begin());
+  return Tensor(std::move(SliceShape), std::move(Data), T.getDType());
+}
+
+namespace {
+
+/// Pointer-based evaluation: operands are passed by reference and
+/// intermediate results live in an arena, so evaluating a node never
+/// copies tensor payloads (which would otherwise dominate the cost of
+/// cheap kernels and distort the measured cost model).
+class InterpVisitor {
+public:
+  explicit InterpVisitor(const InputBinding &Inputs) : Inputs(Inputs) {}
+
+  const Tensor *visit(const Node *N) {
+    switch (N->getKind()) {
+    case OpKind::Input: {
+      auto Bound = LoopBindings.find(N);
+      if (Bound != LoopBindings.end())
+        return &Bound->second;
+      auto It = Inputs.find(N->getName());
+      if (It == Inputs.end())
+        reportFatalError("unbound input '" + N->getName() + "'");
+      if (It->second.getShape() != N->getType().TShape ||
+          It->second.getDType() != N->getType().Dtype)
+        reportFatalError("input '" + N->getName() +
+                         "' bound with mismatching type");
+      return &It->second;
+    }
+    case OpKind::Constant:
+      return keep(Tensor::scalar(N->getValue().toDouble()));
+    case OpKind::Full:
+      return keep(Tensor::full(N->getAttrs().ShapeAttr,
+                               visit(N->getOperand(0))->item(),
+                               N->getType().Dtype));
+    case OpKind::Add:
+      return keep(tops::add(*visit(N->getOperand(0)),
+                            *visit(N->getOperand(1))));
+    case OpKind::Subtract:
+      return keep(tops::subtract(*visit(N->getOperand(0)),
+                                 *visit(N->getOperand(1))));
+    case OpKind::Multiply:
+      return keep(tops::multiply(*visit(N->getOperand(0)),
+                                 *visit(N->getOperand(1))));
+    case OpKind::Divide:
+      return keep(tops::divide(*visit(N->getOperand(0)),
+                               *visit(N->getOperand(1))));
+    case OpKind::Power:
+      return keep(tops::power(*visit(N->getOperand(0)),
+                              *visit(N->getOperand(1))));
+    case OpKind::Maximum:
+      return keep(tops::maximum(*visit(N->getOperand(0)),
+                                *visit(N->getOperand(1))));
+    case OpKind::Less:
+      return keep(tops::less(*visit(N->getOperand(0)),
+                             *visit(N->getOperand(1))));
+    case OpKind::Sqrt:
+      return keep(tops::sqrt(*visit(N->getOperand(0))));
+    case OpKind::Exp:
+      return keep(tops::exp(*visit(N->getOperand(0))));
+    case OpKind::Log:
+      return keep(tops::log(*visit(N->getOperand(0))));
+    case OpKind::Where:
+      return keep(tops::where(*visit(N->getOperand(0)),
+                              *visit(N->getOperand(1)),
+                              *visit(N->getOperand(2))));
+    case OpKind::Triu:
+      return keep(tops::triu(*visit(N->getOperand(0)),
+                             N->getAttrs().Diagonal));
+    case OpKind::Tril:
+      return keep(tops::tril(*visit(N->getOperand(0)),
+                             N->getAttrs().Diagonal));
+    case OpKind::Dot:
+      return keep(tops::dot(*visit(N->getOperand(0)),
+                            *visit(N->getOperand(1))));
+    case OpKind::Tensordot:
+      return keep(tops::tensordot(*visit(N->getOperand(0)),
+                                  *visit(N->getOperand(1)),
+                                  N->getAttrs().AxesA, N->getAttrs().AxesB));
+    case OpKind::Diag:
+      return keep(tops::diag(*visit(N->getOperand(0))));
+    case OpKind::Trace:
+      return keep(tops::trace(*visit(N->getOperand(0))));
+    case OpKind::Transpose:
+      return keep(tops::transpose(*visit(N->getOperand(0)),
+                                  N->getAttrs().Perm));
+    case OpKind::Reshape:
+      return keep(tops::reshape(*visit(N->getOperand(0)),
+                                N->getAttrs().ShapeAttr));
+    case OpKind::Stack: {
+      std::vector<Tensor> Parts;
+      Parts.reserve(N->getNumOperands());
+      for (const Node *Op : N->getOperands())
+        Parts.push_back(*visit(Op));
+      return keep(tops::stack(Parts, N->getAttrs().Axis.value_or(0)));
+    }
+    case OpKind::Sum:
+      return keep(tops::sum(*visit(N->getOperand(0)), *N->getAttrs().Axis));
+    case OpKind::SumAll:
+      return keep(tops::sumAll(*visit(N->getOperand(0))));
+    case OpKind::Max:
+      return keep(tops::max(*visit(N->getOperand(0)), *N->getAttrs().Axis));
+    case OpKind::MaxAll:
+      return keep(tops::maxAll(*visit(N->getOperand(0))));
+    case OpKind::Comprehension: {
+      const Tensor *Iterated = visit(N->getOperand(0));
+      int64_t Count = Iterated->getShape().getDim(0);
+      std::vector<Tensor> Parts;
+      Parts.reserve(static_cast<size_t>(Count));
+      for (int64_t I = 0; I < Count; ++I) {
+        // Bind the loop variable for this iteration and evaluate the body
+        // afresh (the body depends on the binding).
+        LoopBindings.insert_or_assign(N->getLoopVar(),
+                                      sliceLeading(*Iterated, I));
+        Parts.push_back(*visit(N->getOperand(1)));
+      }
+      LoopBindings.erase(N->getLoopVar());
+      return keep(tops::stack(Parts, N->getAttrs().Axis.value_or(0)));
+    }
+    }
+    stenso_unreachable("unknown op kind");
+  }
+
+private:
+  const Tensor *keep(Tensor T) {
+    Arena.push_back(std::make_unique<Tensor>(std::move(T)));
+    return Arena.back().get();
+  }
+
+  const InputBinding &Inputs;
+  std::unordered_map<const Node *, Tensor> LoopBindings;
+  std::vector<std::unique_ptr<Tensor>> Arena;
+};
+
+} // namespace
+
+Tensor dsl::interpret(const Node *N, const InputBinding &Inputs) {
+  InterpVisitor Visitor(Inputs);
+  return *Visitor.visit(N);
+}
+
+Tensor dsl::interpretProgram(const Program &P, const InputBinding &Inputs) {
+  assert(P.getRoot() && "program has no root");
+  return interpret(P.getRoot(), Inputs);
+}

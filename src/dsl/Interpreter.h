@@ -1,0 +1,43 @@
+//===- Interpreter.h - Reference DSL interpreter ---------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference (specification) interpreter of the tensor DSL: evaluates
+/// a program on concrete tensors through the tensor runtime.  Performance
+/// measurement uses the backend execution engines instead; this
+/// interpreter defines correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_DSL_INTERPRETER_H
+#define STENSO_DSL_INTERPRETER_H
+
+#include "dsl/Node.h"
+#include "tensor/Tensor.h"
+
+#include <unordered_map>
+
+namespace stenso {
+namespace dsl {
+
+/// Assignment of concrete tensors to input names.
+using InputBinding = std::unordered_map<std::string, Tensor>;
+
+/// Evaluates \p N under \p Inputs.  Aborts on unbound inputs or dtype
+/// mismatches against the declared input types.
+Tensor interpret(const Node *N, const InputBinding &Inputs);
+
+/// Evaluates a program's root.
+Tensor interpretProgram(const Program &P, const InputBinding &Inputs);
+
+/// Extracts slice \p Index along axis 0 of \p T (helper shared with the
+/// backends' comprehension handling).
+Tensor sliceLeading(const Tensor &T, int64_t Index);
+
+} // namespace dsl
+} // namespace stenso
+
+#endif // STENSO_DSL_INTERPRETER_H

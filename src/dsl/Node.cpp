@@ -1,0 +1,393 @@
+//===- Node.cpp - Tensor DSL AST and program arena ------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Node.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace stenso;
+using namespace stenso::dsl;
+
+int64_t Node::countOps() const {
+  if (Kind == OpKind::Input || Kind == OpKind::Constant)
+    return 0;
+  int64_t N = 1;
+  for (const Node *Op : Operands)
+    N += Op->countOps();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Type inference
+//===----------------------------------------------------------------------===//
+
+/// Non-aborting axis normalization.
+static std::optional<int64_t> tryNormalizeAxis(const Shape &S, int64_t Axis) {
+  int64_t Rank = S.getRank();
+  if (Axis < 0)
+    Axis += Rank;
+  if (Axis < 0 || Axis >= Rank)
+    return std::nullopt;
+  return Axis;
+}
+
+std::optional<TensorType>
+dsl::inferType(OpKind Kind, const std::vector<TensorType> &Ops,
+               const NodeAttrs &Attrs) {
+  auto AllFloat = [&] {
+    return std::all_of(Ops.begin(), Ops.end(), [](const TensorType &T) {
+      return T.Dtype == DType::Float64;
+    });
+  };
+
+  if (isElementwiseBinary(Kind)) {
+    if (Ops.size() != 2 || !AllFloat())
+      return std::nullopt;
+    std::optional<Shape> Out = Shape::broadcast(Ops[0].TShape, Ops[1].TShape);
+    if (!Out)
+      return std::nullopt;
+    DType Dtype = Kind == OpKind::Less ? DType::Bool : DType::Float64;
+    return TensorType{Dtype, *Out};
+  }
+
+  if (isElementwiseUnary(Kind)) {
+    if (Ops.size() != 1 || !AllFloat())
+      return std::nullopt;
+    return Ops[0];
+  }
+
+  switch (Kind) {
+  case OpKind::Full: {
+    if (Ops.size() != 1 || !Ops[0].isScalar())
+      return std::nullopt;
+    return TensorType{Ops[0].Dtype, Attrs.ShapeAttr};
+  }
+
+  case OpKind::Where: {
+    if (Ops.size() != 3 || Ops[0].Dtype != DType::Bool ||
+        Ops[1].Dtype != DType::Float64 || Ops[2].Dtype != DType::Float64)
+      return std::nullopt;
+    std::optional<Shape> CondAB =
+        Shape::broadcast(Ops[0].TShape, Ops[1].TShape);
+    if (!CondAB)
+      return std::nullopt;
+    std::optional<Shape> Out = Shape::broadcast(*CondAB, Ops[2].TShape);
+    if (!Out)
+      return std::nullopt;
+    return TensorType{DType::Float64, *Out};
+  }
+
+  case OpKind::Triu:
+  case OpKind::Tril: {
+    if (Ops.size() != 1 || Ops[0].TShape.getRank() != 2)
+      return std::nullopt;
+    return Ops[0];
+  }
+
+  case OpKind::Dot: {
+    if (Ops.size() != 2 || !AllFloat())
+      return std::nullopt;
+    const Shape &A = Ops[0].TShape, &B = Ops[1].TShape;
+    if (A.getRank() < 1 || B.getRank() < 1)
+      return std::nullopt;
+    int64_t ContractA = A.getRank() - 1;
+    int64_t ContractB = B.getRank() == 1 ? 0 : B.getRank() - 2;
+    if (A.getDim(ContractA) != B.getDim(ContractB))
+      return std::nullopt;
+    std::vector<int64_t> Out;
+    for (int64_t I = 0; I < A.getRank() - 1; ++I)
+      Out.push_back(A.getDim(I));
+    for (int64_t I = 0; I < B.getRank(); ++I)
+      if (I != ContractB)
+        Out.push_back(B.getDim(I));
+    return TensorType{DType::Float64, Shape(Out)};
+  }
+
+  case OpKind::Tensordot: {
+    if (Ops.size() != 2 || !AllFloat() ||
+        Attrs.AxesA.size() != Attrs.AxesB.size() || Attrs.AxesA.empty())
+      return std::nullopt;
+    const Shape &A = Ops[0].TShape, &B = Ops[1].TShape;
+    std::vector<int64_t> NA, NB;
+    for (int64_t Axis : Attrs.AxesA) {
+      std::optional<int64_t> N = tryNormalizeAxis(A, Axis);
+      if (!N || std::find(NA.begin(), NA.end(), *N) != NA.end())
+        return std::nullopt;
+      NA.push_back(*N);
+    }
+    for (int64_t Axis : Attrs.AxesB) {
+      std::optional<int64_t> N = tryNormalizeAxis(B, Axis);
+      if (!N || std::find(NB.begin(), NB.end(), *N) != NB.end())
+        return std::nullopt;
+      NB.push_back(*N);
+    }
+    for (size_t I = 0; I < NA.size(); ++I)
+      if (A.getDim(NA[I]) != B.getDim(NB[I]))
+        return std::nullopt;
+    std::vector<int64_t> Out;
+    for (int64_t I = 0; I < A.getRank(); ++I)
+      if (std::find(NA.begin(), NA.end(), I) == NA.end())
+        Out.push_back(A.getDim(I));
+    for (int64_t I = 0; I < B.getRank(); ++I)
+      if (std::find(NB.begin(), NB.end(), I) == NB.end())
+        Out.push_back(B.getDim(I));
+    return TensorType{DType::Float64, Shape(Out)};
+  }
+
+  case OpKind::Diag: {
+    if (Ops.size() != 1 || !AllFloat() || Ops[0].TShape.getRank() != 2)
+      return std::nullopt;
+    int64_t N = std::min(Ops[0].TShape.getDim(0), Ops[0].TShape.getDim(1));
+    return TensorType{DType::Float64, Shape({N})};
+  }
+
+  case OpKind::Trace: {
+    if (Ops.size() != 1 || !AllFloat() || Ops[0].TShape.getRank() != 2)
+      return std::nullopt;
+    return TensorType{DType::Float64, Shape()};
+  }
+
+  case OpKind::Transpose: {
+    if (Ops.size() != 1)
+      return std::nullopt;
+    const Shape &S = Ops[0].TShape;
+    int64_t Rank = S.getRank();
+    if (Rank < 2 && !Attrs.Perm.empty())
+      return std::nullopt;
+    std::vector<int64_t> Perm = Attrs.Perm;
+    if (Perm.empty())
+      for (int64_t I = Rank - 1; I >= 0; --I)
+        Perm.push_back(I);
+    if (static_cast<int64_t>(Perm.size()) != Rank)
+      return std::nullopt;
+    std::vector<bool> Seen(static_cast<size_t>(Rank), false);
+    std::vector<int64_t> Out;
+    for (int64_t P : Perm) {
+      std::optional<int64_t> N = tryNormalizeAxis(S, P);
+      if (!N || Seen[static_cast<size_t>(*N)])
+        return std::nullopt;
+      Seen[static_cast<size_t>(*N)] = true;
+      Out.push_back(S.getDim(*N));
+    }
+    return TensorType{Ops[0].Dtype, Shape(Out)};
+  }
+
+  case OpKind::Reshape: {
+    if (Ops.size() != 1 ||
+        Ops[0].TShape.getNumElements() != Attrs.ShapeAttr.getNumElements())
+      return std::nullopt;
+    return TensorType{Ops[0].Dtype, Attrs.ShapeAttr};
+  }
+
+  case OpKind::Stack: {
+    if (Ops.empty())
+      return std::nullopt;
+    for (const TensorType &T : Ops)
+      if (T != Ops[0])
+        return std::nullopt;
+    int64_t OutRank = Ops[0].TShape.getRank() + 1;
+    int64_t Axis = Attrs.Axis.value_or(0);
+    if (Axis < 0)
+      Axis += OutRank;
+    if (Axis < 0 || Axis >= OutRank)
+      return std::nullopt;
+    return TensorType{Ops[0].Dtype,
+                      Ops[0].TShape.insertAxis(
+                          Axis, static_cast<int64_t>(Ops.size()))};
+  }
+
+  case OpKind::Sum:
+  case OpKind::Max: {
+    if (Ops.size() != 1 || !AllFloat() || !Attrs.Axis)
+      return std::nullopt;
+    std::optional<int64_t> Axis = tryNormalizeAxis(Ops[0].TShape, *Attrs.Axis);
+    if (!Axis)
+      return std::nullopt;
+    if (Kind == OpKind::Max && Ops[0].TShape.getDim(*Axis) == 0)
+      return std::nullopt;
+    return TensorType{DType::Float64, Ops[0].TShape.dropAxis(*Axis)};
+  }
+
+  case OpKind::SumAll:
+  case OpKind::MaxAll: {
+    if (Ops.size() != 1 || !AllFloat() || Ops[0].TShape.getRank() < 1)
+      return std::nullopt;
+    if (Kind == OpKind::MaxAll && Ops[0].TShape.getNumElements() == 0)
+      return std::nullopt;
+    return TensorType{DType::Float64, Shape()};
+  }
+
+  case OpKind::Input:
+  case OpKind::Constant:
+  case OpKind::Comprehension:
+    // Built through dedicated factories, never through inferType.
+    return std::nullopt;
+
+  case OpKind::Add:
+  case OpKind::Subtract:
+  case OpKind::Multiply:
+  case OpKind::Divide:
+  case OpKind::Power:
+  case OpKind::Maximum:
+  case OpKind::Less:
+  case OpKind::Sqrt:
+  case OpKind::Exp:
+  case OpKind::Log:
+    break; // handled by the elementwise fast paths above
+  }
+  stenso_unreachable("unknown op kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Program factories
+//===----------------------------------------------------------------------===//
+
+const Node *Program::input(const std::string &Name, TensorType Type) {
+  auto It = InputsByName.find(Name);
+  if (It != InputsByName.end()) {
+    if (It->second->getType() != Type)
+      reportFatalError("input '" + Name + "' redeclared with type " +
+                       Type.toString() + " (was " +
+                       It->second->getType().toString() + ")");
+    return It->second;
+  }
+  auto N = std::unique_ptr<Node>(
+      new Node(OpKind::Input, {}, NodeAttrs(), std::move(Type)));
+  N->Name = Name;
+  const Node *Result = adopt(std::move(N));
+  Inputs.push_back(Result);
+  InputsByName.emplace(Name, Result);
+  return Result;
+}
+
+const Node *Program::loopVar(const std::string &Name, TensorType Type) {
+  auto N = std::unique_ptr<Node>(
+      new Node(OpKind::Input, {}, NodeAttrs(), std::move(Type)));
+  N->Name = Name;
+  return adopt(std::move(N));
+}
+
+const Node *Program::constant(const Rational &Value) {
+  auto N = std::unique_ptr<Node>(new Node(
+      OpKind::Constant, {}, NodeAttrs(), TensorType{DType::Float64, Shape()}));
+  N->Value = Value;
+  return adopt(std::move(N));
+}
+
+const Node *Program::tryMake(OpKind Kind, std::vector<const Node *> Operands,
+                             NodeAttrs Attrs) {
+  assert(Kind != OpKind::Input && Kind != OpKind::Constant &&
+         Kind != OpKind::Comprehension &&
+         "use the dedicated factory for this kind");
+  std::vector<TensorType> Types;
+  Types.reserve(Operands.size());
+  for (const Node *Op : Operands) {
+    assert(Op && "null operand");
+    Types.push_back(Op->getType());
+  }
+  std::optional<TensorType> Type = inferType(Kind, Types, Attrs);
+  if (!Type)
+    return nullptr;
+  return adopt(std::unique_ptr<Node>(
+      new Node(Kind, std::move(Operands), std::move(Attrs), *Type)));
+}
+
+const Node *Program::make(OpKind Kind, std::vector<const Node *> Operands,
+                          NodeAttrs Attrs) {
+  std::string Signature = getOpName(Kind) + "(";
+  for (size_t I = 0; I < Operands.size(); ++I) {
+    if (I)
+      Signature += ", ";
+    Signature += Operands[I]->getType().toString();
+  }
+  Signature += ")";
+  const Node *Result = tryMake(Kind, std::move(Operands), std::move(Attrs));
+  if (!Result)
+    reportFatalError("type error building " + Signature);
+  return Result;
+}
+
+const Node *Program::tryMakeComprehension(const Node *Iterated,
+                                          const Node *Var, const Node *Body,
+                                          int64_t Axis) {
+  const Shape &IterShape = Iterated->getType().TShape;
+  if (IterShape.getRank() < 1 || IterShape.getDim(0) < 1)
+    return nullptr;
+  TensorType SliceType{Iterated->getType().Dtype, IterShape.dropAxis(0)};
+  if (Var->getType() != SliceType)
+    return nullptr;
+  int64_t N = IterShape.getDim(0);
+  int64_t OutRank = Body->getType().TShape.getRank() + 1;
+  if (Axis < 0)
+    Axis += OutRank;
+  if (Axis < 0 || Axis >= OutRank)
+    return nullptr;
+  TensorType Type{Body->getType().Dtype,
+                  Body->getType().TShape.insertAxis(Axis, N)};
+  NodeAttrs Attrs;
+  Attrs.Axis = Axis;
+  auto Node_ = std::unique_ptr<Node>(new Node(
+      OpKind::Comprehension, {Iterated, Body}, std::move(Attrs), Type));
+  Node_->LoopVar = Var;
+  return adopt(std::move(Node_));
+}
+
+const Node *Program::findInput(const std::string &Name) const {
+  auto It = InputsByName.find(Name);
+  return It == InputsByName.end() ? nullptr : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Cloning
+//===----------------------------------------------------------------------===//
+
+const Node *
+Program::cloneRec(Program &Dest, const Node *N,
+                  std::unordered_map<const Node *, const Node *> &Map) {
+  auto It = Map.find(N);
+  if (It != Map.end())
+    return It->second;
+
+  const Node *Result = nullptr;
+  switch (N->getKind()) {
+  case OpKind::Input:
+    // Loop variables are pre-seeded in Map by the Comprehension case; an
+    // unmapped Input is a real program input.
+    Result = Dest.input(N->getName(), N->getType());
+    break;
+  case OpKind::Constant:
+    Result = Dest.constant(N->getValue());
+    break;
+  case OpKind::Comprehension: {
+    const Node *Iterated = cloneRec(Dest, N->getOperand(0), Map);
+    const Node *Var =
+        Dest.loopVar(N->getLoopVar()->getName(), N->getLoopVar()->getType());
+    Map.emplace(N->getLoopVar(), Var);
+    const Node *Body = cloneRec(Dest, N->getOperand(1), Map);
+    Result = Dest.tryMakeComprehension(Iterated, Var, Body,
+                                       N->getAttrs().Axis.value_or(0));
+    assert(Result && "clone of well-typed comprehension failed");
+    break;
+  }
+  default: {
+    std::vector<const Node *> Ops;
+    Ops.reserve(N->getNumOperands());
+    for (const Node *Op : N->getOperands())
+      Ops.push_back(cloneRec(Dest, Op, Map));
+    Result = Dest.make(N->getKind(), std::move(Ops), N->getAttrs());
+    break;
+  }
+  }
+  Map.emplace(N, Result);
+  return Result;
+}
+
+const Node *Program::cloneInto(Program &Dest, const Node *N) {
+  std::unordered_map<const Node *, const Node *> Map;
+  return cloneRec(Dest, N, Map);
+}

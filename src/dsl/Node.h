@@ -1,0 +1,234 @@
+//===- Node.h - Tensor DSL AST and program arena ---------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tensor DSL program representation: an immutable expression DAG over
+/// named inputs and rational constants, owned by a Program arena.  Every
+/// node carries its statically inferred TensorType; construction goes
+/// through Program's factory, which performs shape/type inference and
+/// returns null for ill-typed combinations (the enumerator relies on this
+/// to discard invalid stubs, Section IV-B of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_DSL_NODE_H
+#define STENSO_DSL_NODE_H
+
+#include "dsl/Ops.h"
+#include "support/Rational.h"
+#include "tensor/Shape.h"
+#include "tensor/Tensor.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stenso {
+namespace dsl {
+
+/// Static type of a DSL value: element dtype plus shape.
+struct TensorType {
+  DType Dtype = DType::Float64;
+  Shape TShape;
+
+  bool isScalar() const { return TShape.isScalar(); }
+  bool operator==(const TensorType &RHS) const {
+    return Dtype == RHS.Dtype && TShape == RHS.TShape;
+  }
+  bool operator!=(const TensorType &RHS) const { return !(*this == RHS); }
+  std::string toString() const {
+    return stenso::toString(Dtype) + TShape.toString();
+  }
+};
+
+/// Attribute payload; which fields are meaningful depends on the OpKind.
+struct NodeAttrs {
+  std::optional<int64_t> Axis;       ///< Sum / Max / Stack / Comprehension
+  int64_t Diagonal = 0;              ///< Triu / Tril offset k
+  std::vector<int64_t> Perm;         ///< Transpose (empty = reverse)
+  std::vector<int64_t> AxesA, AxesB; ///< Tensordot contraction axes
+  Shape ShapeAttr;                   ///< Reshape / Full target shape
+
+  bool operator==(const NodeAttrs &RHS) const {
+    return Axis == RHS.Axis && Diagonal == RHS.Diagonal && Perm == RHS.Perm &&
+           AxesA == RHS.AxesA && AxesB == RHS.AxesB &&
+           ShapeAttr == RHS.ShapeAttr;
+  }
+};
+
+/// One node of the DSL expression DAG.
+class Node {
+public:
+  OpKind getKind() const { return Kind; }
+  const TensorType &getType() const { return Type; }
+  const NodeAttrs &getAttrs() const { return Attrs; }
+
+  const std::vector<const Node *> &getOperands() const { return Operands; }
+  size_t getNumOperands() const { return Operands.size(); }
+  const Node *getOperand(size_t I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+
+  /// Input / loop-variable name (Input nodes only).
+  const std::string &getName() const { return Name; }
+  /// Literal value (Constant nodes only).
+  const Rational &getValue() const { return Value; }
+
+  /// Comprehension only: the loop-variable Input node bound inside the
+  /// body (operand 1); it ranges over slices of operand 0.
+  const Node *getLoopVar() const { return LoopVar; }
+
+  bool isInput() const { return Kind == OpKind::Input; }
+  bool isConstant() const { return Kind == OpKind::Constant; }
+
+  /// Number of operation nodes in the tree expansion (leaves excluded).
+  int64_t countOps() const;
+
+private:
+  friend class Program;
+  Node(OpKind Kind, std::vector<const Node *> Operands, NodeAttrs Attrs,
+       TensorType Type)
+      : Kind(Kind), Operands(std::move(Operands)), Attrs(std::move(Attrs)),
+        Type(std::move(Type)) {}
+
+  OpKind Kind;
+  std::vector<const Node *> Operands;
+  NodeAttrs Attrs;
+  TensorType Type;
+  std::string Name;   // Input
+  Rational Value;     // Constant
+  const Node *LoopVar = nullptr; // Comprehension
+};
+
+/// Infers the result type of an op applied to operand types; nullopt when
+/// ill-typed.  Exposed for the enumerator's pre-construction filtering.
+std::optional<TensorType>
+inferType(OpKind Kind, const std::vector<TensorType> &OperandTypes,
+          const NodeAttrs &Attrs);
+
+/// An arena owning a DSL expression DAG, its named inputs, and a
+/// distinguished root.  Factories intern nothing (trees stay trees), but
+/// validate types.
+class Program {
+public:
+  Program() = default;
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  //===--------------------------------------------------------------------===//
+  // Leaves
+  //===--------------------------------------------------------------------===//
+
+  /// Declares (or returns the existing) named input of the given type.
+  /// Redeclaring with a different type aborts.
+  const Node *input(const std::string &Name, TensorType Type);
+
+  /// A rational scalar literal (f64 rank 0).
+  const Node *constant(const Rational &Value);
+
+  //===--------------------------------------------------------------------===//
+  // Generic op construction
+  //===--------------------------------------------------------------------===//
+
+  /// Builds a node if the combination type-checks; returns null otherwise.
+  /// Input/Constant/Comprehension must use their dedicated factories.
+  const Node *tryMake(OpKind Kind, std::vector<const Node *> Operands,
+                      NodeAttrs Attrs = {});
+
+  /// Like tryMake but aborts with a diagnostic on a type error.  Use for
+  /// hand-written programs; the enumerator uses tryMake.
+  const Node *make(OpKind Kind, std::vector<const Node *> Operands,
+                   NodeAttrs Attrs = {});
+
+  /// Builds a comprehension: stack([Body(Var) for Var in Iterated], axis).
+  /// \p Var must have been created with loopVar() and have the slice type
+  /// of \p Iterated.  Returns null on type mismatch.
+  const Node *tryMakeComprehension(const Node *Iterated, const Node *Var,
+                                   const Node *Body, int64_t Axis = 0);
+
+  /// Creates the loop-variable placeholder for a comprehension body.
+  const Node *loopVar(const std::string &Name, TensorType Type);
+
+  //===--------------------------------------------------------------------===//
+  // Convenience builders (abort on type error)
+  //===--------------------------------------------------------------------===//
+
+  const Node *add(const Node *A, const Node *B) {
+    return make(OpKind::Add, {A, B});
+  }
+  const Node *subtract(const Node *A, const Node *B) {
+    return make(OpKind::Subtract, {A, B});
+  }
+  const Node *multiply(const Node *A, const Node *B) {
+    return make(OpKind::Multiply, {A, B});
+  }
+  const Node *divide(const Node *A, const Node *B) {
+    return make(OpKind::Divide, {A, B});
+  }
+  const Node *power(const Node *A, const Node *B) {
+    return make(OpKind::Power, {A, B});
+  }
+  const Node *dot(const Node *A, const Node *B) {
+    return make(OpKind::Dot, {A, B});
+  }
+  const Node *sqrtOp(const Node *A) { return make(OpKind::Sqrt, {A}); }
+  const Node *expOp(const Node *A) { return make(OpKind::Exp, {A}); }
+  const Node *logOp(const Node *A) { return make(OpKind::Log, {A}); }
+  const Node *transpose(const Node *A, std::vector<int64_t> Perm = {}) {
+    NodeAttrs Attrs;
+    Attrs.Perm = std::move(Perm);
+    return make(OpKind::Transpose, {A}, Attrs);
+  }
+  const Node *sum(const Node *A, int64_t Axis) {
+    NodeAttrs Attrs;
+    Attrs.Axis = Axis;
+    return make(OpKind::Sum, {A}, Attrs);
+  }
+  const Node *sumAll(const Node *A) { return make(OpKind::SumAll, {A}); }
+
+  //===--------------------------------------------------------------------===//
+  // Program structure
+  //===--------------------------------------------------------------------===//
+
+  void setRoot(const Node *N) { Root = N; }
+  const Node *getRoot() const { return Root; }
+
+  /// Declared inputs in declaration order (excludes loop variables).
+  const std::vector<const Node *> &getInputs() const { return Inputs; }
+  const Node *findInput(const std::string &Name) const;
+
+  /// Deep-copies the subtree \p N into \p Dest, mapping this program's
+  /// inputs to \p Dest inputs of the same name (declared on demand).
+  /// Returns the copied root.
+  static const Node *cloneInto(Program &Dest, const Node *N);
+
+  size_t getNumNodes() const { return Nodes.size(); }
+
+private:
+  const Node *adopt(std::unique_ptr<Node> N) {
+    Nodes.push_back(std::move(N));
+    return Nodes.back().get();
+  }
+
+  static const Node *cloneRec(
+      Program &Dest, const Node *N,
+      std::unordered_map<const Node *, const Node *> &Map);
+
+  std::vector<std::unique_ptr<Node>> Nodes;
+  std::vector<const Node *> Inputs;
+  std::unordered_map<std::string, const Node *> InputsByName;
+  const Node *Root = nullptr;
+};
+
+} // namespace dsl
+} // namespace stenso
+
+#endif // STENSO_DSL_NODE_H

@@ -1,0 +1,113 @@
+//===- Ops.cpp - Tensor DSL operation kinds -------------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Ops.h"
+
+#include "support/Error.h"
+
+using namespace stenso;
+using namespace stenso::dsl;
+
+std::string dsl::getOpName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Input:
+    return "input";
+  case OpKind::Constant:
+    return "const";
+  case OpKind::Full:
+    return "np.full";
+  case OpKind::Add:
+    return "np.add";
+  case OpKind::Subtract:
+    return "np.subtract";
+  case OpKind::Multiply:
+    return "np.multiply";
+  case OpKind::Divide:
+    return "np.divide";
+  case OpKind::Power:
+    return "np.power";
+  case OpKind::Maximum:
+    return "np.maximum";
+  case OpKind::Less:
+    return "np.less";
+  case OpKind::Sqrt:
+    return "np.sqrt";
+  case OpKind::Exp:
+    return "np.exp";
+  case OpKind::Log:
+    return "np.log";
+  case OpKind::Where:
+    return "np.where";
+  case OpKind::Triu:
+    return "np.triu";
+  case OpKind::Tril:
+    return "np.tril";
+  case OpKind::Dot:
+    return "np.dot";
+  case OpKind::Tensordot:
+    return "np.tensordot";
+  case OpKind::Diag:
+    return "np.diag";
+  case OpKind::Trace:
+    return "np.trace";
+  case OpKind::Transpose:
+    return "np.transpose";
+  case OpKind::Reshape:
+    return "np.reshape";
+  case OpKind::Stack:
+    return "np.stack";
+  case OpKind::Sum:
+  case OpKind::SumAll:
+    return "np.sum";
+  case OpKind::Max:
+  case OpKind::MaxAll:
+    return "np.max";
+  case OpKind::Comprehension:
+    return "comprehension";
+  }
+  stenso_unreachable("unknown op kind");
+}
+
+bool dsl::isElementwiseBinary(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Add:
+  case OpKind::Subtract:
+  case OpKind::Multiply:
+  case OpKind::Divide:
+  case OpKind::Power:
+  case OpKind::Maximum:
+  case OpKind::Less:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool dsl::isElementwiseUnary(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Sqrt:
+  case OpKind::Exp:
+  case OpKind::Log:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool dsl::isDataMovement(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Transpose:
+  case OpKind::Reshape:
+  case OpKind::Stack:
+  case OpKind::Diag:
+  case OpKind::Triu:
+  case OpKind::Tril:
+  case OpKind::Full:
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,88 @@
+//===- Ops.h - Tensor DSL operation kinds ----------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operation vocabulary of the NumPy-subset tensor DSL.  This is the
+/// grammar of the paper's Figure 3 plus the operations its benchmark suite
+/// uses (diag, trace, stack, exp, log, max, reshape, and the
+/// list-comprehension construct that vec_lerp / synth_10 need).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_DSL_OPS_H
+#define STENSO_DSL_OPS_H
+
+#include <string>
+
+namespace stenso {
+namespace dsl {
+
+/// Every node kind of the DSL AST.
+enum class OpKind {
+  // Leaves.
+  Input,    ///< A named program input.
+  Constant, ///< A rational scalar literal.
+
+  // Creation.
+  Full, ///< np.full(shape, scalar)
+
+  // Elementwise binary (broadcasting).
+  Add,
+  Subtract,
+  Multiply,
+  Divide,
+  Power,
+  Maximum,
+  Less, ///< boolean-valued
+
+  // Elementwise unary.
+  Sqrt,
+  Exp,
+  Log,
+
+  // Selection / masking.
+  Where,
+  Triu,
+  Tril,
+
+  // Contractions and linear algebra.
+  Dot,
+  Tensordot,
+  Diag,
+  Trace,
+
+  // Structure.
+  Transpose,
+  Reshape,
+  Stack,
+
+  // Reductions.
+  Sum,    ///< along one axis
+  SumAll, ///< full reduction to a scalar
+  Max,    ///< along one axis
+  MaxAll, ///< full reduction to a scalar
+
+  // Iteration (Python list comprehension over the leading axis).
+  Comprehension,
+};
+
+/// NumPy-flavored spelling used by the printer ("np.add", "np.dot", ...).
+std::string getOpName(OpKind Kind);
+
+/// True for the elementwise, broadcasting, two-operand arithmetic ops.
+bool isElementwiseBinary(OpKind Kind);
+
+/// True for the one-operand elementwise math functions.
+bool isElementwiseUnary(OpKind Kind);
+
+/// True when the op only rearranges or selects data and performs no
+/// floating-point arithmetic (transpose, reshape, stack, diag, triu/tril).
+bool isDataMovement(OpKind Kind);
+
+} // namespace dsl
+} // namespace stenso
+
+#endif // STENSO_DSL_OPS_H

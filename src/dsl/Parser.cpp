@@ -1,0 +1,663 @@
+//===- Parser.cpp - NumPy-subset expression parser -------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Parser.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace stenso;
+using namespace stenso::dsl;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    Ident,
+    Number,
+    Punct, ///< single-character punctuation/operator in Text[0]
+    StarStar,
+    End,
+  };
+  Kind K = Kind::End;
+  std::string Text;
+  size_t Pos = 0;
+
+  bool isPunct(char C) const { return K == Kind::Punct && Text[0] == C; }
+  bool isIdent(const char *S) const { return K == Kind::Ident && Text == S; }
+};
+
+/// Lexes the whole source up front; the parser indexes into the vector so
+/// that comprehension parsing can jump around.
+bool lexAll(const std::string &Src, std::vector<Token> &Out,
+            std::string &Error) {
+  size_t I = 0;
+  while (I < Src.size()) {
+    char C = Src[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    Token T;
+    T.Pos = I;
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t J = I;
+      while (J < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[J])) ||
+              Src[J] == '_'))
+        ++J;
+      T.K = Token::Kind::Ident;
+      T.Text = Src.substr(I, J - I);
+      I = J;
+    } else if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t J = I;
+      bool SeenDot = false;
+      while (J < Src.size() &&
+             (std::isdigit(static_cast<unsigned char>(Src[J])) ||
+              (Src[J] == '.' && !SeenDot &&
+               J + 1 < Src.size() &&
+               std::isdigit(static_cast<unsigned char>(Src[J + 1]))))) {
+        if (Src[J] == '.')
+          SeenDot = true;
+        ++J;
+      }
+      T.K = Token::Kind::Number;
+      T.Text = Src.substr(I, J - I);
+      I = J;
+    } else if (C == '*' && I + 1 < Src.size() && Src[I + 1] == '*') {
+      T.K = Token::Kind::StarStar;
+      T.Text = "**";
+      I += 2;
+    } else if (std::string("()[],.=<@+-*/").find(C) != std::string::npos) {
+      T.K = Token::Kind::Punct;
+      T.Text = std::string(1, C);
+      ++I;
+    } else {
+      Error = "unexpected character '" + std::string(1, C) + "' at offset " +
+              std::to_string(I);
+      return false;
+    }
+    Out.push_back(std::move(T));
+  }
+  Token End;
+  End.K = Token::Kind::End;
+  End.Pos = Src.size();
+  Out.push_back(End);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, const InputDecls &Inputs)
+      : Tokens(std::move(Tokens)), Decls(Inputs),
+        Prog(std::make_unique<Program>()) {}
+
+  ParseResult run() {
+    const Node *Root = parseExpr();
+    if (!Failed && cur().K != Token::Kind::End)
+      fail("trailing input after expression");
+    if (Failed)
+      return {nullptr, Error};
+    Prog->setRoot(Root);
+    return {std::move(Prog), ""};
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Token plumbing
+  //===------------------------------------------------------------------===//
+
+  const Token &cur() const { return Tokens[Index]; }
+  void advance() {
+    if (Index + 1 < Tokens.size())
+      ++Index;
+  }
+
+  bool acceptPunct(char C) {
+    if (!cur().isPunct(C))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expectPunct(char C) {
+    if (acceptPunct(C))
+      return true;
+    fail(std::string("expected '") + C + "'");
+    return false;
+  }
+
+  const Node *fail(const std::string &Msg) {
+    if (!Failed) {
+      Failed = true;
+      Error = Msg + " at offset " + std::to_string(cur().Pos);
+    }
+    return nullptr;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expression grammar
+  //===------------------------------------------------------------------===//
+
+  const Node *parseExpr() { return parseCompare(); }
+
+  const Node *parseCompare() {
+    const Node *Lhs = parseAddSub();
+    if (Failed)
+      return nullptr;
+    if (cur().isPunct('<')) {
+      advance();
+      const Node *Rhs = parseAddSub();
+      if (Failed)
+        return nullptr;
+      Lhs = buildOp(OpKind::Less, {Lhs, Rhs});
+    }
+    return Lhs;
+  }
+
+  const Node *parseAddSub() {
+    const Node *Lhs = parseMulDiv();
+    while (!Failed && (cur().isPunct('+') || cur().isPunct('-'))) {
+      OpKind Kind = cur().isPunct('+') ? OpKind::Add : OpKind::Subtract;
+      advance();
+      const Node *Rhs = parseMulDiv();
+      if (Failed)
+        return nullptr;
+      Lhs = buildOp(Kind, {Lhs, Rhs});
+    }
+    return Lhs;
+  }
+
+  const Node *parseMulDiv() {
+    const Node *Lhs = parseUnary();
+    while (!Failed &&
+           (cur().isPunct('*') || cur().isPunct('/') || cur().isPunct('@'))) {
+      OpKind Kind = cur().isPunct('*')   ? OpKind::Multiply
+                    : cur().isPunct('/') ? OpKind::Divide
+                                         : OpKind::Dot;
+      advance();
+      const Node *Rhs = parseUnary();
+      if (Failed)
+        return nullptr;
+      Lhs = buildOp(Kind, {Lhs, Rhs});
+    }
+    return Lhs;
+  }
+
+  const Node *parseUnary() {
+    if (cur().isPunct('-')) {
+      advance();
+      const Node *Operand = parseUnary();
+      if (Failed)
+        return nullptr;
+      return buildOp(OpKind::Multiply, {Prog->constant(Rational(-1)), Operand});
+    }
+    return parsePowerLevel();
+  }
+
+  const Node *parsePowerLevel() {
+    const Node *Base = parsePostfix();
+    if (Failed)
+      return nullptr;
+    if (cur().K == Token::Kind::StarStar) {
+      advance();
+      const Node *Exponent = parseUnary(); // ** is right-associative
+      if (Failed)
+        return nullptr;
+      return buildOp(OpKind::Power, {Base, Exponent});
+    }
+    return Base;
+  }
+
+  const Node *parsePostfix() {
+    const Node *N = parseAtom();
+    while (!Failed && cur().isPunct('.')) {
+      advance();
+      if (cur().isIdent("T")) {
+        advance();
+        N = buildOp(OpKind::Transpose, {N});
+      } else {
+        return fail("expected 'T' after '.'");
+      }
+    }
+    return N;
+  }
+
+  const Node *parseAtom() {
+    if (cur().K == Token::Kind::Number) {
+      std::optional<Rational> Value = parseRational(cur().Text);
+      if (!Value)
+        return fail("numeric literal out of range");
+      advance();
+      return Prog->constant(*Value);
+    }
+    if (cur().K == Token::Kind::Ident) {
+      std::string Name = cur().Text;
+      if (Name == "np") {
+        advance();
+        if (!expectPunct('.'))
+          return nullptr;
+        if (cur().K != Token::Kind::Ident)
+          return fail("expected function name after 'np.'");
+        std::string Fn = cur().Text;
+        advance();
+        if (!expectPunct('('))
+          return nullptr;
+        return parseCall(Fn);
+      }
+      advance();
+      return lookupVariable(Name);
+    }
+    if (acceptPunct('(')) {
+      const Node *Inner = parseExpr();
+      if (Failed)
+        return nullptr;
+      if (!expectPunct(')'))
+        return nullptr;
+      return Inner;
+    }
+    return fail("expected expression");
+  }
+
+  //===------------------------------------------------------------------===//
+  // np.<fn>(...) calls
+  //===------------------------------------------------------------------===//
+
+  const Node *parseCall(const std::string &Fn) {
+    // Fixed-arity elementwise and linear-algebra functions.
+    struct Simple {
+      const char *Name;
+      OpKind Kind;
+      int Arity;
+    };
+    static const Simple SimpleFns[] = {
+        {"add", OpKind::Add, 2},         {"subtract", OpKind::Subtract, 2},
+        {"multiply", OpKind::Multiply, 2}, {"divide", OpKind::Divide, 2},
+        {"power", OpKind::Power, 2},     {"maximum", OpKind::Maximum, 2},
+        {"less", OpKind::Less, 2},       {"sqrt", OpKind::Sqrt, 1},
+        {"exp", OpKind::Exp, 1},         {"log", OpKind::Log, 1},
+        {"where", OpKind::Where, 3},     {"dot", OpKind::Dot, 2},
+        {"diag", OpKind::Diag, 1},       {"trace", OpKind::Trace, 1},
+    };
+    for (const Simple &S : SimpleFns) {
+      if (Fn != S.Name)
+        continue;
+      std::vector<const Node *> Args;
+      for (int I = 0; I < S.Arity; ++I) {
+        if (I && !expectPunct(','))
+          return nullptr;
+        Args.push_back(parseExpr());
+        if (Failed)
+          return nullptr;
+      }
+      if (!expectPunct(')'))
+        return nullptr;
+      return buildOp(S.Kind, std::move(Args));
+    }
+
+    if (Fn == "sum" || Fn == "max")
+      return parseReduction(Fn == "sum");
+    if (Fn == "transpose")
+      return parseTranspose();
+    if (Fn == "reshape")
+      return parseReshape();
+    if (Fn == "full")
+      return parseFull();
+    if (Fn == "triu" || Fn == "tril")
+      return parseTriangle(Fn == "triu");
+    if (Fn == "stack")
+      return parseStack();
+    if (Fn == "tensordot")
+      return parseTensordot();
+    return fail("unknown function 'np." + Fn + "'");
+  }
+
+  const Node *parseReduction(bool IsSum) {
+    const Node *Arg = parseExpr();
+    if (Failed)
+      return nullptr;
+    std::optional<int64_t> Axis;
+    if (acceptPunct(',')) {
+      if (cur().isIdent("axis")) {
+        advance();
+        if (!expectPunct('='))
+          return nullptr;
+      }
+      std::optional<int64_t> Value = parseInt();
+      if (!Value)
+        return nullptr;
+      Axis = *Value;
+    }
+    if (!expectPunct(')'))
+      return nullptr;
+    NodeAttrs Attrs;
+    if (Axis) {
+      Attrs.Axis = *Axis;
+      return buildOp(IsSum ? OpKind::Sum : OpKind::Max, {Arg}, Attrs);
+    }
+    return buildOp(IsSum ? OpKind::SumAll : OpKind::MaxAll, {Arg});
+  }
+
+  const Node *parseTranspose() {
+    const Node *Arg = parseExpr();
+    if (Failed)
+      return nullptr;
+    NodeAttrs Attrs;
+    if (acceptPunct(',')) {
+      std::optional<std::vector<int64_t>> Perm = parseIntTuple();
+      if (!Perm)
+        return nullptr;
+      Attrs.Perm = *Perm;
+    }
+    if (!expectPunct(')'))
+      return nullptr;
+    return buildOp(OpKind::Transpose, {Arg}, Attrs);
+  }
+
+  const Node *parseReshape() {
+    const Node *Arg = parseExpr();
+    if (Failed || !expectPunct(','))
+      return nullptr;
+    std::optional<std::vector<int64_t>> Dims = parseIntTuple();
+    if (!Dims || !expectPunct(')'))
+      return nullptr;
+    NodeAttrs Attrs;
+    Attrs.ShapeAttr = Shape(*Dims);
+    return buildOp(OpKind::Reshape, {Arg}, Attrs);
+  }
+
+  const Node *parseFull() {
+    std::optional<std::vector<int64_t>> Dims = parseIntTuple();
+    if (!Dims || !expectPunct(','))
+      return nullptr;
+    const Node *Value = parseExpr();
+    if (Failed || !expectPunct(')'))
+      return nullptr;
+    NodeAttrs Attrs;
+    Attrs.ShapeAttr = Shape(*Dims);
+    return buildOp(OpKind::Full, {Value}, Attrs);
+  }
+
+  const Node *parseTriangle(bool Upper) {
+    const Node *Arg = parseExpr();
+    if (Failed)
+      return nullptr;
+    NodeAttrs Attrs;
+    if (acceptPunct(',')) {
+      std::optional<int64_t> K = parseInt();
+      if (!K)
+        return nullptr;
+      Attrs.Diagonal = *K;
+    }
+    if (!expectPunct(')'))
+      return nullptr;
+    return buildOp(Upper ? OpKind::Triu : OpKind::Tril, {Arg}, Attrs);
+  }
+
+  const Node *parseTensordot() {
+    const Node *A = parseExpr();
+    if (Failed || !expectPunct(','))
+      return nullptr;
+    const Node *B = parseExpr();
+    if (Failed || !expectPunct(','))
+      return nullptr;
+    if (cur().isIdent("axes")) {
+      advance();
+      if (!expectPunct('='))
+        return nullptr;
+    }
+    if (!expectPunct('('))
+      return nullptr;
+    std::optional<std::vector<int64_t>> AxesA = parseIntList();
+    if (!AxesA || !expectPunct(','))
+      return nullptr;
+    std::optional<std::vector<int64_t>> AxesB = parseIntList();
+    if (!AxesB || !expectPunct(')') || !expectPunct(')'))
+      return nullptr;
+    NodeAttrs Attrs;
+    Attrs.AxesA = *AxesA;
+    Attrs.AxesB = *AxesB;
+    return buildOp(OpKind::Tensordot, {A, B}, Attrs);
+  }
+
+  /// np.stack([a, b, ...]) or np.stack([body for v in X]), optional axis=.
+  const Node *parseStack() {
+    if (!expectPunct('['))
+      return nullptr;
+
+    if (size_t ForIdx = findComprehensionFor(); ForIdx != 0)
+      return parseComprehension(ForIdx);
+
+    std::vector<const Node *> Parts;
+    Parts.push_back(parseExpr());
+    while (!Failed && acceptPunct(','))
+      Parts.push_back(parseExpr());
+    if (Failed || !expectPunct(']'))
+      return nullptr;
+    std::optional<int64_t> Axis = parseOptionalAxis();
+    if (Failed || !expectPunct(')'))
+      return nullptr;
+    NodeAttrs Attrs;
+    Attrs.Axis = Axis.value_or(0);
+    return buildOp(OpKind::Stack, std::move(Parts), Attrs);
+  }
+
+  /// Scans ahead from the current index for a top-level 'for' before the
+  /// matching ']'.  Returns its token index, or 0 when absent.
+  size_t findComprehensionFor() const {
+    int Depth = 0;
+    for (size_t I = Index; I < Tokens.size(); ++I) {
+      const Token &T = Tokens[I];
+      if (T.isPunct('(') || T.isPunct('['))
+        ++Depth;
+      else if (T.isPunct(')') || T.isPunct(']')) {
+        if (T.isPunct(']') && Depth == 0)
+          return 0;
+        --Depth;
+      } else if (Depth == 0 && T.isIdent("for"))
+        return I;
+    }
+    return 0;
+  }
+
+  const Node *parseComprehension(size_t ForIdx) {
+    size_t BodyStart = Index;
+
+    // Parse the iteration clause first so the loop variable's type is
+    // known when the body is parsed.
+    Index = ForIdx + 1;
+    if (cur().K != Token::Kind::Ident)
+      return fail("expected loop variable name");
+    std::string VarName = cur().Text;
+    advance();
+    if (!cur().isIdent("in"))
+      return fail("expected 'in'");
+    advance();
+    const Node *Iterated = parseExpr();
+    if (Failed)
+      return nullptr;
+    if (!expectPunct(']'))
+      return nullptr;
+    size_t AfterBracket = Index;
+
+    const Shape &IterShape = Iterated->getType().TShape;
+    if (IterShape.getRank() < 1)
+      return fail("comprehension iterates a scalar");
+    TensorType VarType{Iterated->getType().Dtype, IterShape.dropAxis(0)};
+    const Node *Var = Prog->loopVar(VarName, VarType);
+
+    // Parse the body with the loop variable in scope.
+    Index = BodyStart;
+    LoopScope.emplace_back(VarName, Var);
+    const Node *Body = parseExpr();
+    LoopScope.pop_back();
+    if (Failed)
+      return nullptr;
+    if (Index != ForIdx)
+      return fail("malformed comprehension body");
+
+    Index = AfterBracket;
+    std::optional<int64_t> Axis = parseOptionalAxis();
+    if (Failed || !expectPunct(')'))
+      return nullptr;
+    const Node *Result = Prog->tryMakeComprehension(Iterated, Var, Body,
+                                                    Axis.value_or(0));
+    if (!Result)
+      return fail("ill-typed comprehension");
+    return Result;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Small pieces
+  //===------------------------------------------------------------------===//
+
+  std::optional<int64_t> parseOptionalAxis() {
+    if (!acceptPunct(','))
+      return std::nullopt;
+    if (cur().isIdent("axis")) {
+      advance();
+      if (!expectPunct('='))
+        return std::nullopt;
+    }
+    return parseInt();
+  }
+
+  std::optional<int64_t> parseInt() {
+    bool Negative = false;
+    if (cur().isPunct('-')) {
+      Negative = true;
+      advance();
+    }
+    if (cur().K != Token::Kind::Number ||
+        cur().Text.find('.') != std::string::npos) {
+      fail("expected integer");
+      return std::nullopt;
+    }
+    std::optional<int64_t> Value = parseInt64(cur().Text);
+    if (!Value) {
+      fail("integer literal out of range");
+      return std::nullopt;
+    }
+    advance();
+    return Negative ? -*Value : *Value;
+  }
+
+  /// "(1, 2, 3)" or a bare integer (treated as a 1-tuple).
+  std::optional<std::vector<int64_t>> parseIntTuple() {
+    std::vector<int64_t> Out;
+    if (!acceptPunct('(')) {
+      std::optional<int64_t> Single = parseInt();
+      if (!Single)
+        return std::nullopt;
+      Out.push_back(*Single);
+      return Out;
+    }
+    while (true) {
+      std::optional<int64_t> V = parseInt();
+      if (!V)
+        return std::nullopt;
+      Out.push_back(*V);
+      if (!acceptPunct(','))
+        break;
+      if (cur().isPunct(')')) // trailing comma of Python 1-tuples
+        break;
+    }
+    if (!expectPunct(')'))
+      return std::nullopt;
+    return Out;
+  }
+
+  /// "[0, 1]".
+  std::optional<std::vector<int64_t>> parseIntList() {
+    if (!expectPunct('['))
+      return std::nullopt;
+    std::vector<int64_t> Out;
+    while (true) {
+      std::optional<int64_t> V = parseInt();
+      if (!V)
+        return std::nullopt;
+      Out.push_back(*V);
+      if (!acceptPunct(','))
+        break;
+    }
+    if (!expectPunct(']'))
+      return std::nullopt;
+    return Out;
+  }
+
+  /// Parses a numeric literal exactly; nullopt when it does not fit the
+  /// rational representation (absurdly long literals).
+  static std::optional<Rational> parseRational(const std::string &Text) {
+    size_t Dot = Text.find('.');
+    if (Dot == std::string::npos) {
+      std::optional<int64_t> Value = parseInt64(Text);
+      if (!Value)
+        return std::nullopt;
+      return Rational(*Value);
+    }
+    std::string Digits = Text.substr(0, Dot) + Text.substr(Dot + 1);
+    std::optional<int64_t> Num = parseInt64(Digits);
+    if (!Num || Text.size() - Dot - 1 > 17)
+      return std::nullopt;
+    int64_t Den = 1;
+    for (size_t I = Dot + 1; I < Text.size(); ++I)
+      Den *= 10;
+    return Rational(*Num, Den);
+  }
+
+  const Node *lookupVariable(const std::string &Name) {
+    // Innermost loop scope first.
+    for (auto It = LoopScope.rbegin(); It != LoopScope.rend(); ++It)
+      if (It->first == Name)
+        return It->second;
+    for (const auto &[DeclName, Type] : Decls)
+      if (DeclName == Name)
+        return Prog->input(Name, Type);
+    return fail("unknown variable '" + Name + "'");
+  }
+
+  const Node *buildOp(OpKind Kind, std::vector<const Node *> Operands,
+                      NodeAttrs Attrs = {}) {
+    if (Failed)
+      return nullptr;
+    for (const Node *Op : Operands)
+      if (!Op)
+        return nullptr;
+    const Node *Result = Prog->tryMake(Kind, std::move(Operands), Attrs);
+    if (!Result)
+      return fail("type error in " + getOpName(Kind));
+    return Result;
+  }
+
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  const InputDecls &Decls;
+  std::unique_ptr<Program> Prog;
+  std::vector<std::pair<std::string, const Node *>> LoopScope;
+  bool Failed = false;
+  std::string Error;
+};
+
+} // namespace
+
+ParseResult dsl::parseProgram(const std::string &Source,
+                              const InputDecls &Inputs) {
+  std::vector<Token> Tokens;
+  std::string LexError;
+  if (!lexAll(Source, Tokens, LexError))
+    return {nullptr, LexError};
+  return Parser(std::move(Tokens), Inputs).run();
+}

@@ -1,0 +1,48 @@
+//===- Parser.h - NumPy-subset expression parser ---------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the Python/NumPy-flavored benchmark sources (Tables I and II of
+/// the paper) into DSL programs.  The accepted language: arithmetic
+/// operators (+ - * / ** @ <), unary minus, np.<fn>(...) calls for the
+/// grammar's operations, the .T transpose attribute, axis=/axes= keyword
+/// arguments, and list comprehensions inside np.stack.
+///
+/// Inputs must be declared up front with their static types; shapes in the
+/// source (reshape/full) are concrete integer tuples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_DSL_PARSER_H
+#define STENSO_DSL_PARSER_H
+
+#include "dsl/Node.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace dsl {
+
+/// Outcome of parsing: a program, or an error message with Prog == null.
+struct ParseResult {
+  std::unique_ptr<Program> Prog;
+  std::string Error;
+
+  explicit operator bool() const { return Prog != nullptr; }
+};
+
+/// Declared program inputs, in order.
+using InputDecls = std::vector<std::pair<std::string, TensorType>>;
+
+/// Parses \p Source as a single expression over \p Inputs.
+ParseResult parseProgram(const std::string &Source, const InputDecls &Inputs);
+
+} // namespace dsl
+} // namespace stenso
+
+#endif // STENSO_DSL_PARSER_H

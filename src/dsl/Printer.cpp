@@ -1,0 +1,224 @@
+//===- Printer.cpp - NumPy-style source emission --------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Printer.h"
+
+#include "support/Error.h"
+
+#include <sstream>
+
+using namespace stenso;
+using namespace stenso::dsl;
+
+namespace {
+
+enum Precedence {
+  PrecCompare = 1,
+  PrecAddSub = 2,
+  PrecMulDiv = 3,
+  PrecUnary = 4,
+  PrecPower = 5,
+  PrecAtom = 6,
+};
+
+class NodePrinter {
+public:
+  std::string print(const Node *N) { return render(N, PrecCompare); }
+
+private:
+  static std::string shapeTuple(const Shape &S) {
+    std::string Out = "(";
+    for (int64_t I = 0; I < S.getRank(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(S.getDim(I));
+    }
+    if (S.getRank() == 1)
+      Out += ","; // Python 1-tuple
+    Out += ")";
+    return Out;
+  }
+
+  static std::string intTuple(const std::vector<int64_t> &V) {
+    std::string Out = "(";
+    for (size_t I = 0; I < V.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(V[I]);
+    }
+    if (V.size() == 1)
+      Out += ",";
+    Out += ")";
+    return Out;
+  }
+
+  static std::string intList(const std::vector<int64_t> &V) {
+    std::string Out = "[";
+    for (size_t I = 0; I < V.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(V[I]);
+    }
+    Out += "]";
+    return Out;
+  }
+
+  std::string call(const std::string &Fn, std::vector<std::string> Args) {
+    std::string Out = Fn + "(";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Args[I];
+    }
+    Out += ")";
+    return Out;
+  }
+
+  /// Renders \p N, parenthesizing when it binds weaker than \p MinPrec.
+  std::string render(const Node *N, int MinPrec) {
+    auto [Text, Prec] = renderRaw(N);
+    if (Prec < MinPrec)
+      return "(" + Text + ")";
+    return Text;
+  }
+
+  std::pair<std::string, int> renderRaw(const Node *N) {
+    switch (N->getKind()) {
+    case OpKind::Input:
+      return {N->getName(), PrecAtom};
+    case OpKind::Constant: {
+      const Rational &V = N->getValue();
+      if (V.isInteger())
+        return {V.toString(), V.isNegative() ? PrecUnary : PrecAtom};
+      return {V.toString(), PrecMulDiv}; // "p/q" binds like division
+    }
+    case OpKind::Add:
+      return {render(N->getOperand(0), PrecAddSub) + " + " +
+                  render(N->getOperand(1), PrecAddSub),
+              PrecAddSub};
+    case OpKind::Subtract:
+      // Right operand needs one level more to keep a - (b - c) correct.
+      return {render(N->getOperand(0), PrecAddSub) + " - " +
+                  render(N->getOperand(1), PrecMulDiv),
+              PrecAddSub};
+    case OpKind::Multiply:
+      return {render(N->getOperand(0), PrecMulDiv) + " * " +
+                  render(N->getOperand(1), PrecMulDiv),
+              PrecMulDiv};
+    case OpKind::Divide:
+      return {render(N->getOperand(0), PrecMulDiv) + " / " +
+                  render(N->getOperand(1), PrecUnary),
+              PrecMulDiv};
+    case OpKind::Power:
+      return {call("np.power", {print0(N->getOperand(0)),
+                                print0(N->getOperand(1))}),
+              PrecAtom};
+    case OpKind::Maximum:
+      return {call("np.maximum",
+                   {print0(N->getOperand(0)), print0(N->getOperand(1))}),
+              PrecAtom};
+    case OpKind::Less:
+      return {render(N->getOperand(0), PrecAddSub) + " < " +
+                  render(N->getOperand(1), PrecAddSub),
+              PrecCompare};
+    case OpKind::Sqrt:
+      return {call("np.sqrt", {print0(N->getOperand(0))}), PrecAtom};
+    case OpKind::Exp:
+      return {call("np.exp", {print0(N->getOperand(0))}), PrecAtom};
+    case OpKind::Log:
+      return {call("np.log", {print0(N->getOperand(0))}), PrecAtom};
+    case OpKind::Where:
+      return {call("np.where",
+                   {print0(N->getOperand(0)), print0(N->getOperand(1)),
+                    print0(N->getOperand(2))}),
+              PrecAtom};
+    case OpKind::Triu:
+    case OpKind::Tril: {
+      std::string Fn = N->getKind() == OpKind::Triu ? "np.triu" : "np.tril";
+      std::vector<std::string> Args = {print0(N->getOperand(0))};
+      if (N->getAttrs().Diagonal != 0)
+        Args.push_back(std::to_string(N->getAttrs().Diagonal));
+      return {call(Fn, std::move(Args)), PrecAtom};
+    }
+    case OpKind::Dot:
+      return {call("np.dot",
+                   {print0(N->getOperand(0)), print0(N->getOperand(1))}),
+              PrecAtom};
+    case OpKind::Tensordot:
+      return {call("np.tensordot",
+                   {print0(N->getOperand(0)), print0(N->getOperand(1)),
+                    "axes=(" + intList(N->getAttrs().AxesA) + ", " +
+                        intList(N->getAttrs().AxesB) + ")"}),
+              PrecAtom};
+    case OpKind::Diag:
+      return {call("np.diag", {print0(N->getOperand(0))}), PrecAtom};
+    case OpKind::Trace:
+      return {call("np.trace", {print0(N->getOperand(0))}), PrecAtom};
+    case OpKind::Transpose: {
+      if (N->getAttrs().Perm.empty())
+        return {render(N->getOperand(0), PrecAtom) + ".T", PrecAtom};
+      return {call("np.transpose", {print0(N->getOperand(0)),
+                                    intTuple(N->getAttrs().Perm)}),
+              PrecAtom};
+    }
+    case OpKind::Reshape:
+      return {call("np.reshape", {print0(N->getOperand(0)),
+                                  shapeTuple(N->getAttrs().ShapeAttr)}),
+              PrecAtom};
+    case OpKind::Full:
+      return {call("np.full", {shapeTuple(N->getAttrs().ShapeAttr),
+                               print0(N->getOperand(0))}),
+              PrecAtom};
+    case OpKind::Stack: {
+      std::string Elems = "[";
+      for (size_t I = 0; I < N->getNumOperands(); ++I) {
+        if (I)
+          Elems += ", ";
+        Elems += print0(N->getOperand(I));
+      }
+      Elems += "]";
+      return {call("np.stack",
+                   {Elems,
+                    "axis=" + std::to_string(N->getAttrs().Axis.value_or(0))}),
+              PrecAtom};
+    }
+    case OpKind::Sum:
+      return {call("np.sum",
+                   {print0(N->getOperand(0)),
+                    "axis=" + std::to_string(*N->getAttrs().Axis)}),
+              PrecAtom};
+    case OpKind::SumAll:
+      return {call("np.sum", {print0(N->getOperand(0))}), PrecAtom};
+    case OpKind::Max:
+      return {call("np.max",
+                   {print0(N->getOperand(0)),
+                    "axis=" + std::to_string(*N->getAttrs().Axis)}),
+              PrecAtom};
+    case OpKind::MaxAll:
+      return {call("np.max", {print0(N->getOperand(0))}), PrecAtom};
+    case OpKind::Comprehension: {
+      std::string Body = print0(N->getOperand(1));
+      std::string Out = "np.stack([" + Body + " for " +
+                        N->getLoopVar()->getName() + " in " +
+                        print0(N->getOperand(0)) + "], axis=" +
+                        std::to_string(N->getAttrs().Axis.value_or(0)) + ")";
+      return {Out, PrecAtom};
+    }
+    }
+    stenso_unreachable("unknown op kind");
+  }
+
+  std::string print0(const Node *N) { return render(N, PrecCompare); }
+};
+
+} // namespace
+
+std::string dsl::printNode(const Node *N) { return NodePrinter().print(N); }
+
+std::string dsl::printProgram(const Program &P) {
+  assert(P.getRoot() && "program has no root");
+  return printNode(P.getRoot());
+}

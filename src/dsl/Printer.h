@@ -1,0 +1,33 @@
+//===- Printer.h - NumPy-style source emission -----------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a DSL expression as NumPy-flavored Python source.  The output
+/// is accepted by the project's own Parser (round-trip property, tested),
+/// and is what the synthesizer reports as the optimized program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_DSL_PRINTER_H
+#define STENSO_DSL_PRINTER_H
+
+#include "dsl/Node.h"
+
+#include <string>
+
+namespace stenso {
+namespace dsl {
+
+/// Renders \p N as a NumPy expression string.
+std::string printNode(const Node *N);
+
+/// Renders a whole program (its root expression).
+std::string printProgram(const Program &P);
+
+} // namespace dsl
+} // namespace stenso
+
+#endif // STENSO_DSL_PRINTER_H

@@ -1,0 +1,496 @@
+//===- EGraph.cpp - Equality saturation over the tensor DSL ---------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "egraph/EGraph.h"
+
+#include "dsl/Printer.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace stenso;
+using namespace stenso::egraph;
+using namespace stenso::dsl;
+
+namespace {
+
+/// A hash-consed operator application over e-classes.
+struct ENode {
+  OpKind Kind = OpKind::Input;
+  NodeAttrs Attrs;
+  std::vector<ClassId> Children;
+  std::string InputName; // Input leaves
+  Rational Value;        // Constant leaves
+
+  bool operator==(const ENode &RHS) const {
+    return Kind == RHS.Kind && Attrs == RHS.Attrs &&
+           Children == RHS.Children && InputName == RHS.InputName &&
+           Value == RHS.Value;
+  }
+};
+
+struct ENodeHash {
+  size_t operator()(const ENode &N) const {
+    size_t Seed = static_cast<size_t>(N.Kind);
+    for (ClassId C : N.Children)
+      hashCombine(Seed, C);
+    hashCombine(Seed, std::hash<std::string>()(N.InputName));
+    hashCombine(Seed, N.Value.hash());
+    if (N.Attrs.Axis)
+      hashCombine(Seed, static_cast<size_t>(*N.Attrs.Axis) + 1);
+    hashCombine(Seed, static_cast<size_t>(N.Attrs.Diagonal));
+    for (int64_t P : N.Attrs.Perm)
+      hashCombine(Seed, static_cast<size_t>(P));
+    for (int64_t A : N.Attrs.AxesA)
+      hashCombine(Seed, static_cast<size_t>(A));
+    for (int64_t B : N.Attrs.AxesB)
+      hashCombine(Seed, static_cast<size_t>(B));
+    for (int64_t D : N.Attrs.ShapeAttr.getDims())
+      hashCombine(Seed, static_cast<size_t>(D));
+    return Seed;
+  }
+};
+
+struct EClass {
+  std::vector<ENode> Nodes;
+  /// Parent e-nodes (as inserted) and the class each belongs to.
+  std::vector<std::pair<ENode, ClassId>> Parents;
+  TensorType Type;
+};
+
+/// A stored rewrite rule: both sides cloned into a private arena; their
+/// Input leaves are the pattern variables.
+struct StoredRule {
+  std::unique_ptr<Program> Arena;
+  const Node *Lhs = nullptr;
+  const Node *Rhs = nullptr;
+};
+
+bool containsNonRepresentable(const Node *N) {
+  if (N->getKind() == OpKind::Comprehension)
+    return true;
+  for (const Node *Op : N->getOperands())
+    if (containsNonRepresentable(Op))
+      return true;
+  return false;
+}
+
+void collectInputNodes(const Node *N, std::unordered_set<const Node *> &Out) {
+  if (N->isInput()) {
+    Out.insert(N);
+    return;
+  }
+  for (const Node *Op : N->getOperands())
+    collectInputNodes(Op, Out);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Impl
+//===----------------------------------------------------------------------===//
+
+struct EGraph::Impl {
+  std::vector<EClass> Classes;
+  std::vector<ClassId> UnionFind;
+  std::unordered_map<ENode, ClassId, ENodeHash> Memo;
+  std::vector<ClassId> Dirty;
+  std::vector<StoredRule> Rules;
+  int64_t Merges = 0;
+
+  ClassId find(ClassId Id) {
+    while (UnionFind[Id] != Id) {
+      UnionFind[Id] = UnionFind[UnionFind[Id]]; // path halving
+      Id = UnionFind[Id];
+    }
+    return Id;
+  }
+
+  ENode canonical(ENode N) {
+    for (ClassId &C : N.Children)
+      C = find(C);
+    return N;
+  }
+
+  ClassId add(ENode N, const TensorType &Type) {
+    N = canonical(std::move(N));
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return find(It->second);
+    ClassId Id = static_cast<ClassId>(Classes.size());
+    Classes.push_back(EClass{{N}, {}, Type});
+    UnionFind.push_back(Id);
+    for (ClassId Child : N.Children)
+      Classes[Child].Parents.emplace_back(N, Id);
+    Memo.emplace(std::move(N), Id);
+    return Id;
+  }
+
+  /// Merges two classes; false when already equal or type-incompatible.
+  bool merge(ClassId A, ClassId B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return false;
+    // Shape-polymorphic rules could relate differently-typed programs;
+    // such merges are rejected (they would be unsound here).
+    if (Classes[A].Type != Classes[B].Type)
+      return false;
+    // Union by parent count: fewer parents move.
+    if (Classes[A].Parents.size() < Classes[B].Parents.size())
+      std::swap(A, B);
+    UnionFind[B] = A;
+    auto &CA = Classes[A];
+    auto &CB = Classes[B];
+    CA.Nodes.insert(CA.Nodes.end(), CB.Nodes.begin(), CB.Nodes.end());
+    CA.Parents.insert(CA.Parents.end(), CB.Parents.begin(),
+                      CB.Parents.end());
+    CB.Nodes.clear();
+    CB.Parents.clear();
+    Dirty.push_back(A);
+    ++Merges;
+    return true;
+  }
+
+  /// Restores hash-consing and congruence after merges (egg's rebuild).
+  void rebuild() {
+    while (!Dirty.empty()) {
+      ClassId Id = find(Dirty.back());
+      Dirty.pop_back();
+      EClass &C = Classes[Id];
+
+      // Deduplicate this class's own nodes under canonicalization.
+      std::unordered_set<ENode, ENodeHash> Seen;
+      std::vector<ENode> Nodes;
+      for (ENode &N : C.Nodes) {
+        ENode Canon = canonical(std::move(N));
+        if (Seen.insert(Canon).second)
+          Nodes.push_back(std::move(Canon));
+      }
+      C.Nodes = std::move(Nodes);
+
+      // Re-canonicalize parents; congruent parents merge.
+      std::vector<std::pair<ENode, ClassId>> Parents;
+      std::unordered_map<ENode, ClassId, ENodeHash> NewMemo;
+      for (auto &[PNode, PClass] : C.Parents) {
+        ENode Canon = canonical(PNode);
+        Memo.erase(PNode);
+        auto It = NewMemo.find(Canon);
+        if (It != NewMemo.end()) {
+          merge(It->second, PClass);
+          It->second = find(It->second);
+          continue;
+        }
+        NewMemo.emplace(Canon, find(PClass));
+      }
+      for (auto &[Canon, PClass] : NewMemo) {
+        // Reconcile with the global memo as well.
+        auto It = Memo.find(Canon);
+        if (It != Memo.end() && find(It->second) != find(PClass))
+          merge(It->second, PClass);
+        Memo[Canon] = find(PClass);
+        Parents.emplace_back(Canon, find(PClass));
+      }
+      Classes[find(Id)].Parents = std::move(Parents);
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Insertion of DSL trees
+  //===------------------------------------------------------------------===//
+
+  std::optional<ClassId> addTree(const Node *N) {
+    ENode E;
+    if (N->isInput()) {
+      E.InputName = N->getName();
+    } else if (N->isConstant()) {
+      E.Kind = OpKind::Constant;
+      E.Value = N->getValue();
+    } else {
+      E.Kind = N->getKind();
+      E.Attrs = N->getAttrs();
+      for (const Node *Op : N->getOperands()) {
+        std::optional<ClassId> Child = addTree(Op);
+        if (!Child)
+          return std::nullopt;
+        E.Children.push_back(*Child);
+      }
+    }
+    return add(std::move(E), N->getType());
+  }
+
+  //===------------------------------------------------------------------===//
+  // E-matching
+  //===------------------------------------------------------------------===//
+
+  using Bindings = std::unordered_map<const Node *, ClassId>;
+
+  /// Enumerates all ways \p Pattern matches class \p Id, extending
+  /// \p Vars; results accumulate in \p Out.
+  void ematch(const Node *Pattern, ClassId Id, Bindings &Vars,
+              std::vector<Bindings> &Out) {
+    Id = find(Id);
+    if (Pattern->isInput()) {
+      auto It = Vars.find(Pattern);
+      if (It != Vars.end()) {
+        if (find(It->second) == Id)
+          Out.push_back(Vars);
+        return;
+      }
+      Vars.emplace(Pattern, Id);
+      Out.push_back(Vars);
+      Vars.erase(Pattern);
+      return;
+    }
+    // Iterate over a copy: recursive matching can grow/merge classes? No
+    // mutation happens during matching, but rebuilds do between passes.
+    const std::vector<ENode> &Nodes = Classes[Id].Nodes;
+    for (const ENode &N : Nodes) {
+      if (Pattern->isConstant()) {
+        if (N.Kind == OpKind::Constant && N.InputName.empty() &&
+            N.Children.empty() && N.Value == Pattern->getValue())
+          Out.push_back(Vars);
+        continue;
+      }
+      if (!N.InputName.empty() || N.Kind != Pattern->getKind() ||
+          N.Children.size() != Pattern->getNumOperands())
+        continue;
+      const NodeAttrs &PA = Pattern->getAttrs();
+      if (PA.Axis != N.Attrs.Axis || PA.Diagonal != N.Attrs.Diagonal ||
+          PA.Perm != N.Attrs.Perm || PA.AxesA != N.Attrs.AxesA ||
+          PA.AxesB != N.Attrs.AxesB)
+        continue;
+      matchChildren(Pattern, N, 0, Vars, Out);
+    }
+  }
+
+  void matchChildren(const Node *Pattern, const ENode &N, size_t Index,
+                     Bindings &Vars, std::vector<Bindings> &Out) {
+    if (Index == N.Children.size()) {
+      Out.push_back(Vars);
+      return;
+    }
+    std::vector<Bindings> Partial;
+    ematch(Pattern->getOperand(Index), N.Children[Index], Vars, Partial);
+    for (Bindings &B : Partial)
+      matchChildren(Pattern, N, Index + 1, B, Out);
+  }
+
+  /// Builds the RHS of a rule under \p Vars; nullopt when the
+  /// instantiation is ill-typed at the bound classes' types.
+  std::optional<ClassId> instantiate(const Node *Replacement,
+                                     const Bindings &Vars) {
+    if (Replacement->isInput()) {
+      auto It = Vars.find(Replacement);
+      if (It == Vars.end())
+        return std::nullopt;
+      return find(It->second);
+    }
+    if (Replacement->isConstant()) {
+      ENode E;
+      E.Kind = OpKind::Constant;
+      E.Value = Replacement->getValue();
+      return add(std::move(E), Replacement->getType());
+    }
+    ENode E;
+    E.Kind = Replacement->getKind();
+    E.Attrs = Replacement->getAttrs();
+    std::vector<TensorType> ChildTypes;
+    for (const Node *Op : Replacement->getOperands()) {
+      std::optional<ClassId> Child = instantiate(Op, Vars);
+      if (!Child)
+        return std::nullopt;
+      E.Children.push_back(*Child);
+      ChildTypes.push_back(Classes[find(*Child)].Type);
+    }
+    std::optional<TensorType> Type = inferType(E.Kind, ChildTypes, E.Attrs);
+    if (!Type)
+      return std::nullopt;
+    return add(std::move(E), *Type);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Public API
+//===----------------------------------------------------------------------===//
+
+EGraph::EGraph() : P(std::make_unique<Impl>()) {}
+EGraph::~EGraph() = default;
+EGraph::EGraph(EGraph &&) = default;
+EGraph &EGraph::operator=(EGraph &&) = default;
+
+std::optional<ClassId> EGraph::addProgram(const Node *Root) {
+  if (containsNonRepresentable(Root))
+    return std::nullopt;
+  std::optional<ClassId> Id = P->addTree(Root);
+  P->rebuild();
+  return Id;
+}
+
+bool EGraph::addRule(const Node *Lhs, const Node *Rhs) {
+  if (containsNonRepresentable(Lhs) || containsNonRepresentable(Rhs) ||
+      Lhs->isInput())
+    return false;
+  StoredRule R;
+  R.Arena = std::make_unique<Program>();
+  R.Lhs = Program::cloneInto(*R.Arena, Lhs);
+  R.Rhs = Program::cloneInto(*R.Arena, Rhs);
+  std::unordered_set<const Node *> LhsVars, RhsVars;
+  collectInputNodes(R.Lhs, LhsVars);
+  collectInputNodes(R.Rhs, RhsVars);
+  for (const Node *V : RhsVars)
+    if (!LhsVars.count(V))
+      return false;
+  P->Rules.push_back(std::move(R));
+  return true;
+}
+
+size_t EGraph::getNumRules() const { return P->Rules.size(); }
+
+SaturationStats EGraph::saturate(SaturationLimits Limits) {
+  SaturationStats Stats;
+  for (int Iter = 0; Iter < Limits.MaxIterations; ++Iter) {
+    ++Stats.Iterations;
+    // Phase 1: collect matches on a snapshot of canonical classes.
+    struct PendingMerge {
+      const StoredRule *Rule;
+      ClassId Lhs;
+      Impl::Bindings Vars;
+    };
+    std::vector<PendingMerge> Pending;
+    std::vector<ClassId> Snapshot;
+    for (ClassId Id = 0; Id < P->Classes.size(); ++Id)
+      if (P->find(Id) == Id && !P->Classes[Id].Nodes.empty())
+        Snapshot.push_back(Id);
+    for (const StoredRule &R : P->Rules)
+      for (ClassId Id : Snapshot) {
+        Impl::Bindings Vars;
+        std::vector<Impl::Bindings> Matches;
+        P->ematch(R.Lhs, Id, Vars, Matches);
+        for (Impl::Bindings &B : Matches)
+          Pending.push_back(PendingMerge{&R, Id, std::move(B)});
+      }
+    Stats.Matches += static_cast<int64_t>(Pending.size());
+
+    // Phase 2: instantiate and merge.
+    int64_t Before = P->Merges;
+    for (PendingMerge &M : Pending) {
+      if (P->Classes.size() > Limits.MaxClasses ||
+          getNumNodes() > Limits.MaxNodes)
+        return Stats;
+      std::optional<ClassId> RhsId = P->instantiate(M.Rule->Rhs, M.Vars);
+      if (!RhsId)
+        continue;
+      P->merge(M.Lhs, *RhsId);
+      P->rebuild();
+    }
+    Stats.Merges = P->Merges;
+    if (P->Merges == Before) {
+      Stats.Saturated = true;
+      break;
+    }
+  }
+  return Stats;
+}
+
+bool EGraph::sameClass(ClassId A, ClassId B) {
+  return P->find(A) == P->find(B);
+}
+
+size_t EGraph::getNumClasses() const {
+  size_t N = 0;
+  for (ClassId Id = 0; Id < P->Classes.size(); ++Id)
+    if (P->UnionFind[Id] == Id && !P->Classes[Id].Nodes.empty())
+      ++N;
+  return N;
+}
+
+size_t EGraph::getNumNodes() const {
+  size_t N = 0;
+  for (const EClass &C : P->Classes)
+    N += C.Nodes.size();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Extraction
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> EGraph::extract(ClassId Root,
+                                         const synth::CostModel &Model,
+                                         const synth::ShapeScaler &Scaler) {
+  Root = P->find(Root);
+  const double Inf = 1e300;
+  std::vector<double> Cost(P->Classes.size(), Inf);
+  std::vector<int> Choice(P->Classes.size(), -1);
+
+  // Per-op costs need a dsl::Node to hand to the cost model; build them
+  // in a scratch arena with placeholder inputs of the children's types.
+  Program Scratch;
+  int Fresh = 0;
+  auto NodeCost = [&](const ENode &N) -> double {
+    if (!N.InputName.empty() || N.Kind == OpKind::Constant)
+      return 0;
+    std::vector<const Node *> Operands;
+    for (ClassId C : N.Children)
+      Operands.push_back(Scratch.input("$e" + std::to_string(Fresh++),
+                                       P->Classes[P->find(C)].Type));
+    const Node *Built = Scratch.tryMake(N.Kind, std::move(Operands), N.Attrs);
+    if (!Built)
+      return Inf;
+    return Model.costOfOp(Built, Scaler);
+  };
+
+  // Bottom-up fixpoint over e-class costs.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ClassId Id = 0; Id < P->Classes.size(); ++Id) {
+      if (P->find(Id) != Id || P->Classes[Id].Nodes.empty())
+        continue;
+      const std::vector<ENode> &Nodes = P->Classes[Id].Nodes;
+      for (size_t I = 0; I < Nodes.size(); ++I) {
+        double Total = NodeCost(Nodes[I]);
+        for (ClassId C : Nodes[I].Children) {
+          Total += Cost[P->find(C)];
+          if (Total >= Inf)
+            break;
+        }
+        if (Total < Cost[Id]) {
+          Cost[Id] = Total;
+          Choice[Id] = static_cast<int>(I);
+          Changed = true;
+        }
+      }
+    }
+  }
+  if (Choice[Root] < 0)
+    return nullptr;
+
+  // Rebuild the chosen representative as a DSL program.
+  auto Result = std::make_unique<Program>();
+  std::function<const Node *(ClassId)> Build =
+      [&](ClassId Id) -> const Node * {
+    Id = P->find(Id);
+    const ENode &N =
+        P->Classes[Id].Nodes[static_cast<size_t>(Choice[Id])];
+    if (!N.InputName.empty())
+      return Result->input(N.InputName, P->Classes[Id].Type);
+    if (N.Kind == OpKind::Constant && N.Children.empty() &&
+        N.InputName.empty() && P->Classes[Id].Type.isScalar() &&
+        Choice[Id] >= 0 && N.Attrs == NodeAttrs())
+      return Result->constant(N.Value);
+    std::vector<const Node *> Operands;
+    for (ClassId C : N.Children)
+      Operands.push_back(Build(C));
+    return Result->make(N.Kind, std::move(Operands), N.Attrs);
+  };
+  Result->setRoot(Build(Root));
+  return Result;
+}

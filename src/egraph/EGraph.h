@@ -1,0 +1,102 @@
+//===- EGraph.h - Equality saturation over the tensor DSL ------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact equality-saturation engine over the tensor DSL — the
+/// TENSAT-style comparator the paper's related-work section positions
+/// STENSO against (Section VIII): e-graph optimizers apply a *given*
+/// rule set exhaustively and extract the cheapest representative, and
+/// are "fundamentally limited by the completeness of [those] rewrite
+/// rules"; STENSO discovers programs from first principles and its
+/// output rules can be fed back into such systems.
+///
+/// The implementation follows egg's architecture (Willsey et al.,
+/// POPL'21) at small scale: hash-consed e-nodes over a union-find of
+/// e-classes, congruence-closure rebuilding, backtracking e-matching of
+/// DSL-tree patterns, and cost-based extraction through the synth cost
+/// models.  bench_egraph_vs_synthesis quantifies the completeness gap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_EGRAPH_EGRAPH_H
+#define STENSO_EGRAPH_EGRAPH_H
+
+#include "dsl/Node.h"
+#include "synth/CostModel.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace egraph {
+
+/// Identifier of an equivalence class of programs.
+using ClassId = uint32_t;
+
+/// Limits and counters of one saturation run.
+struct SaturationLimits {
+  int MaxIterations = 16;
+  size_t MaxClasses = 20000;
+  size_t MaxNodes = 100000;
+};
+
+struct SaturationStats {
+  int Iterations = 0;
+  int64_t Matches = 0;
+  int64_t Merges = 0;
+  bool Saturated = false; ///< fixpoint reached within limits
+};
+
+/// An equality-saturation optimizer.  Usage:
+///
+///   EGraph G;
+///   ClassId Root = *G.addProgram(P.getRoot());
+///   G.addRule(LhsTree, RhsTree);       // pattern variables = inputs
+///   G.saturate();
+///   auto Best = G.extract(Root, Model, Scaler);
+class EGraph {
+public:
+  EGraph();
+  ~EGraph();
+  EGraph(EGraph &&);
+  EGraph &operator=(EGraph &&);
+
+  /// Inserts a DSL tree; returns its class, or nullopt for constructs the
+  /// e-graph cannot represent (comprehensions).
+  std::optional<ClassId> addProgram(const dsl::Node *Root);
+
+  /// Adds a rewrite rule from a concrete program pair (inputs are the
+  /// pattern variables; every RHS variable must occur in the LHS).
+  /// Returns false when the pair cannot serve as a rule.
+  bool addRule(const dsl::Node *Lhs, const dsl::Node *Rhs);
+  size_t getNumRules() const;
+
+  /// Runs rule application + rebuilding to fixpoint or limits.
+  SaturationStats saturate(SaturationLimits Limits = SaturationLimits());
+
+  /// Extracts the cheapest program of \p Root's class under the cost
+  /// model (costs evaluated through \p Scaler, as in synthesis).
+  std::unique_ptr<dsl::Program> extract(ClassId Root,
+                                        const synth::CostModel &Model,
+                                        const synth::ShapeScaler &Scaler);
+
+  /// True when the two ids are in the same class (for tests).
+  bool sameClass(ClassId A, ClassId B);
+
+  size_t getNumClasses() const;
+  size_t getNumNodes() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace egraph
+} // namespace stenso
+
+#endif // STENSO_EGRAPH_EGRAPH_H

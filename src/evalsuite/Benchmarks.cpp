@@ -1,0 +1,264 @@
+//===- Benchmarks.cpp - The paper's benchmark suite -----------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalsuite/Benchmarks.h"
+
+#include "support/Error.h"
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::dsl;
+
+std::string evalsuite::toString(TransformClass C) {
+  switch (C) {
+  case TransformClass::AlgebraicSimplification:
+    return "Algebraic Simplification";
+  case TransformClass::IdentityReplacement:
+    return "Identity Replacement";
+  case TransformClass::RedundancyElimination:
+    return "Redundancy Elimination";
+  case TransformClass::StrengthReduction:
+    return "Strength Reduction";
+  case TransformClass::Vectorization:
+    return "Vectorization";
+  }
+  stenso_unreachable("unknown transformation class");
+}
+
+std::vector<TransformClass> evalsuite::allTransformClasses() {
+  return {TransformClass::AlgebraicSimplification,
+          TransformClass::IdentityReplacement,
+          TransformClass::RedundancyElimination,
+          TransformClass::StrengthReduction, TransformClass::Vectorization};
+}
+
+int64_t BenchmarkDef::dimExtent(const std::string &DimName, bool Full) const {
+  for (const DimDef &D : Dims)
+    if (D.Name == DimName)
+      return Full ? D.Full : D.Reduced;
+  reportFatalError("benchmark '" + Name + "' has no dimension '" + DimName +
+                   "'");
+}
+
+dsl::InputDecls BenchmarkDef::declsFor(bool Full) const {
+  dsl::InputDecls Decls;
+  for (const InputDef &In : Inputs) {
+    std::vector<int64_t> Extents;
+    for (const std::string &DimName : In.DimNames)
+      Extents.push_back(dimExtent(DimName, Full));
+    Decls.emplace_back(In.Name,
+                       TensorType{DType::Float64, Shape(Extents)});
+  }
+  return Decls;
+}
+
+std::string BenchmarkDef::sourceFor(bool Full) const {
+  std::string Out = SourceTemplate;
+  for (const DimDef &D : Dims) {
+    std::string Placeholder = "{" + D.Name + "}";
+    std::string Value = std::to_string(Full ? D.Full : D.Reduced);
+    size_t Pos = 0;
+    while ((Pos = Out.find(Placeholder, Pos)) != std::string::npos) {
+      Out.replace(Pos, Placeholder.size(), Value);
+      Pos += Value.size();
+    }
+  }
+  return Out;
+}
+
+synth::ShapeScaler BenchmarkDef::scaler() const {
+  synth::ShapeScaler Scaler;
+  for (const DimDef &D : Dims)
+    Scaler.addMapping(D.Reduced, D.Full);
+  return Scaler;
+}
+
+//===----------------------------------------------------------------------===//
+// Suite definition
+//===----------------------------------------------------------------------===//
+
+static std::vector<BenchmarkDef> buildSuite() {
+  using TC = TransformClass;
+  std::vector<BenchmarkDef> Suite;
+
+  auto Github = [&](std::string Name, std::string Pattern, std::string Domain,
+                    TC Class, std::string Source,
+                    std::vector<BenchmarkDef::DimDef> Dims,
+                    std::vector<BenchmarkDef::InputDef> Inputs) {
+    Suite.push_back(BenchmarkDef{std::move(Name), std::move(Pattern),
+                                 std::move(Domain), /*Synthetic=*/false,
+                                 Class, std::move(Source), std::move(Dims),
+                                 std::move(Inputs)});
+  };
+  auto Synth = [&](std::string Name, TC Class, std::string Source,
+                   std::vector<BenchmarkDef::DimDef> Dims,
+                   std::vector<BenchmarkDef::InputDef> Inputs) {
+    Suite.push_back(BenchmarkDef{std::move(Name), "Synthetic expression.",
+                                 "Synthetic", /*Synthetic=*/true, Class,
+                                 std::move(Source), std::move(Dims),
+                                 std::move(Inputs)});
+  };
+
+  //===------------------------------------------------------------------===//
+  // Table I — GitHub benchmarks
+  //===------------------------------------------------------------------===//
+
+  Github("diag_dot", "Calculates Gaussian variance reduction.",
+         "Astrophysics", TC::IdentityReplacement, "np.diag(np.dot(A, B))",
+         {{"n", 48, 3}}, {{"A", {"n", "n"}}, {"B", {"n", "n"}}});
+
+  Github("elem_square", "Calculates differences for L2 norm.", "AI/ML",
+         TC::StrengthReduction, "np.power(A, 2)", {{"n", 384, 3}, {"m", 256, 4}},
+         {{"A", {"n", "m"}}});
+
+  Github("log_exp_1", "Adds two Gaussian probability densities.", "AI/ML",
+         TC::IdentityReplacement, "np.exp(np.log(A + B))", {{"n", 65536, 3}},
+         {{"A", {"n"}}, {"B", {"n"}}});
+
+  Github("log_exp_2", "Builds up a constraint Gaussian.",
+         "Statistical Computing", TC::IdentityReplacement,
+         "np.exp(np.log(A) - np.log(B))", {{"n", 65536, 3}},
+         {{"A", {"n"}}, {"B", {"n"}}});
+
+  Github("mat_vec_prod", "Computes total profit for items.",
+         "Optimization Algorithms", TC::RedundancyElimination,
+         "np.sum(A * x, axis=1)", {{"n", 384, 3}, {"m", 512, 4}},
+         {{"A", {"n", "m"}}, {"x", {"m"}}});
+
+  Github("dot_trans", "Calculates rotation matrix for alignment.",
+         "Biomechanics", TC::RedundancyElimination, "np.dot(A.T, x.T)",
+         {{"n", 384, 3}, {"m", 512, 4}}, {{"A", {"n", "m"}}, {"x", {"n"}}});
+
+  Github("scalar_sum", "Calculates a weighted statistical moment.",
+         "Environmental Science", TC::AlgebraicSimplification,
+         "np.sum(A * x, axis=0)", {{"n", 384, 3}, {"m", 512, 4}},
+         {{"A", {"n", "m"}}, {"x", {}}});
+
+  // A small gradient (few stops): the Python loop's per-iteration cost
+  // dominates, but the vectorized form is not free either — this is the
+  // regime of the paper's 16.4x NumPy speedup.
+  Github("vec_lerp", "Creates a color gradient from distance.",
+         "Computer Graphics", TC::Vectorization,
+         "np.stack([(x*a + (1 - a)*y) for a in A])", {{"n", 8, 4}},
+         {{"A", {"n"}}, {"x", {}}, {"y", {}}});
+
+  Github("euclidian_dist", "Calculates Euclidean distance of matrix.",
+         "Scientific Computing", TC::StrengthReduction,
+         "np.sum(np.power(A, 2), axis=-1)", {{"n", 384, 3}, {"m", 256, 4}},
+         {{"A", {"n", "m"}}});
+
+  Github("common_factor", "Combines vectors for smoothing.",
+         "Augmented Reality", TC::AlgebraicSimplification, "A * B + C * B",
+         {{"n", 65536, 3}},
+         {{"A", {"n"}}, {"B", {"n"}}, {"C", {"n"}}});
+
+  // Large enough that fusing multiply + temporary + reduce into one dot
+  // pass is memory-bandwidth-visible.
+  Github("inner_prod", "Calculates weighted average ion charge.", "Physics",
+         TC::IdentityReplacement, "np.sum(a * b)", {{"n", 262144, 3}},
+         {{"a", {"n"}}, {"b", {"n"}}});
+
+  Github("scale_dot", "Computes matrix product with scaling.",
+         "Benchmarking", TC::RedundancyElimination, "np.dot(a * A, B)",
+         {{"n", 384, 3}, {"m", 512, 4}},
+         {{"a", {}}, {"A", {"n", "m"}}, {"B", {"m"}}});
+
+  Github("reshape_dot", "Kernel of a scientific simulation.", "Benchmarking",
+         TC::RedundancyElimination,
+         "np.reshape(np.dot(np.reshape(A, ({r}, {q}, 1, {p})), B), "
+         "({r}, {q}, {s}))",
+         {{"r", 24, 5}, {"q", 16, 3}, {"p", 32, 4}, {"s", 32, 2}},
+         {{"A", {"r", "q", "p"}}, {"B", {"p", "s"}}});
+
+  Github("dot_trans_2", "Double transpose of a matrix.",
+         "Physics Simulation", TC::RedundancyElimination,
+         "np.transpose(np.transpose(A))", {{"n", 64, 3}, {"m", 48, 4}},
+         {{"A", {"n", "m"}}});
+
+  Github("power_neg", "Element-wise inverse of a matrix.", "AI/ML",
+         TC::StrengthReduction, "np.power(A, -1)",
+         {{"n", 384, 3}, {"m", 256, 4}}, {{"A", {"n", "m"}}});
+
+  Github("sum_sum", "Sums a matrix over two axes.", "AI/ML",
+         TC::RedundancyElimination, "np.sum(np.sum(A, axis=0), axis=0)",
+         {{"n", 384, 3}, {"m", 512, 4}}, {{"A", {"n", "m"}}});
+
+  // Reduced extent 4, not 3: np.stack([A, B, C]) creates an axis of
+  // extent 3 (the operand count), which must not be mistaken for the
+  // reduced data dimension by the shape scaler.
+  Github("sum_stack", "Stacks and sums multiple matrices.",
+         "Computational Biology", TC::AlgebraicSimplification,
+         "np.sum(np.stack([A, B, C]), axis=0)", {{"n", 49152, 4}},
+         {{"A", {"n"}}, {"B", {"n"}}, {"C", {"n"}}});
+
+  Github("sum_diag_dot", "Calculates trace of a dot product.",
+         "Audio Processing", TC::IdentityReplacement,
+         "np.sum(np.diag(np.dot(A, B)))", {{"n", 48, 3}},
+         {{"A", {"n", "n"}}, {"B", {"n", "n"}}});
+
+  Github("max_stack", "Stacks and finds element-wise max.",
+         "Computational Biology", TC::StrengthReduction,
+         "np.max(np.stack([A, B]), axis=0)", {{"n", 65536, 3}},
+         {{"A", {"n"}}, {"B", {"n"}}});
+
+  Github("trace_dot", "Calculates trace of a matrix product.",
+         "Computer Graphics", TC::IdentityReplacement, "np.trace(A @ B.T)",
+         {{"n", 32, 3}}, {{"A", {"n", "n"}}, {"B", {"n", "n"}}});
+
+  Github("reorder_dot", "Computes the quadratic form x^T A x.",
+         "Network Simulation", TC::RedundancyElimination, "x.T @ A @ x",
+         {{"n", 384, 3}}, {{"x", {"n"}}, {"A", {"n", "n"}}});
+
+  //===------------------------------------------------------------------===//
+  // Table II — synthetic benchmarks
+  //===------------------------------------------------------------------===//
+
+  BenchmarkDef::DimDef VecDim{"n", 65536, 3};
+
+  Synth("synth_1", TC::AlgebraicSimplification, "(A * B) + 3 * (A * B)",
+        {VecDim}, {{"A", {"n"}}, {"B", {"n"}}});
+  Synth("synth_2", TC::AlgebraicSimplification,
+        "A + B - A - A + B * B - B", {VecDim},
+        {{"A", {"n"}}, {"B", {"n"}}});
+  Synth("synth_3", TC::AlgebraicSimplification,
+        "(A + B) / np.sqrt(A + B)", {VecDim}, {{"A", {"n"}}, {"B", {"n"}}});
+  Synth("synth_4", TC::AlgebraicSimplification,
+        "A + A + B - A - A - B * B", {VecDim},
+        {{"A", {"n"}}, {"B", {"n"}}});
+  Synth("synth_5", TC::StrengthReduction,
+        "np.power(np.sqrt(a), 4) + 2 * B", {VecDim},
+        {{"a", {}}, {"B", {"n"}}});
+  Synth("synth_6", TC::StrengthReduction,
+        "np.power(np.sqrt(A) + np.sqrt(A), 2)", {VecDim}, {{"A", {"n"}}});
+  Synth("synth_7", TC::StrengthReduction,
+        "np.power(A, 6) / np.power(A, 4)", {VecDim}, {{"A", {"n"}}});
+  Synth("synth_8", TC::AlgebraicSimplification, "A * B + A * B", {VecDim},
+        {{"A", {"n"}}, {"B", {"n"}}});
+  Synth("synth_9", TC::IdentityReplacement,
+        "np.sum(np.sum(A * x, axis=0))", {{"n", 384, 3}, {"m", 512, 4}},
+        {{"A", {"n", "m"}}, {"x", {"m"}}});
+  Synth("synth_10", TC::Vectorization,
+        "np.stack([x * 2 for x in A], axis=0)", {{"n", 24, 4}, {"m", 64, 3}},
+        {{"A", {"n", "m"}}});
+  Synth("synth_11", TC::StrengthReduction, "A * A * A * A * A", {VecDim},
+        {{"A", {"n"}}});
+  Synth("synth_12", TC::AlgebraicSimplification, "A + A + A + A + A",
+        {VecDim}, {{"A", {"n"}}});
+
+  return Suite;
+}
+
+const std::vector<BenchmarkDef> &evalsuite::benchmarkSuite() {
+  static const std::vector<BenchmarkDef> Suite = buildSuite();
+  return Suite;
+}
+
+const BenchmarkDef *evalsuite::findBenchmark(const std::string &Name) {
+  for (const BenchmarkDef &Def : benchmarkSuite())
+    if (Def.Name == Name)
+      return &Def;
+  return nullptr;
+}

@@ -1,0 +1,95 @@
+//===- Benchmarks.h - The paper's benchmark suite --------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 33-program benchmark suite of the paper's evaluation: 21 programs
+/// extracted from public GitHub repositories (Table I) and 12 synthetic
+/// expressions (Table II).  Each benchmark carries two shape
+/// configurations:
+///
+///   * full    — the workload sizes used for speedup measurement,
+///   * reduced — small extents used for symbolic-execution-based search,
+///
+/// with an injective reduced->full extent mapping exposed as a
+/// ShapeScaler so cost estimation during synthesis reflects full sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_EVALSUITE_BENCHMARKS_H
+#define STENSO_EVALSUITE_BENCHMARKS_H
+
+#include "dsl/Parser.h"
+#include "synth/CostModel.h"
+
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace evalsuite {
+
+/// The five transformation classes of the paper's Figure 6.
+enum class TransformClass {
+  AlgebraicSimplification,
+  IdentityReplacement,
+  RedundancyElimination,
+  StrengthReduction,
+  Vectorization,
+};
+
+std::string toString(TransformClass C);
+std::vector<TransformClass> allTransformClasses();
+
+/// One benchmark of the suite.
+struct BenchmarkDef {
+  std::string Name;
+  /// Computational pattern / purpose (Table I wording).
+  std::string Pattern;
+  /// Application domain (Table I) or "Synthetic".
+  std::string Domain;
+  bool Synthetic = false;
+  /// The class the paper's analysis assigns (Fig. 6).
+  TransformClass Class = TransformClass::AlgebraicSimplification;
+
+  /// Source with "{dim}" placeholders for extents appearing literally
+  /// (reshape/full tuples); most sources have none.
+  std::string SourceTemplate;
+
+  /// Named dimensions: (name, full extent, reduced extent).
+  struct DimDef {
+    std::string Name;
+    int64_t Full;
+    int64_t Reduced;
+  };
+  std::vector<DimDef> Dims;
+
+  /// Inputs as (name, dim-name list); an empty list is a scalar.
+  struct InputDef {
+    std::string Name;
+    std::vector<std::string> DimNames;
+  };
+  std::vector<InputDef> Inputs;
+
+  /// Declarations at full or reduced extents.
+  dsl::InputDecls declsFor(bool Full) const;
+  /// Source with placeholders substituted for full/reduced extents.
+  std::string sourceFor(bool Full) const;
+  /// Reduced->full extent mapping for synthesis-time cost estimation.
+  synth::ShapeScaler scaler() const;
+
+  int64_t dimExtent(const std::string &DimName, bool Full) const;
+};
+
+/// The full 33-benchmark suite (21 GitHub + 12 synthetic), in the
+/// tables' order.
+const std::vector<BenchmarkDef> &benchmarkSuite();
+
+/// Lookup by name; null when absent.
+const BenchmarkDef *findBenchmark(const std::string &Name);
+
+} // namespace evalsuite
+} // namespace stenso
+
+#endif // STENSO_EVALSUITE_BENCHMARKS_H

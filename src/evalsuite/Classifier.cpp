@@ -1,0 +1,98 @@
+//===- Classifier.cpp - Transformation-class analysis ---------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalsuite/Classifier.h"
+
+#include <map>
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::dsl;
+
+namespace {
+
+/// Multiset of operation kinds in a tree (loop bodies included once).
+void countOps(const Node *N, std::map<OpKind, int> &Out) {
+  if (!N->isInput() && !N->isConstant())
+    ++Out[N->getKind()];
+  for (const Node *Op : N->getOperands())
+    countOps(Op, Out);
+}
+
+bool containsKind(const std::map<OpKind, int> &Ops,
+                  std::initializer_list<OpKind> Kinds) {
+  for (OpKind K : Kinds) {
+    auto It = Ops.find(K);
+    if (It != Ops.end() && It->second > 0)
+      return true;
+  }
+  return false;
+}
+
+int totalOps(const std::map<OpKind, int> &Ops) {
+  int N = 0;
+  for (const auto &[Kind, Count] : Ops)
+    N += Count;
+  return N;
+}
+
+} // namespace
+
+TransformClass
+evalsuite::classifyTransformation(const Node *Original,
+                                  const Node *Optimized) {
+  std::map<OpKind, int> Before, After;
+  countOps(Original, Before);
+  countOps(Optimized, After);
+
+  // A Python loop replaced by broadcast ops.
+  if (Before.count(OpKind::Comprehension) &&
+      !After.count(OpKind::Comprehension))
+    return TransformClass::Vectorization;
+
+  // Pure removal: the optimized op multiset is contained in the original
+  // one and at least one *kind* of operation disappeared entirely.
+  // (Shrinking counts alone — e.g. factoring one multiply out of a sum —
+  // is algebraic simplification, not redundancy.)
+  bool Subset = true;
+  for (const auto &[Kind, Count] : After) {
+    auto It = Before.find(Kind);
+    if (It == Before.end() || It->second < Count) {
+      Subset = false;
+      break;
+    }
+  }
+  if (Subset && After.size() < Before.size())
+    return TransformClass::RedundancyElimination;
+
+  // Expensive operations disappeared and cheaper kinds took their place.
+  static const std::initializer_list<OpKind> Expensive = {
+      OpKind::Power, OpKind::Exp, OpKind::Log, OpKind::Sqrt, OpKind::Stack};
+  static const std::initializer_list<OpKind> Structural = {
+      OpKind::Dot, OpKind::Tensordot, OpKind::Diag, OpKind::Trace,
+      OpKind::Sum, OpKind::SumAll, OpKind::Max, OpKind::MaxAll};
+
+  bool LostExpensive = false;
+  for (OpKind K : Expensive) {
+    int B = Before.count(K) ? Before.at(K) : 0;
+    int A = After.count(K) ? After.at(K) : 0;
+    if (A < B)
+      LostExpensive = true;
+  }
+  bool StructureChanged = false;
+  for (OpKind K : Structural) {
+    int B = Before.count(K) ? Before.at(K) : 0;
+    int A = After.count(K) ? After.at(K) : 0;
+    if (A != B)
+      StructureChanged = true;
+  }
+
+  if (StructureChanged && containsKind(Before, Structural))
+    return TransformClass::IdentityReplacement;
+  if (LostExpensive)
+    return TransformClass::StrengthReduction;
+  return TransformClass::AlgebraicSimplification;
+}

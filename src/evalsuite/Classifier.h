@@ -1,0 +1,40 @@
+//===- Classifier.h - Transformation-class analysis ------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper analyzes each (original, optimized) pair and groups it into
+/// one of five transformation classes (Section VII-C, Fig. 6).  The suite
+/// metadata carries the reference assignment; this heuristic classifier
+/// reproduces the analysis automatically from the two programs' shapes of
+/// change and is cross-checked against the metadata in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_EVALSUITE_CLASSIFIER_H
+#define STENSO_EVALSUITE_CLASSIFIER_H
+
+#include "dsl/Node.h"
+#include "evalsuite/Benchmarks.h"
+
+namespace stenso {
+namespace evalsuite {
+
+/// Heuristically classifies the transformation from \p Original to
+/// \p Optimized:
+///   * a comprehension disappearing => Vectorization;
+///   * only removals from the op multiset (no new op kinds) =>
+///     Redundancy Elimination;
+///   * expensive kinds (power, exp/log, contraction, stack) replaced by
+///     cheaper arithmetic => Strength Reduction for scalar math,
+///     Identity Replacement when contractions/structure change;
+///   * everything else => Algebraic Simplification.
+TransformClass classifyTransformation(const dsl::Node *Original,
+                                      const dsl::Node *Optimized);
+
+} // namespace evalsuite
+} // namespace stenso
+
+#endif // STENSO_EVALSUITE_CLASSIFIER_H

@@ -1,0 +1,148 @@
+//===- Harness.cpp - Benchmark synthesis and speedup measurement ----------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalsuite/Harness.h"
+
+#include "dsl/Interpreter.h"
+#include "support/Error.h"
+#include "support/TablePrinter.h"
+
+#include <cstdlib>
+#include <ostream>
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::dsl;
+
+synth::SynthesisConfig evalsuite::evaluationConfig(double TimeoutSeconds) {
+  synth::SynthesisConfig Config;
+  Config.CostModelName = "measured";
+  Config.TimeoutSeconds = TimeoutSeconds;
+  return Config;
+}
+
+double evalsuite::suiteTimeoutSeconds(double Default) {
+  if (const char *Env = std::getenv("STENSO_TIMEOUT")) {
+    double Value = std::atof(Env);
+    if (Value > 0)
+      return Value;
+  }
+  return Default;
+}
+
+std::vector<BenchmarkRun>
+evalsuite::synthesizeSuite(const synth::SynthesisConfig &Config,
+                           std::ostream *Progress) {
+  std::vector<BenchmarkRun> Runs;
+  for (const BenchmarkDef &Def : benchmarkSuite()) {
+    if (Progress)
+      *Progress << "  synthesizing " << Def.Name << "..." << std::flush;
+    BenchmarkRun Run = synthesizeBenchmark(Def, Config);
+    verifyRunEquivalence(Run);
+    if (Progress)
+      *Progress << (Run.Synthesis.Improved ? " improved: " : " kept: ")
+                << Run.Synthesis.OptimizedSource << "  ["
+                << TablePrinter::formatDouble(Run.Synthesis.SynthesisSeconds,
+                                              2)
+                << " s]\n";
+    Runs.push_back(std::move(Run));
+  }
+  return Runs;
+}
+
+BenchmarkRun evalsuite::synthesizeBenchmark(const BenchmarkDef &Def,
+                                            synth::SynthesisConfig Config) {
+  BenchmarkRun Run;
+  Run.Def = &Def;
+
+  // Parse at both shape configurations.
+  auto Reduced = parseProgram(Def.sourceFor(false), Def.declsFor(false));
+  if (!Reduced)
+    reportFatalError("benchmark '" + Def.Name +
+                     "' failed to parse (reduced): " + Reduced.Error);
+  auto Full = parseProgram(Def.sourceFor(true), Def.declsFor(true));
+  if (!Full)
+    reportFatalError("benchmark '" + Def.Name +
+                     "' failed to parse (full): " + Full.Error);
+  Run.Original = std::move(Full.Prog);
+
+  // Search at reduced shapes, cost at full shapes.
+  synth::Synthesizer Synth(std::move(Config));
+  Run.Synthesis = Synth.run(*Reduced.Prog, Def.scaler());
+
+  if (Run.Synthesis.Improved) {
+    // The grammar is shape-literal-free, so the optimized source reparses
+    // directly against the full declarations.
+    auto Lifted =
+        parseProgram(Run.Synthesis.OptimizedSource, Def.declsFor(true));
+    if (!Lifted)
+      reportFatalError("optimized program for '" + Def.Name +
+                       "' failed to lift to full shapes: " + Lifted.Error);
+    Run.Optimized = std::move(Lifted.Prog);
+  } else {
+    auto Copy = parseProgram(Def.sourceFor(true), Def.declsFor(true));
+    Run.Optimized = std::move(Copy.Prog);
+  }
+  return Run;
+}
+
+InputBinding evalsuite::makeBenchmarkInputs(const BenchmarkDef &Def,
+                                            bool Full, RNG &Rng) {
+  InputBinding Inputs;
+  for (const auto &[Name, Type] : Def.declsFor(Full)) {
+    Tensor T(Type.TShape, Type.Dtype);
+    for (int64_t I = 0; I < T.getNumElements(); ++I)
+      T.at(I) = Type.Dtype == DType::Bool ? (Rng.chance(0.5) ? 1.0 : 0.0)
+                                          : Rng.positive();
+    Inputs.emplace(Name, std::move(T));
+  }
+  return Inputs;
+}
+
+void evalsuite::verifyRunEquivalence(const BenchmarkRun &Run, int Trials) {
+  assert(Run.Original && Run.Optimized && "incomplete run");
+  // Verify at reduced shapes for speed: parse both there.
+  auto Orig = parseProgram(Run.Def->sourceFor(false), Run.Def->declsFor(false));
+  auto Opt = parseProgram(Run.Synthesis.OptimizedSource,
+                          Run.Def->declsFor(false));
+  if (!Orig || !Opt)
+    reportFatalError("verification parse failed for '" + Run.Def->Name + "'");
+  RNG Rng(0xC0FFEE ^ std::hash<std::string>()(Run.Def->Name));
+  for (int Trial = 0; Trial < Trials; ++Trial) {
+    InputBinding Inputs = makeBenchmarkInputs(*Run.Def, /*Full=*/false, Rng);
+    Tensor A = interpretProgram(*Orig.Prog, Inputs);
+    Tensor B = interpretProgram(*Opt.Prog, Inputs);
+    if (!A.allClose(B, 1e-6, 1e-9))
+      reportFatalError("synthesized program for '" + Run.Def->Name +
+                       "' is NOT equivalent to the original: " +
+                       Run.Synthesis.OptimizedSource);
+  }
+}
+
+SpeedupResult evalsuite::measureSpeedup(const BenchmarkRun &Run,
+                                        const backend::BackendConfig &Backend,
+                                        int Reps, uint64_t Seed) {
+  assert(Run.Original && Run.Optimized && "incomplete run");
+  RNG Rng(Seed);
+  InputBinding Inputs = makeBenchmarkInputs(*Run.Def, /*Full=*/true, Rng);
+
+  backend::ExecutionEngine OriginalEngine(Backend);
+  OriginalEngine.compile(*Run.Original);
+  backend::ExecutionEngine OptimizedEngine(Backend);
+  OptimizedEngine.compile(*Run.Optimized);
+
+  // Sanity: both executions agree on this backend too.
+  Tensor A = OriginalEngine.execute(Inputs);
+  Tensor B = OptimizedEngine.execute(Inputs);
+  if (!A.allClose(B, 1e-6, 1e-9))
+    reportFatalError("backend disagreement on '" + Run.Def->Name + "' (" +
+                     Backend.name() + ")");
+
+  SpeedupResult Result;
+  Result.OriginalSeconds = OriginalEngine.measureSeconds(Inputs, Reps);
+  Result.OptimizedSeconds = OptimizedEngine.measureSeconds(Inputs, Reps);
+  return Result;
+}

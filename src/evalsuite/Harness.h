@@ -1,0 +1,86 @@
+//===- Harness.h - Benchmark synthesis and speedup measurement -*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the benchmark suite, the synthesizer and the execution
+/// backends: runs STENSO on a benchmark at its reduced shapes, lifts the
+/// result back to the full shapes, verifies equivalence on random
+/// inputs, and measures original-vs-optimized wall time on a backend.
+/// Every figure-regenerating bench binary is built on these primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_EVALSUITE_HARNESS_H
+#define STENSO_EVALSUITE_HARNESS_H
+
+#include "backend/ExecutionEngine.h"
+#include "evalsuite/Benchmarks.h"
+#include "synth/BottomUpSynthesizer.h"
+#include "synth/Synthesizer.h"
+
+#include <memory>
+
+namespace stenso {
+namespace evalsuite {
+
+/// Synthesis outcome lifted to the benchmark's full shapes.
+struct BenchmarkRun {
+  const BenchmarkDef *Def = nullptr;
+  /// The original program at full shapes.
+  std::unique_ptr<dsl::Program> Original;
+  /// The STENSO result at full shapes (the original when not improved).
+  std::unique_ptr<dsl::Program> Optimized;
+  synth::SynthesisResult Synthesis;
+};
+
+/// Runs STENSO on \p Def (search at reduced shapes, costs scaled to full)
+/// and lifts the result to full shapes.
+BenchmarkRun synthesizeBenchmark(const BenchmarkDef &Def,
+                                 synth::SynthesisConfig Config);
+
+/// Random positive inputs for a benchmark at full or reduced shapes.
+dsl::InputBinding makeBenchmarkInputs(const BenchmarkDef &Def, bool Full,
+                                      RNG &Rng);
+
+/// Checks original/optimized agreement on \p Trials random inputs at the
+/// reduced shapes (fast); aborts the process on disagreement — a
+/// synthesized program must never be wrong.
+void verifyRunEquivalence(const BenchmarkRun &Run, int Trials = 3);
+
+/// One original-vs-optimized timing on a backend.
+struct SpeedupResult {
+  double OriginalSeconds = 0;
+  double OptimizedSeconds = 0;
+  double speedup() const {
+    return OptimizedSeconds > 0 ? OriginalSeconds / OptimizedSeconds : 1.0;
+  }
+};
+
+/// Compiles and times both programs of \p Run on \p Backend.
+SpeedupResult measureSpeedup(const BenchmarkRun &Run,
+                             const backend::BackendConfig &Backend,
+                             int Reps = 5, uint64_t Seed = 42);
+
+/// The default synthesis configuration of the evaluation (measured cost
+/// model, as in paper Section VI-C).  \p TimeoutSeconds trades bench
+/// runtime for search completeness.
+synth::SynthesisConfig evaluationConfig(double TimeoutSeconds = 60);
+
+/// Per-benchmark synthesis timeout for the bench binaries: the
+/// STENSO_TIMEOUT environment variable (seconds) or \p Default.  The
+/// paper's artifact uses 600 s; the default here keeps a full-suite bench
+/// run to minutes.
+double suiteTimeoutSeconds(double Default = 30);
+
+/// Runs STENSO on the whole suite, verifying every result.  \p Progress
+/// (may be null) receives one line per benchmark.
+std::vector<BenchmarkRun> synthesizeSuite(const synth::SynthesisConfig &Config,
+                                          std::ostream *Progress = nullptr);
+
+} // namespace evalsuite
+} // namespace stenso
+
+#endif // STENSO_EVALSUITE_HARNESS_H

@@ -1,0 +1,87 @@
+//===- RewriteRuleMiner.cpp - Generalizing discovered rewrites ------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalsuite/RewriteRuleMiner.h"
+
+#include "dsl/Printer.h"
+
+#include <unordered_map>
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::dsl;
+
+namespace {
+
+/// Assigns canonical pattern-variable names in discovery order.
+class VariableNamer {
+public:
+  const std::string &nameFor(const std::string &Input) {
+    auto [It, Inserted] = Names.try_emplace(Input);
+    if (Inserted) {
+      static const char *Pool[] = {"X", "Y", "Z", "W", "V", "U", "T", "S"};
+      if (Next < sizeof(Pool) / sizeof(Pool[0]))
+        It->second = Pool[Next];
+      else
+        It->second = "V" + std::to_string(Next);
+      ++Next;
+    }
+    return It->second;
+  }
+
+private:
+  std::unordered_map<std::string, std::string> Names;
+  size_t Next = 0;
+};
+
+/// Rebuilds a tree with inputs renamed through \p Namer.
+const Node *renameInputs(Program &Dest, const Node *N, VariableNamer &Namer,
+                         std::unordered_map<const Node *, const Node *> &Map) {
+  auto It = Map.find(N);
+  if (It != Map.end())
+    return It->second;
+  const Node *Result = nullptr;
+  switch (N->getKind()) {
+  case OpKind::Input:
+    Result = Dest.input(Namer.nameFor(N->getName()), N->getType());
+    break;
+  case OpKind::Constant:
+    Result = Dest.constant(N->getValue());
+    break;
+  case OpKind::Comprehension: {
+    const Node *Iterated = renameInputs(Dest, N->getOperand(0), Namer, Map);
+    const Node *Var =
+        Dest.loopVar(N->getLoopVar()->getName(), N->getLoopVar()->getType());
+    Map.emplace(N->getLoopVar(), Var);
+    const Node *Body = renameInputs(Dest, N->getOperand(1), Namer, Map);
+    Result = Dest.tryMakeComprehension(Iterated, Var, Body,
+                                       N->getAttrs().Axis.value_or(0));
+    break;
+  }
+  default: {
+    std::vector<const Node *> Ops;
+    Ops.reserve(N->getNumOperands());
+    for (const Node *Op : N->getOperands())
+      Ops.push_back(renameInputs(Dest, Op, Namer, Map));
+    Result = Dest.make(N->getKind(), std::move(Ops), N->getAttrs());
+    break;
+  }
+  }
+  Map.emplace(N, Result);
+  return Result;
+}
+
+} // namespace
+
+RewriteRule evalsuite::mineRewriteRule(const Node *Original,
+                                       const Node *Optimized) {
+  VariableNamer Namer;
+  Program LhsProg, RhsProg;
+  std::unordered_map<const Node *, const Node *> LhsMap, RhsMap;
+  const Node *Lhs = renameInputs(LhsProg, Original, Namer, LhsMap);
+  const Node *Rhs = renameInputs(RhsProg, Optimized, Namer, RhsMap);
+  return RewriteRule{printNode(Lhs), printNode(Rhs)};
+}

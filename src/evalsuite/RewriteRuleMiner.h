@@ -1,0 +1,45 @@
+//===- RewriteRuleMiner.h - Generalizing discovered rewrites ---*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section VII-D of the paper lifts the synthesized programs into
+/// human-readable rewrite *rules* (e.g. diag(X @ Y) => sum(X * Y^T,
+/// axis=1)) that could be fed to conventional compilers or e-graph
+/// optimizers.  The miner generalizes an (original, optimized) pair by
+/// renaming the concrete inputs to canonical pattern variables X, Y, Z…
+/// in order of first appearance in the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_EVALSUITE_REWRITERULEMINER_H
+#define STENSO_EVALSUITE_REWRITERULEMINER_H
+
+#include "dsl/Node.h"
+
+#include <string>
+
+namespace stenso {
+namespace evalsuite {
+
+/// A generalized rewrite rule, printable as "Lhs => Rhs".
+struct RewriteRule {
+  std::string Lhs;
+  std::string Rhs;
+
+  std::string toString() const { return Lhs + "  =>  " + Rhs; }
+};
+
+/// Generalizes the concrete pair into a rule with canonical variables.
+/// Inputs are renamed X, Y, Z, W, V, U… by first appearance in
+/// \p Original; inputs appearing only in \p Optimized continue the
+/// sequence.
+RewriteRule mineRewriteRule(const dsl::Node *Original,
+                            const dsl::Node *Optimized);
+
+} // namespace evalsuite
+} // namespace stenso
+
+#endif // STENSO_EVALSUITE_REWRITERULEMINER_H

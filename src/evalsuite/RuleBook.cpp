@@ -1,0 +1,415 @@
+//===- RuleBook.cpp - Applying mined rewrite rules as a pass ---------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalsuite/RuleBook.h"
+
+#include "dsl/Interpreter.h"
+#include "dsl/Parser.h"
+#include "dsl/Printer.h"
+#include "support/StringUtils.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::dsl;
+
+namespace {
+
+/// One stored rule: pattern and replacement trees share an arena; their
+/// Input nodes are the pattern variables.
+struct Rule {
+  std::string Name;
+  std::unique_ptr<Program> Arena;
+  const Node *Lhs = nullptr;
+  const Node *Rhs = nullptr;
+};
+
+/// Variable bindings: pattern Input node -> subject subtree.
+using Bindings = std::unordered_map<const Node *, const Node *>;
+
+/// Structural tree equality on subject trees (for consistent rebinding of
+/// a variable that occurs twice in a pattern).
+bool treesEqual(const Node *A, const Node *B) {
+  if (A == B)
+    return true;
+  if (A->getKind() != B->getKind() || !(A->getAttrs() == B->getAttrs()) ||
+      A->getNumOperands() != B->getNumOperands())
+    return false;
+  if (A->isInput())
+    return A->getName() == B->getName();
+  if (A->isConstant())
+    return A->getValue() == B->getValue();
+  for (size_t I = 0; I < A->getNumOperands(); ++I)
+    if (!treesEqual(A->getOperand(I), B->getOperand(I)))
+      return false;
+  return true;
+}
+
+/// Unifies \p Pattern against \p Subject, extending \p Vars.
+bool matchPattern(const Node *Pattern, const Node *Subject, Bindings &Vars) {
+  if (Pattern->isInput()) {
+    auto [It, Inserted] = Vars.try_emplace(Pattern, Subject);
+    return Inserted || treesEqual(It->second, Subject);
+  }
+  if (Pattern->isConstant())
+    return Subject->isConstant() &&
+           Pattern->getValue() == Subject->getValue();
+  if (Pattern->getKind() != Subject->getKind() ||
+      Pattern->getNumOperands() != Subject->getNumOperands())
+    return false;
+  // Attributes must match exactly except shape attributes, which are
+  // instance-specific (rules are shape-polymorphic; the rebuild
+  // type-checks the result).  Reshape/full rules are therefore excluded
+  // at addRule time.
+  const NodeAttrs &PA = Pattern->getAttrs();
+  const NodeAttrs &SA = Subject->getAttrs();
+  if (PA.Axis != SA.Axis || PA.Diagonal != SA.Diagonal ||
+      PA.Perm != SA.Perm || PA.AxesA != SA.AxesA || PA.AxesB != SA.AxesB)
+    return false;
+  for (size_t I = 0; I < Pattern->getNumOperands(); ++I)
+    if (!matchPattern(Pattern->getOperand(I), Subject->getOperand(I), Vars))
+      return false;
+  return true;
+}
+
+/// Instantiates \p Replacement under \p Vars into \p Dest; null when the
+/// instantiation does not type-check at the subject's shapes.
+const Node *instantiate(Program &Dest, const Node *Replacement,
+                        const Bindings &Vars) {
+  if (Replacement->isInput()) {
+    auto It = Vars.find(Replacement);
+    assert(It != Vars.end() && "unbound pattern variable (checked earlier)");
+    return It->second;
+  }
+  if (Replacement->isConstant())
+    return Dest.constant(Replacement->getValue());
+  std::vector<const Node *> Operands;
+  Operands.reserve(Replacement->getNumOperands());
+  for (const Node *Op : Replacement->getOperands()) {
+    const Node *Built = instantiate(Dest, Op, Vars);
+    if (!Built)
+      return nullptr;
+    Operands.push_back(Built);
+  }
+  return Dest.tryMake(Replacement->getKind(), std::move(Operands),
+                      Replacement->getAttrs());
+}
+
+/// True when the tree contains constructs rules cannot generalize over
+/// (shape literals, comprehensions).
+bool containsNonGeneralizable(const Node *N) {
+  if (N->getKind() == OpKind::Reshape || N->getKind() == OpKind::Full ||
+      N->getKind() == OpKind::Comprehension)
+    return true;
+  for (const Node *Op : N->getOperands())
+    if (containsNonGeneralizable(Op))
+      return true;
+  return false;
+}
+
+void collectInputs(const Node *N, std::unordered_set<const Node *> &Out) {
+  if (N->isInput()) {
+    Out.insert(N);
+    return;
+  }
+  for (const Node *Op : N->getOperands())
+    collectInputs(Op, Out);
+}
+
+} // namespace
+
+struct RuleBook::Impl {
+  std::vector<Rule> Rules;
+};
+
+RuleBook::RuleBook() : P(std::make_unique<Impl>()) {}
+RuleBook::~RuleBook() = default;
+RuleBook::RuleBook(RuleBook &&) = default;
+RuleBook &RuleBook::operator=(RuleBook &&) = default;
+
+size_t RuleBook::size() const { return P->Rules.size(); }
+
+const std::string &RuleBook::getRuleName(size_t I) const {
+  assert(I < P->Rules.size() && "rule index out of range");
+  return P->Rules[I].Name;
+}
+
+bool RuleBook::addRule(const Node *Lhs, const Node *Rhs, std::string Name) {
+  if (containsNonGeneralizable(Lhs) || containsNonGeneralizable(Rhs))
+    return false;
+
+  Rule R;
+  R.Name = Name.empty() ? printNode(Lhs) + " => " + printNode(Rhs)
+                        : std::move(Name);
+  R.Arena = std::make_unique<Program>();
+  // Cloning into one arena unifies the two sides' inputs by name, so the
+  // same variable node appears in both trees.
+  R.Lhs = Program::cloneInto(*R.Arena, Lhs);
+  R.Rhs = Program::cloneInto(*R.Arena, Rhs);
+
+  std::unordered_set<const Node *> LhsVars, RhsVars;
+  collectInputs(R.Lhs, LhsVars);
+  collectInputs(R.Rhs, RhsVars);
+  for (const Node *V : RhsVars)
+    if (!LhsVars.count(V))
+      return false; // replacement invents a value
+  // A bare-variable LHS would match everything.
+  if (R.Lhs->isInput())
+    return false;
+
+  P->Rules.push_back(std::move(R));
+  return true;
+}
+
+namespace {
+
+/// One bottom-up rewriting pass; returns the (possibly reused) rebuilt
+/// node and counts firings.
+const Node *rewriteOnce(Program &Dest, const Node *N,
+                        const std::vector<Rule> &Rules, int &Applied,
+                        std::unordered_map<const Node *, const Node *> &Memo) {
+  auto Cached = Memo.find(N);
+  if (Cached != Memo.end())
+    return Cached->second;
+
+  const Node *Result = nullptr;
+  switch (N->getKind()) {
+  case OpKind::Input:
+    Result = Dest.input(N->getName(), N->getType());
+    break;
+  case OpKind::Constant:
+    Result = Dest.constant(N->getValue());
+    break;
+  case OpKind::Comprehension: {
+    const Node *Iterated = rewriteOnce(Dest, N->getOperand(0), Rules,
+                                       Applied, Memo);
+    const Node *Var =
+        Dest.loopVar(N->getLoopVar()->getName(), N->getLoopVar()->getType());
+    Memo.emplace(N->getLoopVar(), Var);
+    const Node *Body = rewriteOnce(Dest, N->getOperand(1), Rules, Applied,
+                                   Memo);
+    Result = Dest.tryMakeComprehension(Iterated, Var, Body,
+                                       N->getAttrs().Axis.value_or(0));
+    assert(Result && "rewrite broke a comprehension");
+    break;
+  }
+  default: {
+    std::vector<const Node *> Operands;
+    Operands.reserve(N->getNumOperands());
+    for (const Node *Op : N->getOperands())
+      Operands.push_back(rewriteOnce(Dest, Op, Rules, Applied, Memo));
+    Result = Dest.make(N->getKind(), std::move(Operands), N->getAttrs());
+    break;
+  }
+  }
+
+  // Try the rules at this (rebuilt) node.
+  for (const Rule &R : Rules) {
+    Bindings Vars;
+    if (!matchPattern(R.Lhs, Result, Vars))
+      continue;
+    const Node *Replaced = instantiate(Dest, R.Rhs, Vars);
+    if (!Replaced || Replaced->getType() != Result->getType())
+      continue; // does not type-check at these shapes
+    Result = Replaced;
+    ++Applied;
+    break;
+  }
+
+  Memo.emplace(N, Result);
+  return Result;
+}
+
+} // namespace
+
+const Node *RuleBook::apply(Program &Dest, const Node *Root,
+                            int *AppliedCount) const {
+  int Applied = 0;
+  const Node *Current = Root;
+  // Bounded fixpoint: a firing can expose further matches above it.
+  for (int Pass = 0; Pass < 8; ++Pass) {
+    int Before = Applied;
+    std::unordered_map<const Node *, const Node *> Memo;
+    Current = rewriteOnce(Dest, Current, P->Rules, Applied, Memo);
+    if (Applied == Before)
+      break;
+  }
+  if (AppliedCount)
+    *AppliedCount = Applied;
+  return Current;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+/// "f64[3,3]" / "bool[8]" / "f64" rendering of a type.
+static std::string typeSpec(const TensorType &Type) {
+  std::string Out = stenso::toString(Type.Dtype);
+  if (Type.TShape.getRank() > 0) {
+    Out += "[";
+    for (int64_t I = 0; I < Type.TShape.getRank(); ++I)
+      Out += (I ? "," : "") + std::to_string(Type.TShape.getDim(I));
+    Out += "]";
+  }
+  return Out;
+}
+
+static std::optional<TensorType> parseTypeSpec(const std::string &Spec) {
+  size_t Bracket = Spec.find('[');
+  std::string Name = Spec.substr(0, Bracket);
+  TensorType Type;
+  if (Name == "f64")
+    Type.Dtype = DType::Float64;
+  else if (Name == "bool")
+    Type.Dtype = DType::Bool;
+  else
+    return std::nullopt;
+  std::vector<int64_t> Dims;
+  if (Bracket != std::string::npos) {
+    if (Spec.back() != ']')
+      return std::nullopt;
+    std::istringstream SS(Spec.substr(Bracket + 1,
+                                      Spec.size() - Bracket - 2));
+    std::string Piece;
+    while (std::getline(SS, Piece, ',')) {
+      std::optional<int64_t> Dim = parseInt64(Piece);
+      if (!Dim || *Dim < 0)
+        return std::nullopt;
+      Dims.push_back(*Dim);
+    }
+  }
+  Type.TShape = Shape(Dims);
+  return Type;
+}
+
+std::string RuleBook::serialize() const {
+  std::ostringstream OS;
+  for (const Rule &R : P->Rules) {
+    OS << "rule\n";
+    for (const Node *In : R.Arena->getInputs())
+      OS << "var " << In->getName() << " " << typeSpec(In->getType())
+         << "\n";
+    OS << "lhs " << printNode(R.Lhs) << "\n";
+    OS << "rhs " << printNode(R.Rhs) << "\n";
+  }
+  return OS.str();
+}
+
+std::optional<RuleBook> RuleBook::deserialize(const std::string &Text,
+                                              std::string &Error) {
+  RuleBook Book;
+  std::istringstream In(Text);
+  std::string Line;
+  InputDecls Vars;
+  std::string LhsSrc, RhsSrc;
+  int LineNo = 0;
+
+  auto Flush = [&]() -> bool {
+    if (LhsSrc.empty() && RhsSrc.empty())
+      return true;
+    if (LhsSrc.empty() || RhsSrc.empty()) {
+      Error = "rule missing lhs or rhs before line " +
+              std::to_string(LineNo);
+      return false;
+    }
+    auto Lhs = parseProgram(LhsSrc, Vars);
+    auto Rhs = parseProgram(RhsSrc, Vars);
+    if (!Lhs || !Rhs) {
+      Error = "rule parse failure: " + (Lhs ? Rhs.Error : Lhs.Error);
+      return false;
+    }
+    if (!Book.addRule(Lhs.Prog->getRoot(), Rhs.Prog->getRoot())) {
+      Error = "invalid rule: " + LhsSrc + " => " + RhsSrc;
+      return false;
+    }
+    Vars.clear();
+    LhsSrc.clear();
+    RhsSrc.clear();
+    return true;
+  };
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    // Trim.
+    size_t Begin = Line.find_first_not_of(" \t");
+    if (Begin == std::string::npos)
+      continue;
+    size_t End = Line.find_last_not_of(" \t\r");
+    Line = Line.substr(Begin, End - Begin + 1);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+
+    if (Line == "rule") {
+      if (!Flush())
+        return std::nullopt;
+      continue;
+    }
+    std::istringstream SS(Line);
+    std::string Keyword;
+    SS >> Keyword;
+    if (Keyword == "var") {
+      std::string Name, Spec;
+      SS >> Name >> Spec;
+      std::optional<TensorType> Type = parseTypeSpec(Spec);
+      if (Name.empty() || !Type) {
+        Error = "malformed var line " + std::to_string(LineNo) + ": " +
+                Line;
+        return std::nullopt;
+      }
+      Vars.emplace_back(Name, *Type);
+      continue;
+    }
+    if (Keyword == "lhs" || Keyword == "rhs") {
+      std::string Rest = Line.substr(4);
+      (Keyword == "lhs" ? LhsSrc : RhsSrc) = Rest;
+      continue;
+    }
+    Error = "unexpected line " + std::to_string(LineNo) + ": " + Line;
+    return std::nullopt;
+  }
+  if (!Flush())
+    return std::nullopt;
+  return Book;
+}
+
+const Node *RuleBook::applyVerified(Program &Dest, const Node *Root,
+                                    RNG &Rng, int Trials,
+                                    int *AppliedCount) const {
+  int Applied = 0;
+  const Node *Rewritten = apply(Dest, Root, &Applied);
+  if (AppliedCount)
+    *AppliedCount = Applied;
+  if (Applied == 0)
+    return Rewritten;
+
+  // Random-testing validation (PET-style correction): any disagreement
+  // rejects the rewrite wholesale.
+  std::unordered_set<const Node *> Inputs;
+  collectInputs(Root, Inputs);
+  for (int Trial = 0; Trial < Trials; ++Trial) {
+    InputBinding Binding;
+    for (const Node *In : Inputs) {
+      Tensor T(In->getType().TShape, In->getType().Dtype);
+      for (int64_t I = 0; I < T.getNumElements(); ++I)
+        T.at(I) = In->getType().Dtype == DType::Bool
+                      ? (Rng.chance(0.5) ? 1.0 : 0.0)
+                      : Rng.positive();
+      Binding.emplace(In->getName(), std::move(T));
+    }
+    Tensor Want = interpret(Root, Binding);
+    Tensor Got = interpret(Rewritten, Binding);
+    if (!Want.allClose(Got, 1e-7, 1e-9)) {
+      if (AppliedCount)
+        *AppliedCount = 0;
+      return Program::cloneInto(Dest, Root);
+    }
+  }
+  return Rewritten;
+}

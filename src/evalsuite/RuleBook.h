@@ -1,0 +1,89 @@
+//===- RuleBook.h - Applying mined rewrite rules as a pass -----*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section VII-D observes that the rewrites STENSO discovers
+/// "could be added to compilers".  RuleBook closes that loop: it stores
+/// mined (lhs, rhs) program pairs as patterns whose inputs act as
+/// pattern variables, and applies them to new programs by syntactic
+/// unification — a millisecond-scale rewriting pass, versus seconds of
+/// synthesis.
+///
+/// Rules are mined at concrete shapes but applied shape-polymorphically;
+/// since a rewrite could in principle be shape-specific (cf. PET's
+/// partially-equivalent transformations), applyVerified() re-checks
+/// equivalence on random inputs and falls back to the original program
+/// on any mismatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_EVALSUITE_RULEBOOK_H
+#define STENSO_EVALSUITE_RULEBOOK_H
+
+#include "dsl/Node.h"
+#include "support/RNG.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace evalsuite {
+
+/// A library of rewrite rules applied by pattern matching.
+class RuleBook {
+public:
+  RuleBook();
+  ~RuleBook();
+  RuleBook(RuleBook &&);
+  RuleBook &operator=(RuleBook &&);
+
+  /// Adds a rule from a concrete (original, optimized) pair — typically a
+  /// synthesis result.  The programs' inputs become pattern variables;
+  /// every variable of \p Rhs must appear in \p Lhs.  Returns false (and
+  /// adds nothing) if that fails.
+  bool addRule(const dsl::Node *Lhs, const dsl::Node *Rhs,
+               std::string Name = "");
+
+  size_t size() const;
+  const std::string &getRuleName(size_t I) const;
+
+  /// Rewrites \p Root bottom-up to fixpoint (bounded), building into
+  /// \p Dest.  \p AppliedCount (may be null) receives the number of rule
+  /// firings.  Purely syntactic: no verification.
+  const dsl::Node *apply(dsl::Program &Dest, const dsl::Node *Root,
+                         int *AppliedCount = nullptr) const;
+
+  /// Like apply(), but validates the rewritten program against the
+  /// original on \p Trials random inputs; on any disagreement (a
+  /// shape-specific rule misfiring) the original program is returned
+  /// unchanged.
+  const dsl::Node *applyVerified(dsl::Program &Dest, const dsl::Node *Root,
+                                 RNG &Rng, int Trials = 3,
+                                 int *AppliedCount = nullptr) const;
+
+  /// Serializes all rules to a line-oriented text format:
+  ///
+  ///   rule
+  ///   var X f64[3,3]
+  ///   lhs np.diag(np.dot(X, Y))
+  ///   rhs np.sum(X * Y.T, axis=1)
+  ///
+  /// deserialize() parses that format back; on failure it returns
+  /// std::nullopt and stores a diagnostic in \p Error.
+  std::string serialize() const;
+  static std::optional<RuleBook> deserialize(const std::string &Text,
+                                             std::string &Error);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace evalsuite
+} // namespace stenso
+
+#endif // STENSO_EVALSUITE_RULEBOOK_H

@@ -1,0 +1,76 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast templates ------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled, opt-in RTTI in the style of llvm/Support/Casting.h.
+///
+/// A class hierarchy participates by providing a discriminator (usually a
+/// Kind enum returned by getKind()) and a static classof(const Base *)
+/// predicate on each subclass.  isa<>, cast<> and dyn_cast<> then work
+/// exactly like their LLVM counterparts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_CASTING_H
+#define STENSO_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <memory>
+#include <type_traits>
+
+namespace stenso {
+
+/// Returns true if \p Val is an instance of the class \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked cast: asserts that \p Val is an instance of \p To.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+/// Conditional cast: returns null when \p Val is not an instance of \p To.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates null inputs.
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_CASTING_H

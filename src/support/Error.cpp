@@ -1,0 +1,23 @@
+//===- Error.cpp - Fatal error reporting ----------------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace stenso;
+
+void stenso::reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "stenso fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void stenso::stensoUnreachableImpl(const char *Msg, const char *File,
+                                   unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

@@ -1,0 +1,33 @@
+//===- Error.h - Fatal error reporting and unreachable marker --*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library is exception-free (LLVM style).  Unrecoverable conditions
+/// triggered by user input go through reportFatalError; internal invariant
+/// violations use assert or stenso_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_ERROR_H
+#define STENSO_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace stenso {
+
+/// Prints "stenso fatal error: <Msg>" to stderr and aborts the process.
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+/// Marks a point in code that must never be reached.
+[[noreturn]] void stensoUnreachableImpl(const char *Msg, const char *File,
+                                        unsigned Line);
+
+} // namespace stenso
+
+#define stenso_unreachable(MSG)                                               \
+  ::stenso::stensoUnreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // STENSO_SUPPORT_ERROR_H

@@ -1,0 +1,38 @@
+//===- Hashing.h - Hash combination utilities ------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash-combining helpers used by the hash-consed symbolic engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_HASHING_H
+#define STENSO_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace stenso {
+
+/// Mixes \p Value into \p Seed (boost::hash_combine-style with a 64-bit
+/// golden-ratio constant).
+inline void hashCombine(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes a range of elements whose type has a std::hash specialization.
+template <typename Iter> size_t hashRange(Iter First, Iter Last) {
+  size_t Seed = 0;
+  for (Iter It = First; It != Last; ++It)
+    hashCombine(Seed, std::hash<typename std::iterator_traits<
+                          Iter>::value_type>()(*It));
+  return Seed;
+}
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_HASHING_H

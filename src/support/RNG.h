@@ -1,0 +1,59 @@
+//===- RNG.h - Deterministic random number generation ----------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic RNG wrapper.  All random data in tests, equivalence
+/// checking and workload generation flows through this class so that runs
+/// are reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_RNG_H
+#define STENSO_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+
+namespace stenso {
+
+/// Deterministic pseudo-random source (mt19937_64 under the hood).
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x5747454e53544f21ULL) : Engine(Seed) {}
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi) {
+    return std::uniform_real_distribution<double>(Lo, Hi)(Engine);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t uniformInt(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty integer range");
+    return std::uniform_int_distribution<int64_t>(Lo, Hi)(Engine);
+  }
+
+  /// Strictly positive double in [Lo, Hi); used for inputs where the
+  /// symbolic engine assumes positivity (sqrt/log domains).
+  double positive(double Lo = 0.25, double Hi = 4.0) {
+    assert(Lo > 0 && "positive() lower bound must be > 0");
+    return uniform(Lo, Hi);
+  }
+
+  /// Bernoulli draw with probability \p P of true.
+  bool chance(double P) {
+    return std::bernoulli_distribution(P)(Engine);
+  }
+
+  std::mt19937_64 &engine() { return Engine; }
+
+private:
+  std::mt19937_64 Engine;
+};
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_RNG_H

@@ -1,0 +1,163 @@
+//===- Rational.cpp - Exact rational arithmetic ---------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+using namespace stenso;
+
+using Int128 = __int128;
+
+static int64_t narrowOrDie(Int128 Value) {
+  if (Value > INT64_MAX || Value < INT64_MIN)
+    reportFatalError("rational arithmetic overflow");
+  return static_cast<int64_t>(Value);
+}
+
+/// Reduces Num/Den in 128-bit space, then narrows.
+static void normalize(Int128 Num, Int128 Den, int64_t &OutNum,
+                      int64_t &OutDen) {
+  if (Den == 0)
+    reportFatalError("rational with zero denominator");
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  Int128 A = Num < 0 ? -Num : Num;
+  Int128 B = Den;
+  while (B != 0) {
+    Int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  if (A == 0)
+    A = 1;
+  OutNum = narrowOrDie(Num / A);
+  OutDen = narrowOrDie(Den / A);
+}
+
+Rational::Rational(int64_t Numerator, int64_t Denominator) {
+  normalize(Numerator, Denominator, Num, Den);
+}
+
+int64_t Rational::getInteger() const {
+  assert(isInteger() && "getInteger() on a non-integral rational");
+  return Num;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  Rational Result;
+  normalize(Int128(Num) * RHS.Den + Int128(RHS.Num) * Den,
+            Int128(Den) * RHS.Den, Result.Num, Result.Den);
+  return Result;
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return *this + (-RHS);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  Rational Result;
+  normalize(Int128(Num) * RHS.Num, Int128(Den) * RHS.Den, Result.Num,
+            Result.Den);
+  return Result;
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  if (RHS.isZero())
+    reportFatalError("rational division by zero");
+  Rational Result;
+  normalize(Int128(Num) * RHS.Den, Int128(Den) * RHS.Num, Result.Num,
+            Result.Den);
+  return Result;
+}
+
+Rational Rational::operator-() const {
+  Rational Result;
+  Result.Num = -Num;
+  Result.Den = Den;
+  return Result;
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  return Int128(Num) * RHS.Den < Int128(RHS.Num) * Den;
+}
+
+Rational Rational::pow(int64_t Exp) const {
+  if (Exp < 0) {
+    if (isZero())
+      reportFatalError("zero raised to a negative power");
+    return Rational(Den, Num).pow(-Exp);
+  }
+  Rational Result(1);
+  Rational Base = *this;
+  while (Exp > 0) {
+    if (Exp & 1)
+      Result *= Base;
+    Base *= Base;
+    Exp >>= 1;
+  }
+  return Result;
+}
+
+/// Computes the exact integer N-th root of \p Value if one exists.
+static bool intNthRoot(int64_t Value, int64_t N, int64_t &Root) {
+  assert(N >= 1 && "root order must be positive");
+  if (N == 1) {
+    Root = Value;
+    return true;
+  }
+  bool Negative = Value < 0;
+  if (Negative && N % 2 == 0)
+    return false;
+  uint64_t Mag = Negative ? static_cast<uint64_t>(-(Value + 1)) + 1
+                          : static_cast<uint64_t>(Value);
+  // Binary search the magnitude of the root.
+  uint64_t Lo = 0, Hi = 1;
+  auto PowSat = [&](uint64_t Base) -> uint64_t {
+    // Saturating Base**N.
+    Int128 Acc = 1;
+    for (int64_t I = 0; I < N; ++I) {
+      Acc *= Base;
+      if (Acc > Int128(UINT64_MAX))
+        return UINT64_MAX;
+    }
+    return static_cast<uint64_t>(Acc);
+  };
+  while (PowSat(Hi) < Mag)
+    Hi *= 2;
+  while (Lo < Hi) {
+    uint64_t Mid = Lo + (Hi - Lo + 1) / 2;
+    if (PowSat(Mid) <= Mag)
+      Lo = Mid;
+    else
+      Hi = Mid - 1;
+  }
+  if (PowSat(Lo) != Mag)
+    return false;
+  if (Lo > static_cast<uint64_t>(INT64_MAX))
+    return false;
+  Root = Negative ? -static_cast<int64_t>(Lo) : static_cast<int64_t>(Lo);
+  return true;
+}
+
+bool Rational::nthRoot(int64_t N, Rational &Root) const {
+  int64_t NumRoot, DenRoot;
+  if (!intNthRoot(Num, N, NumRoot) || !intNthRoot(Den, N, DenRoot))
+    return false;
+  Root = Rational(NumRoot, DenRoot);
+  return true;
+}
+
+std::string Rational::toString() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

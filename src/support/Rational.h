@@ -1,0 +1,92 @@
+//===- Rational.h - Exact rational arithmetic ------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over int64 with canonical (reduced, positive
+/// denominator) representation.  These are the numeric constants of the
+/// symbolic algebra engine: exact arithmetic keeps canonicalization stable
+/// (no floating-point drift) and makes polynomial identity testing sound.
+///
+/// Intermediate products use __int128 so that canonicalization of typical
+/// compiler-sized constants never overflows silently; overflow of the final
+/// reduced value aborts via reportFatalError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_RATIONAL_H
+#define STENSO_SUPPORT_RATIONAL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace stenso {
+
+/// An exact rational number Num/Den with Den > 0 and gcd(|Num|, Den) == 1.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  /*implicit*/ Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(int64_t Numerator, int64_t Denominator);
+
+  int64_t getNumerator() const { return Num; }
+  int64_t getDenominator() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isOne() const { return Num == 1 && Den == 1; }
+  bool isInteger() const { return Den == 1; }
+  bool isNegative() const { return Num < 0; }
+
+  /// Returns the integer value; asserts isInteger().
+  int64_t getInteger() const;
+
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// Division; aborts on division by zero.
+  Rational operator/(const Rational &RHS) const;
+  Rational operator-() const;
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const;
+  bool operator<=(const Rational &RHS) const { return !(RHS < *this); }
+  bool operator>(const Rational &RHS) const { return RHS < *this; }
+  bool operator>=(const Rational &RHS) const { return !(*this < RHS); }
+
+  /// Raises this to an integer power \p Exp (negative allowed for nonzero
+  /// values).
+  Rational pow(int64_t Exp) const;
+
+  /// If this rational has an exact rational \p N-th root (N >= 1), stores it
+  /// in \p Root and returns true.  Negative bases only succeed for odd N.
+  bool nthRoot(int64_t N, Rational &Root) const;
+
+  double toDouble() const {
+    return static_cast<double>(Num) / static_cast<double>(Den);
+  }
+
+  std::string toString() const;
+
+  size_t hash() const {
+    return std::hash<int64_t>()(Num) * 31 + std::hash<int64_t>()(Den);
+  }
+
+private:
+  int64_t Num;
+  int64_t Den;
+};
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_RATIONAL_H

@@ -1,0 +1,60 @@
+//===- Statistics.cpp - Summary statistics --------------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace stenso;
+
+double stenso::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    reportFatalError("geometricMean of empty sample");
+  double LogSum = 0;
+  for (double V : Values) {
+    if (V <= 0)
+      reportFatalError("geometricMean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double stenso::arithmeticMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    reportFatalError("arithmeticMean of empty sample");
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double stenso::median(std::vector<double> Values) {
+  if (Values.empty())
+    reportFatalError("median of empty sample");
+  std::sort(Values.begin(), Values.end());
+  size_t N = Values.size();
+  if (N % 2 == 1)
+    return Values[N / 2];
+  return 0.5 * (Values[N / 2 - 1] + Values[N / 2]);
+}
+
+double stenso::minimum(const std::vector<double> &Values) {
+  if (Values.empty())
+    reportFatalError("minimum of empty sample");
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double stenso::sampleStdDev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0;
+  double Mean = arithmeticMean(Values);
+  double Acc = 0;
+  for (double V : Values)
+    Acc += (V - Mean) * (V - Mean);
+  return std::sqrt(Acc / static_cast<double>(Values.size() - 1));
+}

@@ -1,0 +1,39 @@
+//===- Statistics.h - Summary statistics for the harness -------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Geometric mean, median and friends.  The paper reports geometric-mean
+/// speedups (Figs. 4 and 7) and per-benchmark medians; these helpers are
+/// shared by the evaluation harness and the bench binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_STATISTICS_H
+#define STENSO_SUPPORT_STATISTICS_H
+
+#include <vector>
+
+namespace stenso {
+
+/// Geometric mean of strictly positive values; aborts on empty input or a
+/// non-positive element.
+double geometricMean(const std::vector<double> &Values);
+
+/// Arithmetic mean; aborts on empty input.
+double arithmeticMean(const std::vector<double> &Values);
+
+/// Median (average of middle pair for even sizes); aborts on empty input.
+double median(std::vector<double> Values);
+
+/// Sample minimum; aborts on empty input.
+double minimum(const std::vector<double> &Values);
+
+/// Sample standard deviation (N-1 denominator); zero for size < 2.
+double sampleStdDev(const std::vector<double> &Values);
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_STATISTICS_H

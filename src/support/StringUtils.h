@@ -1,0 +1,36 @@
+//===- StringUtils.h - Small string parsing helpers ------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free numeric parsing (std::stoll throws on overflow, which
+/// user-provided sources must never be able to trigger).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_STRINGUTILS_H
+#define STENSO_SUPPORT_STRINGUTILS_H
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace stenso {
+
+/// Parses a decimal int64; nullopt on malformed input or overflow.
+inline std::optional<int64_t> parseInt64(const std::string &Text) {
+  int64_t Value = 0;
+  const char *Begin = Text.data();
+  const char *End = Begin + Text.size();
+  auto [Ptr, Ec] = std::from_chars(Begin, End, Value);
+  if (Ec != std::errc() || Ptr != End)
+    return std::nullopt;
+  return Value;
+}
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_STRINGUTILS_H

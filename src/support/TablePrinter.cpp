@@ -1,0 +1,82 @@
+//===- TablePrinter.cpp - Aligned console tables and CSV ------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+#include "support/Error.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+using namespace stenso;
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  if (Row.size() != Header.size())
+    reportFatalError("table row arity does not match header");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TablePrinter::formatDouble(double Value, int Precision) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(Precision) << Value;
+  return OS.str();
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      OS << (I == 0 ? "| " : " | ");
+      OS << Row[I] << std::string(Widths[I] - Row[I].size(), ' ');
+    }
+    OS << " |\n";
+  };
+
+  PrintRow(Header);
+  OS << '|';
+  for (size_t W : Widths)
+    OS << std::string(W + 2, '-') << '|';
+  OS << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+/// Quotes a CSV cell when it contains separators or quotes.
+static std::string csvQuote(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+void TablePrinter::printCSV(std::ostream &OS) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        OS << ',';
+      OS << csvQuote(Row[I]);
+    }
+    OS << '\n';
+  };
+  PrintRow(Header);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

@@ -1,0 +1,49 @@
+//===- TablePrinter.h - Aligned console tables and CSV ---------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats the paper's tables and figure data as aligned ASCII tables (for
+/// the terminal) and as CSV (for downstream plotting).  Every bench binary
+/// prints through this class so that outputs are uniform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_TABLEPRINTER_H
+#define STENSO_SUPPORT_TABLEPRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stenso {
+
+/// Collects rows of string cells and renders them aligned or as CSV.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: formats a double with \p Precision decimal places.
+  static std::string formatDouble(double Value, int Precision = 2);
+
+  /// Renders the table with aligned columns and a separator rule.
+  void print(std::ostream &OS) const;
+
+  /// Renders the table as CSV (comma-separated, quoted where needed).
+  void printCSV(std::ostream &OS) const;
+
+  size_t getNumRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_TABLEPRINTER_H

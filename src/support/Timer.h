@@ -1,0 +1,65 @@
+//===- Timer.h - Wall-clock timing utilities -------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timer used by the synthesis timeout machinery and
+/// the measured cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_TIMER_H
+#define STENSO_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace stenso {
+
+/// A simple monotonic stopwatch, started at construction.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed seconds since construction or the last reset().
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns elapsed milliseconds.
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A deadline that answers "has the budget been exhausted?".  A budget of
+/// zero or less means "no deadline".
+class Deadline {
+public:
+  explicit Deadline(double BudgetSeconds) : BudgetSeconds(BudgetSeconds) {}
+
+  bool expired() const {
+    return BudgetSeconds > 0 && Timer.elapsedSeconds() >= BudgetSeconds;
+  }
+
+  double remainingSeconds() const {
+    if (BudgetSeconds <= 0)
+      return 1e30;
+    double Left = BudgetSeconds - Timer.elapsedSeconds();
+    return Left > 0 ? Left : 0;
+  }
+
+private:
+  WallTimer Timer;
+  double BudgetSeconds;
+};
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_TIMER_H

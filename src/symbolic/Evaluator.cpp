@@ -1,0 +1,91 @@
+//===- Evaluator.cpp - Numeric evaluation of symbolic exprs ---------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Evaluator.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace stenso;
+using namespace stenso::sym;
+
+namespace {
+
+/// One evaluation pass with memoization over the DAG.
+class EvalVisitor {
+public:
+  explicit EvalVisitor(const Environment &Env) : Env(Env) {}
+
+  double visit(const Expr *E) {
+    auto It = Memo.find(E);
+    if (It != Memo.end())
+      return It->second;
+    double Result = compute(E);
+    Memo.emplace(E, Result);
+    return Result;
+  }
+
+private:
+  double compute(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::Constant:
+      return cast<ConstantExpr>(E)->getValue().toDouble();
+    case Expr::Kind::Symbol: {
+      auto It = Env.find(E);
+      if (It == Env.end())
+        reportFatalError("unbound symbol in evaluation: " +
+                         cast<SymbolExpr>(E)->getName());
+      return It->second;
+    }
+    case Expr::Kind::Add: {
+      double Acc = 0;
+      for (const Expr *Op : E->getOperands())
+        Acc += visit(Op);
+      return Acc;
+    }
+    case Expr::Kind::Mul: {
+      double Acc = 1;
+      for (const Expr *Op : E->getOperands())
+        Acc *= visit(Op);
+      return Acc;
+    }
+    case Expr::Kind::Pow: {
+      const auto *P = cast<PowExpr>(E);
+      return std::pow(visit(P->getBase()), visit(P->getExponent()));
+    }
+    case Expr::Kind::Exp:
+      return std::exp(visit(cast<ExpExpr>(E)->getArg()));
+    case Expr::Kind::Log:
+      return std::log(visit(cast<LogExpr>(E)->getArg()));
+    case Expr::Kind::Max: {
+      double Acc = -HUGE_VAL;
+      for (const Expr *Op : E->getOperands())
+        Acc = std::max(Acc, visit(Op));
+      return Acc;
+    }
+    case Expr::Kind::Less: {
+      const auto *L = cast<LessExpr>(E);
+      return visit(L->getLhs()) < visit(L->getRhs()) ? 1.0 : 0.0;
+    }
+    case Expr::Kind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      return visit(S->getCond()) != 0.0 ? visit(S->getTrueValue())
+                                        : visit(S->getFalseValue());
+    }
+    }
+    stenso_unreachable("unknown expression kind");
+  }
+
+  const Environment &Env;
+  std::unordered_map<const Expr *, double> Memo;
+};
+
+} // namespace
+
+double sym::evaluate(const Expr *E, const Environment &Env) {
+  return EvalVisitor(Env).visit(E);
+}

@@ -1,0 +1,36 @@
+//===- Evaluator.h - Numeric evaluation of symbolic exprs ------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates a symbolic expression to a double under an assignment of
+/// symbol values.  Used by the probabilistic equivalence backstop and by
+/// tests that cross-check the symbolic executor against the concrete
+/// interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SYMBOLIC_EVALUATOR_H
+#define STENSO_SYMBOLIC_EVALUATOR_H
+
+#include "symbolic/Expr.h"
+
+#include <unordered_map>
+
+namespace stenso {
+namespace sym {
+
+/// Symbol-to-value assignment (keys are interned SymbolExpr pointers).
+using Environment = std::unordered_map<const Expr *, double>;
+
+/// Evaluates \p E under \p Env.  Unbound symbols abort; domain errors
+/// (log of a non-positive value, fractional power of a negative base)
+/// surface as NaN, which equivalence checking treats as a mismatch.
+double evaluate(const Expr *E, const Environment &Env);
+
+} // namespace sym
+} // namespace stenso
+
+#endif // STENSO_SYMBOLIC_EVALUATOR_H

@@ -1,0 +1,148 @@
+//===- Expr.cpp - Symbolic expression IR ----------------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Expr.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace stenso;
+using namespace stenso::sym;
+
+Expr::~Expr() = default;
+
+bool Expr::isZero() const {
+  const auto *C = dyn_cast<ConstantExpr>(this);
+  return C && C->getValue().isZero();
+}
+
+bool Expr::isOne() const {
+  const auto *C = dyn_cast<ConstantExpr>(this);
+  return C && C->getValue().isOne();
+}
+
+int64_t Expr::countOps() const {
+  if (getNumOperands() == 0)
+    return 0;
+  int64_t N = 1;
+  for (const Expr *Op : Operands)
+    N += Op->countOps();
+  return N;
+}
+
+/// Rank used as the primary sort key; chosen so constants sort first and
+/// leaves before compound nodes.
+static int kindRank(Expr::Kind K) {
+  switch (K) {
+  case Expr::Kind::Constant:
+    return 0;
+  case Expr::Kind::Symbol:
+    return 1;
+  case Expr::Kind::Pow:
+    return 2;
+  case Expr::Kind::Mul:
+    return 3;
+  case Expr::Kind::Add:
+    return 4;
+  case Expr::Kind::Exp:
+    return 5;
+  case Expr::Kind::Log:
+    return 6;
+  case Expr::Kind::Max:
+    return 7;
+  case Expr::Kind::Less:
+    return 8;
+  case Expr::Kind::Select:
+    return 9;
+  }
+  stenso_unreachable("unknown expression kind");
+}
+
+int sym::compareExprs(const Expr *A, const Expr *B) {
+  if (A == B)
+    return 0;
+  int RA = kindRank(A->getKind()), RB = kindRank(B->getKind());
+  if (RA != RB)
+    return RA < RB ? -1 : 1;
+
+  if (const auto *CA = dyn_cast<ConstantExpr>(A)) {
+    const Rational &VA = CA->getValue();
+    const Rational &VB = cast<ConstantExpr>(B)->getValue();
+    if (VA == VB)
+      return 0;
+    return VA < VB ? -1 : 1;
+  }
+  if (const auto *SA = dyn_cast<SymbolExpr>(A))
+    return SA->getName().compare(cast<SymbolExpr>(B)->getName());
+
+  const auto &OpsA = A->getOperands();
+  const auto &OpsB = B->getOperands();
+  size_t N = std::min(OpsA.size(), OpsB.size());
+  for (size_t I = 0; I < N; ++I)
+    if (int Cmp = compareExprs(OpsA[I], OpsB[I]))
+      return Cmp;
+  if (OpsA.size() != OpsB.size())
+    return OpsA.size() < OpsB.size() ? -1 : 1;
+  return 0;
+}
+
+std::vector<const SymbolExpr *> sym::collectSymbols(const Expr *E) {
+  std::vector<const SymbolExpr *> Result;
+  std::unordered_set<const Expr *> Seen;
+  // Iterative DFS; visited-set makes this linear in DAG size.
+  std::vector<const Expr *> Stack = {E};
+  while (!Stack.empty()) {
+    const Expr *Node = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(Node).second)
+      continue;
+    if (const auto *S = dyn_cast<SymbolExpr>(Node)) {
+      Result.push_back(S);
+      continue;
+    }
+    for (const Expr *Op : Node->getOperands())
+      Stack.push_back(Op);
+  }
+  std::sort(Result.begin(), Result.end(),
+            [](const SymbolExpr *A, const SymbolExpr *B) {
+              return A->getName() < B->getName();
+            });
+  return Result;
+}
+
+int64_t sym::countSymbolOccurrences(const Expr *E) {
+  std::unordered_map<const Expr *, int64_t> Memo;
+  // Post-order over the DAG; each node's count is the sum over operands,
+  // so shared subtrees are counted once per reference (tree semantics)
+  // while being computed only once.
+  std::function<int64_t(const Expr *)> Visit = [&](const Expr *N) -> int64_t {
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    int64_t Count = 0;
+    if (isa<SymbolExpr>(N)) {
+      Count = 1;
+    } else {
+      for (const Expr *Op : N->getOperands())
+        Count += Visit(Op);
+    }
+    Memo.emplace(N, Count);
+    return Count;
+  };
+  return Visit(E);
+}
+
+int64_t sym::countDistinctInputs(const Expr *E) {
+  std::unordered_set<std::string> Inputs;
+  for (const SymbolExpr *S : collectSymbols(E))
+    Inputs.insert(S->getTensorName().empty() ? S->getName()
+                                             : S->getTensorName());
+  return static_cast<int64_t>(Inputs.size());
+}

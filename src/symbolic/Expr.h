@@ -1,0 +1,262 @@
+//===- Expr.h - Symbolic scalar expression IR ------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic scalar expression IR — STENSO's SymPy substitute.
+///
+/// Expressions are immutable, hash-consed DAG nodes owned by an
+/// ExprContext.  Node identity is semantic: the context's smart
+/// constructors canonicalize on construction (flattening, like-term and
+/// like-factor collection, constant folding, power/exp/log laws), so two
+/// Expr pointers are equal iff the canonical forms are identical.
+///
+/// All symbols are assumed real and strictly positive — the assumption the
+/// paper's rewrites rely on (sqrt(x)^2 = x, exp(log x) = x).  The numeric
+/// equivalence backstop samples positive inputs accordingly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SYMBOLIC_EXPR_H
+#define STENSO_SYMBOLIC_EXPR_H
+
+#include "support/Casting.h"
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace sym {
+
+class ExprContext;
+
+/// Base class of all symbolic expression nodes.
+class Expr {
+public:
+  enum class Kind {
+    Constant,
+    Symbol,
+    Add,
+    Mul,
+    Pow,
+    Exp,
+    Log,
+    Max,
+    Less,
+    Select,
+  };
+
+  Kind getKind() const { return K; }
+
+  /// Operand accessors; leaves have no operands.
+  const std::vector<const Expr *> &getOperands() const { return Operands; }
+  size_t getNumOperands() const { return Operands.size(); }
+  const Expr *getOperand(size_t I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+
+  /// Structural hash, cached at construction.
+  size_t getHash() const { return Hash; }
+
+  /// Unique, monotonically increasing id within the owning context.
+  /// Used only for deterministic tie-breaking, never for semantics.
+  uint64_t getId() const { return Id; }
+
+  bool isZero() const;
+  bool isOne() const;
+
+  /// Number of operation nodes (non-leaves) in the DAG *tree* expansion.
+  /// A crude size measure used in tests and diagnostics.
+  int64_t countOps() const;
+
+  std::string toString() const;
+
+public:
+  /// Out-of-line virtual anchor; nodes are owned and destroyed by the
+  /// ExprContext.
+  virtual ~Expr();
+
+protected:
+  Expr(Kind K, std::vector<const Expr *> Operands)
+      : K(K), Operands(std::move(Operands)) {}
+
+private:
+  friend class ExprContext;
+
+  Kind K;
+  std::vector<const Expr *> Operands;
+  size_t Hash = 0;
+  uint64_t Id = 0;
+};
+
+/// An exact rational constant.
+class ConstantExpr : public Expr {
+public:
+  const Rational &getValue() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::Constant;
+  }
+
+private:
+  friend class ExprContext;
+  explicit ConstantExpr(Rational Value)
+      : Expr(Kind::Constant, {}), Value(Value) {}
+
+  Rational Value;
+};
+
+/// A free symbol, optionally tagged as an element of a named input tensor.
+///
+/// The tensor name and index tuple power the synthesizer's index-signature
+/// solving: from a term's symbols the solver can recover which slice of an
+/// input the term came from.
+class SymbolExpr : public Expr {
+public:
+  const std::string &getName() const { return Name; }
+  const std::string &getTensorName() const { return TensorName; }
+  const std::vector<int64_t> &getIndices() const { return Indices; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Symbol; }
+
+private:
+  friend class ExprContext;
+  SymbolExpr(std::string Name, std::string TensorName,
+             std::vector<int64_t> Indices)
+      : Expr(Kind::Symbol, {}), Name(std::move(Name)),
+        TensorName(std::move(TensorName)), Indices(std::move(Indices)) {}
+
+  std::string Name;
+  std::string TensorName;
+  std::vector<int64_t> Indices;
+};
+
+/// N-ary sum.  Canonical form: operands sorted, at most one leading
+/// constant, no nested Add, like terms combined.
+class AddExpr : public Expr {
+public:
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Add; }
+
+private:
+  friend class ExprContext;
+  explicit AddExpr(std::vector<const Expr *> Operands)
+      : Expr(Kind::Add, std::move(Operands)) {}
+};
+
+/// N-ary product.  Canonical form: operands sorted, at most one leading
+/// constant, no nested Mul, like factors combined into Pow, at most one
+/// Exp factor.
+class MulExpr : public Expr {
+public:
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Mul; }
+
+private:
+  friend class ExprContext;
+  explicit MulExpr(std::vector<const Expr *> Operands)
+      : Expr(Kind::Mul, std::move(Operands)) {}
+};
+
+/// Base raised to an exponent.  sqrt(x) is Pow(x, 1/2), 1/x is Pow(x, -1).
+class PowExpr : public Expr {
+public:
+  const Expr *getBase() const { return getOperand(0); }
+  const Expr *getExponent() const { return getOperand(1); }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Pow; }
+
+private:
+  friend class ExprContext;
+  PowExpr(const Expr *Base, const Expr *Exponent)
+      : Expr(Kind::Pow, {Base, Exponent}) {}
+};
+
+/// Natural exponential.
+class ExpExpr : public Expr {
+public:
+  const Expr *getArg() const { return getOperand(0); }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Exp; }
+
+private:
+  friend class ExprContext;
+  explicit ExpExpr(const Expr *Arg) : Expr(Kind::Exp, {Arg}) {}
+};
+
+/// Natural logarithm (argument assumed positive).
+class LogExpr : public Expr {
+public:
+  const Expr *getArg() const { return getOperand(0); }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Log; }
+
+private:
+  friend class ExprContext;
+  explicit LogExpr(const Expr *Arg) : Expr(Kind::Log, {Arg}) {}
+};
+
+/// N-ary maximum.  Canonical form: operands sorted and deduplicated.
+class MaxExpr : public Expr {
+public:
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Max; }
+
+private:
+  friend class ExprContext;
+  explicit MaxExpr(std::vector<const Expr *> Operands)
+      : Expr(Kind::Max, std::move(Operands)) {}
+};
+
+/// Boolean-valued strict comparison Lhs < Rhs (encoded 0/1).
+class LessExpr : public Expr {
+public:
+  const Expr *getLhs() const { return getOperand(0); }
+  const Expr *getRhs() const { return getOperand(1); }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Less; }
+
+private:
+  friend class ExprContext;
+  LessExpr(const Expr *Lhs, const Expr *Rhs) : Expr(Kind::Less, {Lhs, Rhs}) {}
+};
+
+/// Conditional select: Cond != 0 ? TrueVal : FalseVal (np.where).
+class SelectExpr : public Expr {
+public:
+  const Expr *getCond() const { return getOperand(0); }
+  const Expr *getTrueValue() const { return getOperand(1); }
+  const Expr *getFalseValue() const { return getOperand(2); }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Select; }
+
+private:
+  friend class ExprContext;
+  SelectExpr(const Expr *Cond, const Expr *TrueVal, const Expr *FalseVal)
+      : Expr(Kind::Select, {Cond, TrueVal, FalseVal}) {}
+};
+
+/// Deterministic total order on canonical expressions: negative/zero/
+/// positive like strcmp.  Interned pointers compare equal iff identical.
+int compareExprs(const Expr *A, const Expr *B);
+
+/// Collects the distinct SymbolExpr leaves of \p E in deterministic order.
+std::vector<const SymbolExpr *> collectSymbols(const Expr *E);
+
+/// Returns the number of *distinct input tensors* whose symbols appear in
+/// \p E — the |var(Phi)| factor of the paper's specification-complexity
+/// metric (Section V-A).
+int64_t countDistinctInputs(const Expr *E);
+
+/// Counts symbol leaves of \p E with multiplicity (tree semantics,
+/// memoized over the DAG).  The synthesizer's simplification objective
+/// uses occurrences because they decrease strictly as operations are
+/// peeled off a specification, guaranteeing search progress.
+int64_t countSymbolOccurrences(const Expr *E);
+
+} // namespace sym
+} // namespace stenso
+
+#endif // STENSO_SYMBOLIC_EXPR_H

@@ -1,0 +1,489 @@
+//===- ExprContext.cpp - Hash-consing and canonicalization ----------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/ExprContext.h"
+
+#include "support/Error.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+
+using namespace stenso;
+using namespace stenso::sym;
+
+//===----------------------------------------------------------------------===//
+// Interning
+//===----------------------------------------------------------------------===//
+
+size_t ExprContext::hashNode(const Expr &Node) {
+  size_t Seed = static_cast<size_t>(Node.getKind());
+  if (const auto *C = dyn_cast<ConstantExpr>(&Node)) {
+    hashCombine(Seed, C->getValue().hash());
+    return Seed;
+  }
+  if (const auto *S = dyn_cast<SymbolExpr>(&Node)) {
+    hashCombine(Seed, std::hash<std::string>()(S->getName()));
+    return Seed;
+  }
+  for (const Expr *Op : Node.getOperands())
+    hashCombine(Seed, std::hash<const void *>()(Op));
+  return Seed;
+}
+
+bool ExprContext::structurallyEqual(const Expr &A, const Expr &B) {
+  if (A.getKind() != B.getKind())
+    return false;
+  if (const auto *CA = dyn_cast<ConstantExpr>(&A))
+    return CA->getValue() == cast<ConstantExpr>(&B)->getValue();
+  if (const auto *SA = dyn_cast<SymbolExpr>(&A))
+    return SA->getName() == cast<SymbolExpr>(&B)->getName();
+  // Operands are interned, so pointer equality is structural equality.
+  return A.getOperands() == B.getOperands();
+}
+
+const Expr *ExprContext::intern(std::unique_ptr<Expr> Node) {
+  size_t H = hashNode(*Node);
+  auto [First, Last] = Buckets.equal_range(H);
+  for (auto It = First; It != Last; ++It)
+    if (structurallyEqual(*It->second, *Node))
+      return It->second;
+  Node->Hash = H;
+  Node->Id = NextId++;
+  const Expr *Raw = Node.get();
+  Nodes.push_back(std::move(Node));
+  Buckets.emplace(H, Raw);
+  return Raw;
+}
+
+//===----------------------------------------------------------------------===//
+// Leaves
+//===----------------------------------------------------------------------===//
+
+const Expr *ExprContext::constant(const Rational &Value) {
+  return intern(std::unique_ptr<Expr>(new ConstantExpr(Value)));
+}
+
+const Expr *ExprContext::symbol(const std::string &Name,
+                                const std::string &TensorName,
+                                std::vector<int64_t> Indices) {
+  auto It = SymbolsByName.find(Name);
+  if (It != SymbolsByName.end())
+    return It->second;
+  const Expr *Sym = intern(std::unique_ptr<Expr>(
+      new SymbolExpr(Name, TensorName, std::move(Indices))));
+  SymbolsByName[Name] = Sym;
+  return Sym;
+}
+
+std::optional<Rational> ExprContext::getConstantValue(const Expr *E) {
+  if (const auto *C = dyn_cast<ConstantExpr>(E))
+    return C->getValue();
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Term / factor decomposition helpers
+//===----------------------------------------------------------------------===//
+
+std::pair<Rational, const Expr *>
+ExprContext::splitCoefficient(const Expr *Term) {
+  const auto *M = dyn_cast<MulExpr>(Term);
+  if (!M)
+    return {Rational(1), Term};
+  const auto *Lead = dyn_cast<ConstantExpr>(M->getOperand(0));
+  if (!Lead)
+    return {Rational(1), Term};
+  std::vector<const Expr *> Rest(M->getOperands().begin() + 1,
+                                 M->getOperands().end());
+  assert(!Rest.empty() && "canonical Mul must have a non-constant factor");
+  const Expr *Monic = Rest.size() == 1 ? Rest.front() : mul(Rest);
+  return {Lead->getValue(), Monic};
+}
+
+std::pair<const Expr *, const Expr *>
+ExprContext::splitPower(const Expr *Factor) {
+  if (const auto *P = dyn_cast<PowExpr>(Factor))
+    return {P->getBase(), P->getExponent()};
+  return {Factor, nullptr}; // nullptr encodes exponent 1 (filled by caller).
+}
+
+//===----------------------------------------------------------------------===//
+// Add
+//===----------------------------------------------------------------------===//
+
+const Expr *ExprContext::add(std::vector<const Expr *> Operands) {
+  // Flatten nested sums.
+  std::vector<const Expr *> Flat;
+  for (const Expr *Op : Operands) {
+    assert(Op && "null operand");
+    if (isa<AddExpr>(Op))
+      Flat.insert(Flat.end(), Op->getOperands().begin(),
+                  Op->getOperands().end());
+    else
+      Flat.push_back(Op);
+  }
+
+  // Fold constants and collect like terms.
+  Rational ConstSum(0);
+  std::vector<const Expr *> MonicOrder;
+  std::unordered_map<const Expr *, Rational> Coefficients;
+  for (const Expr *Op : Flat) {
+    if (const auto *C = dyn_cast<ConstantExpr>(Op)) {
+      ConstSum += C->getValue();
+      continue;
+    }
+    auto [Coeff, Monic] = splitCoefficient(Op);
+    auto It = Coefficients.find(Monic);
+    if (It == Coefficients.end()) {
+      MonicOrder.push_back(Monic);
+      Coefficients.emplace(Monic, Coeff);
+    } else {
+      It->second += Coeff;
+    }
+  }
+
+  std::vector<const Expr *> Terms;
+  for (const Expr *Monic : MonicOrder) {
+    const Rational &Coeff = Coefficients[Monic];
+    if (Coeff.isZero())
+      continue;
+    Terms.push_back(Coeff.isOne() ? Monic : mul(constant(Coeff), Monic));
+  }
+  std::sort(Terms.begin(), Terms.end(), [](const Expr *A, const Expr *B) {
+    return compareExprs(A, B) < 0;
+  });
+
+  if (Terms.empty())
+    return constant(ConstSum);
+  if (ConstSum.isZero() && Terms.size() == 1)
+    return Terms.front();
+
+  std::vector<const Expr *> Result;
+  if (!ConstSum.isZero())
+    Result.push_back(constant(ConstSum));
+  Result.insert(Result.end(), Terms.begin(), Terms.end());
+  if (Result.size() == 1)
+    return Result.front();
+  return intern(std::unique_ptr<Expr>(new AddExpr(std::move(Result))));
+}
+
+//===----------------------------------------------------------------------===//
+// Mul
+//===----------------------------------------------------------------------===//
+
+const Expr *ExprContext::mul(std::vector<const Expr *> Operands) {
+  // Flatten nested products.
+  std::vector<const Expr *> Flat;
+  for (const Expr *Op : Operands) {
+    assert(Op && "null operand");
+    if (isa<MulExpr>(Op))
+      Flat.insert(Flat.end(), Op->getOperands().begin(),
+                  Op->getOperands().end());
+    else
+      Flat.push_back(Op);
+  }
+
+  Rational Coeff(1);
+  std::vector<const Expr *> ExpArgs;
+  std::vector<const Expr *> BaseOrder;
+  std::unordered_map<const Expr *, std::vector<const Expr *>> Exponents;
+
+  auto AddFactor = [&](const Expr *Base, const Expr *Exponent) {
+    auto It = Exponents.find(Base);
+    if (It == Exponents.end()) {
+      BaseOrder.push_back(Base);
+      Exponents.emplace(Base, std::vector<const Expr *>{Exponent});
+    } else {
+      It->second.push_back(Exponent);
+    }
+  };
+
+  for (const Expr *Op : Flat) {
+    if (const auto *C = dyn_cast<ConstantExpr>(Op)) {
+      Coeff *= C->getValue();
+      continue;
+    }
+    if (const auto *E = dyn_cast<ExpExpr>(Op)) {
+      ExpArgs.push_back(E->getArg());
+      continue;
+    }
+    auto [Base, Exponent] = splitPower(Op);
+    AddFactor(Base, Exponent ? Exponent : one());
+  }
+  if (Coeff.isZero())
+    return zero();
+
+  // Merge all exponential factors: prod exp(x_i) = exp(sum x_i).  expOf may
+  // extract power factors back out (exp(c*log y) = y^c); fold those in.
+  if (!ExpArgs.empty()) {
+    const Expr *Merged = expOf(add(std::move(ExpArgs)));
+    std::vector<const Expr *> Parts;
+    if (isa<MulExpr>(Merged))
+      Parts.assign(Merged->getOperands().begin(), Merged->getOperands().end());
+    else
+      Parts.push_back(Merged);
+    for (const Expr *Part : Parts) {
+      if (const auto *C = dyn_cast<ConstantExpr>(Part)) {
+        Coeff *= C->getValue();
+        continue;
+      }
+      if (isa<ExpExpr>(Part)) {
+        // Post-merge there is a single irreducible exponential; treat it as
+        // an opaque factor.
+        AddFactor(Part, one());
+        continue;
+      }
+      auto [Base, Exponent] = splitPower(Part);
+      AddFactor(Base, Exponent ? Exponent : one());
+    }
+    if (Coeff.isZero())
+      return zero();
+  }
+
+  // Combine exponents per base.
+  std::vector<const Expr *> Factors;
+  for (const Expr *Base : BaseOrder) {
+    const Expr *Exponent = add(Exponents[Base]);
+    const Expr *Combined = isa<ExpExpr>(Base) && Exponent == one()
+                               ? Base
+                               : pow(Base, Exponent);
+    if (const auto *C = dyn_cast<ConstantExpr>(Combined)) {
+      Coeff *= C->getValue();
+      continue;
+    }
+    Factors.push_back(Combined);
+  }
+  if (Coeff.isZero())
+    return zero();
+
+  std::sort(Factors.begin(), Factors.end(), [](const Expr *A, const Expr *B) {
+    return compareExprs(A, B) < 0;
+  });
+
+  if (Factors.empty())
+    return constant(Coeff);
+  if (Coeff.isOne() && Factors.size() == 1)
+    return Factors.front();
+
+  std::vector<const Expr *> Result;
+  if (!Coeff.isOne())
+    Result.push_back(constant(Coeff));
+  Result.insert(Result.end(), Factors.begin(), Factors.end());
+  if (Result.size() == 1)
+    return Result.front();
+  return intern(std::unique_ptr<Expr>(new MulExpr(std::move(Result))));
+}
+
+//===----------------------------------------------------------------------===//
+// Pow
+//===----------------------------------------------------------------------===//
+
+/// Folding c^e must not overflow int64 (the enumerator happily proposes
+/// towers like (4^4)^4); keep anything with a large result symbolic.
+static bool foldedPowFits(const Rational &Base, int64_t Exp) {
+  auto BitLength = [](int64_t V) {
+    uint64_t Mag = V < 0 ? static_cast<uint64_t>(-(V + 1)) + 1
+                         : static_cast<uint64_t>(V);
+    int Bits = 0;
+    while (Mag) {
+      ++Bits;
+      Mag >>= 1;
+    }
+    return Bits;
+  };
+  int64_t E = Exp < 0 ? -Exp : Exp;
+  if (E > 64)
+    return false;
+  return BitLength(Base.getNumerator()) * E <= 24 &&
+         BitLength(Base.getDenominator()) * E <= 24;
+}
+
+const Expr *ExprContext::pow(const Expr *Base, const Expr *Exponent) {
+  std::optional<Rational> ExpVal = getConstantValue(Exponent);
+  if (ExpVal) {
+    if (ExpVal->isZero())
+      return one();
+    if (ExpVal->isOne())
+      return Base;
+  }
+
+  if (std::optional<Rational> BaseVal = getConstantValue(Base)) {
+    if (BaseVal->isOne())
+      return one();
+    if (BaseVal->isZero()) {
+      // 0^e for a positive constant exponent folds; anything else is kept
+      // symbolic (exponents are positive in practice).
+      if (ExpVal && *ExpVal > Rational(0))
+        return zero();
+    }
+    if (ExpVal && !(BaseVal->isZero() && ExpVal->isNegative())) {
+      // 0 raised to a negative power stays symbolic (the enumerator can
+      // propose division by a zero constant; folding would abort).
+      if (ExpVal->isInteger() &&
+          foldedPowFits(*BaseVal, ExpVal->getInteger()))
+        return constant(BaseVal->pow(ExpVal->getInteger()));
+      // base^(p/q): exact only when the q-th root of base^p is rational.
+      if (!ExpVal->isInteger() &&
+          foldedPowFits(*BaseVal, ExpVal->getNumerator())) {
+        Rational Raised = BaseVal->pow(ExpVal->getNumerator());
+        Rational Root;
+        if (Raised.nthRoot(ExpVal->getDenominator(), Root))
+          return constant(Root);
+      }
+    }
+  }
+
+  // (x^a)^b = x^(a*b)   [positive symbols]
+  if (const auto *P = dyn_cast<PowExpr>(Base))
+    return pow(P->getBase(), mul(P->getExponent(), Exponent));
+
+  // (x*y)^a = x^a * y^a   [positive symbols]
+  if (isa<MulExpr>(Base)) {
+    std::vector<const Expr *> Factors;
+    for (const Expr *Factor : Base->getOperands())
+      Factors.push_back(pow(Factor, Exponent));
+    return mul(std::move(Factors));
+  }
+
+  // exp(x)^a = exp(a*x)
+  if (const auto *E = dyn_cast<ExpExpr>(Base))
+    return expOf(mul(E->getArg(), Exponent));
+
+  return intern(std::unique_ptr<Expr>(new PowExpr(Base, Exponent)));
+}
+
+//===----------------------------------------------------------------------===//
+// Exp / Log
+//===----------------------------------------------------------------------===//
+
+const Expr *ExprContext::expOf(const Expr *A) {
+  if (A->isZero())
+    return one();
+  if (const auto *L = dyn_cast<LogExpr>(A))
+    return L->getArg();
+
+  // exp(sum of terms): extract every term of the form c*log(y) as y^c.
+  std::vector<const Expr *> Terms;
+  if (isa<AddExpr>(A))
+    Terms.assign(A->getOperands().begin(), A->getOperands().end());
+  else
+    Terms.push_back(A);
+
+  std::vector<const Expr *> Factors;
+  std::vector<const Expr *> Residual;
+  for (const Expr *Term : Terms) {
+    if (const auto *L = dyn_cast<LogExpr>(Term)) {
+      Factors.push_back(L->getArg());
+      continue;
+    }
+    if (const auto *M = dyn_cast<MulExpr>(Term)) {
+      const LogExpr *TheLog = nullptr;
+      std::vector<const Expr *> Others;
+      bool MultipleLogs = false;
+      for (const Expr *Factor : M->getOperands()) {
+        if (const auto *L = dyn_cast<LogExpr>(Factor)) {
+          if (TheLog)
+            MultipleLogs = true;
+          TheLog = L;
+        } else {
+          Others.push_back(Factor);
+        }
+      }
+      if (TheLog && !MultipleLogs) {
+        Factors.push_back(pow(TheLog->getArg(), mul(std::move(Others))));
+        continue;
+      }
+    }
+    Residual.push_back(Term);
+  }
+
+  if (!Residual.empty()) {
+    // Intern the irreducible exponential directly: the residual terms were
+    // individually rejected above, so re-dispatching through expOf (or mul,
+    // which merges Exp factors via expOf) cannot make progress and would
+    // recurse forever.
+    const Expr *Irreducible =
+        intern(std::unique_ptr<Expr>(new ExpExpr(add(std::move(Residual)))));
+    if (Factors.empty())
+      return Irreducible;
+    Factors.push_back(Irreducible);
+  }
+  return mul(std::move(Factors));
+}
+
+const Expr *ExprContext::logOf(const Expr *A) {
+  if (A->isOne())
+    return zero();
+  if (const auto *E = dyn_cast<ExpExpr>(A))
+    return E->getArg();
+  // log(x^a) = a*log(x)   [positive base]
+  if (const auto *P = dyn_cast<PowExpr>(A))
+    return mul(P->getExponent(), logOf(P->getBase()));
+  // log(x*y) = log(x) + log(y)   [positive factors]
+  if (isa<MulExpr>(A)) {
+    std::vector<const Expr *> Terms;
+    for (const Expr *Factor : A->getOperands())
+      Terms.push_back(logOf(Factor));
+    return add(std::move(Terms));
+  }
+  return intern(std::unique_ptr<Expr>(new LogExpr(A)));
+}
+
+//===----------------------------------------------------------------------===//
+// Max / Less / Select
+//===----------------------------------------------------------------------===//
+
+const Expr *ExprContext::max(std::vector<const Expr *> Operands) {
+  if (Operands.empty())
+    reportFatalError("max of zero operands");
+  std::vector<const Expr *> Flat;
+  for (const Expr *Op : Operands) {
+    if (isa<MaxExpr>(Op))
+      Flat.insert(Flat.end(), Op->getOperands().begin(),
+                  Op->getOperands().end());
+    else
+      Flat.push_back(Op);
+  }
+  // Fold constants to the single largest one; dedupe symbolic operands.
+  std::optional<Rational> BestConst;
+  std::vector<const Expr *> Unique;
+  for (const Expr *Op : Flat) {
+    if (const auto *C = dyn_cast<ConstantExpr>(Op)) {
+      if (!BestConst || *BestConst < C->getValue())
+        BestConst = C->getValue();
+      continue;
+    }
+    if (std::find(Unique.begin(), Unique.end(), Op) == Unique.end())
+      Unique.push_back(Op);
+  }
+  if (BestConst)
+    Unique.push_back(constant(*BestConst));
+  std::sort(Unique.begin(), Unique.end(), [](const Expr *A, const Expr *B) {
+    return compareExprs(A, B) < 0;
+  });
+  if (Unique.size() == 1)
+    return Unique.front();
+  return intern(std::unique_ptr<Expr>(new MaxExpr(std::move(Unique))));
+}
+
+const Expr *ExprContext::less(const Expr *A, const Expr *B) {
+  std::optional<Rational> VA = getConstantValue(A);
+  std::optional<Rational> VB = getConstantValue(B);
+  if (VA && VB)
+    return integer(*VA < *VB ? 1 : 0);
+  if (A == B)
+    return zero();
+  return intern(std::unique_ptr<Expr>(new LessExpr(A, B)));
+}
+
+const Expr *ExprContext::select(const Expr *Cond, const Expr *TrueVal,
+                                const Expr *FalseVal) {
+  if (std::optional<Rational> C = getConstantValue(Cond))
+    return C->isZero() ? FalseVal : TrueVal;
+  if (TrueVal == FalseVal)
+    return TrueVal;
+  return intern(std::unique_ptr<Expr>(new SelectExpr(Cond, TrueVal, FalseVal)));
+}

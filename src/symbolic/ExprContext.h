@@ -1,0 +1,133 @@
+//===- ExprContext.h - Hash-consing and canonicalization -------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ExprContext owns all Expr nodes and exposes the smart constructors
+/// that canonicalize on construction.  Canonicalization implements the
+/// algebra the synthesizer's solver relies on:
+///
+///   * Add: flatten, fold constants, collect like terms.
+///   * Mul: flatten, fold constants, collect like factors into Pow, merge
+///     Exp factors (e^a * e^b = e^(a+b)).
+///   * Pow: (x^a)^b = x^(ab); (xy)^a = x^a y^a; exact rational roots;
+///     exp(x)^k = exp(kx).
+///   * Exp: exp(0)=1; exp(log x)=x; exp(Σ c_i log x_i + r) = Π x_i^c_i
+///     * exp(r).
+///   * Log: log(1)=0; log(exp x)=x; log(x^a)=a log x; log(xy)=log x+log y.
+///
+/// These laws assume positive real symbols (see Expr.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SYMBOLIC_EXPRCONTEXT_H
+#define STENSO_SYMBOLIC_EXPRCONTEXT_H
+
+#include "symbolic/Expr.h"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace stenso {
+namespace sym {
+
+/// Owns and interns symbolic expression nodes.  Not thread-safe; each
+/// synthesis run uses one context.
+class ExprContext {
+public:
+  ExprContext() = default;
+  ExprContext(const ExprContext &) = delete;
+  ExprContext &operator=(const ExprContext &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Leaves
+  //===--------------------------------------------------------------------===//
+
+  const Expr *constant(const Rational &Value);
+  const Expr *integer(int64_t Value) { return constant(Rational(Value)); }
+  const Expr *zero() { return integer(0); }
+  const Expr *one() { return integer(1); }
+
+  /// Interns a symbol.  \p TensorName / \p Indices tag the symbol as an
+  /// element of a named input tensor (empty for free scalars).  Symbols
+  /// are identified by \p Name alone; reusing a name with different tags
+  /// is a programming error.
+  const Expr *symbol(const std::string &Name,
+                     const std::string &TensorName = "",
+                     std::vector<int64_t> Indices = {});
+
+  //===--------------------------------------------------------------------===//
+  // Canonicalizing constructors
+  //===--------------------------------------------------------------------===//
+
+  const Expr *add(std::vector<const Expr *> Operands);
+  const Expr *add(const Expr *A, const Expr *B) {
+    return add(std::vector<const Expr *>{A, B});
+  }
+  const Expr *sub(const Expr *A, const Expr *B) { return add(A, neg(B)); }
+  const Expr *neg(const Expr *A) { return mul(integer(-1), A); }
+
+  const Expr *mul(std::vector<const Expr *> Operands);
+  const Expr *mul(const Expr *A, const Expr *B) {
+    return mul(std::vector<const Expr *>{A, B});
+  }
+  const Expr *div(const Expr *A, const Expr *B) {
+    return mul(A, pow(B, integer(-1)));
+  }
+
+  const Expr *pow(const Expr *Base, const Expr *Exponent);
+  const Expr *sqrt(const Expr *A) { return pow(A, constant(Rational(1, 2))); }
+
+  const Expr *expOf(const Expr *A);
+  const Expr *logOf(const Expr *A);
+
+  const Expr *max(std::vector<const Expr *> Operands);
+  const Expr *less(const Expr *A, const Expr *B);
+  const Expr *select(const Expr *Cond, const Expr *TrueVal,
+                     const Expr *FalseVal);
+
+  //===--------------------------------------------------------------------===//
+  // Queries
+  //===--------------------------------------------------------------------===//
+
+  /// Returns the rational value of \p E if it is a constant.
+  static std::optional<Rational> getConstantValue(const Expr *E);
+
+  /// Number of distinct interned nodes (diagnostic).
+  size_t getNumInternedNodes() const { return Nodes.size(); }
+
+  /// Context-lifetime memo table for expand() (see Transforms.h).  Safe
+  /// because interned nodes are immutable and live as long as the context.
+  std::unordered_map<const Expr *, const Expr *> &getExpandCache() {
+    return ExpandCache;
+  }
+
+private:
+  /// Interns \p Node: returns the existing structurally identical node or
+  /// adopts this one.
+  const Expr *intern(std::unique_ptr<Expr> Node);
+
+  static size_t hashNode(const Expr &Node);
+  static bool structurallyEqual(const Expr &A, const Expr &B);
+
+  /// Splits a canonical term into (rational coefficient, monic part).
+  std::pair<Rational, const Expr *> splitCoefficient(const Expr *Term);
+
+  /// Splits a canonical factor into (base, exponent).
+  static std::pair<const Expr *, const Expr *> splitPower(const Expr *Factor);
+
+  std::vector<std::unique_ptr<Expr>> Nodes;
+  std::unordered_multimap<size_t, const Expr *> Buckets;
+  std::unordered_map<std::string, const Expr *> SymbolsByName;
+  std::unordered_map<const Expr *, const Expr *> ExpandCache;
+  uint64_t NextId = 1;
+};
+
+} // namespace sym
+} // namespace stenso
+
+#endif // STENSO_SYMBOLIC_EXPRCONTEXT_H

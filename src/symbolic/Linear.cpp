@@ -1,0 +1,80 @@
+//===- Linear.cpp - Linear decomposition over target symbols --------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Linear.h"
+
+#include "symbolic/Transforms.h"
+
+#include <map>
+
+using namespace stenso;
+using namespace stenso::sym;
+
+bool sym::mentionsAny(const Expr *E,
+                      const std::unordered_set<const Expr *> &Targets) {
+  for (const SymbolExpr *S : collectSymbols(E))
+    if (Targets.count(S))
+      return true;
+  return false;
+}
+
+std::optional<LinearDecomposition>
+sym::decomposeLinear(ExprContext &Ctx, const Expr *E,
+                     const std::unordered_set<const Expr *> &Targets) {
+  const Expr *Expanded = expand(Ctx, E);
+
+  std::vector<const Expr *> Terms;
+  if (isa<AddExpr>(Expanded))
+    Terms = Expanded->getOperands();
+  else
+    Terms.push_back(Expanded);
+
+  // Accumulate coefficient terms per target and remainder terms; keyed by
+  // node id for deterministic iteration.
+  std::map<uint64_t, const Expr *> TargetById;
+  std::map<uint64_t, std::vector<const Expr *>> CoeffTerms;
+  std::vector<const Expr *> RemainderTerms;
+
+  for (const Expr *Term : Terms) {
+    std::vector<const Expr *> Factors;
+    if (isa<MulExpr>(Term))
+      Factors = Term->getOperands();
+    else
+      Factors.push_back(Term);
+
+    const Expr *FoundTarget = nullptr;
+    std::vector<const Expr *> Others;
+    for (const Expr *Factor : Factors) {
+      if (Targets.count(Factor)) {
+        // A second target occurrence in the same term breaks linearity.
+        if (FoundTarget)
+          return std::nullopt;
+        FoundTarget = Factor;
+        continue;
+      }
+      // Any buried target occurrence (inside Pow/Exp/Select/...) is
+      // non-linear or non-extractable.
+      if (mentionsAny(Factor, Targets))
+        return std::nullopt;
+      Others.push_back(Factor);
+    }
+
+    if (!FoundTarget) {
+      RemainderTerms.push_back(Term);
+      continue;
+    }
+    const Expr *Coefficient =
+        Others.empty() ? Ctx.one() : Ctx.mul(std::move(Others));
+    TargetById[FoundTarget->getId()] = FoundTarget;
+    CoeffTerms[FoundTarget->getId()].push_back(Coefficient);
+  }
+
+  LinearDecomposition Result;
+  for (auto &[Id, Target] : TargetById)
+    Result.Coefficients.emplace_back(Target, Ctx.add(CoeffTerms[Id]));
+  Result.Remainder = Ctx.add(std::move(RemainderTerms));
+  return Result;
+}

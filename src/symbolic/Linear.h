@@ -1,0 +1,54 @@
+//===- Linear.h - Linear decomposition over target symbols -----*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Writes an expression as a linear combination of a set of target
+/// symbols.  This is the algebraic core of the hole solver for
+/// contraction sketches: to solve dot(??, B) = Phi, the solver extracts,
+/// from each element of Phi, the coefficients of B's symbols — those
+/// coefficients *are* the hole's elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SYMBOLIC_LINEAR_H
+#define STENSO_SYMBOLIC_LINEAR_H
+
+#include "symbolic/ExprContext.h"
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace stenso {
+namespace sym {
+
+/// Result of decomposeLinear: E == sum_i Coefficients[i].second *
+/// Coefficients[i].first + Remainder, with every target occurring only
+/// linearly and coefficients free of targets.
+struct LinearDecomposition {
+  /// (target symbol, coefficient) pairs in deterministic order; targets
+  /// without any occurrence are absent.
+  std::vector<std::pair<const Expr *, const Expr *>> Coefficients;
+  /// Terms mentioning no target.
+  const Expr *Remainder = nullptr;
+};
+
+/// Decomposes \p E as a linear form over \p Targets (interned symbol
+/// pointers).  Fails (nullopt) when any term mentions a target
+/// non-linearly (power != 1, inside exp/log/max/select) or mentions two
+/// targets at once.
+std::optional<LinearDecomposition>
+decomposeLinear(ExprContext &Ctx, const Expr *E,
+                const std::unordered_set<const Expr *> &Targets);
+
+/// Returns true if any symbol of \p E is in \p Targets.
+bool mentionsAny(const Expr *E,
+                 const std::unordered_set<const Expr *> &Targets);
+
+} // namespace sym
+} // namespace stenso
+
+#endif // STENSO_SYMBOLIC_LINEAR_H

@@ -1,0 +1,148 @@
+//===- Printer.cpp - Human-readable rendering of expressions --------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Infix pretty-printer for the symbolic IR.  Output is meant for humans
+/// and tests; it is not re-parsed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Expr.h"
+
+#include "support/Error.h"
+
+#include <sstream>
+
+using namespace stenso;
+using namespace stenso::sym;
+
+namespace {
+
+/// Binding strengths used for parenthesization decisions.
+enum Precedence {
+  PrecAdd = 1,
+  PrecMul = 2,
+  PrecPow = 3,
+  PrecAtom = 4,
+};
+
+} // namespace
+
+/// Precedence of the expression's own top-level syntax.
+static int precedenceOf(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::Add:
+    return PrecAdd;
+  case Expr::Kind::Mul:
+    return PrecMul;
+  case Expr::Kind::Pow:
+    return PrecPow;
+  case Expr::Kind::Constant: {
+    const Rational &V = cast<ConstantExpr>(E)->getValue();
+    // Negative and fractional constants print with a sign or slash and
+    // need parentheses inside products/powers.
+    return (V.isNegative() || !V.isInteger()) ? PrecAdd : PrecAtom;
+  }
+  default:
+    return PrecAtom;
+  }
+}
+
+/// Renders \p E, parenthesizing when its syntax binds weaker than the
+/// context requires (\p MinPrec).
+static void printExpr(std::ostringstream &OS, const Expr *E, int MinPrec) {
+  bool Paren = precedenceOf(E) < MinPrec;
+  if (Paren)
+    OS << '(';
+
+  switch (E->getKind()) {
+  case Expr::Kind::Constant:
+    OS << cast<ConstantExpr>(E)->getValue().toString();
+    break;
+  case Expr::Kind::Symbol:
+    OS << cast<SymbolExpr>(E)->getName();
+    break;
+  case Expr::Kind::Add: {
+    bool First = true;
+    for (const Expr *Op : E->getOperands()) {
+      if (!First)
+        OS << " + ";
+      First = false;
+      printExpr(OS, Op, PrecAdd);
+    }
+    break;
+  }
+  case Expr::Kind::Mul: {
+    bool First = true;
+    for (const Expr *Op : E->getOperands()) {
+      if (!First)
+        OS << '*';
+      First = false;
+      printExpr(OS, Op, PrecMul);
+    }
+    break;
+  }
+  case Expr::Kind::Pow: {
+    const auto *P = cast<PowExpr>(E);
+    // Powers are printed non-associatively: both sides fully bound.
+    printExpr(OS, P->getBase(), PrecAtom);
+    OS << '^';
+    printExpr(OS, P->getExponent(), PrecAtom);
+    break;
+  }
+  case Expr::Kind::Exp:
+    OS << "exp(";
+    printExpr(OS, cast<ExpExpr>(E)->getArg(), PrecAdd);
+    OS << ')';
+    break;
+  case Expr::Kind::Log:
+    OS << "log(";
+    printExpr(OS, cast<LogExpr>(E)->getArg(), PrecAdd);
+    OS << ')';
+    break;
+  case Expr::Kind::Max: {
+    OS << "max(";
+    bool First = true;
+    for (const Expr *Op : E->getOperands()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      printExpr(OS, Op, PrecAdd);
+    }
+    OS << ')';
+    break;
+  }
+  case Expr::Kind::Less: {
+    const auto *L = cast<LessExpr>(E);
+    OS << '(';
+    printExpr(OS, L->getLhs(), PrecAdd);
+    OS << " < ";
+    printExpr(OS, L->getRhs(), PrecAdd);
+    OS << ')';
+    break;
+  }
+  case Expr::Kind::Select: {
+    const auto *S = cast<SelectExpr>(E);
+    OS << "select(";
+    printExpr(OS, S->getCond(), PrecAdd);
+    OS << ", ";
+    printExpr(OS, S->getTrueValue(), PrecAdd);
+    OS << ", ";
+    printExpr(OS, S->getFalseValue(), PrecAdd);
+    OS << ')';
+    break;
+  }
+  }
+
+  if (Paren)
+    OS << ')';
+}
+
+std::string Expr::toString() const {
+  std::ostringstream OS;
+  printExpr(OS, this, PrecAdd);
+  return OS.str();
+}

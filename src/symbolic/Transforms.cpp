@@ -1,0 +1,239 @@
+//===- Transforms.cpp - Substitution, expansion, equivalence --------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Transforms.h"
+
+#include "support/Error.h"
+#include "symbolic/Evaluator.h"
+
+#include <cmath>
+
+using namespace stenso;
+using namespace stenso::sym;
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rebuilds an expression bottom-up through the context's canonicalizing
+/// constructors, applying a replacement map at every node.
+class Substituter {
+public:
+  Substituter(ExprContext &Ctx,
+              const std::unordered_map<const Expr *, const Expr *> &Map)
+      : Ctx(Ctx), Map(Map) {}
+
+  const Expr *visit(const Expr *E) {
+    auto Hit = Map.find(E);
+    if (Hit != Map.end())
+      return Hit->second;
+    auto Cached = Memo.find(E);
+    if (Cached != Memo.end())
+      return Cached->second;
+    const Expr *Result = rebuild(E);
+    Memo.emplace(E, Result);
+    return Result;
+  }
+
+private:
+  const Expr *rebuild(const Expr *E) {
+    if (E->getNumOperands() == 0)
+      return E;
+    std::vector<const Expr *> Ops;
+    Ops.reserve(E->getNumOperands());
+    bool Changed = false;
+    for (const Expr *Op : E->getOperands()) {
+      const Expr *NewOp = visit(Op);
+      Changed |= NewOp != Op;
+      Ops.push_back(NewOp);
+    }
+    if (!Changed)
+      return E;
+    switch (E->getKind()) {
+    case Expr::Kind::Add:
+      return Ctx.add(std::move(Ops));
+    case Expr::Kind::Mul:
+      return Ctx.mul(std::move(Ops));
+    case Expr::Kind::Pow:
+      return Ctx.pow(Ops[0], Ops[1]);
+    case Expr::Kind::Exp:
+      return Ctx.expOf(Ops[0]);
+    case Expr::Kind::Log:
+      return Ctx.logOf(Ops[0]);
+    case Expr::Kind::Max:
+      return Ctx.max(std::move(Ops));
+    case Expr::Kind::Less:
+      return Ctx.less(Ops[0], Ops[1]);
+    case Expr::Kind::Select:
+      return Ctx.select(Ops[0], Ops[1], Ops[2]);
+    case Expr::Kind::Constant:
+    case Expr::Kind::Symbol:
+      break;
+    }
+    stenso_unreachable("leaf with operands");
+  }
+
+  ExprContext &Ctx;
+  const std::unordered_map<const Expr *, const Expr *> &Map;
+  std::unordered_map<const Expr *, const Expr *> Memo;
+};
+
+} // namespace
+
+const Expr *sym::substitute(
+    ExprContext &Ctx, const Expr *E,
+    const std::unordered_map<const Expr *, const Expr *> &Map) {
+  return Substituter(Ctx, Map).visit(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Expansion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Expander {
+public:
+  explicit Expander(ExprContext &Ctx)
+      : Ctx(Ctx), Memo(Ctx.getExpandCache()) {}
+
+  const Expr *visit(const Expr *E) {
+    auto Cached = Memo.find(E);
+    if (Cached != Memo.end())
+      return Cached->second;
+    const Expr *Result = expandNode(E);
+    // Canonicalization of a distributed product can itself produce a new
+    // reducible node (e.g. exponent recombination); iterate to a fixpoint
+    // with a generous safety cap.
+    for (int I = 0; Result != E && I < 8; ++I) {
+      const Expr *Again = expandNode(Result);
+      if (Again == Result)
+        break;
+      Result = Again;
+    }
+    Memo.emplace(E, Result);
+    return Result;
+  }
+
+private:
+  /// Returns the list of additive terms of \p E (a single term when \p E
+  /// is not a sum).
+  static std::vector<const Expr *> termsOf(const Expr *E) {
+    if (isa<AddExpr>(E))
+      return E->getOperands();
+    return {E};
+  }
+
+  /// Distributes the product of two expanded expressions.
+  const Expr *distribute(const Expr *A, const Expr *B) {
+    std::vector<const Expr *> TermsA = termsOf(A);
+    std::vector<const Expr *> TermsB = termsOf(B);
+    if (TermsA.size() == 1 && TermsB.size() == 1)
+      return Ctx.mul(A, B);
+    std::vector<const Expr *> Products;
+    Products.reserve(TermsA.size() * TermsB.size());
+    for (const Expr *TA : TermsA)
+      for (const Expr *TB : TermsB)
+        Products.push_back(Ctx.mul(TA, TB));
+    return Ctx.add(std::move(Products));
+  }
+
+  const Expr *expandNode(const Expr *E) {
+    if (E->getNumOperands() == 0)
+      return E;
+
+    // Expand children first.
+    std::vector<const Expr *> Ops;
+    Ops.reserve(E->getNumOperands());
+    for (const Expr *Op : E->getOperands())
+      Ops.push_back(visit(Op));
+
+    switch (E->getKind()) {
+    case Expr::Kind::Add:
+      return Ctx.add(std::move(Ops));
+    case Expr::Kind::Mul: {
+      const Expr *Acc = Ops.front();
+      for (size_t I = 1; I < Ops.size(); ++I)
+        Acc = distribute(Acc, Ops[I]);
+      return Acc;
+    }
+    case Expr::Kind::Pow: {
+      const Expr *Base = Ops[0];
+      const Expr *Exponent = Ops[1];
+      std::optional<Rational> ExpVal = ExprContext::getConstantValue(Exponent);
+      // (a+b)^n for small positive integer n: repeated distribution.
+      if (isa<AddExpr>(Base) && ExpVal && ExpVal->isInteger() &&
+          ExpVal->getInteger() >= 2 && ExpVal->getInteger() <= 16) {
+        const Expr *Acc = Base;
+        for (int64_t I = 1; I < ExpVal->getInteger(); ++I)
+          Acc = distribute(Acc, Base);
+        return Acc;
+      }
+      return Ctx.pow(Base, Exponent);
+    }
+    case Expr::Kind::Exp:
+      return Ctx.expOf(Ops[0]);
+    case Expr::Kind::Log:
+      return Ctx.logOf(Ops[0]);
+    case Expr::Kind::Max:
+      return Ctx.max(std::move(Ops));
+    case Expr::Kind::Less:
+      return Ctx.less(Ops[0], Ops[1]);
+    case Expr::Kind::Select:
+      return Ctx.select(Ops[0], Ops[1], Ops[2]);
+    case Expr::Kind::Constant:
+    case Expr::Kind::Symbol:
+      break;
+    }
+    stenso_unreachable("leaf with operands");
+  }
+
+  ExprContext &Ctx;
+  std::unordered_map<const Expr *, const Expr *> &Memo;
+};
+
+} // namespace
+
+const Expr *sym::expand(ExprContext &Ctx, const Expr *E) {
+  return Expander(Ctx).visit(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Equivalence
+//===----------------------------------------------------------------------===//
+
+bool sym::areEquivalent(ExprContext &Ctx, const Expr *A, const Expr *B,
+                        RNG &Rng, int NumSamples, double RelTol) {
+  if (A == B)
+    return true;
+  const Expr *EA = expand(Ctx, A);
+  const Expr *EB = expand(Ctx, B);
+  if (EA == EB)
+    return true;
+
+  // Probabilistic backstop: identical values under random positive
+  // assignments.  Sound "false", probabilistically sound "true".
+  std::vector<const SymbolExpr *> SymsA = collectSymbols(EA);
+  std::vector<const SymbolExpr *> SymsB = collectSymbols(EB);
+  Environment Env;
+  for (int Sample = 0; Sample < NumSamples; ++Sample) {
+    Env.clear();
+    for (const SymbolExpr *S : SymsA)
+      Env.emplace(S, Rng.positive());
+    for (const SymbolExpr *S : SymsB)
+      Env.emplace(S, Rng.positive()); // no-op for shared symbols
+    double VA = evaluate(EA, Env);
+    double VB = evaluate(EB, Env);
+    if (std::isnan(VA) || std::isnan(VB))
+      return false;
+    double Scale = std::max({1.0, std::fabs(VA), std::fabs(VB)});
+    if (std::fabs(VA - VB) > RelTol * Scale)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,51 @@
+//===- Transforms.h - Substitution, expansion, equivalence -----*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural transforms over the symbolic IR:
+///
+///   * substitute — capture-free replacement of subexpressions, rebuilt
+///     through the canonicalizing constructors.
+///   * expand — distributes products over sums and multinomial integer
+///     powers; the normal form used for equivalence proofs and for the
+///     solver's coefficient extraction.
+///   * areEquivalent — decides Phi_a == Phi_b by canonical comparison of
+///     expansions, with a probabilistic positive-random-sampling backstop
+///     (polynomial identity testing) for forms expansion cannot align
+///     (max/select).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SYMBOLIC_TRANSFORMS_H
+#define STENSO_SYMBOLIC_TRANSFORMS_H
+
+#include "support/RNG.h"
+#include "symbolic/ExprContext.h"
+
+#include <unordered_map>
+
+namespace stenso {
+namespace sym {
+
+/// Replaces every occurrence of each key of \p Map by its value.  Keys are
+/// matched as whole subtrees (typically symbols).
+const Expr *substitute(ExprContext &Ctx, const Expr *E,
+                       const std::unordered_map<const Expr *, const Expr *> &Map);
+
+/// Distributes Mul over Add and expands positive-integer powers of sums.
+/// Idempotent up to canonicalization.
+const Expr *expand(ExprContext &Ctx, const Expr *E);
+
+/// Semantic equivalence check under the positive-real-symbols assumption.
+/// Returns true when the expansions are canonically identical, or when
+/// \p NumSamples random positive assignments agree within tolerance.
+bool areEquivalent(ExprContext &Ctx, const Expr *A, const Expr *B, RNG &Rng,
+                   int NumSamples = 8, double RelTol = 1e-8);
+
+} // namespace sym
+} // namespace stenso
+
+#endif // STENSO_SYMBOLIC_TRANSFORMS_H

@@ -1,0 +1,84 @@
+//===- SymTensor.cpp - Tensors of symbolic scalar expressions -------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symexec/SymTensor.h"
+
+#include <sstream>
+#include <unordered_set>
+
+using namespace stenso;
+using namespace stenso::symexec;
+
+SymTensor::SymTensor(Shape S, std::vector<const sym::Expr *> Elements,
+                     DType Ty)
+    : S(std::move(S)), Elements(std::move(Elements)), Ty(Ty) {
+  assert(static_cast<int64_t>(this->Elements.size()) ==
+             this->S.getNumElements() &&
+         "element count does not match shape");
+}
+
+SymTensor SymTensor::scalar(const sym::Expr *E, DType Ty) {
+  return SymTensor(Shape(), {E}, Ty);
+}
+
+SymTensor SymTensor::makeInput(sym::ExprContext &Ctx, const std::string &Name,
+                               const Shape &S, DType Ty) {
+  int64_t N = S.getNumElements();
+  std::vector<const sym::Expr *> Elements;
+  Elements.reserve(static_cast<size_t>(N));
+  for (int64_t Flat = 0; Flat < N; ++Flat) {
+    std::vector<int64_t> Index = S.delinearize(Flat);
+    std::string SymName = Name;
+    if (!Index.empty()) {
+      SymName += "[";
+      for (size_t I = 0; I < Index.size(); ++I) {
+        if (I)
+          SymName += ",";
+        SymName += std::to_string(Index[I]);
+      }
+      SymName += "]";
+    }
+    Elements.push_back(Ctx.symbol(SymName, Name, Index));
+  }
+  return SymTensor(S, std::move(Elements), Ty);
+}
+
+bool SymTensor::identicalTo(const SymTensor &RHS) const {
+  return S == RHS.S && Ty == RHS.Ty && Elements == RHS.Elements;
+}
+
+double SymTensor::density() const {
+  if (Elements.empty())
+    return 0;
+  int64_t NonZero = 0;
+  for (const sym::Expr *E : Elements)
+    if (!E->isZero())
+      ++NonZero;
+  return static_cast<double>(NonZero) / static_cast<double>(Elements.size());
+}
+
+int64_t SymTensor::countDistinctInputs() const {
+  std::unordered_set<std::string> Inputs;
+  for (const sym::Expr *E : Elements)
+    for (const sym::SymbolExpr *Sym : sym::collectSymbols(E))
+      Inputs.insert(Sym->getTensorName().empty() ? Sym->getName()
+                                                 : Sym->getTensorName());
+  return static_cast<int64_t>(Inputs.size());
+}
+
+std::string SymTensor::toString() const {
+  std::ostringstream OS;
+  OS << "SymTensor" << S.toString() << "{";
+  for (size_t I = 0; I < Elements.size() && I < 8; ++I) {
+    if (I)
+      OS << "; ";
+    OS << Elements[I]->toString();
+  }
+  if (Elements.size() > 8)
+    OS << "; ...";
+  OS << "}";
+  return OS.str();
+}

@@ -1,0 +1,87 @@
+//===- SymTensor.h - Tensors of symbolic scalar expressions ----*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SymTensor is a dense tensor whose elements are symbolic expressions.
+/// Executing a DSL program on SymTensors of fresh symbols yields the
+/// program's specification Phi (Section IV-A of the paper): one symbolic
+/// expression per output element, invariant to the program's syntax.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SYMEXEC_SYMTENSOR_H
+#define STENSO_SYMEXEC_SYMTENSOR_H
+
+#include "symbolic/ExprContext.h"
+#include "tensor/Shape.h"
+#include "tensor/Tensor.h"
+
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace symexec {
+
+/// A dense tensor of interned symbolic expressions.
+class SymTensor {
+public:
+  SymTensor() = default;
+  SymTensor(Shape S, std::vector<const sym::Expr *> Elements,
+            DType Ty = DType::Float64);
+
+  /// A rank-0 symbolic scalar.
+  static SymTensor scalar(const sym::Expr *E, DType Ty = DType::Float64);
+
+  /// A tensor of fresh input symbols "Name[i,j,...]" tagged with the
+  /// tensor name, for use as a program input.
+  static SymTensor makeInput(sym::ExprContext &Ctx, const std::string &Name,
+                             const Shape &S, DType Ty = DType::Float64);
+
+  const Shape &getShape() const { return S; }
+  DType getDType() const { return Ty; }
+  int64_t getNumElements() const { return S.getNumElements(); }
+
+  const sym::Expr *at(int64_t Flat) const {
+    assert(Flat >= 0 && Flat < getNumElements() && "index out of range");
+    return Elements[static_cast<size_t>(Flat)];
+  }
+  const sym::Expr *at(const std::vector<int64_t> &Index) const {
+    return at(S.linearize(Index));
+  }
+  const std::vector<const sym::Expr *> &getElements() const {
+    return Elements;
+  }
+
+  /// The scalar element; asserts a single-element tensor.
+  const sym::Expr *item() const {
+    assert(getNumElements() == 1 && "item() on multi-element SymTensor");
+    return Elements[0];
+  }
+
+  /// True when every element is the same interned expression as in \p RHS
+  /// and shapes/dtypes match.
+  bool identicalTo(const SymTensor &RHS) const;
+
+  /// Fraction of structurally non-zero elements — the density(Phi) factor
+  /// of the paper's specification-complexity metric.
+  double density() const;
+
+  /// Number of distinct input tensors mentioned across all elements — the
+  /// |var(Phi)| factor.
+  int64_t countDistinctInputs() const;
+
+  std::string toString() const;
+
+private:
+  Shape S;
+  std::vector<const sym::Expr *> Elements;
+  DType Ty = DType::Float64;
+};
+
+} // namespace symexec
+} // namespace stenso
+
+#endif // STENSO_SYMEXEC_SYMTENSOR_H

@@ -1,0 +1,432 @@
+//===- SymbolicExecutor.cpp - DSL execution over symbols -------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symexec/SymbolicExecutor.h"
+
+#include "support/Error.h"
+#include "symbolic/Transforms.h"
+
+#include <functional>
+
+using namespace stenso;
+using namespace stenso::symexec;
+using namespace stenso::dsl;
+using sym::Expr;
+using sym::ExprContext;
+
+//===----------------------------------------------------------------------===//
+// Symbolic tensor operations
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using BinaryFn = std::function<const Expr *(const Expr *, const Expr *)>;
+
+SymTensor broadcastBinary(ExprContext &Ctx, const SymTensor &A,
+                          const SymTensor &B, DType OutTy,
+                          const BinaryFn &Fn) {
+  (void)Ctx;
+  std::optional<Shape> Out = Shape::broadcast(A.getShape(), B.getShape());
+  assert(Out && "operands not broadcastable (type checker admitted them?)");
+  std::vector<int64_t> SA = broadcastStrides(A.getShape(), *Out);
+  std::vector<int64_t> SB = broadcastStrides(B.getShape(), *Out);
+  int64_t N = Out->getNumElements();
+  std::vector<const Expr *> Elems;
+  Elems.reserve(static_cast<size_t>(N));
+  for (int64_t Flat = 0; Flat < N; ++Flat) {
+    std::vector<int64_t> Index = Out->delinearize(Flat);
+    int64_t OffA = 0, OffB = 0;
+    for (size_t I = 0; I < Index.size(); ++I) {
+      OffA += Index[I] * SA[I];
+      OffB += Index[I] * SB[I];
+    }
+    Elems.push_back(Fn(A.at(OffA), B.at(OffB)));
+  }
+  return SymTensor(*Out, std::move(Elems), OutTy);
+}
+
+SymTensor elementwiseUnary(const SymTensor &A,
+                           const std::function<const Expr *(const Expr *)> &Fn) {
+  std::vector<const Expr *> Elems;
+  Elems.reserve(A.getElements().size());
+  for (const Expr *E : A.getElements())
+    Elems.push_back(Fn(E));
+  return SymTensor(A.getShape(), std::move(Elems), DType::Float64);
+}
+
+SymTensor symTranspose(const SymTensor &A, std::vector<int64_t> Perm) {
+  int64_t Rank = A.getShape().getRank();
+  if (Perm.empty())
+    for (int64_t I = Rank - 1; I >= 0; --I)
+      Perm.push_back(I);
+  std::vector<int64_t> OutDims;
+  for (int64_t P : Perm)
+    OutDims.push_back(A.getShape().getDim(A.getShape().normalizeAxis(P)));
+  Shape OutShape(OutDims);
+  std::vector<int64_t> InStrides = A.getShape().getStrides();
+  int64_t N = OutShape.getNumElements();
+  std::vector<const Expr *> Elems(static_cast<size_t>(N));
+  for (int64_t Flat = 0; Flat < N; ++Flat) {
+    std::vector<int64_t> OutIndex = OutShape.delinearize(Flat);
+    int64_t Off = 0;
+    for (int64_t I = 0; I < Rank; ++I)
+      Off += OutIndex[static_cast<size_t>(I)] *
+             InStrides[static_cast<size_t>(
+                 A.getShape().normalizeAxis(Perm[static_cast<size_t>(I)]))];
+    Elems[static_cast<size_t>(Flat)] = A.at(Off);
+  }
+  return SymTensor(OutShape, std::move(Elems), A.getDType());
+}
+
+SymTensor symTensordot(ExprContext &Ctx, const SymTensor &A,
+                       const SymTensor &B, const std::vector<int64_t> &AxesA,
+                       const std::vector<int64_t> &AxesB) {
+  std::vector<int64_t> NA, NB;
+  for (int64_t Axis : AxesA)
+    NA.push_back(A.getShape().normalizeAxis(Axis));
+  for (int64_t Axis : AxesB)
+    NB.push_back(B.getShape().normalizeAxis(Axis));
+
+  auto FreeAxes = [](const Shape &S, const std::vector<int64_t> &Contracted) {
+    std::vector<int64_t> Free;
+    for (int64_t Axis = 0; Axis < S.getRank(); ++Axis)
+      if (std::find(Contracted.begin(), Contracted.end(), Axis) ==
+          Contracted.end())
+        Free.push_back(Axis);
+    return Free;
+  };
+  std::vector<int64_t> FreeA = FreeAxes(A.getShape(), NA);
+  std::vector<int64_t> FreeB = FreeAxes(B.getShape(), NB);
+
+  std::vector<int64_t> OutDims;
+  for (int64_t Axis : FreeA)
+    OutDims.push_back(A.getShape().getDim(Axis));
+  for (int64_t Axis : FreeB)
+    OutDims.push_back(B.getShape().getDim(Axis));
+  Shape OutShape(OutDims);
+
+  std::vector<int64_t> ContractDims;
+  for (int64_t Axis : NA)
+    ContractDims.push_back(A.getShape().getDim(Axis));
+  Shape ContractShape(ContractDims);
+
+  std::vector<int64_t> StridesA = A.getShape().getStrides();
+  std::vector<int64_t> StridesB = B.getShape().getStrides();
+
+  int64_t NumOut = OutShape.getNumElements();
+  int64_t NumContract = ContractShape.getNumElements();
+  std::vector<const Expr *> Elems(static_cast<size_t>(NumOut));
+  for (int64_t OutFlat = 0; OutFlat < NumOut; ++OutFlat) {
+    std::vector<int64_t> OutIndex = OutShape.delinearize(OutFlat);
+    int64_t BaseA = 0, BaseB = 0;
+    for (size_t I = 0; I < FreeA.size(); ++I)
+      BaseA += OutIndex[I] * StridesA[static_cast<size_t>(FreeA[I])];
+    for (size_t I = 0; I < FreeB.size(); ++I)
+      BaseB += OutIndex[FreeA.size() + I] *
+               StridesB[static_cast<size_t>(FreeB[I])];
+    std::vector<const Expr *> Products;
+    Products.reserve(static_cast<size_t>(NumContract));
+    for (int64_t K = 0; K < NumContract; ++K) {
+      std::vector<int64_t> CIndex = ContractShape.delinearize(K);
+      int64_t OffA = BaseA, OffB = BaseB;
+      for (size_t I = 0; I < NA.size(); ++I) {
+        OffA += CIndex[I] * StridesA[static_cast<size_t>(NA[I])];
+        OffB += CIndex[I] * StridesB[static_cast<size_t>(NB[I])];
+      }
+      Products.push_back(Ctx.mul(A.at(OffA), B.at(OffB)));
+    }
+    Elems[static_cast<size_t>(OutFlat)] = Ctx.add(std::move(Products));
+  }
+  return SymTensor(OutShape, std::move(Elems));
+}
+
+SymTensor symReduce(ExprContext &Ctx, const SymTensor &A, int64_t Axis,
+                    bool IsSum) {
+  Axis = A.getShape().normalizeAxis(Axis);
+  Shape OutShape = A.getShape().dropAxis(Axis);
+  int64_t NumOut = OutShape.getNumElements();
+  std::vector<std::vector<const Expr *>> Groups(
+      static_cast<size_t>(NumOut));
+  int64_t N = A.getNumElements();
+  for (int64_t Flat = 0; Flat < N; ++Flat) {
+    std::vector<int64_t> Index = A.getShape().delinearize(Flat);
+    Index.erase(Index.begin() + Axis);
+    Groups[static_cast<size_t>(OutShape.linearize(Index))].push_back(
+        A.at(Flat));
+  }
+  std::vector<const Expr *> Elems;
+  Elems.reserve(static_cast<size_t>(NumOut));
+  for (auto &Group : Groups)
+    Elems.push_back(IsSum ? Ctx.add(std::move(Group))
+                          : Ctx.max(std::move(Group)));
+  return SymTensor(OutShape, std::move(Elems));
+}
+
+SymTensor symSlice(const SymTensor &A, int64_t Index) {
+  Shape SliceShape = A.getShape().dropAxis(0);
+  int64_t SliceElems = SliceShape.getNumElements();
+  std::vector<const Expr *> Elems;
+  Elems.reserve(static_cast<size_t>(SliceElems));
+  for (int64_t I = 0; I < SliceElems; ++I)
+    Elems.push_back(A.at(Index * SliceElems + I));
+  return SymTensor(std::move(SliceShape), std::move(Elems), A.getDType());
+}
+
+//===----------------------------------------------------------------------===//
+// Executor
+//===----------------------------------------------------------------------===//
+
+class SymExecVisitor {
+public:
+  SymExecVisitor(ExprContext &Ctx, const SymBinding &Inputs)
+      : Ctx(Ctx), Inputs(Inputs) {}
+
+  SymTensor visit(const Node *N) {
+    switch (N->getKind()) {
+    case OpKind::Input: {
+      auto Bound = LoopBindings.find(N);
+      if (Bound != LoopBindings.end())
+        return Bound->second;
+      auto It = Inputs.find(N->getName());
+      if (It == Inputs.end())
+        reportFatalError("unbound input '" + N->getName() +
+                         "' in symbolic execution");
+      return It->second;
+    }
+    case OpKind::Constant:
+      return SymTensor::scalar(Ctx.constant(N->getValue()));
+    case OpKind::Full: {
+      const Expr *Value = visit(N->getOperand(0)).item();
+      int64_t NumElems = N->getAttrs().ShapeAttr.getNumElements();
+      return SymTensor(
+          N->getAttrs().ShapeAttr,
+          std::vector<const Expr *>(static_cast<size_t>(NumElems), Value),
+          N->getType().Dtype);
+    }
+    case OpKind::Add:
+      return binary(N, [&](const Expr *A, const Expr *B) {
+        return Ctx.add(A, B);
+      });
+    case OpKind::Subtract:
+      return binary(N, [&](const Expr *A, const Expr *B) {
+        return Ctx.sub(A, B);
+      });
+    case OpKind::Multiply:
+      return binary(N, [&](const Expr *A, const Expr *B) {
+        return Ctx.mul(A, B);
+      });
+    case OpKind::Divide:
+      return binary(N, [&](const Expr *A, const Expr *B) {
+        return Ctx.div(A, B);
+      });
+    case OpKind::Power:
+      return binary(N, [&](const Expr *A, const Expr *B) {
+        return Ctx.pow(A, B);
+      });
+    case OpKind::Maximum:
+      return binary(N, [&](const Expr *A, const Expr *B) {
+        return Ctx.max({A, B});
+      });
+    case OpKind::Less:
+      return broadcastBinary(Ctx, visit(N->getOperand(0)),
+                             visit(N->getOperand(1)), DType::Bool,
+                             [&](const Expr *A, const Expr *B) {
+                               return Ctx.less(A, B);
+                             });
+    case OpKind::Sqrt:
+      return elementwiseUnary(visit(N->getOperand(0)),
+                              [&](const Expr *E) { return Ctx.sqrt(E); });
+    case OpKind::Exp:
+      return elementwiseUnary(visit(N->getOperand(0)),
+                              [&](const Expr *E) { return Ctx.expOf(E); });
+    case OpKind::Log:
+      return elementwiseUnary(visit(N->getOperand(0)),
+                              [&](const Expr *E) { return Ctx.logOf(E); });
+    case OpKind::Where: {
+      SymTensor Cond = visit(N->getOperand(0));
+      SymTensor TrueVal = visit(N->getOperand(1));
+      SymTensor FalseVal = visit(N->getOperand(2));
+      // Two-stage broadcast via a pair walker: first align (True, False),
+      // then select with the condition.
+      SymTensor Pair = broadcastBinary(
+          Ctx, TrueVal, FalseVal, DType::Float64,
+          [&](const Expr *, const Expr *) { return Ctx.zero(); });
+      std::optional<Shape> Out =
+          Shape::broadcast(Cond.getShape(), Pair.getShape());
+      assert(Out && "where operands not broadcastable");
+      std::vector<int64_t> SC = broadcastStrides(Cond.getShape(), *Out);
+      std::vector<int64_t> ST = broadcastStrides(TrueVal.getShape(), *Out);
+      std::vector<int64_t> SF = broadcastStrides(FalseVal.getShape(), *Out);
+      int64_t NumElems = Out->getNumElements();
+      std::vector<const Expr *> Elems;
+      Elems.reserve(static_cast<size_t>(NumElems));
+      for (int64_t Flat = 0; Flat < NumElems; ++Flat) {
+        std::vector<int64_t> Index = Out->delinearize(Flat);
+        int64_t OffC = 0, OffT = 0, OffF = 0;
+        for (size_t I = 0; I < Index.size(); ++I) {
+          OffC += Index[I] * SC[I];
+          OffT += Index[I] * ST[I];
+          OffF += Index[I] * SF[I];
+        }
+        Elems.push_back(
+            Ctx.select(Cond.at(OffC), TrueVal.at(OffT), FalseVal.at(OffF)));
+      }
+      return SymTensor(*Out, std::move(Elems));
+    }
+    case OpKind::Triu:
+    case OpKind::Tril: {
+      SymTensor A = visit(N->getOperand(0));
+      bool Upper = N->getKind() == OpKind::Triu;
+      int64_t K = N->getAttrs().Diagonal;
+      int64_t Rows = A.getShape().getDim(0), Cols = A.getShape().getDim(1);
+      std::vector<const Expr *> Elems;
+      Elems.reserve(static_cast<size_t>(Rows * Cols));
+      for (int64_t I = 0; I < Rows; ++I)
+        for (int64_t J = 0; J < Cols; ++J) {
+          bool Keep = Upper ? (J - I >= K) : (J - I <= K);
+          Elems.push_back(Keep ? A.at({I, J}) : Ctx.zero());
+        }
+      return SymTensor(A.getShape(), std::move(Elems), A.getDType());
+    }
+    case OpKind::Dot: {
+      SymTensor A = visit(N->getOperand(0));
+      SymTensor B = visit(N->getOperand(1));
+      int64_t ContractA = A.getShape().getRank() - 1;
+      int64_t ContractB = B.getShape().getRank() == 1
+                              ? 0
+                              : B.getShape().getRank() - 2;
+      return symTensordot(Ctx, A, B, {ContractA}, {ContractB});
+    }
+    case OpKind::Tensordot:
+      return symTensordot(Ctx, visit(N->getOperand(0)),
+                          visit(N->getOperand(1)), N->getAttrs().AxesA,
+                          N->getAttrs().AxesB);
+    case OpKind::Diag: {
+      SymTensor A = visit(N->getOperand(0));
+      int64_t NumDiag =
+          std::min(A.getShape().getDim(0), A.getShape().getDim(1));
+      std::vector<const Expr *> Elems;
+      for (int64_t I = 0; I < NumDiag; ++I)
+        Elems.push_back(A.at({I, I}));
+      return SymTensor(Shape({NumDiag}), std::move(Elems));
+    }
+    case OpKind::Trace: {
+      SymTensor A = visit(N->getOperand(0));
+      int64_t NumDiag =
+          std::min(A.getShape().getDim(0), A.getShape().getDim(1));
+      std::vector<const Expr *> Diagonal;
+      for (int64_t I = 0; I < NumDiag; ++I)
+        Diagonal.push_back(A.at({I, I}));
+      return SymTensor::scalar(Ctx.add(std::move(Diagonal)));
+    }
+    case OpKind::Transpose:
+      return symTranspose(visit(N->getOperand(0)), N->getAttrs().Perm);
+    case OpKind::Reshape: {
+      SymTensor A = visit(N->getOperand(0));
+      return SymTensor(N->getAttrs().ShapeAttr, A.getElements(),
+                       A.getDType());
+    }
+    case OpKind::Stack: {
+      std::vector<SymTensor> Parts;
+      Parts.reserve(N->getNumOperands());
+      for (const Node *Op : N->getOperands())
+        Parts.push_back(visit(Op));
+      return stackParts(Parts, N->getAttrs().Axis.value_or(0));
+    }
+    case OpKind::Sum:
+      return symReduce(Ctx, visit(N->getOperand(0)), *N->getAttrs().Axis,
+                       /*IsSum=*/true);
+    case OpKind::SumAll: {
+      SymTensor A = visit(N->getOperand(0));
+      std::vector<const Expr *> All(A.getElements());
+      return SymTensor::scalar(Ctx.add(std::move(All)));
+    }
+    case OpKind::Max:
+      return symReduce(Ctx, visit(N->getOperand(0)), *N->getAttrs().Axis,
+                       /*IsSum=*/false);
+    case OpKind::MaxAll: {
+      SymTensor A = visit(N->getOperand(0));
+      std::vector<const Expr *> All(A.getElements());
+      return SymTensor::scalar(Ctx.max(std::move(All)));
+    }
+    case OpKind::Comprehension: {
+      SymTensor Iterated = visit(N->getOperand(0));
+      int64_t Count = Iterated.getShape().getDim(0);
+      std::vector<SymTensor> Parts;
+      Parts.reserve(static_cast<size_t>(Count));
+      for (int64_t I = 0; I < Count; ++I) {
+        LoopBindings.insert_or_assign(N->getLoopVar(),
+                                      symSlice(Iterated, I));
+        Parts.push_back(visit(N->getOperand(1)));
+      }
+      LoopBindings.erase(N->getLoopVar());
+      return stackParts(Parts, N->getAttrs().Axis.value_or(0));
+    }
+    }
+    stenso_unreachable("unknown op kind");
+  }
+
+private:
+  SymTensor binary(const Node *N, const BinaryFn &Fn) {
+    return broadcastBinary(Ctx, visit(N->getOperand(0)),
+                           visit(N->getOperand(1)), DType::Float64, Fn);
+  }
+
+  SymTensor stackParts(const std::vector<SymTensor> &Parts, int64_t Axis) {
+    assert(!Parts.empty() && "stack of zero parts");
+    const Shape &PartShape = Parts.front().getShape();
+    int64_t OutRank = PartShape.getRank() + 1;
+    if (Axis < 0)
+      Axis += OutRank;
+    Shape OutShape =
+        PartShape.insertAxis(Axis, static_cast<int64_t>(Parts.size()));
+    int64_t N = OutShape.getNumElements();
+    std::vector<const Expr *> Elems(static_cast<size_t>(N));
+    for (int64_t Flat = 0; Flat < N; ++Flat) {
+      std::vector<int64_t> Index = OutShape.delinearize(Flat);
+      int64_t Which = Index[static_cast<size_t>(Axis)];
+      Index.erase(Index.begin() + Axis);
+      Elems[static_cast<size_t>(Flat)] =
+          Parts[static_cast<size_t>(Which)].at(Index);
+    }
+    return SymTensor(OutShape, std::move(Elems), Parts.front().getDType());
+  }
+
+  ExprContext &Ctx;
+  const SymBinding &Inputs;
+  std::unordered_map<const Node *, SymTensor> LoopBindings;
+};
+
+} // namespace
+
+SymTensor symexec::symbolicExecute(const Node *N, ExprContext &Ctx,
+                                   const SymBinding &Inputs) {
+  SymTensor Raw = SymExecVisitor(Ctx, Inputs).visit(N);
+  // Specs are compared element-for-element by interned pointer, so they
+  // must be in the *expanded* normal form: `a*(x+y)` and `a*x + a*y`
+  // execute to the same spec.
+  std::vector<const Expr *> Expanded;
+  Expanded.reserve(Raw.getElements().size());
+  for (const Expr *E : Raw.getElements())
+    Expanded.push_back(sym::expand(Ctx, E));
+  return SymTensor(Raw.getShape(), std::move(Expanded), Raw.getDType());
+}
+
+SymBinding symexec::makeInputBindings(const Program &P, ExprContext &Ctx) {
+  SymBinding Bindings;
+  for (const Node *Input : P.getInputs())
+    Bindings.emplace(Input->getName(),
+                     SymTensor::makeInput(Ctx, Input->getName(),
+                                          Input->getType().TShape,
+                                          Input->getType().Dtype));
+  return Bindings;
+}
+
+SymTensor symexec::computeSpec(const Program &P, ExprContext &Ctx) {
+  assert(P.getRoot() && "program has no root");
+  SymBinding Bindings = makeInputBindings(P, Ctx);
+  return symbolicExecute(P.getRoot(), Ctx, Bindings);
+}

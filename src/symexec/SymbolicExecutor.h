@@ -1,0 +1,47 @@
+//===- SymbolicExecutor.h - DSL execution over symbols ---------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic execution of tensor DSL programs (the paper's SYMEX): runs a
+/// program with SymTensors of fresh symbols as inputs and returns the
+/// resulting SymTensor — the target specification Phi.  Because every
+/// element is canonicalized by the symbolic engine, syntactically
+/// different but algebraically equal programs produce identical specs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SYMEXEC_SYMBOLICEXECUTOR_H
+#define STENSO_SYMEXEC_SYMBOLICEXECUTOR_H
+
+#include "dsl/Node.h"
+#include "symexec/SymTensor.h"
+
+#include <unordered_map>
+
+namespace stenso {
+namespace symexec {
+
+/// Assignment of SymTensors to input names.
+using SymBinding = std::unordered_map<std::string, SymTensor>;
+
+/// Evaluates \p N symbolically under \p Inputs.
+SymTensor symbolicExecute(const dsl::Node *N, sym::ExprContext &Ctx,
+                          const SymBinding &Inputs);
+
+/// Creates fresh symbol tensors for every declared input of \p P (named
+/// after the inputs) and symbolically executes the root.  This is the
+/// specification Phi of the program.
+SymTensor computeSpec(const dsl::Program &P, sym::ExprContext &Ctx);
+
+/// Fresh symbol tensors for \p P's inputs, keyed by name (the bindings
+/// computeSpec would use).  Exposed so the synthesizer can execute sketch
+/// candidates against the same symbols.
+SymBinding makeInputBindings(const dsl::Program &P, sym::ExprContext &Ctx);
+
+} // namespace symexec
+} // namespace stenso
+
+#endif // STENSO_SYMEXEC_SYMBOLICEXECUTOR_H

@@ -1,0 +1,178 @@
+//===- BottomUpSynthesizer.cpp - TASO-like enumerative baseline -----------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/BottomUpSynthesizer.h"
+
+#include "dsl/Printer.h"
+#include "support/Timer.h"
+
+using namespace stenso;
+using namespace stenso::synth;
+using namespace stenso::dsl;
+using symexec::SymTensor;
+
+BottomUpSynthesizer::BottomUpSynthesizer(BottomUpConfig Config)
+    : Config(std::move(Config)) {}
+
+namespace {
+
+/// One enumerated program with its spec and cost.
+struct Entry {
+  const Node *Root;
+  SymTensor Spec;
+  double Cost;
+};
+
+/// Collects the distinct constants appearing in a program tree.
+void collectConstants(const Node *N, std::vector<Rational> &Out) {
+  if (N->isConstant()) {
+    if (std::find(Out.begin(), Out.end(), N->getValue()) == Out.end())
+      Out.push_back(N->getValue());
+    return;
+  }
+  for (const Node *Op : N->getOperands())
+    collectConstants(Op, Out);
+}
+
+} // namespace
+
+SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
+                                         const ShapeScaler &Scaler) {
+  assert(Clamped.getRoot() && "program has no root");
+  WallTimer Timer;
+  Deadline Budget(Config.TimeoutSeconds);
+  std::vector<OpKind> Ops =
+      Config.Ops.empty() ? SketchLibrary::defaultOps() : Config.Ops;
+
+  SynthesisResult Result;
+  Result.OptimizedSource = printProgram(Clamped);
+
+  std::unique_ptr<CostModel> Model = makeCostModel(Config.CostModelName);
+  Result.OriginalCost = Model->costOfTree(Clamped.getRoot(), Scaler);
+  Result.OptimizedCost = Result.OriginalCost;
+
+  sym::ExprContext Ctx;
+  symexec::SymBinding Bindings = symexec::makeInputBindings(Clamped, Ctx);
+  SymTensor Phi = symexec::symbolicExecute(Clamped.getRoot(), Ctx, Bindings);
+  SpecKey PhiKey{Phi.getShape(), Phi.getDType(), Phi.getElements()};
+
+  Program Arena;
+  std::vector<Entry> Entries;
+  std::unordered_map<SpecKey, size_t, SpecKeyHash> BySpec;
+
+  const Node *BestTree = nullptr;
+  double BestCost = Result.OriginalCost;
+
+  auto AddCandidate = [&](const Node *Root) {
+    if (!Root)
+      return;
+    ++Result.Stats.DfsCalls; // reused as "programs enumerated"
+    SymTensor Spec = symexec::symbolicExecute(Root, Ctx, Bindings);
+    double Cost = Model->costOfTree(Root, Scaler);
+    SpecKey Key{Spec.getShape(), Spec.getDType(), Spec.getElements()};
+    if (Key == PhiKey && Cost < BestCost) {
+      BestTree = Root;
+      BestCost = Cost;
+    }
+    auto It = BySpec.find(Key);
+    if (It != BySpec.end()) {
+      Entry &Existing = Entries[It->second];
+      if (Cost < Existing.Cost) {
+        Existing.Root = Root;
+        Existing.Cost = Cost;
+      }
+      return;
+    }
+    BySpec.emplace(std::move(Key), Entries.size());
+    Entries.push_back(Entry{Root, std::move(Spec), Cost});
+  };
+
+  // Terminals.
+  for (const Node *Input : Clamped.getInputs())
+    AddCandidate(Arena.input(Input->getName(), Input->getType()));
+  std::vector<Rational> Constants;
+  collectConstants(Clamped.getRoot(), Constants);
+  for (const Rational &Value : Constants)
+    AddCandidate(Arena.constant(Value));
+
+  size_t LevelBegin = 0;
+  bool Exhausted = false;
+  for (int Depth = 1; Depth <= Config.MaxDepth && !Exhausted; ++Depth) {
+    size_t LevelEnd = Entries.size();
+    auto Expired = [&] {
+      if (Budget.expired() || Entries.size() >= Config.MaxPrograms) {
+        Result.TimedOut = Budget.expired();
+        Exhausted = true;
+        return true;
+      }
+      return false;
+    };
+
+    // Full cross product: at least one operand from the newest level so
+    // every program is enumerated exactly once per depth.
+    for (OpKind Op : Ops) {
+      if (Expired())
+        break;
+      bool Unary = isElementwiseUnary(Op) || Op == OpKind::Diag ||
+                   Op == OpKind::Trace || Op == OpKind::Transpose ||
+                   Op == OpKind::SumAll || Op == OpKind::MaxAll ||
+                   Op == OpKind::Triu || Op == OpKind::Tril;
+      if (Unary) {
+        for (size_t I = LevelBegin; I < LevelEnd && !Expired(); ++I)
+          AddCandidate(Arena.tryMake(Op, {Entries[I].Root}));
+        continue;
+      }
+      if (Op == OpKind::Sum || Op == OpKind::Max) {
+        for (size_t I = LevelBegin; I < LevelEnd && !Expired(); ++I)
+          for (int64_t Axis = 0;
+               Axis < Entries[I].Root->getType().TShape.getRank(); ++Axis) {
+            NodeAttrs Attrs;
+            Attrs.Axis = Axis;
+            AddCandidate(Arena.tryMake(Op, {Entries[I].Root}, Attrs));
+          }
+        continue;
+      }
+      if (Op == OpKind::Where) {
+        for (size_t I = 0; I < LevelEnd && !Expired(); ++I) {
+          if (Entries[I].Root->getType().Dtype != DType::Bool)
+            continue;
+          for (size_t J = 0; J < LevelEnd; ++J)
+            for (size_t K = 0; K < LevelEnd; ++K) {
+              if (I < LevelBegin && J < LevelBegin && K < LevelBegin)
+                continue;
+              AddCandidate(Arena.tryMake(
+                  Op, {Entries[I].Root, Entries[J].Root, Entries[K].Root}));
+              if (Expired())
+                break;
+            }
+        }
+        continue;
+      }
+      // Binary: full cross product with one operand in the newest level.
+      for (size_t I = 0; I < LevelEnd && !Expired(); ++I)
+        for (size_t J = 0; J < LevelEnd; ++J) {
+          if (I < LevelBegin && J < LevelBegin)
+            continue;
+          AddCandidate(Arena.tryMake(Op, {Entries[I].Root, Entries[J].Root}));
+          if (Expired())
+            break;
+        }
+    }
+    LevelBegin = LevelEnd;
+  }
+
+  Result.Stats.NumStubs = Entries.size();
+  Result.SynthesisSeconds = Timer.elapsedSeconds();
+  if (BestTree && BestCost < Result.OriginalCost) {
+    Result.Improved = true;
+    Result.OptimizedCost = BestCost;
+    auto Optimized = std::make_unique<Program>();
+    Optimized->setRoot(Program::cloneInto(*Optimized, BestTree));
+    Result.OptimizedSource = printProgram(*Optimized);
+    Result.Optimized = std::move(Optimized);
+  }
+  return Result;
+}

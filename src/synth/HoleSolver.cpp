@@ -1,0 +1,283 @@
+//===- HoleSolver.cpp - Symbolic solving of sketch holes -------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/HoleSolver.h"
+
+#include "support/Hashing.h"
+#include "symbolic/Linear.h"
+#include "symbolic/Transforms.h"
+
+using namespace stenso;
+using namespace stenso::synth;
+using sym::Expr;
+using sym::ExprContext;
+using symexec::SymTensor;
+
+size_t HoleSolver::CacheKeyHash::operator()(const CacheKey &K) const {
+  size_t Seed = std::hash<const void *>()(K.SketchRoot);
+  hashCombine(Seed, SpecKeyHash()(K.Phi));
+  return Seed;
+}
+
+//===----------------------------------------------------------------------===//
+// Monomial helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A canonical term viewed as coefficient * prod(base^exponent).
+struct Monomial {
+  Rational Coefficient = Rational(1);
+  /// base -> exponent, in deterministic (id) order.
+  std::vector<std::pair<const Expr *, const Expr *>> Factors;
+};
+
+/// Decomposes a canonical non-Add expression into a Monomial.
+Monomial decomposeMonomial(const Expr *Term) {
+  Monomial M;
+  std::vector<const Expr *> Factors;
+  if (isa<sym::MulExpr>(Term))
+    Factors = Term->getOperands();
+  else
+    Factors.push_back(Term);
+  for (const Expr *F : Factors) {
+    if (const auto *C = dyn_cast<sym::ConstantExpr>(F)) {
+      M.Coefficient *= C->getValue();
+      continue;
+    }
+    if (const auto *P = dyn_cast<sym::PowExpr>(F)) {
+      M.Factors.emplace_back(P->getBase(), P->getExponent());
+      continue;
+    }
+    M.Factors.emplace_back(F, nullptr); // nullptr encodes exponent 1
+  }
+  return M;
+}
+
+/// Computes Term / Divisor when the division is "clean": every factor of
+/// the divisor occurs in the term with at least its exponent.  Returns
+/// nullopt otherwise (no negative powers are ever introduced).
+std::optional<const Expr *> divideMonomial(ExprContext &Ctx, const Expr *Term,
+                                           const Expr *Divisor) {
+  Monomial T = decomposeMonomial(Term);
+  Monomial D = decomposeMonomial(Divisor);
+  if (D.Coefficient.isZero())
+    return std::nullopt;
+
+  auto ExponentOf = [&](const Expr *E) -> std::optional<Rational> {
+    if (!E)
+      return Rational(1);
+    return ExprContext::getConstantValue(E);
+  };
+
+  for (const auto &[Base, DivExp] : D.Factors) {
+    auto It = std::find_if(T.Factors.begin(), T.Factors.end(),
+                           [&, B = Base](const auto &F) { return F.first == B; });
+    if (It == T.Factors.end())
+      return std::nullopt;
+    std::optional<Rational> ET = ExponentOf(It->second);
+    std::optional<Rational> ED = ExponentOf(DivExp);
+    if (ET && ED) {
+      Rational Quotient = *ET - *ED;
+      if (Quotient < Rational(0))
+        return std::nullopt;
+      if (Quotient.isZero()) {
+        T.Factors.erase(It);
+      } else {
+        It->second = Ctx.constant(Quotient);
+      }
+      continue;
+    }
+    // Symbolic exponents must match exactly.
+    if (It->second != DivExp)
+      return std::nullopt;
+    T.Factors.erase(It);
+  }
+
+  std::vector<const Expr *> Parts;
+  Parts.push_back(Ctx.constant(T.Coefficient / D.Coefficient));
+  for (const auto &[Base, Exp] : T.Factors)
+    Parts.push_back(Exp ? Ctx.pow(Base, Exp) : Base);
+  return Ctx.mul(std::move(Parts));
+}
+
+/// The additive terms of an expanded expression.
+std::vector<const Expr *> termsOf(const Expr *E) {
+  if (isa<sym::AddExpr>(E))
+    return E->getOperands();
+  return {E};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Solving
+//===----------------------------------------------------------------------===//
+
+std::optional<SymTensor> HoleSolver::solve(const Sketch &Sk,
+                                           const SymTensor &Phi) {
+  ++Calls;
+  CacheKey Key{Sk.Root, SpecKey{Phi.getShape(), Phi.getDType(),
+                                Phi.getElements()}};
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  std::optional<SymTensor> Result = solveUncached(Sk, Phi);
+  if (Result)
+    ++Solved;
+  Cache.emplace(std::move(Key), Result);
+  return Result;
+}
+
+std::optional<SymTensor>
+HoleSolver::solveUncached(const Sketch &Sk, const SymTensor &Phi) {
+  if (Sk.Template.getShape() != Phi.getShape() ||
+      Sk.Template.getDType() != Phi.getDType())
+    return std::nullopt;
+
+  // Hole symbol -> flat index within the hole tensor.
+  std::unordered_map<const Expr *, int64_t> HoleIndex;
+  std::unordered_set<const Expr *> HoleSet;
+  for (int64_t I = 0; I < Sk.HoleSymbols.getNumElements(); ++I) {
+    HoleIndex.emplace(Sk.HoleSymbols.at(I), I);
+    HoleSet.insert(Sk.HoleSymbols.at(I));
+  }
+
+  std::vector<const Expr *> Solved(
+      static_cast<size_t>(Sk.HoleSymbols.getNumElements()), nullptr);
+
+  // Records a solved value; fails on conflicting assignments.
+  auto Assign = [&](const Expr *HoleSym, const Expr *Value) {
+    int64_t Index = HoleIndex.at(HoleSym);
+    const Expr *Expanded = sym::expand(Ctx, Value);
+    if (Solved[static_cast<size_t>(Index)] &&
+        Solved[static_cast<size_t>(Index)] != Expanded)
+      return false;
+    Solved[static_cast<size_t>(Index)] = Expanded;
+    return true;
+  };
+
+  for (int64_t I = 0; I < Phi.getNumElements(); ++I) {
+    const Expr *S = Sk.Template.at(I);
+    const Expr *Target = Phi.at(I);
+
+    // Linear case (covers hole-free elements as a degenerate form).
+    if (std::optional<sym::LinearDecomposition> Lin =
+            sym::decomposeLinear(Ctx, S, HoleSet)) {
+      const Expr *Residual =
+          sym::expand(Ctx, Ctx.sub(Target, Lin->Remainder));
+      if (Lin->Coefficients.empty()) {
+        if (!Residual->isZero())
+          return std::nullopt;
+        continue;
+      }
+      if (Lin->Coefficients.size() == 1) {
+        auto [HoleSym, Coeff] = Lin->Coefficients.front();
+        const Expr *Value =
+            Coeff->isOne() ? Residual : Ctx.div(Residual, Coeff);
+        if (!Assign(HoleSym, Value))
+          return std::nullopt;
+        continue;
+      }
+      // Multi-unknown equation (contraction/reduction): assign each target
+      // term to the unique unknown whose coefficient divides it.
+      std::unordered_map<const Expr *, std::vector<const Expr *>> Parts;
+      for (const Expr *Term : termsOf(Residual)) {
+        if (Term->isZero())
+          continue;
+        const Expr *Owner = nullptr;
+        const Expr *Quotient = nullptr;
+        for (const auto &[HoleSym, Coeff] : Lin->Coefficients) {
+          std::optional<const Expr *> Q = divideMonomial(Ctx, Term, Coeff);
+          if (!Q)
+            continue;
+          if (Owner)
+            return std::nullopt; // ambiguous attribution
+          Owner = HoleSym;
+          Quotient = *Q;
+        }
+        if (!Owner)
+          return std::nullopt; // term not producible by any unknown
+        Parts[Owner].push_back(Quotient);
+      }
+      for (const auto &[HoleSym, Coeff] : Lin->Coefficients) {
+        auto Found = Parts.find(HoleSym);
+        const Expr *Value = Found == Parts.end()
+                                ? Ctx.zero()
+                                : Ctx.add(Found->second);
+        if (!Assign(HoleSym, Value))
+          return std::nullopt;
+      }
+      continue;
+    }
+
+    // Non-linear single-occurrence forms: S == c * f(h) with an H-free c
+    // and f in {identity, pow-by-constant, exp, log}.
+    std::vector<const Expr *> Factors;
+    if (isa<sym::MulExpr>(S))
+      Factors = S->getOperands();
+    else
+      Factors.push_back(S);
+    std::vector<const Expr *> HFree;
+    const Expr *HoleFactor = nullptr;
+    for (const Expr *Factor : Factors) {
+      if (sym::mentionsAny(Factor, HoleSet)) {
+        if (HoleFactor)
+          return std::nullopt; // hole in several factors
+        HoleFactor = Factor;
+      } else {
+        HFree.push_back(Factor);
+      }
+    }
+    if (!HoleFactor)
+      return std::nullopt;
+    const Expr *Residual = HFree.empty()
+                               ? Target
+                               : Ctx.div(Target, Ctx.mul(std::move(HFree)));
+
+    const Expr *HoleSym = nullptr;
+    const Expr *Value = nullptr;
+    if (const auto *P = dyn_cast<sym::PowExpr>(HoleFactor)) {
+      std::optional<Rational> Exp =
+          ExprContext::getConstantValue(P->getExponent());
+      if (!Exp || Exp->isZero() || !HoleSet.count(P->getBase()))
+        return std::nullopt;
+      HoleSym = P->getBase();
+      Value = Ctx.pow(Residual, Ctx.constant(Rational(1) / *Exp));
+    } else if (const auto *E = dyn_cast<sym::ExpExpr>(HoleFactor)) {
+      if (!HoleSet.count(E->getArg()))
+        return std::nullopt;
+      HoleSym = E->getArg();
+      Value = Ctx.logOf(Residual);
+    } else if (const auto *L = dyn_cast<sym::LogExpr>(HoleFactor)) {
+      if (!HoleSet.count(L->getArg()))
+        return std::nullopt;
+      HoleSym = L->getArg();
+      Value = Ctx.expOf(Residual);
+    } else {
+      return std::nullopt;
+    }
+    if (!Assign(HoleSym, Value))
+      return std::nullopt;
+  }
+
+  // Hole elements the output never observes default to zero.
+  std::vector<const Expr *> Elements;
+  Elements.reserve(Solved.size());
+  for (const Expr *E : Solved)
+    Elements.push_back(E ? E : Ctx.zero());
+  SymTensor HoleSpec(Sk.HoleSymbols.getShape(), std::move(Elements),
+                     Sk.HoleType.Dtype);
+
+  // Soundness gate: re-execute the sketch with the solved hole bound and
+  // demand the exact target spec.
+  symexec::SymBinding Extended = Bindings;
+  Extended.insert_or_assign(Sk.Hole->getName(), HoleSpec);
+  SymTensor Check = symexec::symbolicExecute(Sk.Root, Ctx, Extended);
+  if (!Check.identicalTo(Phi))
+    return std::nullopt;
+  return HoleSpec;
+}

@@ -1,0 +1,81 @@
+//===- HoleSolver.h - Symbolic solving of sketch holes ---------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SOLVE (paper Section V-A): given a sketch and a target specification
+/// Phi, determine the symbolic expression each hole element must take for
+/// the sketch to be semantically equivalent to Phi — i.e. find expr such
+/// that sketch(expr, args...) == Phi.
+///
+/// The solver works on the sketch's pre-executed symbolic template, which
+/// is a function of fresh hole symbols:
+///
+///   * elements linear in the hole symbols are solved by linear
+///     decomposition: single-unknown equations divide the residual by the
+///     coefficient; multi-unknown equations (contractions, reductions)
+///     assign each target term to the unique unknown whose coefficient
+///     monomial-divides it;
+///   * elements of the form c * h^k, exp(h), log(h) invert analytically
+///     (positivity assumption);
+///   * unconstrained hole elements default to zero.
+///
+/// Every solution is verified by re-executing the sketch with the solved
+/// hole bound and comparing specs — the solver cannot return an unsound
+/// decomposition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SYNTH_HOLESOLVER_H
+#define STENSO_SYNTH_HOLESOLVER_H
+
+#include "synth/SketchLibrary.h"
+
+#include <optional>
+
+namespace stenso {
+namespace synth {
+
+/// Solves sketch holes against target specs, with memoization.
+class HoleSolver {
+public:
+  HoleSolver(sym::ExprContext &Ctx, const symexec::SymBinding &Bindings)
+      : Ctx(Ctx), Bindings(Bindings) {}
+
+  /// Returns the hole specification making \p Sk equivalent to \p Phi, or
+  /// nullopt when no (representable) solution exists.
+  std::optional<symexec::SymTensor> solve(const Sketch &Sk,
+                                          const symexec::SymTensor &Phi);
+
+  int64_t getNumCalls() const { return Calls; }
+  int64_t getNumSolved() const { return Solved; }
+
+private:
+  std::optional<symexec::SymTensor> solveUncached(const Sketch &Sk,
+                                                  const symexec::SymTensor &Phi);
+
+  sym::ExprContext &Ctx;
+  const symexec::SymBinding &Bindings;
+
+  struct CacheKey {
+    const dsl::Node *SketchRoot;
+    SpecKey Phi;
+    bool operator==(const CacheKey &RHS) const {
+      return SketchRoot == RHS.SketchRoot && Phi == RHS.Phi;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey &K) const;
+  };
+  std::unordered_map<CacheKey, std::optional<symexec::SymTensor>, CacheKeyHash>
+      Cache;
+  int64_t Calls = 0;
+  int64_t Solved = 0;
+};
+
+} // namespace synth
+} // namespace stenso
+
+#endif // STENSO_SYNTH_HOLESOLVER_H

@@ -1,0 +1,338 @@
+//===- SketchLibrary.cpp - Bottom-up stub and sketch enumeration ----------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/SketchLibrary.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+
+using namespace stenso;
+using namespace stenso::synth;
+using namespace stenso::dsl;
+using symexec::SymTensor;
+
+size_t SpecKeyHash::operator()(const SpecKey &K) const {
+  size_t Seed = static_cast<size_t>(K.Ty);
+  for (int64_t D : K.S.getDims())
+    hashCombine(Seed, std::hash<int64_t>()(D));
+  for (const sym::Expr *E : K.Elements)
+    hashCombine(Seed, std::hash<const void *>()(E));
+  return Seed;
+}
+
+static SpecKey keyOf(const SymTensor &Spec) {
+  return SpecKey{Spec.getShape(), Spec.getDType(), Spec.getElements()};
+}
+
+std::vector<OpKind> SketchLibrary::defaultOps() {
+  return {OpKind::Add,  OpKind::Subtract, OpKind::Multiply, OpKind::Divide,
+          OpKind::Power, OpKind::Maximum, OpKind::Sqrt,     OpKind::Exp,
+          OpKind::Log,  OpKind::Dot,      OpKind::Tensordot, OpKind::Diag,
+          OpKind::Trace, OpKind::Transpose, OpKind::Sum,    OpKind::SumAll,
+          OpKind::Max,  OpKind::MaxAll,   OpKind::Triu,     OpKind::Tril,
+          OpKind::Where, OpKind::Less};
+}
+
+SketchLibrary::SketchLibrary(const Program &Clamped, sym::ExprContext &Ctx,
+                             const symexec::SymBinding &Bindings,
+                             const CostModel &Model, const ShapeScaler &Scaler,
+                             Config C)
+    : Ctx(Ctx), Bindings(Bindings) {
+  if (C.Ops.empty())
+    C.Ops = defaultOps();
+  enumerateStubs(Clamped, Model, Scaler, C);
+  makeSketches(Model, Scaler);
+}
+
+void SketchLibrary::addCandidate(const Node *Root, int Depth,
+                                 const CostModel &Model,
+                                 const ShapeScaler &Scaler) {
+  if (!Root)
+    return;
+  ++CandidatesTried;
+  SymTensor Spec = symexec::symbolicExecute(Root, Ctx, Bindings);
+  double Cost = Model.costOfTree(Root, Scaler);
+  SpecKey Key = keyOf(Spec);
+  auto It = StubBySpec.find(Key);
+  if (It != StubBySpec.end()) {
+    // Keep the cheapest representative per spec — MATCH then returns the
+    // argmin-cost stub for free.
+    Stub &Existing = Stubs[It->second];
+    if (Cost < Existing.Cost) {
+      Existing.Root = Root;
+      Existing.Cost = Cost;
+      Existing.Depth = Depth;
+    }
+    return;
+  }
+  StubBySpec.emplace(std::move(Key), Stubs.size());
+  Stubs.push_back(Stub{Root, std::move(Spec), Cost, Depth});
+}
+
+/// Collects the distinct constants appearing in a program tree.
+static void collectConstants(const Node *N, std::vector<Rational> &Out) {
+  if (N->isConstant()) {
+    if (std::find(Out.begin(), Out.end(), N->getValue()) == Out.end())
+      Out.push_back(N->getValue());
+    return;
+  }
+  for (const Node *Op : N->getOperands())
+    collectConstants(Op, Out);
+}
+
+void SketchLibrary::enumerateStubs(const Program &Clamped,
+                                   const CostModel &Model,
+                                   const ShapeScaler &Scaler,
+                                   const Config &C) {
+  // Terminals: the program's inputs, cloned into our arena, plus the
+  // constants the original program mentions (the grammar's FCons).
+  std::vector<const Node *> Terminals;
+  for (const Node *Input : Clamped.getInputs())
+    Terminals.push_back(Arena.input(Input->getName(), Input->getType()));
+  std::vector<Rational> Constants;
+  collectConstants(Clamped.getRoot(), Constants);
+  // Besides the program's own constants (FCons in the paper's grammar),
+  // seed a few ubiquitous small integers so that derived constants (e.g.
+  // the 4 in "A*B + 3*(A*B) => 4*A*B") are reachable within depth 2.
+  for (int64_t Common : {0, 1, 2})
+    if (std::find(Constants.begin(), Constants.end(), Rational(Common)) ==
+        Constants.end())
+      Constants.push_back(Rational(Common));
+  for (const Rational &Value : Constants)
+    Terminals.push_back(Arena.constant(Value));
+
+  for (const Node *T : Terminals)
+    addCandidate(T, 0, Model, Scaler);
+
+  size_t LevelBegin = 0;
+  for (int Depth = 1; Depth <= C.MaxDepth; ++Depth) {
+    size_t LevelEnd = Stubs.size();
+    // Operand pools for this level.  By default, one operand may be any
+    // shallower stub while the others are terminals (depth-0 stubs); the
+    // FullCombination ablation pairs arbitrary shallower stubs.
+    std::vector<const Node *> Deep;
+    for (size_t I = (Depth == 1 ? 0 : LevelBegin); I < LevelEnd; ++I)
+      Deep.push_back(Stubs[I].Root);
+    std::vector<const Node *> Shallow;
+    if (C.FullCombination)
+      for (size_t I = 0; I < LevelEnd; ++I)
+        Shallow.push_back(Stubs[I].Root);
+    else
+      Shallow = Terminals;
+
+    auto Overfull = [&] { return Stubs.size() >= C.MaxStubs; };
+
+    for (OpKind Op : C.Ops) {
+      if (Overfull())
+        break;
+      if (isElementwiseUnary(Op) || Op == OpKind::Diag || Op == OpKind::Trace ||
+          Op == OpKind::Transpose || Op == OpKind::SumAll ||
+          Op == OpKind::MaxAll || Op == OpKind::Triu || Op == OpKind::Tril) {
+        for (const Node *A : Deep) {
+          if (Overfull())
+            break;
+          addCandidate(Arena.tryMake(Op, {A}), Depth, Model, Scaler);
+        }
+        continue;
+      }
+      if (Op == OpKind::Sum || Op == OpKind::Max) {
+        for (const Node *A : Deep) {
+          if (Overfull())
+            break;
+          for (int64_t Axis = 0; Axis < A->getType().TShape.getRank();
+               ++Axis) {
+            NodeAttrs Attrs;
+            Attrs.Axis = Axis;
+            addCandidate(Arena.tryMake(Op, {A}, Attrs), Depth, Model, Scaler);
+          }
+        }
+        continue;
+      }
+      if (Op == OpKind::Where) {
+        // Conditions come from existing bool-typed stubs.
+        for (const Node *Cond : Deep) {
+          if (Cond->getType().Dtype != DType::Bool)
+            continue;
+          for (const Node *A : Shallow)
+            for (const Node *B : Shallow) {
+              if (Overfull())
+                return;
+              addCandidate(Arena.tryMake(Op, {Cond, A, B}), Depth, Model,
+                           Scaler);
+            }
+        }
+        continue;
+      }
+      if (Op == OpKind::Tensordot) {
+        // Single-axis contractions over every axis pair (the grammar's
+        // tensordot with <D> attributes); the type checker rejects
+        // mismatched extents and spec-dedup collapses dot-equivalents.
+        for (const Node *A : Deep) {
+          if (Overfull())
+            break;
+          for (const Node *B : Shallow)
+            for (int64_t AxisA = 0; AxisA < A->getType().TShape.getRank();
+                 ++AxisA)
+              for (int64_t AxisB = 0;
+                   AxisB < B->getType().TShape.getRank(); ++AxisB) {
+                NodeAttrs Attrs;
+                Attrs.AxesA = {AxisA};
+                Attrs.AxesB = {AxisB};
+                addCandidate(Arena.tryMake(Op, {A, B}, Attrs), Depth, Model,
+                             Scaler);
+                if (A != B)
+                  addCandidate(Arena.tryMake(Op, {B, A}, Attrs), Depth,
+                               Model, Scaler);
+                if (Overfull())
+                  break;
+              }
+        }
+        continue;
+      }
+      // Binary operations: pair a this-level operand with a shallow one,
+      // in both orders.
+      for (const Node *A : Deep) {
+        if (Overfull())
+          break;
+        for (const Node *B : Shallow) {
+          addCandidate(Arena.tryMake(Op, {A, B}), Depth, Model, Scaler);
+          if (A != B)
+            addCandidate(Arena.tryMake(Op, {B, A}), Depth, Model, Scaler);
+          if (Overfull())
+            break;
+        }
+      }
+    }
+    LevelBegin = LevelEnd;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sketch generation
+//===----------------------------------------------------------------------===//
+
+/// Enumerates root-to-leaf operand paths of every leaf (input or
+/// constant) occurrence — each becomes a hole position.
+static void collectLeafPaths(const Node *N, std::vector<size_t> &Prefix,
+                             std::vector<std::vector<size_t>> &Out) {
+  if (N->isInput() || N->isConstant()) {
+    Out.push_back(Prefix);
+    return;
+  }
+  for (size_t I = 0; I < N->getNumOperands(); ++I) {
+    Prefix.push_back(I);
+    collectLeafPaths(N->getOperand(I), Prefix, Out);
+    Prefix.pop_back();
+  }
+}
+
+/// Rebuilds \p N with the leaf at \p Path replaced by \p Hole.
+static const Node *rebuildWithHole(Program &Arena, const Node *N,
+                                   const std::vector<size_t> &Path,
+                                   size_t Level, const Node *Hole) {
+  if (Level == Path.size())
+    return Hole;
+  std::vector<const Node *> Operands;
+  Operands.reserve(N->getNumOperands());
+  for (size_t I = 0; I < N->getNumOperands(); ++I)
+    Operands.push_back(I == Path[Level]
+                           ? rebuildWithHole(Arena, N->getOperand(I), Path,
+                                             Level + 1, Hole)
+                           : N->getOperand(I));
+  return Arena.tryMake(N->getKind(), std::move(Operands), N->getAttrs());
+}
+
+void SketchLibrary::makeSketches(const CostModel &Model,
+                                 const ShapeScaler &Scaler) {
+  for (const Stub &S : Stubs) {
+    if (S.Depth == 0)
+      continue; // a bare hole is not a useful sketch
+    std::vector<std::vector<size_t>> Paths;
+    std::vector<size_t> Prefix;
+    collectLeafPaths(S.Root, Prefix, Paths);
+    for (const auto &Path : Paths) {
+      const Node *Replaced = S.Root;
+      for (size_t Step : Path)
+        Replaced = Replaced->getOperand(Step);
+
+      // One canonical hole per hole type: sketches of different stubs
+      // that decompose a spec identically then collide on their template
+      // and dedup below.
+      std::string HoleName =
+          "?hole:" + Replaced->getType().toString();
+      auto [HoleIt, Fresh] = CanonicalHoles.try_emplace(
+          HoleName, nullptr, SymTensor());
+      if (Fresh) {
+        HoleIt->second.first = Arena.loopVar(HoleName, Replaced->getType());
+        HoleIt->second.second = SymTensor::makeInput(
+            Ctx, HoleName, Replaced->getType().TShape,
+            Replaced->getType().Dtype);
+      }
+      const Node *Hole = HoleIt->second.first;
+      const SymTensor &HoleSymbols = HoleIt->second.second;
+
+      const Node *Root = rebuildWithHole(Arena, S.Root, Path, 0, Hole);
+      if (!Root)
+        continue;
+
+      symexec::SymBinding Extended = Bindings;
+      Extended.emplace(HoleName, HoleSymbols);
+      SymTensor Template = symexec::symbolicExecute(Root, Ctx, Extended);
+
+      // Sketches whose hole cancels out entirely cannot constrain it.
+      bool MentionsHole = false;
+      for (const sym::Expr *E : Template.getElements()) {
+        for (const sym::SymbolExpr *Sym : sym::collectSymbols(E))
+          if (Sym->getTensorName() == HoleName) {
+            MentionsHole = true;
+            break;
+          }
+        if (MentionsHole)
+          break;
+      }
+      if (!MentionsHole)
+        continue;
+
+      double Cost = Model.costOfTree(Root, Scaler);
+      SpecKey Key{Template.getShape(), Template.getDType(),
+                  Template.getElements()};
+      auto It = SketchByTemplate.find(Key);
+      if (It != SketchByTemplate.end()) {
+        Sketch &Existing = Sketches[It->second];
+        if (Cost < Existing.ConcreteCost) {
+          Existing.Root = Root;
+          Existing.ConcreteCost = Cost;
+        }
+        continue;
+      }
+      SketchByTemplate.emplace(std::move(Key), Sketches.size());
+      Sketches.push_back(Sketch{Root, Hole, Replaced->getType(), Template,
+                                HoleSymbols, Cost});
+    }
+  }
+  // Cheap sketches first: with branch-and-bound this establishes tight
+  // bounds early.
+  std::sort(Sketches.begin(), Sketches.end(),
+            [](const Sketch &A, const Sketch &B) {
+              return A.ConcreteCost < B.ConcreteCost;
+            });
+  for (const Sketch &Sk : Sketches)
+    SketchesByShape[SpecKey{Sk.Template.getShape(), Sk.Template.getDType(), {}}]
+        .push_back(&Sk);
+}
+
+const std::vector<const Sketch *> &
+SketchLibrary::getSketchesFor(const Shape &S, DType Ty) const {
+  static const std::vector<const Sketch *> Empty;
+  auto It = SketchesByShape.find(SpecKey{S, Ty, {}});
+  return It == SketchesByShape.end() ? Empty : It->second;
+}
+
+const Stub *SketchLibrary::findMatchingStub(const SymTensor &Phi) const {
+  auto It = StubBySpec.find(keyOf(Phi));
+  return It == StubBySpec.end() ? nullptr : &Stubs[It->second];
+}

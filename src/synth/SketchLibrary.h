@@ -1,0 +1,143 @@
+//===- SketchLibrary.h - Bottom-up stub and sketch enumeration -*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GENSKETCHES (paper Section IV-B): bottom-up enumeration of program
+/// stubs from the NumPy grammar up to depth 2, type-checked, deduplicated
+/// by symbolic spec (keeping the cheapest representative), then converted
+/// into sketches by replacing each input occurrence with a hole.
+///
+/// Every stub carries its expanded symbolic spec over the shared input
+/// symbols; every sketch carries a pre-executed symbolic *template* over
+/// the inputs plus a fresh hole-symbol tensor, which the HoleSolver
+/// decomposes against target specifications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SYNTH_SKETCHLIBRARY_H
+#define STENSO_SYNTH_SKETCHLIBRARY_H
+
+#include "dsl/Node.h"
+#include "symexec/SymbolicExecutor.h"
+#include "synth/CostModel.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace stenso {
+namespace synth {
+
+/// A complete (hole-free) program fragment with its spec and cost.
+struct Stub {
+  const dsl::Node *Root = nullptr;
+  symexec::SymTensor Spec;
+  double Cost = 0;
+  int Depth = 0;
+};
+
+/// A stub with exactly one input occurrence replaced by a hole.
+struct Sketch {
+  const dsl::Node *Root = nullptr; ///< tree containing the hole node
+  const dsl::Node *Hole = nullptr; ///< the hole (an unregistered Input)
+  dsl::TensorType HoleType;
+  /// Symbolic execution of Root with HoleSymbols bound to the hole.
+  symexec::SymTensor Template;
+  /// The fresh symbols standing for the hole's elements.
+  symexec::SymTensor HoleSymbols;
+  /// Cost of the sketch's concrete operations (hole excluded).
+  double ConcreteCost = 0;
+};
+
+/// Hash/equality over (shape, dtype, interned element pointers).
+struct SpecKey {
+  Shape S;
+  DType Ty;
+  std::vector<const sym::Expr *> Elements;
+
+  bool operator==(const SpecKey &RHS) const {
+    return Ty == RHS.Ty && S == RHS.S && Elements == RHS.Elements;
+  }
+};
+
+struct SpecKeyHash {
+  size_t operator()(const SpecKey &K) const;
+};
+
+/// Builds and owns the stub/sketch library for one synthesis run.
+class SketchLibrary {
+public:
+  struct Config {
+    /// Maximum stub depth (the paper's d; d = 2 is its sweet spot).
+    int MaxDepth = 2;
+    /// Hard cap on kept stubs (safety valve for the full-depth ablation).
+    size_t MaxStubs = 50000;
+    /// Combine depth-1 stubs with each other at depth 2 (ablation mode);
+    /// the default pairs depth-(d-1) stubs with terminals only.
+    bool FullCombination = false;
+    /// Grammar restriction; empty = the full default operation set.
+    std::vector<dsl::OpKind> Ops;
+  };
+
+  /// Enumerates the library for \p Clamped (the reduced-shape program).
+  /// \p Bindings must be the shared input symbols of the synthesis run.
+  SketchLibrary(const dsl::Program &Clamped, sym::ExprContext &Ctx,
+                const symexec::SymBinding &Bindings, const CostModel &Model,
+                const ShapeScaler &Scaler, Config C);
+
+  const std::vector<Stub> &getStubs() const { return Stubs; }
+  const std::vector<Sketch> &getSketches() const { return Sketches; }
+
+  /// Sketches whose template has the given output shape/dtype, ordered by
+  /// ascending concrete cost (the only ones that can match such a spec).
+  const std::vector<const Sketch *> &
+  getSketchesFor(const Shape &S, DType Ty) const;
+
+  /// MATCH (Algorithm 2 base case): the cheapest stub whose spec is
+  /// identical to \p Phi, or null.
+  const Stub *findMatchingStub(const symexec::SymTensor &Phi) const;
+
+  /// The default grammar operation set.
+  static std::vector<dsl::OpKind> defaultOps();
+
+  /// Arena owning all stub/sketch trees (needed for cloning results out).
+  dsl::Program &getArena() { return Arena; }
+
+  /// Enumeration statistics for reports.
+  int64_t getNumCandidatesTried() const { return CandidatesTried; }
+
+private:
+  void enumerateStubs(const dsl::Program &Clamped, const CostModel &Model,
+                      const ShapeScaler &Scaler, const Config &C);
+  void makeSketches(const CostModel &Model, const ShapeScaler &Scaler);
+
+  /// Type-checks, specs, costs and dedupes one candidate application.
+  void addCandidate(const dsl::Node *Root, int Depth, const CostModel &Model,
+                    const ShapeScaler &Scaler);
+
+  sym::ExprContext &Ctx;
+  const symexec::SymBinding &Bindings;
+  dsl::Program Arena;
+
+  std::vector<Stub> Stubs;
+  std::vector<Sketch> Sketches;
+  std::unordered_map<SpecKey, size_t, SpecKeyHash> StubBySpec;
+  /// Sketch dedup: sketches of different stubs share canonical per-type
+  /// hole symbols, so redundant decompositions collide on their template.
+  std::unordered_map<SpecKey, size_t, SpecKeyHash> SketchByTemplate;
+  /// Canonical hole node + symbols per hole type.
+  std::unordered_map<std::string, std::pair<const dsl::Node *,
+                                            symexec::SymTensor>>
+      CanonicalHoles;
+  /// Shape/dtype-indexed view over Sketches, built after dedup.
+  std::unordered_map<SpecKey, std::vector<const Sketch *>, SpecKeyHash>
+      SketchesByShape;
+  int64_t CandidatesTried = 0;
+};
+
+} // namespace synth
+} // namespace stenso
+
+#endif // STENSO_SYNTH_SKETCHLIBRARY_H

@@ -1,0 +1,244 @@
+//===- Synthesizer.cpp - Cost-guided sketch-based synthesis ---------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "dsl/Printer.h"
+#include "support/Timer.h"
+
+#include <unordered_set>
+
+using namespace stenso;
+using namespace stenso::synth;
+using namespace stenso::dsl;
+using symexec::SymTensor;
+
+double synth::specComplexity(const SymTensor &Spec) {
+  // |var(Phi)| * density(Phi).  We instantiate |var| as the total number
+  // of input-symbol occurrences across the expanded spec: unlike a
+  // distinct-symbol count, occurrences decrease *strictly* whenever a
+  // sketch peels arithmetic off the spec, which is what makes the
+  // monotone-simplification objective guarantee progress (Section V-A).
+  int64_t Occurrences = 0;
+  for (const sym::Expr *E : Spec.getElements())
+    Occurrences += sym::countSymbolOccurrences(E);
+  return static_cast<double>(Occurrences) * Spec.density();
+}
+
+namespace {
+
+/// Distinct input-tensor names mentioned by a spec.
+std::unordered_set<std::string> tensorNamesOf(const SymTensor &Spec) {
+  std::unordered_set<std::string> Names;
+  for (const sym::Expr *E : Spec.getElements())
+    for (const sym::SymbolExpr *S : sym::collectSymbols(E))
+      Names.insert(S->getTensorName().empty() ? S->getName()
+                                              : S->getTensorName());
+  return Names;
+}
+
+/// Rebuilds \p Tree with the (unique) node \p From replaced by \p To.
+const Node *substituteNode(Program &Arena, const Node *Tree, const Node *From,
+                           const Node *To) {
+  if (Tree == From)
+    return To;
+  if (Tree->getNumOperands() == 0)
+    return Tree;
+  std::vector<const Node *> Operands;
+  Operands.reserve(Tree->getNumOperands());
+  bool Changed = false;
+  for (const Node *Op : Tree->getOperands()) {
+    const Node *NewOp = substituteNode(Arena, Op, From, To);
+    Changed |= NewOp != Op;
+    Operands.push_back(NewOp);
+  }
+  if (!Changed)
+    return Tree;
+  const Node *Result =
+      Arena.tryMake(Tree->getKind(), std::move(Operands), Tree->getAttrs());
+  assert(Result && "substitution broke a well-typed tree");
+  return Result;
+}
+
+/// The recursive search state of one run.
+class SearchDriver {
+public:
+  SearchDriver(const SynthesisConfig &Config, SketchLibrary &Library,
+               HoleSolver &Solver, const CostModel &Model,
+               const ShapeScaler &Scaler, SynthesisStats &Stats,
+               const Deadline &Budget)
+      : Config(Config), Library(Library), Solver(Solver), Model(Model),
+        Scaler(Scaler), Stats(Stats), Budget(Budget) {}
+
+  struct Candidate {
+    const Node *Tree = nullptr;
+    double Cost = 0;
+  };
+
+  bool timedOut() const { return TimedOut; }
+
+  /// Algorithm 2.  \p CostSoFar is the concrete cost accumulated by
+  /// enclosing sketches; \p CostMin is the branch-and-bound incumbent
+  /// (pass-by-reference as in the paper).
+  std::optional<Candidate> dfs(const SymTensor &Phi, int Level,
+                               double CostSoFar, double &CostMin) {
+    ++Stats.DfsCalls;
+    if (Budget.expired()) {
+      TimedOut = true;
+      return std::nullopt;
+    }
+
+    // Base case (lines 2-8): a direct stub match.  The library keeps the
+    // cheapest stub per spec, so this is the argmin over matches.  Unlike
+    // the paper's pseudo-code we do not return early: the target spec can
+    // match a stub that *is* the original program (the original is
+    // re-derivable within the stub depth), while a cheaper decomposition
+    // through sketches still exists — diag(dot(A,B)) is the canonical
+    // case.  The match instead becomes the incumbent that sketch
+    // exploration must beat, which also tightens the global bound.
+    std::optional<Candidate> Best;
+    if (const Stub *Match = Library.findMatchingStub(Phi)) {
+      Best = Candidate{Match->Root, Match->Cost};
+      if (Config.UseBranchAndBound)
+        CostMin = std::min(CostMin, CostSoFar + Match->Cost);
+    }
+
+    if (Level >= Config.MaxRecursionDepth)
+      return Best;
+
+    double PhiComplexity = specComplexity(Phi);
+    std::unordered_set<std::string> PhiTensors = tensorNamesOf(Phi);
+    for (const Sketch *SkPtr :
+         Library.getSketchesFor(Phi.getShape(), Phi.getDType())) {
+      const Sketch &Sk = *SkPtr;
+      if (TimedOut || Budget.expired()) {
+        TimedOut = true;
+        break;
+      }
+      // A sketch whose concrete part mentions tensors absent from Phi
+      // could only match through cancellation; skip it.
+      if (!sketchTensorsSubset(Sk, PhiTensors))
+        continue;
+
+      // Branch-and-bound (line 16): the concrete part alone already
+      // forces the final program at or above the incumbent.
+      if (Config.UseBranchAndBound &&
+          CostSoFar + Sk.ConcreteCost >= CostMin) {
+        ++Stats.PrunedByCost;
+        continue;
+      }
+
+      ++Stats.SolverCalls;
+      std::optional<SymTensor> HoleSpec = Solver.solve(Sk, Phi);
+      if (!HoleSpec)
+        continue;
+      ++Stats.SolverSuccesses;
+
+      // PRUNE (line 12): only monotonically simplifying decompositions.
+      if (specComplexity(*HoleSpec) >= PhiComplexity) {
+        ++Stats.PrunedBySimplification;
+        continue;
+      }
+
+      ++Stats.SketchesExplored;
+      std::optional<Candidate> Sub =
+          dfs(*HoleSpec, Level + 1, CostSoFar + Sk.ConcreteCost, CostMin);
+      if (!Sub)
+        continue;
+
+      double SubtreeCost = Sk.ConcreteCost + Sub->Cost;
+      if (Best && Best->Cost <= SubtreeCost)
+        continue;
+      const Node *Filled =
+          substituteNode(Library.getArena(), Sk.Root, Sk.Hole, Sub->Tree);
+      Best = Candidate{Filled, SubtreeCost};
+
+      // Completing this hole completes a whole program of cost
+      // CostSoFar + SubtreeCost (sketches have a single hole, so the
+      // recursion is a chain); tighten the incumbent.
+      if (Config.UseBranchAndBound)
+        CostMin = std::min(CostMin, CostSoFar + SubtreeCost);
+    }
+    return Best;
+  }
+
+private:
+  bool sketchTensorsSubset(const Sketch &Sk,
+                           const std::unordered_set<std::string> &PhiTensors) {
+    auto [It, Inserted] = SketchTensors.try_emplace(Sk.Root);
+    if (Inserted) {
+      std::unordered_set<std::string> Names = tensorNamesOf(Sk.Template);
+      Names.erase(Sk.Hole->getName());
+      It->second.assign(Names.begin(), Names.end());
+    }
+    for (const std::string &Name : It->second)
+      if (!PhiTensors.count(Name))
+        return false;
+    return true;
+  }
+
+  const SynthesisConfig &Config;
+  SketchLibrary &Library;
+  HoleSolver &Solver;
+  const CostModel &Model;
+  const ShapeScaler &Scaler;
+  SynthesisStats &Stats;
+  const Deadline &Budget;
+  std::unordered_map<const Node *, std::vector<std::string>> SketchTensors;
+  bool TimedOut = false;
+};
+
+} // namespace
+
+Synthesizer::Synthesizer(SynthesisConfig Config) : Config(std::move(Config)) {}
+
+SynthesisResult Synthesizer::run(const Program &Clamped,
+                                 const ShapeScaler &Scaler) {
+  assert(Clamped.getRoot() && "program has no root");
+  WallTimer Timer;
+  Deadline Budget(Config.TimeoutSeconds);
+  SynthesisResult Result;
+  Result.OptimizedSource = printProgram(Clamped);
+
+  std::unique_ptr<CostModel> Model = makeCostModel(Config.CostModelName);
+
+  // Algorithm 1, lines 2-5: cost of the original program, its spec, the
+  // sketch library, and the initial bound.
+  Result.OriginalCost = Model->costOfTree(Clamped.getRoot(), Scaler);
+  Result.OptimizedCost = Result.OriginalCost;
+
+  sym::ExprContext Ctx;
+  symexec::SymBinding Bindings = symexec::makeInputBindings(Clamped, Ctx);
+  SymTensor Phi = symexec::symbolicExecute(Clamped.getRoot(), Ctx, Bindings);
+
+  SketchLibrary Library(Clamped, Ctx, Bindings, *Model, Scaler,
+                        Config.Library);
+  Result.Stats.NumStubs = Library.getStubs().size();
+  Result.Stats.NumSketches = Library.getSketches().size();
+
+  HoleSolver Solver(Ctx, Bindings);
+  SearchDriver Driver(Config, Library, Solver, *Model, Scaler, Result.Stats,
+                      Budget);
+
+  double CostMin = Result.OriginalCost;
+  std::optional<SearchDriver::Candidate> Best = Driver.dfs(Phi, 0, 0, CostMin);
+
+  Result.TimedOut = Driver.timedOut();
+  Result.Stats.SolverCalls = Solver.getNumCalls();
+  Result.Stats.SolverSuccesses = Solver.getNumSolved();
+  Result.SynthesisSeconds = Timer.elapsedSeconds();
+
+  // Algorithm 1, lines 7-10: accept only strict improvements.
+  if (Best && Best->Cost < Result.OriginalCost) {
+    Result.Improved = true;
+    Result.OptimizedCost = Best->Cost;
+    auto Optimized = std::make_unique<Program>();
+    Optimized->setRoot(Program::cloneInto(*Optimized, Best->Tree));
+    Result.OptimizedSource = printProgram(*Optimized);
+    Result.Optimized = std::move(Optimized);
+  }
+  return Result;
+}

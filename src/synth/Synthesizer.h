@@ -1,0 +1,101 @@
+//===- Synthesizer.h - Cost-guided sketch-based synthesis ------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core of STENSO (paper Algorithms 1 and 2): top-down recursive
+/// sketch-based synthesis with a monotone-simplification objective and
+/// cost-guided branch-and-bound pruning.
+///
+/// The search starts from the symbolic spec Phi of the input program,
+/// repeatedly peels operations off by solving library sketches against
+/// the current spec (each step must strictly reduce the specification
+/// complexity |var(Phi)| * density(Phi)), and bottoms out when a library
+/// stub's spec matches exactly.  Branches whose accumulated estimated
+/// cost reaches the best complete program found so far are pruned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SYNTH_SYNTHESIZER_H
+#define STENSO_SYNTH_SYNTHESIZER_H
+
+#include "synth/HoleSolver.h"
+#include "synth/SketchLibrary.h"
+
+#include <memory>
+#include <string>
+
+namespace stenso {
+namespace synth {
+
+/// Tuning knobs of one synthesis run.
+struct SynthesisConfig {
+  /// "flops" or "measured" (paper Section VI-C uses measured).
+  std::string CostModelName = "flops";
+  /// Disable for the simplification-only ablation of Fig. 5.
+  bool UseBranchAndBound = true;
+  /// Wall-clock budget; <= 0 means unlimited.  The paper's evaluation
+  /// uses 600 s.
+  double TimeoutSeconds = 600;
+  /// Safety cap on sketch-nesting depth.
+  int MaxRecursionDepth = 10;
+  SketchLibrary::Config Library;
+};
+
+/// Search counters for the evaluation harness.
+struct SynthesisStats {
+  int64_t DfsCalls = 0;
+  int64_t SketchesExplored = 0;
+  int64_t PrunedByCost = 0;
+  int64_t PrunedBySimplification = 0;
+  int64_t SolverCalls = 0;
+  int64_t SolverSuccesses = 0;
+  size_t NumStubs = 0;
+  size_t NumSketches = 0;
+};
+
+/// Outcome of a synthesis run.
+struct SynthesisResult {
+  /// True when a strictly cheaper equivalent program was found.
+  bool Improved = false;
+  bool TimedOut = false;
+  /// NumPy source of the result (the original program when !Improved).
+  std::string OptimizedSource;
+  double OriginalCost = 0;
+  double OptimizedCost = 0;
+  double SynthesisSeconds = 0;
+  SynthesisStats Stats;
+  /// The optimized program at the search shapes (null when !Improved).
+  std::unique_ptr<dsl::Program> Optimized;
+};
+
+/// One-shot synthesizer (Algorithm 1).  Construct per run.
+class Synthesizer {
+public:
+  explicit Synthesizer(SynthesisConfig Config = SynthesisConfig());
+
+  /// Superoptimizes \p Clamped, a (possibly shape-reduced) program.
+  /// \p Scaler maps reduced extents back to the workload's original ones
+  /// for cost estimation; pass a default ShapeScaler when \p Clamped is
+  /// already at its real shapes.
+  SynthesisResult run(const dsl::Program &Clamped, const ShapeScaler &Scaler);
+
+  /// Convenience overload at identity scaling.
+  SynthesisResult run(const dsl::Program &Program) {
+    return run(Program, ShapeScaler());
+  }
+
+private:
+  SynthesisConfig Config;
+};
+
+/// The specification-complexity metric |var(Phi)| * density(Phi)
+/// (Section V-A): distinct symbols times non-zero density.
+double specComplexity(const symexec::SymTensor &Spec);
+
+} // namespace synth
+} // namespace stenso
+
+#endif // STENSO_SYNTH_SYNTHESIZER_H

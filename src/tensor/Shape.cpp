@@ -1,0 +1,130 @@
+//===- Shape.cpp - Tensor shapes and broadcasting -------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Shape.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace stenso;
+
+Shape::Shape(std::vector<int64_t> Dims) : Dims(std::move(Dims)) {
+  for (int64_t D : this->Dims)
+    assert(D >= 0 && "negative shape extent");
+}
+
+Shape::Shape(std::initializer_list<int64_t> Dims)
+    : Shape(std::vector<int64_t>(Dims)) {}
+
+int64_t Shape::getDim(int64_t Axis) const {
+  assert(Axis >= 0 && Axis < getRank() && "shape axis out of range");
+  return Dims[Axis];
+}
+
+int64_t Shape::getNumElements() const {
+  int64_t N = 1;
+  for (int64_t D : Dims)
+    N *= D;
+  return N;
+}
+
+std::vector<int64_t> Shape::getStrides() const {
+  std::vector<int64_t> Strides(Dims.size());
+  int64_t Acc = 1;
+  for (int64_t I = getRank() - 1; I >= 0; --I) {
+    Strides[I] = Acc;
+    Acc *= Dims[I];
+  }
+  return Strides;
+}
+
+std::vector<int64_t> Shape::delinearize(int64_t Flat) const {
+  assert(Flat >= 0 && Flat < getNumElements() && "flat index out of range");
+  std::vector<int64_t> Index(Dims.size());
+  for (int64_t I = getRank() - 1; I >= 0; --I) {
+    Index[I] = Flat % Dims[I];
+    Flat /= Dims[I];
+  }
+  return Index;
+}
+
+int64_t Shape::linearize(const std::vector<int64_t> &Index) const {
+  assert(static_cast<int64_t>(Index.size()) == getRank() &&
+         "index rank mismatch");
+  int64_t Flat = 0;
+  for (int64_t I = 0; I < getRank(); ++I) {
+    assert(Index[I] >= 0 && Index[I] < Dims[I] && "index out of range");
+    Flat = Flat * Dims[I] + Index[I];
+  }
+  return Flat;
+}
+
+int64_t Shape::normalizeAxis(int64_t Axis) const {
+  int64_t Rank = getRank();
+  if (Axis < 0)
+    Axis += Rank;
+  if (Axis < 0 || Axis >= Rank)
+    reportFatalError("axis " + std::to_string(Axis) +
+                     " out of range for shape " + toString());
+  return Axis;
+}
+
+Shape Shape::dropAxis(int64_t Axis) const {
+  Axis = normalizeAxis(Axis);
+  std::vector<int64_t> Out = Dims;
+  Out.erase(Out.begin() + Axis);
+  return Shape(std::move(Out));
+}
+
+Shape Shape::insertAxis(int64_t Axis, int64_t Dim) const {
+  assert(Axis >= 0 && Axis <= getRank() && "insert position out of range");
+  std::vector<int64_t> Out = Dims;
+  Out.insert(Out.begin() + Axis, Dim);
+  return Shape(std::move(Out));
+}
+
+std::optional<Shape> Shape::broadcast(const Shape &A, const Shape &B) {
+  int64_t Rank = std::max(A.getRank(), B.getRank());
+  std::vector<int64_t> Out(Rank);
+  for (int64_t I = 0; I < Rank; ++I) {
+    int64_t AI = I - (Rank - A.getRank());
+    int64_t BI = I - (Rank - B.getRank());
+    int64_t DA = AI >= 0 ? A.getDim(AI) : 1;
+    int64_t DB = BI >= 0 ? B.getDim(BI) : 1;
+    if (DA != DB && DA != 1 && DB != 1)
+      return std::nullopt;
+    Out[I] = std::max(DA, DB);
+  }
+  return Shape(std::move(Out));
+}
+
+std::string Shape::toString() const {
+  std::string S = "(";
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += std::to_string(Dims[I]);
+  }
+  S += ")";
+  return S;
+}
+
+std::vector<int64_t> stenso::broadcastStrides(const Shape &Operand,
+                                              const Shape &Out) {
+  int64_t OutRank = Out.getRank();
+  int64_t OpRank = Operand.getRank();
+  assert(OpRank <= OutRank && "operand rank exceeds broadcast result rank");
+  std::vector<int64_t> OpStrides = Operand.getStrides();
+  std::vector<int64_t> Result(OutRank, 0);
+  for (int64_t I = 0; I < OpRank; ++I) {
+    int64_t OutAxis = OutRank - OpRank + I;
+    int64_t OpDim = Operand.getDim(I);
+    assert((OpDim == Out.getDim(OutAxis) || OpDim == 1) &&
+           "operand does not broadcast to result shape");
+    Result[OutAxis] = OpDim == 1 ? 0 : OpStrides[I];
+  }
+  return Result;
+}

@@ -1,0 +1,77 @@
+//===- Shape.h - Tensor shapes and broadcasting ----------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tensor shapes with NumPy broadcasting semantics.  A Shape is an ordered
+/// list of non-negative extents; rank 0 denotes a scalar.  Row-major
+/// (C-order) strides are used throughout the runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_TENSOR_SHAPE_H
+#define STENSO_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stenso {
+
+/// The extents of a dense tensor.  Immutable value type.
+class Shape {
+public:
+  Shape() = default;
+  /*implicit*/ Shape(std::vector<int64_t> Dims);
+  Shape(std::initializer_list<int64_t> Dims);
+
+  int64_t getRank() const { return static_cast<int64_t>(Dims.size()); }
+  bool isScalar() const { return Dims.empty(); }
+
+  int64_t getDim(int64_t Axis) const;
+  const std::vector<int64_t> &getDims() const { return Dims; }
+
+  /// Total number of elements (1 for scalars).
+  int64_t getNumElements() const;
+
+  /// Row-major strides, in elements.
+  std::vector<int64_t> getStrides() const;
+
+  /// Converts a flat row-major offset into a multi-index.
+  std::vector<int64_t> delinearize(int64_t Flat) const;
+
+  /// Converts a multi-index into a flat row-major offset.
+  int64_t linearize(const std::vector<int64_t> &Index) const;
+
+  /// Normalizes a possibly-negative axis (NumPy convention); aborts when
+  /// out of range.
+  int64_t normalizeAxis(int64_t Axis) const;
+
+  /// Returns the shape with \p Axis removed.
+  Shape dropAxis(int64_t Axis) const;
+
+  /// Returns the shape with extent \p Dim inserted at position \p Axis.
+  Shape insertAxis(int64_t Axis, int64_t Dim) const;
+
+  bool operator==(const Shape &RHS) const { return Dims == RHS.Dims; }
+  bool operator!=(const Shape &RHS) const { return Dims != RHS.Dims; }
+
+  /// NumPy broadcast of two shapes; std::nullopt when incompatible.
+  static std::optional<Shape> broadcast(const Shape &A, const Shape &B);
+
+  std::string toString() const;
+
+private:
+  std::vector<int64_t> Dims;
+};
+
+/// Iteration strides of \p Operand when broadcast to \p Out: stride 0 on
+/// broadcast axes.  Asserts that the operand broadcasts to \p Out.
+std::vector<int64_t> broadcastStrides(const Shape &Operand, const Shape &Out);
+
+} // namespace stenso
+
+#endif // STENSO_TENSOR_SHAPE_H

@@ -1,0 +1,75 @@
+//===- Tensor.cpp - Dense tensor value ------------------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Tensor.h"
+#include "support/Error.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace stenso;
+
+std::string stenso::toString(DType Ty) {
+  switch (Ty) {
+  case DType::Float64:
+    return "f64";
+  case DType::Bool:
+    return "bool";
+  }
+  stenso_unreachable("unknown dtype");
+}
+
+Tensor::Tensor(Shape S, std::vector<double> Data, DType Ty)
+    : Ty(Ty), S(std::move(S)), Data(std::move(Data)) {
+  assert(static_cast<int64_t>(this->Data.size()) == this->S.getNumElements() &&
+         "data size does not match shape");
+}
+
+Tensor Tensor::scalar(double Value, DType Ty) {
+  return Tensor(Shape(), {Value}, Ty);
+}
+
+Tensor Tensor::full(Shape S, double Value, DType Ty) {
+  int64_t N = S.getNumElements();
+  return Tensor(std::move(S),
+                std::vector<double>(static_cast<size_t>(N), Value), Ty);
+}
+
+Tensor Tensor::reshaped(Shape NewShape) const {
+  if (NewShape.getNumElements() != getNumElements())
+    reportFatalError("reshape from " + S.toString() + " to " +
+                     NewShape.toString() + " changes element count");
+  return Tensor(std::move(NewShape), Data, Ty);
+}
+
+bool Tensor::allClose(const Tensor &RHS, double RelTol, double AbsTol) const {
+  if (S != RHS.S || Ty != RHS.Ty)
+    return false;
+  for (size_t I = 0; I < Data.size(); ++I) {
+    double A = Data[I], B = RHS.Data[I];
+    if (std::isnan(A) || std::isnan(B))
+      return false;
+    if (std::fabs(A - B) > AbsTol + RelTol * std::max(std::fabs(A),
+                                                      std::fabs(B)))
+      return false;
+  }
+  return true;
+}
+
+std::string Tensor::toString() const {
+  std::ostringstream OS;
+  OS << "Tensor" << S.toString() << "[" << stenso::toString(Ty) << "]{";
+  int64_t N = getNumElements();
+  for (int64_t I = 0; I < N && I < 16; ++I) {
+    if (I)
+      OS << ", ";
+    OS << Data[static_cast<size_t>(I)];
+  }
+  if (N > 16)
+    OS << ", ...";
+  OS << "}";
+  return OS.str();
+}

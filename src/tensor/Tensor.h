@@ -1,0 +1,97 @@
+//===- Tensor.h - Dense tensor value ---------------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dense tensor value type of the NumPy-substitute runtime.  Storage is
+/// always double; a DType tag distinguishes float tensors from boolean
+/// masks (stored as 0.0 / 1.0), matching how the DSL's type system splits
+/// <F> and <B> nonterminals in the paper's grammar (Fig. 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_TENSOR_TENSOR_H
+#define STENSO_TENSOR_TENSOR_H
+
+#include "tensor/Shape.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace stenso {
+
+/// Element type of a tensor.
+enum class DType { Float64, Bool };
+
+std::string toString(DType Ty);
+
+/// A dense row-major tensor of doubles (or boolean masks).
+class Tensor {
+public:
+  /// Creates a zero-filled tensor.
+  explicit Tensor(Shape S = Shape(), DType Ty = DType::Float64)
+      : Ty(Ty), S(std::move(S)),
+        Data(static_cast<size_t>(this->S.getNumElements()), 0.0) {}
+
+  /// Creates a tensor from existing data; asserts the element count.
+  Tensor(Shape S, std::vector<double> Data, DType Ty = DType::Float64);
+
+  /// Creates a rank-0 (scalar) tensor.
+  static Tensor scalar(double Value, DType Ty = DType::Float64);
+
+  /// Creates a tensor filled with \p Value.
+  static Tensor full(Shape S, double Value, DType Ty = DType::Float64);
+
+  DType getDType() const { return Ty; }
+  const Shape &getShape() const { return S; }
+  int64_t getRank() const { return S.getRank(); }
+  int64_t getNumElements() const { return S.getNumElements(); }
+
+  double *data() { return Data.data(); }
+  const double *data() const { return Data.data(); }
+
+  double at(int64_t Flat) const {
+    assert(Flat >= 0 && Flat < getNumElements() && "flat index out of range");
+    return Data[static_cast<size_t>(Flat)];
+  }
+  double &at(int64_t Flat) {
+    assert(Flat >= 0 && Flat < getNumElements() && "flat index out of range");
+    return Data[static_cast<size_t>(Flat)];
+  }
+
+  double at(const std::vector<int64_t> &Index) const {
+    return at(S.linearize(Index));
+  }
+  double &at(const std::vector<int64_t> &Index) {
+    return at(S.linearize(Index));
+  }
+
+  /// Scalar extraction; asserts rank 0 or single element.
+  double item() const {
+    assert(getNumElements() == 1 && "item() on a multi-element tensor");
+    return Data[0];
+  }
+
+  /// Returns a reshaped view-copy with the same data (element counts must
+  /// match).
+  Tensor reshaped(Shape NewShape) const;
+
+  /// Elementwise approximate equality within \p RelTol / \p AbsTol; shapes
+  /// and dtypes must match exactly.
+  bool allClose(const Tensor &RHS, double RelTol = 1e-9,
+                double AbsTol = 1e-11) const;
+
+  std::string toString() const;
+
+private:
+  DType Ty;
+  Shape S;
+  std::vector<double> Data;
+};
+
+} // namespace stenso
+
+#endif // STENSO_TENSOR_TENSOR_H

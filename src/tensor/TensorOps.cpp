@@ -1,0 +1,619 @@
+//===- TensorOps.cpp - NumPy-like tensor operations -----------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/TensorOps.h"
+#include "support/Error.h"
+
+#include <cmath>
+#include <functional>
+
+using namespace stenso;
+using namespace stenso::tops;
+
+//===----------------------------------------------------------------------===//
+// Broadcast iteration helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Walks the flat offsets of N operands broadcast to a common output shape.
+/// Offsets advance with broadcast strides (0 on broadcast axes), avoiding a
+/// delinearize per element.
+class BroadcastWalker {
+public:
+  BroadcastWalker(const Shape &Out, std::vector<std::vector<int64_t>> Strides)
+      : Out(Out), Strides(std::move(Strides)),
+        Index(static_cast<size_t>(Out.getRank()), 0),
+        Offsets(this->Strides.size(), 0) {}
+
+  int64_t getOffset(size_t Operand) const { return Offsets[Operand]; }
+
+  /// Advances to the next output element; returns false after the last one.
+  bool next() {
+    for (int64_t Axis = Out.getRank() - 1; Axis >= 0; --Axis) {
+      ++Index[static_cast<size_t>(Axis)];
+      for (size_t I = 0; I < Offsets.size(); ++I)
+        Offsets[I] += Strides[I][static_cast<size_t>(Axis)];
+      if (Index[static_cast<size_t>(Axis)] < Out.getDim(Axis))
+        return true;
+      // Carry: rewind this axis on every operand.
+      for (size_t I = 0; I < Offsets.size(); ++I)
+        Offsets[I] -= Strides[I][static_cast<size_t>(Axis)] *
+                      Index[static_cast<size_t>(Axis)];
+      Index[static_cast<size_t>(Axis)] = 0;
+    }
+    return false;
+  }
+
+private:
+  const Shape &Out;
+  std::vector<std::vector<int64_t>> Strides;
+  std::vector<int64_t> Index;
+  std::vector<int64_t> Offsets;
+};
+
+} // namespace
+
+static Shape broadcastOrDie(const Shape &A, const Shape &B,
+                            const char *OpName) {
+  std::optional<Shape> Out = Shape::broadcast(A, B);
+  if (!Out)
+    reportFatalError(std::string(OpName) + ": shapes " + A.toString() +
+                     " and " + B.toString() + " are not broadcastable");
+  return *Out;
+}
+
+/// Applies \p Fn elementwise over two broadcast operands.  Templated on
+/// the functor so each op compiles to a tight loop — the measured cost
+/// model and the backends rely on ops having realistic relative costs
+/// (an indirect call per element would drown the mul/div difference).
+template <typename FnT>
+static Tensor broadcastBinary(const Tensor &A, const Tensor &B,
+                              const char *OpName, DType OutTy, FnT Fn) {
+  Shape Out = broadcastOrDie(A.getShape(), B.getShape(), OpName);
+  Tensor Result(Out, OutTy);
+  if (Out.getNumElements() == 0)
+    return Result;
+  // Fast paths: identical shapes and scalar-broadcast need no stride
+  // bookkeeping (NumPy's common cases; keeping them tight keeps the
+  // measured cost model's view of op performance realistic).
+  int64_t N = Out.getNumElements();
+  const double *PA = A.data(), *PB = B.data();
+  double *PR = Result.data();
+  if (A.getShape() == B.getShape()) {
+    for (int64_t I = 0; I < N; ++I)
+      PR[I] = Fn(PA[I], PB[I]);
+    return Result;
+  }
+  if (A.getShape().getNumElements() == 1 && B.getShape() == Out) {
+    double Scalar = PA[0];
+    for (int64_t I = 0; I < N; ++I)
+      PR[I] = Fn(Scalar, PB[I]);
+    return Result;
+  }
+  if (B.getShape().getNumElements() == 1 && A.getShape() == Out) {
+    double Scalar = PB[0];
+    for (int64_t I = 0; I < N; ++I)
+      PR[I] = Fn(PA[I], Scalar);
+    return Result;
+  }
+  // General broadcast: walk the outer axes incrementally and run a tight
+  // inner loop over the last axis (whose per-operand stride is 0 or 1).
+  std::vector<int64_t> SA = broadcastStrides(A.getShape(), Out);
+  std::vector<int64_t> SB = broadcastStrides(B.getShape(), Out);
+  int64_t Rank = Out.getRank();
+  int64_t Inner = Rank > 0 ? Out.getDim(Rank - 1) : 1;
+  int64_t InnerSA = Rank > 0 ? SA[static_cast<size_t>(Rank - 1)] : 0;
+  int64_t InnerSB = Rank > 0 ? SB[static_cast<size_t>(Rank - 1)] : 0;
+  int64_t NumOuter = Out.getNumElements() / std::max<int64_t>(Inner, 1);
+
+  std::vector<int64_t> Index(static_cast<size_t>(std::max<int64_t>(Rank, 1)),
+                             0);
+  int64_t OffA = 0, OffB = 0;
+  int64_t Flat = 0;
+  for (int64_t Outer = 0; Outer < NumOuter; ++Outer) {
+    const double *BaseA = PA + OffA;
+    const double *BaseB = PB + OffB;
+    for (int64_t I = 0; I < Inner; ++I)
+      PR[Flat + I] = Fn(BaseA[I * InnerSA], BaseB[I * InnerSB]);
+    Flat += Inner;
+    for (int64_t Axis = Rank - 2; Axis >= 0; --Axis) {
+      size_t AxisIdx = static_cast<size_t>(Axis);
+      ++Index[AxisIdx];
+      OffA += SA[AxisIdx];
+      OffB += SB[AxisIdx];
+      if (Index[AxisIdx] < Out.getDim(Axis))
+        break;
+      OffA -= SA[AxisIdx] * Index[AxisIdx];
+      OffB -= SB[AxisIdx] * Index[AxisIdx];
+      Index[AxisIdx] = 0;
+    }
+  }
+  return Result;
+}
+
+template <typename FnT>
+static Tensor elementwiseUnary(const Tensor &A, FnT Fn) {
+  Tensor Result(A.getShape(), DType::Float64);
+  int64_t N = A.getNumElements();
+  const double *PA = A.data();
+  double *PR = Result.data();
+  for (int64_t I = 0; I < N; ++I)
+    PR[I] = Fn(PA[I]);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Elementwise operations
+//===----------------------------------------------------------------------===//
+
+Tensor tops::add(const Tensor &A, const Tensor &B) {
+  return broadcastBinary(A, B, "add", DType::Float64,
+                         [](double X, double Y) { return X + Y; });
+}
+
+Tensor tops::subtract(const Tensor &A, const Tensor &B) {
+  return broadcastBinary(A, B, "subtract", DType::Float64,
+                         [](double X, double Y) { return X - Y; });
+}
+
+Tensor tops::multiply(const Tensor &A, const Tensor &B) {
+  return broadcastBinary(A, B, "multiply", DType::Float64,
+                         [](double X, double Y) { return X * Y; });
+}
+
+Tensor tops::divide(const Tensor &A, const Tensor &B) {
+  return broadcastBinary(A, B, "divide", DType::Float64,
+                         [](double X, double Y) { return X / Y; });
+}
+
+/// pow with a fast path for small integral exponents (repeated
+/// multiplication), matching the performance profile of optimized libm /
+/// NumPy integer-power kernels; general exponents fall back to std::pow.
+double tops::scalarPow(double X, double Y) {
+  double Rounded = std::nearbyint(Y);
+  if (Rounded == Y && std::fabs(Y) <= 16) {
+    int E = static_cast<int>(std::fabs(Rounded));
+    double Acc = 1.0, Base = X;
+    while (E > 0) {
+      if (E & 1)
+        Acc *= Base;
+      Base *= Base;
+      E >>= 1;
+    }
+    return Y < 0 ? 1.0 / Acc : Acc;
+  }
+  return std::pow(X, Y);
+}
+
+Tensor tops::power(const Tensor &A, const Tensor &B) {
+  // Scalar integral exponent: hoist the dispatch out of the loop and run
+  // a pure multiply chain (NumPy's integer-power kernels do the same).
+  if (B.getNumElements() == 1) {
+    double Y = B.at(0);
+    double Rounded = std::nearbyint(Y);
+    if (Rounded == Y && std::fabs(Y) <= 16) {
+      int E = static_cast<int>(std::fabs(Rounded));
+      bool Negative = Y < 0;
+      return elementwiseUnary(A, [E, Negative](double X) {
+        double Acc = 1.0, Base = X;
+        for (int K = E; K > 0; K >>= 1) {
+          if (K & 1)
+            Acc *= Base;
+          Base *= Base;
+        }
+        return Negative ? 1.0 / Acc : Acc;
+      });
+    }
+  }
+  return broadcastBinary(A, B, "power", DType::Float64, scalarPow);
+}
+
+Tensor tops::maximum(const Tensor &A, const Tensor &B) {
+  return broadcastBinary(A, B, "maximum", DType::Float64,
+                         [](double X, double Y) { return X > Y ? X : Y; });
+}
+
+Tensor tops::minimum(const Tensor &A, const Tensor &B) {
+  return broadcastBinary(A, B, "minimum", DType::Float64,
+                         [](double X, double Y) { return X < Y ? X : Y; });
+}
+
+Tensor tops::less(const Tensor &A, const Tensor &B) {
+  return broadcastBinary(A, B, "less", DType::Bool,
+                         [](double X, double Y) { return X < Y ? 1.0 : 0.0; });
+}
+
+Tensor tops::negate(const Tensor &A) {
+  return elementwiseUnary(A, [](double X) { return -X; });
+}
+
+Tensor tops::sqrt(const Tensor &A) {
+  return elementwiseUnary(A, [](double X) { return std::sqrt(X); });
+}
+
+Tensor tops::exp(const Tensor &A) {
+  return elementwiseUnary(A, [](double X) { return std::exp(X); });
+}
+
+Tensor tops::log(const Tensor &A) {
+  return elementwiseUnary(A, [](double X) { return std::log(X); });
+}
+
+//===----------------------------------------------------------------------===//
+// Selection and masking
+//===----------------------------------------------------------------------===//
+
+Tensor tops::where(const Tensor &Cond, const Tensor &A, const Tensor &B) {
+  Shape CondAB = broadcastOrDie(Cond.getShape(), A.getShape(), "where");
+  Shape Out = broadcastOrDie(CondAB, B.getShape(), "where");
+  Tensor Result(Out, DType::Float64);
+  if (Out.getNumElements() == 0)
+    return Result;
+  BroadcastWalker Walker(Out, {broadcastStrides(Cond.getShape(), Out),
+                               broadcastStrides(A.getShape(), Out),
+                               broadcastStrides(B.getShape(), Out)});
+  int64_t Flat = 0;
+  do {
+    Result.at(Flat++) = Cond.at(Walker.getOffset(0)) != 0.0
+                            ? A.at(Walker.getOffset(1))
+                            : B.at(Walker.getOffset(2));
+  } while (Walker.next());
+  return Result;
+}
+
+/// Shared triangle masking for triu/tril.
+static Tensor triangle(const Tensor &A, int64_t K, bool Upper) {
+  if (A.getRank() != 2)
+    reportFatalError("triu/tril require a rank-2 tensor, got " +
+                     A.getShape().toString());
+  Tensor Result(A.getShape(), A.getDType());
+  int64_t Rows = A.getShape().getDim(0), Cols = A.getShape().getDim(1);
+  for (int64_t I = 0; I < Rows; ++I)
+    for (int64_t J = 0; J < Cols; ++J) {
+      bool Keep = Upper ? (J - I >= K) : (J - I <= K);
+      Result.at({I, J}) = Keep ? A.at({I, J}) : 0.0;
+    }
+  return Result;
+}
+
+Tensor tops::triu(const Tensor &A, int64_t K) {
+  return triangle(A, K, /*Upper=*/true);
+}
+
+Tensor tops::tril(const Tensor &A, int64_t K) {
+  return triangle(A, K, /*Upper=*/false);
+}
+
+//===----------------------------------------------------------------------===//
+// Linear algebra
+//===----------------------------------------------------------------------===//
+
+Tensor tops::dot(const Tensor &A, const Tensor &B) {
+  // Scalar operands multiply (np.dot semantics for 0-d inputs).
+  if (A.getRank() == 0 || B.getRank() == 0)
+    return multiply(A, B);
+  int64_t ContractA = A.getRank() - 1;
+  int64_t ContractB = B.getRank() == 1 ? 0 : B.getRank() - 2;
+  if (A.getShape().getDim(ContractA) != B.getShape().getDim(ContractB))
+    reportFatalError("dot: contracted extents differ: " +
+                     A.getShape().toString() + " vs " +
+                     B.getShape().toString());
+  return tensordot(A, B, {ContractA}, {ContractB});
+}
+
+Tensor tops::tensordot(const Tensor &A, const Tensor &B,
+                       const std::vector<int64_t> &AxesA,
+                       const std::vector<int64_t> &AxesB) {
+  if (AxesA.size() != AxesB.size())
+    reportFatalError("tensordot: axis lists differ in length");
+  std::vector<int64_t> NormA, NormB;
+  for (int64_t Axis : AxesA)
+    NormA.push_back(A.getShape().normalizeAxis(Axis));
+  for (int64_t Axis : AxesB)
+    NormB.push_back(B.getShape().normalizeAxis(Axis));
+  for (size_t I = 0; I < NormA.size(); ++I)
+    if (A.getShape().getDim(NormA[I]) != B.getShape().getDim(NormB[I]))
+      reportFatalError("tensordot: contracted extents differ");
+
+  auto FreeAxes = [](const Shape &S, const std::vector<int64_t> &Contracted) {
+    std::vector<int64_t> Free;
+    for (int64_t Axis = 0; Axis < S.getRank(); ++Axis)
+      if (std::find(Contracted.begin(), Contracted.end(), Axis) ==
+          Contracted.end())
+        Free.push_back(Axis);
+    return Free;
+  };
+  std::vector<int64_t> FreeA = FreeAxes(A.getShape(), NormA);
+  std::vector<int64_t> FreeB = FreeAxes(B.getShape(), NormB);
+
+  std::vector<int64_t> OutDims;
+  for (int64_t Axis : FreeA)
+    OutDims.push_back(A.getShape().getDim(Axis));
+  for (int64_t Axis : FreeB)
+    OutDims.push_back(B.getShape().getDim(Axis));
+  Shape OutShape(OutDims);
+
+  std::vector<int64_t> ContractDims;
+  for (int64_t Axis : NormA)
+    ContractDims.push_back(A.getShape().getDim(Axis));
+  Shape ContractShape(ContractDims);
+
+  std::vector<int64_t> StridesA = A.getShape().getStrides();
+  std::vector<int64_t> StridesB = B.getShape().getStrides();
+
+  // Precompute flat base offsets for each subspace so the contraction
+  // kernel below is a tight triple loop (this is what keeps the measured
+  // cost model's view of dot/tensordot performance realistic).
+  auto SubspaceOffsets = [](const Shape &Full,
+                            const std::vector<int64_t> &Axes,
+                            const std::vector<int64_t> &Strides) {
+    std::vector<int64_t> Dims;
+    for (int64_t Axis : Axes)
+      Dims.push_back(Full.getDim(Axis));
+    Shape Sub(Dims);
+    int64_t N = Sub.getNumElements();
+    std::vector<int64_t> Offsets(static_cast<size_t>(N), 0);
+    std::vector<int64_t> Index(Axes.size(), 0);
+    for (int64_t Flat = 0; Flat < N; ++Flat) {
+      int64_t Off = 0;
+      for (size_t I = 0; I < Axes.size(); ++I)
+        Off += Index[I] * Strides[static_cast<size_t>(Axes[I])];
+      Offsets[static_cast<size_t>(Flat)] = Off;
+      for (int64_t I = static_cast<int64_t>(Axes.size()) - 1; I >= 0; --I) {
+        if (++Index[static_cast<size_t>(I)] <
+            Sub.getDim(static_cast<int64_t>(I)))
+          break;
+        Index[static_cast<size_t>(I)] = 0;
+      }
+    }
+    return Offsets;
+  };
+
+  std::vector<int64_t> FreeOffA = SubspaceOffsets(A.getShape(), FreeA,
+                                                  StridesA);
+  std::vector<int64_t> FreeOffB = SubspaceOffsets(B.getShape(), FreeB,
+                                                  StridesB);
+
+  Tensor Result(OutShape, DType::Float64);
+  const double *PA = A.data();
+  const double *PB = B.data();
+  double *PR = Result.data();
+  int64_t NumContract = ContractShape.getNumElements();
+  size_t OutFlat = 0;
+
+  // Single-axis contractions (dot, matvec, matmul — the common case) are
+  // affine by construction: a strided inner loop with no offset tables
+  // lets the compiler vectorize (stride 1 on both sides is the
+  // BLAS-style kernel).
+  if (NormA.size() == 1) {
+    int64_t StrideA = StridesA[static_cast<size_t>(NormA[0])];
+    int64_t StrideB = StridesB[static_cast<size_t>(NormB[0])];
+    // Four explicit accumulators break the serial FP dependency chain
+    // (the compiler may not reassociate floating-point sums); the
+    // statically contiguous variant additionally vectorizes, giving the
+    // dot/matvec kernels BLAS-like throughput.
+    auto DotStrided = [NumContract](const double *PtrA, const double *PtrB,
+                                    int64_t SA, int64_t SB) {
+      double Acc0 = 0, Acc1 = 0, Acc2 = 0, Acc3 = 0;
+      int64_t K = 0;
+      for (; K + 4 <= NumContract; K += 4) {
+        Acc0 += PtrA[K * SA] * PtrB[K * SB];
+        Acc1 += PtrA[(K + 1) * SA] * PtrB[(K + 1) * SB];
+        Acc2 += PtrA[(K + 2) * SA] * PtrB[(K + 2) * SB];
+        Acc3 += PtrA[(K + 3) * SA] * PtrB[(K + 3) * SB];
+      }
+      for (; K < NumContract; ++K)
+        Acc0 += PtrA[K * SA] * PtrB[K * SB];
+      return (Acc0 + Acc1) + (Acc2 + Acc3);
+    };
+    auto DotContiguous = [NumContract](const double *PtrA,
+                                       const double *PtrB) {
+      double Acc0 = 0, Acc1 = 0, Acc2 = 0, Acc3 = 0;
+      int64_t K = 0;
+      for (; K + 4 <= NumContract; K += 4) {
+        Acc0 += PtrA[K] * PtrB[K];
+        Acc1 += PtrA[K + 1] * PtrB[K + 1];
+        Acc2 += PtrA[K + 2] * PtrB[K + 2];
+        Acc3 += PtrA[K + 3] * PtrB[K + 3];
+      }
+      for (; K < NumContract; ++K)
+        Acc0 += PtrA[K] * PtrB[K];
+      return (Acc0 + Acc1) + (Acc2 + Acc3);
+    };
+    bool Contiguous = StrideA == 1 && StrideB == 1;
+    for (int64_t FA : FreeOffA)
+      for (int64_t FB : FreeOffB)
+        PR[OutFlat++] = Contiguous
+                            ? DotContiguous(PA + FA, PB + FB)
+                            : DotStrided(PA + FA, PB + FB, StrideA, StrideB);
+    return Result;
+  }
+
+  std::vector<int64_t> ContractOffA =
+      SubspaceOffsets(A.getShape(), NormA, StridesA);
+  std::vector<int64_t> ContractOffB =
+      SubspaceOffsets(B.getShape(), NormB, StridesB);
+  for (int64_t FA : FreeOffA)
+    for (int64_t FB : FreeOffB) {
+      double Acc = 0;
+      for (int64_t K = 0; K < NumContract; ++K)
+        Acc += PA[FA + ContractOffA[static_cast<size_t>(K)]] *
+               PB[FB + ContractOffB[static_cast<size_t>(K)]];
+      PR[OutFlat++] = Acc;
+    }
+  return Result;
+}
+
+Tensor tops::diag(const Tensor &A) {
+  if (A.getRank() != 2)
+    reportFatalError("diag requires a rank-2 tensor, got " +
+                     A.getShape().toString());
+  int64_t N = std::min(A.getShape().getDim(0), A.getShape().getDim(1));
+  Tensor Result(Shape({N}), DType::Float64);
+  for (int64_t I = 0; I < N; ++I)
+    Result.at(I) = A.at({I, I});
+  return Result;
+}
+
+Tensor tops::trace(const Tensor &A) {
+  Tensor Diagonal = diag(A);
+  return sumAll(Diagonal);
+}
+
+//===----------------------------------------------------------------------===//
+// Shape manipulation and reductions
+//===----------------------------------------------------------------------===//
+
+Tensor tops::transpose(const Tensor &A, const std::vector<int64_t> &Perm) {
+  int64_t Rank = A.getRank();
+  std::vector<int64_t> P = Perm;
+  if (P.empty())
+    for (int64_t I = Rank - 1; I >= 0; --I)
+      P.push_back(I);
+  if (static_cast<int64_t>(P.size()) != Rank)
+    reportFatalError("transpose: permutation rank mismatch");
+
+  std::vector<int64_t> OutDims(static_cast<size_t>(Rank));
+  for (int64_t I = 0; I < Rank; ++I)
+    OutDims[static_cast<size_t>(I)] =
+        A.getShape().getDim(A.getShape().normalizeAxis(P[static_cast<size_t>(I)]));
+  Shape OutShape(OutDims);
+
+  // Walk the output in row-major order while advancing the input offset
+  // with permuted strides (no per-element delinearization).
+  std::vector<int64_t> InStrides = A.getShape().getStrides();
+  std::vector<int64_t> PermStrides(static_cast<size_t>(Rank));
+  for (int64_t I = 0; I < Rank; ++I)
+    PermStrides[static_cast<size_t>(I)] = InStrides[static_cast<size_t>(
+        A.getShape().normalizeAxis(P[static_cast<size_t>(I)]))];
+
+  Tensor Result(OutShape, A.getDType());
+  const double *PA = A.data();
+  double *PR = Result.data();
+  int64_t N = OutShape.getNumElements();
+  if (Rank == 0) {
+    if (N > 0)
+      PR[0] = PA[0];
+    return Result;
+  }
+  std::vector<int64_t> Index(static_cast<size_t>(Rank), 0);
+  int64_t InOffset = 0;
+  for (int64_t Flat = 0; Flat < N; ++Flat) {
+    PR[Flat] = PA[InOffset];
+    for (int64_t Axis = Rank - 1; Axis >= 0; --Axis) {
+      size_t AxisIdx = static_cast<size_t>(Axis);
+      ++Index[AxisIdx];
+      InOffset += PermStrides[AxisIdx];
+      if (Index[AxisIdx] < OutShape.getDim(Axis))
+        break;
+      InOffset -= PermStrides[AxisIdx] * Index[AxisIdx];
+      Index[AxisIdx] = 0;
+    }
+  }
+  return Result;
+}
+
+Tensor tops::reshape(const Tensor &A, Shape NewShape) {
+  return A.reshaped(std::move(NewShape));
+}
+
+Tensor tops::stack(const std::vector<Tensor> &Parts, int64_t Axis) {
+  if (Parts.empty())
+    reportFatalError("stack of zero tensors");
+  const Shape &PartShape = Parts.front().getShape();
+  for (const Tensor &T : Parts)
+    if (T.getShape() != PartShape)
+      reportFatalError("stack: operand shapes differ");
+  int64_t OutRank = PartShape.getRank() + 1;
+  if (Axis < 0)
+    Axis += OutRank;
+  if (Axis < 0 || Axis >= OutRank)
+    reportFatalError("stack: axis out of range");
+  Shape OutShape =
+      PartShape.insertAxis(Axis, static_cast<int64_t>(Parts.size()));
+  Tensor Result(OutShape, Parts.front().getDType());
+  double *PR = Result.data();
+  // Decompose each part as (Outer, Inner) around the insertion axis: the
+  // output interleaves Inner-sized contiguous runs of the parts.
+  int64_t Inner = 1, Outer = 1;
+  for (int64_t I = Axis; I < PartShape.getRank(); ++I)
+    Inner *= PartShape.getDim(I);
+  for (int64_t I = 0; I < Axis; ++I)
+    Outer *= PartShape.getDim(I);
+  for (int64_t O = 0; O < Outer; ++O)
+    for (size_t Which = 0; Which < Parts.size(); ++Which) {
+      const double *Src = Parts[Which].data() + O * Inner;
+      std::copy(Src, Src + Inner,
+                PR + (O * static_cast<int64_t>(Parts.size()) +
+                      static_cast<int64_t>(Which)) *
+                         Inner);
+    }
+  return Result;
+}
+
+Tensor tops::sumAll(const Tensor &A) {
+  const double *PA = A.data();
+  int64_t N = A.getNumElements();
+  double Acc0 = 0, Acc1 = 0, Acc2 = 0, Acc3 = 0;
+  int64_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    Acc0 += PA[I];
+    Acc1 += PA[I + 1];
+    Acc2 += PA[I + 2];
+    Acc3 += PA[I + 3];
+  }
+  for (; I < N; ++I)
+    Acc0 += PA[I];
+  return Tensor::scalar((Acc0 + Acc1) + (Acc2 + Acc3));
+}
+
+/// Shared single-axis reduction.  Views the tensor as (Outer, K, Inner)
+/// around the reduced axis so the kernel is three tight loops.
+template <typename Fn>
+static Tensor reduceAxis(const Tensor &A, int64_t Axis, double Init, Fn F) {
+  Axis = A.getShape().normalizeAxis(Axis);
+  Shape OutShape = A.getShape().dropAxis(Axis);
+  Tensor Result = Tensor::full(OutShape, Init);
+  int64_t K = A.getShape().getDim(Axis);
+  int64_t Inner = 1, Outer = 1;
+  for (int64_t I = Axis + 1; I < A.getShape().getRank(); ++I)
+    Inner *= A.getShape().getDim(I);
+  for (int64_t I = 0; I < Axis; ++I)
+    Outer *= A.getShape().getDim(I);
+  const double *PA = A.data();
+  double *PR = Result.data();
+  for (int64_t O = 0; O < Outer; ++O)
+    for (int64_t J = 0; J < K; ++J) {
+      const double *Src = PA + (O * K + J) * Inner;
+      double *Dst = PR + O * Inner;
+      for (int64_t I = 0; I < Inner; ++I)
+        Dst[I] = F(Dst[I], Src[I]);
+    }
+  return Result;
+}
+
+Tensor tops::sum(const Tensor &A, int64_t Axis) {
+  return reduceAxis(A, Axis, 0.0,
+                    [](double Acc, double X) { return Acc + X; });
+}
+
+Tensor tops::maxAll(const Tensor &A) {
+  if (A.getNumElements() == 0)
+    reportFatalError("max of empty tensor");
+  double Acc = A.at(0);
+  int64_t N = A.getNumElements();
+  for (int64_t I = 1; I < N; ++I)
+    Acc = std::max(Acc, A.at(I));
+  return Tensor::scalar(Acc);
+}
+
+Tensor tops::max(const Tensor &A, int64_t Axis) {
+  if (A.getShape().getDim(A.getShape().normalizeAxis(Axis)) == 0)
+    reportFatalError("max over empty axis");
+  return reduceAxis(A, Axis, -std::numeric_limits<double>::infinity(),
+                    [](double Acc, double X) { return std::max(Acc, X); });
+}

@@ -1,0 +1,101 @@
+//===- TensorOps.h - NumPy-like tensor operations --------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete operation set of the tensor runtime — the NumPy substitute
+/// that the DSL interpreter, the measured cost model, and the execution
+/// backends all run on.  Semantics follow NumPy: elementwise ops broadcast,
+/// dot follows np.dot's rank dispatch, tensordot contracts arbitrary axis
+/// pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_TENSOR_TENSOROPS_H
+#define STENSO_TENSOR_TENSOROPS_H
+
+#include "tensor/Tensor.h"
+
+#include <optional>
+
+namespace stenso {
+namespace tops {
+
+//===----------------------------------------------------------------------===//
+// Elementwise binary operations (with broadcasting)
+//===----------------------------------------------------------------------===//
+
+Tensor add(const Tensor &A, const Tensor &B);
+Tensor subtract(const Tensor &A, const Tensor &B);
+Tensor multiply(const Tensor &A, const Tensor &B);
+Tensor divide(const Tensor &A, const Tensor &B);
+/// Elementwise A ** B.
+Tensor power(const Tensor &A, const Tensor &B);
+Tensor maximum(const Tensor &A, const Tensor &B);
+Tensor minimum(const Tensor &A, const Tensor &B);
+/// Elementwise A < B; returns a Bool tensor.
+Tensor less(const Tensor &A, const Tensor &B);
+
+//===----------------------------------------------------------------------===//
+// Elementwise unary operations
+//===----------------------------------------------------------------------===//
+
+Tensor negate(const Tensor &A);
+
+/// Scalar x ** y with the same integer-exponent fast path the power op
+/// uses (exposed so fused-kernel execution matches op-by-op execution).
+double scalarPow(double X, double Y);
+
+Tensor sqrt(const Tensor &A);
+Tensor exp(const Tensor &A);
+Tensor log(const Tensor &A);
+
+//===----------------------------------------------------------------------===//
+// Selection and masking
+//===----------------------------------------------------------------------===//
+
+/// np.where: elementwise Cond ? A : B with broadcasting.
+Tensor where(const Tensor &Cond, const Tensor &A, const Tensor &B);
+/// Upper triangle of a matrix (elements below the K-th diagonal zeroed).
+Tensor triu(const Tensor &A, int64_t K = 0);
+/// Lower triangle of a matrix (elements above the K-th diagonal zeroed).
+Tensor tril(const Tensor &A, int64_t K = 0);
+
+//===----------------------------------------------------------------------===//
+// Linear algebra and contractions
+//===----------------------------------------------------------------------===//
+
+/// np.dot: scalar*, inner product, matmul, matvec and the general N-D rule
+/// (contract last axis of A with second-to-last axis of B).
+Tensor dot(const Tensor &A, const Tensor &B);
+/// np.tensordot over explicit axis lists.
+Tensor tensordot(const Tensor &A, const Tensor &B,
+                 const std::vector<int64_t> &AxesA,
+                 const std::vector<int64_t> &AxesB);
+/// Main diagonal of a 2-D matrix as a vector.
+Tensor diag(const Tensor &A);
+/// Sum of the main diagonal of a 2-D matrix (rank-0 result).
+Tensor trace(const Tensor &A);
+
+//===----------------------------------------------------------------------===//
+// Shape manipulation and reductions
+//===----------------------------------------------------------------------===//
+
+/// Permutes axes; an empty \p Perm reverses them (np.transpose default).
+Tensor transpose(const Tensor &A, const std::vector<int64_t> &Perm = {});
+Tensor reshape(const Tensor &A, Shape NewShape);
+/// Stacks equal-shaped tensors along a new axis.
+Tensor stack(const std::vector<Tensor> &Parts, int64_t Axis = 0);
+/// Full reduction to a scalar.
+Tensor sumAll(const Tensor &A);
+/// Reduction along one axis (axis may be negative, NumPy-style).
+Tensor sum(const Tensor &A, int64_t Axis);
+Tensor maxAll(const Tensor &A);
+Tensor max(const Tensor &A, int64_t Axis);
+
+} // namespace tops
+} // namespace stenso
+
+#endif // STENSO_TENSOR_TENSOROPS_H

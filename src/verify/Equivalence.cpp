@@ -1,0 +1,96 @@
+//===- Equivalence.cpp - Program equivalence checking ----------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Equivalence.h"
+
+#include "dsl/Interpreter.h"
+#include "dsl/Parser.h"
+#include "support/Error.h"
+#include "support/RNG.h"
+#include "symexec/SymbolicExecutor.h"
+
+#include <unordered_map>
+
+using namespace stenso;
+using namespace stenso::verify;
+using namespace stenso::dsl;
+
+std::string verify::toString(Verdict V) {
+  switch (V) {
+  case Verdict::ProvenEquivalent:
+    return "proven-equivalent";
+  case Verdict::ProbablyEquivalent:
+    return "probably-equivalent";
+  case Verdict::NotEquivalent:
+    return "not-equivalent";
+  case Verdict::Incomparable:
+    return "incomparable";
+  }
+  stenso_unreachable("unknown verdict");
+}
+
+namespace {
+
+/// Merges the two programs' input declarations by name; nullopt on a
+/// type conflict.
+std::optional<InputDecls> mergedInputs(const Program &A, const Program &B) {
+  InputDecls Decls;
+  std::unordered_map<std::string, TensorType> Seen;
+  for (const Program *P : {&A, &B})
+    for (const Node *In : P->getInputs()) {
+      auto [It, Inserted] = Seen.try_emplace(In->getName(), In->getType());
+      if (Inserted)
+        Decls.emplace_back(In->getName(), In->getType());
+      else if (It->second != In->getType())
+        return std::nullopt;
+    }
+  return Decls;
+}
+
+} // namespace
+
+Verdict verify::checkEquivalence(const Program &A, const Program &B,
+                                 const Options &Opts) {
+  assert(A.getRoot() && B.getRoot() && "programs need roots");
+  if (A.getRoot()->getType() != B.getRoot()->getType())
+    return Verdict::Incomparable;
+  std::optional<InputDecls> Decls = mergedInputs(A, B);
+  if (!Decls)
+    return Verdict::Incomparable;
+
+  // Symbolic oracle: both programs over *shared* symbols.
+  if (!Opts.RandomOnly) {
+    sym::ExprContext Ctx;
+    symexec::SymBinding Bindings;
+    for (const auto &[Name, Type] : *Decls)
+      Bindings.emplace(Name, symexec::SymTensor::makeInput(
+                                 Ctx, Name, Type.TShape, Type.Dtype));
+    symexec::SymTensor SpecA =
+        symexec::symbolicExecute(A.getRoot(), Ctx, Bindings);
+    symexec::SymTensor SpecB =
+        symexec::symbolicExecute(B.getRoot(), Ctx, Bindings);
+    if (SpecA.identicalTo(SpecB))
+      return Verdict::ProvenEquivalent;
+  }
+
+  // Random-testing oracle.
+  RNG Rng(Opts.Seed);
+  for (int Trial = 0; Trial < Opts.Trials; ++Trial) {
+    InputBinding Inputs;
+    for (const auto &[Name, Type] : *Decls) {
+      Tensor T(Type.TShape, Type.Dtype);
+      for (int64_t I = 0; I < T.getNumElements(); ++I)
+        T.at(I) = Type.Dtype == DType::Bool ? (Rng.chance(0.5) ? 1.0 : 0.0)
+                                            : Rng.positive();
+      Inputs.emplace(Name, std::move(T));
+    }
+    Tensor OutA = interpretProgram(A, Inputs);
+    Tensor OutB = interpretProgram(B, Inputs);
+    if (!OutA.allClose(OutB, Opts.RelTol, Opts.AbsTol))
+      return Verdict::NotEquivalent;
+  }
+  return Verdict::ProbablyEquivalent;
+}

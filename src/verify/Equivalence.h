@@ -1,0 +1,67 @@
+//===- Equivalence.h - Program equivalence checking ------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public equivalence-checking API consolidating the two oracles the
+/// reproduction uses everywhere:
+///
+///   * symbolic — execute both programs on shared fresh symbols and
+///     compare canonical expanded specs; a match is a *proof* under the
+///     positive-reals assumption (this is the paper's
+///     correct-by-construction guarantee, Section IV-A);
+///   * random testing — evaluate both on random positive inputs;
+///     disagreement is a definitive counterexample, agreement across
+///     trials is probabilistic evidence (polynomial identity testing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_VERIFY_EQUIVALENCE_H
+#define STENSO_VERIFY_EQUIVALENCE_H
+
+#include "dsl/Node.h"
+
+#include <cstdint>
+#include <string>
+
+namespace stenso {
+namespace verify {
+
+/// Outcome of an equivalence check, ordered by strength.
+enum class Verdict {
+  /// Identical canonical symbolic specifications (proof modulo the
+  /// positivity assumption).
+  ProvenEquivalent,
+  /// Symbolic comparison was inconclusive but all random trials agreed.
+  ProbablyEquivalent,
+  /// A concrete counterexample exists.
+  NotEquivalent,
+  /// The programs cannot be compared (different output types, or an
+  /// input declared with conflicting types).
+  Incomparable,
+};
+
+std::string toString(Verdict V);
+
+/// Checking options.
+struct Options {
+  int Trials = 5;
+  uint64_t Seed = 0x57454e49;
+  double RelTol = 1e-7;
+  double AbsTol = 1e-9;
+  /// Skip the symbolic oracle (useful for very large shapes).
+  bool RandomOnly = false;
+};
+
+/// Decides whether \p A and \p B compute the same function of their
+/// (name-matched) inputs.  Inputs appearing in only one program are
+/// allowed — the other program simply ignores them.
+Verdict checkEquivalence(const dsl::Program &A, const dsl::Program &B,
+                         const Options &Opts = Options());
+
+} // namespace verify
+} // namespace stenso
+
+#endif // STENSO_VERIFY_EQUIVALENCE_H

@@ -1,0 +1,237 @@
+//===- EGraphTest.cpp - Tests for the equality-saturation engine ----------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "egraph/EGraph.h"
+
+#include "dsl/Interpreter.h"
+#include "dsl/Parser.h"
+#include "dsl/Printer.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace stenso;
+using namespace stenso::dsl;
+using namespace stenso::egraph;
+
+namespace {
+
+TensorType f64(std::initializer_list<int64_t> Dims) {
+  return TensorType{DType::Float64, Shape(Dims)};
+}
+
+/// Parses a rule pair and adds it to the graph.
+bool addRuleFrom(EGraph &G, const std::string &Lhs, const std::string &Rhs,
+                 const InputDecls &Decls) {
+  auto A = parseProgram(Lhs, Decls);
+  auto B = parseProgram(Rhs, Decls);
+  EXPECT_TRUE(A && B) << A.Error << B.Error;
+  return G.addRule(A.Prog->getRoot(), B.Prog->getRoot());
+}
+
+} // namespace
+
+TEST(EGraphTest, HashConsingSharesStructure) {
+  EGraph G;
+  InputDecls Decls = {{"A", f64({4})}, {"B", f64({4})}};
+  auto P1 = parseProgram("A + B", Decls);
+  auto P2 = parseProgram("A + B", Decls);
+  auto Id1 = G.addProgram(P1.Prog->getRoot());
+  auto Id2 = G.addProgram(P2.Prog->getRoot());
+  ASSERT_TRUE(Id1 && Id2);
+  EXPECT_TRUE(G.sameClass(*Id1, *Id2));
+  // A, B, A+B.
+  EXPECT_EQ(G.getNumClasses(), 3u);
+}
+
+TEST(EGraphTest, RejectsComprehensions) {
+  EGraph G;
+  auto P = parseProgram("np.stack([x * 2 for x in A], axis=0)",
+                        {{"A", f64({3, 2})}});
+  EXPECT_FALSE(G.addProgram(P.Prog->getRoot()).has_value());
+}
+
+TEST(EGraphTest, SaturationMergesRuleSides) {
+  EGraph G;
+  InputDecls RuleDecls = {{"X", f64({4})}};
+  ASSERT_TRUE(addRuleFrom(G, "np.power(X, 2)", "X * X", RuleDecls));
+
+  InputDecls Decls = {{"A", f64({6})}};
+  auto Lhs = parseProgram("np.power(A, 2)", Decls);
+  auto Rhs = parseProgram("A * A", Decls);
+  auto IdL = G.addProgram(Lhs.Prog->getRoot());
+  auto IdR = G.addProgram(Rhs.Prog->getRoot());
+  ASSERT_TRUE(IdL && IdR);
+  EXPECT_FALSE(G.sameClass(*IdL, *IdR));
+
+  SaturationStats Stats = G.saturate();
+  EXPECT_TRUE(Stats.Saturated);
+  EXPECT_GT(Stats.Merges, 0);
+  EXPECT_TRUE(G.sameClass(*IdL, *IdR));
+}
+
+TEST(EGraphTest, ExtractionPicksCheaperForm) {
+  EGraph G;
+  InputDecls RuleDecls = {{"X", f64({4})}};
+  ASSERT_TRUE(addRuleFrom(G, "np.exp(np.log(X))", "X", RuleDecls));
+
+  InputDecls Decls = {{"A", f64({8})}};
+  auto P = parseProgram("np.exp(np.log(A))", Decls);
+  auto Id = G.addProgram(P.Prog->getRoot());
+  ASSERT_TRUE(Id);
+  G.saturate();
+
+  synth::FlopCostModel Model;
+  synth::ShapeScaler Scaler;
+  std::unique_ptr<Program> Best = G.extract(*Id, Model, Scaler);
+  ASSERT_TRUE(Best);
+  EXPECT_EQ(printProgram(*Best), "A");
+}
+
+TEST(EGraphTest, RulesChainThroughSharedSubterms) {
+  EGraph G;
+  InputDecls RuleDecls = {{"X", f64({4})}};
+  ASSERT_TRUE(addRuleFrom(G, "np.power(X, 2)", "X * X", RuleDecls));
+  ASSERT_TRUE(addRuleFrom(G, "np.exp(np.log(X))", "X", RuleDecls));
+
+  InputDecls Decls = {{"A", f64({5})}};
+  auto P = parseProgram("np.power(np.exp(np.log(A)), 2)", Decls);
+  auto Id = G.addProgram(P.Prog->getRoot());
+  ASSERT_TRUE(Id);
+  SaturationStats Stats = G.saturate();
+  EXPECT_TRUE(Stats.Saturated);
+
+  synth::FlopCostModel Model;
+  synth::ShapeScaler Scaler;
+  std::unique_ptr<Program> Best = G.extract(*Id, Model, Scaler);
+  ASSERT_TRUE(Best);
+  EXPECT_EQ(printProgram(*Best), "A * A");
+}
+
+TEST(EGraphTest, VariableConsistencyInPatterns) {
+  EGraph G;
+  InputDecls RuleDecls = {{"X", f64({4})}};
+  // X / X => pattern with a repeated variable.
+  auto Lhs = parseProgram("X / X", RuleDecls);
+  auto One = parseProgram("X / X + 1 - X / X", RuleDecls); // spells 1
+  // Simpler: use a direct rhs of constant 1 broadcast is not expressible;
+  // use rule (X + X) => 2 * X instead to test repetition.
+  EGraph G2;
+  ASSERT_TRUE(addRuleFrom(G2, "X + X", "2 * X", RuleDecls));
+  InputDecls Decls = {{"A", f64({4})}, {"B", f64({4})}};
+  auto Same = parseProgram("A + A", Decls);
+  auto Diff = parseProgram("A + B", Decls);
+  auto IdSame = G2.addProgram(Same.Prog->getRoot());
+  auto IdDiff = G2.addProgram(Diff.Prog->getRoot());
+  ASSERT_TRUE(IdSame && IdDiff);
+  SaturationStats Stats = G2.saturate();
+  EXPECT_TRUE(Stats.Saturated);
+
+  // A+A merged with 2*A; A+B must stay a 2-node class (no rule applies).
+  auto TwoA = parseProgram("2 * A", Decls);
+  auto IdTwoA = G2.addProgram(TwoA.Prog->getRoot());
+  ASSERT_TRUE(IdTwoA);
+  EXPECT_TRUE(G2.sameClass(*IdSame, *IdTwoA));
+  EXPECT_FALSE(G2.sameClass(*IdDiff, *IdTwoA));
+  (void)Lhs;
+  (void)One;
+}
+
+TEST(EGraphTest, ExtractionPreservesSemantics) {
+  EGraph G;
+  InputDecls RuleDecls = {{"X", f64({3, 3})}, {"Y", f64({3, 3})}};
+  ASSERT_TRUE(addRuleFrom(G, "np.diag(np.dot(X, Y))",
+                          "np.sum(X * Y.T, axis=1)", RuleDecls));
+
+  InputDecls Decls = {{"A", f64({3, 3})}, {"B", f64({3, 3})}};
+  auto P = parseProgram("np.diag(np.dot(A, B))", Decls);
+  auto Id = G.addProgram(P.Prog->getRoot());
+  ASSERT_TRUE(Id);
+  G.saturate();
+
+  synth::FlopCostModel Model;
+  synth::ShapeScaler Scaler;
+  std::unique_ptr<Program> Best = G.extract(*Id, Model, Scaler);
+  ASSERT_TRUE(Best);
+  EXPECT_EQ(printProgram(*Best), "np.sum(A * B.T, axis=1)");
+
+  RNG Rng(3);
+  InputBinding Inputs;
+  for (const auto &[Name, Type] : Decls) {
+    Tensor T(Type.TShape);
+    for (int64_t I = 0; I < T.getNumElements(); ++I)
+      T.at(I) = Rng.positive();
+    Inputs.emplace(Name, std::move(T));
+  }
+  EXPECT_TRUE(interpretProgram(*P.Prog, Inputs)
+                  .allClose(interpretProgram(*Best, Inputs)));
+}
+
+TEST(EGraphTest, LimitsStopRunawayGrowth) {
+  EGraph G;
+  InputDecls RuleDecls = {{"X", f64({4})}, {"Y", f64({4})}};
+  // Commutativity is the classic exploder.
+  ASSERT_TRUE(addRuleFrom(G, "X + Y", "Y + X", RuleDecls));
+  ASSERT_TRUE(addRuleFrom(G, "X + Y", "(X + Y) + 0", RuleDecls));
+
+  InputDecls Decls = {{"A", f64({4})}, {"B", f64({4})},
+                      {"C", f64({4})}};
+  auto P = parseProgram("A + B + C + A + B", Decls);
+  auto Id = G.addProgram(P.Prog->getRoot());
+  ASSERT_TRUE(Id);
+  SaturationLimits Limits;
+  Limits.MaxIterations = 3;
+  Limits.MaxClasses = 200;
+  Limits.MaxNodes = 800;
+  SaturationStats Stats = G.saturate(Limits);
+  EXPECT_LE(Stats.Iterations, 3);
+  EXPECT_LE(G.getNumClasses(), 400u); // bounded, not exact
+}
+
+TEST(EGraphTest, RuleRejectionMirrorsRuleBook) {
+  EGraph G;
+  auto Lhs = parseProgram("A", {{"A", f64({4})}});
+  auto Rhs = parseProgram("A + 0", {{"A", f64({4})}});
+  EXPECT_FALSE(G.addRule(Lhs.Prog->getRoot(), Rhs.Prog->getRoot()));
+  auto Lhs2 = parseProgram("A + A", {{"A", f64({4})}});
+  auto Rhs2 = parseProgram("A * B", {{"A", f64({4})}, {"B", f64({4})}});
+  EXPECT_FALSE(G.addRule(Lhs2.Prog->getRoot(), Rhs2.Prog->getRoot()));
+}
+
+TEST(EGraphTest, ExtractionUsesMeasuredCostsThroughScaler) {
+  // Extraction must respect the same cost machinery as synthesis: at
+  // production scale (via the scaler), the FLOP model prefers the
+  // multiply form over the power form.
+  EGraph G;
+  InputDecls RuleDecls = {{"X", f64({4})}};
+  ASSERT_TRUE(addRuleFrom(G, "np.power(X, 2)", "X * X", RuleDecls));
+  InputDecls Decls = {{"A", f64({3})}};
+  auto P = parseProgram("np.power(A, 2)", Decls);
+  auto Id = G.addProgram(P.Prog->getRoot());
+  ASSERT_TRUE(Id);
+  G.saturate();
+  synth::FlopCostModel Model;
+  synth::ShapeScaler Scaler;
+  Scaler.addMapping(3, 65536);
+  std::unique_ptr<Program> Best = G.extract(*Id, Model, Scaler);
+  ASSERT_TRUE(Best);
+  EXPECT_EQ(printProgram(*Best), "A * A");
+}
+
+TEST(EGraphTest, StatsReportMatchesAndIterations) {
+  EGraph G;
+  InputDecls RuleDecls = {{"X", f64({4})}};
+  ASSERT_TRUE(addRuleFrom(G, "np.power(X, 2)", "X * X", RuleDecls));
+  auto P = parseProgram("np.power(A, 2) + np.power(B, 2)",
+                        {{"A", f64({4})}, {"B", f64({4})}});
+  auto Id = G.addProgram(P.Prog->getRoot());
+  ASSERT_TRUE(Id);
+  SaturationStats Stats = G.saturate();
+  EXPECT_GE(Stats.Matches, 2); // both power sites matched
+  EXPECT_GE(Stats.Merges, 2);
+  EXPECT_GE(Stats.Iterations, 2); // work + fixpoint confirmation
+  EXPECT_TRUE(Stats.Saturated);
+}

@@ -1,0 +1,203 @@
+//===- EvalSuiteTest.cpp - Tests for the evaluation suite -----------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalsuite/Classifier.h"
+#include "evalsuite/Harness.h"
+#include "evalsuite/RewriteRuleMiner.h"
+
+#include "dsl/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace stenso;
+using namespace stenso::dsl;
+using namespace stenso::evalsuite;
+
+//===----------------------------------------------------------------------===//
+// Suite integrity
+//===----------------------------------------------------------------------===//
+
+TEST(BenchmarkSuiteTest, HasThirtyThreeBenchmarks) {
+  const auto &Suite = benchmarkSuite();
+  EXPECT_EQ(Suite.size(), 33u);
+  size_t Github = 0, Synthetic = 0;
+  for (const BenchmarkDef &Def : Suite)
+    (Def.Synthetic ? Synthetic : Github) += 1;
+  EXPECT_EQ(Github, 21u);   // Table I
+  EXPECT_EQ(Synthetic, 12u); // Table II
+}
+
+TEST(BenchmarkSuiteTest, NamesAreUniqueAndFindable) {
+  std::set<std::string> Names;
+  for (const BenchmarkDef &Def : benchmarkSuite()) {
+    EXPECT_TRUE(Names.insert(Def.Name).second) << Def.Name;
+    EXPECT_EQ(findBenchmark(Def.Name), &Def);
+  }
+  EXPECT_EQ(findBenchmark("no_such_benchmark"), nullptr);
+}
+
+TEST(BenchmarkSuiteTest, ClassCountsMatchPaperFigure6) {
+  // Fig. 6: Algebraic Simplification 9, Strength Reduction 8.
+  std::map<TransformClass, int> Counts;
+  for (const BenchmarkDef &Def : benchmarkSuite())
+    ++Counts[Def.Class];
+  EXPECT_EQ(Counts[TransformClass::AlgebraicSimplification], 9);
+  EXPECT_EQ(Counts[TransformClass::StrengthReduction], 8);
+  EXPECT_EQ(Counts[TransformClass::IdentityReplacement], 7);
+  EXPECT_EQ(Counts[TransformClass::RedundancyElimination], 7);
+  EXPECT_EQ(Counts[TransformClass::Vectorization], 2);
+}
+
+/// Every benchmark must parse at both shape configurations and agree
+/// between them structurally (same root op kind).
+TEST(BenchmarkSuiteTest, AllBenchmarksParseAtBothShapeConfigs) {
+  for (const BenchmarkDef &Def : benchmarkSuite()) {
+    auto Full = parseProgram(Def.sourceFor(true), Def.declsFor(true));
+    auto Reduced = parseProgram(Def.sourceFor(false), Def.declsFor(false));
+    ASSERT_TRUE(Full) << Def.Name << ": " << Full.Error;
+    ASSERT_TRUE(Reduced) << Def.Name << ": " << Reduced.Error;
+    EXPECT_EQ(Full.Prog->getRoot()->getKind(),
+              Reduced.Prog->getRoot()->getKind())
+        << Def.Name;
+  }
+}
+
+TEST(BenchmarkSuiteTest, ScalersAreConsistent) {
+  for (const BenchmarkDef &Def : benchmarkSuite()) {
+    synth::ShapeScaler Scaler = Def.scaler();
+    for (const auto &Dim : Def.Dims)
+      EXPECT_EQ(Scaler.scaleExtent(Dim.Reduced), Dim.Full) << Def.Name;
+  }
+}
+
+TEST(BenchmarkSuiteTest, ReducedShapesAreSmall) {
+  for (const BenchmarkDef &Def : benchmarkSuite())
+    for (const auto &[Name, Type] : Def.declsFor(false))
+      EXPECT_LE(Type.TShape.getNumElements(), 64) << Def.Name << "/" << Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Classifier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TransformClass classifyPair(const std::string &Orig, const std::string &Opt,
+                            const InputDecls &Decls) {
+  auto A = parseProgram(Orig, Decls);
+  auto B = parseProgram(Opt, Decls);
+  EXPECT_TRUE(A && B);
+  return classifyTransformation(A.Prog->getRoot(), B.Prog->getRoot());
+}
+
+TensorType vec(int64_t N) { return TensorType{DType::Float64, Shape({N})}; }
+
+} // namespace
+
+TEST(ClassifierTest, DetectsVectorization) {
+  EXPECT_EQ(classifyPair("np.stack([x * 2 for x in A], axis=0)", "A * 2",
+                         {{"A", {DType::Float64, Shape({4, 3})}}}),
+            TransformClass::Vectorization);
+}
+
+TEST(ClassifierTest, DetectsRedundancyElimination) {
+  EXPECT_EQ(classifyPair("np.transpose(np.transpose(A))", "A",
+                         {{"A", {DType::Float64, Shape({3, 4})}}}),
+            TransformClass::RedundancyElimination);
+}
+
+TEST(ClassifierTest, DetectsIdentityReplacement) {
+  EXPECT_EQ(classifyPair("np.diag(np.dot(A, B))",
+                         "np.sum(A * B.T, axis=1)",
+                         {{"A", {DType::Float64, Shape({3, 3})}},
+                          {"B", {DType::Float64, Shape({3, 3})}}}),
+            TransformClass::IdentityReplacement);
+}
+
+TEST(ClassifierTest, DetectsStrengthReduction) {
+  EXPECT_EQ(classifyPair("np.power(A, 2)", "A * A", {{"A", vec(4)}}),
+            TransformClass::StrengthReduction);
+}
+
+TEST(ClassifierTest, DefaultsToAlgebraicSimplification) {
+  EXPECT_EQ(classifyPair("A * B + C * B", "(A + C) * B",
+                         {{"A", vec(4)}, {"B", vec(4)}, {"C", vec(4)}}),
+            TransformClass::AlgebraicSimplification);
+}
+
+//===----------------------------------------------------------------------===//
+// Rewrite rule miner
+//===----------------------------------------------------------------------===//
+
+TEST(RuleMinerTest, GeneralizesDiagDotRule) {
+  InputDecls Decls = {{"A", {DType::Float64, Shape({3, 3})}},
+                      {"B", {DType::Float64, Shape({3, 3})}}};
+  auto Orig = parseProgram("np.diag(np.dot(A, B))", Decls);
+  auto Opt = parseProgram("np.sum(A * B.T, axis=1)", Decls);
+  ASSERT_TRUE(Orig && Opt);
+  RewriteRule Rule =
+      mineRewriteRule(Orig.Prog->getRoot(), Opt.Prog->getRoot());
+  EXPECT_EQ(Rule.Lhs, "np.diag(np.dot(X, Y))");
+  EXPECT_EQ(Rule.Rhs, "np.sum(X * Y.T, axis=1)");
+}
+
+TEST(RuleMinerTest, NamesFollowFirstAppearance) {
+  InputDecls Decls = {{"p", vec(4)}, {"q", vec(4)}};
+  auto Orig = parseProgram("q * p + q", Decls);
+  auto Opt = parseProgram("q * (p + 1)", Decls);
+  ASSERT_TRUE(Orig && Opt);
+  RewriteRule Rule =
+      mineRewriteRule(Orig.Prog->getRoot(), Opt.Prog->getRoot());
+  // q appears first => X; p => Y.
+  EXPECT_EQ(Rule.Lhs, "X * Y + X");
+  EXPECT_EQ(Rule.Rhs, "X * (Y + 1)");
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end harness on a representative subset
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class HarnessTest : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(HarnessTest, SynthesizesVerifiesAndSpeedsUp) {
+  const BenchmarkDef *Def = findBenchmark(GetParam());
+  ASSERT_NE(Def, nullptr);
+  BenchmarkRun Run = synthesizeBenchmark(*Def, evaluationConfig(45));
+  EXPECT_FALSE(Run.Synthesis.TimedOut) << Def->Name;
+  // Equivalence is checked internally (aborts on mismatch).
+  verifyRunEquivalence(Run);
+  EXPECT_TRUE(Run.Synthesis.Improved) << Def->Name;
+
+  // On the eager backend, the optimized program must actually be faster.
+  backend::BackendConfig NumPy;
+  SpeedupResult Speedup = measureSpeedup(Run, NumPy, /*Reps=*/3);
+  EXPECT_GT(Speedup.speedup(), 1.1) << Def->Name << ": "
+                                    << Run.Synthesis.OptimizedSource;
+}
+
+INSTANTIATE_TEST_SUITE_P(RepresentativeBenchmarks, HarnessTest,
+                         ::testing::Values("diag_dot", "log_exp_1",
+                                           "elem_square", "vec_lerp",
+                                           "trace_dot", "synth_3",
+                                           "synth_12", "sum_stack"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
+
+TEST(HarnessTest2, TimeoutEnvOverride) {
+  setenv("STENSO_TIMEOUT", "123.5", 1);
+  EXPECT_DOUBLE_EQ(suiteTimeoutSeconds(30), 123.5);
+  setenv("STENSO_TIMEOUT", "garbage", 1);
+  EXPECT_DOUBLE_EQ(suiteTimeoutSeconds(30), 30);
+  unsetenv("STENSO_TIMEOUT");
+  EXPECT_DOUBLE_EQ(suiteTimeoutSeconds(45), 45);
+}

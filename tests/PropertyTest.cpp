@@ -1,0 +1,221 @@
+//===- PropertyTest.cpp - Randomized end-to-end properties ----------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based testing across the whole stack:
+///
+///   * random well-typed DSL programs evaluate identically under the
+///     reference interpreter, all three backend presets, and the
+///     symbolic executor;
+///   * whatever the synthesizer returns for a random program is
+///     equivalent to it and never costlier;
+///   * printing and re-parsing a random program preserves semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/ExecutionEngine.h"
+#include "dsl/Interpreter.h"
+#include "dsl/Parser.h"
+#include "dsl/Printer.h"
+#include "support/RNG.h"
+#include "symbolic/Evaluator.h"
+#include "symexec/SymbolicExecutor.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace stenso;
+using namespace stenso::dsl;
+
+namespace {
+
+/// Generates random well-typed DSL programs over a fixed input signature.
+class ProgramFuzzer {
+public:
+  ProgramFuzzer(uint64_t Seed) : Rng(Seed) {}
+
+  /// Builds a random program with inputs A,B (vectors), M (matrix), and
+  /// s (scalar).
+  std::unique_ptr<Program> generate(int MaxOps) {
+    auto P = std::make_unique<Program>();
+    TensorType Vec{DType::Float64, Shape({5})};
+    TensorType Mat{DType::Float64, Shape({4, 5})};
+    TensorType Scal{DType::Float64, Shape()};
+    std::vector<const Node *> Pool = {
+        P->input("A", Vec), P->input("B", Vec), P->input("M", Mat),
+        P->input("s", Scal), P->constant(Rational(2)),
+        P->constant(Rational(1, 2))};
+
+    for (int Step = 0; Step < MaxOps; ++Step) {
+      const Node *Made = randomOp(*P, Pool);
+      if (Made)
+        Pool.push_back(Made);
+    }
+    // Root: the last non-leaf node if any, else a trivial op.
+    for (auto It = Pool.rbegin(); It != Pool.rend(); ++It)
+      if (!(*It)->isInput() && !(*It)->isConstant()) {
+        P->setRoot(*It);
+        return P;
+      }
+    P->setRoot(P->add(Pool[0], Pool[1]));
+    return P;
+  }
+
+  RNG &rng() { return Rng; }
+
+private:
+  const Node *pick(const std::vector<const Node *> &Pool) {
+    return Pool[static_cast<size_t>(
+        Rng.uniformInt(0, static_cast<int64_t>(Pool.size()) - 1))];
+  }
+
+  const Node *randomOp(Program &P, const std::vector<const Node *> &Pool) {
+    switch (Rng.uniformInt(0, 9)) {
+    case 0:
+      return P.tryMake(OpKind::Add, {pick(Pool), pick(Pool)});
+    case 1:
+      return P.tryMake(OpKind::Subtract, {pick(Pool), pick(Pool)});
+    case 2:
+      return P.tryMake(OpKind::Multiply, {pick(Pool), pick(Pool)});
+    case 3:
+      return P.tryMake(OpKind::Divide, {pick(Pool), pick(Pool)});
+    case 4:
+      return P.tryMake(OpKind::Sqrt, {pick(Pool)});
+    case 5:
+      return P.tryMake(OpKind::Maximum, {pick(Pool), pick(Pool)});
+    case 6:
+      return P.tryMake(OpKind::Dot, {pick(Pool), pick(Pool)});
+    case 7: {
+      const Node *Operand = pick(Pool);
+      if (Operand->getType().TShape.getRank() == 0)
+        return nullptr;
+      NodeAttrs Attrs;
+      Attrs.Axis = Rng.uniformInt(0, Operand->getType().TShape.getRank() - 1);
+      return P.tryMake(OpKind::Sum, {Operand}, Attrs);
+    }
+    case 8:
+      return P.tryMake(OpKind::Transpose, {pick(Pool)});
+    default:
+      return P.tryMake(OpKind::Power,
+                       {pick(Pool), P.constant(Rational(2))});
+    }
+  }
+
+  RNG Rng;
+};
+
+InputBinding randomInputsFor(const Program &P, RNG &Rng) {
+  InputBinding Inputs;
+  for (const Node *In : P.getInputs()) {
+    Tensor T(In->getType().TShape);
+    for (int64_t I = 0; I < T.getNumElements(); ++I)
+      T.at(I) = Rng.positive();
+    Inputs.emplace(In->getName(), std::move(T));
+  }
+  return Inputs;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Backends agree with the reference interpreter on random programs
+//===----------------------------------------------------------------------===//
+
+class FuzzSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeedTest, BackendsMatchReferenceInterpreter) {
+  ProgramFuzzer Fuzzer(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  std::unique_ptr<Program> P = Fuzzer.generate(8);
+  InputBinding Inputs = randomInputsFor(*P, Fuzzer.rng());
+  Tensor Expected = interpretProgram(*P, Inputs);
+  if (!Expected.allClose(Expected))
+    GTEST_SKIP() << "program produced NaN (division chains)";
+
+  for (backend::FrameworkKind Kind :
+       {backend::FrameworkKind::NumPyEager, backend::FrameworkKind::XlaLike,
+        backend::FrameworkKind::InductorLike}) {
+    backend::BackendConfig Config;
+    Config.Kind = Kind;
+    backend::ExecutionEngine Engine(Config);
+    Engine.compile(*P);
+    EXPECT_TRUE(Engine.execute(Inputs).allClose(Expected, 1e-7, 1e-9))
+        << backend::toString(Kind) << " on " << printProgram(*P);
+  }
+}
+
+TEST_P(FuzzSeedTest, SymbolicExecutionMatchesConcrete) {
+  ProgramFuzzer Fuzzer(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  std::unique_ptr<Program> P = Fuzzer.generate(6);
+  InputBinding Inputs = randomInputsFor(*P, Fuzzer.rng());
+  Tensor Concrete = interpretProgram(*P, Inputs);
+  if (!Concrete.allClose(Concrete))
+    GTEST_SKIP() << "program produced NaN";
+
+  sym::ExprContext Ctx;
+  symexec::SymTensor Spec = symexec::computeSpec(*P, Ctx);
+  ASSERT_EQ(Spec.getShape(), Concrete.getShape());
+
+  sym::Environment Env;
+  for (const sym::Expr *E : Spec.getElements())
+    for (const sym::SymbolExpr *S : sym::collectSymbols(E)) {
+      const Tensor &T = Inputs.at(S->getTensorName());
+      int64_t Flat = S->getIndices().empty()
+                         ? 0
+                         : T.getShape().linearize(S->getIndices());
+      Env.emplace(S, T.at(Flat));
+    }
+  for (int64_t I = 0; I < Concrete.getNumElements(); ++I) {
+    double Symbolic = sym::evaluate(Spec.at(I), Env);
+    double Scale = std::max(1.0, std::fabs(Symbolic));
+    EXPECT_NEAR(Concrete.at(I), Symbolic, 1e-7 * Scale)
+        << printProgram(*P) << " element " << I;
+  }
+}
+
+TEST_P(FuzzSeedTest, PrintParseRoundTripPreservesSemantics) {
+  ProgramFuzzer Fuzzer(static_cast<uint64_t>(GetParam()) * 31337 + 3);
+  std::unique_ptr<Program> P = Fuzzer.generate(8);
+  std::string Printed = printProgram(*P);
+
+  InputDecls Decls;
+  for (const Node *In : P->getInputs())
+    Decls.emplace_back(In->getName(), In->getType());
+  ParseResult Reparsed = parseProgram(Printed, Decls);
+  ASSERT_TRUE(Reparsed) << Printed << ": " << Reparsed.Error;
+
+  InputBinding Inputs = randomInputsFor(*P, Fuzzer.rng());
+  Tensor A = interpretProgram(*P, Inputs);
+  Tensor B = interpretProgram(*Reparsed.Prog, Inputs);
+  if (!A.allClose(A))
+    GTEST_SKIP() << "program produced NaN";
+  EXPECT_TRUE(A.allClose(B, 1e-9)) << Printed;
+}
+
+TEST_P(FuzzSeedTest, SynthesisResultIsEquivalentAndNoCostlier) {
+  ProgramFuzzer Fuzzer(static_cast<uint64_t>(GetParam()) * 15485863 + 1);
+  std::unique_ptr<Program> P = Fuzzer.generate(5);
+  InputBinding Probe = randomInputsFor(*P, Fuzzer.rng());
+  Tensor Expected = interpretProgram(*P, Probe);
+  if (!Expected.allClose(Expected))
+    GTEST_SKIP() << "program produced NaN";
+
+  synth::SynthesisConfig Config; // analytic model: deterministic and fast
+  Config.TimeoutSeconds = 20;
+  synth::SynthesisResult R = synth::Synthesizer(Config).run(*P);
+  EXPECT_LE(R.OptimizedCost, R.OriginalCost) << printProgram(*P);
+  if (!R.Improved)
+    return;
+  ASSERT_TRUE(R.Optimized);
+  for (int Trial = 0; Trial < 3; ++Trial) {
+    InputBinding Inputs = randomInputsFor(*P, Fuzzer.rng());
+    Tensor Want = interpretProgram(*P, Inputs);
+    Tensor Got = interpretProgram(*R.Optimized, Inputs);
+    EXPECT_TRUE(Want.allClose(Got, 1e-6, 1e-8))
+        << printProgram(*P) << "  =>  " << R.OptimizedSource;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest, ::testing::Range(0, 12));

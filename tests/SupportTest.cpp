@@ -1,0 +1,264 @@
+//===- SupportTest.cpp - Unit tests for the support library ---------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Hashing.h"
+#include "support/RNG.h"
+#include "support/Rational.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace stenso;
+
+//===----------------------------------------------------------------------===//
+// Rational
+//===----------------------------------------------------------------------===//
+
+TEST(RationalTest, NormalizesOnConstruction) {
+  Rational R(6, 4);
+  EXPECT_EQ(R.getNumerator(), 3);
+  EXPECT_EQ(R.getDenominator(), 2);
+}
+
+TEST(RationalTest, NegativeDenominatorMovesSign) {
+  Rational R(3, -6);
+  EXPECT_EQ(R.getNumerator(), -1);
+  EXPECT_EQ(R.getDenominator(), 2);
+  EXPECT_TRUE(R.isNegative());
+}
+
+TEST(RationalTest, ZeroIsCanonical) {
+  Rational R(0, -7);
+  EXPECT_TRUE(R.isZero());
+  EXPECT_EQ(R.getDenominator(), 1);
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+  EXPECT_GE(Rational(7, 7), Rational(1));
+}
+
+TEST(RationalTest, IntegerPower) {
+  EXPECT_EQ(Rational(2, 3).pow(3), Rational(8, 27));
+  EXPECT_EQ(Rational(2).pow(0), Rational(1));
+  EXPECT_EQ(Rational(2).pow(-2), Rational(1, 4));
+  EXPECT_EQ(Rational(-2).pow(3), Rational(-8));
+}
+
+TEST(RationalTest, NthRootExact) {
+  Rational Root;
+  ASSERT_TRUE(Rational(4, 9).nthRoot(2, Root));
+  EXPECT_EQ(Root, Rational(2, 3));
+  ASSERT_TRUE(Rational(27).nthRoot(3, Root));
+  EXPECT_EQ(Root, Rational(3));
+  ASSERT_TRUE(Rational(-8).nthRoot(3, Root));
+  EXPECT_EQ(Root, Rational(-2));
+}
+
+TEST(RationalTest, NthRootInexactFails) {
+  Rational Root;
+  EXPECT_FALSE(Rational(2).nthRoot(2, Root));
+  EXPECT_FALSE(Rational(-4).nthRoot(2, Root));
+  EXPECT_FALSE(Rational(10, 3).nthRoot(2, Root));
+}
+
+TEST(RationalTest, ToDoubleAndString) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).toDouble(), 0.25);
+  EXPECT_EQ(Rational(3, 4).toString(), "3/4");
+  EXPECT_EQ(Rational(5).toString(), "5");
+}
+
+TEST(RationalTest, LargeIntermediateDoesNotOverflow) {
+  // (1/3000000000) + (1/3000000000) would overflow int64 in the cross
+  // product without the 128-bit intermediate.
+  Rational A(1, 3000000000LL);
+  EXPECT_EQ(A + A, Rational(2, 3000000000LL));
+}
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Animal {
+  enum class Kind { Dog, Cat };
+  explicit Animal(Kind K) : K(K) {}
+  Kind getKind() const { return K; }
+
+private:
+  Kind K;
+};
+
+struct Dog : Animal {
+  Dog() : Animal(Kind::Dog) {}
+  static bool classof(const Animal *A) {
+    return A->getKind() == Kind::Dog;
+  }
+};
+
+struct Cat : Animal {
+  Cat() : Animal(Kind::Cat) {}
+  static bool classof(const Animal *A) {
+    return A->getKind() == Kind::Cat;
+  }
+};
+
+} // namespace
+
+TEST(CastingTest, IsaAndDynCast) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_TRUE(isa<Dog>(A));
+  EXPECT_FALSE(isa<Cat>(A));
+  EXPECT_NE(dyn_cast<Dog>(A), nullptr);
+  EXPECT_EQ(dyn_cast<Cat>(A), nullptr);
+  EXPECT_EQ(cast<Dog>(A), &D);
+}
+
+TEST(CastingTest, DynCastOrNullToleratesNull) {
+  Animal *A = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<Dog>(A), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(StatisticsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(geometricMean({1.0, 10.0, 100.0}), 10.0, 1e-12);
+}
+
+TEST(StatisticsTest, Median) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatisticsTest, MeanMinStdDev) {
+  EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(minimum({3.0, 1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(sampleStdDev({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_NEAR(sampleStdDev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// TablePrinter
+//===----------------------------------------------------------------------===//
+
+TEST(TablePrinterTest, AlignedOutputContainsCells) {
+  TablePrinter Table({"name", "value"});
+  Table.addRow({"alpha", "1.00"});
+  Table.addRow({"b", "2.50"});
+  std::ostringstream OS;
+  Table.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  EXPECT_NE(Out.find("2.50"), std::string::npos);
+  EXPECT_NE(Out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CSVQuoting) {
+  TablePrinter Table({"a", "b"});
+  Table.addRow({"x,y", "he said \"hi\""});
+  std::ostringstream OS;
+  Table.printCSV(OS);
+  EXPECT_NE(OS.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(OS.str().find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::formatDouble(2.0, 1), "2.0");
+}
+
+//===----------------------------------------------------------------------===//
+// RNG / Timer / Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(RNGTest, DeterministicFromSeed) {
+  RNG A(42), B(42);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_DOUBLE_EQ(A.uniform(0, 1), B.uniform(0, 1));
+}
+
+TEST(RNGTest, PositiveStaysPositive) {
+  RNG R(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_GT(R.positive(), 0.0);
+}
+
+TEST(RNGTest, UniformIntRespectsBounds) {
+  RNG R(9);
+  for (int I = 0; I < 100; ++I) {
+    int64_t V = R.uniformInt(3, 5);
+    EXPECT_GE(V, 3);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(TimerTest, DeadlineNeverExpiresWithoutBudget) {
+  Deadline D(0);
+  EXPECT_FALSE(D.expired());
+  EXPECT_GT(D.remainingSeconds(), 1e20);
+}
+
+TEST(TimerTest, ElapsedIsMonotonic) {
+  WallTimer T;
+  double A = T.elapsedSeconds();
+  double B = T.elapsedSeconds();
+  EXPECT_LE(A, B);
+}
+
+TEST(HashingTest, CombineIsOrderSensitive) {
+  size_t S1 = 0, S2 = 0;
+  hashCombine(S1, 1);
+  hashCombine(S1, 2);
+  hashCombine(S2, 2);
+  hashCombine(S2, 1);
+  EXPECT_NE(S1, S2);
+}
+
+//===----------------------------------------------------------------------===//
+// Fatal-error paths (death tests)
+//===----------------------------------------------------------------------===//
+
+TEST(FatalErrorDeathTest, RationalDivisionByZeroAborts) {
+  EXPECT_DEATH(Rational(1, 2) / Rational(0),
+               "rational division by zero");
+}
+
+TEST(FatalErrorDeathTest, RationalZeroDenominatorAborts) {
+  EXPECT_DEATH(Rational(1, 0), "zero denominator");
+}
+
+TEST(FatalErrorDeathTest, TableRowArityMismatchAborts) {
+  TablePrinter Table({"a", "b"});
+  EXPECT_DEATH(Table.addRow({"only-one"}), "arity");
+}
+
+TEST(FatalErrorDeathTest, GeomeanOfEmptySampleAborts) {
+  EXPECT_DEATH(geometricMean({}), "empty sample");
+}
+
+TEST(FatalErrorDeathTest, GeomeanOfNegativeAborts) {
+  EXPECT_DEATH(geometricMean({1.0, -2.0}), "positive");
+}

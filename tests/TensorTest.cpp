@@ -1,0 +1,359 @@
+//===- TensorTest.cpp - Unit tests for the tensor runtime -----------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/TensorOps.h"
+
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace stenso;
+
+static Tensor makeIota(Shape S, double Start = 1.0) {
+  Tensor T(S);
+  for (int64_t I = 0; I < T.getNumElements(); ++I)
+    T.at(I) = Start + static_cast<double>(I);
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Shape
+//===----------------------------------------------------------------------===//
+
+TEST(ShapeTest, BasicProperties) {
+  Shape S({2, 3, 4});
+  EXPECT_EQ(S.getRank(), 3);
+  EXPECT_EQ(S.getNumElements(), 24);
+  EXPECT_EQ(S.getStrides(), (std::vector<int64_t>{12, 4, 1}));
+}
+
+TEST(ShapeTest, ScalarShape) {
+  Shape S;
+  EXPECT_TRUE(S.isScalar());
+  EXPECT_EQ(S.getNumElements(), 1);
+}
+
+TEST(ShapeTest, LinearizeRoundTrip) {
+  Shape S({3, 4});
+  for (int64_t Flat = 0; Flat < S.getNumElements(); ++Flat)
+    EXPECT_EQ(S.linearize(S.delinearize(Flat)), Flat);
+}
+
+TEST(ShapeTest, NormalizeAxisHandlesNegative) {
+  Shape S({2, 5});
+  EXPECT_EQ(S.normalizeAxis(-1), 1);
+  EXPECT_EQ(S.normalizeAxis(0), 0);
+}
+
+TEST(ShapeTest, DropAndInsertAxis) {
+  Shape S({2, 3, 4});
+  EXPECT_EQ(S.dropAxis(1), Shape({2, 4}));
+  EXPECT_EQ(S.insertAxis(0, 7), Shape({7, 2, 3, 4}));
+}
+
+TEST(ShapeTest, BroadcastRules) {
+  EXPECT_EQ(*Shape::broadcast({3, 1}, {1, 4}), Shape({3, 4}));
+  EXPECT_EQ(*Shape::broadcast({5}, {2, 5}), Shape({2, 5}));
+  EXPECT_EQ(*Shape::broadcast({}, {2, 2}), Shape({2, 2}));
+  EXPECT_FALSE(Shape::broadcast({3}, {4}).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Elementwise ops
+//===----------------------------------------------------------------------===//
+
+TEST(TensorOpsTest, AddSameShape) {
+  Tensor A = makeIota({2, 2});
+  Tensor B = makeIota({2, 2}, 10.0);
+  Tensor C = tops::add(A, B);
+  EXPECT_DOUBLE_EQ(C.at({0, 0}), 11.0);
+  EXPECT_DOUBLE_EQ(C.at({1, 1}), 17.0);
+}
+
+TEST(TensorOpsTest, BroadcastScalar) {
+  Tensor A = makeIota({2, 3});
+  Tensor C = tops::multiply(A, Tensor::scalar(2.0));
+  EXPECT_EQ(C.getShape(), Shape({2, 3}));
+  for (int64_t I = 0; I < 6; ++I)
+    EXPECT_DOUBLE_EQ(C.at(I), 2.0 * A.at(I));
+}
+
+TEST(TensorOpsTest, BroadcastRowAndColumn) {
+  Tensor Col(Shape({3, 1}), {1, 2, 3});
+  Tensor Row(Shape({1, 4}), {10, 20, 30, 40});
+  Tensor C = tops::add(Col, Row);
+  EXPECT_EQ(C.getShape(), Shape({3, 4}));
+  EXPECT_DOUBLE_EQ(C.at({0, 0}), 11.0);
+  EXPECT_DOUBLE_EQ(C.at({2, 3}), 43.0);
+}
+
+TEST(TensorOpsTest, SubtractDividePower) {
+  Tensor A(Shape({2}), {8, 27});
+  Tensor B(Shape({2}), {2, 3});
+  EXPECT_DOUBLE_EQ(tops::subtract(A, B).at(1), 24.0);
+  EXPECT_DOUBLE_EQ(tops::divide(A, B).at(0), 4.0);
+  EXPECT_DOUBLE_EQ(tops::power(B, Tensor::scalar(3.0)).at(1), 27.0);
+}
+
+TEST(TensorOpsTest, UnaryMathMatchesStd) {
+  Tensor A(Shape({3}), {1.0, 4.0, 9.0});
+  EXPECT_DOUBLE_EQ(tops::sqrt(A).at(2), 3.0);
+  EXPECT_DOUBLE_EQ(tops::exp(A).at(0), std::exp(1.0));
+  EXPECT_DOUBLE_EQ(tops::log(A).at(1), std::log(4.0));
+  EXPECT_DOUBLE_EQ(tops::negate(A).at(0), -1.0);
+}
+
+TEST(TensorOpsTest, MaximumMinimumLess) {
+  Tensor A(Shape({3}), {1, 5, 3});
+  Tensor B(Shape({3}), {2, 4, 3});
+  EXPECT_DOUBLE_EQ(tops::maximum(A, B).at(0), 2.0);
+  EXPECT_DOUBLE_EQ(tops::minimum(A, B).at(1), 4.0);
+  Tensor L = tops::less(A, B);
+  EXPECT_EQ(L.getDType(), DType::Bool);
+  EXPECT_DOUBLE_EQ(L.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(L.at(1), 0.0);
+  EXPECT_DOUBLE_EQ(L.at(2), 0.0);
+}
+
+TEST(TensorOpsTest, WhereSelectsByMask) {
+  Tensor Cond(Shape({3}), {1, 0, 1}, DType::Bool);
+  Tensor A(Shape({3}), {10, 20, 30});
+  Tensor B(Shape({3}), {-1, -2, -3});
+  Tensor W = tops::where(Cond, A, B);
+  EXPECT_DOUBLE_EQ(W.at(0), 10.0);
+  EXPECT_DOUBLE_EQ(W.at(1), -2.0);
+  EXPECT_DOUBLE_EQ(W.at(2), 30.0);
+}
+
+TEST(TensorOpsTest, TriuTril) {
+  Tensor A = makeIota({3, 3});
+  Tensor U = tops::triu(A);
+  Tensor L = tops::tril(A);
+  EXPECT_DOUBLE_EQ(U.at({1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(U.at({0, 1}), A.at({0, 1}));
+  EXPECT_DOUBLE_EQ(L.at({0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(L.at({1, 0}), A.at({1, 0}));
+  // Diagonal survives in both.
+  EXPECT_DOUBLE_EQ(U.at({1, 1}), A.at({1, 1}));
+  EXPECT_DOUBLE_EQ(L.at({1, 1}), A.at({1, 1}));
+}
+
+//===----------------------------------------------------------------------===//
+// Linear algebra
+//===----------------------------------------------------------------------===//
+
+TEST(TensorOpsTest, DotInnerProduct) {
+  Tensor A(Shape({3}), {1, 2, 3});
+  Tensor B(Shape({3}), {4, 5, 6});
+  Tensor C = tops::dot(A, B);
+  EXPECT_TRUE(C.getShape().isScalar());
+  EXPECT_DOUBLE_EQ(C.item(), 32.0);
+}
+
+TEST(TensorOpsTest, DotMatMul) {
+  Tensor A(Shape({2, 2}), {1, 2, 3, 4});
+  Tensor B(Shape({2, 2}), {5, 6, 7, 8});
+  Tensor C = tops::dot(A, B);
+  EXPECT_DOUBLE_EQ(C.at({0, 0}), 19.0);
+  EXPECT_DOUBLE_EQ(C.at({0, 1}), 22.0);
+  EXPECT_DOUBLE_EQ(C.at({1, 0}), 43.0);
+  EXPECT_DOUBLE_EQ(C.at({1, 1}), 50.0);
+}
+
+TEST(TensorOpsTest, DotMatVec) {
+  Tensor A(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor X(Shape({3}), {1, 0, -1});
+  Tensor C = tops::dot(A, X);
+  EXPECT_EQ(C.getShape(), Shape({2}));
+  EXPECT_DOUBLE_EQ(C.at(0), -2.0);
+  EXPECT_DOUBLE_EQ(C.at(1), -2.0);
+}
+
+TEST(TensorOpsTest, DotVecMat) {
+  Tensor X(Shape({2}), {1, 2});
+  Tensor A(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor C = tops::dot(X, A);
+  EXPECT_EQ(C.getShape(), Shape({3}));
+  EXPECT_DOUBLE_EQ(C.at(0), 9.0);
+  EXPECT_DOUBLE_EQ(C.at(2), 15.0);
+}
+
+TEST(TensorOpsTest, DotScalarMultiplies) {
+  Tensor A = makeIota({2, 2});
+  Tensor C = tops::dot(Tensor::scalar(3.0), A);
+  EXPECT_DOUBLE_EQ(C.at({1, 1}), 12.0);
+}
+
+TEST(TensorOpsTest, DotHigherRankMatchesNumPyRule) {
+  // (r, q, 1, p) . (p, m) -> (r, q, 1, m)
+  Tensor A = makeIota({2, 3, 1, 4});
+  Tensor B = makeIota({4, 2});
+  Tensor C = tops::dot(A, B);
+  EXPECT_EQ(C.getShape(), Shape({2, 3, 1, 2}));
+  // Check one element by hand: C[0,0,0,0] = sum_k A[0,0,0,k] * B[k,0].
+  double Expected = 0;
+  for (int64_t K = 0; K < 4; ++K)
+    Expected += A.at({0, 0, 0, K}) * B.at({K, 0});
+  EXPECT_DOUBLE_EQ(C.at({0, 0, 0, 0}), Expected);
+}
+
+TEST(TensorOpsTest, TensordotMatMulEquivalence) {
+  Tensor A = makeIota({2, 3});
+  Tensor B = makeIota({3, 4});
+  Tensor ViaDot = tops::dot(A, B);
+  Tensor ViaTD = tops::tensordot(A, B, {1}, {0});
+  EXPECT_TRUE(ViaDot.allClose(ViaTD));
+}
+
+TEST(TensorOpsTest, TensordotDoubleContraction) {
+  Tensor A = makeIota({2, 3});
+  Tensor B = makeIota({2, 3});
+  Tensor C = tops::tensordot(A, B, {0, 1}, {0, 1});
+  // Full contraction equals sum of elementwise product.
+  Tensor Expected = tops::sumAll(tops::multiply(A, B));
+  EXPECT_TRUE(C.allClose(Expected));
+}
+
+TEST(TensorOpsTest, DiagAndTrace) {
+  Tensor A = makeIota({3, 3});
+  Tensor D = tops::diag(A);
+  EXPECT_EQ(D.getShape(), Shape({3}));
+  EXPECT_DOUBLE_EQ(D.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(D.at(2), 9.0);
+  EXPECT_DOUBLE_EQ(tops::trace(A).item(), 15.0);
+}
+
+TEST(TensorOpsTest, DiagOfDotEqualsSumOfMulTranspose) {
+  // The paper's headline identity: diag(A @ B) == sum(A * B^T, axis=1).
+  RNG R(11);
+  Tensor A(Shape({4, 4})), B(Shape({4, 4}));
+  for (int64_t I = 0; I < 16; ++I) {
+    A.at(I) = R.uniform(-2, 2);
+    B.at(I) = R.uniform(-2, 2);
+  }
+  Tensor Lhs = tops::diag(tops::dot(A, B));
+  Tensor Rhs = tops::sum(tops::multiply(A, tops::transpose(B)), 1);
+  EXPECT_TRUE(Lhs.allClose(Rhs));
+}
+
+//===----------------------------------------------------------------------===//
+// Shape manipulation and reductions
+//===----------------------------------------------------------------------===//
+
+TEST(TensorOpsTest, TransposeDefaultReverses) {
+  Tensor A = makeIota({2, 3});
+  Tensor T = tops::transpose(A);
+  EXPECT_EQ(T.getShape(), Shape({3, 2}));
+  EXPECT_DOUBLE_EQ(T.at({2, 1}), A.at({1, 2}));
+}
+
+TEST(TensorOpsTest, TransposeWithPermutation) {
+  Tensor A = makeIota({2, 3, 4});
+  Tensor T = tops::transpose(A, {1, 2, 0});
+  EXPECT_EQ(T.getShape(), Shape({3, 4, 2}));
+  EXPECT_DOUBLE_EQ(T.at({2, 3, 1}), A.at({1, 2, 3}));
+}
+
+TEST(TensorOpsTest, DoubleTransposeIsIdentity) {
+  Tensor A = makeIota({3, 5});
+  EXPECT_TRUE(tops::transpose(tops::transpose(A)).allClose(A));
+}
+
+TEST(TensorOpsTest, ReshapePreservesData) {
+  Tensor A = makeIota({2, 6});
+  Tensor B = tops::reshape(A, Shape({3, 4}));
+  EXPECT_EQ(B.getShape(), Shape({3, 4}));
+  for (int64_t I = 0; I < 12; ++I)
+    EXPECT_DOUBLE_EQ(B.at(I), A.at(I));
+}
+
+TEST(TensorOpsTest, StackAxisZero) {
+  Tensor A = makeIota({2});
+  Tensor B = makeIota({2}, 10.0);
+  Tensor S = tops::stack({A, B}, 0);
+  EXPECT_EQ(S.getShape(), Shape({2, 2}));
+  EXPECT_DOUBLE_EQ(S.at({0, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(S.at({1, 0}), 10.0);
+}
+
+TEST(TensorOpsTest, StackInnerAxis) {
+  Tensor A = makeIota({2});
+  Tensor B = makeIota({2}, 10.0);
+  Tensor S = tops::stack({A, B}, 1);
+  EXPECT_EQ(S.getShape(), Shape({2, 2}));
+  EXPECT_DOUBLE_EQ(S.at({0, 1}), 10.0);
+  EXPECT_DOUBLE_EQ(S.at({1, 0}), 2.0);
+}
+
+TEST(TensorOpsTest, SumReductions) {
+  Tensor A = makeIota({2, 3});
+  EXPECT_DOUBLE_EQ(tops::sumAll(A).item(), 21.0);
+  Tensor S0 = tops::sum(A, 0);
+  EXPECT_EQ(S0.getShape(), Shape({3}));
+  EXPECT_DOUBLE_EQ(S0.at(0), 5.0);
+  Tensor S1 = tops::sum(A, -1);
+  EXPECT_EQ(S1.getShape(), Shape({2}));
+  EXPECT_DOUBLE_EQ(S1.at(1), 15.0);
+}
+
+TEST(TensorOpsTest, MaxReductions) {
+  Tensor A(Shape({2, 2}), {4, -1, 0, 9});
+  EXPECT_DOUBLE_EQ(tops::maxAll(A).item(), 9.0);
+  Tensor M0 = tops::max(A, 0);
+  EXPECT_DOUBLE_EQ(M0.at(0), 4.0);
+  EXPECT_DOUBLE_EQ(M0.at(1), 9.0);
+}
+
+TEST(TensorTest, AllCloseDetectsMismatch) {
+  Tensor A = makeIota({2, 2});
+  Tensor B = makeIota({2, 2});
+  EXPECT_TRUE(A.allClose(B));
+  B.at(3) += 1e-3;
+  EXPECT_FALSE(A.allClose(B));
+  EXPECT_FALSE(A.allClose(makeIota({4})));
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor F = Tensor::full(Shape({2, 2}), 7.5);
+  EXPECT_DOUBLE_EQ(F.at(3), 7.5);
+  EXPECT_DOUBLE_EQ(Tensor::scalar(3.0).item(), 3.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Fatal-error paths (death tests)
+//===----------------------------------------------------------------------===//
+
+TEST(TensorDeathTest, BroadcastMismatchAborts) {
+  Tensor A(Shape({3})), B(Shape({4}));
+  EXPECT_DEATH(tops::add(A, B), "not broadcastable");
+}
+
+TEST(TensorDeathTest, DotContractionMismatchAborts) {
+  Tensor A(Shape({2, 3})), B(Shape({4, 2}));
+  EXPECT_DEATH(tops::dot(A, B), "contracted extents differ");
+}
+
+TEST(TensorDeathTest, TriuOnVectorAborts) {
+  Tensor A(Shape({4}));
+  EXPECT_DEATH(tops::triu(A), "rank-2");
+}
+
+TEST(TensorDeathTest, ReshapeElementMismatchAborts) {
+  Tensor A(Shape({2, 3}));
+  EXPECT_DEATH(tops::reshape(A, Shape({5})), "changes element count");
+}
+
+TEST(TensorDeathTest, StackEmptyAborts) {
+  std::vector<Tensor> None;
+  EXPECT_DEATH(tops::stack(None), "zero tensors");
+}
+
+TEST(TensorDeathTest, AxisOutOfRangeAborts) {
+  Tensor A(Shape({2, 3}));
+  EXPECT_DEATH(tops::sum(A, 5), "out of range");
+}

@@ -1,0 +1,85 @@
+//===- VerifyTest.cpp - Tests for the equivalence checker ------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Equivalence.h"
+
+#include "dsl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace stenso;
+using namespace stenso::dsl;
+using namespace stenso::verify;
+
+namespace {
+
+TensorType f64(std::initializer_list<int64_t> Dims) {
+  return TensorType{DType::Float64, Shape(Dims)};
+}
+
+Verdict check(const std::string &A, const std::string &B,
+              const InputDecls &Decls, Options Opts = Options()) {
+  auto PA = parseProgram(A, Decls);
+  auto PB = parseProgram(B, Decls);
+  EXPECT_TRUE(PA && PB) << PA.Error << PB.Error;
+  return checkEquivalence(*PA.Prog, *PB.Prog, Opts);
+}
+
+} // namespace
+
+TEST(VerifyTest, ProvesAlgebraicIdentities) {
+  InputDecls Decls = {{"A", f64({3, 3})}, {"B", f64({3, 3})}};
+  EXPECT_EQ(check("np.diag(np.dot(A, B))", "np.sum(A * B.T, axis=1)", Decls),
+            Verdict::ProvenEquivalent);
+  EXPECT_EQ(check("np.exp(np.log(A))", "A", Decls),
+            Verdict::ProvenEquivalent);
+  EXPECT_EQ(check("A * B + A * B", "2 * A * B", Decls),
+            Verdict::ProvenEquivalent);
+}
+
+TEST(VerifyTest, RefutesWithCounterexamples) {
+  InputDecls Decls = {{"A", f64({4})}, {"B", f64({4})}};
+  EXPECT_EQ(check("A + B", "A * B", Decls), Verdict::NotEquivalent);
+  EXPECT_EQ(check("A - B", "B - A", Decls), Verdict::NotEquivalent);
+}
+
+TEST(VerifyTest, RandomOnlyModeDowngradesToProbable) {
+  InputDecls Decls = {{"A", f64({4})}};
+  Options Opts;
+  Opts.RandomOnly = true;
+  EXPECT_EQ(check("np.power(A, 2)", "A * A", Decls, Opts),
+            Verdict::ProbablyEquivalent);
+}
+
+TEST(VerifyTest, IncomparableOnTypeMismatch) {
+  // Different output shapes.
+  InputDecls Decls = {{"A", f64({3, 4})}};
+  EXPECT_EQ(check("np.sum(A, axis=0)", "np.sum(A, axis=1)", Decls),
+            Verdict::Incomparable);
+}
+
+TEST(VerifyTest, DisjointInputsAreAllowed) {
+  // B appears only on one side; it is simply ignored by the other.
+  auto PA = parseProgram("A + 0 * B", {{"A", f64({4})}, {"B", f64({4})}});
+  auto PB = parseProgram("A", {{"A", f64({4})}});
+  ASSERT_TRUE(PA && PB);
+  EXPECT_EQ(checkEquivalence(*PA.Prog, *PB.Prog),
+            Verdict::ProvenEquivalent);
+}
+
+TEST(VerifyTest, ConflictingInputTypesAreIncomparable) {
+  auto PA = parseProgram("A", {{"A", f64({4})}});
+  auto PB = parseProgram("A + A", {{"A", f64({2, 2})}});
+  ASSERT_TRUE(PA && PB);
+  EXPECT_EQ(checkEquivalence(*PA.Prog, *PB.Prog), Verdict::Incomparable);
+}
+
+TEST(VerifyTest, ComprehensionEquivalence) {
+  InputDecls Decls = {{"A", f64({4})}, {"x", f64({})}, {"y", f64({})}};
+  EXPECT_EQ(check("np.stack([(x*a + (1 - a)*y) for a in A])",
+                  "x*A + (1 - A)*y", Decls),
+            Verdict::ProvenEquivalent);
+}

@@ -1,0 +1,309 @@
+//===- stenso-opt.cpp - Command-line superoptimizer driver -----------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C++ counterpart of the paper artifact's `stenso/main.py`
+/// (Appendix F):
+///
+///   stenso-opt --program original.stenso [--synth_out optimized.stenso]
+///              [--cost_estimator flops|measured] [--timeout SECONDS]
+///              [--stats] [--rule]
+///
+/// Program files declare their inputs and give one expression:
+///
+///   # comment lines start with '#'
+///   input A f64[96,96]
+///   input B f64[96,96]
+///   np.diag(np.dot(A, B))
+///
+/// Shapes in `input` lines are the *search* shapes; an optional
+/// `scale SMALL FULL` line maps a search extent to the production extent
+/// for cost estimation (paper Section VI-C).
+///
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Parser.h"
+#include "dsl/Printer.h"
+#include "evalsuite/RewriteRuleMiner.h"
+#include "evalsuite/RuleBook.h"
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "synth/Synthesizer.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace stenso;
+using namespace stenso::dsl;
+
+namespace {
+
+struct ProgramFile {
+  InputDecls Inputs;
+  synth::ShapeScaler Scaler;
+  std::string Source;
+};
+
+/// Parses "f64[4,4]", "bool[8]", "f64" (scalar).
+bool parseTypeSpec(const std::string &Spec, TensorType &Out,
+                   std::string &Error) {
+  size_t Bracket = Spec.find('[');
+  std::string DtypeName = Spec.substr(0, Bracket);
+  if (DtypeName == "f64")
+    Out.Dtype = DType::Float64;
+  else if (DtypeName == "bool")
+    Out.Dtype = DType::Bool;
+  else {
+    Error = "unknown dtype '" + DtypeName + "' (use f64 or bool)";
+    return false;
+  }
+  std::vector<int64_t> Dims;
+  if (Bracket != std::string::npos) {
+    if (Spec.back() != ']') {
+      Error = "missing ']' in type '" + Spec + "'";
+      return false;
+    }
+    std::string Body = Spec.substr(Bracket + 1,
+                                   Spec.size() - Bracket - 2);
+    std::istringstream SS(Body);
+    std::string Piece;
+    while (std::getline(SS, Piece, ',')) {
+      std::optional<int64_t> Dim = parseInt64(Piece);
+      if (!Dim || *Dim < 0)
+        return false;
+      Dims.push_back(*Dim);
+    }
+  }
+  Out.TShape = Shape(Dims);
+  return true;
+}
+
+bool loadProgramFile(const std::string &Path, ProgramFile &Out,
+                     std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Line;
+  std::string Expression;
+  while (std::getline(In, Line)) {
+    // Trim.
+    size_t Begin = Line.find_first_not_of(" \t");
+    if (Begin == std::string::npos)
+      continue;
+    size_t End = Line.find_last_not_of(" \t\r");
+    Line = Line.substr(Begin, End - Begin + 1);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+
+    std::istringstream SS(Line);
+    std::string Keyword;
+    SS >> Keyword;
+    if (Keyword == "input") {
+      std::string Name, Spec;
+      SS >> Name >> Spec;
+      TensorType Type;
+      if (Name.empty() || Spec.empty() ||
+          !parseTypeSpec(Spec, Type, Error)) {
+        if (Error.empty())
+          Error = "malformed input line: " + Line;
+        return false;
+      }
+      Out.Inputs.emplace_back(Name, Type);
+      continue;
+    }
+    if (Keyword == "scale") {
+      int64_t Small = 0, Full = 0;
+      SS >> Small >> Full;
+      if (Small <= 0 || Full <= 0) {
+        Error = "malformed scale line: " + Line;
+        return false;
+      }
+      Out.Scaler.addMapping(Small, Full);
+      continue;
+    }
+    // Everything else is (part of) the expression.
+    if (!Expression.empty())
+      Expression += " ";
+    Expression += Line;
+  }
+  if (Expression.empty()) {
+    Error = "no expression found in '" + Path + "'";
+    return false;
+  }
+  Out.Source = Expression;
+  return true;
+}
+
+int usage() {
+  std::cerr
+      << "usage: stenso-opt --program FILE [options]\n"
+         "\n"
+         "options:\n"
+         "  --program FILE          source program (required)\n"
+         "  --synth_out FILE        write the optimized program here\n"
+         "                          (default: print to stdout)\n"
+         "  --cost_estimator NAME   flops | measured (default: measured)\n"
+         "  --timeout SECONDS       synthesis budget (default: 60)\n"
+         "  --no-branch-and-bound   disable cost pruning (ablation)\n"
+         "  --stats                 print search statistics\n"
+         "  --rule                  print the generalized rewrite rule\n"
+         "  --rules_out FILE        append the mined rule to a rule file\n"
+         "  --rules_in FILE         skip synthesis; rewrite the program\n"
+         "                          with previously mined rules instead\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string ProgramPath, OutPath, RulesOutPath, RulesInPath;
+  synth::SynthesisConfig Config;
+  Config.CostModelName = "measured";
+  Config.TimeoutSeconds = 60;
+  bool PrintStats = false, PrintRule = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&]() -> std::string {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--program")
+      ProgramPath = Value();
+    else if (Arg == "--synth_out")
+      OutPath = Value();
+    else if (Arg == "--cost_estimator")
+      Config.CostModelName = Value();
+    else if (Arg == "--timeout")
+      Config.TimeoutSeconds = std::atof(Value().c_str());
+    else if (Arg == "--no-branch-and-bound")
+      Config.UseBranchAndBound = false;
+    else if (Arg == "--rules_out")
+      RulesOutPath = Value();
+    else if (Arg == "--rules_in")
+      RulesInPath = Value();
+    else if (Arg == "--stats")
+      PrintStats = true;
+    else if (Arg == "--rule")
+      PrintRule = true;
+    else if (Arg == "--help" || Arg == "-h")
+      return usage();
+    else {
+      std::cerr << "unknown option '" << Arg << "'\n";
+      return usage();
+    }
+  }
+  if (ProgramPath.empty())
+    return usage();
+  if (Config.CostModelName != "flops" && Config.CostModelName != "measured") {
+    std::cerr << "error: unknown cost estimator '" << Config.CostModelName
+              << "'\n";
+    return 2;
+  }
+
+  ProgramFile File;
+  std::string Error;
+  if (!loadProgramFile(ProgramPath, File, Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  ParseResult Parsed = parseProgram(File.Source, File.Inputs);
+  if (!Parsed) {
+    std::cerr << "error: " << Parsed.Error << "\n";
+    return 1;
+  }
+
+  // Rule-application mode: rewrite with a mined-rule file, no synthesis.
+  if (!RulesInPath.empty()) {
+    std::ifstream RulesIn(RulesInPath);
+    if (!RulesIn) {
+      std::cerr << "error: cannot open '" << RulesInPath << "'\n";
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << RulesIn.rdbuf();
+    std::string RuleError;
+    std::optional<evalsuite::RuleBook> Book =
+        evalsuite::RuleBook::deserialize(Buffer.str(), RuleError);
+    if (!Book) {
+      std::cerr << "error: " << RuleError << "\n";
+      return 1;
+    }
+    dsl::Program Dest;
+    RNG Rng(0x5741);
+    int Applied = 0;
+    const dsl::Node *Out = Book->applyVerified(
+        Dest, Parsed.Prog->getRoot(), Rng, 3, &Applied);
+    std::cerr << Applied << " rule(s) fired out of " << Book->size()
+              << " loaded\n";
+    std::cout << printNode(Out) << "\n";
+    return 0;
+  }
+
+  synth::SynthesisResult Result =
+      synth::Synthesizer(Config).run(*Parsed.Prog, File.Scaler);
+
+  std::cerr << (Result.Improved ? "improved" : "no improvement found")
+            << " in "
+            << TablePrinter::formatDouble(Result.SynthesisSeconds, 2)
+            << " s (cost " << Result.OriginalCost << " -> "
+            << Result.OptimizedCost << ")"
+            << (Result.TimedOut ? " [search timed out]" : "") << "\n";
+
+  if (PrintStats) {
+    const synth::SynthesisStats &S = Result.Stats;
+    std::cerr << "stats: stubs=" << S.NumStubs
+              << " sketches=" << S.NumSketches << " dfs=" << S.DfsCalls
+              << " solver=" << S.SolverSuccesses << "/" << S.SolverCalls
+              << " pruned(cost)=" << S.PrunedByCost
+              << " pruned(simplification)=" << S.PrunedBySimplification
+              << "\n";
+  }
+  if (PrintRule && Result.Improved) {
+    evalsuite::RewriteRule Rule = evalsuite::mineRewriteRule(
+        Parsed.Prog->getRoot(), Result.Optimized->getRoot());
+    std::cerr << "rule: " << Rule.toString() << "\n";
+  }
+  if (!RulesOutPath.empty() && Result.Improved) {
+    evalsuite::RuleBook Book;
+    if (Book.addRule(Parsed.Prog->getRoot(), Result.Optimized->getRoot())) {
+      std::ofstream RulesOut(RulesOutPath, std::ios::app);
+      if (!RulesOut) {
+        std::cerr << "error: cannot write '" << RulesOutPath << "'\n";
+        return 1;
+      }
+      RulesOut << Book.serialize();
+      std::cerr << "rule appended to " << RulesOutPath << "\n";
+    }
+  }
+
+  if (OutPath.empty()) {
+    std::cout << Result.OptimizedSource << "\n";
+  } else {
+    std::ofstream Out(OutPath);
+    if (!Out) {
+      std::cerr << "error: cannot write '" << OutPath << "'\n";
+      return 1;
+    }
+    for (const auto &[Name, Type] : File.Inputs) {
+      Out << "input " << Name << " " << stenso::toString(Type.Dtype);
+      if (Type.TShape.getRank() > 0) {
+        Out << "[";
+        for (int64_t I = 0; I < Type.TShape.getRank(); ++I)
+          Out << (I ? "," : "") << Type.TShape.getDim(I);
+        Out << "]";
+      }
+      Out << "\n";
+    }
+    for (const auto &[Small, Full] : File.Scaler.getMappings())
+      Out << "scale " << Small << " " << Full << "\n";
+    Out << Result.OptimizedSource << "\n";
+  }
+  return 0;
+}
