@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backend.dir/bench/bench_ablation_backend.cpp.o"
+  "CMakeFiles/bench_ablation_backend.dir/bench/bench_ablation_backend.cpp.o.d"
+  "bench/bench_ablation_backend"
+  "bench/bench_ablation_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_egraph_vs_synthesis.dir/bench/bench_egraph_vs_synthesis.cpp.o"
+  "CMakeFiles/bench_egraph_vs_synthesis.dir/bench/bench_egraph_vs_synthesis.cpp.o.d"
+  "bench/bench_egraph_vs_synthesis"
+  "bench/bench_egraph_vs_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_egraph_vs_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

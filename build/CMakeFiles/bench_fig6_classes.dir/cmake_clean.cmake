@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_classes.dir/bench/bench_fig6_classes.cpp.o"
+  "CMakeFiles/bench_fig6_classes.dir/bench/bench_fig6_classes.cpp.o.d"
+  "bench/bench_fig6_classes"
+  "bench/bench_fig6_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_class_speedups.dir/bench/bench_fig7_class_speedups.cpp.o"
+  "CMakeFiles/bench_fig7_class_speedups.dir/bench/bench_fig7_class_speedups.cpp.o.d"
+  "bench/bench_fig7_class_speedups"
+  "bench/bench_fig7_class_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_class_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

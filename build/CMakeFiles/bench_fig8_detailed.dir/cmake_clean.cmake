@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_detailed.dir/bench/bench_fig8_detailed.cpp.o"
+  "CMakeFiles/bench_fig8_detailed.dir/bench/bench_fig8_detailed.cpp.o.d"
+  "bench/bench_fig8_detailed"
+  "bench/bench_fig8_detailed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_detailed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_superopt.dir/batch_superopt.cpp.o"
+  "CMakeFiles/batch_superopt.dir/batch_superopt.cpp.o.d"
+  "batch_superopt"
+  "batch_superopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_superopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for batch_superopt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/framework_comparison.cpp" "examples/CMakeFiles/framework_comparison.dir/framework_comparison.cpp.o" "gcc" "examples/CMakeFiles/framework_comparison.dir/framework_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evalsuite/CMakeFiles/stenso_evalsuite.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/stenso_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/symexec/CMakeFiles/stenso_symexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/stenso_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/stenso_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/stenso_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stenso_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stenso_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

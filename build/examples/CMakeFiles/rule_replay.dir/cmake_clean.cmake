@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_replay.dir/rule_replay.cpp.o"
+  "CMakeFiles/rule_replay.dir/rule_replay.cpp.o.d"
+  "rule_replay"
+  "rule_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

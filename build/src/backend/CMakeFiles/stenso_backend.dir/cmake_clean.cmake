@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso_backend.dir/ExecutionEngine.cpp.o"
+  "CMakeFiles/stenso_backend.dir/ExecutionEngine.cpp.o.d"
+  "CMakeFiles/stenso_backend.dir/RewriteRules.cpp.o"
+  "CMakeFiles/stenso_backend.dir/RewriteRules.cpp.o.d"
+  "libstenso_backend.a"
+  "libstenso_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstenso_backend.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/FlopCost.cpp" "src/dsl/CMakeFiles/stenso_dsl.dir/FlopCost.cpp.o" "gcc" "src/dsl/CMakeFiles/stenso_dsl.dir/FlopCost.cpp.o.d"
+  "/root/repo/src/dsl/Interpreter.cpp" "src/dsl/CMakeFiles/stenso_dsl.dir/Interpreter.cpp.o" "gcc" "src/dsl/CMakeFiles/stenso_dsl.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/dsl/Node.cpp" "src/dsl/CMakeFiles/stenso_dsl.dir/Node.cpp.o" "gcc" "src/dsl/CMakeFiles/stenso_dsl.dir/Node.cpp.o.d"
+  "/root/repo/src/dsl/Ops.cpp" "src/dsl/CMakeFiles/stenso_dsl.dir/Ops.cpp.o" "gcc" "src/dsl/CMakeFiles/stenso_dsl.dir/Ops.cpp.o.d"
+  "/root/repo/src/dsl/Parser.cpp" "src/dsl/CMakeFiles/stenso_dsl.dir/Parser.cpp.o" "gcc" "src/dsl/CMakeFiles/stenso_dsl.dir/Parser.cpp.o.d"
+  "/root/repo/src/dsl/Printer.cpp" "src/dsl/CMakeFiles/stenso_dsl.dir/Printer.cpp.o" "gcc" "src/dsl/CMakeFiles/stenso_dsl.dir/Printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/stenso_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stenso_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

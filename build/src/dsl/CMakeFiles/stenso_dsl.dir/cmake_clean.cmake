@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso_dsl.dir/FlopCost.cpp.o"
+  "CMakeFiles/stenso_dsl.dir/FlopCost.cpp.o.d"
+  "CMakeFiles/stenso_dsl.dir/Interpreter.cpp.o"
+  "CMakeFiles/stenso_dsl.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/stenso_dsl.dir/Node.cpp.o"
+  "CMakeFiles/stenso_dsl.dir/Node.cpp.o.d"
+  "CMakeFiles/stenso_dsl.dir/Ops.cpp.o"
+  "CMakeFiles/stenso_dsl.dir/Ops.cpp.o.d"
+  "CMakeFiles/stenso_dsl.dir/Parser.cpp.o"
+  "CMakeFiles/stenso_dsl.dir/Parser.cpp.o.d"
+  "CMakeFiles/stenso_dsl.dir/Printer.cpp.o"
+  "CMakeFiles/stenso_dsl.dir/Printer.cpp.o.d"
+  "libstenso_dsl.a"
+  "libstenso_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso_egraph.dir/EGraph.cpp.o"
+  "CMakeFiles/stenso_egraph.dir/EGraph.cpp.o.d"
+  "libstenso_egraph.a"
+  "libstenso_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso_evalsuite.dir/Benchmarks.cpp.o"
+  "CMakeFiles/stenso_evalsuite.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/stenso_evalsuite.dir/Classifier.cpp.o"
+  "CMakeFiles/stenso_evalsuite.dir/Classifier.cpp.o.d"
+  "CMakeFiles/stenso_evalsuite.dir/Harness.cpp.o"
+  "CMakeFiles/stenso_evalsuite.dir/Harness.cpp.o.d"
+  "CMakeFiles/stenso_evalsuite.dir/RewriteRuleMiner.cpp.o"
+  "CMakeFiles/stenso_evalsuite.dir/RewriteRuleMiner.cpp.o.d"
+  "CMakeFiles/stenso_evalsuite.dir/RuleBook.cpp.o"
+  "CMakeFiles/stenso_evalsuite.dir/RuleBook.cpp.o.d"
+  "libstenso_evalsuite.a"
+  "libstenso_evalsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso_evalsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stenso_evalsuite.
+# This may be replaced when dependencies are built.

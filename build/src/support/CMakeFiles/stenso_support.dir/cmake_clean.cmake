@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso_support.dir/Error.cpp.o"
+  "CMakeFiles/stenso_support.dir/Error.cpp.o.d"
+  "CMakeFiles/stenso_support.dir/Rational.cpp.o"
+  "CMakeFiles/stenso_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/stenso_support.dir/Statistics.cpp.o"
+  "CMakeFiles/stenso_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/stenso_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/stenso_support.dir/TablePrinter.cpp.o.d"
+  "libstenso_support.a"
+  "libstenso_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

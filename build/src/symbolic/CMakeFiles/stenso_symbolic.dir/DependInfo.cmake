@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/Evaluator.cpp" "src/symbolic/CMakeFiles/stenso_symbolic.dir/Evaluator.cpp.o" "gcc" "src/symbolic/CMakeFiles/stenso_symbolic.dir/Evaluator.cpp.o.d"
+  "/root/repo/src/symbolic/Expr.cpp" "src/symbolic/CMakeFiles/stenso_symbolic.dir/Expr.cpp.o" "gcc" "src/symbolic/CMakeFiles/stenso_symbolic.dir/Expr.cpp.o.d"
+  "/root/repo/src/symbolic/ExprContext.cpp" "src/symbolic/CMakeFiles/stenso_symbolic.dir/ExprContext.cpp.o" "gcc" "src/symbolic/CMakeFiles/stenso_symbolic.dir/ExprContext.cpp.o.d"
+  "/root/repo/src/symbolic/Linear.cpp" "src/symbolic/CMakeFiles/stenso_symbolic.dir/Linear.cpp.o" "gcc" "src/symbolic/CMakeFiles/stenso_symbolic.dir/Linear.cpp.o.d"
+  "/root/repo/src/symbolic/Printer.cpp" "src/symbolic/CMakeFiles/stenso_symbolic.dir/Printer.cpp.o" "gcc" "src/symbolic/CMakeFiles/stenso_symbolic.dir/Printer.cpp.o.d"
+  "/root/repo/src/symbolic/Transforms.cpp" "src/symbolic/CMakeFiles/stenso_symbolic.dir/Transforms.cpp.o" "gcc" "src/symbolic/CMakeFiles/stenso_symbolic.dir/Transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/stenso_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso_symbolic.dir/Evaluator.cpp.o"
+  "CMakeFiles/stenso_symbolic.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/stenso_symbolic.dir/Expr.cpp.o"
+  "CMakeFiles/stenso_symbolic.dir/Expr.cpp.o.d"
+  "CMakeFiles/stenso_symbolic.dir/ExprContext.cpp.o"
+  "CMakeFiles/stenso_symbolic.dir/ExprContext.cpp.o.d"
+  "CMakeFiles/stenso_symbolic.dir/Linear.cpp.o"
+  "CMakeFiles/stenso_symbolic.dir/Linear.cpp.o.d"
+  "CMakeFiles/stenso_symbolic.dir/Printer.cpp.o"
+  "CMakeFiles/stenso_symbolic.dir/Printer.cpp.o.d"
+  "CMakeFiles/stenso_symbolic.dir/Transforms.cpp.o"
+  "CMakeFiles/stenso_symbolic.dir/Transforms.cpp.o.d"
+  "libstenso_symbolic.a"
+  "libstenso_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso_symexec.dir/SymTensor.cpp.o"
+  "CMakeFiles/stenso_symexec.dir/SymTensor.cpp.o.d"
+  "CMakeFiles/stenso_symexec.dir/SymbolicExecutor.cpp.o"
+  "CMakeFiles/stenso_symexec.dir/SymbolicExecutor.cpp.o.d"
+  "libstenso_symexec.a"
+  "libstenso_symexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso_symexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/BottomUpSynthesizer.cpp" "src/synth/CMakeFiles/stenso_synth.dir/BottomUpSynthesizer.cpp.o" "gcc" "src/synth/CMakeFiles/stenso_synth.dir/BottomUpSynthesizer.cpp.o.d"
+  "/root/repo/src/synth/CostModel.cpp" "src/synth/CMakeFiles/stenso_synth.dir/CostModel.cpp.o" "gcc" "src/synth/CMakeFiles/stenso_synth.dir/CostModel.cpp.o.d"
+  "/root/repo/src/synth/HoleSolver.cpp" "src/synth/CMakeFiles/stenso_synth.dir/HoleSolver.cpp.o" "gcc" "src/synth/CMakeFiles/stenso_synth.dir/HoleSolver.cpp.o.d"
+  "/root/repo/src/synth/SketchLibrary.cpp" "src/synth/CMakeFiles/stenso_synth.dir/SketchLibrary.cpp.o" "gcc" "src/synth/CMakeFiles/stenso_synth.dir/SketchLibrary.cpp.o.d"
+  "/root/repo/src/synth/Synthesizer.cpp" "src/synth/CMakeFiles/stenso_synth.dir/Synthesizer.cpp.o" "gcc" "src/synth/CMakeFiles/stenso_synth.dir/Synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symexec/CMakeFiles/stenso_symexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/stenso_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/stenso_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stenso_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stenso_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

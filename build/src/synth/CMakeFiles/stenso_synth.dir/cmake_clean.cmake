@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso_synth.dir/BottomUpSynthesizer.cpp.o"
+  "CMakeFiles/stenso_synth.dir/BottomUpSynthesizer.cpp.o.d"
+  "CMakeFiles/stenso_synth.dir/CostModel.cpp.o"
+  "CMakeFiles/stenso_synth.dir/CostModel.cpp.o.d"
+  "CMakeFiles/stenso_synth.dir/HoleSolver.cpp.o"
+  "CMakeFiles/stenso_synth.dir/HoleSolver.cpp.o.d"
+  "CMakeFiles/stenso_synth.dir/SketchLibrary.cpp.o"
+  "CMakeFiles/stenso_synth.dir/SketchLibrary.cpp.o.d"
+  "CMakeFiles/stenso_synth.dir/Synthesizer.cpp.o"
+  "CMakeFiles/stenso_synth.dir/Synthesizer.cpp.o.d"
+  "libstenso_synth.a"
+  "libstenso_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

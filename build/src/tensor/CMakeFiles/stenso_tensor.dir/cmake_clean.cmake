@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso_tensor.dir/Shape.cpp.o"
+  "CMakeFiles/stenso_tensor.dir/Shape.cpp.o.d"
+  "CMakeFiles/stenso_tensor.dir/Tensor.cpp.o"
+  "CMakeFiles/stenso_tensor.dir/Tensor.cpp.o.d"
+  "CMakeFiles/stenso_tensor.dir/TensorOps.cpp.o"
+  "CMakeFiles/stenso_tensor.dir/TensorOps.cpp.o.d"
+  "libstenso_tensor.a"
+  "libstenso_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

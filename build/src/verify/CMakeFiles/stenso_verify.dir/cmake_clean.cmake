@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso_verify.dir/Equivalence.cpp.o"
+  "CMakeFiles/stenso_verify.dir/Equivalence.cpp.o.d"
+  "libstenso_verify.a"
+  "libstenso_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

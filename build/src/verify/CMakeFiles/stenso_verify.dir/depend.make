@@ -1,0 +1,2 @@
+# Empty dependencies file for stenso_verify.
+# This may be replaced when dependencies are built.

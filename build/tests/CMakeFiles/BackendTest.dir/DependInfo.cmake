@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BackendTest.cpp" "tests/CMakeFiles/BackendTest.dir/BackendTest.cpp.o" "gcc" "tests/CMakeFiles/BackendTest.dir/BackendTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backend/CMakeFiles/stenso_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/stenso_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stenso_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stenso_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

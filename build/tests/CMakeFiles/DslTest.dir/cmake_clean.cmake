@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DslTest.dir/DslTest.cpp.o"
+  "CMakeFiles/DslTest.dir/DslTest.cpp.o.d"
+  "DslTest"
+  "DslTest.pdb"
+  "DslTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DslTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EGraphTest.dir/EGraphTest.cpp.o"
+  "CMakeFiles/EGraphTest.dir/EGraphTest.cpp.o.d"
+  "EGraphTest"
+  "EGraphTest.pdb"
+  "EGraphTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EGraphTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

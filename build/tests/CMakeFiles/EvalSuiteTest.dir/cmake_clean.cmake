@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EvalSuiteTest.dir/EvalSuiteTest.cpp.o"
+  "CMakeFiles/EvalSuiteTest.dir/EvalSuiteTest.cpp.o.d"
+  "EvalSuiteTest"
+  "EvalSuiteTest.pdb"
+  "EvalSuiteTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EvalSuiteTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/HoleSolverTest.dir/HoleSolverTest.cpp.o"
+  "CMakeFiles/HoleSolverTest.dir/HoleSolverTest.cpp.o.d"
+  "HoleSolverTest"
+  "HoleSolverTest.pdb"
+  "HoleSolverTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/HoleSolverTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RuleBookTest.dir/RuleBookTest.cpp.o"
+  "CMakeFiles/RuleBookTest.dir/RuleBookTest.cpp.o.d"
+  "RuleBookTest"
+  "RuleBookTest.pdb"
+  "RuleBookTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RuleBookTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

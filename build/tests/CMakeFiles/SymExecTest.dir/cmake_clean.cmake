@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SymExecTest.dir/SymExecTest.cpp.o"
+  "CMakeFiles/SymExecTest.dir/SymExecTest.cpp.o.d"
+  "SymExecTest"
+  "SymExecTest.pdb"
+  "SymExecTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SymExecTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

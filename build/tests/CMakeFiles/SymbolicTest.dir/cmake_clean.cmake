@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SymbolicTest.dir/SymbolicTest.cpp.o"
+  "CMakeFiles/SymbolicTest.dir/SymbolicTest.cpp.o.d"
+  "SymbolicTest"
+  "SymbolicTest.pdb"
+  "SymbolicTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SymbolicTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

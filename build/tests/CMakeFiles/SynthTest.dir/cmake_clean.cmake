@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SynthTest.dir/SynthTest.cpp.o"
+  "CMakeFiles/SynthTest.dir/SynthTest.cpp.o.d"
+  "SynthTest"
+  "SynthTest.pdb"
+  "SynthTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SynthTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

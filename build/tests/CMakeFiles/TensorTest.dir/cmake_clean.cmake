@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TensorTest.dir/TensorTest.cpp.o"
+  "CMakeFiles/TensorTest.dir/TensorTest.cpp.o.d"
+  "TensorTest"
+  "TensorTest.pdb"
+  "TensorTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TensorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/SupportTest[1]_include.cmake")
+include("/root/repo/build/tests/TensorTest[1]_include.cmake")
+include("/root/repo/build/tests/SymbolicTest[1]_include.cmake")
+include("/root/repo/build/tests/DslTest[1]_include.cmake")
+include("/root/repo/build/tests/SymExecTest[1]_include.cmake")
+include("/root/repo/build/tests/SynthTest[1]_include.cmake")
+include("/root/repo/build/tests/BackendTest[1]_include.cmake")
+include("/root/repo/build/tests/EvalSuiteTest[1]_include.cmake")
+include("/root/repo/build/tests/PropertyTest[1]_include.cmake")
+include("/root/repo/build/tests/RuleBookTest[1]_include.cmake")
+include("/root/repo/build/tests/HoleSolverTest[1]_include.cmake")
+include("/root/repo/build/tests/EGraphTest[1]_include.cmake")
+include("/root/repo/build/tests/VerifyTest[1]_include.cmake")

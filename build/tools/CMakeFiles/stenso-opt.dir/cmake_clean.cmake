@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stenso-opt.dir/stenso-opt.cpp.o"
+  "CMakeFiles/stenso-opt.dir/stenso-opt.cpp.o.d"
+  "stenso-opt"
+  "stenso-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stenso-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(stenso_opt_diag_dot "/root/repo/build/tools/stenso-opt" "--program" "/root/repo/examples/programs/diag_dot.stenso" "--timeout" "30" "--stats" "--rule")
+set_tests_properties(stenso_opt_diag_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(stenso_opt_log_density "/root/repo/build/tools/stenso-opt" "--program" "/root/repo/examples/programs/log_density.stenso" "--cost_estimator" "flops" "--timeout" "30")
+set_tests_properties(stenso_opt_log_density PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(stenso_opt_rejects_bad_args "/root/repo/build/tools/stenso-opt" "--bogus")
+set_tests_properties(stenso_opt_rejects_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
