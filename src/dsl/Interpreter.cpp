@@ -7,6 +7,7 @@
 #include "dsl/Interpreter.h"
 
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "tensor/TensorOps.h"
 
 #include <memory>
@@ -16,8 +17,10 @@ using namespace stenso::dsl;
 
 Tensor dsl::sliceLeading(const Tensor &T, int64_t Index) {
   const Shape &S = T.getShape();
-  if (S.getRank() < 1)
-    reportFatalError("cannot slice a scalar");
+  if (S.getRank() < 1) {
+    raiseOrFatal(ErrC::ShapeMismatch, "cannot slice a scalar");
+    return Tensor::scalar(0.0, T.getDType());
+  }
   assert(Index >= 0 && Index < S.getDim(0) && "slice index out of range");
   Shape SliceShape = S.dropAxis(0);
   int64_t SliceElems = SliceShape.getNumElements();
@@ -44,12 +47,17 @@ public:
       if (Bound != LoopBindings.end())
         return &Bound->second;
       auto It = Inputs.find(N->getName());
-      if (It == Inputs.end())
-        reportFatalError("unbound input '" + N->getName() + "'");
+      if (It == Inputs.end()) {
+        raiseOrFatal(ErrC::UnboundInput,
+                     "unbound input '" + N->getName() + "'");
+        return keep(Tensor(N->getType().TShape, N->getType().Dtype));
+      }
       if (It->second.getShape() != N->getType().TShape ||
-          It->second.getDType() != N->getType().Dtype)
-        reportFatalError("input '" + N->getName() +
-                         "' bound with mismatching type");
+          It->second.getDType() != N->getType().Dtype) {
+        raiseOrFatal(ErrC::TypeMismatch, "input '" + N->getName() +
+                                             "' bound with mismatching type");
+        return keep(Tensor(N->getType().TShape, N->getType().Dtype));
+      }
       return &It->second;
     }
     case OpKind::Constant:
@@ -160,6 +168,8 @@ private:
 } // namespace
 
 Tensor dsl::interpret(const Node *N, const InputBinding &Inputs) {
+  if (maybeInjectFault(FaultSite::TensorOp))
+    return Tensor::scalar(0.0);
   InterpVisitor Visitor(Inputs);
   return *Visitor.visit(N);
 }
@@ -167,4 +177,13 @@ Tensor dsl::interpret(const Node *N, const InputBinding &Inputs) {
 Tensor dsl::interpretProgram(const Program &P, const InputBinding &Inputs) {
   assert(P.getRoot() && "program has no root");
   return interpret(P.getRoot(), Inputs);
+}
+
+Expected<Tensor> dsl::interpretProgramChecked(const Program &P,
+                                              const InputBinding &Inputs) {
+  RecoverableErrorScope Scope;
+  Tensor Result = interpretProgram(P, Inputs);
+  if (Scope.hasError())
+    return Scope.takeError().withContext("interpreting candidate program");
+  return Result;
 }

@@ -16,6 +16,7 @@
 #define STENSO_DSL_INTERPRETER_H
 
 #include "dsl/Node.h"
+#include "support/Result.h"
 #include "tensor/Tensor.h"
 
 #include <unordered_map>
@@ -26,12 +27,20 @@ namespace dsl {
 /// Assignment of concrete tensors to input names.
 using InputBinding = std::unordered_map<std::string, Tensor>;
 
-/// Evaluates \p N under \p Inputs.  Aborts on unbound inputs or dtype
-/// mismatches against the declared input types.
+/// Evaluates \p N under \p Inputs.  Recoverable conditions (unbound
+/// inputs, dtype mismatches, shape errors in the tensor runtime) abort
+/// unless a RecoverableErrorScope is active; use the Checked variants
+/// when evaluating untrusted candidate programs.
 Tensor interpret(const Node *N, const InputBinding &Inputs);
 
 /// Evaluates a program's root.
 Tensor interpretProgram(const Program &P, const InputBinding &Inputs);
+
+/// Recoverable variant for candidate programs: runs under its own error
+/// scope and returns the first raised error (unbound input, shape
+/// mismatch, injected tensor-op fault, ...) instead of aborting.
+Expected<Tensor> interpretProgramChecked(const Program &P,
+                                         const InputBinding &Inputs);
 
 /// Extracts slice \p Index along axis 0 of \p T (helper shared with the
 /// backends' comprehension handling).

@@ -7,6 +7,7 @@
 #include "evalsuite/Harness.h"
 
 #include "dsl/Interpreter.h"
+#include "dsl/Parser.h"
 #include "support/Error.h"
 #include "support/TablePrinter.h"
 
@@ -16,6 +17,27 @@
 using namespace stenso;
 using namespace stenso::evalsuite;
 using namespace stenso::dsl;
+
+namespace {
+
+/// Rejects the synthesized candidate of \p Run: restores the original
+/// program at both shape configurations and records why.  Degradation is
+/// always sound — the original program is its own witness.
+void degradeToOriginal(BenchmarkRun &Run, const std::string &Why) {
+  Run.Degraded = true;
+  Run.DegradedReason = Why;
+  Run.Synthesis.Improved = false;
+  Run.Synthesis.OptimizedCost = Run.Synthesis.OriginalCost;
+  Run.Synthesis.OptimizedSource = Run.Def->sourceFor(false);
+  Run.Synthesis.Optimized.reset();
+  if (Run.Synthesis.Abort == synth::AbortReason::None)
+    Run.Synthesis.Abort = synth::AbortReason::InternalError;
+  auto Copy = parseProgram(Run.Def->sourceFor(true), Run.Def->declsFor(true));
+  if (Copy)
+    Run.Optimized = std::move(Copy.Prog);
+}
+
+} // namespace
 
 synth::SynthesisConfig evalsuite::evaluationConfig(double TimeoutSeconds) {
   synth::SynthesisConfig Config;
@@ -43,7 +65,9 @@ evalsuite::synthesizeSuite(const synth::SynthesisConfig &Config,
     BenchmarkRun Run = synthesizeBenchmark(Def, Config);
     verifyRunEquivalence(Run);
     if (Progress)
-      *Progress << (Run.Synthesis.Improved ? " improved: " : " kept: ")
+      *Progress << (Run.Degraded          ? " degraded: "
+                    : Run.Synthesis.Improved ? " improved: "
+                                             : " kept: ")
                 << Run.Synthesis.OptimizedSource << "  ["
                 << TablePrinter::formatDouble(Run.Synthesis.SynthesisSeconds,
                                               2)
@@ -78,10 +102,12 @@ BenchmarkRun evalsuite::synthesizeBenchmark(const BenchmarkDef &Def,
     // directly against the full declarations.
     auto Lifted =
         parseProgram(Run.Synthesis.OptimizedSource, Def.declsFor(true));
-    if (!Lifted)
-      reportFatalError("optimized program for '" + Def.Name +
-                       "' failed to lift to full shapes: " + Lifted.Error);
-    Run.Optimized = std::move(Lifted.Prog);
+    if (Lifted)
+      Run.Optimized = std::move(Lifted.Prog);
+    else
+      degradeToOriginal(Run, "optimized program failed to lift to full "
+                             "shapes: " +
+                                 Lifted.Error);
   } else {
     auto Copy = parseProgram(Def.sourceFor(true), Def.declsFor(true));
     Run.Optimized = std::move(Copy.Prog);
@@ -102,23 +128,35 @@ InputBinding evalsuite::makeBenchmarkInputs(const BenchmarkDef &Def,
   return Inputs;
 }
 
-void evalsuite::verifyRunEquivalence(const BenchmarkRun &Run, int Trials) {
+void evalsuite::verifyRunEquivalence(BenchmarkRun &Run, int Trials) {
   assert(Run.Original && Run.Optimized && "incomplete run");
   // Verify at reduced shapes for speed: parse both there.
   auto Orig = parseProgram(Run.Def->sourceFor(false), Run.Def->declsFor(false));
   auto Opt = parseProgram(Run.Synthesis.OptimizedSource,
                           Run.Def->declsFor(false));
-  if (!Orig || !Opt)
-    reportFatalError("verification parse failed for '" + Run.Def->Name + "'");
+  if (!Orig || !Opt) {
+    degradeToOriginal(Run, "verification parse failed for '" +
+                               Run.Def->Name + "'");
+    return;
+  }
   RNG Rng(0xC0FFEE ^ std::hash<std::string>()(Run.Def->Name));
   for (int Trial = 0; Trial < Trials; ++Trial) {
     InputBinding Inputs = makeBenchmarkInputs(*Run.Def, /*Full=*/false, Rng);
+    RecoverableErrorScope Scope;
     Tensor A = interpretProgram(*Orig.Prog, Inputs);
     Tensor B = interpretProgram(*Opt.Prog, Inputs);
-    if (!A.allClose(B, 1e-6, 1e-9))
-      reportFatalError("synthesized program for '" + Run.Def->Name +
-                       "' is NOT equivalent to the original: " +
-                       Run.Synthesis.OptimizedSource);
+    if (Scope.hasError()) {
+      degradeToOriginal(Run, "verification failed to execute for '" +
+                                 Run.Def->Name + "': " +
+                                 Scope.takeError().toString());
+      return;
+    }
+    if (!A.allClose(B, 1e-6, 1e-9)) {
+      degradeToOriginal(Run, "synthesized program for '" + Run.Def->Name +
+                                 "' is NOT equivalent to the original: " +
+                                 Run.Synthesis.OptimizedSource);
+      return;
+    }
   }
 }
 
@@ -137,11 +175,18 @@ SpeedupResult evalsuite::measureSpeedup(const BenchmarkRun &Run,
   // Sanity: both executions agree on this backend too.
   Tensor A = OriginalEngine.execute(Inputs);
   Tensor B = OptimizedEngine.execute(Inputs);
-  if (!A.allClose(B, 1e-6, 1e-9))
-    reportFatalError("backend disagreement on '" + Run.Def->Name + "' (" +
-                     Backend.name() + ")");
-
   SpeedupResult Result;
+  if (!A.allClose(B, 1e-6, 1e-9)) {
+    // Reject the candidate on this backend: time the original against
+    // itself so downstream aggregation records a neutral speedup.
+    Result.Degraded = true;
+    Result.DegradedReason = "backend disagreement on '" + Run.Def->Name +
+                            "' (" + Backend.name() + ")";
+    Result.OriginalSeconds = OriginalEngine.measureSeconds(Inputs, Reps);
+    Result.OptimizedSeconds = Result.OriginalSeconds;
+    return Result;
+  }
+
   Result.OriginalSeconds = OriginalEngine.measureSeconds(Inputs, Reps);
   Result.OptimizedSeconds = OptimizedEngine.measureSeconds(Inputs, Reps);
   return Result;

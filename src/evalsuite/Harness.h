@@ -34,6 +34,11 @@ struct BenchmarkRun {
   /// The STENSO result at full shapes (the original when not improved).
   std::unique_ptr<dsl::Program> Optimized;
   synth::SynthesisResult Synthesis;
+  /// True when a recoverable failure (lift/verification parse failure,
+  /// equivalence rejection) forced the run back to the original program.
+  bool Degraded = false;
+  /// Human-readable reason when Degraded.
+  std::string DegradedReason;
 };
 
 /// Runs STENSO on \p Def (search at reduced shapes, costs scaled to full)
@@ -46,14 +51,20 @@ dsl::InputBinding makeBenchmarkInputs(const BenchmarkDef &Def, bool Full,
                                       RNG &Rng);
 
 /// Checks original/optimized agreement on \p Trials random inputs at the
-/// reduced shapes (fast); aborts the process on disagreement — a
-/// synthesized program must never be wrong.
-void verifyRunEquivalence(const BenchmarkRun &Run, int Trials = 3);
+/// reduced shapes (fast).  A synthesized program must never be wrong, so
+/// any disagreement (or a failure of the check itself) *rejects* the
+/// candidate: the run falls back to the original program and is marked
+/// Degraded instead of aborting the process.
+void verifyRunEquivalence(BenchmarkRun &Run, int Trials = 3);
 
 /// One original-vs-optimized timing on a backend.
 struct SpeedupResult {
   double OriginalSeconds = 0;
   double OptimizedSeconds = 0;
+  /// True when the backends disagreed: the candidate was rejected and
+  /// both timings refer to the original program (speedup 1.0).
+  bool Degraded = false;
+  std::string DegradedReason;
   double speedup() const {
     return OptimizedSeconds > 0 ? OriginalSeconds / OptimizedSeconds : 1.0;
   }

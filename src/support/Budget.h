@@ -1,0 +1,136 @@
+//===- Budget.h - Cooperative resource budgets -----------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ResourceBudget generalizes the wall-clock Deadline into a cooperative
+/// multi-dimension budget: wall-clock seconds, a symbolic-node-count cap,
+/// and a solver-call cap.  Long-running loops call checkpoint() (a cheap
+/// steady-clock read) and unwind when it returns false.  Once any
+/// dimension is exhausted the budget latches — it never un-expires — so
+/// every layer above observes one consistent abort reason.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_BUDGET_H
+#define STENSO_SUPPORT_BUDGET_H
+
+#include "support/Result.h"
+#include "support/Timer.h"
+
+#include <cstdint>
+
+namespace stenso {
+
+/// Cooperative wall-clock + node-count + solver-call budget.  A limit of
+/// zero (or less) means "unlimited" in every dimension, matching the
+/// Deadline convention.
+class ResourceBudget {
+public:
+  struct Limits {
+    /// Wall-clock budget in seconds; <= 0 means unlimited.
+    double WallSeconds = 0;
+    /// Cap on charged symbolic nodes; <= 0 means unlimited.
+    int64_t MaxSymbolicNodes = 0;
+    /// Cap on charged solver calls; <= 0 means unlimited.
+    int64_t MaxSolverCalls = 0;
+  };
+
+  ResourceBudget() = default;
+  explicit ResourceBudget(Limits L) : L(L) {}
+  /// Deadline-compatible constructor: wall clock only.
+  explicit ResourceBudget(double WallSeconds) { L.WallSeconds = WallSeconds; }
+
+  /// Cheap cooperative check; returns true while the budget holds.  A
+  /// steady-clock read is a ~20ns vDSO call, so this is safe to place
+  /// in both hot interning loops and coarse per-sketch loops — an
+  /// amortized every-N-calls scheme would let a coarse loop whose
+  /// iterations are individually slow overshoot the wall clock by N
+  /// iterations.  Unlimited budgets never touch the clock at all.
+  bool checkpoint() {
+    if (HasLatched)
+      return false;
+    return !wallExpired();
+  }
+
+  /// Accounts \p N freshly created symbolic nodes.
+  void chargeSymbolicNodes(int64_t N = 1) {
+    SymbolicNodes += N;
+    if (L.MaxSymbolicNodes > 0 && SymbolicNodes > L.MaxSymbolicNodes)
+      latch(ErrC::BudgetExhausted);
+  }
+
+  /// Accounts one hole-solver invocation.
+  void chargeSolverCall() {
+    ++SolverCalls;
+    if (L.MaxSolverCalls > 0 && SolverCalls > L.MaxSolverCalls)
+      latch(ErrC::BudgetExhausted);
+  }
+
+  /// True when any dimension has been exhausted (forces a clock read for
+  /// an up-to-date answer).
+  bool exhausted() {
+    if (HasLatched)
+      return true;
+    return wallExpired();
+  }
+
+  /// True when a previous checkpoint/charge already latched exhaustion
+  /// (no clock read; usable without mutation).
+  bool latched() const { return HasLatched; }
+
+  /// Which dimension tripped: Timeout (wall clock) or BudgetExhausted
+  /// (node/solver caps).  Defaults to Timeout when nothing latched.
+  ErrC exhaustedReason() const {
+    return HasLatched ? Reason : ErrC::Timeout;
+  }
+
+  /// The latched condition as an error, for propagation through
+  /// Expected-returning layers.
+  StensoError toError() const {
+    if (exhaustedReason() == ErrC::Timeout)
+      return StensoError(ErrC::Timeout, "wall-clock budget exhausted");
+    return StensoError(ErrC::BudgetExhausted,
+                       "resource cap exhausted (nodes or solver calls)");
+  }
+
+  double remainingSeconds() const {
+    if (L.WallSeconds <= 0)
+      return 1e30;
+    double Left = L.WallSeconds - Timer.elapsedSeconds();
+    return Left > 0 ? Left : 0;
+  }
+
+  int64_t getSymbolicNodes() const { return SymbolicNodes; }
+  int64_t getSolverCalls() const { return SolverCalls; }
+  const Limits &getLimits() const { return L; }
+
+private:
+  bool wallExpired() {
+    if (L.WallSeconds > 0 && Timer.elapsedSeconds() >= L.WallSeconds) {
+      latch(ErrC::Timeout);
+      return true;
+    }
+    return false;
+  }
+
+  void latch(ErrC R) {
+    if (!HasLatched) {
+      HasLatched = true;
+      Reason = R;
+    }
+  }
+
+  WallTimer Timer;
+  Limits L;
+  int64_t SymbolicNodes = 0;
+  int64_t SolverCalls = 0;
+  bool HasLatched = false;
+  ErrC Reason = ErrC::Timeout;
+};
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_BUDGET_H

@@ -1,0 +1,161 @@
+//===- FaultInjection.cpp - Deterministic fault injection ------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace stenso;
+
+const char *stenso::toString(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::HoleSolve:
+    return "holesolver";
+  case FaultSite::SymbolicEval:
+    return "symbolic-eval";
+  case FaultSite::TensorOp:
+    return "tensor-op";
+  case FaultSite::Verifier:
+    return "verifier";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::optional<FaultSite> siteByName(const std::string &Name) {
+  for (size_t I = 0; I < NumFaultSites; ++I) {
+    FaultSite Site = static_cast<FaultSite>(I);
+    if (Name == toString(Site))
+      return Site;
+  }
+  return std::nullopt;
+}
+
+/// Strict decimal double in [0, 1]; nullopt on malformed input.
+std::optional<double> parseRate(const std::string &Text) {
+  if (Text.empty())
+    return std::nullopt;
+  char *End = nullptr;
+  double Value = std::strtod(Text.c_str(), &End);
+  if (End != Text.c_str() + Text.size())
+    return std::nullopt;
+  if (!(Value >= 0.0 && Value <= 1.0))
+    return std::nullopt;
+  return Value;
+}
+
+} // namespace
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Singleton;
+  return Singleton;
+}
+
+void FaultInjector::ensureLoaded() {
+  if (Loaded)
+    return;
+  Loaded = true;
+  const char *Env = std::getenv("STENSO_FAULT");
+  if (!Env || !*Env)
+    return;
+  // A malformed env var must not abort the process it was meant to
+  // stress; it is reported once on stderr and ignored.
+  Status S = configure(Env);
+  if (!S)
+    std::fprintf(stderr, "stenso: ignoring STENSO_FAULT: %s\n",
+                 S.error().toString().c_str());
+}
+
+Status FaultInjector::configure(const std::string &Spec) {
+  for (SiteState &State : Sites)
+    State = SiteState();
+  Loaded = true;
+  if (Spec.empty())
+    return Status();
+
+  std::istringstream SS(Spec);
+  std::string Entry;
+  while (std::getline(SS, Entry, ',')) {
+    std::istringstream ES(Entry);
+    std::string SiteName, RateText, SeedText;
+    if (!std::getline(ES, SiteName, ':') || !std::getline(ES, RateText, ':') ||
+        !std::getline(ES, SeedText))
+      return makeError(ErrC::InvalidArgument,
+                       "fault spec '" + Entry +
+                           "' is not <site>:<rate>:<seed>");
+    std::optional<FaultSite> Site = siteByName(SiteName);
+    if (!Site)
+      return makeError(ErrC::InvalidArgument,
+                       "unknown fault site '" + SiteName +
+                           "' (use holesolver|symbolic-eval|tensor-op|"
+                           "verifier)");
+    std::optional<double> Rate = parseRate(RateText);
+    if (!Rate)
+      return makeError(ErrC::InvalidArgument,
+                       "fault rate '" + RateText + "' is not in [0, 1]");
+    std::optional<int64_t> Seed = parseInt64(SeedText);
+    if (!Seed || *Seed < 0)
+      return makeError(ErrC::InvalidArgument,
+                       "fault seed '" + SeedText +
+                           "' is not a non-negative integer");
+    SiteState &State = Sites[static_cast<size_t>(*Site)];
+    State.Armed = *Rate > 0;
+    State.Rate = *Rate;
+    State.Seed = static_cast<uint64_t>(*Seed);
+    State.Rng.emplace(State.Seed);
+    State.Fired = 0;
+  }
+  return Status();
+}
+
+void FaultInjector::resetToEnvironment() {
+  for (SiteState &State : Sites)
+    State = SiteState();
+  Loaded = false;
+}
+
+bool FaultInjector::anySiteArmed() {
+  ensureLoaded();
+  for (const SiteState &State : Sites)
+    if (State.Armed)
+      return true;
+  return false;
+}
+
+bool FaultInjector::shouldFire(FaultSite Site) {
+  ensureLoaded();
+  SiteState &State = Sites[static_cast<size_t>(Site)];
+  if (!State.Armed)
+    return false;
+  // Rate 1.0 must fire unconditionally; uniform() draws from [0, 1).
+  bool Fire = State.Rate >= 1.0 || State.Rng->uniform(0.0, 1.0) < State.Rate;
+  if (Fire)
+    ++State.Fired;
+  return Fire;
+}
+
+int64_t FaultInjector::firedCount(FaultSite Site) const {
+  return Sites[static_cast<size_t>(Site)].Fired;
+}
+
+bool stenso::maybeInjectFault(FaultSite Site) {
+  // Outside a recovery scope there is no degradation path to exercise;
+  // skipping the draw keeps the fire sequence a function of recoverable
+  // work only.
+  if (!inRecoverableScope())
+    return false;
+  FaultInjector &Injector = FaultInjector::instance();
+  if (!Injector.shouldFire(Site))
+    return false;
+  raiseRecoverable(makeError(ErrC::FaultInjected,
+                             std::string("injected fault at site '") +
+                                 toString(Site) + "'"));
+  return true;
+}

@@ -1,0 +1,98 @@
+//===- FaultInjection.h - Deterministic fault injection --------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, environment-driven failure points so graceful-
+/// degradation paths are testable in CI.  Configuration comes from
+///
+///   STENSO_FAULT=<site>:<rate>:<seed>[,<site>:<rate>:<seed>...]
+///
+/// e.g. STENSO_FAULT=holesolver:1.0:42 makes every hole solve fail, and
+/// STENSO_FAULT=tensor-op:0.05:7 fails ~5% of tensor-op evaluations with
+/// a sequence fully determined by seed 7 (via support/RNG.h).
+///
+/// Sites: holesolver, symbolic-eval, tensor-op, verifier.
+///
+/// A firing fault raises an ErrC::FaultInjected error into the active
+/// RecoverableErrorScope.  Outside any scope a fault is *not* raised
+/// (and not counted): injection exercises degradation paths, and code
+/// without a recovery scope has none.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_FAULTINJECTION_H
+#define STENSO_SUPPORT_FAULTINJECTION_H
+
+#include "support/RNG.h"
+#include "support/Result.h"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace stenso {
+
+/// Pipeline locations where faults can be injected.
+enum class FaultSite {
+  HoleSolve = 0,
+  SymbolicEval,
+  TensorOp,
+  Verifier,
+};
+constexpr size_t NumFaultSites = 4;
+
+const char *toString(FaultSite Site);
+
+/// Process-wide fault-injection configuration and per-site deterministic
+/// firing decision.  Reads STENSO_FAULT lazily on first use; tests can
+/// (re)configure programmatically.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Returns true when the fault at \p Site fires now.  Each call
+  /// consumes one draw of the site's seeded RNG, so the fire/no-fire
+  /// sequence is a pure function of (rate, seed).
+  bool shouldFire(FaultSite Site);
+
+  /// Replaces the configuration with \p Spec (same grammar as the env
+  /// var; empty disables all sites).  Returns an error for a malformed
+  /// spec, leaving all sites disabled.
+  Status configure(const std::string &Spec);
+
+  /// Drops all configuration and counters and re-reads STENSO_FAULT on
+  /// the next use.
+  void resetToEnvironment();
+
+  /// How often \p Site has fired since the last (re)configuration.
+  int64_t firedCount(FaultSite Site) const;
+
+  bool anySiteArmed();
+
+private:
+  FaultInjector() = default;
+  void ensureLoaded();
+
+  struct SiteState {
+    bool Armed = false;
+    double Rate = 0;
+    uint64_t Seed = 0;
+    std::optional<RNG> Rng;
+    int64_t Fired = 0;
+  };
+  std::array<SiteState, NumFaultSites> Sites;
+  bool Loaded = false;
+};
+
+/// Fires the configured fault at \p Site, if any: raises FaultInjected
+/// into the active RecoverableErrorScope and returns true.  Returns
+/// false (a no-op) when the site does not fire or no scope is active.
+bool maybeInjectFault(FaultSite Site);
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_FAULTINJECTION_H

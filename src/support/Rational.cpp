@@ -6,6 +6,7 @@
 
 #include "support/Rational.h"
 #include "support/Error.h"
+#include "support/Result.h"
 
 #include <cassert>
 #include <cstdlib>
@@ -15,17 +16,26 @@ using namespace stenso;
 
 using Int128 = __int128;
 
+// Overflow / zero-denominator poison: inside a RecoverableErrorScope the
+// error is latched and arithmetic continues on 0 (the caller discards the
+// poisoned result after checking the scope); outside one it stays fatal.
 static int64_t narrowOrDie(Int128 Value) {
-  if (Value > INT64_MAX || Value < INT64_MIN)
-    reportFatalError("rational arithmetic overflow");
+  if (Value > INT64_MAX || Value < INT64_MIN) {
+    raiseOrFatal(ErrC::ArithmeticOverflow, "rational arithmetic overflow");
+    return 0;
+  }
   return static_cast<int64_t>(Value);
 }
 
 /// Reduces Num/Den in 128-bit space, then narrows.
 static void normalize(Int128 Num, Int128 Den, int64_t &OutNum,
                       int64_t &OutDen) {
-  if (Den == 0)
-    reportFatalError("rational with zero denominator");
+  if (Den == 0) {
+    raiseOrFatal(ErrC::DivisionByZero, "rational with zero denominator");
+    OutNum = 0;
+    OutDen = 1;
+    return;
+  }
   if (Den < 0) {
     Num = -Num;
     Den = -Den;
@@ -41,6 +51,11 @@ static void normalize(Int128 Num, Int128 Den, int64_t &OutNum,
     A = 1;
   OutNum = narrowOrDie(Num / A);
   OutDen = narrowOrDie(Den / A);
+  // Keep the Den > 0 invariant even for poisoned (overflowed) results.
+  if (OutDen <= 0) {
+    OutNum = 0;
+    OutDen = 1;
+  }
 }
 
 Rational::Rational(int64_t Numerator, int64_t Denominator) {
@@ -71,8 +86,10 @@ Rational Rational::operator*(const Rational &RHS) const {
 }
 
 Rational Rational::operator/(const Rational &RHS) const {
-  if (RHS.isZero())
-    reportFatalError("rational division by zero");
+  if (RHS.isZero()) {
+    raiseOrFatal(ErrC::DivisionByZero, "rational division by zero");
+    return Rational(0);
+  }
   Rational Result;
   normalize(Int128(Num) * RHS.Den, Int128(Den) * RHS.Num, Result.Num,
             Result.Den);
@@ -92,8 +109,10 @@ bool Rational::operator<(const Rational &RHS) const {
 
 Rational Rational::pow(int64_t Exp) const {
   if (Exp < 0) {
-    if (isZero())
-      reportFatalError("zero raised to a negative power");
+    if (isZero()) {
+      raiseOrFatal(ErrC::DomainError, "zero raised to a negative power");
+      return Rational(0);
+    }
     return Rational(Den, Num).pow(-Exp);
   }
   Rational Result(1);

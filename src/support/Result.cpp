@@ -1,0 +1,92 @@
+//===- Result.cpp - Recoverable errors and Expected<T> --------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Result.h"
+#include "support/Error.h"
+
+using namespace stenso;
+
+const char *stenso::toString(ErrC Code) {
+  switch (Code) {
+  case ErrC::ArithmeticOverflow:
+    return "arithmetic-overflow";
+  case ErrC::DivisionByZero:
+    return "division-by-zero";
+  case ErrC::DomainError:
+    return "domain-error";
+  case ErrC::ShapeMismatch:
+    return "shape-mismatch";
+  case ErrC::TypeMismatch:
+    return "type-mismatch";
+  case ErrC::UnboundSymbol:
+    return "unbound-symbol";
+  case ErrC::UnboundInput:
+    return "unbound-input";
+  case ErrC::ParseError:
+    return "parse-error";
+  case ErrC::NoSolution:
+    return "no-solution";
+  case ErrC::BudgetExhausted:
+    return "budget-exhausted";
+  case ErrC::Timeout:
+    return "timeout";
+  case ErrC::FaultInjected:
+    return "fault-injected";
+  case ErrC::VerificationFailed:
+    return "verification-failed";
+  case ErrC::InvalidArgument:
+    return "invalid-argument";
+  case ErrC::InternalError:
+    return "internal-error";
+  }
+  stenso_unreachable("unknown error code");
+}
+
+std::string StensoError::toString() const {
+  std::string Out = std::string(stenso::toString(Code)) + ": " + Message;
+  if (!Context.empty()) {
+    Out += " (";
+    for (size_t I = 0; I < Context.size(); ++I) {
+      if (I)
+        Out += "; ";
+      Out += "while " + Context[I];
+    }
+    Out += ")";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// RecoverableErrorScope
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local RecoverableErrorScope *ActiveScope = nullptr;
+} // namespace
+
+RecoverableErrorScope::RecoverableErrorScope() : Prev(ActiveScope) {
+  ActiveScope = this;
+}
+
+RecoverableErrorScope::~RecoverableErrorScope() { ActiveScope = Prev; }
+
+bool stenso::inRecoverableScope() { return ActiveScope != nullptr; }
+
+bool stenso::raiseRecoverable(StensoError E) {
+  if (!ActiveScope)
+    return false;
+  if (!ActiveScope->Armed) {
+    ActiveScope->Err = std::move(E);
+    ActiveScope->Armed = true;
+  }
+  return true;
+}
+
+void stenso::raiseOrFatal(ErrC Code, const std::string &Msg) {
+  if (raiseRecoverable(StensoError(Code, Msg)))
+    return;
+  reportFatalError(Msg);
+}

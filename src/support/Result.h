@@ -1,0 +1,241 @@
+//===- Result.h - Recoverable errors and Expected<T> -----------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable-error layer of the exception-free library.  Three
+/// pieces:
+///
+///   * StensoError — an error-code enum plus a message and a context
+///     chain, cheap to move and to extend with withContext();
+///   * Expected<T> — an LLVM-style value-or-error sum type returned by
+///     every synthesis-critical operation that can fail recoverably;
+///   * RecoverableErrorScope — a thread-local RAII scope that turns deep
+///     fatal sites (Rational overflow, tensor shape mismatches, unbound
+///     symbols) into latched errors.  While a scope is active,
+///     raiseOrFatal() records the first error and execution continues
+///     with a poison value; without one it falls back to
+///     reportFatalError, preserving the historical fail-fast contract
+///     for non-candidate code paths.
+///
+/// Policy (see DESIGN.md §7): conditions reachable from *candidate*
+/// programs or user input are recoverable; violated internal invariants
+/// stay assert/stenso_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_RESULT_H
+#define STENSO_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace stenso {
+
+/// Classification of recoverable failures.
+enum class ErrC {
+  /// Rational arithmetic left the int64 range.
+  ArithmeticOverflow,
+  /// Division by an exact zero.
+  DivisionByZero,
+  /// Math-domain violation (0^-1, log of nonpositive constant, ...).
+  DomainError,
+  /// Tensor shapes incompatible with the attempted operation.
+  ShapeMismatch,
+  /// Dtype conflict or redeclared input type.
+  TypeMismatch,
+  /// A symbolic evaluation met a symbol with no binding.
+  UnboundSymbol,
+  /// An interpreter/backend run met an input with no binding.
+  UnboundInput,
+  /// Source text did not parse.
+  ParseError,
+  /// Benign: a hole solve found no representable solution.
+  NoSolution,
+  /// A ResourceBudget cap (nodes / solver calls) was hit.
+  BudgetExhausted,
+  /// The wall-clock deadline of a ResourceBudget passed.
+  Timeout,
+  /// A configured STENSO_FAULT injection point fired.
+  FaultInjected,
+  /// Verification rejected a candidate (backend disagreement, ...).
+  VerificationFailed,
+  /// Bad flag / option / request from the caller.
+  InvalidArgument,
+  /// Anything else recoverable.
+  InternalError,
+};
+
+const char *toString(ErrC Code);
+
+/// A recoverable error: code + message + outermost-last context chain.
+class StensoError {
+public:
+  StensoError() = default;
+  StensoError(ErrC Code, std::string Message)
+      : Code(Code), Message(std::move(Message)) {}
+
+  ErrC code() const { return Code; }
+  const std::string &message() const { return Message; }
+  const std::vector<std::string> &context() const { return Context; }
+
+  /// Appends a "while ..." frame; innermost frames come first.
+  StensoError &&withContext(std::string Frame) && {
+    Context.push_back(std::move(Frame));
+    return std::move(*this);
+  }
+  StensoError &withContext(std::string Frame) & {
+    Context.push_back(std::move(Frame));
+    return *this;
+  }
+
+  /// "code: message (while a; while b)".
+  std::string toString() const;
+
+private:
+  ErrC Code = ErrC::InternalError;
+  std::string Message;
+  std::vector<std::string> Context;
+};
+
+/// Tag wrapper so Expected<T> can be constructed unambiguously from an
+/// error even when T is constructible from StensoError-like types.
+struct ErrorTag {};
+
+/// Value-or-error sum type.  Mirrors the std::optional surface that the
+/// codebase already speaks (has_value / operator* / operator->) so that
+/// optional-returning APIs could be upgraded in place.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ Expected(StensoError Err) : Storage(std::move(Err)) {}
+
+  bool hasValue() const { return std::holds_alternative<T>(Storage); }
+  bool has_value() const { return hasValue(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &value() {
+    assert(hasValue() && "value() on an error Expected");
+    return std::get<T>(Storage);
+  }
+  const T &value() const {
+    assert(hasValue() && "value() on an error Expected");
+    return std::get<T>(Storage);
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  const StensoError &error() const {
+    assert(!hasValue() && "error() on a value Expected");
+    return std::get<StensoError>(Storage);
+  }
+  StensoError takeError() {
+    assert(!hasValue() && "takeError() on a value Expected");
+    return std::move(std::get<StensoError>(Storage));
+  }
+  T takeValue() {
+    assert(hasValue() && "takeValue() on an error Expected");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, StensoError> Storage;
+};
+
+/// Expected<void>: success or error.
+template <> class Expected<void> {
+public:
+  Expected() = default;
+  /*implicit*/ Expected(StensoError Err) : Err(std::move(Err)), Failed(true) {}
+
+  bool hasValue() const { return !Failed; }
+  bool has_value() const { return hasValue(); }
+  explicit operator bool() const { return hasValue(); }
+
+  const StensoError &error() const {
+    assert(Failed && "error() on a success Status");
+    return Err;
+  }
+  StensoError takeError() {
+    assert(Failed && "takeError() on a success Status");
+    return std::move(Err);
+  }
+
+private:
+  StensoError Err;
+  bool Failed = false;
+};
+
+/// Success-or-error result of operations with no payload.
+using Status = Expected<void>;
+
+/// Convenience error factory.
+inline StensoError makeError(ErrC Code, std::string Message) {
+  return StensoError(Code, std::move(Message));
+}
+
+//===----------------------------------------------------------------------===//
+// RecoverableErrorScope
+//===----------------------------------------------------------------------===//
+
+/// RAII scope converting raiseOrFatal() sites below it from aborts into
+/// latched errors.  Scopes nest; the innermost active scope latches the
+/// *first* error raised and swallows subsequent ones (the computation is
+/// poisoned from the first failure on, so later errors are echoes).
+/// Not thread-safe beyond thread-local isolation: each thread has its own
+/// scope stack.
+class RecoverableErrorScope {
+public:
+  RecoverableErrorScope();
+  ~RecoverableErrorScope();
+  RecoverableErrorScope(const RecoverableErrorScope &) = delete;
+  RecoverableErrorScope &operator=(const RecoverableErrorScope &) = delete;
+
+  bool hasError() const { return Armed; }
+  const StensoError &getError() const {
+    assert(Armed && "getError() on a clean scope");
+    return Err;
+  }
+  /// Returns the latched error and re-arms the scope for further use.
+  StensoError takeError() {
+    assert(Armed && "takeError() on a clean scope");
+    Armed = false;
+    return std::move(Err);
+  }
+  /// Converts the scope state into a Status, clearing it.
+  Status status() {
+    if (!Armed)
+      return Status();
+    return takeError();
+  }
+
+private:
+  friend bool raiseRecoverable(StensoError E);
+  StensoError Err;
+  bool Armed = false;
+  RecoverableErrorScope *Prev = nullptr;
+};
+
+/// True when a RecoverableErrorScope is active on this thread.
+bool inRecoverableScope();
+
+/// Latches \p E into the innermost active scope; returns false (error is
+/// dropped) when no scope is active.
+bool raiseRecoverable(StensoError E);
+
+/// Latches into the active scope, or calls reportFatalError when none is
+/// active.  Deep fatal sites call this and then return a poison value;
+/// the poison is only observable inside a scope, whose owner must check
+/// hasError() before trusting results.
+void raiseOrFatal(ErrC Code, const std::string &Msg);
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_RESULT_H

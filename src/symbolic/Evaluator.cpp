@@ -7,6 +7,7 @@
 #include "symbolic/Evaluator.h"
 
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 
 #include <cmath>
 
@@ -36,9 +37,11 @@ private:
       return cast<ConstantExpr>(E)->getValue().toDouble();
     case Expr::Kind::Symbol: {
       auto It = Env.find(E);
-      if (It == Env.end())
-        reportFatalError("unbound symbol in evaluation: " +
-                         cast<SymbolExpr>(E)->getName());
+      if (It == Env.end()) {
+        raiseOrFatal(ErrC::UnboundSymbol, "unbound symbol in evaluation: " +
+                                              cast<SymbolExpr>(E)->getName());
+        return std::nan("");
+      }
       return It->second;
     }
     case Expr::Kind::Add: {
@@ -88,4 +91,14 @@ private:
 
 double sym::evaluate(const Expr *E, const Environment &Env) {
   return EvalVisitor(Env).visit(E);
+}
+
+Expected<double> sym::evaluateChecked(const Expr *E, const Environment &Env) {
+  RecoverableErrorScope Scope;
+  if (maybeInjectFault(FaultSite::SymbolicEval))
+    return Scope.takeError();
+  double Result = EvalVisitor(Env).visit(E);
+  if (Scope.hasError())
+    return Scope.takeError();
+  return Result;
 }

@@ -15,6 +15,7 @@
 #ifndef STENSO_SYMBOLIC_EVALUATOR_H
 #define STENSO_SYMBOLIC_EVALUATOR_H
 
+#include "support/Result.h"
 #include "symbolic/Expr.h"
 
 #include <unordered_map>
@@ -25,10 +26,16 @@ namespace sym {
 /// Symbol-to-value assignment (keys are interned SymbolExpr pointers).
 using Environment = std::unordered_map<const Expr *, double>;
 
-/// Evaluates \p E under \p Env.  Unbound symbols abort; domain errors
-/// (log of a non-positive value, fractional power of a negative base)
-/// surface as NaN, which equivalence checking treats as a mismatch.
+/// Evaluates \p E under \p Env.  Unbound symbols abort (or poison the
+/// active RecoverableErrorScope); domain errors (log of a non-positive
+/// value, fractional power of a negative base) surface as NaN, which
+/// equivalence checking treats as a mismatch.
 double evaluate(const Expr *E, const Environment &Env);
+
+/// Recoverable variant: an unbound symbol (or an injected symbolic-eval
+/// fault) returns ErrC::UnboundSymbol / ErrC::FaultInjected instead of
+/// aborting.
+Expected<double> evaluateChecked(const Expr *E, const Environment &Env);
 
 } // namespace sym
 } // namespace stenso

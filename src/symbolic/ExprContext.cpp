@@ -6,6 +6,7 @@
 
 #include "symbolic/ExprContext.h"
 
+#include "support/Budget.h"
 #include "support/Error.h"
 #include "support/Hashing.h"
 
@@ -55,6 +56,8 @@ const Expr *ExprContext::intern(std::unique_ptr<Expr> Node) {
   const Expr *Raw = Node.get();
   Nodes.push_back(std::move(Node));
   Buckets.emplace(H, Raw);
+  if (Budget)
+    Budget->chargeSymbolicNodes(1);
   return Raw;
 }
 
@@ -437,8 +440,10 @@ const Expr *ExprContext::logOf(const Expr *A) {
 //===----------------------------------------------------------------------===//
 
 const Expr *ExprContext::max(std::vector<const Expr *> Operands) {
-  if (Operands.empty())
-    reportFatalError("max of zero operands");
+  if (Operands.empty()) {
+    raiseOrFatal(ErrC::InvalidArgument, "max of zero operands");
+    return zero();
+  }
   std::vector<const Expr *> Flat;
   for (const Expr *Op : Operands) {
     if (isa<MaxExpr>(Op))

@@ -33,6 +33,9 @@
 #include <vector>
 
 namespace stenso {
+
+class ResourceBudget;
+
 namespace sym {
 
 /// Owns and interns symbolic expression nodes.  Not thread-safe; each
@@ -100,6 +103,15 @@ public:
   /// Number of distinct interned nodes (diagnostic).
   size_t getNumInternedNodes() const { return Nodes.size(); }
 
+  /// Attaches a cooperative resource budget: every freshly interned node
+  /// is charged against its symbolic-node cap, so runaway symbolic
+  /// expansion trips the budget even deep inside canonicalization.
+  /// Construction still succeeds after exhaustion (nodes stay valid);
+  /// cooperative loops observe the latched budget and unwind.  Pass
+  /// nullptr to detach.  The budget must outlive the attachment.
+  void setBudget(ResourceBudget *B) { Budget = B; }
+  ResourceBudget *getBudget() const { return Budget; }
+
   /// Context-lifetime memo table for expand() (see Transforms.h).  Safe
   /// because interned nodes are immutable and live as long as the context.
   std::unordered_map<const Expr *, const Expr *> &getExpandCache() {
@@ -125,6 +137,7 @@ private:
   std::unordered_map<std::string, const Expr *> SymbolsByName;
   std::unordered_map<const Expr *, const Expr *> ExpandCache;
   uint64_t NextId = 1;
+  ResourceBudget *Budget = nullptr;
 };
 
 } // namespace sym

@@ -7,6 +7,7 @@
 #include "symexec/SymbolicExecutor.h"
 
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "symbolic/Transforms.h"
 
 #include <functional>
@@ -191,9 +192,11 @@ public:
       if (Bound != LoopBindings.end())
         return Bound->second;
       auto It = Inputs.find(N->getName());
-      if (It == Inputs.end())
-        reportFatalError("unbound input '" + N->getName() +
-                         "' in symbolic execution");
+      if (It == Inputs.end()) {
+        raiseOrFatal(ErrC::UnboundInput, "unbound input '" + N->getName() +
+                                             "' in symbolic execution");
+        return SymTensor::scalar(Ctx.zero());
+      }
       return It->second;
     }
     case OpKind::Constant:
@@ -404,6 +407,10 @@ private:
 
 SymTensor symexec::symbolicExecute(const Node *N, ExprContext &Ctx,
                                    const SymBinding &Inputs) {
+  // Fault site for CI degradation testing: only observable inside a
+  // RecoverableErrorScope; the poison result is discarded by the caller.
+  if (maybeInjectFault(FaultSite::SymbolicEval))
+    return SymTensor::scalar(Ctx.zero());
   SymTensor Raw = SymExecVisitor(Ctx, Inputs).visit(N);
   // Specs are compared element-for-element by interned pointer, so they
   // must be in the *expanded* normal form: `a*(x+y)` and `a*x + a*y`
@@ -429,4 +436,14 @@ SymTensor symexec::computeSpec(const Program &P, ExprContext &Ctx) {
   assert(P.getRoot() && "program has no root");
   SymBinding Bindings = makeInputBindings(P, Ctx);
   return symbolicExecute(P.getRoot(), Ctx, Bindings);
+}
+
+Expected<SymTensor> symexec::symbolicExecuteChecked(const Node *N,
+                                                    ExprContext &Ctx,
+                                                    const SymBinding &Inputs) {
+  RecoverableErrorScope Scope;
+  SymTensor Result = symbolicExecute(N, Ctx, Inputs);
+  if (Scope.hasError())
+    return Scope.takeError().withContext("symbolically executing candidate");
+  return Result;
 }

@@ -17,6 +17,7 @@
 #define STENSO_SYMEXEC_SYMBOLICEXECUTOR_H
 
 #include "dsl/Node.h"
+#include "support/Result.h"
 #include "symexec/SymTensor.h"
 
 #include <unordered_map>
@@ -27,9 +28,20 @@ namespace symexec {
 /// Assignment of SymTensors to input names.
 using SymBinding = std::unordered_map<std::string, SymTensor>;
 
-/// Evaluates \p N symbolically under \p Inputs.
+/// Evaluates \p N symbolically under \p Inputs.  Recoverable conditions
+/// (unbound inputs, Rational overflow during canonicalization) abort
+/// unless a RecoverableErrorScope is active; use the Checked variant for
+/// candidate programs.
 SymTensor symbolicExecute(const dsl::Node *N, sym::ExprContext &Ctx,
                           const SymBinding &Inputs);
+
+/// Recoverable variant for *candidate* programs: runs under its own
+/// error scope and returns the first raised error (unbound input,
+/// arithmetic overflow, injected symbolic-eval fault, ...) instead of
+/// aborting.
+Expected<SymTensor> symbolicExecuteChecked(const dsl::Node *N,
+                                           sym::ExprContext &Ctx,
+                                           const SymBinding &Inputs);
 
 /// Creates fresh symbol tensors for every declared input of \p P (named
 /// after the inputs) and symbolically executes the root.  This is the

@@ -7,6 +7,7 @@
 #include "synth/BottomUpSynthesizer.h"
 
 #include "dsl/Printer.h"
+#include "support/Budget.h"
 #include "support/Timer.h"
 
 using namespace stenso;
@@ -43,7 +44,7 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
                                          const ShapeScaler &Scaler) {
   assert(Clamped.getRoot() && "program has no root");
   WallTimer Timer;
-  Deadline Budget(Config.TimeoutSeconds);
+  ResourceBudget Budget(Config.TimeoutSeconds);
   std::vector<OpKind> Ops =
       Config.Ops.empty() ? SketchLibrary::defaultOps() : Config.Ops;
 
@@ -55,8 +56,23 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
   Result.OptimizedCost = Result.OriginalCost;
 
   sym::ExprContext Ctx;
-  symexec::SymBinding Bindings = symexec::makeInputBindings(Clamped, Ctx);
-  SymTensor Phi = symexec::symbolicExecute(Clamped.getRoot(), Ctx, Bindings);
+  Ctx.setBudget(&Budget);
+  symexec::SymBinding Bindings;
+  std::optional<SymTensor> MaybePhi;
+  {
+    RecoverableErrorScope SetupScope;
+    Bindings = symexec::makeInputBindings(Clamped, Ctx);
+    SymTensor Spec = symexec::symbolicExecute(Clamped.getRoot(), Ctx, Bindings);
+    if (!SetupScope.hasError())
+      MaybePhi = std::move(Spec);
+  }
+  if (!MaybePhi) {
+    ++Result.Stats.PrunedByError;
+    Result.Abort = AbortReason::InternalError;
+    Result.SynthesisSeconds = Timer.elapsedSeconds();
+    return Result;
+  }
+  SymTensor Phi = std::move(*MaybePhi);
   SpecKey PhiKey{Phi.getShape(), Phi.getDType(), Phi.getElements()};
 
   Program Arena;
@@ -70,7 +86,13 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
     if (!Root)
       return;
     ++Result.Stats.DfsCalls; // reused as "programs enumerated"
+    // Candidates whose spec fails to compute are pruned, not fatal.
+    RecoverableErrorScope Scope;
     SymTensor Spec = symexec::symbolicExecute(Root, Ctx, Bindings);
+    if (Scope.hasError()) {
+      ++Result.Stats.PrunedByError;
+      return;
+    }
     double Cost = Model->costOfTree(Root, Scaler);
     SpecKey Key{Spec.getShape(), Spec.getDType(), Spec.getElements()};
     if (Key == PhiKey && Cost < BestCost) {
@@ -103,8 +125,7 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
   for (int Depth = 1; Depth <= Config.MaxDepth && !Exhausted; ++Depth) {
     size_t LevelEnd = Entries.size();
     auto Expired = [&] {
-      if (Budget.expired() || Entries.size() >= Config.MaxPrograms) {
-        Result.TimedOut = Budget.expired();
+      if (!Budget.checkpoint() || Entries.size() >= Config.MaxPrograms) {
         Exhausted = true;
         return true;
       }
@@ -174,5 +195,12 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
     Result.OptimizedSource = printProgram(*Optimized);
     Result.Optimized = std::move(Optimized);
   }
+  if (Budget.latched())
+    Result.Abort = Budget.exhaustedReason() == ErrC::Timeout
+                       ? AbortReason::Timeout
+                       : AbortReason::BudgetExceeded;
+  else if (!Result.Improved && Result.Stats.PrunedByError > 0)
+    Result.Abort = AbortReason::InternalError;
+  Result.TimedOut = Result.Abort == AbortReason::Timeout;
   return Result;
 }

@@ -9,6 +9,7 @@
 #include "dsl/FlopCost.h"
 #include "dsl/Interpreter.h"
 #include "support/Error.h"
+#include "support/Result.h"
 #include "support/Timer.h"
 
 #include <sstream>
@@ -145,9 +146,15 @@ double MeasuredCostModel::measure(const dsl::Node *N,
     Attrs.ShapeAttr = Scaler.scaleUp(Attrs.ShapeAttr);
   const dsl::Node *Rebuilt =
       Scratch.tryMake(N->getKind(), std::move(Operands), std::move(Attrs));
-  if (!Rebuilt)
-    reportFatalError("measured cost model failed to rebuild op " +
+  if (!Rebuilt) {
+    // Candidate-reachable: a synthesized tree may be ill-shaped once its
+    // extents are scaled up.  Poison the measurement so the candidate is
+    // never preferred; the enclosing scope prunes it.
+    raiseOrFatal(ErrC::ShapeMismatch,
+                 "measured cost model failed to rebuild op " +
                      getOpName(N->getKind()) + " at scaled shapes");
+    return 1e30;
+  }
 
   // Warm up once, then take the minimum of the repetitions — the usual
   // low-noise estimator for short kernels.

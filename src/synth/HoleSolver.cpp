@@ -6,6 +6,7 @@
 
 #include "synth/HoleSolver.h"
 
+#include "support/FaultInjection.h"
 #include "support/Hashing.h"
 #include "symbolic/Linear.h"
 #include "symbolic/Transforms.h"
@@ -117,23 +118,45 @@ std::vector<const Expr *> termsOf(const Expr *E) {
 // Solving
 //===----------------------------------------------------------------------===//
 
-std::optional<SymTensor> HoleSolver::solve(const Sketch &Sk,
-                                           const SymTensor &Phi) {
+Expected<SymTensor> HoleSolver::solve(const Sketch &Sk,
+                                      const SymTensor &Phi) {
   ++Calls;
+  if (Budget) {
+    Budget->chargeSolverCall();
+    if (!Budget->checkpoint())
+      return Budget->toError();
+  }
   CacheKey Key{Sk.Root, SpecKey{Phi.getShape(), Phi.getDType(),
                                 Phi.getElements()}};
   auto It = Cache.find(Key);
   if (It != Cache.end())
     return It->second;
-  std::optional<SymTensor> Result = solveUncached(Sk, Phi);
+  Expected<SymTensor> Result = solveUncached(Sk, Phi);
   if (Result)
     ++Solved;
-  Cache.emplace(std::move(Key), Result);
+  // Budget exhaustion describes this run's budget, not the query — don't
+  // memoize it, or a later run with head-room would inherit the failure.
+  if (Result || (Result.error().code() != ErrC::BudgetExhausted &&
+                 Result.error().code() != ErrC::Timeout))
+    Cache.emplace(std::move(Key), Result);
   return Result;
 }
 
+Expected<SymTensor> HoleSolver::solveUncached(const Sketch &Sk,
+                                              const SymTensor &Phi) {
+  RecoverableErrorScope Scope;
+  if (maybeInjectFault(FaultSite::HoleSolve))
+    return Scope.takeError();
+  std::optional<SymTensor> Result = solveImpl(Sk, Phi);
+  if (Scope.hasError())
+    return Scope.takeError().withContext("solving sketch hole");
+  if (!Result)
+    return makeError(ErrC::NoSolution, "no representable hole solution");
+  return std::move(*Result);
+}
+
 std::optional<SymTensor>
-HoleSolver::solveUncached(const Sketch &Sk, const SymTensor &Phi) {
+HoleSolver::solveImpl(const Sketch &Sk, const SymTensor &Phi) {
   if (Sk.Template.getShape() != Phi.getShape() ||
       Sk.Template.getDType() != Phi.getDType())
     return std::nullopt;

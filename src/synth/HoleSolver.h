@@ -31,6 +31,8 @@
 #ifndef STENSO_SYNTH_HOLESOLVER_H
 #define STENSO_SYNTH_HOLESOLVER_H
 
+#include "support/Budget.h"
+#include "support/Result.h"
 #include "synth/SketchLibrary.h"
 
 #include <optional>
@@ -44,20 +46,29 @@ public:
   HoleSolver(sym::ExprContext &Ctx, const symexec::SymBinding &Bindings)
       : Ctx(Ctx), Bindings(Bindings) {}
 
-  /// Returns the hole specification making \p Sk equivalent to \p Phi, or
-  /// nullopt when no (representable) solution exists.
-  std::optional<symexec::SymTensor> solve(const Sketch &Sk,
-                                          const symexec::SymTensor &Phi);
+  /// Attaches a cooperative budget: every solve charges one solver call
+  /// and observes exhaustion before doing work.  Pass nullptr to detach.
+  void setBudget(ResourceBudget *B) { Budget = B; }
+
+  /// Returns the hole specification making \p Sk equivalent to \p Phi.
+  /// ErrC::NoSolution is the benign "no representable solution" outcome;
+  /// any other error (arithmetic overflow while decomposing, injected
+  /// fault, exhausted budget) marks a genuinely failed solve.
+  Expected<symexec::SymTensor> solve(const Sketch &Sk,
+                                     const symexec::SymTensor &Phi);
 
   int64_t getNumCalls() const { return Calls; }
   int64_t getNumSolved() const { return Solved; }
 
 private:
-  std::optional<symexec::SymTensor> solveUncached(const Sketch &Sk,
-                                                  const symexec::SymTensor &Phi);
+  Expected<symexec::SymTensor> solveUncached(const Sketch &Sk,
+                                             const symexec::SymTensor &Phi);
+  std::optional<symexec::SymTensor> solveImpl(const Sketch &Sk,
+                                              const symexec::SymTensor &Phi);
 
   sym::ExprContext &Ctx;
   const symexec::SymBinding &Bindings;
+  ResourceBudget *Budget = nullptr;
 
   struct CacheKey {
     const dsl::Node *SketchRoot;
@@ -69,7 +80,7 @@ private:
   struct CacheKeyHash {
     size_t operator()(const CacheKey &K) const;
   };
-  std::unordered_map<CacheKey, std::optional<symexec::SymTensor>, CacheKeyHash>
+  std::unordered_map<CacheKey, Expected<symexec::SymTensor>, CacheKeyHash>
       Cache;
   int64_t Calls = 0;
   int64_t Solved = 0;

@@ -40,8 +40,8 @@ std::vector<OpKind> SketchLibrary::defaultOps() {
 SketchLibrary::SketchLibrary(const Program &Clamped, sym::ExprContext &Ctx,
                              const symexec::SymBinding &Bindings,
                              const CostModel &Model, const ShapeScaler &Scaler,
-                             Config C)
-    : Ctx(Ctx), Bindings(Bindings) {
+                             Config C, ResourceBudget *Budget)
+    : Ctx(Ctx), Bindings(Bindings), Budget(Budget) {
   if (C.Ops.empty())
     C.Ops = defaultOps();
   enumerateStubs(Clamped, Model, Scaler, C);
@@ -53,9 +53,23 @@ void SketchLibrary::addCandidate(const Node *Root, int Depth,
                                  const ShapeScaler &Scaler) {
   if (!Root)
     return;
+  if (Budget && !Budget->checkpoint())
+    return;
   ++CandidatesTried;
+  // A candidate that overflows Rational arithmetic (or trips an injected
+  // tensor-op fault) while being specced is not library-worthy; skip it
+  // rather than aborting the whole enumeration.
+  RecoverableErrorScope Scope;
   SymTensor Spec = symexec::symbolicExecute(Root, Ctx, Bindings);
+  if (Scope.hasError()) {
+    ++CandidatesFailed;
+    return;
+  }
   double Cost = Model.costOfTree(Root, Scaler);
+  if (Scope.hasError()) { // cost measurement itself can reject a tree
+    ++CandidatesFailed;
+    return;
+  }
   SpecKey Key = keyOf(Spec);
   auto It = StubBySpec.find(Key);
   if (It != StubBySpec.end()) {
@@ -124,7 +138,9 @@ void SketchLibrary::enumerateStubs(const Program &Clamped,
     else
       Shallow = Terminals;
 
-    auto Overfull = [&] { return Stubs.size() >= C.MaxStubs; };
+    auto Overfull = [&] {
+      return Stubs.size() >= C.MaxStubs || (Budget && Budget->latched());
+    };
 
     for (OpKind Op : C.Ops) {
       if (Overfull())
@@ -249,6 +265,8 @@ static const Node *rebuildWithHole(Program &Arena, const Node *N,
 void SketchLibrary::makeSketches(const CostModel &Model,
                                  const ShapeScaler &Scaler) {
   for (const Stub &S : Stubs) {
+    if (Budget && !Budget->checkpoint())
+      break;
     if (S.Depth == 0)
       continue; // a bare hole is not a useful sketch
     std::vector<std::vector<size_t>> Paths;
@@ -281,7 +299,12 @@ void SketchLibrary::makeSketches(const CostModel &Model,
 
       symexec::SymBinding Extended = Bindings;
       Extended.emplace(HoleName, HoleSymbols);
+      RecoverableErrorScope Scope;
       SymTensor Template = symexec::symbolicExecute(Root, Ctx, Extended);
+      if (Scope.hasError()) {
+        ++CandidatesFailed;
+        continue;
+      }
 
       // Sketches whose hole cancels out entirely cannot constrain it.
       bool MentionsHole = false;
@@ -298,6 +321,10 @@ void SketchLibrary::makeSketches(const CostModel &Model,
         continue;
 
       double Cost = Model.costOfTree(Root, Scaler);
+      if (Scope.hasError()) { // cost measurement itself can reject a tree
+        ++CandidatesFailed;
+        continue;
+      }
       SpecKey Key{Template.getShape(), Template.getDType(),
                   Template.getElements()};
       auto It = SketchByTemplate.find(Key);

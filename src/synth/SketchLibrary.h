@@ -21,6 +21,7 @@
 #define STENSO_SYNTH_SKETCHLIBRARY_H
 
 #include "dsl/Node.h"
+#include "support/Budget.h"
 #include "symexec/SymbolicExecutor.h"
 #include "synth/CostModel.h"
 
@@ -83,9 +84,14 @@ public:
 
   /// Enumerates the library for \p Clamped (the reduced-shape program).
   /// \p Bindings must be the shared input symbols of the synthesis run.
+  /// When \p Budget is given, enumeration checkpoints it and stops early
+  /// on exhaustion (the library stays usable, just smaller); candidates
+  /// that raise recoverable errors while being specced are skipped and
+  /// counted in getNumCandidatesFailed().
   SketchLibrary(const dsl::Program &Clamped, sym::ExprContext &Ctx,
                 const symexec::SymBinding &Bindings, const CostModel &Model,
-                const ShapeScaler &Scaler, Config C);
+                const ShapeScaler &Scaler, Config C,
+                ResourceBudget *Budget = nullptr);
 
   const std::vector<Stub> &getStubs() const { return Stubs; }
   const std::vector<Sketch> &getSketches() const { return Sketches; }
@@ -108,6 +114,10 @@ public:
   /// Enumeration statistics for reports.
   int64_t getNumCandidatesTried() const { return CandidatesTried; }
 
+  /// Candidates dropped because spec computation raised a recoverable
+  /// error (arithmetic overflow, injected fault, ...).
+  int64_t getNumCandidatesFailed() const { return CandidatesFailed; }
+
 private:
   void enumerateStubs(const dsl::Program &Clamped, const CostModel &Model,
                       const ShapeScaler &Scaler, const Config &C);
@@ -119,6 +129,7 @@ private:
 
   sym::ExprContext &Ctx;
   const symexec::SymBinding &Bindings;
+  ResourceBudget *Budget = nullptr;
   dsl::Program Arena;
 
   std::vector<Stub> Stubs;
@@ -135,6 +146,7 @@ private:
   std::unordered_map<SpecKey, std::vector<const Sketch *>, SpecKeyHash>
       SketchesByShape;
   int64_t CandidatesTried = 0;
+  int64_t CandidatesFailed = 0;
 };
 
 } // namespace synth

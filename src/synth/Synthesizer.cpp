@@ -7,6 +7,8 @@
 #include "synth/Synthesizer.h"
 
 #include "dsl/Printer.h"
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
 #include "support/Timer.h"
 
 #include <unordered_set>
@@ -15,6 +17,20 @@ using namespace stenso;
 using namespace stenso::synth;
 using namespace stenso::dsl;
 using symexec::SymTensor;
+
+const char *synth::toString(AbortReason R) {
+  switch (R) {
+  case AbortReason::None:
+    return "None";
+  case AbortReason::Timeout:
+    return "Timeout";
+  case AbortReason::BudgetExceeded:
+    return "BudgetExceeded";
+  case AbortReason::InternalError:
+    return "InternalError";
+  }
+  return "None";
+}
 
 double synth::specComplexity(const SymTensor &Spec) {
   // |var(Phi)| * density(Phi).  We instantiate |var| as the total number
@@ -69,7 +85,7 @@ public:
   SearchDriver(const SynthesisConfig &Config, SketchLibrary &Library,
                HoleSolver &Solver, const CostModel &Model,
                const ShapeScaler &Scaler, SynthesisStats &Stats,
-               const Deadline &Budget)
+               ResourceBudget &Budget)
       : Config(Config), Library(Library), Solver(Solver), Model(Model),
         Scaler(Scaler), Stats(Stats), Budget(Budget) {}
 
@@ -78,18 +94,14 @@ public:
     double Cost = 0;
   };
 
-  bool timedOut() const { return TimedOut; }
-
   /// Algorithm 2.  \p CostSoFar is the concrete cost accumulated by
   /// enclosing sketches; \p CostMin is the branch-and-bound incumbent
   /// (pass-by-reference as in the paper).
   std::optional<Candidate> dfs(const SymTensor &Phi, int Level,
                                double CostSoFar, double &CostMin) {
     ++Stats.DfsCalls;
-    if (Budget.expired()) {
-      TimedOut = true;
+    if (!Budget.checkpoint())
       return std::nullopt;
-    }
 
     // Base case (lines 2-8): a direct stub match.  The library keeps the
     // cheapest stub per spec, so this is the argmin over matches.  Unlike
@@ -101,9 +113,18 @@ public:
     // exploration must beat, which also tightens the global bound.
     std::optional<Candidate> Best;
     if (const Stub *Match = Library.findMatchingStub(Phi)) {
-      Best = Candidate{Match->Root, Match->Cost};
-      if (Config.UseBranchAndBound)
-        CostMin = std::min(CostMin, CostSoFar + Match->Cost);
+      // A stub match is the degenerate solver query (an all-concrete
+      // sketch with no hole), so it shares the hole-solver fault site:
+      // under STENSO_FAULT=holesolver:... no candidate path survives.
+      RecoverableErrorScope FaultScope;
+      if (maybeInjectFault(FaultSite::HoleSolve)) {
+        (void)FaultScope.takeError();
+        ++Stats.PrunedByError;
+      } else {
+        Best = Candidate{Match->Root, Match->Cost};
+        if (Config.UseBranchAndBound)
+          CostMin = std::min(CostMin, CostSoFar + Match->Cost);
+      }
     }
 
     if (Level >= Config.MaxRecursionDepth)
@@ -114,10 +135,8 @@ public:
     for (const Sketch *SkPtr :
          Library.getSketchesFor(Phi.getShape(), Phi.getDType())) {
       const Sketch &Sk = *SkPtr;
-      if (TimedOut || Budget.expired()) {
-        TimedOut = true;
+      if (!Budget.checkpoint())
         break;
-      }
       // A sketch whose concrete part mentions tensors absent from Phi
       // could only match through cancellation; skip it.
       if (!sketchTensorsSubset(Sk, PhiTensors))
@@ -132,9 +151,17 @@ public:
       }
 
       ++Stats.SolverCalls;
-      std::optional<SymTensor> HoleSpec = Solver.solve(Sk, Phi);
-      if (!HoleSpec)
+      Expected<SymTensor> HoleSpec = Solver.solve(Sk, Phi);
+      if (!HoleSpec) {
+        ErrC Code = HoleSpec.error().code();
+        if (Code == ErrC::Timeout || Code == ErrC::BudgetExhausted)
+          break; // the budget latched; no point in trying more sketches
+        // NoSolution is the expected miss; anything else is a failed
+        // candidate evaluation — prune the branch, keep searching.
+        if (Code != ErrC::NoSolution)
+          ++Stats.PrunedByError;
         continue;
+      }
       ++Stats.SolverSuccesses;
 
       // PRUNE (line 12): only monotonically simplifying decompositions.
@@ -186,9 +213,8 @@ private:
   const CostModel &Model;
   const ShapeScaler &Scaler;
   SynthesisStats &Stats;
-  const Deadline &Budget;
+  ResourceBudget &Budget;
   std::unordered_map<const Node *, std::vector<std::string>> SketchTensors;
-  bool TimedOut = false;
 };
 
 } // namespace
@@ -199,7 +225,8 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
                                  const ShapeScaler &Scaler) {
   assert(Clamped.getRoot() && "program has no root");
   WallTimer Timer;
-  Deadline Budget(Config.TimeoutSeconds);
+  ResourceBudget Budget(ResourceBudget::Limits{
+      Config.TimeoutSeconds, Config.MaxSymbolicNodes, Config.MaxSolverCalls});
   SynthesisResult Result;
   Result.OptimizedSource = printProgram(Clamped);
 
@@ -211,22 +238,41 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
   Result.OptimizedCost = Result.OriginalCost;
 
   sym::ExprContext Ctx;
-  symexec::SymBinding Bindings = symexec::makeInputBindings(Clamped, Ctx);
-  SymTensor Phi = symexec::symbolicExecute(Clamped.getRoot(), Ctx, Bindings);
+  Ctx.setBudget(&Budget);
+
+  // Specification of the input program.  If this fails (overflow,
+  // injected fault) there is nothing to search against: degrade to the
+  // original program instead of aborting.
+  symexec::SymBinding Bindings;
+  std::optional<SymTensor> Phi;
+  {
+    RecoverableErrorScope SetupScope;
+    Bindings = symexec::makeInputBindings(Clamped, Ctx);
+    SymTensor Spec = symexec::symbolicExecute(Clamped.getRoot(), Ctx, Bindings);
+    if (!SetupScope.hasError())
+      Phi = std::move(Spec);
+  }
+  if (!Phi) {
+    ++Result.Stats.PrunedByError;
+    Result.Abort = AbortReason::InternalError;
+    Result.SynthesisSeconds = Timer.elapsedSeconds();
+    return Result;
+  }
 
   SketchLibrary Library(Clamped, Ctx, Bindings, *Model, Scaler,
-                        Config.Library);
+                        Config.Library, &Budget);
   Result.Stats.NumStubs = Library.getStubs().size();
   Result.Stats.NumSketches = Library.getSketches().size();
+  Result.Stats.PrunedByError += Library.getNumCandidatesFailed();
 
   HoleSolver Solver(Ctx, Bindings);
+  Solver.setBudget(&Budget);
   SearchDriver Driver(Config, Library, Solver, *Model, Scaler, Result.Stats,
                       Budget);
 
   double CostMin = Result.OriginalCost;
-  std::optional<SearchDriver::Candidate> Best = Driver.dfs(Phi, 0, 0, CostMin);
+  std::optional<SearchDriver::Candidate> Best = Driver.dfs(*Phi, 0, 0, CostMin);
 
-  Result.TimedOut = Driver.timedOut();
   Result.Stats.SolverCalls = Solver.getNumCalls();
   Result.Stats.SolverSuccesses = Solver.getNumSolved();
   Result.SynthesisSeconds = Timer.elapsedSeconds();
@@ -240,5 +286,16 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     Result.OptimizedSource = printProgram(*Optimized);
     Result.Optimized = std::move(Optimized);
   }
+
+  // Abort classification (precedence: Timeout > BudgetExceeded >
+  // InternalError > None).  Error-pruned branches only count as a
+  // degraded run when they may have cost us the improvement.
+  if (Budget.latched())
+    Result.Abort = Budget.exhaustedReason() == ErrC::Timeout
+                       ? AbortReason::Timeout
+                       : AbortReason::BudgetExceeded;
+  else if (!Result.Improved && Result.Stats.PrunedByError > 0)
+    Result.Abort = AbortReason::InternalError;
+  Result.TimedOut = Result.Abort == AbortReason::Timeout;
   return Result;
 }

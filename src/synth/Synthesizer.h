@@ -39,6 +39,10 @@ struct SynthesisConfig {
   /// Wall-clock budget; <= 0 means unlimited.  The paper's evaluation
   /// uses 600 s.
   double TimeoutSeconds = 600;
+  /// Cap on symbolic nodes interned during the run; <= 0 unlimited.
+  int64_t MaxSymbolicNodes = 0;
+  /// Cap on hole-solver invocations; <= 0 unlimited.
+  int64_t MaxSolverCalls = 0;
   /// Safety cap on sketch-nesting depth.
   int MaxRecursionDepth = 10;
   SketchLibrary::Config Library;
@@ -50,17 +54,40 @@ struct SynthesisStats {
   int64_t SketchesExplored = 0;
   int64_t PrunedByCost = 0;
   int64_t PrunedBySimplification = 0;
+  /// Candidate branches abandoned because evaluation raised a
+  /// recoverable error (overflow, injected fault, ...).
+  int64_t PrunedByError = 0;
   int64_t SolverCalls = 0;
   int64_t SolverSuccesses = 0;
   size_t NumStubs = 0;
   size_t NumSketches = 0;
 };
 
-/// Outcome of a synthesis run.
+/// Why a synthesis run stopped short of an exhaustive search.  Ordered by
+/// reporting precedence: Timeout > BudgetExceeded > InternalError > None.
+enum class AbortReason {
+  /// The search ran to completion.
+  None,
+  /// The wall-clock budget expired.
+  Timeout,
+  /// A resource cap (symbolic nodes, solver calls) was hit.
+  BudgetExceeded,
+  /// Recoverable errors degraded the run (setup failed, or every path to
+  /// an improvement was error-pruned).
+  InternalError,
+};
+
+const char *toString(AbortReason R);
+
+/// Outcome of a synthesis run.  Always well-formed: OptimizedSource holds
+/// the original program whenever no improvement was accepted, whatever
+/// the abort reason.
 struct SynthesisResult {
   /// True when a strictly cheaper equivalent program was found.
   bool Improved = false;
+  /// Legacy alias of Abort == AbortReason::Timeout.
   bool TimedOut = false;
+  AbortReason Abort = AbortReason::None;
   /// NumPy source of the result (the original program when !Improved).
   std::string OptimizedSource;
   double OriginalCost = 0;

@@ -6,6 +6,7 @@
 
 #include "tensor/Shape.h"
 #include "support/Error.h"
+#include "support/Result.h"
 
 #include <cassert>
 
@@ -66,14 +67,19 @@ int64_t Shape::normalizeAxis(int64_t Axis) const {
   int64_t Rank = getRank();
   if (Axis < 0)
     Axis += Rank;
-  if (Axis < 0 || Axis >= Rank)
-    reportFatalError("axis " + std::to_string(Axis) +
-                     " out of range for shape " + toString());
+  if (Axis < 0 || Axis >= Rank) {
+    raiseOrFatal(ErrC::ShapeMismatch, "axis " + std::to_string(Axis) +
+                                          " out of range for shape " +
+                                          toString());
+    return 0; // poison: first axis (or 0 for scalars; callers re-check)
+  }
   return Axis;
 }
 
 Shape Shape::dropAxis(int64_t Axis) const {
   Axis = normalizeAxis(Axis);
+  if (getRank() == 0)
+    return *this; // poisoned normalizeAxis on a scalar
   std::vector<int64_t> Out = Dims;
   Out.erase(Out.begin() + Axis);
   return Shape(std::move(Out));

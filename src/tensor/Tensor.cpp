@@ -6,6 +6,7 @@
 
 #include "tensor/Tensor.h"
 #include "support/Error.h"
+#include "support/Result.h"
 
 #include <cmath>
 #include <sstream>
@@ -39,9 +40,12 @@ Tensor Tensor::full(Shape S, double Value, DType Ty) {
 }
 
 Tensor Tensor::reshaped(Shape NewShape) const {
-  if (NewShape.getNumElements() != getNumElements())
-    reportFatalError("reshape from " + S.toString() + " to " +
-                     NewShape.toString() + " changes element count");
+  if (NewShape.getNumElements() != getNumElements()) {
+    raiseOrFatal(ErrC::ShapeMismatch, "reshape from " + S.toString() +
+                                          " to " + NewShape.toString() +
+                                          " changes element count");
+    return Tensor::scalar(0.0, Ty);
+  }
   return Tensor(std::move(NewShape), Data, Ty);
 }
 

@@ -6,6 +6,7 @@
 
 #include "tensor/TensorOps.h"
 #include "support/Error.h"
+#include "support/Result.h"
 
 #include <cmath>
 #include <functional>
@@ -57,13 +58,16 @@ private:
 
 } // namespace
 
-static Shape broadcastOrDie(const Shape &A, const Shape &B,
-                            const char *OpName) {
+/// Broadcasts or raises ShapeMismatch; nullopt is the poisoned case (only
+/// observable inside a RecoverableErrorScope).
+static std::optional<Shape> broadcastOrRaise(const Shape &A, const Shape &B,
+                                             const char *OpName) {
   std::optional<Shape> Out = Shape::broadcast(A, B);
   if (!Out)
-    reportFatalError(std::string(OpName) + ": shapes " + A.toString() +
-                     " and " + B.toString() + " are not broadcastable");
-  return *Out;
+    raiseOrFatal(ErrC::ShapeMismatch,
+                 std::string(OpName) + ": shapes " + A.toString() + " and " +
+                     B.toString() + " are not broadcastable");
+  return Out;
 }
 
 /// Applies \p Fn elementwise over two broadcast operands.  Templated on
@@ -73,7 +77,11 @@ static Shape broadcastOrDie(const Shape &A, const Shape &B,
 template <typename FnT>
 static Tensor broadcastBinary(const Tensor &A, const Tensor &B,
                               const char *OpName, DType OutTy, FnT Fn) {
-  Shape Out = broadcastOrDie(A.getShape(), B.getShape(), OpName);
+  std::optional<Shape> MaybeOut =
+      broadcastOrRaise(A.getShape(), B.getShape(), OpName);
+  if (!MaybeOut)
+    return Tensor::scalar(0.0, OutTy);
+  Shape Out = std::move(*MaybeOut);
   Tensor Result(Out, OutTy);
   if (Out.getNumElements() == 0)
     return Result;
@@ -248,8 +256,15 @@ Tensor tops::log(const Tensor &A) {
 //===----------------------------------------------------------------------===//
 
 Tensor tops::where(const Tensor &Cond, const Tensor &A, const Tensor &B) {
-  Shape CondAB = broadcastOrDie(Cond.getShape(), A.getShape(), "where");
-  Shape Out = broadcastOrDie(CondAB, B.getShape(), "where");
+  std::optional<Shape> CondAB =
+      broadcastOrRaise(Cond.getShape(), A.getShape(), "where");
+  if (!CondAB)
+    return Tensor::scalar(0.0);
+  std::optional<Shape> MaybeOut =
+      broadcastOrRaise(*CondAB, B.getShape(), "where");
+  if (!MaybeOut)
+    return Tensor::scalar(0.0);
+  Shape Out = std::move(*MaybeOut);
   Tensor Result(Out, DType::Float64);
   if (Out.getNumElements() == 0)
     return Result;
@@ -267,9 +282,12 @@ Tensor tops::where(const Tensor &Cond, const Tensor &A, const Tensor &B) {
 
 /// Shared triangle masking for triu/tril.
 static Tensor triangle(const Tensor &A, int64_t K, bool Upper) {
-  if (A.getRank() != 2)
-    reportFatalError("triu/tril require a rank-2 tensor, got " +
+  if (A.getRank() != 2) {
+    raiseOrFatal(ErrC::ShapeMismatch,
+                 "triu/tril require a rank-2 tensor, got " +
                      A.getShape().toString());
+    return Tensor::scalar(0.0);
+  }
   Tensor Result(A.getShape(), A.getDType());
   int64_t Rows = A.getShape().getDim(0), Cols = A.getShape().getDim(1);
   for (int64_t I = 0; I < Rows; ++I)
@@ -298,26 +316,34 @@ Tensor tops::dot(const Tensor &A, const Tensor &B) {
     return multiply(A, B);
   int64_t ContractA = A.getRank() - 1;
   int64_t ContractB = B.getRank() == 1 ? 0 : B.getRank() - 2;
-  if (A.getShape().getDim(ContractA) != B.getShape().getDim(ContractB))
-    reportFatalError("dot: contracted extents differ: " +
-                     A.getShape().toString() + " vs " +
-                     B.getShape().toString());
+  if (A.getShape().getDim(ContractA) != B.getShape().getDim(ContractB)) {
+    raiseOrFatal(ErrC::ShapeMismatch, "dot: contracted extents differ: " +
+                                          A.getShape().toString() + " vs " +
+                                          B.getShape().toString());
+    return Tensor::scalar(0.0);
+  }
   return tensordot(A, B, {ContractA}, {ContractB});
 }
 
 Tensor tops::tensordot(const Tensor &A, const Tensor &B,
                        const std::vector<int64_t> &AxesA,
                        const std::vector<int64_t> &AxesB) {
-  if (AxesA.size() != AxesB.size())
-    reportFatalError("tensordot: axis lists differ in length");
+  if (AxesA.size() != AxesB.size()) {
+    raiseOrFatal(ErrC::ShapeMismatch,
+                 "tensordot: axis lists differ in length");
+    return Tensor::scalar(0.0);
+  }
   std::vector<int64_t> NormA, NormB;
   for (int64_t Axis : AxesA)
     NormA.push_back(A.getShape().normalizeAxis(Axis));
   for (int64_t Axis : AxesB)
     NormB.push_back(B.getShape().normalizeAxis(Axis));
   for (size_t I = 0; I < NormA.size(); ++I)
-    if (A.getShape().getDim(NormA[I]) != B.getShape().getDim(NormB[I]))
-      reportFatalError("tensordot: contracted extents differ");
+    if (A.getShape().getDim(NormA[I]) != B.getShape().getDim(NormB[I])) {
+      raiseOrFatal(ErrC::ShapeMismatch,
+                   "tensordot: contracted extents differ");
+      return Tensor::scalar(0.0);
+    }
 
   auto FreeAxes = [](const Shape &S, const std::vector<int64_t> &Contracted) {
     std::vector<int64_t> Free;
@@ -449,9 +475,11 @@ Tensor tops::tensordot(const Tensor &A, const Tensor &B,
 }
 
 Tensor tops::diag(const Tensor &A) {
-  if (A.getRank() != 2)
-    reportFatalError("diag requires a rank-2 tensor, got " +
-                     A.getShape().toString());
+  if (A.getRank() != 2) {
+    raiseOrFatal(ErrC::ShapeMismatch, "diag requires a rank-2 tensor, got " +
+                                          A.getShape().toString());
+    return Tensor::scalar(0.0);
+  }
   int64_t N = std::min(A.getShape().getDim(0), A.getShape().getDim(1));
   Tensor Result(Shape({N}), DType::Float64);
   for (int64_t I = 0; I < N; ++I)
@@ -474,8 +502,10 @@ Tensor tops::transpose(const Tensor &A, const std::vector<int64_t> &Perm) {
   if (P.empty())
     for (int64_t I = Rank - 1; I >= 0; --I)
       P.push_back(I);
-  if (static_cast<int64_t>(P.size()) != Rank)
-    reportFatalError("transpose: permutation rank mismatch");
+  if (static_cast<int64_t>(P.size()) != Rank) {
+    raiseOrFatal(ErrC::ShapeMismatch, "transpose: permutation rank mismatch");
+    return Tensor::scalar(0.0);
+  }
 
   std::vector<int64_t> OutDims(static_cast<size_t>(Rank));
   for (int64_t I = 0; I < Rank; ++I)
@@ -522,17 +552,23 @@ Tensor tops::reshape(const Tensor &A, Shape NewShape) {
 }
 
 Tensor tops::stack(const std::vector<Tensor> &Parts, int64_t Axis) {
-  if (Parts.empty())
-    reportFatalError("stack of zero tensors");
+  if (Parts.empty()) {
+    raiseOrFatal(ErrC::ShapeMismatch, "stack of zero tensors");
+    return Tensor::scalar(0.0);
+  }
   const Shape &PartShape = Parts.front().getShape();
   for (const Tensor &T : Parts)
-    if (T.getShape() != PartShape)
-      reportFatalError("stack: operand shapes differ");
+    if (T.getShape() != PartShape) {
+      raiseOrFatal(ErrC::ShapeMismatch, "stack: operand shapes differ");
+      return Tensor::scalar(0.0);
+    }
   int64_t OutRank = PartShape.getRank() + 1;
   if (Axis < 0)
     Axis += OutRank;
-  if (Axis < 0 || Axis >= OutRank)
-    reportFatalError("stack: axis out of range");
+  if (Axis < 0 || Axis >= OutRank) {
+    raiseOrFatal(ErrC::ShapeMismatch, "stack: axis out of range");
+    return Tensor::scalar(0.0);
+  }
   Shape OutShape =
       PartShape.insertAxis(Axis, static_cast<int64_t>(Parts.size()));
   Tensor Result(OutShape, Parts.front().getDType());
@@ -602,8 +638,10 @@ Tensor tops::sum(const Tensor &A, int64_t Axis) {
 }
 
 Tensor tops::maxAll(const Tensor &A) {
-  if (A.getNumElements() == 0)
-    reportFatalError("max of empty tensor");
+  if (A.getNumElements() == 0) {
+    raiseOrFatal(ErrC::ShapeMismatch, "max of empty tensor");
+    return Tensor::scalar(0.0);
+  }
   double Acc = A.at(0);
   int64_t N = A.getNumElements();
   for (int64_t I = 1; I < N; ++I)
@@ -612,8 +650,13 @@ Tensor tops::maxAll(const Tensor &A) {
 }
 
 Tensor tops::max(const Tensor &A, int64_t Axis) {
-  if (A.getShape().getDim(A.getShape().normalizeAxis(Axis)) == 0)
-    reportFatalError("max over empty axis");
+  int64_t Norm = A.getShape().normalizeAxis(Axis);
+  if (A.getRank() == 0)
+    return Tensor::scalar(0.0); // poisoned normalizeAxis on a scalar
+  if (A.getShape().getDim(Norm) == 0) {
+    raiseOrFatal(ErrC::ShapeMismatch, "max over empty axis");
+    return Tensor::scalar(0.0);
+  }
   return reduceAxis(A, Axis, -std::numeric_limits<double>::infinity(),
                     [](double Acc, double X) { return std::max(Acc, X); });
 }

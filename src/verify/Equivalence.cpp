@@ -8,7 +8,9 @@
 
 #include "dsl/Interpreter.h"
 #include "dsl/Parser.h"
+#include "support/Budget.h"
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "support/RNG.h"
 #include "symexec/SymbolicExecutor.h"
 
@@ -52,9 +54,14 @@ std::optional<InputDecls> mergedInputs(const Program &A, const Program &B) {
 
 } // namespace
 
-Verdict verify::checkEquivalence(const Program &A, const Program &B,
-                                 const Options &Opts) {
+Expected<Verdict> verify::checkEquivalence(const Program &A, const Program &B,
+                                           const Options &Opts) {
   assert(A.getRoot() && B.getRoot() && "programs need roots");
+  RecoverableErrorScope Scope;
+  if (maybeInjectFault(FaultSite::Verifier))
+    return Scope.takeError();
+  ResourceBudget Budget(Opts.TimeoutSeconds);
+
   if (A.getRoot()->getType() != B.getRoot()->getType())
     return Verdict::Incomparable;
   std::optional<InputDecls> Decls = mergedInputs(A, B);
@@ -72,6 +79,8 @@ Verdict verify::checkEquivalence(const Program &A, const Program &B,
         symexec::symbolicExecute(A.getRoot(), Ctx, Bindings);
     symexec::SymTensor SpecB =
         symexec::symbolicExecute(B.getRoot(), Ctx, Bindings);
+    if (Scope.hasError())
+      return Scope.takeError().withContext("symbolic equivalence oracle");
     if (SpecA.identicalTo(SpecB))
       return Verdict::ProvenEquivalent;
   }
@@ -79,6 +88,8 @@ Verdict verify::checkEquivalence(const Program &A, const Program &B,
   // Random-testing oracle.
   RNG Rng(Opts.Seed);
   for (int Trial = 0; Trial < Opts.Trials; ++Trial) {
+    if (Budget.exhausted())
+      return Budget.toError().withContext("random-testing oracle");
     InputBinding Inputs;
     for (const auto &[Name, Type] : *Decls) {
       Tensor T(Type.TShape, Type.Dtype);
@@ -89,6 +100,8 @@ Verdict verify::checkEquivalence(const Program &A, const Program &B,
     }
     Tensor OutA = interpretProgram(A, Inputs);
     Tensor OutB = interpretProgram(B, Inputs);
+    if (Scope.hasError())
+      return Scope.takeError().withContext("random-testing oracle");
     if (!OutA.allClose(OutB, Opts.RelTol, Opts.AbsTol))
       return Verdict::NotEquivalent;
   }

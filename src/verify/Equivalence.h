@@ -22,6 +22,7 @@
 #define STENSO_VERIFY_EQUIVALENCE_H
 
 #include "dsl/Node.h"
+#include "support/Result.h"
 
 #include <cstdint>
 #include <string>
@@ -53,13 +54,19 @@ struct Options {
   double AbsTol = 1e-9;
   /// Skip the symbolic oracle (useful for very large shapes).
   bool RandomOnly = false;
+  /// Wall-clock budget for the check; <= 0 means unlimited.
+  double TimeoutSeconds = 0;
 };
 
 /// Decides whether \p A and \p B compute the same function of their
 /// (name-matched) inputs.  Inputs appearing in only one program are
-/// allowed — the other program simply ignores them.
-Verdict checkEquivalence(const dsl::Program &A, const dsl::Program &B,
-                         const Options &Opts = Options());
+/// allowed — the other program simply ignores them.  Returns an error
+/// (instead of a verdict) when the check itself could not be carried
+/// out: a recoverable evaluation failure, an exhausted time budget, or
+/// an injected verifier fault.
+Expected<Verdict> checkEquivalence(const dsl::Program &A,
+                                   const dsl::Program &B,
+                                   const Options &Opts = Options());
 
 } // namespace verify
 } // namespace stenso

@@ -219,3 +219,70 @@ TEST_P(FuzzSeedTest, SynthesisResultIsEquivalentAndNoCostlier) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest, ::testing::Range(0, 12));
+
+//===----------------------------------------------------------------------===//
+// The parser is total: malformed sources yield diagnostics, never aborts
+//===----------------------------------------------------------------------===//
+
+TEST(ParserRobustnessTest, MalformedSourcesYieldDiagnosticsNotAborts) {
+  InputDecls Decls = {{"A", {DType::Float64, Shape({4, 5})}},
+                      {"B", {DType::Float64, Shape({5})}}};
+  // A corpus of the ways user input goes wrong: truncation, stray
+  // tokens, unknown callees, arity and shape violations, garbage bytes.
+  const char *Corpus[] = {
+      "",
+      "   \t  ",
+      "(",
+      ")",
+      "np.dot(",
+      "np.dot(A,",
+      "np.dot(A, B))",
+      "np.dot(A B)",
+      "np.dot(A,,B)",
+      "np.frobnicate(A)",
+      "np.dot()",
+      "np.dot(A)",
+      "np.dot(A, B, A)",
+      "np.dot(B, A)",      // shape mismatch: [5] x [4,5]
+      "A + ",
+      "+ A",
+      "A + C",             // C is undeclared
+      "A ** B ** ",
+      "np.diag(np.diag(np.dot(A)))",
+      "1 / / 2",
+      "np.sum(A, axis=7)", // axis out of range
+      "\"string\"",
+      "A @ # B",
+      "np.dot(A, B",
+      "((((((((((A))))))))))" // valid-adjacent: must not crash either way
+  };
+  for (const char *Source : Corpus) {
+    ParseResult R = parseProgram(Source, Decls);
+    // Reaching this point at all is the property under test (no abort);
+    // additionally a failed parse must carry a diagnostic.
+    if (!R)
+      EXPECT_FALSE(R.Error.empty()) << "silent failure on: " << Source;
+  }
+}
+
+TEST(ParserRobustnessTest, MutatedValidProgramsNeverAbortTheParser) {
+  // Take printed valid programs and corrupt single characters: every
+  // mutant must either reparse or fail with a diagnostic, never abort.
+  const char Junk[] = {'(', ')', ',', '*', 'x', '@', '\0', '\xff'};
+  for (int Seed = 0; Seed < 4; ++Seed) {
+    ProgramFuzzer Fuzzer(static_cast<uint64_t>(Seed) * 2654435761u + 17);
+    std::unique_ptr<Program> P = Fuzzer.generate(5);
+    std::string Printed = printProgram(*P);
+    InputDecls Decls;
+    for (const Node *In : P->getInputs())
+      Decls.emplace_back(In->getName(), In->getType());
+    for (size_t Pos = 0; Pos < Printed.size(); ++Pos)
+      for (char C : Junk) {
+        std::string Mutant = Printed;
+        Mutant[Pos] = C;
+        ParseResult R = parseProgram(Mutant, Decls);
+        if (!R)
+          EXPECT_FALSE(R.Error.empty()) << "silent failure on: " << Mutant;
+      }
+  }
+}

@@ -1,0 +1,358 @@
+//===- RobustnessTest.cpp - Recoverable errors, budgets, fault injection --==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The robustness layer end to end: Expected<T> round-trips, cooperative
+/// ResourceBudget expiry observed inside hole solving, and deterministic
+/// STENSO_FAULT-style injection at every site with the synthesizer
+/// degrading to the original program instead of aborting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Interpreter.h"
+#include "dsl/Parser.h"
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
+#include "support/Result.h"
+#include "synth/HoleSolver.h"
+#include "synth/Synthesizer.h"
+#include "verify/Equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace stenso;
+using namespace stenso::dsl;
+using namespace stenso::synth;
+using symexec::SymTensor;
+
+namespace {
+
+TensorType f64(std::initializer_list<int64_t> Dims) {
+  return TensorType{DType::Float64, Shape(Dims)};
+}
+
+/// Disarms all fault sites when a test ends, whatever happens in between.
+class FaultGuard {
+public:
+  FaultGuard() { EXPECT_TRUE(FaultInjector::instance().configure("")); }
+  ~FaultGuard() { (void)FaultInjector::instance().configure(""); }
+  Status arm(const std::string &Spec) {
+    return FaultInjector::instance().configure(Spec);
+  }
+};
+
+SynthesisConfig fastConfig() {
+  SynthesisConfig Config;
+  Config.CostModelName = "flops";
+  // Generous: the searches below finish in seconds on a plain build, but
+  // sanitizer-instrumented runs (STENSO_SANITIZE) are ~10x slower and
+  // must not trip the wall clock.
+  Config.TimeoutSeconds = 300;
+  return Config;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Expected<T> / StensoError
+//===----------------------------------------------------------------------===//
+
+TEST(RobustnessTest, ExpectedRoundTripsValues) {
+  Expected<int> Value(42);
+  ASSERT_TRUE(Value.hasValue());
+  ASSERT_TRUE(Value.has_value());
+  EXPECT_EQ(*Value, 42);
+  EXPECT_EQ(Value.takeValue(), 42);
+
+  Expected<std::string> Str(std::string("hi"));
+  ASSERT_TRUE(Str);
+  EXPECT_EQ(Str->size(), 2u);
+}
+
+TEST(RobustnessTest, ExpectedRoundTripsErrors) {
+  Expected<int> Err(makeError(ErrC::NoSolution, "nothing to see"));
+  ASSERT_FALSE(Err);
+  EXPECT_EQ(Err.error().code(), ErrC::NoSolution);
+  EXPECT_EQ(Err.error().message(), "nothing to see");
+  StensoError Taken = Err.takeError();
+  EXPECT_EQ(Taken.code(), ErrC::NoSolution);
+}
+
+TEST(RobustnessTest, ErrorContextChainsInnermostFirst) {
+  StensoError E = makeError(ErrC::ArithmeticOverflow, "boom")
+                      .withContext("solving hole")
+                      .withContext("synthesizing");
+  ASSERT_EQ(E.context().size(), 2u);
+  EXPECT_EQ(E.context()[0], "solving hole");
+  EXPECT_EQ(E.context()[1], "synthesizing");
+  std::string Printed = E.toString();
+  EXPECT_NE(Printed.find("arithmetic-overflow"), std::string::npos);
+  EXPECT_NE(Printed.find("boom"), std::string::npos);
+  EXPECT_NE(Printed.find("while solving hole"), std::string::npos);
+}
+
+TEST(RobustnessTest, StatusDefaultIsSuccess) {
+  Status Ok;
+  EXPECT_TRUE(Ok);
+  Status Bad = makeError(ErrC::InvalidArgument, "nope");
+  EXPECT_FALSE(Bad);
+  EXPECT_EQ(Bad.error().code(), ErrC::InvalidArgument);
+}
+
+TEST(RobustnessTest, RecoverableScopeLatchesFirstErrorOnly) {
+  RecoverableErrorScope Scope;
+  EXPECT_FALSE(Scope.hasError());
+  EXPECT_TRUE(inRecoverableScope());
+  raiseOrFatal(ErrC::DivisionByZero, "first");
+  raiseOrFatal(ErrC::DomainError, "second");
+  ASSERT_TRUE(Scope.hasError());
+  EXPECT_EQ(Scope.getError().code(), ErrC::DivisionByZero);
+  EXPECT_EQ(Scope.getError().message(), "first");
+  // takeError re-arms the scope.
+  (void)Scope.takeError();
+  EXPECT_FALSE(Scope.hasError());
+  raiseOrFatal(ErrC::DomainError, "third");
+  EXPECT_EQ(Scope.getError().code(), ErrC::DomainError);
+}
+
+TEST(RobustnessTest, NestedScopesIsolateErrors) {
+  RecoverableErrorScope Outer;
+  {
+    RecoverableErrorScope Inner;
+    raiseOrFatal(ErrC::ShapeMismatch, "inner only");
+    EXPECT_TRUE(Inner.hasError());
+  }
+  EXPECT_FALSE(Outer.hasError());
+}
+
+TEST(RobustnessTest, RationalOverflowIsRecoverable) {
+  RecoverableErrorScope Scope;
+  Rational Big(INT64_MAX / 2);
+  Rational Poison = Big * Rational(4); // overflows int64
+  (void)Poison;
+  ASSERT_TRUE(Scope.hasError());
+  EXPECT_EQ(Scope.getError().code(), ErrC::ArithmeticOverflow);
+}
+
+TEST(RobustnessTest, DivisionByZeroIsRecoverable) {
+  RecoverableErrorScope Scope;
+  Rational Poison = Rational(1) / Rational(0);
+  EXPECT_TRUE(Poison.isZero()); // poison value
+  ASSERT_TRUE(Scope.hasError());
+  EXPECT_EQ(Scope.getError().code(), ErrC::DivisionByZero);
+}
+
+TEST(RobustnessTest, InterpreterUnboundInputIsRecoverable) {
+  auto P = parseProgram("A + A", {{"A", f64({2})}});
+  ASSERT_TRUE(P) << P.Error;
+  Expected<Tensor> Out = interpretProgramChecked(*P.Prog, {});
+  ASSERT_FALSE(Out);
+  EXPECT_EQ(Out.error().code(), ErrC::UnboundInput);
+}
+
+//===----------------------------------------------------------------------===//
+// ResourceBudget
+//===----------------------------------------------------------------------===//
+
+TEST(RobustnessTest, BudgetLatchesOnNodeCap) {
+  ResourceBudget::Limits L;
+  L.MaxSymbolicNodes = 10;
+  ResourceBudget Budget(L);
+  EXPECT_TRUE(Budget.checkpoint());
+  Budget.chargeSymbolicNodes(10);
+  EXPECT_FALSE(Budget.latched());
+  Budget.chargeSymbolicNodes(1);
+  EXPECT_TRUE(Budget.latched());
+  EXPECT_FALSE(Budget.checkpoint());
+  EXPECT_EQ(Budget.exhaustedReason(), ErrC::BudgetExhausted);
+  // Latching is permanent.
+  EXPECT_FALSE(Budget.checkpoint());
+}
+
+TEST(RobustnessTest, BudgetWallClockLatchesAsTimeout) {
+  ResourceBudget Budget(1e-9); // effectively already expired
+  EXPECT_TRUE(Budget.exhausted());
+  EXPECT_EQ(Budget.exhaustedReason(), ErrC::Timeout);
+  EXPECT_EQ(Budget.toError().code(), ErrC::Timeout);
+}
+
+TEST(RobustnessTest, UnlimitedBudgetNeverExpires) {
+  ResourceBudget Budget;
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_TRUE(Budget.checkpoint());
+  Budget.chargeSymbolicNodes(1 << 20);
+  Budget.chargeSolverCall();
+  EXPECT_FALSE(Budget.exhausted());
+}
+
+TEST(RobustnessTest, BudgetExpiryObservedInsideHoleSolve) {
+  // Build a real sketch library and drive the solver with a solver-call
+  // cap of one: the first solve is answered, the second unwinds with the
+  // budget's error.
+  InputDecls Decls = {{"A", f64({3})}, {"B", f64({3})}};
+  auto P = parseProgram("A * B + B", Decls);
+  ASSERT_TRUE(P) << P.Error;
+  sym::ExprContext Ctx;
+  symexec::SymBinding Bindings = symexec::makeInputBindings(*P.Prog, Ctx);
+  SymTensor Phi = symexec::symbolicExecute(P.Prog->getRoot(), Ctx, Bindings);
+  FlopCostModel Model;
+  ShapeScaler Scaler;
+  SketchLibrary Library(*P.Prog, Ctx, Bindings, Model, Scaler,
+                        SketchLibrary::Config());
+  ASSERT_FALSE(Library.getSketches().empty());
+
+  ResourceBudget::Limits L;
+  L.MaxSolverCalls = 1;
+  ResourceBudget Budget(L);
+  HoleSolver Solver(Ctx, Bindings);
+  Solver.setBudget(&Budget);
+
+  const Sketch &Sk = Library.getSketches().front();
+  Expected<SymTensor> First = Solver.solve(Sk, Phi);
+  (void)First; // outcome depends on the sketch; the budget does not
+  Expected<SymTensor> Second = Solver.solve(Sk, Phi);
+  ASSERT_FALSE(Second.hasValue());
+  EXPECT_EQ(Second.error().code(), ErrC::BudgetExhausted);
+  EXPECT_TRUE(Budget.latched());
+}
+
+TEST(RobustnessTest, SynthesizerRespectsNodeCap) {
+  auto P = parseProgram("np.diag(np.dot(A, B))",
+                        {{"A", f64({3, 3})}, {"B", f64({3, 3})}});
+  ASSERT_TRUE(P) << P.Error;
+  SynthesisConfig Config = fastConfig();
+  Config.MaxSymbolicNodes = 50; // far below what the search needs
+  SynthesisResult Result = Synthesizer(Config).run(*P.Prog);
+  EXPECT_EQ(Result.Abort, AbortReason::BudgetExceeded);
+  EXPECT_FALSE(Result.TimedOut);
+  // Well-formed degradation: the original program is emitted.
+  EXPECT_FALSE(Result.OptimizedSource.empty());
+  EXPECT_EQ(Result.OptimizedCost, Result.OriginalCost);
+}
+
+TEST(RobustnessTest, SynthesizerCompletesUnderGenerousBudget) {
+  auto P = parseProgram("np.diag(np.dot(A, B))",
+                        {{"A", f64({3, 3})}, {"B", f64({3, 3})}});
+  ASSERT_TRUE(P) << P.Error;
+  SynthesisConfig Config = fastConfig();
+  SynthesisResult Result = Synthesizer(Config).run(*P.Prog);
+  EXPECT_EQ(Result.Abort, AbortReason::None);
+  EXPECT_TRUE(Result.Improved);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(RobustnessTest, MalformedFaultSpecIsRejectedNotFatal) {
+  FaultGuard Guard;
+  EXPECT_FALSE(Guard.arm("holesolver"));
+  EXPECT_FALSE(Guard.arm("bogus-site:1.0:1"));
+  EXPECT_FALSE(Guard.arm("holesolver:notarate:1"));
+  EXPECT_TRUE(Guard.arm("holesolver:0.5:1"));
+}
+
+TEST(RobustnessTest, FaultsRequireARecoveryScope) {
+  FaultGuard Guard;
+  ASSERT_TRUE(Guard.arm("holesolver:1.0:42"));
+  EXPECT_FALSE(maybeInjectFault(FaultSite::HoleSolve));
+  RecoverableErrorScope Scope;
+  EXPECT_TRUE(maybeInjectFault(FaultSite::HoleSolve));
+  ASSERT_TRUE(Scope.hasError());
+  EXPECT_EQ(Scope.getError().code(), ErrC::FaultInjected);
+}
+
+TEST(RobustnessTest, FaultSequencesAreDeterministic) {
+  FaultGuard Guard;
+  auto Sample = [&] {
+    EXPECT_TRUE(Guard.arm("tensor-op:0.5:1234"));
+    std::vector<bool> Fired;
+    RecoverableErrorScope Scope;
+    for (int I = 0; I < 64; ++I) {
+      Fired.push_back(maybeInjectFault(FaultSite::TensorOp));
+      if (Scope.hasError())
+        (void)Scope.takeError(); // re-arm for the next draw
+    }
+    return Fired;
+  };
+  std::vector<bool> A = Sample();
+  std::vector<bool> B = Sample();
+  EXPECT_EQ(A, B);
+  // A 0.5 rate over 64 draws fires at least once and misses at least once.
+  EXPECT_NE(std::count(A.begin(), A.end(), true), 0);
+  EXPECT_NE(std::count(A.begin(), A.end(), false), 0);
+}
+
+TEST(RobustnessTest, HoleSolverFaultDegradesSynthesisToOriginal) {
+  FaultGuard Guard;
+  ASSERT_TRUE(Guard.arm("holesolver:1.0:42"));
+  auto P = parseProgram("np.diag(np.dot(A, B))",
+                        {{"A", f64({3, 3})}, {"B", f64({3, 3})}});
+  ASSERT_TRUE(P) << P.Error;
+  SynthesisResult Result = Synthesizer(fastConfig()).run(*P.Prog);
+  EXPECT_FALSE(Result.Improved);
+  EXPECT_EQ(Result.Abort, AbortReason::InternalError);
+  EXPECT_GT(Result.Stats.PrunedByError, 0);
+  EXPECT_FALSE(Result.OptimizedSource.empty());
+  EXPECT_GT(FaultInjector::instance().firedCount(FaultSite::HoleSolve), 0);
+}
+
+TEST(RobustnessTest, SymbolicEvalFaultDegradesSynthesisToOriginal) {
+  FaultGuard Guard;
+  ASSERT_TRUE(Guard.arm("symbolic-eval:1.0:42"));
+  auto P = parseProgram("np.diag(np.dot(A, B))",
+                        {{"A", f64({3, 3})}, {"B", f64({3, 3})}});
+  ASSERT_TRUE(P) << P.Error;
+  SynthesisResult Result = Synthesizer(fastConfig()).run(*P.Prog);
+  EXPECT_FALSE(Result.Improved);
+  EXPECT_EQ(Result.Abort, AbortReason::InternalError);
+  EXPECT_FALSE(Result.OptimizedSource.empty());
+  EXPECT_GT(FaultInjector::instance().firedCount(FaultSite::SymbolicEval), 0);
+}
+
+TEST(RobustnessTest, TensorOpFaultSurfacesThroughCheckedInterpreter) {
+  FaultGuard Guard;
+  ASSERT_TRUE(Guard.arm("tensor-op:1.0:7"));
+  auto P = parseProgram("A + A", {{"A", f64({2})}});
+  ASSERT_TRUE(P) << P.Error;
+  InputBinding Inputs;
+  Inputs.emplace("A", Tensor::full(Shape({2}), 1.0));
+  Expected<Tensor> Out = interpretProgramChecked(*P.Prog, Inputs);
+  ASSERT_FALSE(Out);
+  EXPECT_EQ(Out.error().code(), ErrC::FaultInjected);
+  EXPECT_GT(FaultInjector::instance().firedCount(FaultSite::TensorOp), 0);
+}
+
+TEST(RobustnessTest, VerifierFaultSurfacesAsError) {
+  FaultGuard Guard;
+  ASSERT_TRUE(Guard.arm("verifier:1.0:9"));
+  InputDecls Decls = {{"A", f64({2})}};
+  auto PA = parseProgram("A", Decls);
+  auto PB = parseProgram("A + 0", Decls);
+  ASSERT_TRUE(PA && PB);
+  Expected<verify::Verdict> V = verify::checkEquivalence(*PA.Prog, *PB.Prog);
+  ASSERT_FALSE(V);
+  EXPECT_EQ(V.error().code(), ErrC::FaultInjected);
+  EXPECT_GT(FaultInjector::instance().firedCount(FaultSite::Verifier), 0);
+}
+
+TEST(RobustnessTest, SynthesisIsCleanAfterFaultsDisarm) {
+  // Degradation must not leave latent state behind: after disarming, the
+  // same synthesis succeeds again.
+  FaultGuard Guard;
+  ASSERT_TRUE(Guard.arm("holesolver:1.0:42"));
+  auto P = parseProgram("np.diag(np.dot(A, B))",
+                        {{"A", f64({3, 3})}, {"B", f64({3, 3})}});
+  ASSERT_TRUE(P) << P.Error;
+  SynthesisResult Degraded = Synthesizer(fastConfig()).run(*P.Prog);
+  EXPECT_FALSE(Degraded.Improved);
+  ASSERT_TRUE(Guard.arm(""));
+  SynthesisResult Clean = Synthesizer(fastConfig()).run(*P.Prog);
+  EXPECT_TRUE(Clean.Improved);
+  EXPECT_EQ(Clean.Abort, AbortReason::None);
+}

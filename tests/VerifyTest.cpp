@@ -25,7 +25,9 @@ Verdict check(const std::string &A, const std::string &B,
   auto PA = parseProgram(A, Decls);
   auto PB = parseProgram(B, Decls);
   EXPECT_TRUE(PA && PB) << PA.Error << PB.Error;
-  return checkEquivalence(*PA.Prog, *PB.Prog, Opts);
+  Expected<Verdict> V = checkEquivalence(*PA.Prog, *PB.Prog, Opts);
+  EXPECT_TRUE(V.hasValue()) << (V ? "" : V.error().toString());
+  return V ? *V : Verdict::Incomparable;
 }
 
 } // namespace
@@ -66,7 +68,7 @@ TEST(VerifyTest, DisjointInputsAreAllowed) {
   auto PA = parseProgram("A + 0 * B", {{"A", f64({4})}, {"B", f64({4})}});
   auto PB = parseProgram("A", {{"A", f64({4})}});
   ASSERT_TRUE(PA && PB);
-  EXPECT_EQ(checkEquivalence(*PA.Prog, *PB.Prog),
+  EXPECT_EQ(*checkEquivalence(*PA.Prog, *PB.Prog),
             Verdict::ProvenEquivalent);
 }
 
@@ -74,7 +76,7 @@ TEST(VerifyTest, ConflictingInputTypesAreIncomparable) {
   auto PA = parseProgram("A", {{"A", f64({4})}});
   auto PB = parseProgram("A + A", {{"A", f64({2, 2})}});
   ASSERT_TRUE(PA && PB);
-  EXPECT_EQ(checkEquivalence(*PA.Prog, *PB.Prog), Verdict::Incomparable);
+  EXPECT_EQ(*checkEquivalence(*PA.Prog, *PB.Prog), Verdict::Incomparable);
 }
 
 TEST(VerifyTest, ComprehensionEquivalence) {

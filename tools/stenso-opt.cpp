@@ -74,8 +74,10 @@ bool parseTypeSpec(const std::string &Spec, TensorType &Out,
     std::string Piece;
     while (std::getline(SS, Piece, ',')) {
       std::optional<int64_t> Dim = parseInt64(Piece);
-      if (!Dim || *Dim < 0)
+      if (!Dim || *Dim < 0) {
+        Error = "bad dimension '" + Piece + "' in type '" + Spec + "'";
         return false;
+      }
       Dims.push_back(*Dim);
     }
   }
@@ -125,6 +127,13 @@ bool loadProgramFile(const std::string &Path, ProgramFile &Out,
         Error = "malformed scale line: " + Line;
         return false;
       }
+      auto Existing = Out.Scaler.getMappings().find(Small);
+      if (Existing != Out.Scaler.getMappings().end() &&
+          Existing->second != Full) {
+        Error = "conflicting scale lines for extent " +
+                std::to_string(Small);
+        return false;
+      }
       Out.Scaler.addMapping(Small, Full);
       continue;
     }
@@ -141,23 +150,29 @@ bool loadProgramFile(const std::string &Path, ProgramFile &Out,
   return true;
 }
 
-int usage() {
-  std::cerr
-      << "usage: stenso-opt --program FILE [options]\n"
-         "\n"
-         "options:\n"
-         "  --program FILE          source program (required)\n"
-         "  --synth_out FILE        write the optimized program here\n"
-         "                          (default: print to stdout)\n"
-         "  --cost_estimator NAME   flops | measured (default: measured)\n"
-         "  --timeout SECONDS       synthesis budget (default: 60)\n"
-         "  --no-branch-and-bound   disable cost pruning (ablation)\n"
-         "  --stats                 print search statistics\n"
-         "  --rule                  print the generalized rewrite rule\n"
-         "  --rules_out FILE        append the mined rule to a rule file\n"
-         "  --rules_in FILE         skip synthesis; rewrite the program\n"
-         "                          with previously mined rules instead\n";
-  return 2;
+void printUsage(std::ostream &OS) {
+  OS << "usage: stenso-opt --program FILE [options]\n"
+        "\n"
+        "options:\n"
+        "  --program FILE          source program (required)\n"
+        "  --synth_out FILE        write the optimized program here\n"
+        "                          (default: print to stdout)\n"
+        "  --cost_estimator NAME   flops | measured (default: measured)\n"
+        "  --timeout SECONDS       synthesis budget (default: 60)\n"
+        "  --max-nodes N           cap on symbolic nodes (default: none)\n"
+        "  --no-branch-and-bound   disable cost pruning (ablation)\n"
+        "  --stats                 print search statistics\n"
+        "  --rule                  print the generalized rewrite rule\n"
+        "  --rules_out FILE        append the mined rule to a rule file\n"
+        "  --rules_in FILE         skip synthesis; rewrite the program\n"
+        "                          with previously mined rules instead\n";
+}
+
+/// One-line diagnostic + nonzero exit for every user-input error; the
+/// tool never aborts on bad input.
+int fail(const std::string &Message) {
+  std::cerr << "error: " << Message << "\n";
+  return 1;
 }
 
 } // namespace
@@ -182,7 +197,13 @@ int main(int Argc, char **Argv) {
       Config.CostModelName = Value();
     else if (Arg == "--timeout")
       Config.TimeoutSeconds = std::atof(Value().c_str());
-    else if (Arg == "--no-branch-and-bound")
+    else if (Arg == "--max-nodes") {
+      std::string Nodes = Value();
+      std::optional<int64_t> Parsed = parseInt64(Nodes);
+      if (!Parsed || *Parsed < 0)
+        return fail("bad --max-nodes value '" + Nodes + "'");
+      Config.MaxSymbolicNodes = *Parsed;
+    } else if (Arg == "--no-branch-and-bound")
       Config.UseBranchAndBound = false;
     else if (Arg == "--rules_out")
       RulesOutPath = Value();
@@ -192,49 +213,41 @@ int main(int Argc, char **Argv) {
       PrintStats = true;
     else if (Arg == "--rule")
       PrintRule = true;
-    else if (Arg == "--help" || Arg == "-h")
-      return usage();
-    else {
-      std::cerr << "unknown option '" << Arg << "'\n";
-      return usage();
+    else if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else {
+      printUsage(std::cerr);
+      return fail("unknown option '" + Arg + "'");
     }
   }
-  if (ProgramPath.empty())
-    return usage();
-  if (Config.CostModelName != "flops" && Config.CostModelName != "measured") {
-    std::cerr << "error: unknown cost estimator '" << Config.CostModelName
-              << "'\n";
-    return 2;
+  if (ProgramPath.empty()) {
+    printUsage(std::cerr);
+    return fail("--program is required");
   }
+  if (Config.CostModelName != "flops" && Config.CostModelName != "measured")
+    return fail("unknown cost estimator '" + Config.CostModelName + "'");
 
   ProgramFile File;
   std::string Error;
-  if (!loadProgramFile(ProgramPath, File, Error)) {
-    std::cerr << "error: " << Error << "\n";
-    return 1;
-  }
+  if (!loadProgramFile(ProgramPath, File, Error))
+    return fail(Error);
   ParseResult Parsed = parseProgram(File.Source, File.Inputs);
-  if (!Parsed) {
-    std::cerr << "error: " << Parsed.Error << "\n";
-    return 1;
-  }
+  if (!Parsed)
+    return fail(Parsed.Error);
 
   // Rule-application mode: rewrite with a mined-rule file, no synthesis.
   if (!RulesInPath.empty()) {
     std::ifstream RulesIn(RulesInPath);
-    if (!RulesIn) {
-      std::cerr << "error: cannot open '" << RulesInPath << "'\n";
-      return 1;
-    }
+    if (!RulesIn)
+      return fail("cannot open '" + RulesInPath + "'");
     std::stringstream Buffer;
     Buffer << RulesIn.rdbuf();
     std::string RuleError;
     std::optional<evalsuite::RuleBook> Book =
         evalsuite::RuleBook::deserialize(Buffer.str(), RuleError);
-    if (!Book) {
-      std::cerr << "error: " << RuleError << "\n";
-      return 1;
-    }
+    if (!Book)
+      return fail(RuleError);
     dsl::Program Dest;
     RNG Rng(0x5741);
     int Applied = 0;
@@ -255,6 +268,7 @@ int main(int Argc, char **Argv) {
             << " s (cost " << Result.OriginalCost << " -> "
             << Result.OptimizedCost << ")"
             << (Result.TimedOut ? " [search timed out]" : "") << "\n";
+  std::cerr << "AbortReason=" << synth::toString(Result.Abort) << "\n";
 
   if (PrintStats) {
     const synth::SynthesisStats &S = Result.Stats;
