@@ -10,9 +10,12 @@
 #include "dsl/Parser.h"
 #include "support/Error.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include <cstdlib>
+#include <mutex>
 #include <ostream>
+#include <sstream>
 
 using namespace stenso;
 using namespace stenso::evalsuite;
@@ -74,6 +77,47 @@ evalsuite::synthesizeSuite(const synth::SynthesisConfig &Config,
                 << " s]\n";
     Runs.push_back(std::move(Run));
   }
+  return Runs;
+}
+
+std::vector<BenchmarkRun>
+evalsuite::synthesizeSuite(const synth::SynthesisConfig &Config,
+                           const SuiteRunOptions &Options,
+                           std::ostream *Progress) {
+  const std::vector<BenchmarkDef> &Suite = benchmarkSuite();
+  if (Options.Jobs == 1 && !Options.GlobalBudget)
+    return synthesizeSuite(Config, Progress);
+
+  // Pre-sized and indexed by benchmark: whatever completion order the
+  // workers produce, the returned vector is in suite order.
+  std::vector<BenchmarkRun> Runs(Suite.size());
+  std::mutex ProgressMutex;
+  size_t Jobs = Options.Jobs <= 0 ? ThreadPool::hardwareConcurrency()
+                                  : static_cast<size_t>(Options.Jobs);
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(0, Suite.size(), [&](size_t I) {
+    const BenchmarkDef &Def = Suite[I];
+    synth::SynthesisConfig RunConfig = Config;
+    if (Options.GlobalBudget)
+      RunConfig.SharedBudget = Options.GlobalBudget;
+    BenchmarkRun Run = synthesizeBenchmark(Def, RunConfig);
+    verifyRunEquivalence(Run);
+    if (Progress) {
+      // One complete line per benchmark, emitted under a lock so
+      // concurrent completions never interleave characters.
+      std::ostringstream Line;
+      Line << "  " << Def.Name
+           << (Run.Degraded            ? " degraded: "
+               : Run.Synthesis.Improved ? " improved: "
+                                        : " kept: ")
+           << Run.Synthesis.OptimizedSource << "  ["
+           << TablePrinter::formatDouble(Run.Synthesis.SynthesisSeconds, 2)
+           << " s]\n";
+      std::lock_guard<std::mutex> Lock(ProgressMutex);
+      *Progress << Line.str() << std::flush;
+    }
+    Runs[I] = std::move(Run);
+  });
   return Runs;
 }
 

@@ -86,9 +86,29 @@ synth::SynthesisConfig evaluationConfig(double TimeoutSeconds = 60);
 /// run to minutes.
 double suiteTimeoutSeconds(double Default = 30);
 
+/// Benchmark-level parallelism knobs for a suite run.
+struct SuiteRunOptions {
+  /// Concurrent benchmarks; 1 = the sequential loop, <= 0 = one per
+  /// hardware thread.  Results are indexed by benchmark, so the returned
+  /// vector is identical for any value.
+  int Jobs = 1;
+  /// When set, every benchmark's synthesis charges this one budget (its
+  /// limits replace the per-run Timeout/Max* fields), so a whole-suite
+  /// resource ceiling holds whatever the concurrency.  Must outlive the
+  /// call.
+  ResourceBudget *GlobalBudget = nullptr;
+};
+
 /// Runs STENSO on the whole suite, verifying every result.  \p Progress
 /// (may be null) receives one line per benchmark.
 std::vector<BenchmarkRun> synthesizeSuite(const synth::SynthesisConfig &Config,
+                                          std::ostream *Progress = nullptr);
+
+/// As above with benchmark-level parallelism under one global budget.
+/// Progress lines are whole-line atomic but may arrive in completion
+/// order; the returned vector is always in suite order.
+std::vector<BenchmarkRun> synthesizeSuite(const synth::SynthesisConfig &Config,
+                                          const SuiteRunOptions &Options,
                                           std::ostream *Progress = nullptr);
 
 } // namespace evalsuite

@@ -20,6 +20,7 @@
 #include "support/Result.h"
 #include "support/Timer.h"
 
+#include <atomic>
 #include <cstdint>
 
 namespace stenso {
@@ -27,6 +28,13 @@ namespace stenso {
 /// Cooperative wall-clock + node-count + solver-call budget.  A limit of
 /// zero (or less) means "unlimited" in every dimension, matching the
 /// Deadline convention.
+///
+/// Safe to charge/checkpoint from multiple threads concurrently: the
+/// counters are relaxed atomics (only the totals matter) and the latch
+/// is one compare-exchanged word carrying the winning reason, so a
+/// thread that sees "latched" always sees the same reason every other
+/// thread does.  The atomics make the class non-copyable by design — a
+/// budget is an identity, not a value.
 class ResourceBudget {
 public:
   struct Limits {
@@ -50,41 +58,45 @@ public:
   /// iterations are individually slow overshoot the wall clock by N
   /// iterations.  Unlimited budgets never touch the clock at all.
   bool checkpoint() {
-    if (HasLatched)
+    if (latched())
       return false;
     return !wallExpired();
   }
 
   /// Accounts \p N freshly created symbolic nodes.
   void chargeSymbolicNodes(int64_t N = 1) {
-    SymbolicNodes += N;
-    if (L.MaxSymbolicNodes > 0 && SymbolicNodes > L.MaxSymbolicNodes)
+    int64_t Total =
+        SymbolicNodes.fetch_add(N, std::memory_order_relaxed) + N;
+    if (L.MaxSymbolicNodes > 0 && Total > L.MaxSymbolicNodes)
       latch(ErrC::BudgetExhausted);
   }
 
   /// Accounts one hole-solver invocation.
   void chargeSolverCall() {
-    ++SolverCalls;
-    if (L.MaxSolverCalls > 0 && SolverCalls > L.MaxSolverCalls)
+    int64_t Total = SolverCalls.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (L.MaxSolverCalls > 0 && Total > L.MaxSolverCalls)
       latch(ErrC::BudgetExhausted);
   }
 
   /// True when any dimension has been exhausted (forces a clock read for
   /// an up-to-date answer).
   bool exhausted() {
-    if (HasLatched)
+    if (latched())
       return true;
     return wallExpired();
   }
 
   /// True when a previous checkpoint/charge already latched exhaustion
   /// (no clock read; usable without mutation).
-  bool latched() const { return HasLatched; }
+  bool latched() const {
+    return LatchedReason.load(std::memory_order_relaxed) >= 0;
+  }
 
   /// Which dimension tripped: Timeout (wall clock) or BudgetExhausted
   /// (node/solver caps).  Defaults to Timeout when nothing latched.
   ErrC exhaustedReason() const {
-    return HasLatched ? Reason : ErrC::Timeout;
+    int R = LatchedReason.load(std::memory_order_relaxed);
+    return R >= 0 ? static_cast<ErrC>(R) : ErrC::Timeout;
   }
 
   /// The latched condition as an error, for propagation through
@@ -103,8 +115,12 @@ public:
     return Left > 0 ? Left : 0;
   }
 
-  int64_t getSymbolicNodes() const { return SymbolicNodes; }
-  int64_t getSolverCalls() const { return SolverCalls; }
+  int64_t getSymbolicNodes() const {
+    return SymbolicNodes.load(std::memory_order_relaxed);
+  }
+  int64_t getSolverCalls() const {
+    return SolverCalls.load(std::memory_order_relaxed);
+  }
   const Limits &getLimits() const { return L; }
 
 private:
@@ -117,18 +133,21 @@ private:
   }
 
   void latch(ErrC R) {
-    if (!HasLatched) {
-      HasLatched = true;
-      Reason = R;
-    }
+    // First latcher wins; later attempts (even with a different reason)
+    // leave the stored reason untouched, so the reported reason is the
+    // dimension that actually tripped first.
+    int Expected = -1;
+    LatchedReason.compare_exchange_strong(Expected, static_cast<int>(R),
+                                          std::memory_order_relaxed);
   }
 
   WallTimer Timer;
   Limits L;
-  int64_t SymbolicNodes = 0;
-  int64_t SolverCalls = 0;
-  bool HasLatched = false;
-  ErrC Reason = ErrC::Timeout;
+  std::atomic<int64_t> SymbolicNodes{0};
+  std::atomic<int64_t> SolverCalls{0};
+  /// -1 while the budget holds; otherwise the ErrC of the dimension that
+  /// latched first.  One word instead of flag+reason: no ordering hazard.
+  std::atomic<int> LatchedReason{-1};
 };
 
 } // namespace stenso

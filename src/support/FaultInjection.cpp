@@ -58,7 +58,7 @@ FaultInjector &FaultInjector::instance() {
   return Singleton;
 }
 
-void FaultInjector::ensureLoaded() {
+void FaultInjector::ensureLoadedLocked() {
   if (Loaded)
     return;
   Loaded = true;
@@ -67,13 +67,18 @@ void FaultInjector::ensureLoaded() {
     return;
   // A malformed env var must not abort the process it was meant to
   // stress; it is reported once on stderr and ignored.
-  Status S = configure(Env);
+  Status S = configureLocked(Env);
   if (!S)
     std::fprintf(stderr, "stenso: ignoring STENSO_FAULT: %s\n",
                  S.error().toString().c_str());
 }
 
 Status FaultInjector::configure(const std::string &Spec) {
+  std::lock_guard<std::mutex> Lock(M);
+  return configureLocked(Spec);
+}
+
+Status FaultInjector::configureLocked(const std::string &Spec) {
   for (SiteState &State : Sites)
     State = SiteState();
   Loaded = true;
@@ -116,13 +121,15 @@ Status FaultInjector::configure(const std::string &Spec) {
 }
 
 void FaultInjector::resetToEnvironment() {
+  std::lock_guard<std::mutex> Lock(M);
   for (SiteState &State : Sites)
     State = SiteState();
   Loaded = false;
 }
 
 bool FaultInjector::anySiteArmed() {
-  ensureLoaded();
+  std::lock_guard<std::mutex> Lock(M);
+  ensureLoadedLocked();
   for (const SiteState &State : Sites)
     if (State.Armed)
       return true;
@@ -130,7 +137,8 @@ bool FaultInjector::anySiteArmed() {
 }
 
 bool FaultInjector::shouldFire(FaultSite Site) {
-  ensureLoaded();
+  std::lock_guard<std::mutex> Lock(M);
+  ensureLoadedLocked();
   SiteState &State = Sites[static_cast<size_t>(Site)];
   if (!State.Armed)
     return false;
@@ -142,6 +150,7 @@ bool FaultInjector::shouldFire(FaultSite Site) {
 }
 
 int64_t FaultInjector::firedCount(FaultSite Site) const {
+  std::lock_guard<std::mutex> Lock(M);
   return Sites[static_cast<size_t>(Site)].Fired;
 }
 

@@ -31,6 +31,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -75,7 +76,10 @@ public:
 
 private:
   FaultInjector() = default;
-  void ensureLoaded();
+  /// Requires M held: lazily applies STENSO_FAULT.
+  void ensureLoadedLocked();
+  /// Requires M held: configure() body.
+  Status configureLocked(const std::string &Spec);
 
   struct SiteState {
     bool Armed = false;
@@ -84,6 +88,12 @@ private:
     std::optional<RNG> Rng;
     int64_t Fired = 0;
   };
+  /// Guards Sites and Loaded: shouldFire() advances a site's RNG and
+  /// counter, and parallel workers share this process-wide singleton.
+  /// Note the per-site fire sequence is only thread-interleaving-free
+  /// when rate is 0 or >= 1 (no RNG draw); fractional rates remain
+  /// deterministic for single-threaded callers only.
+  mutable std::mutex M;
   std::array<SiteState, NumFaultSites> Sites;
   bool Loaded = false;
 };

@@ -1,0 +1,189 @@
+//===- ThreadPool.cpp - Work-stealing thread pool --------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+using namespace stenso;
+
+namespace {
+
+/// Which pool (if any) the current thread is a worker of, and its index.
+/// Lets enqueue() route worker-submitted tasks to the submitting worker's
+/// own deque without taking a detour through thread ids.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local size_t CurrentWorkerIndex = 0;
+
+} // namespace
+
+unsigned ThreadPool::hardwareConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N > 0 ? N : 1;
+}
+
+ThreadPool::ThreadPool(size_t NumThreads) {
+  NumThreads = std::max<size_t>(NumThreads, 1);
+  Workers.reserve(NumThreads);
+  for (size_t I = 0; I < NumThreads; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  // Spawn only after every Worker slot exists: a worker may steal from
+  // any sibling deque as soon as it starts.
+  for (size_t I = 0; I < NumThreads; ++I)
+    Workers[I]->Thread = std::thread([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Monitor);
+    // Drain: tasks already submitted (and whatever they submit while
+    // running) complete before the workers are released.
+    Drained.wait(Lock, [this] { return Outstanding == 0; });
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::unique_ptr<Worker> &W : Workers)
+    W->Thread.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Monitor);
+    ++Outstanding;
+    if (CurrentPool == this) {
+      // Submission from a worker: LIFO on its own deque.
+      Workers[CurrentWorkerIndex]->Queue.push_front(std::move(Task));
+    } else {
+      // External submission: back of the least-loaded deque.
+      size_t Target = 0;
+      for (size_t I = 1; I < Workers.size(); ++I)
+        if (Workers[I]->Queue.size() < Workers[Target]->Queue.size())
+          Target = I;
+      Workers[Target]->Queue.push_back(std::move(Task));
+    }
+  }
+  WorkAvailable.notify_one();
+}
+
+std::function<void()> ThreadPool::dequeueLocked(size_t Index) {
+  Worker &Own = *Workers[Index];
+  if (!Own.Queue.empty()) {
+    std::function<void()> Task = std::move(Own.Queue.front());
+    Own.Queue.pop_front();
+    return Task;
+  }
+  // Steal the oldest task from the fullest sibling.
+  size_t Victim = Workers.size();
+  size_t Fullest = 0;
+  for (size_t I = 0; I < Workers.size(); ++I) {
+    if (I == Index)
+      continue;
+    if (Workers[I]->Queue.size() > Fullest) {
+      Fullest = Workers[I]->Queue.size();
+      Victim = I;
+    }
+  }
+  if (Victim == Workers.size())
+    return nullptr;
+  std::function<void()> Task = std::move(Workers[Victim]->Queue.back());
+  Workers[Victim]->Queue.pop_back();
+  return Task;
+}
+
+void ThreadPool::finishTask() {
+  std::lock_guard<std::mutex> Lock(Monitor);
+  assert(Outstanding > 0 && "task accounting underflow");
+  if (--Outstanding == 0)
+    Drained.notify_all();
+}
+
+bool ThreadPool::runOneTask() {
+  std::function<void()> Task;
+  {
+    std::lock_guard<std::mutex> Lock(Monitor);
+    for (std::unique_ptr<Worker> &W : Workers) {
+      if (!W->Queue.empty()) {
+        Task = std::move(W->Queue.front());
+        W->Queue.pop_front();
+        break;
+      }
+    }
+  }
+  if (!Task)
+    return false;
+  Task(); // packaged_task: exceptions land in the future
+  Task = nullptr;
+  finishTask();
+  return true;
+}
+
+void ThreadPool::workerLoop(size_t Index) {
+  CurrentPool = this;
+  CurrentWorkerIndex = Index;
+  std::unique_lock<std::mutex> Lock(Monitor);
+  for (;;) {
+    std::function<void()> Task = dequeueLocked(Index);
+    if (!Task) {
+      if (Stopping)
+        return;
+      WorkAvailable.wait(Lock);
+      continue;
+    }
+    Lock.unlock();
+    Task(); // packaged_task: exceptions land in the future
+    Task = nullptr;
+    Lock.lock();
+    assert(Outstanding > 0 && "task accounting underflow");
+    if (--Outstanding == 0)
+      Drained.notify_all();
+    // A finished task may have queued successors; make sure a sleeping
+    // sibling sees them even if notify_one raced with our own dequeue.
+    if (!Workers[Index]->Queue.empty())
+      WorkAvailable.notify_one();
+  }
+}
+
+void ThreadPool::parallelFor(size_t Begin, size_t End,
+                             const std::function<void(size_t)> &Body) {
+  if (Begin >= End)
+    return;
+  if (End - Begin == 1) {
+    Body(Begin);
+    return;
+  }
+  auto Next = std::make_shared<std::atomic<size_t>>(Begin);
+  auto Run = [Next, End, &Body]() {
+    for (size_t I = Next->fetch_add(1); I < End; I = Next->fetch_add(1))
+      Body(I);
+  };
+  // One runner per worker; the caller participates so the loop advances
+  // even when every worker is busy with unrelated (or ancestor) tasks.
+  std::vector<std::future<void>> Futures;
+  size_t Runners = std::min(getNumThreads(), End - Begin - 1);
+  Futures.reserve(Runners);
+  for (size_t I = 0; I < Runners; ++I)
+    Futures.push_back(submit(Run));
+  std::exception_ptr First;
+  try {
+    Run();
+  } catch (...) {
+    First = std::current_exception();
+  }
+  for (std::future<void> &F : Futures) {
+    // Help-drain while waiting: a runner queued on *this* thread's own
+    // deque (parallelFor from inside a worker) would otherwise never run.
+    try {
+      waitFor(F);
+    } catch (...) {
+      if (!First)
+        First = std::current_exception();
+    }
+  }
+  if (First)
+    std::rethrow_exception(First);
+}

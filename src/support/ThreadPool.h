@@ -1,0 +1,140 @@
+//===- ThreadPool.h - Work-stealing thread pool ----------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the parallel synthesis engine
+/// and the evaluation harness.
+///
+/// Scheduling discipline: every worker owns a deque; a task submitted
+/// from a worker is pushed to the *front* of that worker's deque (LIFO —
+/// keeps recursive fan-out cache-hot), external submissions go to the
+/// back of the least-loaded deque, and an idle worker steals from the
+/// *back* of the fullest other deque (FIFO — steals the oldest, usually
+/// largest, unit of work).  All deques hang off one central monitor
+/// mutex: synthesis tasks are coarse (a whole sketch branch, a whole
+/// benchmark), so scheduling traffic is negligible next to task bodies
+/// and a single uncontended lock is both simpler and TSan-clean by
+/// construction.
+///
+/// Contracts:
+///   * submit() returns a std::future carrying the task's result; a
+///     throwing task stores its exception in the future (propagation to
+///     whoever joins on it), never into the worker loop.
+///   * Tasks may submit further tasks, including during shutdown drain.
+///     Joining on a subtask from inside a task must go through waitFor()
+///     (which helps run queued work): a plain future::get() parks the
+///     worker, and once every worker is parked on a child the children
+///     have no thread left to run on.
+///   * The destructor *drains*: it blocks until every submitted task
+///     (and everything those tasks submitted) has run, then joins.
+///   * parallelFor() runs on the calling thread too, so it makes
+///     progress even on a pool whose workers are saturated and cannot
+///     deadlock when called from a worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_SUPPORT_THREADPOOL_H
+#define STENSO_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace stenso {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 is clamped to 1.
+  explicit ThreadPool(size_t NumThreads);
+
+  /// Drains all outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  size_t getNumThreads() const { return Workers.size(); }
+
+  /// Schedules \p Fn and returns a future for its result.  Exceptions
+  /// thrown by \p Fn surface at future::get().
+  template <typename F>
+  auto submit(F &&Fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto Task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(Fn));
+    std::future<R> Future = Task->get_future();
+    enqueue([Task]() { (*Task)(); });
+    return Future;
+  }
+
+  /// Blocks until \p Future is ready — running queued pool tasks on this
+  /// thread while waiting — then returns the future's result (rethrowing
+  /// any stored exception).  The only deadlock-free way to join on a
+  /// subtask from inside a pool task; safe (merely busier than get())
+  /// from any other thread.
+  template <typename T> T waitFor(std::future<T> &Future) {
+    helpWhileNotReady(Future);
+    return Future.get();
+  }
+
+  /// Runs Body(I) for every I in [Begin, End).  Iterations are claimed
+  /// from a shared atomic counter, so the distribution self-balances
+  /// whatever the per-iteration cost; the calling thread participates.
+  /// The first exception thrown by any iteration is rethrown here after
+  /// all iterations finished or were abandoned.
+  void parallelFor(size_t Begin, size_t End,
+                   const std::function<void(size_t)> &Body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareConcurrency();
+
+private:
+  void enqueue(std::function<void()> Task);
+  void workerLoop(size_t Index);
+  /// Steals and runs one pending task on the calling thread; false when
+  /// every deque is empty.  parallelFor "helps" with this while waiting,
+  /// which is what makes it deadlock-free from inside a worker.
+  bool runOneTask();
+  /// Marks one task finished and wakes the destructor at zero.
+  void finishTask();
+  /// Help loop of waitFor/parallelFor: drains queued tasks on this
+  /// thread until \p Future is ready, sleeping in 1 ms slices only when
+  /// no task is runnable.
+  template <typename T> void helpWhileNotReady(std::future<T> &Future) {
+    while (Future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready)
+      if (!runOneTask())
+        Future.wait_for(std::chrono::milliseconds(1));
+  }
+
+  /// Pops the next task for worker \p Index (own front, else steal);
+  /// empty function when nothing is runnable.  Monitor must be held.
+  std::function<void()> dequeueLocked(size_t Index);
+
+  struct Worker {
+    std::deque<std::function<void()>> Queue;
+    std::thread Thread;
+  };
+
+  std::mutex Monitor;
+  std::condition_variable WorkAvailable;
+  std::condition_variable Drained;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  /// Queued + currently running tasks; the destructor waits for 0.
+  size_t Outstanding = 0;
+  bool Stopping = false;
+};
+
+} // namespace stenso
+
+#endif // STENSO_SUPPORT_THREADPOOL_H

@@ -47,15 +47,18 @@ bool ExprContext::structurallyEqual(const Expr &A, const Expr &B) {
 
 const Expr *ExprContext::intern(std::unique_ptr<Expr> Node) {
   size_t H = hashNode(*Node);
-  auto [First, Last] = Buckets.equal_range(H);
+  Shard &S = Shards[H % NumShards];
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto [First, Last] = S.Buckets.equal_range(H);
   for (auto It = First; It != Last; ++It)
     if (structurallyEqual(*It->second, *Node))
       return It->second;
   Node->Hash = H;
-  Node->Id = NextId++;
+  Node->Id = NextId.fetch_add(1, std::memory_order_relaxed);
   const Expr *Raw = Node.get();
-  Nodes.push_back(std::move(Node));
-  Buckets.emplace(H, Raw);
+  S.Nodes.push_back(std::move(Node));
+  S.Buckets.emplace(H, Raw);
+  NumNodes.fetch_add(1, std::memory_order_relaxed);
   if (Budget)
     Budget->chargeSymbolicNodes(1);
   return Raw;
@@ -72,6 +75,10 @@ const Expr *ExprContext::constant(const Rational &Value) {
 const Expr *ExprContext::symbol(const std::string &Name,
                                 const std::string &TensorName,
                                 std::vector<int64_t> Indices) {
+  // SymbolMutex is held across the intern so a racing lookup of the same
+  // name never observes a half-registered symbol; intern never reaches
+  // back into the symbol table, keeping the lock order acyclic.
+  std::lock_guard<std::mutex> Lock(SymbolMutex);
   auto It = SymbolsByName.find(Name);
   if (It != SymbolsByName.end())
     return It->second;

@@ -27,7 +27,10 @@
 
 #include "symbolic/Expr.h"
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -38,8 +41,18 @@ class ResourceBudget;
 
 namespace sym {
 
-/// Owns and interns symbolic expression nodes.  Not thread-safe; each
-/// synthesis run uses one context.
+/// Owns and interns symbolic expression nodes.
+///
+/// Thread-safety: interning is sharded — nodes hash to one of 64
+/// independently-locked shards, so parallel sketch workers share one
+/// canonical node space (pointer equality remains structural equality
+/// across threads) with negligible lock contention.  The symbol table
+/// and the expand() memo have their own locks.  Canonicalization itself
+/// runs lock-free on immutable interned inputs; only the final
+/// intern-or-reuse step takes a shard lock.  Node Ids are unique but
+/// their *numeric order* is scheduling-dependent for nodes interned
+/// concurrently; nothing downstream may rely on Id order except for
+/// symbols interned during single-threaded setup (see Linear.cpp).
 class ExprContext {
 public:
   ExprContext() = default;
@@ -52,8 +65,24 @@ public:
 
   const Expr *constant(const Rational &Value);
   const Expr *integer(int64_t Value) { return constant(Rational(Value)); }
-  const Expr *zero() { return integer(0); }
-  const Expr *one() { return integer(1); }
+  /// 0 and 1 are on every canonicalization path; a benign-race pointer
+  /// cache skips the shard lock after first use.
+  const Expr *zero() {
+    const Expr *Z = CachedZero.load(std::memory_order_acquire);
+    if (!Z) {
+      Z = integer(0);
+      CachedZero.store(Z, std::memory_order_release);
+    }
+    return Z;
+  }
+  const Expr *one() {
+    const Expr *O = CachedOne.load(std::memory_order_acquire);
+    if (!O) {
+      O = integer(1);
+      CachedOne.store(O, std::memory_order_release);
+    }
+    return O;
+  }
 
   /// Interns a symbol.  \p TensorName / \p Indices tag the symbol as an
   /// element of a named input tensor (empty for free scalars).  Symbols
@@ -101,7 +130,9 @@ public:
   static std::optional<Rational> getConstantValue(const Expr *E);
 
   /// Number of distinct interned nodes (diagnostic).
-  size_t getNumInternedNodes() const { return Nodes.size(); }
+  size_t getNumInternedNodes() const {
+    return NumNodes.load(std::memory_order_relaxed);
+  }
 
   /// Attaches a cooperative resource budget: every freshly interned node
   /// is charged against its symbolic-node cap, so runaway symbolic
@@ -112,15 +143,23 @@ public:
   void setBudget(ResourceBudget *B) { Budget = B; }
   ResourceBudget *getBudget() const { return Budget; }
 
-  /// Context-lifetime memo table for expand() (see Transforms.h).  Safe
-  /// because interned nodes are immutable and live as long as the context.
-  std::unordered_map<const Expr *, const Expr *> &getExpandCache() {
-    return ExpandCache;
+  /// Context-lifetime memo for expand() (see Transforms.h).  Concurrent
+  /// expansion of the same node is benign: both threads compute the same
+  /// canonical result and the first memoize wins.  Returns nullptr on a
+  /// cache miss.
+  const Expr *lookupExpanded(const Expr *E) const {
+    std::lock_guard<std::mutex> Lock(ExpandMutex);
+    auto It = ExpandCache.find(E);
+    return It != ExpandCache.end() ? It->second : nullptr;
+  }
+  void memoizeExpanded(const Expr *From, const Expr *To) {
+    std::lock_guard<std::mutex> Lock(ExpandMutex);
+    ExpandCache.emplace(From, To);
   }
 
 private:
   /// Interns \p Node: returns the existing structurally identical node or
-  /// adopts this one.
+  /// adopts this one.  Takes exactly one shard lock.
   const Expr *intern(std::unique_ptr<Expr> Node);
 
   static size_t hashNode(const Expr &Node);
@@ -132,11 +171,33 @@ private:
   /// Splits a canonical factor into (base, exponent).
   static std::pair<const Expr *, const Expr *> splitPower(const Expr *Factor);
 
-  std::vector<std::unique_ptr<Expr>> Nodes;
-  std::unordered_multimap<size_t, const Expr *> Buckets;
+  /// Mutex striping granularity.  64 shards keep the collision
+  /// probability for a handful of workers negligible while the footprint
+  /// (64 mutexes + empty maps) stays trivial.
+  static constexpr size_t NumShards = 64;
+  struct Shard {
+    std::mutex M;
+    std::unordered_multimap<size_t, const Expr *> Buckets;
+    std::vector<std::unique_ptr<Expr>> Nodes;
+  };
+  /// A node's shard is a pure function of its structural hash, so two
+  /// threads interning structurally equal nodes always serialize on the
+  /// same lock and one canonical pointer wins.
+  std::array<Shard, NumShards> Shards;
+
+  /// Lock order: SymbolMutex may be held while taking a shard lock
+  /// (symbol() interns under it); shard code never touches the symbol
+  /// table, so the order is acyclic.
+  mutable std::mutex SymbolMutex;
   std::unordered_map<std::string, const Expr *> SymbolsByName;
+
+  mutable std::mutex ExpandMutex;
   std::unordered_map<const Expr *, const Expr *> ExpandCache;
-  uint64_t NextId = 1;
+
+  std::atomic<uint64_t> NextId{1};
+  std::atomic<size_t> NumNodes{0};
+  std::atomic<const Expr *> CachedZero{nullptr};
+  std::atomic<const Expr *> CachedOne{nullptr};
   ResourceBudget *Budget = nullptr;
 };
 

@@ -99,13 +99,19 @@ namespace {
 
 class Expander {
 public:
-  explicit Expander(ExprContext &Ctx)
-      : Ctx(Ctx), Memo(Ctx.getExpandCache()) {}
+  explicit Expander(ExprContext &Ctx) : Ctx(Ctx) {}
 
   const Expr *visit(const Expr *E) {
+    // Local memo first (lock-free within one expansion), then the
+    // context-lifetime shared cache.  Concurrent expansion of the same
+    // node is benign: both compute the same canonical result.
     auto Cached = Memo.find(E);
     if (Cached != Memo.end())
       return Cached->second;
+    if (const Expr *Shared = Ctx.lookupExpanded(E)) {
+      Memo.emplace(E, Shared);
+      return Shared;
+    }
     const Expr *Result = expandNode(E);
     // Canonicalization of a distributed product can itself produce a new
     // reducible node (e.g. exponent recombination); iterate to a fixpoint
@@ -117,6 +123,7 @@ public:
       Result = Again;
     }
     Memo.emplace(E, Result);
+    Ctx.memoizeExpanded(E, Result);
     return Result;
   }
 
@@ -194,7 +201,7 @@ private:
   }
 
   ExprContext &Ctx;
-  std::unordered_map<const Expr *, const Expr *> &Memo;
+  std::unordered_map<const Expr *, const Expr *> Memo;
 };
 
 } // namespace

@@ -18,7 +18,7 @@ using sym::ExprContext;
 using symexec::SymTensor;
 
 size_t HoleSolver::CacheKeyHash::operator()(const CacheKey &K) const {
-  size_t Seed = std::hash<const void *>()(K.SketchRoot);
+  size_t Seed = std::hash<uint32_t>()(K.SketchIndex);
   hashCombine(Seed, SpecKeyHash()(K.Phi));
   return Seed;
 }
@@ -120,25 +120,33 @@ std::vector<const Expr *> termsOf(const Expr *E) {
 
 Expected<SymTensor> HoleSolver::solve(const Sketch &Sk,
                                       const SymTensor &Phi) {
-  ++Calls;
+  Calls.fetch_add(1, std::memory_order_relaxed);
   if (Budget) {
     Budget->chargeSolverCall();
     if (!Budget->checkpoint())
       return Budget->toError();
   }
-  CacheKey Key{Sk.Root, SpecKey{Phi.getShape(), Phi.getDType(),
-                                Phi.getElements()}};
-  auto It = Cache.find(Key);
-  if (It != Cache.end())
-    return It->second;
+  CacheKey Key{Sk.Index, SpecKey{Phi.getShape(), Phi.getDType(),
+                                 Phi.getElements()}};
+  CacheShard &Shard = Shards[CacheKeyHash()(Key) % NumCacheShards];
+  {
+    std::lock_guard<std::mutex> Lock(Shard.M);
+    auto It = Shard.Map.find(Key);
+    if (It != Shard.Map.end())
+      return It->second;
+  }
+  // Solve outside the lock; a racing duplicate computes the identical
+  // canonical answer and loses the emplace below, which is benign.
   Expected<SymTensor> Result = solveUncached(Sk, Phi);
   if (Result)
-    ++Solved;
+    Solved.fetch_add(1, std::memory_order_relaxed);
   // Budget exhaustion describes this run's budget, not the query — don't
   // memoize it, or a later run with head-room would inherit the failure.
   if (Result || (Result.error().code() != ErrC::BudgetExhausted &&
-                 Result.error().code() != ErrC::Timeout))
-    Cache.emplace(std::move(Key), Result);
+                 Result.error().code() != ErrC::Timeout)) {
+    std::lock_guard<std::mutex> Lock(Shard.M);
+    Shard.Map.emplace(std::move(Key), Result);
+  }
   return Result;
 }
 

@@ -35,12 +35,21 @@
 #include "support/Result.h"
 #include "synth/SketchLibrary.h"
 
+#include <array>
+#include <atomic>
+#include <mutex>
 #include <optional>
 
 namespace stenso {
 namespace synth {
 
 /// Solves sketch holes against target specs, with memoization.
+///
+/// Thread-safe: the memo is sharded under per-shard mutexes and the
+/// counters are atomics, so parallel sketch workers share one solver.
+/// Solving itself runs outside any lock — two workers racing on the same
+/// key both compute the same canonical answer (pure function of interned
+/// inputs) and the first memoize wins.
 class HoleSolver {
 public:
   HoleSolver(sym::ExprContext &Ctx, const symexec::SymBinding &Bindings)
@@ -57,8 +66,12 @@ public:
   Expected<symexec::SymTensor> solve(const Sketch &Sk,
                                      const symexec::SymTensor &Phi);
 
-  int64_t getNumCalls() const { return Calls; }
-  int64_t getNumSolved() const { return Solved; }
+  int64_t getNumCalls() const {
+    return Calls.load(std::memory_order_relaxed);
+  }
+  int64_t getNumSolved() const {
+    return Solved.load(std::memory_order_relaxed);
+  }
 
 private:
   Expected<symexec::SymTensor> solveUncached(const Sketch &Sk,
@@ -70,20 +83,29 @@ private:
   const symexec::SymBinding &Bindings;
   ResourceBudget *Budget = nullptr;
 
+  /// Keyed by the sketch's canonical library index, not its Root
+  /// pointer: the index is structural (position in the (cost,
+  /// enumeration) order), so the key — and with it every cache hit — is
+  /// identical across runs and across thread schedules.
   struct CacheKey {
-    const dsl::Node *SketchRoot;
+    uint32_t SketchIndex;
     SpecKey Phi;
     bool operator==(const CacheKey &RHS) const {
-      return SketchRoot == RHS.SketchRoot && Phi == RHS.Phi;
+      return SketchIndex == RHS.SketchIndex && Phi == RHS.Phi;
     }
   };
   struct CacheKeyHash {
     size_t operator()(const CacheKey &K) const;
   };
-  std::unordered_map<CacheKey, Expected<symexec::SymTensor>, CacheKeyHash>
-      Cache;
-  int64_t Calls = 0;
-  int64_t Solved = 0;
+  static constexpr size_t NumCacheShards = 16;
+  struct CacheShard {
+    std::mutex M;
+    std::unordered_map<CacheKey, Expected<symexec::SymTensor>, CacheKeyHash>
+        Map;
+  };
+  std::array<CacheShard, NumCacheShards> Shards;
+  std::atomic<int64_t> Calls{0};
+  std::atomic<int64_t> Solved{0};
 };
 
 } // namespace synth

@@ -343,10 +343,28 @@ void SketchLibrary::makeSketches(const CostModel &Model,
   }
   // Cheap sketches first: with branch-and-bound this establishes tight
   // bounds early.
-  std::sort(Sketches.begin(), Sketches.end(),
-            [](const Sketch &A, const Sketch &B) {
-              return A.ConcreteCost < B.ConcreteCost;
-            });
+  // Stable sort: equal-cost sketches keep their enumeration order, so
+  // the post-sort Index below is a canonical, run-independent candidate
+  // ordering key (the determinism anchor for the parallel engine and the
+  // solver cache).
+  std::stable_sort(Sketches.begin(), Sketches.end(),
+                   [](const Sketch &A, const Sketch &B) {
+                     return A.ConcreteCost < B.ConcreteCost;
+                   });
+  for (size_t I = 0; I < Sketches.size(); ++I) {
+    Sketch &Sk = Sketches[I];
+    Sk.Index = static_cast<uint32_t>(I);
+    // Precompute the concrete-part tensor names (sorted for a
+    // deterministic scan order); the search reads them from many threads.
+    std::unordered_set<std::string> Names;
+    for (const sym::Expr *E : Sk.Template.getElements())
+      for (const sym::SymbolExpr *S : sym::collectSymbols(E))
+        Names.insert(S->getTensorName().empty() ? S->getName()
+                                                : S->getTensorName());
+    Names.erase(Sk.Hole->getName());
+    Sk.ConcreteTensors.assign(Names.begin(), Names.end());
+    std::sort(Sk.ConcreteTensors.begin(), Sk.ConcreteTensors.end());
+  }
   for (const Sketch &Sk : Sketches)
     SketchesByShape[SpecKey{Sk.Template.getShape(), Sk.Template.getDType(), {}}]
         .push_back(&Sk);

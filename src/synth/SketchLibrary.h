@@ -50,6 +50,14 @@ struct Sketch {
   symexec::SymTensor HoleSymbols;
   /// Cost of the sketch's concrete operations (hole excluded).
   double ConcreteCost = 0;
+  /// Position in the library's canonical (cost, enumeration) order.
+  /// Run-independent, unlike the Root pointer — the solver cache and the
+  /// parallel engine's tie-breaking key both build on it.
+  uint32_t Index = 0;
+  /// Input tensors mentioned by the concrete part (hole excluded),
+  /// sorted.  Precomputed so the search's subset filter is a read-only
+  /// scan, shareable across worker threads.
+  std::vector<std::string> ConcreteTensors;
 };
 
 /// Hash/equality over (shape, dtype, interned element pointers).

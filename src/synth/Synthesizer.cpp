@@ -9,8 +9,10 @@
 #include "dsl/Printer.h"
 #include "support/Budget.h"
 #include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <atomic>
 #include <unordered_set>
 
 using namespace stenso;
@@ -79,20 +81,64 @@ const Node *substituteNode(Program &Arena, const Node *Tree, const Node *From,
   return Result;
 }
 
-/// The recursive search state of one run.
+/// Lowers \p Bound to \p Value if smaller (monotone; relaxed ordering is
+/// sound — a stale read only weakens pruning, never soundness).
+void atomicMinDouble(std::atomic<double> &Bound, double Value) {
+  double Current = Bound.load(std::memory_order_relaxed);
+  while (Value < Current &&
+         !Bound.compare_exchange_weak(Current, Value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+/// The recursive search state of one run (in the parallel engine: of one
+/// top-level branch, with its own stats and result arena).
 class SearchDriver {
 public:
+  /// \p Arena receives the substituted result trees — the shared library
+  /// arena in the sequential engine, a per-branch arena in the parallel
+  /// one (workers must not allocate into a shared arena).  \p SharedBound
+  /// non-null selects the parallel pruning discipline (see prunes()).
   SearchDriver(const SynthesisConfig &Config, SketchLibrary &Library,
-               HoleSolver &Solver, const CostModel &Model,
-               const ShapeScaler &Scaler, SynthesisStats &Stats,
-               ResourceBudget &Budget)
-      : Config(Config), Library(Library), Solver(Solver), Model(Model),
-        Scaler(Scaler), Stats(Stats), Budget(Budget) {}
+               HoleSolver &Solver, SynthesisStats &Stats,
+               ResourceBudget &Budget, Program &Arena,
+               std::atomic<double> *SharedBound = nullptr)
+      : Config(Config), Library(Library), Solver(Solver), Stats(Stats),
+        Budget(Budget), Arena(Arena), SharedBound(SharedBound) {}
 
   struct Candidate {
     const Node *Tree = nullptr;
     double Cost = 0;
   };
+
+  /// Branch-and-bound incumbent visible to this driver: the local chain
+  /// minimum, tightened by the cross-worker bound when one is attached.
+  double bound(double LocalMin) const {
+    if (!SharedBound)
+      return LocalMin;
+    return std::min(LocalMin,
+                    SharedBound->load(std::memory_order_relaxed));
+  }
+
+  /// Pruning discipline.  Sequential: `>=` — an equal-cost later branch
+  /// cannot beat the incumbent, so cutting it keeps the DFS-first
+  /// candidate.  Parallel: strict `>` — the shared bound may already
+  /// carry an equal cost set by a *later* branch that merely finished
+  /// first, and `>=` would then prune the branch owning the canonical
+  /// (smallest-ordering-key) candidate.  With `>`, any candidate of cost
+  /// <= the global minimum is never pruned (the bound is always >= that
+  /// minimum), so the deterministic merge sees every tying branch.
+  bool prunes(double Cost, double LocalMin) const {
+    double B = bound(LocalMin);
+    return SharedBound ? Cost > B : Cost >= B;
+  }
+
+  /// Tightens the local and (if attached) shared incumbent.
+  void tighten(double &LocalMin, double Cost) {
+    LocalMin = std::min(LocalMin, Cost);
+    if (SharedBound)
+      atomicMinDouble(*SharedBound, Cost);
+  }
 
   /// Algorithm 2.  \p CostSoFar is the concrete cost accumulated by
   /// enclosing sketches; \p CostMin is the branch-and-bound incumbent
@@ -123,7 +169,7 @@ public:
       } else {
         Best = Candidate{Match->Root, Match->Cost};
         if (Config.UseBranchAndBound)
-          CostMin = std::min(CostMin, CostSoFar + Match->Cost);
+          tighten(CostMin, CostSoFar + Match->Cost);
       }
     }
 
@@ -145,7 +191,7 @@ public:
       // Branch-and-bound (line 16): the concrete part alone already
       // forces the final program at or above the incumbent.
       if (Config.UseBranchAndBound &&
-          CostSoFar + Sk.ConcreteCost >= CostMin) {
+          prunes(CostSoFar + Sk.ConcreteCost, CostMin)) {
         ++Stats.PrunedByCost;
         continue;
       }
@@ -179,42 +225,153 @@ public:
       double SubtreeCost = Sk.ConcreteCost + Sub->Cost;
       if (Best && Best->Cost <= SubtreeCost)
         continue;
-      const Node *Filled =
-          substituteNode(Library.getArena(), Sk.Root, Sk.Hole, Sub->Tree);
+      const Node *Filled = substituteNode(Arena, Sk.Root, Sk.Hole, Sub->Tree);
       Best = Candidate{Filled, SubtreeCost};
 
       // Completing this hole completes a whole program of cost
       // CostSoFar + SubtreeCost (sketches have a single hole, so the
       // recursion is a chain); tighten the incumbent.
       if (Config.UseBranchAndBound)
-        CostMin = std::min(CostMin, CostSoFar + SubtreeCost);
+        tighten(CostMin, CostSoFar + SubtreeCost);
     }
     return Best;
   }
 
-private:
-  bool sketchTensorsSubset(const Sketch &Sk,
-                           const std::unordered_set<std::string> &PhiTensors) {
-    auto [It, Inserted] = SketchTensors.try_emplace(Sk.Root);
-    if (Inserted) {
-      std::unordered_set<std::string> Names = tensorNamesOf(Sk.Template);
-      Names.erase(Sk.Hole->getName());
-      It->second.assign(Names.begin(), Names.end());
-    }
-    for (const std::string &Name : It->second)
+  /// The concrete part's tensor-name filter over the precomputed sorted
+  /// list (read-only; shared across workers).
+  static bool
+  sketchTensorsSubset(const Sketch &Sk,
+                      const std::unordered_set<std::string> &PhiTensors) {
+    for (const std::string &Name : Sk.ConcreteTensors)
       if (!PhiTensors.count(Name))
         return false;
     return true;
   }
 
+private:
   const SynthesisConfig &Config;
   SketchLibrary &Library;
   HoleSolver &Solver;
-  const CostModel &Model;
-  const ShapeScaler &Scaler;
   SynthesisStats &Stats;
   ResourceBudget &Budget;
-  std::unordered_map<const Node *, std::vector<std::string>> SketchTensors;
+  Program &Arena;
+  std::atomic<double> *SharedBound;
+};
+
+/// The sketch-level parallel engine: each eligible top-level sketch
+/// branch is one work-stealing task exploring its subtree sequentially
+/// (chains are short; the fan-out is at the root).  A shared atomic bound
+/// propagates branch-and-bound cuts across workers; the final merge is
+/// deterministic — min cost, ties to the stub match, then to the lowest
+/// branch index — which, together with the strict-`>` pruning discipline
+/// (see SearchDriver::prunes), reproduces the sequential engine's
+/// DFS-first winner exactly.
+struct ParallelSearch {
+  /// Per-branch arenas; must stay alive until the winner is cloned out.
+  std::vector<std::unique_ptr<Program>> Arenas;
+
+  std::optional<SearchDriver::Candidate>
+  run(const SynthesisConfig &Config, SketchLibrary &Library,
+      HoleSolver &Solver, SynthesisStats &Stats, ResourceBudget &Budget,
+      const SymTensor &Phi, double OriginalCost) {
+    ++Stats.DfsCalls; // the level-0 call, as in the sequential engine
+    std::atomic<double> Bound{OriginalCost};
+
+    // Root stub match on the calling thread, before any worker runs: its
+    // fault-site draw keeps the same global position as sequentially.
+    std::optional<SearchDriver::Candidate> RootMatch;
+    if (const Stub *Match = Library.findMatchingStub(Phi)) {
+      RecoverableErrorScope FaultScope;
+      if (maybeInjectFault(FaultSite::HoleSolve)) {
+        (void)FaultScope.takeError();
+        ++Stats.PrunedByError;
+      } else {
+        RootMatch = SearchDriver::Candidate{Match->Root, Match->Cost};
+        if (Config.UseBranchAndBound)
+          atomicMinDouble(Bound, Match->Cost);
+      }
+    }
+
+    // Eligible branches in canonical library order; the deterministic
+    // filters run here, the timing-dependent cost prune inside the task.
+    double PhiComplexity = specComplexity(Phi);
+    std::unordered_set<std::string> PhiTensors = tensorNamesOf(Phi);
+    std::vector<const Sketch *> Branches;
+    for (const Sketch *Sk :
+         Library.getSketchesFor(Phi.getShape(), Phi.getDType()))
+      if (SearchDriver::sketchTensorsSubset(*Sk, PhiTensors))
+        Branches.push_back(Sk);
+
+    struct BranchResult {
+      std::optional<SearchDriver::Candidate> Cand;
+      SynthesisStats Stats;
+      std::unique_ptr<Program> Arena;
+    };
+    std::vector<BranchResult> Results(Branches.size());
+
+    size_t Jobs = Config.Jobs <= 0 ? ThreadPool::hardwareConcurrency()
+                                   : static_cast<size_t>(Config.Jobs);
+    ThreadPool Pool(Jobs);
+    Pool.parallelFor(0, Branches.size(), [&](size_t I) {
+      const Sketch &Sk = *Branches[I];
+      BranchResult &Out = Results[I];
+      if (!Budget.checkpoint())
+        return;
+      Out.Arena = std::make_unique<Program>();
+      SearchDriver Driver(Config, Library, Solver, Out.Stats, Budget,
+                          *Out.Arena, &Bound);
+      double LocalMin = OriginalCost;
+      if (Config.UseBranchAndBound &&
+          Driver.prunes(Sk.ConcreteCost, LocalMin)) {
+        ++Out.Stats.PrunedByCost;
+        return;
+      }
+      ++Out.Stats.SolverCalls;
+      Expected<SymTensor> HoleSpec = Solver.solve(Sk, Phi);
+      if (!HoleSpec) {
+        ErrC Code = HoleSpec.error().code();
+        if (Code != ErrC::NoSolution && Code != ErrC::Timeout &&
+            Code != ErrC::BudgetExhausted)
+          ++Out.Stats.PrunedByError;
+        return;
+      }
+      ++Out.Stats.SolverSuccesses;
+      if (specComplexity(*HoleSpec) >= PhiComplexity) {
+        ++Out.Stats.PrunedBySimplification;
+        return;
+      }
+      ++Out.Stats.SketchesExplored;
+      std::optional<SearchDriver::Candidate> Sub =
+          Driver.dfs(*HoleSpec, 1, Sk.ConcreteCost, LocalMin);
+      if (!Sub)
+        return;
+      double SubtreeCost = Sk.ConcreteCost + Sub->Cost;
+      const Node *Filled =
+          substituteNode(*Out.Arena, Sk.Root, Sk.Hole, Sub->Tree);
+      Out.Cand = SearchDriver::Candidate{Filled, SubtreeCost};
+      if (Config.UseBranchAndBound)
+        atomicMinDouble(Bound, SubtreeCost);
+    });
+
+    // Deterministic merge: strict `<` keeps the stub match on ties and,
+    // among branches, the lowest library index — the sequential DFS-first
+    // winner.
+    std::optional<SearchDriver::Candidate> Best = RootMatch;
+    for (BranchResult &Out : Results) {
+      Stats.DfsCalls += Out.Stats.DfsCalls;
+      Stats.SketchesExplored += Out.Stats.SketchesExplored;
+      Stats.PrunedByCost += Out.Stats.PrunedByCost;
+      Stats.PrunedBySimplification += Out.Stats.PrunedBySimplification;
+      Stats.PrunedByError += Out.Stats.PrunedByError;
+      Stats.SolverCalls += Out.Stats.SolverCalls;
+      Stats.SolverSuccesses += Out.Stats.SolverSuccesses;
+      if (Out.Cand && (!Best || Out.Cand->Cost < Best->Cost))
+        Best = Out.Cand;
+      if (Out.Arena)
+        Arenas.push_back(std::move(Out.Arena));
+    }
+    return Best;
+  }
 };
 
 } // namespace
@@ -225,8 +382,12 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
                                  const ShapeScaler &Scaler) {
   assert(Clamped.getRoot() && "program has no root");
   WallTimer Timer;
-  ResourceBudget Budget(ResourceBudget::Limits{
+  // A caller-provided budget (the harness's suite-global one) replaces
+  // the per-run limits; it may already be partially consumed.
+  ResourceBudget LocalBudget(ResourceBudget::Limits{
       Config.TimeoutSeconds, Config.MaxSymbolicNodes, Config.MaxSolverCalls});
+  ResourceBudget &Budget =
+      Config.SharedBudget ? *Config.SharedBudget : LocalBudget;
   SynthesisResult Result;
   Result.OptimizedSource = printProgram(Clamped);
 
@@ -267,11 +428,21 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
 
   HoleSolver Solver(Ctx, Bindings);
   Solver.setBudget(&Budget);
-  SearchDriver Driver(Config, Library, Solver, *Model, Scaler, Result.Stats,
-                      Budget);
 
-  double CostMin = Result.OriginalCost;
-  std::optional<SearchDriver::Candidate> Best = Driver.dfs(*Phi, 0, 0, CostMin);
+  // Engine selection: Jobs == 1 is the sequential reference engine; any
+  // other value fans top-level sketch branches out over a work-stealing
+  // pool and must return the identical program/cost/AbortReason.
+  std::optional<SearchDriver::Candidate> Best;
+  ParallelSearch Parallel; // owns branch arenas until the clone below
+  if (Config.Jobs == 1) {
+    SearchDriver Driver(Config, Library, Solver, Result.Stats, Budget,
+                        Library.getArena());
+    double CostMin = Result.OriginalCost;
+    Best = Driver.dfs(*Phi, 0, 0, CostMin);
+  } else {
+    Best = Parallel.run(Config, Library, Solver, Result.Stats, Budget, *Phi,
+                        Result.OriginalCost);
+  }
 
   Result.Stats.SolverCalls = Solver.getNumCalls();
   Result.Stats.SolverSuccesses = Solver.getNumSolved();

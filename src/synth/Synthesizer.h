@@ -45,6 +45,17 @@ struct SynthesisConfig {
   int64_t MaxSolverCalls = 0;
   /// Safety cap on sketch-nesting depth.
   int MaxRecursionDepth = 10;
+  /// Worker threads for sketch-level parallel exploration.  1 = the
+  /// sequential engine; > 1 explores top-level sketch branches
+  /// concurrently; <= 0 = one per hardware thread.  Any value returns
+  /// the same program, cost, and AbortReason as the sequential engine
+  /// (see DESIGN.md "Parallel search architecture" for the contract and
+  /// its budget-boundary caveat).
+  int Jobs = 1;
+  /// When set, this run charges the caller's budget instead of creating
+  /// its own from the Timeout/Max* fields — the harness runs a whole
+  /// suite under one global budget this way.  Must outlive the run.
+  ResourceBudget *SharedBudget = nullptr;
   SketchLibrary::Config Library;
 };
 

@@ -1,0 +1,226 @@
+//===- ConcurrencyStressTest.cpp - Shared-state hammer tests --------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hammer tests for the state the parallel sketch search shares between
+/// workers: the sharded hash-cons table (ExprContext), the expand()
+/// memo, the sharded HoleSolver cache, the atomic ResourceBudget latch,
+/// and the FaultInjector singleton.  Each test pits many threads against
+/// one instance and asserts the canonical-pointer / exactly-once
+/// invariants the search's determinism proof rests on.  They carry the
+/// tsan ctest label, so a data race here fails the STENSO_TSAN build.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Parser.h"
+#include "dsl/Printer.h"
+#include "support/FaultInjection.h"
+#include "symbolic/Transforms.h"
+#include "synth/HoleSolver.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace stenso;
+using namespace stenso::dsl;
+using namespace stenso::synth;
+using symexec::SymTensor;
+
+namespace {
+
+constexpr int NumThreads = 8;
+constexpr int Rounds = 200;
+
+/// Runs \p Body on NumThreads threads, released together for maximum
+/// contention.  Each invocation gets its thread index.
+void hammer(const std::function<void(int)> &Body) {
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      Body(T);
+    });
+  Go.store(true, std::memory_order_release);
+  for (std::thread &Th : Threads)
+    Th.join();
+}
+
+TensorType f64(std::initializer_list<int64_t> Dims) {
+  return TensorType{DType::Float64, Shape(Dims)};
+}
+
+} // namespace
+
+TEST(ConcurrencyStressTest, InterningIsCanonicalAcrossThreads) {
+  sym::ExprContext Ctx;
+  // Pre-intern the symbols single-threaded (the search does the same
+  // during setup); the contended path is node interning.
+  const sym::Expr *A = Ctx.symbol("a"), *B = Ctx.symbol("b"),
+                  *C = Ctx.symbol("c");
+  std::vector<const sym::Expr *> Results(NumThreads * Rounds);
+  hammer([&](int T) {
+    for (int R = 0; R < Rounds; ++R) {
+      // A formula deep enough to intern dozens of intermediate nodes,
+      // varied per round so rounds race on *fresh* structures too.
+      const sym::Expr *K = Ctx.integer(R + 2);
+      const sym::Expr *E = Ctx.add(
+          Ctx.mul(Ctx.add(A, B), Ctx.add(B, C)),
+          Ctx.pow(Ctx.mul(A, Ctx.add(C, K)), Ctx.integer(2)));
+      Results[static_cast<size_t>(T) * Rounds + R] = E;
+    }
+  });
+  // Every thread must have received the *same pointer* for the same
+  // round: structural equality == pointer equality is the invariant the
+  // shared-context search relies on.
+  for (int R = 0; R < Rounds; ++R)
+    for (int T = 1; T < NumThreads; ++T)
+      ASSERT_EQ(Results[static_cast<size_t>(T) * Rounds + R],
+                Results[static_cast<size_t>(R)])
+          << "non-canonical intern at round " << R;
+}
+
+TEST(ConcurrencyStressTest, SymbolNameRaceReturnsOnePointer) {
+  sym::ExprContext Ctx;
+  std::vector<const sym::Expr *> Seen(NumThreads);
+  hammer([&](int T) {
+    const sym::Expr *S = nullptr;
+    for (int R = 0; R < Rounds; ++R)
+      S = Ctx.symbol("contended", "X", {0, 1});
+    Seen[static_cast<size_t>(T)] = S;
+  });
+  for (int T = 1; T < NumThreads; ++T)
+    EXPECT_EQ(Seen[static_cast<size_t>(T)], Seen[0]);
+}
+
+TEST(ConcurrencyStressTest, ConcurrentExpandAgrees) {
+  sym::ExprContext Ctx;
+  const sym::Expr *A = Ctx.symbol("a"), *B = Ctx.symbol("b");
+  // (a+b)^4 * (a + 2): enough multinomial work that threads overlap
+  // inside expand() and race on the context-lifetime memo.
+  const sym::Expr *E =
+      Ctx.mul(Ctx.pow(Ctx.add(A, B), Ctx.integer(4)),
+              Ctx.add(A, Ctx.integer(2)));
+  std::vector<const sym::Expr *> Expanded(NumThreads);
+  hammer([&](int T) {
+    const sym::Expr *Out = nullptr;
+    for (int R = 0; R < 32; ++R)
+      Out = sym::expand(Ctx, E);
+    Expanded[static_cast<size_t>(T)] = Out;
+  });
+  for (int T = 1; T < NumThreads; ++T)
+    EXPECT_EQ(Expanded[static_cast<size_t>(T)], Expanded[0]);
+}
+
+TEST(ConcurrencyStressTest, HoleSolverCacheHammer) {
+  // One solver, one sketch, one Phi: every thread must observe the same
+  // cached-or-recomputed canonical solution (the sharded memo is keyed
+  // by the structural sketch index, so all calls collide on one entry).
+  InputDecls Decls = {{"A", f64({3})}, {"B", f64({3})}};
+  ParseResult Parsed = parseProgram("A * B + B", Decls);
+  ASSERT_TRUE(Parsed) << Parsed.Error;
+  sym::ExprContext Ctx;
+  symexec::SymBinding Bindings = symexec::makeInputBindings(*Parsed.Prog, Ctx);
+  SymTensor Phi =
+      symexec::symbolicExecute(Parsed.Prog->getRoot(), Ctx, Bindings);
+  FlopCostModel Model;
+  ShapeScaler Scaler;
+  SketchLibrary Library(*Parsed.Prog, Ctx, Bindings, Model, Scaler,
+                        SketchLibrary::Config());
+  HoleSolver Solver(Ctx, Bindings);
+
+  // Gather a handful of solvable and unsolvable sketches to mix hits,
+  // misses and NoSolution results on the same shards.
+  std::vector<const Sketch *> Sketches;
+  for (const Sketch &Sk : Library.getSketches())
+    Sketches.push_back(&Sk);
+  ASSERT_GE(Sketches.size(), 2u);
+
+  const Sketch *Target = nullptr;
+  for (const Sketch *Sk : Sketches)
+    if (printNode(Sk->Root) == "?hole:f64(3) + B")
+      Target = Sk;
+  ASSERT_NE(Target, nullptr);
+
+  std::vector<const sym::Expr *> Solutions(NumThreads);
+  hammer([&](int T) {
+    const sym::Expr *FirstElem = nullptr;
+    for (int R = 0; R < 64; ++R) {
+      const Sketch &Sk =
+          *Sketches[static_cast<size_t>(T + R) % Sketches.size()];
+      auto Result = Solver.solve(Sk, Phi);
+      if (&Sk == Target) {
+        ASSERT_TRUE(Result.has_value());
+      }
+      // Pin down the canonical answer for the target sketch.
+      auto Pinned = Solver.solve(*Target, Phi);
+      ASSERT_TRUE(Pinned.has_value());
+      ASSERT_GT(Pinned->getNumElements(), 0);
+      const sym::Expr *Elem = Pinned->at(0);
+      if (!FirstElem)
+        FirstElem = Elem;
+      // Same canonical pointer every time, from every thread.
+      ASSERT_EQ(Elem, FirstElem);
+    }
+    Solutions[static_cast<size_t>(T)] = FirstElem;
+  });
+  for (int T = 1; T < NumThreads; ++T)
+    EXPECT_EQ(Solutions[static_cast<size_t>(T)], Solutions[0]);
+  // Every call was counted despite the contention.
+  EXPECT_EQ(Solver.getNumCalls(), int64_t(NumThreads) * 64 * 2);
+}
+
+TEST(ConcurrencyStressTest, BudgetLatchesExactlyOnceUnderContention) {
+  ResourceBudget::Limits L;
+  L.MaxSymbolicNodes = 1000;
+  ResourceBudget Budget(L);
+  std::atomic<int64_t> Charged{0};
+  hammer([&](int) {
+    for (int R = 0; R < Rounds; ++R) {
+      Budget.chargeSymbolicNodes(1);
+      Charged.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // No charge is ever lost (relaxed fetch_add still sums exactly) ...
+  EXPECT_EQ(Budget.getSymbolicNodes(), Charged.load());
+  EXPECT_EQ(Charged.load(), int64_t(NumThreads) * Rounds);
+  // ... and since the total exceeds the cap, the latch fired with the
+  // node-cap reason, not the Timeout default.
+  EXPECT_TRUE(Budget.latched());
+  EXPECT_FALSE(Budget.checkpoint());
+  EXPECT_EQ(Budget.exhaustedReason(), ErrC::BudgetExhausted);
+}
+
+TEST(ConcurrencyStressTest, BudgetSolverCallCounterIsExact) {
+  ResourceBudget Budget; // Unlimited: no latch, pure counting.
+  hammer([&](int) {
+    for (int R = 0; R < Rounds; ++R)
+      Budget.chargeSolverCall();
+  });
+  EXPECT_EQ(Budget.getSolverCalls(), int64_t(NumThreads) * Rounds);
+  EXPECT_FALSE(Budget.latched());
+}
+
+TEST(ConcurrencyStressTest, FaultInjectorCountsEveryFireAtRateOne) {
+  FaultInjector &Injector = FaultInjector::instance();
+  ASSERT_TRUE(Injector.configure("holesolver:1.0:42"));
+  hammer([&](int) {
+    for (int R = 0; R < Rounds; ++R)
+      ASSERT_TRUE(Injector.shouldFire(FaultSite::HoleSolve));
+  });
+  // Rate 1.0 short-circuits the RNG draw, so the count is exact and
+  // schedule-independent.
+  EXPECT_EQ(Injector.firedCount(FaultSite::HoleSolve),
+            int64_t(NumThreads) * Rounds);
+  // Unarmed sites never fire even under the same contention.
+  EXPECT_EQ(Injector.firedCount(FaultSite::TensorOp), 0);
+  Injector.resetToEnvironment();
+}

@@ -341,6 +341,59 @@ TEST(RobustnessTest, VerifierFaultSurfacesAsError) {
   EXPECT_GT(FaultInjector::instance().firedCount(FaultSite::Verifier), 0);
 }
 
+TEST(RobustnessTest, ParallelSynthesisDegradesUnderFaultsLikeSequential) {
+  // Every hole solve fails on all four workers at once: the run must
+  // degrade to the original program (never hang, never return a partial
+  // candidate) with the same abort reason, the same emitted source, and
+  // the same error-prune count as the sequential engine.  Rate 1.0
+  // short-circuits the injector's RNG draw, so the fire sequence — and
+  // with it the counters — is thread-interleaving-free.
+  FaultGuard Guard;
+  const std::vector<std::pair<std::string, InputDecls>> Programs = {
+      {"A + A + A + A + A", {{"A", f64({3})}}},
+      {"np.diag(np.dot(A, B))", {{"A", f64({3, 3})}, {"B", f64({3, 3})}}},
+      {"np.transpose(np.transpose(A))", {{"A", f64({3, 4})}}},
+      {"np.power(A, 2)", {{"A", f64({3, 4})}}},
+      {"np.exp(np.log(A + B))", {{"A", f64({3})}, {"B", f64({3})}}},
+  };
+  for (const auto &[Source, Decls] : Programs) {
+    ASSERT_TRUE(Guard.arm("holesolver:1.0:42"));
+    auto P = parseProgram(Source, Decls);
+    ASSERT_TRUE(P) << P.Error;
+    auto RunWith = [&](int Jobs) {
+      SynthesisConfig Config = fastConfig();
+      Config.Jobs = Jobs;
+      return Synthesizer(Config).run(*P.Prog);
+    };
+    SynthesisResult Sequential = RunWith(1);
+    SynthesisResult Parallel = RunWith(4);
+    for (const SynthesisResult *R : {&Sequential, &Parallel}) {
+      EXPECT_FALSE(R->Improved) << Source;
+      EXPECT_EQ(R->Abort, AbortReason::InternalError) << Source;
+      EXPECT_GT(R->Stats.PrunedByError, 0) << Source;
+      EXPECT_EQ(R->OptimizedSource, Sequential.OptimizedSource) << Source;
+      EXPECT_EQ(R->OptimizedCost, R->OriginalCost) << Source;
+    }
+    // Each abandoned branch is counted exactly once whatever the
+    // concurrency — a racy counter would double-count (or drop) prunes.
+    // The engines split the branches differently (sequential's `>=` cost
+    // prune cuts equal-cost branches before the solver; parallel's
+    // strict `>` lets them reach the solver, where they fault), but with
+    // every solve failing each branch lands in exactly one of the two
+    // counters, so the sum is engine-invariant.
+    EXPECT_EQ(Parallel.Stats.PrunedByError + Parallel.Stats.PrunedByCost,
+              Sequential.Stats.PrunedByError + Sequential.Stats.PrunedByCost)
+        << Source;
+    // And the parallel run is repeatable, not merely plausible.
+    SynthesisResult Again = RunWith(4);
+    EXPECT_EQ(Again.OptimizedSource, Parallel.OptimizedSource) << Source;
+    EXPECT_EQ(Again.Abort, Parallel.Abort) << Source;
+    EXPECT_EQ(Again.Stats.PrunedByError, Parallel.Stats.PrunedByError)
+        << Source;
+  }
+  EXPECT_GT(FaultInjector::instance().firedCount(FaultSite::HoleSolve), 0);
+}
+
 TEST(RobustnessTest, SynthesisIsCleanAfterFaultsDisarm) {
   // Degradation must not leave latent state behind: after disarming, the
   // same synthesis succeeds again.

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+#===- tools/run_ctest_matrix.sh - Build + ctest across sanitizer configs -===#
+#
+# Part of the STENSO reproduction, released under the MIT License.
+#
+#===----------------------------------------------------------------------===#
+#
+# The CI job matrix in one script: configures, builds, and tests the tree
+# in three configurations —
+#
+#   release   plain RelWithDebInfo, full ctest suite
+#   asan      STENSO_SANITIZE=ON (ASan+UBSan), full ctest suite
+#   tsan      STENSO_TSAN=ON (ThreadSanitizer), `ctest -L tsan` only:
+#             the parallel-search surface (ThreadPool, the shared-state
+#             hammers, the parallel differential/robustness cases), since
+#             TSan slows the full suite ~10x for no extra race coverage
+#
+# Usage:
+#   tools/run_ctest_matrix.sh             # all three configurations
+#   tools/run_ctest_matrix.sh tsan        # just one (release|asan|tsan)
+#
+# Each configuration builds into build-matrix-<name>/ so the matrix never
+# dirties the default build/ tree.  The script stops at the first failing
+# configuration and always prints a per-config summary line.
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+CONFIGS=("${@:-release asan tsan}")
+# Word-split the default list when no argument was given.
+[ $# -eq 0 ] && CONFIGS=(release asan tsan)
+
+run_config() {
+  local NAME="$1"
+  local BUILD_DIR="build-matrix-${NAME}"
+  local CMAKE_FLAGS=()
+  local CTEST_FLAGS=(--output-on-failure)
+  case "${NAME}" in
+    release) ;;
+    asan) CMAKE_FLAGS+=(-DSTENSO_SANITIZE=ON) ;;
+    tsan)
+      CMAKE_FLAGS+=(-DSTENSO_TSAN=ON)
+      CTEST_FLAGS+=(-L tsan)
+      ;;
+    *)
+      echo "unknown configuration '${NAME}' (use release|asan|tsan)" >&2
+      return 2
+      ;;
+  esac
+
+  echo "=== [${NAME}] configure ==="
+  cmake -B "${BUILD_DIR}" -S . "${CMAKE_FLAGS[@]}" || return 1
+  echo "=== [${NAME}] build (-j${JOBS}) ==="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" || return 1
+  echo "=== [${NAME}] ctest ${CTEST_FLAGS[*]} ==="
+  (cd "${BUILD_DIR}" && ctest "${CTEST_FLAGS[@]}") || return 1
+}
+
+STATUS=0
+SUMMARY=""
+for NAME in "${CONFIGS[@]}"; do
+  if run_config "${NAME}"; then
+    SUMMARY+="${NAME}: PASS"$'\n'
+  else
+    SUMMARY+="${NAME}: FAIL"$'\n'
+    STATUS=1
+    break
+  fi
+done
+
+echo
+echo "=== matrix summary ==="
+printf '%s' "${SUMMARY}"
+exit "${STATUS}"

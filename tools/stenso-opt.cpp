@@ -160,6 +160,9 @@ void printUsage(std::ostream &OS) {
         "  --cost_estimator NAME   flops | measured (default: measured)\n"
         "  --timeout SECONDS       synthesis budget (default: 60)\n"
         "  --max-nodes N           cap on symbolic nodes (default: none)\n"
+        "  --jobs N                worker threads for the sketch search\n"
+        "                          (default: 1; 0 = all hardware threads;\n"
+        "                          any N returns the same program)\n"
         "  --no-branch-and-bound   disable cost pruning (ablation)\n"
         "  --stats                 print search statistics\n"
         "  --rule                  print the generalized rewrite rule\n"
@@ -203,6 +206,12 @@ int main(int Argc, char **Argv) {
       if (!Parsed || *Parsed < 0)
         return fail("bad --max-nodes value '" + Nodes + "'");
       Config.MaxSymbolicNodes = *Parsed;
+    } else if (Arg == "--jobs") {
+      std::string Jobs = Value();
+      std::optional<int64_t> Parsed = parseInt64(Jobs);
+      if (!Parsed || *Parsed < 0 || *Parsed > 1024)
+        return fail("bad --jobs value '" + Jobs + "'");
+      Config.Jobs = static_cast<int>(*Parsed);
     } else if (Arg == "--no-branch-and-bound")
       Config.UseBranchAndBound = false;
     else if (Arg == "--rules_out")
