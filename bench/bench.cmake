@@ -22,6 +22,7 @@ stenso_add_report(bench_ablation_backend)
 stenso_add_report(bench_parallel_scaling)
 stenso_add_report(bench_egraph_vs_synthesis)
 target_link_libraries(bench_egraph_vs_synthesis PRIVATE stenso_egraph)
+stenso_add_report(bench_observe_overhead)
 
 add_executable(bench_microops ${CMAKE_SOURCE_DIR}/bench/bench_microops.cpp)
 set_target_properties(bench_microops PROPERTIES

@@ -8,12 +8,17 @@
 
 #include "dsl/Interpreter.h"
 #include "dsl/Parser.h"
+#include "observe/DecisionLog.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "support/Error.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -61,23 +66,9 @@ double evalsuite::suiteTimeoutSeconds(double Default) {
 std::vector<BenchmarkRun>
 evalsuite::synthesizeSuite(const synth::SynthesisConfig &Config,
                            std::ostream *Progress) {
-  std::vector<BenchmarkRun> Runs;
-  for (const BenchmarkDef &Def : benchmarkSuite()) {
-    if (Progress)
-      *Progress << "  synthesizing " << Def.Name << "..." << std::flush;
-    BenchmarkRun Run = synthesizeBenchmark(Def, Config);
-    verifyRunEquivalence(Run);
-    if (Progress)
-      *Progress << (Run.Degraded          ? " degraded: "
-                    : Run.Synthesis.Improved ? " improved: "
-                                             : " kept: ")
-                << Run.Synthesis.OptimizedSource << "  ["
-                << TablePrinter::formatDouble(Run.Synthesis.SynthesisSeconds,
-                                              2)
-                << " s]\n";
-    Runs.push_back(std::move(Run));
-  }
-  return Runs;
+  // The options overload is the one implementation; the defaults select
+  // the sequential loop with no telemetry outputs.
+  return synthesizeSuite(Config, SuiteRunOptions(), Progress);
 }
 
 std::vector<BenchmarkRun>
@@ -85,44 +76,101 @@ evalsuite::synthesizeSuite(const synth::SynthesisConfig &Config,
                            const SuiteRunOptions &Options,
                            std::ostream *Progress) {
   const std::vector<BenchmarkDef> &Suite = benchmarkSuite();
-  if (Options.Jobs == 1 && !Options.GlobalBudget)
-    return synthesizeSuite(Config, Progress);
 
-  // Pre-sized and indexed by benchmark: whatever completion order the
-  // workers produce, the returned vector is in suite order.
-  std::vector<BenchmarkRun> Runs(Suite.size());
-  std::mutex ProgressMutex;
-  size_t Jobs = Options.Jobs <= 0 ? ThreadPool::hardwareConcurrency()
-                                  : static_cast<size_t>(Options.Jobs);
-  ThreadPool Pool(Jobs);
-  Pool.parallelFor(0, Suite.size(), [&](size_t I) {
-    const BenchmarkDef &Def = Suite[I];
+  // Suite-scoped trace session: spans recorded anywhere below (synthesis,
+  // verification, the thread pool) land in one timeline.  The session is
+  // stopped — and the pool is gone — before the JSON is written.
+  std::optional<observe::TraceSession> Trace;
+  if (!Options.TraceFile.empty()) {
+    Trace.emplace();
+    Trace->start();
+  }
+
+  auto RunConfigFor = [&](const BenchmarkDef &) {
     synth::SynthesisConfig RunConfig = Config;
     if (Options.GlobalBudget)
       RunConfig.SharedBudget = Options.GlobalBudget;
-    BenchmarkRun Run = synthesizeBenchmark(Def, RunConfig);
-    verifyRunEquivalence(Run);
-    if (Progress) {
-      // One complete line per benchmark, emitted under a lock so
-      // concurrent completions never interleave characters.
-      std::ostringstream Line;
-      Line << "  " << Def.Name
-           << (Run.Degraded            ? " degraded: "
-               : Run.Synthesis.Improved ? " improved: "
-                                        : " kept: ")
-           << Run.Synthesis.OptimizedSource << "  ["
-           << TablePrinter::formatDouble(Run.Synthesis.SynthesisSeconds, 2)
-           << " s]\n";
-      std::lock_guard<std::mutex> Lock(ProgressMutex);
-      *Progress << Line.str() << std::flush;
+    if (Options.Decisions)
+      RunConfig.Decisions = Options.Decisions;
+    return RunConfig;
+  };
+
+  std::vector<BenchmarkRun> Runs;
+  if (Options.Jobs == 1 && !Options.GlobalBudget) {
+    // Sequential reference loop (per-run budgets).
+    for (const BenchmarkDef &Def : Suite) {
+      if (Progress)
+        *Progress << "  synthesizing " << Def.Name << "..." << std::flush;
+      BenchmarkRun Run = synthesizeBenchmark(Def, RunConfigFor(Def));
+      verifyRunEquivalence(Run);
+      if (Progress)
+        *Progress << (Run.Degraded          ? " degraded: "
+                      : Run.Synthesis.Improved ? " improved: "
+                                               : " kept: ")
+                  << Run.Synthesis.OptimizedSource << "  ["
+                  << TablePrinter::formatDouble(Run.Synthesis.SynthesisSeconds,
+                                                2)
+                  << " s]\n";
+      Runs.push_back(std::move(Run));
     }
-    Runs[I] = std::move(Run);
-  });
+  } else {
+    // Pre-sized and indexed by benchmark: whatever completion order the
+    // workers produce, the returned vector is in suite order.
+    Runs.resize(Suite.size());
+    std::mutex ProgressMutex;
+    size_t Jobs = Options.Jobs <= 0 ? ThreadPool::hardwareConcurrency()
+                                    : static_cast<size_t>(Options.Jobs);
+    ThreadPool Pool(Jobs);
+    Pool.parallelFor(0, Suite.size(), [&](size_t I) {
+      const BenchmarkDef &Def = Suite[I];
+      BenchmarkRun Run = synthesizeBenchmark(Def, RunConfigFor(Def));
+      verifyRunEquivalence(Run);
+      if (Progress) {
+        // One complete line per benchmark, emitted under a lock so
+        // concurrent completions never interleave characters.
+        std::ostringstream Line;
+        Line << "  " << Def.Name
+             << (Run.Degraded            ? " degraded: "
+                 : Run.Synthesis.Improved ? " improved: "
+                                          : " kept: ")
+             << Run.Synthesis.OptimizedSource << "  ["
+             << TablePrinter::formatDouble(Run.Synthesis.SynthesisSeconds, 2)
+             << " s]\n";
+        std::lock_guard<std::mutex> Lock(ProgressMutex);
+        *Progress << Line.str() << std::flush;
+      }
+      Runs[I] = std::move(Run);
+    });
+  }
+
+  if (Trace) {
+    Trace->stop();
+    std::ofstream OS(Options.TraceFile);
+    if (OS)
+      Trace->writeJson(OS);
+    else if (Progress)
+      *Progress << "  warning: could not write trace to '"
+                << Options.TraceFile << "'\n";
+  }
+  if (!Options.MetricsFile.empty()) {
+    std::ofstream OS(Options.MetricsFile);
+    if (OS)
+      observe::MetricsRegistry::global().writeJson(OS);
+    else if (Progress)
+      *Progress << "  warning: could not write metrics to '"
+                << Options.MetricsFile << "'\n";
+  }
   return Runs;
 }
 
 BenchmarkRun evalsuite::synthesizeBenchmark(const BenchmarkDef &Def,
                                             synth::SynthesisConfig Config) {
+  STENSO_TRACE_NAMED_SPAN(Span, "harness", "synthesize_benchmark");
+  Span.arg("benchmark", Def.Name);
+  // Decision records from this run carry the benchmark name unless the
+  // caller already chose a tag.
+  if (Config.Decisions && Config.DecisionsTag.empty())
+    Config.DecisionsTag = Def.Name;
   BenchmarkRun Run;
   Run.Def = &Def;
 
@@ -144,6 +192,7 @@ BenchmarkRun evalsuite::synthesizeBenchmark(const BenchmarkDef &Def,
   if (Run.Synthesis.Improved) {
     // The grammar is shape-literal-free, so the optimized source reparses
     // directly against the full declarations.
+    STENSO_TRACE_SPAN("harness", "lift");
     auto Lifted =
         parseProgram(Run.Synthesis.OptimizedSource, Def.declsFor(true));
     if (Lifted)
@@ -156,6 +205,7 @@ BenchmarkRun evalsuite::synthesizeBenchmark(const BenchmarkDef &Def,
     auto Copy = parseProgram(Def.sourceFor(true), Def.declsFor(true));
     Run.Optimized = std::move(Copy.Prog);
   }
+  Span.arg("improved", Run.Synthesis.Improved);
   return Run;
 }
 
@@ -174,6 +224,9 @@ InputBinding evalsuite::makeBenchmarkInputs(const BenchmarkDef &Def,
 
 void evalsuite::verifyRunEquivalence(BenchmarkRun &Run, int Trials) {
   assert(Run.Original && Run.Optimized && "incomplete run");
+  STENSO_TRACE_NAMED_SPAN(Span, "harness", "verify");
+  Span.arg("benchmark", Run.Def->Name);
+  Span.arg("trials", Trials);
   // Verify at reduced shapes for speed: parse both there.
   auto Orig = parseProgram(Run.Def->sourceFor(false), Run.Def->declsFor(false));
   auto Opt = parseProgram(Run.Synthesis.OptimizedSource,
@@ -208,6 +261,9 @@ SpeedupResult evalsuite::measureSpeedup(const BenchmarkRun &Run,
                                         const backend::BackendConfig &Backend,
                                         int Reps, uint64_t Seed) {
   assert(Run.Original && Run.Optimized && "incomplete run");
+  STENSO_TRACE_NAMED_SPAN(Span, "harness", "measure_speedup");
+  Span.arg("benchmark", Run.Def->Name);
+  Span.arg("reps", Reps);
   RNG Rng(Seed);
   InputBinding Inputs = makeBenchmarkInputs(*Run.Def, /*Full=*/true, Rng);
 

@@ -24,6 +24,11 @@
 #include <memory>
 
 namespace stenso {
+
+namespace observe {
+class DecisionLog;
+}
+
 namespace evalsuite {
 
 /// Synthesis outcome lifted to the benchmark's full shapes.
@@ -97,6 +102,17 @@ struct SuiteRunOptions {
   /// resource ceiling holds whatever the concurrency.  Must outlive the
   /// call.
   ResourceBudget *GlobalBudget = nullptr;
+  /// When non-empty, the whole suite run is wrapped in one TraceSession
+  /// and the Chrome/Perfetto `trace_event` JSON is written here.
+  std::string TraceFile;
+  /// When non-empty, a JSON snapshot of the global metrics registry —
+  /// which by then aggregates every benchmark's run — is written here
+  /// after the suite completes.
+  std::string MetricsFile;
+  /// When set, every benchmark's synthesis appends to this decision log,
+  /// tagged with the benchmark name.  Must outlive the call; the caller
+  /// serializes it (writeJsonl).
+  observe::DecisionLog *Decisions = nullptr;
 };
 
 /// Runs STENSO on the whole suite, verifying every result.  \p Progress

@@ -1,0 +1,89 @@
+//===- DecisionLog.cpp - Search-decision JSONL stream -----------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/DecisionLog.h"
+
+#include "observe/Json.h"
+
+#include <ostream>
+
+using namespace stenso;
+using namespace stenso::observe;
+
+const char *DecisionLog::toString(Outcome O) {
+  switch (O) {
+  case Outcome::StubMatch:
+    return "stub-match";
+  case Outcome::PrunedCost:
+    return "pruned-cost";
+  case Outcome::PrunedSimplification:
+    return "pruned-simplification";
+  case Outcome::PrunedError:
+    return "pruned-error";
+  case Outcome::NoSolution:
+    return "no-solution";
+  case Outcome::BudgetStop:
+    return "budget-stop";
+  case Outcome::Explored:
+    return "explored";
+  case Outcome::Accepted:
+    return "accepted";
+  }
+  return "unknown";
+}
+
+void DecisionLog::record(int32_t Sketch, int32_t Depth, double CostBound,
+                         Outcome O, double Cost, const std::string &Tag) {
+  std::lock_guard<std::mutex> Lock(M);
+  uint32_t TagId = 0;
+  if (!Tag.empty()) {
+    auto [It, Inserted] =
+        TagIndex.emplace(Tag, static_cast<uint32_t>(Tags.size() + 1));
+    if (Inserted)
+      Tags.push_back(Tag);
+    TagId = It->second;
+  }
+  Records.push_back(Record{Sketch, Depth, CostBound, Cost, O, TagId});
+}
+
+size_t DecisionLog::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Records.size();
+}
+
+void DecisionLog::writeJsonl(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Line;
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const Record &R = Records[I];
+    Line.clear();
+    Line += "{\"seq\":";
+    jsonAppendNumber(Line, static_cast<int64_t>(I));
+    Line += ",\"sketch\":";
+    jsonAppendNumber(Line, static_cast<int64_t>(R.Sketch));
+    Line += ",\"depth\":";
+    jsonAppendNumber(Line, static_cast<int64_t>(R.Depth));
+    Line += ",\"bound\":";
+    jsonAppendNumber(Line, R.CostBound);
+    Line += ",\"outcome\":";
+    Line += jsonQuote(toString(R.O));
+    Line += ",\"cost\":";
+    jsonAppendNumber(Line, R.Cost);
+    if (R.Tag != 0) {
+      Line += ",\"tag\":";
+      Line += jsonQuote(Tags[R.Tag - 1]);
+    }
+    Line += "}\n";
+    OS << Line;
+  }
+}
+
+void DecisionLog::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Records.clear();
+  Tags.clear();
+  TagIndex.clear();
+}

@@ -1,0 +1,101 @@
+//===- Json.h - Minimal JSON emission helpers ------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String-escaping and number-formatting helpers shared by every telemetry
+/// serializer (trace files, metrics snapshots, decision logs, --stats-json).
+/// Emission only — the repo never needs to *parse* JSON, so there is no
+/// parser here.  All output is locale-independent: doubles go through
+/// snprintf("%.17g"), which round-trips exactly, and non-finite values
+/// (which JSON cannot represent) degrade to null.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_OBSERVE_JSON_H
+#define STENSO_OBSERVE_JSON_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace stenso {
+namespace observe {
+
+/// Appends \p S to \p Out with JSON string escaping (quotes not included).
+inline void jsonAppendEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// \p S as a quoted, escaped JSON string.
+inline std::string jsonQuote(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  jsonAppendEscaped(Out, S);
+  Out += '"';
+  return Out;
+}
+
+/// Appends \p V as a JSON number (null for inf/nan, which JSON lacks).
+inline void jsonAppendNumber(std::string &Out, double V) {
+  if (!std::isfinite(V)) {
+    Out += "null";
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+inline void jsonAppendNumber(std::string &Out, int64_t V) {
+  Out += std::to_string(V);
+}
+
+inline std::string jsonNumber(double V) {
+  std::string Out;
+  jsonAppendNumber(Out, V);
+  return Out;
+}
+
+} // namespace observe
+} // namespace stenso
+
+#endif // STENSO_OBSERVE_JSON_H

@@ -1,0 +1,152 @@
+//===- Metrics.cpp - Process-wide metrics registry --------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Metrics.h"
+
+#include "observe/Json.h"
+
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+using namespace stenso;
+using namespace stenso::observe;
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)) {
+  assert(!Bounds.empty() && "histogram needs at least one bucket bound");
+  for (size_t I = 1; I < Bounds.size(); ++I)
+    assert(Bounds[I - 1] < Bounds[I] &&
+           "histogram bounds must be strictly increasing");
+  Buckets = std::make_unique<std::atomic<int64_t>[]>(Bounds.size() + 1);
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+  N.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<double> UpperBounds) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Histogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>(std::move(UpperBounds));
+  return *Slot;
+}
+
+int64_t MetricsRegistry::counterValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  return It != Counters.end() ? It->second->value() : 0;
+}
+
+std::vector<std::pair<std::string, int64_t>>
+MetricsRegistry::counterSnapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<std::pair<std::string, int64_t>> Out;
+  Out.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Out.emplace_back(Name, C->value());
+  return Out;
+}
+
+void MetricsRegistry::writeJson(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out;
+  Out += "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "\n  ";
+    Out += jsonQuote(Name);
+    Out += ':';
+    jsonAppendNumber(Out, C->value());
+  }
+  Out += "\n},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "\n  ";
+    Out += jsonQuote(Name);
+    Out += ':';
+    jsonAppendNumber(Out, G->value());
+  }
+  Out += "\n},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "\n  ";
+    Out += jsonQuote(Name);
+    Out += ":{\"bounds\":[";
+    const std::vector<double> &Bounds = H->upperBounds();
+    for (size_t I = 0; I < Bounds.size(); ++I) {
+      if (I)
+        Out += ',';
+      jsonAppendNumber(Out, Bounds[I]);
+    }
+    Out += "],\"counts\":[";
+    for (size_t I = 0; I <= Bounds.size(); ++I) {
+      if (I)
+        Out += ',';
+      jsonAppendNumber(Out, H->bucketCount(I));
+    }
+    Out += "],\"count\":";
+    jsonAppendNumber(Out, H->count());
+    Out += ",\"sum\":";
+    jsonAppendNumber(Out, H->sum());
+    Out += '}';
+  }
+  Out += "\n}}\n";
+  OS << Out;
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::ostringstream OS;
+  writeJson(OS);
+  return OS.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}

@@ -1,0 +1,142 @@
+//===- Metrics.h - Process-wide metrics registry ---------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named monotonic counters, gauges, and fixed-bucket histograms with
+/// atomic hot paths and a JSON snapshot API.  Dot-separated names form
+/// the metric namespace (e.g. `holesolver.cache.hit`,
+/// `exprctx.interned_nodes`, `threadpool.steal_count`,
+/// `synth.prune.cost`).
+///
+/// Usage discipline: look a metric up once (registration takes a lock)
+/// and keep the reference — references are stable for the registry's
+/// lifetime; add()/set()/record() are lock-free.  The truly hot loops of
+/// the synthesizer (interning, cache probes, budget checkpoints) do not
+/// even do that: they keep plain or member-atomic counters next to the
+/// data they guard and *publish* totals into this registry at flush
+/// points (end of a synthesis run, thread-pool destruction), so telemetry
+/// never adds shared-cacheline traffic to a hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_OBSERVE_METRICS_H
+#define STENSO_OBSERVE_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace observe {
+
+/// Monotonic counter.  add() is a relaxed fetch_add.
+class Counter {
+public:
+  void add(int64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Last-write-wins gauge.
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0};
+};
+
+/// Fixed-bucket histogram: a value lands in the first bucket whose upper
+/// bound is >= the value; values above every bound land in the implicit
+/// overflow bucket.  record() is wait-free apart from the CAS loop
+/// maintaining the running sum.
+class Histogram {
+public:
+  /// \p UpperBounds must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  void record(double V) {
+    size_t I = 0;
+    while (I < Bounds.size() && V > Bounds[I])
+      ++I;
+    Buckets[I].fetch_add(1, std::memory_order_relaxed);
+    N.fetch_add(1, std::memory_order_relaxed);
+    double Current = Sum.load(std::memory_order_relaxed);
+    while (!Sum.compare_exchange_weak(Current, Current + V,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double> &upperBounds() const { return Bounds; }
+  /// Count in bucket \p I; index Bounds.size() is the overflow bucket.
+  int64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  int64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+  void reset();
+
+private:
+  std::vector<double> Bounds;
+  std::unique_ptr<std::atomic<int64_t>[]> Buckets; ///< Bounds.size() + 1
+  std::atomic<int64_t> N{0};
+  std::atomic<double> Sum{0};
+};
+
+/// Get-or-create registry of named metrics.  Returned references are
+/// stable until the registry is destroyed; lookups take one mutex,
+/// operations on the returned metric do not.
+class MetricsRegistry {
+public:
+  /// The process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry &global();
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  /// First registration fixes the bucket bounds; later calls with the
+  /// same name return the existing histogram regardless of \p UpperBounds.
+  Histogram &histogram(const std::string &Name,
+                       std::vector<double> UpperBounds);
+
+  /// Value of a counter, or 0 when it was never registered.
+  int64_t counterValue(const std::string &Name) const;
+
+  /// All counters as (name, value), sorted by name (for --stats output).
+  std::vector<std::pair<std::string, int64_t>> counterSnapshot() const;
+
+  /// Serializes every metric:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void writeJson(std::ostream &OS) const;
+  std::string toJson() const;
+
+  /// Zeroes every registered metric (registrations and references stay
+  /// valid).  Meant for tests and for isolating per-run snapshots.
+  void reset();
+
+private:
+  mutable std::mutex M;
+  // std::map: stable addresses are guaranteed by unique_ptr, ordered
+  // iteration makes every snapshot deterministic.
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+} // namespace observe
+} // namespace stenso
+
+#endif // STENSO_OBSERVE_METRICS_H

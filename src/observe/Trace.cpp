@@ -1,0 +1,183 @@
+//===- Trace.cpp - Structured search tracing -------------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Trace.h"
+
+#include "observe/Json.h"
+
+#include <algorithm>
+#include <ostream>
+
+using namespace stenso;
+using namespace stenso::observe;
+
+std::atomic<TraceSession *> TraceSession::Active{nullptr};
+
+namespace {
+
+/// Session generations are process-global so a buffer handle cached by a
+/// thread can never alias across sessions, even ones that reuse the same
+/// heap address.
+std::atomic<uint64_t> NextGeneration{1};
+
+/// Per-thread handle into the active session's buffer list.
+struct ThreadBufferRef {
+  uint64_t Generation = 0;
+  void *Buffer = nullptr;
+};
+
+thread_local ThreadBufferRef TLRef;
+
+} // namespace
+
+TraceSession::TraceSession(size_t MaxEventsPerThread)
+    : MaxEventsPerThread(std::max<size_t>(MaxEventsPerThread, 1)) {}
+
+TraceSession::~TraceSession() {
+  // A session destroyed while still installed would leave every span a
+  // dangling pointer; uninstall defensively.
+  TraceSession *Self = this;
+  Active.compare_exchange_strong(Self, nullptr, std::memory_order_acq_rel);
+}
+
+bool TraceSession::start() {
+  Generation = NextGeneration.fetch_add(1, std::memory_order_relaxed);
+  StartNanos = monotonicNanos();
+  {
+    std::lock_guard<std::mutex> Lock(RegMutex);
+    Buffers.clear();
+  }
+  TraceSession *Expected = nullptr;
+  return Active.compare_exchange_strong(Expected, this,
+                                        std::memory_order_acq_rel);
+}
+
+void TraceSession::stop() {
+  TraceSession *Self = this;
+  Active.compare_exchange_strong(Self, nullptr, std::memory_order_acq_rel);
+}
+
+TraceSession::ThreadBuffer &TraceSession::threadBuffer() {
+  if (TLRef.Generation != Generation) {
+    std::lock_guard<std::mutex> Lock(RegMutex);
+    auto Buffer = std::make_unique<ThreadBuffer>();
+    Buffer->Tid = static_cast<uint32_t>(Buffers.size() + 1);
+    Buffer->Events.reserve(1024);
+    TLRef = {Generation, Buffer.get()};
+    Buffers.push_back(std::move(Buffer));
+  }
+  return *static_cast<ThreadBuffer *>(TLRef.Buffer);
+}
+
+void TraceSession::record(const TraceEvent &E) {
+  ThreadBuffer &Buffer = threadBuffer();
+  if (Buffer.Events.size() >= MaxEventsPerThread) {
+    ++Buffer.Dropped;
+    return;
+  }
+  Buffer.Events.push_back(E);
+  Buffer.Events.back().Tid = Buffer.Tid;
+}
+
+size_t TraceSession::eventCount() const {
+  std::lock_guard<std::mutex> Lock(RegMutex);
+  size_t N = 0;
+  for (const std::unique_ptr<ThreadBuffer> &B : Buffers)
+    N += B->Events.size();
+  return N;
+}
+
+uint64_t TraceSession::droppedEvents() const {
+  std::lock_guard<std::mutex> Lock(RegMutex);
+  uint64_t N = 0;
+  for (const std::unique_ptr<ThreadBuffer> &B : Buffers)
+    N += B->Dropped;
+  return N;
+}
+
+size_t TraceSession::threadCount() const {
+  std::lock_guard<std::mutex> Lock(RegMutex);
+  return Buffers.size();
+}
+
+namespace {
+
+void appendEventJson(std::string &Out, const TraceEvent &E,
+                     uint64_t SessionStartNanos) {
+  // Timestamps are microseconds relative to session start, as
+  // chrome://tracing and Perfetto expect.
+  double TsMicros =
+      static_cast<double>(E.StartNanos - SessionStartNanos) / 1e3;
+  Out += "{\"name\":";
+  Out += jsonQuote(E.Name ? E.Name : "");
+  Out += ",\"cat\":";
+  Out += jsonQuote(E.Cat ? E.Cat : "");
+  Out += ",\"ph\":\"";
+  Out += E.Ph;
+  Out += "\",\"ts\":";
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", TsMicros);
+  Out += Buf;
+  if (E.Ph == 'X') {
+    std::snprintf(Buf, sizeof(Buf), "%.3f",
+                  static_cast<double>(E.DurNanos) / 1e3);
+    Out += ",\"dur\":";
+    Out += Buf;
+  }
+  if (E.Ph == 'i')
+    Out += ",\"s\":\"t\""; // thread-scoped instant
+  Out += ",\"pid\":1,\"tid\":";
+  jsonAppendNumber(Out, static_cast<int64_t>(E.Tid));
+  if (E.NumArgs > 0) {
+    Out += ",\"args\":{";
+    for (uint8_t I = 0; I < E.NumArgs; ++I) {
+      const TraceArg &A = E.Args[I];
+      if (I)
+        Out += ',';
+      Out += jsonQuote(A.Key ? A.Key : "");
+      Out += ':';
+      switch (A.K) {
+      case TraceArg::Kind::Int:
+        jsonAppendNumber(Out, A.IntValue);
+        break;
+      case TraceArg::Kind::Float:
+        jsonAppendNumber(Out, A.FloatValue);
+        break;
+      case TraceArg::Kind::Text:
+        Out += jsonQuote(A.Text);
+        break;
+      case TraceArg::Kind::None:
+        Out += "null";
+        break;
+      }
+    }
+    Out += '}';
+  }
+  Out += '}';
+}
+
+} // namespace
+
+void TraceSession::writeJson(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(RegMutex);
+  OS << "{\"traceEvents\":[";
+  std::string Line;
+  bool First = true;
+  for (const std::unique_ptr<ThreadBuffer> &B : Buffers) {
+    for (const TraceEvent &E : B->Events) {
+      Line.clear();
+      appendEventJson(Line, E, StartNanos);
+      OS << (First ? "\n" : ",\n") << Line;
+      First = false;
+    }
+  }
+  uint64_t Dropped = 0;
+  for (const std::unique_ptr<ThreadBuffer> &B : Buffers)
+    Dropped += B->Dropped;
+  OS << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+     << "\"droppedEvents\":" << Dropped
+     << ",\"threads\":" << Buffers.size() << "}}\n";
+}

@@ -1,0 +1,309 @@
+//===- Trace.h - Structured search tracing ---------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured tracing for the synthesis stack: typed span/instant events
+/// with thread ids, monotonic timestamps and key/value args, recorded into
+/// per-thread buffers and flushed on demand to Chrome `chrome://tracing` /
+/// Perfetto-compatible `trace_event` JSON.
+///
+/// Overhead policy (DESIGN.md §9):
+///   * compiled out — with STENSO_TRACE=OFF (-DSTENSO_TRACE_DISABLED) the
+///     span macros expand to an empty object with no members; the
+///     optimizer erases every trace site entirely;
+///   * inactive     — with tracing compiled in but no TraceSession
+///     started, a span costs one relaxed-ish atomic load and a branch
+///     (single-digit nanoseconds), and performs no allocation;
+///   * active       — an event is a fixed-size POD appended to a buffer
+///     owned exclusively by the recording thread, so the hot path takes
+///     no lock (the one-time per-thread registration does).
+///
+/// Threading contract: spans may begin/end on any thread while a session
+/// is active.  start(), stop(), and writeJson() are control-plane calls —
+/// the caller must quiesce instrumented worker threads around them (in
+/// practice: sessions wrap whole synthesis runs, and the thread pools
+/// those runs create are drained before the run returns).  Events of a
+/// span still open when the session stops are dropped, not torn.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_OBSERVE_TRACE_H
+#define STENSO_OBSERVE_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#if defined(STENSO_TRACE_DISABLED)
+#define STENSO_TRACE_ENABLED 0
+#else
+#define STENSO_TRACE_ENABLED 1
+#endif
+
+namespace stenso {
+namespace observe {
+
+/// Monotonic nanoseconds (steady clock, epoch arbitrary but fixed).
+inline uint64_t monotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One key/value argument of a trace event.  Values are either numbers or
+/// a short inline text copy: events must stay fixed-size PODs so the
+/// recording hot path never allocates.
+struct TraceArg {
+  enum class Kind : uint8_t { None, Int, Float, Text };
+  const char *Key = nullptr; ///< static string (literal at the call site)
+  Kind K = Kind::None;
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  /// Inline text payload; longer strings are truncated.
+  char Text[44] = {0};
+};
+
+/// A completed span ('X'), instant ('i'), or counter sample.  Name and
+/// category must be string literals (the event stores the pointers).
+struct TraceEvent {
+  static constexpr size_t MaxArgs = 3;
+  const char *Name = nullptr;
+  const char *Cat = nullptr;
+  char Ph = 'X';
+  uint8_t NumArgs = 0;
+  uint32_t Tid = 0; ///< assigned by the session at registration
+  uint64_t StartNanos = 0;
+  uint64_t DurNanos = 0;
+  TraceArg Args[MaxArgs];
+
+  void addArg(const char *Key, int64_t V) {
+    if (NumArgs >= MaxArgs)
+      return;
+    TraceArg &A = Args[NumArgs++];
+    A.Key = Key;
+    A.K = TraceArg::Kind::Int;
+    A.IntValue = V;
+  }
+  void addArg(const char *Key, double V) {
+    if (NumArgs >= MaxArgs)
+      return;
+    TraceArg &A = Args[NumArgs++];
+    A.Key = Key;
+    A.K = TraceArg::Kind::Float;
+    A.FloatValue = V;
+  }
+  void addArg(const char *Key, std::string_view V) {
+    if (NumArgs >= MaxArgs)
+      return;
+    TraceArg &A = Args[NumArgs++];
+    A.Key = Key;
+    A.K = TraceArg::Kind::Text;
+    size_t N = std::min(V.size(), sizeof(A.Text) - 1);
+    std::memcpy(A.Text, V.data(), N);
+    A.Text[N] = '\0';
+  }
+};
+
+/// Collects trace events for one observation window.
+///
+/// Exactly one session is active process-wide at a time: start() installs
+/// the session behind a global atomic that every span reads, stop()
+/// uninstalls it.  Starting while another session is active is a no-op
+/// (the session simply stays inactive and records nothing) so nested
+/// tooling never corrupts an outer trace.
+class TraceSession {
+public:
+  /// \p MaxEventsPerThread bounds memory per recording thread; events
+  /// beyond the cap are counted in droppedEvents() instead of recorded.
+  explicit TraceSession(size_t MaxEventsPerThread = size_t(1) << 20);
+  ~TraceSession();
+  TraceSession(const TraceSession &) = delete;
+  TraceSession &operator=(const TraceSession &) = delete;
+
+  /// Installs this session as the process-wide active one.  Returns true
+  /// on success, false when another session is already active (this
+  /// session then stays inert).
+  bool start();
+
+  /// Uninstalls the session.  Call after instrumented workers quiesced.
+  void stop();
+
+  bool isActive() const { return Active.load(std::memory_order_acquire) == this; }
+
+  /// The process-wide active session, or null.  This is the one load
+  /// every disabled trace site pays.
+  static TraceSession *active() {
+    return Active.load(std::memory_order_acquire);
+  }
+
+  /// Appends \p E to the calling thread's buffer (registering the thread
+  /// on first use).  Called by spans; not part of the user API.
+  void record(const TraceEvent &E);
+
+  /// Nanosecond timestamp of start(); event times are reported relative
+  /// to it.
+  uint64_t startNanos() const { return StartNanos; }
+
+  /// Total recorded events across all threads (quiesced callers only).
+  size_t eventCount() const;
+
+  /// Events dropped by the per-thread cap.
+  uint64_t droppedEvents() const;
+
+  /// Number of threads that recorded at least one event.
+  size_t threadCount() const;
+
+  /// Serializes the whole session as `trace_event` JSON
+  /// ({"traceEvents": [...]}).  Call after stop().
+  void writeJson(std::ostream &OS) const;
+
+private:
+  struct ThreadBuffer {
+    uint32_t Tid = 0;
+    std::vector<TraceEvent> Events;
+    uint64_t Dropped = 0;
+  };
+  ThreadBuffer &threadBuffer();
+
+  static std::atomic<TraceSession *> Active;
+
+  /// Unique per start(): thread-local buffer handles are validated
+  /// against it, so stale handles from a previous session (or a previous
+  /// session that happened to live at the same address) are never reused.
+  uint64_t Generation = 0;
+  uint64_t StartNanos = 0;
+  size_t MaxEventsPerThread;
+  mutable std::mutex RegMutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+};
+
+/// RAII span: records one complete ('X') event from construction to
+/// destruction.  When no session is active, construction is one atomic
+/// load + branch and every other member is a no-op.
+class TraceSpan {
+public:
+  TraceSpan(const char *Cat, const char *Name) {
+#if STENSO_TRACE_ENABLED
+    Session = TraceSession::active();
+    if (!Session)
+      return;
+    E.Cat = Cat;
+    E.Name = Name;
+    E.StartNanos = monotonicNanos();
+#else
+    (void)Cat;
+    (void)Name;
+#endif
+  }
+
+  ~TraceSpan() {
+#if STENSO_TRACE_ENABLED
+    if (!Session)
+      return;
+    E.DurNanos = monotonicNanos() - E.StartNanos;
+    // The session may have stopped while this span was open; events that
+    // straddle stop() are dropped rather than written into a session
+    // being serialized.
+    if (TraceSession::active() == Session)
+      Session->record(E);
+#endif
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches a key/value argument (up to TraceEvent::MaxArgs; extras are
+  /// silently dropped).  Keys must be string literals.
+#if STENSO_TRACE_ENABLED
+  void arg(const char *Key, int64_t V) {
+    if (Session)
+      E.addArg(Key, V);
+  }
+  void arg(const char *Key, double V) {
+    if (Session)
+      E.addArg(Key, V);
+  }
+  void arg(const char *Key, std::string_view V) {
+    if (Session)
+      E.addArg(Key, V);
+  }
+#else
+  void arg(const char *, int64_t) {}
+  void arg(const char *, double) {}
+  void arg(const char *, std::string_view) {}
+#endif
+  void arg(const char *Key, int V) { arg(Key, static_cast<int64_t>(V)); }
+  void arg(const char *Key, long long V) {
+    arg(Key, static_cast<int64_t>(V));
+  }
+  void arg(const char *Key, unsigned V) { arg(Key, static_cast<int64_t>(V)); }
+  void arg(const char *Key, unsigned long V) {
+    arg(Key, static_cast<int64_t>(V));
+  }
+  void arg(const char *Key, unsigned long long V) {
+    arg(Key, static_cast<int64_t>(V));
+  }
+  void arg(const char *Key, bool V) { arg(Key, static_cast<int64_t>(V)); }
+
+private:
+#if STENSO_TRACE_ENABLED
+  TraceSession *Session = nullptr;
+  TraceEvent E;
+#endif
+};
+
+/// Records an instant ('i') event on the calling thread.
+inline void traceInstant(const char *Cat, const char *Name) {
+#if STENSO_TRACE_ENABLED
+  TraceSession *Session = TraceSession::active();
+  if (!Session)
+    return;
+  TraceEvent E;
+  E.Cat = Cat;
+  E.Name = Name;
+  E.Ph = 'i';
+  E.StartNanos = monotonicNanos();
+  Session->record(E);
+#else
+  (void)Cat;
+  (void)Name;
+#endif
+}
+
+} // namespace observe
+} // namespace stenso
+
+//===----------------------------------------------------------------------===//
+// Trace macros — the only spelling instrumented code should use.  With
+// STENSO_TRACE=OFF they construct an empty object / expand to a no-op, so
+// every trace site compiles to nothing.
+//===----------------------------------------------------------------------===//
+
+#define STENSO_TRACE_CONCAT_IMPL(A, B) A##B
+#define STENSO_TRACE_CONCAT(A, B) STENSO_TRACE_CONCAT_IMPL(A, B)
+
+/// Anonymous scoped span: STENSO_TRACE_SPAN("holesolver", "solve");
+#define STENSO_TRACE_SPAN(Cat, Name)                                          \
+  ::stenso::observe::TraceSpan STENSO_TRACE_CONCAT(StensoTraceSpan_,          \
+                                                   __LINE__)(Cat, Name)
+
+/// Named scoped span, for attaching args: STENSO_TRACE_NAMED_SPAN(S, ...);
+/// S.arg("cost", 3.5);
+#define STENSO_TRACE_NAMED_SPAN(Var, Cat, Name)                               \
+  ::stenso::observe::TraceSpan Var(Cat, Name)
+
+/// Instant event (a zero-duration marker).
+#define STENSO_TRACE_INSTANT(Cat, Name)                                       \
+  ::stenso::observe::traceInstant(Cat, Name)
+
+#endif // STENSO_OBSERVE_TRACE_H

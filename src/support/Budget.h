@@ -7,10 +7,10 @@
 /// \file
 /// ResourceBudget generalizes the wall-clock Deadline into a cooperative
 /// multi-dimension budget: wall-clock seconds, a symbolic-node-count cap,
-/// and a solver-call cap.  Long-running loops call checkpoint() (a cheap
-/// steady-clock read) and unwind when it returns false.  Once any
-/// dimension is exhausted the budget latches — it never un-expires — so
-/// every layer above observes one consistent abort reason.
+/// and a solver-call cap.  Long-running loops call checkpoint() and
+/// unwind when it returns false.  Once any dimension is exhausted the
+/// budget latches — it never un-expires — so every layer above observes
+/// one consistent abort reason.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +20,7 @@
 #include "support/Result.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 
@@ -51,16 +52,50 @@ public:
   /// Deadline-compatible constructor: wall clock only.
   explicit ResourceBudget(double WallSeconds) { L.WallSeconds = WallSeconds; }
 
-  /// Cheap cooperative check; returns true while the budget holds.  A
-  /// steady-clock read is a ~20ns vDSO call, so this is safe to place
-  /// in both hot interning loops and coarse per-sketch loops — an
-  /// amortized every-N-calls scheme would let a coarse loop whose
-  /// iterations are individually slow overshoot the wall clock by N
-  /// iterations.  Unlimited budgets never touch the clock at all.
+  /// Cheap cooperative check; returns true while the budget holds.
+  ///
+  /// The clock is *not* read on every call: hot interning loops issue
+  /// millions of checkpoints per second, and although one steady-clock
+  /// read is only a ~20ns vDSO call, the reads were the single largest
+  /// telemetry-visible cost inside those loops.  Instead each thread
+  /// keeps an adaptive skip counter: the clock is read on the first call
+  /// (so an already-expired budget is latched decisively), then every
+  /// Nth, where N is retuned after every read so that reads land roughly
+  /// every TargetReadWindow seconds of wall time (and at least ~8 times
+  /// before the deadline).  A fixed N would let a coarse loop whose
+  /// iterations are individually slow overshoot the deadline by N
+  /// iterations; the adaptive N collapses to 1 at low call rates, which
+  /// bounds the overshoot to about max(MaxSkipInterval x one iteration,
+  /// TargetReadWindow) instead.  The skip state is thread-local, so the
+  /// fast path performs no shared-cacheline write at all.  Unlimited
+  /// budgets never touch the clock.
+  ///
+  /// Call/read totals are published through getCheckpointCalls() and
+  /// getClockReads(); calls are batched into the shared counter at every
+  /// slow-path visit, so the total lags by at most one skip interval per
+  /// live thread.
   bool checkpoint() {
-    if (latched())
+    TLState &T = tlState();
+    if (T.Owner != this || T.OwnerId != Id) {
+      // First checkpoint of this budget on this thread (or the slot was
+      // owned by another budget).  Pending counts of the previous owner
+      // are dropped — it may no longer exist.
+      T.Owner = this;
+      T.OwnerId = Id;
+      T.SkipsLeft = 0;
+      T.LastInterval = 0;
+      T.LastElapsed = 0;
+      T.Pending = 0;
+    }
+    ++T.Pending;
+    if (latched()) {
+      CheckpointCalls.fetch_add(T.Pending, std::memory_order_relaxed);
+      T.Pending = 0;
       return false;
-    return !wallExpired();
+    }
+    if (--T.SkipsLeft > 0)
+      return true;
+    return checkpointSlow(T);
   }
 
   /// Accounts \p N freshly created symbolic nodes.
@@ -121,13 +156,86 @@ public:
   int64_t getSolverCalls() const {
     return SolverCalls.load(std::memory_order_relaxed);
   }
+  /// Total checkpoint() calls observed so far.  Batched: lags the true
+  /// total by at most one skip interval per thread still in its loop.
+  int64_t getCheckpointCalls() const {
+    return CheckpointCalls.load(std::memory_order_relaxed);
+  }
+  /// Steady-clock reads performed by checkpoint()/exhausted(); the
+  /// decimation exists to keep this far below getCheckpointCalls().
+  int64_t getClockReads() const {
+    return ClockReads.load(std::memory_order_relaxed);
+  }
   const Limits &getLimits() const { return L; }
 
+  /// Upper bound on consecutive checkpoints that skip the clock.
+  static constexpr int64_t MaxSkipInterval = 64;
+  /// Aim to read the clock roughly this often (seconds of wall time).
+  static constexpr double TargetReadWindow = 0.005;
+
 private:
-  bool wallExpired() {
-    if (L.WallSeconds > 0 && Timer.elapsedSeconds() >= L.WallSeconds) {
-      latch(ErrC::Timeout);
+  /// Per-thread decimation state.  Keyed by (pointer, id): the id is
+  /// unique per budget instance, so a new budget allocated at a dead
+  /// budget's address never inherits stale skips — that could delay its
+  /// first clock read past an already-expired deadline.
+  struct TLState {
+    const ResourceBudget *Owner = nullptr;
+    uint64_t OwnerId = 0;
+    int64_t SkipsLeft = 0;
+    int64_t LastInterval = 0;
+    int64_t Pending = 0;
+    double LastElapsed = 0;
+  };
+  static TLState &tlState() {
+    static thread_local TLState S;
+    return S;
+  }
+  static uint64_t nextBudgetId() {
+    static std::atomic<uint64_t> Next{1};
+    return Next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Flushes the batched call count, reads the clock (wall-limited
+  /// budgets only), and retunes the thread's skip interval.
+  bool checkpointSlow(TLState &T) {
+    CheckpointCalls.fetch_add(T.Pending, std::memory_order_relaxed);
+    T.Pending = 0;
+    if (L.WallSeconds <= 0) {
+      // No deadline to miss: only the call-count batching matters.
+      T.SkipsLeft = T.LastInterval = MaxSkipInterval;
       return true;
+    }
+    ClockReads.fetch_add(1, std::memory_order_relaxed);
+    double Elapsed = Timer.elapsedSeconds();
+    if (Elapsed >= L.WallSeconds) {
+      latch(ErrC::Timeout);
+      return false;
+    }
+    // Estimate this thread's checkpoint rate from the interval that just
+    // elapsed and pick the skip count that lands the next read about
+    // min(TargetReadWindow, remaining/8) seconds from now.  A slow loop
+    // yields a low rate and an interval near 1 (per-call reads, no
+    // overshoot); a hot loop earns a long interval.
+    double Delta = Elapsed - T.LastElapsed;
+    T.LastElapsed = Elapsed;
+    double Window =
+        std::min(TargetReadWindow, (L.WallSeconds - Elapsed) / 8);
+    double Rate = T.LastInterval > 0 && Delta > 1e-9
+                      ? static_cast<double>(T.LastInterval) / Delta
+                      : 0; // first read on this thread: stay conservative
+    int64_t Next = static_cast<int64_t>(Rate * Window);
+    T.SkipsLeft = T.LastInterval =
+        std::clamp<int64_t>(Next, 1, MaxSkipInterval);
+    return true;
+  }
+
+  bool wallExpired() {
+    if (L.WallSeconds > 0) {
+      ClockReads.fetch_add(1, std::memory_order_relaxed);
+      if (Timer.elapsedSeconds() >= L.WallSeconds) {
+        latch(ErrC::Timeout);
+        return true;
+      }
     }
     return false;
   }
@@ -143,8 +251,11 @@ private:
 
   WallTimer Timer;
   Limits L;
+  uint64_t Id = nextBudgetId();
   std::atomic<int64_t> SymbolicNodes{0};
   std::atomic<int64_t> SolverCalls{0};
+  std::atomic<int64_t> CheckpointCalls{0};
+  std::atomic<int64_t> ClockReads{0};
   /// -1 while the budget holds; otherwise the ErrC of the dimension that
   /// latched first.  One word instead of flag+reason: no ordering hazard.
   std::atomic<int> LatchedReason{-1};

@@ -6,6 +6,9 @@
 
 #include "support/ThreadPool.h"
 
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -39,16 +42,41 @@ ThreadPool::ThreadPool(size_t NumThreads) {
 }
 
 ThreadPool::~ThreadPool() {
+  int64_t Executed, Stolen, Helped;
   {
     std::unique_lock<std::mutex> Lock(Monitor);
     // Drain: tasks already submitted (and whatever they submit while
     // running) complete before the workers are released.
     Drained.wait(Lock, [this] { return Outstanding == 0; });
     Stopping = true;
+    Executed = TasksExecuted;
+    Stolen = StealCount;
+    Helped = HelpRuns;
   }
   WorkAvailable.notify_all();
   for (std::unique_ptr<Worker> &W : Workers)
     W->Thread.join();
+  // Publish lifetime totals once, at teardown: the hot scheduling paths
+  // only touch plain counters under the Monitor they already hold.
+  observe::MetricsRegistry &M = observe::MetricsRegistry::global();
+  M.counter("threadpool.tasks_executed").add(Executed);
+  M.counter("threadpool.steal_count").add(Stolen);
+  M.counter("threadpool.help_runs").add(Helped);
+}
+
+int64_t ThreadPool::getTasksExecuted() const {
+  std::lock_guard<std::mutex> Lock(Monitor);
+  return TasksExecuted;
+}
+
+int64_t ThreadPool::getStealCount() const {
+  std::lock_guard<std::mutex> Lock(Monitor);
+  return StealCount;
+}
+
+int64_t ThreadPool::getHelpRuns() const {
+  std::lock_guard<std::mutex> Lock(Monitor);
+  return HelpRuns;
 }
 
 void ThreadPool::enqueue(std::function<void()> Task) {
@@ -92,6 +120,7 @@ std::function<void()> ThreadPool::dequeueLocked(size_t Index) {
     return nullptr;
   std::function<void()> Task = std::move(Workers[Victim]->Queue.back());
   Workers[Victim]->Queue.pop_back();
+  ++StealCount;
   return Task;
 }
 
@@ -116,8 +145,16 @@ bool ThreadPool::runOneTask() {
   }
   if (!Task)
     return false;
-  Task(); // packaged_task: exceptions land in the future
+  {
+    STENSO_TRACE_SPAN("threadpool", "help_task");
+    Task(); // packaged_task: exceptions land in the future
+  }
   Task = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(Monitor);
+    ++TasksExecuted;
+    ++HelpRuns;
+  }
   finishTask();
   return true;
 }
@@ -135,9 +172,13 @@ void ThreadPool::workerLoop(size_t Index) {
       continue;
     }
     Lock.unlock();
-    Task(); // packaged_task: exceptions land in the future
+    {
+      STENSO_TRACE_SPAN("threadpool", "task");
+      Task(); // packaged_task: exceptions land in the future
+    }
     Task = nullptr;
     Lock.lock();
+    ++TasksExecuted;
     assert(Outstanding > 0 && "task accounting underflow");
     if (--Outstanding == 0)
       Drained.notify_all();

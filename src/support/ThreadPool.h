@@ -98,6 +98,15 @@ public:
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned hardwareConcurrency();
 
+  /// Telemetry (all cumulative since construction): tasks that ran to
+  /// completion, tasks a worker stole from a sibling's deque, and tasks
+  /// drained by a helping thread (waitFor/parallelFor).  The destructor
+  /// publishes the totals into the global metrics registry under
+  /// threadpool.{tasks_executed,steal_count,help_runs}.
+  int64_t getTasksExecuted() const;
+  int64_t getStealCount() const;
+  int64_t getHelpRuns() const;
+
 private:
   void enqueue(std::function<void()> Task);
   void workerLoop(size_t Index);
@@ -126,13 +135,19 @@ private:
     std::thread Thread;
   };
 
-  std::mutex Monitor;
+  mutable std::mutex Monitor;
   std::condition_variable WorkAvailable;
   std::condition_variable Drained;
   std::vector<std::unique_ptr<Worker>> Workers;
   /// Queued + currently running tasks; the destructor waits for 0.
   size_t Outstanding = 0;
   bool Stopping = false;
+  /// Scheduling telemetry, maintained under Monitor (which every
+  /// scheduling decision already holds), so the counters cost nothing on
+  /// top of the existing lock.
+  int64_t TasksExecuted = 0;
+  int64_t StealCount = 0;
+  int64_t HelpRuns = 0;
 };
 
 } // namespace stenso

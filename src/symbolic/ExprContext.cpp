@@ -49,10 +49,13 @@ const Expr *ExprContext::intern(std::unique_ptr<Expr> Node) {
   size_t H = hashNode(*Node);
   Shard &S = Shards[H % NumShards];
   std::lock_guard<std::mutex> Lock(S.M);
+  ++S.Lookups;
   auto [First, Last] = S.Buckets.equal_range(H);
   for (auto It = First; It != Last; ++It)
-    if (structurallyEqual(*It->second, *Node))
+    if (structurallyEqual(*It->second, *Node)) {
+      ++S.Hits;
       return It->second;
+    }
   Node->Hash = H;
   Node->Id = NextId.fetch_add(1, std::memory_order_relaxed);
   const Expr *Raw = Node.get();
@@ -86,6 +89,24 @@ const Expr *ExprContext::symbol(const std::string &Name,
       new SymbolExpr(Name, TensorName, std::move(Indices))));
   SymbolsByName[Name] = Sym;
   return Sym;
+}
+
+int64_t ExprContext::getInternLookups() const {
+  int64_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Lookups;
+  }
+  return Total;
+}
+
+int64_t ExprContext::getInternHits() const {
+  int64_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Hits;
+  }
+  return Total;
 }
 
 std::optional<Rational> ExprContext::getConstantValue(const Expr *E) {

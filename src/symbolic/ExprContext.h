@@ -134,6 +134,14 @@ public:
     return NumNodes.load(std::memory_order_relaxed);
   }
 
+  /// Total intern() probes since construction, and how many of them hit
+  /// an already-interned node (probes - hits = fresh nodes).  The
+  /// per-shard tallies are plain fields mutated under the shard lock the
+  /// probe already holds, so observability adds no atomic traffic to the
+  /// interning hot path; these getters sum across shards.
+  int64_t getInternLookups() const;
+  int64_t getInternHits() const;
+
   /// Attaches a cooperative resource budget: every freshly interned node
   /// is charged against its symbolic-node cap, so runaway symbolic
   /// expansion trips the budget even deep inside canonicalization.
@@ -176,9 +184,12 @@ private:
   /// (64 mutexes + empty maps) stays trivial.
   static constexpr size_t NumShards = 64;
   struct Shard {
-    std::mutex M;
+    mutable std::mutex M;
     std::unordered_multimap<size_t, const Expr *> Buckets;
     std::vector<std::unique_ptr<Expr>> Nodes;
+    /// Telemetry, guarded by M like everything else in the shard.
+    int64_t Lookups = 0;
+    int64_t Hits = 0;
   };
   /// A node's shard is a pure function of its structural hash, so two
   /// threads interning structurally equal nodes always serialize on the

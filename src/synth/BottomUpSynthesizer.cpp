@@ -7,6 +7,7 @@
 #include "synth/BottomUpSynthesizer.h"
 
 #include "dsl/Printer.h"
+#include "observe/Trace.h"
 #include "support/Budget.h"
 #include "support/Timer.h"
 
@@ -44,6 +45,7 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
                                          const ShapeScaler &Scaler) {
   assert(Clamped.getRoot() && "program has no root");
   WallTimer Timer;
+  STENSO_TRACE_SPAN("synth", "bottomup_run");
   ResourceBudget Budget(Config.TimeoutSeconds);
   std::vector<OpKind> Ops =
       Config.Ops.empty() ? SketchLibrary::defaultOps() : Config.Ops;

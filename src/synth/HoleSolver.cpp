@@ -6,6 +6,7 @@
 
 #include "synth/HoleSolver.h"
 
+#include "observe/Trace.h"
 #include "support/FaultInjection.h"
 #include "support/Hashing.h"
 #include "symbolic/Linear.h"
@@ -132,12 +133,18 @@ Expected<SymTensor> HoleSolver::solve(const Sketch &Sk,
   {
     std::lock_guard<std::mutex> Lock(Shard.M);
     auto It = Shard.Map.find(Key);
-    if (It != Shard.Map.end())
+    if (It != Shard.Map.end()) {
+      ++Shard.Hits;
       return It->second;
+    }
+    ++Shard.Misses;
   }
   // Solve outside the lock; a racing duplicate computes the identical
   // canonical answer and loses the emplace below, which is benign.
+  STENSO_TRACE_NAMED_SPAN(Span, "holesolver", "solve");
+  Span.arg("sketch", Sk.Index);
   Expected<SymTensor> Result = solveUncached(Sk, Phi);
+  Span.arg("solved", static_cast<bool>(Result));
   if (Result)
     Solved.fetch_add(1, std::memory_order_relaxed);
   // Budget exhaustion describes this run's budget, not the query — don't
@@ -145,9 +152,62 @@ Expected<SymTensor> HoleSolver::solve(const Sketch &Sk,
   if (Result || (Result.error().code() != ErrC::BudgetExhausted &&
                  Result.error().code() != ErrC::Timeout)) {
     std::lock_guard<std::mutex> Lock(Shard.M);
+    if (Shard.Map.size() >= MaxEntriesPerShard) {
+      // Flush-on-full: the memo is a pure-function cache, so discarding
+      // it only costs recomputation.  Wholesale flush keeps the insert
+      // path O(1) — no LRU bookkeeping on every hit.
+      Shard.Evictions += static_cast<int64_t>(Shard.Map.size());
+      Shard.Map.clear();
+    }
     Shard.Map.emplace(std::move(Key), Result);
   }
   return Result;
+}
+
+int64_t HoleSolver::getCacheHits() const {
+  int64_t Total = 0;
+  for (const CacheShard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Hits;
+  }
+  return Total;
+}
+
+int64_t HoleSolver::getCacheMisses() const {
+  int64_t Total = 0;
+  for (const CacheShard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Misses;
+  }
+  return Total;
+}
+
+int64_t HoleSolver::getCacheEvictions() const {
+  int64_t Total = 0;
+  for (const CacheShard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Evictions;
+  }
+  return Total;
+}
+
+std::array<int64_t, 16> HoleSolver::getCacheHitsByShard() const {
+  static_assert(NumCacheShards == 16, "by-shard API assumes 16 shards");
+  std::array<int64_t, 16> Out{};
+  for (size_t I = 0; I < NumCacheShards; ++I) {
+    std::lock_guard<std::mutex> Lock(Shards[I].M);
+    Out[I] = Shards[I].Hits;
+  }
+  return Out;
+}
+
+std::array<int64_t, 16> HoleSolver::getCacheMissesByShard() const {
+  std::array<int64_t, 16> Out{};
+  for (size_t I = 0; I < NumCacheShards; ++I) {
+    std::lock_guard<std::mutex> Lock(Shards[I].M);
+    Out[I] = Shards[I].Misses;
+  }
+  return Out;
 }
 
 Expected<SymTensor> HoleSolver::solveUncached(const Sketch &Sk,

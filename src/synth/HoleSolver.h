@@ -73,6 +73,22 @@ public:
     return Solved.load(std::memory_order_relaxed);
   }
 
+  /// Memo-cache telemetry, summed across the 16 shards.  Hits + misses =
+  /// probes; evictions counts entries discarded by the flush-on-full
+  /// bound.  Per-shard breakdowns via the ByShard variants (diagnosing a
+  /// skewed key distribution is exactly what they exist for).
+  int64_t getCacheHits() const;
+  int64_t getCacheMisses() const;
+  int64_t getCacheEvictions() const;
+  std::array<int64_t, 16> getCacheHitsByShard() const;
+  std::array<int64_t, 16> getCacheMissesByShard() const;
+
+  /// Cache bound: when a shard reaches this many memoized entries the
+  /// whole shard is flushed (counted in evictions).  The memo caches a
+  /// pure function, so eviction can only cost recomputation, never change
+  /// a result.
+  static constexpr size_t MaxEntriesPerShard = 1 << 14;
+
 private:
   Expected<symexec::SymTensor> solveUncached(const Sketch &Sk,
                                              const symexec::SymTensor &Phi);
@@ -99,9 +115,13 @@ private:
   };
   static constexpr size_t NumCacheShards = 16;
   struct CacheShard {
-    std::mutex M;
+    mutable std::mutex M;
     std::unordered_map<CacheKey, Expected<symexec::SymTensor>, CacheKeyHash>
         Map;
+    /// Telemetry, guarded by M (the probe holds it anyway).
+    int64_t Hits = 0;
+    int64_t Misses = 0;
+    int64_t Evictions = 0;
   };
   std::array<CacheShard, NumCacheShards> Shards;
   std::atomic<int64_t> Calls{0};

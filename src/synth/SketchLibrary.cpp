@@ -6,6 +6,7 @@
 
 #include "synth/SketchLibrary.h"
 
+#include "observe/Trace.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -44,8 +45,18 @@ SketchLibrary::SketchLibrary(const Program &Clamped, sym::ExprContext &Ctx,
     : Ctx(Ctx), Bindings(Bindings), Budget(Budget) {
   if (C.Ops.empty())
     C.Ops = defaultOps();
-  enumerateStubs(Clamped, Model, Scaler, C);
-  makeSketches(Model, Scaler);
+  {
+    STENSO_TRACE_NAMED_SPAN(Span, "library", "enumerate_stubs");
+    enumerateStubs(Clamped, Model, Scaler, C);
+    Span.arg("stubs", Stubs.size());
+    Span.arg("tried", CandidatesTried);
+    Span.arg("failed", CandidatesFailed);
+  }
+  {
+    STENSO_TRACE_NAMED_SPAN(Span, "library", "make_sketches");
+    makeSketches(Model, Scaler);
+    Span.arg("sketches", Sketches.size());
+  }
 }
 
 void SketchLibrary::addCandidate(const Node *Root, int Depth,

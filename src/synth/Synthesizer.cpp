@@ -7,6 +7,9 @@
 #include "synth/Synthesizer.h"
 
 #include "dsl/Printer.h"
+#include "observe/DecisionLog.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "support/Budget.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
@@ -140,14 +143,29 @@ public:
       atomicMinDouble(*SharedBound, Cost);
   }
 
+  using Decision = observe::DecisionLog::Outcome;
+
+  /// Appends one record to the attached decision log (no-op without one).
+  /// Observation-only: the log never feeds back into the search.
+  void decide(int32_t SketchIdx, int Level, double BoundAtEntry, Decision O,
+              double Cost = 0) const {
+    if (Config.Decisions)
+      Config.Decisions->record(SketchIdx, Level, BoundAtEntry, O, Cost,
+                               Config.DecisionsTag);
+  }
+
   /// Algorithm 2.  \p CostSoFar is the concrete cost accumulated by
   /// enclosing sketches; \p CostMin is the branch-and-bound incumbent
   /// (pass-by-reference as in the paper).
   std::optional<Candidate> dfs(const SymTensor &Phi, int Level,
                                double CostSoFar, double &CostMin) {
     ++Stats.DfsCalls;
-    if (!Budget.checkpoint())
+    STENSO_TRACE_NAMED_SPAN(DfsSpan, "synth", "dfs");
+    DfsSpan.arg("depth", Level);
+    if (!Budget.checkpoint()) {
+      decide(-1, Level, bound(CostMin), Decision::BudgetStop);
       return std::nullopt;
+    }
 
     // Base case (lines 2-8): a direct stub match.  The library keeps the
     // cheapest stub per spec, so this is the argmin over matches.  Unlike
@@ -166,8 +184,10 @@ public:
       if (maybeInjectFault(FaultSite::HoleSolve)) {
         (void)FaultScope.takeError();
         ++Stats.PrunedByError;
+        decide(-1, Level, bound(CostMin), Decision::PrunedError);
       } else {
         Best = Candidate{Match->Root, Match->Cost};
+        decide(-1, Level, bound(CostMin), Decision::StubMatch, Match->Cost);
         if (Config.UseBranchAndBound)
           tighten(CostMin, CostSoFar + Match->Cost);
       }
@@ -181,8 +201,11 @@ public:
     for (const Sketch *SkPtr :
          Library.getSketchesFor(Phi.getShape(), Phi.getDType())) {
       const Sketch &Sk = *SkPtr;
-      if (!Budget.checkpoint())
+      int32_t SkIdx = static_cast<int32_t>(Sk.Index);
+      if (!Budget.checkpoint()) {
+        decide(SkIdx, Level, bound(CostMin), Decision::BudgetStop);
         break;
+      }
       // A sketch whose concrete part mentions tensors absent from Phi
       // could only match through cancellation; skip it.
       if (!sketchTensorsSubset(Sk, PhiTensors))
@@ -193,6 +216,7 @@ public:
       if (Config.UseBranchAndBound &&
           prunes(CostSoFar + Sk.ConcreteCost, CostMin)) {
         ++Stats.PrunedByCost;
+        decide(SkIdx, Level, bound(CostMin), Decision::PrunedCost);
         continue;
       }
 
@@ -200,12 +224,18 @@ public:
       Expected<SymTensor> HoleSpec = Solver.solve(Sk, Phi);
       if (!HoleSpec) {
         ErrC Code = HoleSpec.error().code();
-        if (Code == ErrC::Timeout || Code == ErrC::BudgetExhausted)
+        if (Code == ErrC::Timeout || Code == ErrC::BudgetExhausted) {
+          decide(SkIdx, Level, bound(CostMin), Decision::BudgetStop);
           break; // the budget latched; no point in trying more sketches
+        }
         // NoSolution is the expected miss; anything else is a failed
         // candidate evaluation — prune the branch, keep searching.
-        if (Code != ErrC::NoSolution)
+        if (Code != ErrC::NoSolution) {
           ++Stats.PrunedByError;
+          decide(SkIdx, Level, bound(CostMin), Decision::PrunedError);
+        } else {
+          decide(SkIdx, Level, bound(CostMin), Decision::NoSolution);
+        }
         continue;
       }
       ++Stats.SolverSuccesses;
@@ -213,20 +243,26 @@ public:
       // PRUNE (line 12): only monotonically simplifying decompositions.
       if (specComplexity(*HoleSpec) >= PhiComplexity) {
         ++Stats.PrunedBySimplification;
+        decide(SkIdx, Level, bound(CostMin), Decision::PrunedSimplification);
         continue;
       }
 
       ++Stats.SketchesExplored;
       std::optional<Candidate> Sub =
           dfs(*HoleSpec, Level + 1, CostSoFar + Sk.ConcreteCost, CostMin);
-      if (!Sub)
+      if (!Sub) {
+        decide(SkIdx, Level, bound(CostMin), Decision::Explored);
         continue;
+      }
 
       double SubtreeCost = Sk.ConcreteCost + Sub->Cost;
-      if (Best && Best->Cost <= SubtreeCost)
+      if (Best && Best->Cost <= SubtreeCost) {
+        decide(SkIdx, Level, bound(CostMin), Decision::Explored);
         continue;
+      }
       const Node *Filled = substituteNode(Arena, Sk.Root, Sk.Hole, Sub->Tree);
       Best = Candidate{Filled, SubtreeCost};
+      decide(SkIdx, Level, bound(CostMin), Decision::Accepted, SubtreeCost);
 
       // Completing this hole completes a whole program of cost
       // CostSoFar + SubtreeCost (sketches have a single hole, so the
@@ -276,6 +312,13 @@ struct ParallelSearch {
       const SymTensor &Phi, double OriginalCost) {
     ++Stats.DfsCalls; // the level-0 call, as in the sequential engine
     std::atomic<double> Bound{OriginalCost};
+    using Decision = observe::DecisionLog::Outcome;
+    auto Decide = [&Config](int32_t SkIdx, double BoundAtEntry, Decision O,
+                            double Cost = 0) {
+      if (Config.Decisions)
+        Config.Decisions->record(SkIdx, 0, BoundAtEntry, O, Cost,
+                                 Config.DecisionsTag);
+    };
 
     // Root stub match on the calling thread, before any worker runs: its
     // fault-site draw keeps the same global position as sequentially.
@@ -285,8 +328,10 @@ struct ParallelSearch {
       if (maybeInjectFault(FaultSite::HoleSolve)) {
         (void)FaultScope.takeError();
         ++Stats.PrunedByError;
+        Decide(-1, OriginalCost, Decision::PrunedError);
       } else {
         RootMatch = SearchDriver::Candidate{Match->Root, Match->Cost};
+        Decide(-1, OriginalCost, Decision::StubMatch, Match->Cost);
         if (Config.UseBranchAndBound)
           atomicMinDouble(Bound, Match->Cost);
       }
@@ -314,9 +359,15 @@ struct ParallelSearch {
     ThreadPool Pool(Jobs);
     Pool.parallelFor(0, Branches.size(), [&](size_t I) {
       const Sketch &Sk = *Branches[I];
+      int32_t SkIdx = static_cast<int32_t>(Sk.Index);
       BranchResult &Out = Results[I];
-      if (!Budget.checkpoint())
+      STENSO_TRACE_NAMED_SPAN(BranchSpan, "synth", "branch");
+      BranchSpan.arg("sketch", SkIdx);
+      if (!Budget.checkpoint()) {
+        Decide(SkIdx, Bound.load(std::memory_order_relaxed),
+               Decision::BudgetStop);
         return;
+      }
       Out.Arena = std::make_unique<Program>();
       SearchDriver Driver(Config, Library, Solver, Out.Stats, Budget,
                           *Out.Arena, &Bound);
@@ -324,31 +375,41 @@ struct ParallelSearch {
       if (Config.UseBranchAndBound &&
           Driver.prunes(Sk.ConcreteCost, LocalMin)) {
         ++Out.Stats.PrunedByCost;
+        Decide(SkIdx, Driver.bound(LocalMin), Decision::PrunedCost);
         return;
       }
       ++Out.Stats.SolverCalls;
       Expected<SymTensor> HoleSpec = Solver.solve(Sk, Phi);
       if (!HoleSpec) {
         ErrC Code = HoleSpec.error().code();
-        if (Code != ErrC::NoSolution && Code != ErrC::Timeout &&
-            Code != ErrC::BudgetExhausted)
+        if (Code == ErrC::Timeout || Code == ErrC::BudgetExhausted) {
+          Decide(SkIdx, Driver.bound(LocalMin), Decision::BudgetStop);
+        } else if (Code != ErrC::NoSolution) {
           ++Out.Stats.PrunedByError;
+          Decide(SkIdx, Driver.bound(LocalMin), Decision::PrunedError);
+        } else {
+          Decide(SkIdx, Driver.bound(LocalMin), Decision::NoSolution);
+        }
         return;
       }
       ++Out.Stats.SolverSuccesses;
       if (specComplexity(*HoleSpec) >= PhiComplexity) {
         ++Out.Stats.PrunedBySimplification;
+        Decide(SkIdx, Driver.bound(LocalMin), Decision::PrunedSimplification);
         return;
       }
       ++Out.Stats.SketchesExplored;
       std::optional<SearchDriver::Candidate> Sub =
           Driver.dfs(*HoleSpec, 1, Sk.ConcreteCost, LocalMin);
-      if (!Sub)
+      if (!Sub) {
+        Decide(SkIdx, Driver.bound(LocalMin), Decision::Explored);
         return;
+      }
       double SubtreeCost = Sk.ConcreteCost + Sub->Cost;
       const Node *Filled =
           substituteNode(*Out.Arena, Sk.Root, Sk.Hole, Sub->Tree);
       Out.Cand = SearchDriver::Candidate{Filled, SubtreeCost};
+      Decide(SkIdx, Driver.bound(LocalMin), Decision::Accepted, SubtreeCost);
       if (Config.UseBranchAndBound)
         atomicMinDouble(Bound, SubtreeCost);
     });
@@ -382,12 +443,17 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
                                  const ShapeScaler &Scaler) {
   assert(Clamped.getRoot() && "program has no root");
   WallTimer Timer;
+  STENSO_TRACE_NAMED_SPAN(RunSpan, "synth", "run");
+  RunSpan.arg("jobs", Config.Jobs);
   // A caller-provided budget (the harness's suite-global one) replaces
-  // the per-run limits; it may already be partially consumed.
+  // the per-run limits; it may already be partially consumed.  Snapshot
+  // its counters so a shared budget reports per-run deltas in the stats.
   ResourceBudget LocalBudget(ResourceBudget::Limits{
       Config.TimeoutSeconds, Config.MaxSymbolicNodes, Config.MaxSolverCalls});
   ResourceBudget &Budget =
       Config.SharedBudget ? *Config.SharedBudget : LocalBudget;
+  int64_t CheckpointCalls0 = Budget.getCheckpointCalls();
+  int64_t ClockReads0 = Budget.getClockReads();
   SynthesisResult Result;
   Result.OptimizedSource = printProgram(Clamped);
 
@@ -407,6 +473,7 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
   symexec::SymBinding Bindings;
   std::optional<SymTensor> Phi;
   {
+    STENSO_TRACE_SPAN("synth", "spec");
     RecoverableErrorScope SetupScope;
     Bindings = symexec::makeInputBindings(Clamped, Ctx);
     SymTensor Spec = symexec::symbolicExecute(Clamped.getRoot(), Ctx, Bindings);
@@ -420,8 +487,15 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     return Result;
   }
 
-  SketchLibrary Library(Clamped, Ctx, Bindings, *Model, Scaler,
-                        Config.Library, &Budget);
+  std::optional<SketchLibrary> LibraryStorage;
+  {
+    STENSO_TRACE_NAMED_SPAN(LibSpan, "synth", "library");
+    LibraryStorage.emplace(Clamped, Ctx, Bindings, *Model, Scaler,
+                           Config.Library, &Budget);
+    LibSpan.arg("stubs", LibraryStorage->getStubs().size());
+    LibSpan.arg("sketches", LibraryStorage->getSketches().size());
+  }
+  SketchLibrary &Library = *LibraryStorage;
   Result.Stats.NumStubs = Library.getStubs().size();
   Result.Stats.NumSketches = Library.getSketches().size();
   Result.Stats.PrunedByError += Library.getNumCandidatesFailed();
@@ -434,18 +508,31 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
   // pool and must return the identical program/cost/AbortReason.
   std::optional<SearchDriver::Candidate> Best;
   ParallelSearch Parallel; // owns branch arenas until the clone below
-  if (Config.Jobs == 1) {
-    SearchDriver Driver(Config, Library, Solver, Result.Stats, Budget,
-                        Library.getArena());
-    double CostMin = Result.OriginalCost;
-    Best = Driver.dfs(*Phi, 0, 0, CostMin);
-  } else {
-    Best = Parallel.run(Config, Library, Solver, Result.Stats, Budget, *Phi,
-                        Result.OriginalCost);
+  {
+    STENSO_TRACE_NAMED_SPAN(SearchSpan, "synth", "search");
+    if (Config.Jobs == 1) {
+      SearchDriver Driver(Config, Library, Solver, Result.Stats, Budget,
+                          Library.getArena());
+      double CostMin = Result.OriginalCost;
+      Best = Driver.dfs(*Phi, 0, 0, CostMin);
+    } else {
+      Best = Parallel.run(Config, Library, Solver, Result.Stats, Budget, *Phi,
+                          Result.OriginalCost);
+    }
+    SearchSpan.arg("found", Best.has_value());
   }
 
   Result.Stats.SolverCalls = Solver.getNumCalls();
   Result.Stats.SolverSuccesses = Solver.getNumSolved();
+  Result.Stats.SolverCacheHits = Solver.getCacheHits();
+  Result.Stats.SolverCacheMisses = Solver.getCacheMisses();
+  Result.Stats.SolverCacheEvictions = Solver.getCacheEvictions();
+  Result.Stats.InternedNodes =
+      static_cast<int64_t>(Ctx.getNumInternedNodes());
+  Result.Stats.InternLookups = Ctx.getInternLookups();
+  Result.Stats.InternHits = Ctx.getInternHits();
+  Result.Stats.CheckpointCalls = Budget.getCheckpointCalls() - CheckpointCalls0;
+  Result.Stats.CheckpointClockReads = Budget.getClockReads() - ClockReads0;
   Result.SynthesisSeconds = Timer.elapsedSeconds();
 
   // Algorithm 1, lines 7-10: accept only strict improvements.
@@ -468,5 +555,32 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
   else if (!Result.Improved && Result.Stats.PrunedByError > 0)
     Result.Abort = AbortReason::InternalError;
   Result.TimedOut = Result.Abort == AbortReason::Timeout;
+
+  // Publish the run's telemetry into the global registry in one batch —
+  // the flush point for every counter the hot paths kept local.
+  {
+    observe::MetricsRegistry &M = observe::MetricsRegistry::global();
+    const SynthesisStats &S = Result.Stats;
+    M.counter("synth.runs").add(1);
+    M.counter("synth.improved").add(Result.Improved ? 1 : 0);
+    M.counter("synth.dfs_calls").add(S.DfsCalls);
+    M.counter("synth.sketches_explored").add(S.SketchesExplored);
+    M.counter("synth.prune.cost").add(S.PrunedByCost);
+    M.counter("synth.prune.simplify").add(S.PrunedBySimplification);
+    M.counter("synth.prune.error").add(S.PrunedByError);
+    M.counter("holesolver.calls").add(S.SolverCalls);
+    M.counter("holesolver.cache.hit").add(S.SolverCacheHits);
+    M.counter("holesolver.cache.miss").add(S.SolverCacheMisses);
+    M.counter("holesolver.cache.evict").add(S.SolverCacheEvictions);
+    M.counter("exprctx.interned_nodes").add(S.InternedNodes);
+    M.counter("exprctx.intern_lookups").add(S.InternLookups);
+    M.counter("exprctx.intern_hits").add(S.InternHits);
+    M.counter("budget.checkpoint.calls").add(S.CheckpointCalls);
+    M.counter("budget.checkpoint.clock_reads").add(S.CheckpointClockReads);
+    M.histogram("synth.run_seconds",
+                {0.001, 0.01, 0.1, 1, 10, 60, 300, 600})
+        .record(Result.SynthesisSeconds);
+  }
+  RunSpan.arg("improved", Result.Improved);
   return Result;
 }

@@ -28,6 +28,11 @@
 #include <string>
 
 namespace stenso {
+
+namespace observe {
+class DecisionLog;
+}
+
 namespace synth {
 
 /// Tuning knobs of one synthesis run.
@@ -56,6 +61,13 @@ struct SynthesisConfig {
   /// its own from the Timeout/Max* fields — the harness runs a whole
   /// suite under one global budget this way.  Must outlive the run.
   ResourceBudget *SharedBudget = nullptr;
+  /// Opt-in search-decision log (see observe/DecisionLog.h).  Strictly
+  /// observation-only: attaching one never changes the search.  Must
+  /// outlive the run.
+  observe::DecisionLog *Decisions = nullptr;
+  /// Tag stamped on every decision record (the harness uses the
+  /// benchmark name; empty for standalone runs).
+  std::string DecisionsTag;
   SketchLibrary::Config Library;
 };
 
@@ -72,6 +84,19 @@ struct SynthesisStats {
   int64_t SolverSuccesses = 0;
   size_t NumStubs = 0;
   size_t NumSketches = 0;
+  /// Hole-solver memo-cache telemetry (hits + misses = probes).
+  int64_t SolverCacheHits = 0;
+  int64_t SolverCacheMisses = 0;
+  int64_t SolverCacheEvictions = 0;
+  /// ExprContext interning telemetry: distinct nodes, total intern
+  /// probes, and probes that reused an existing node.
+  int64_t InternedNodes = 0;
+  int64_t InternLookups = 0;
+  int64_t InternHits = 0;
+  /// Budget checkpoints and how many actually read the steady clock
+  /// (the decimation keeps reads far below calls; see Budget.h).
+  int64_t CheckpointCalls = 0;
+  int64_t CheckpointClockReads = 0;
 };
 
 /// Why a synthesis run stopped short of an exhaustive search.  Ordered by

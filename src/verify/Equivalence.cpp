@@ -8,6 +8,8 @@
 
 #include "dsl/Interpreter.h"
 #include "dsl/Parser.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "support/Budget.h"
 #include "support/Error.h"
 #include "support/FaultInjection.h"
@@ -57,6 +59,8 @@ std::optional<InputDecls> mergedInputs(const Program &A, const Program &B) {
 Expected<Verdict> verify::checkEquivalence(const Program &A, const Program &B,
                                            const Options &Opts) {
   assert(A.getRoot() && B.getRoot() && "programs need roots");
+  STENSO_TRACE_SPAN("verify", "check_equivalence");
+  observe::MetricsRegistry::global().counter("verify.checks").add(1);
   RecoverableErrorScope Scope;
   if (maybeInjectFault(FaultSite::Verifier))
     return Scope.takeError();
@@ -70,6 +74,7 @@ Expected<Verdict> verify::checkEquivalence(const Program &A, const Program &B,
 
   // Symbolic oracle: both programs over *shared* symbols.
   if (!Opts.RandomOnly) {
+    STENSO_TRACE_SPAN("verify", "symbolic_oracle");
     sym::ExprContext Ctx;
     symexec::SymBinding Bindings;
     for (const auto &[Name, Type] : *Decls)
@@ -86,6 +91,8 @@ Expected<Verdict> verify::checkEquivalence(const Program &A, const Program &B,
   }
 
   // Random-testing oracle.
+  STENSO_TRACE_NAMED_SPAN(RandomSpan, "verify", "random_oracle");
+  RandomSpan.arg("trials", Opts.Trials);
   RNG Rng(Opts.Seed);
   for (int Trial = 0; Trial < Opts.Trials; ++Trial) {
     if (Budget.exhausted())

@@ -22,6 +22,8 @@
 #include "dsl/Parser.h"
 #include "dsl/Printer.h"
 #include "evalsuite/Harness.h"
+#include "observe/DecisionLog.h"
+#include "observe/Trace.h"
 #include "synth/Synthesizer.h"
 
 #include <gtest/gtest.h>
@@ -122,6 +124,34 @@ TEST(ParallelSynthTest, RepeatedParallelRunsAreStable) {
   SynthesisResult First = runBenchmark("diag_dot", /*Jobs=*/4);
   SynthesisResult Second = runBenchmark("diag_dot", /*Jobs=*/4);
   expectIdenticalOutcome(First, Second, /*Jobs=*/4);
+}
+
+TEST(ParallelSynthTest, LiveTelemetryDoesNotPerturbTheSearch) {
+  // Telemetry is observation-only by contract (DESIGN.md §9): an active
+  // trace session plus an attached decision log around the search must
+  // leave the jobs=N differential bit-for-bit intact.
+  SynthesisResult Bare = runBenchmark("diag_dot", /*Jobs=*/1);
+  EXPECT_TRUE(Bare.Improved);
+  const BenchmarkDef *Def = findBenchmark("diag_dot");
+  ASSERT_NE(Def, nullptr);
+  auto Parsed = parseProgram(Def->sourceFor(false), Def->declsFor(false));
+  ASSERT_TRUE(Parsed) << Parsed.Error;
+  for (int Jobs : {1, 4}) {
+    observe::TraceSession Session;
+    ASSERT_TRUE(Session.start());
+    observe::DecisionLog Log;
+    SynthesisConfig Config = parallelTestConfig(Jobs);
+    Config.Decisions = &Log;
+    SynthesisResult Traced =
+        Synthesizer(Config).run(*Parsed.Prog, Def->scaler());
+    Session.stop();
+    expectIdenticalOutcome(Bare, Traced, Jobs);
+    // And the telemetry actually observed the run.
+    EXPECT_GT(Log.size(), 0u) << "jobs=" << Jobs;
+#if STENSO_TRACE_ENABLED
+    EXPECT_GT(Session.eventCount(), 0u) << "jobs=" << Jobs;
+#endif
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -57,6 +57,20 @@ run_config() {
   cmake --build "${BUILD_DIR}" -j "${JOBS}" || return 1
   echo "=== [${NAME}] ctest ${CTEST_FLAGS[*]} ==="
   (cd "${BUILD_DIR}" && ctest "${CTEST_FLAGS[@]}") || return 1
+
+  # Trace-validation leg: one traced end-to-end run per configuration,
+  # with the emitted Chrome/Perfetto JSON checked by validate_trace.sh
+  # (exit 77 = no python3 on this host; treated as a skip, not a failure).
+  echo "=== [${NAME}] trace validation ==="
+  local TRACE_FILE="${BUILD_DIR}/matrix_trace.json"
+  "${BUILD_DIR}/tools/stenso-opt" \
+      --program examples/programs/diag_dot.stenso --timeout 60 \
+      --trace "${TRACE_FILE}" || return 1
+  tools/validate_trace.sh "${TRACE_FILE}"
+  local RC=$?
+  if [ "${RC}" -ne 0 ] && [ "${RC}" -ne 77 ]; then
+    return 1
+  fi
 }
 
 STATUS=0

@@ -29,6 +29,10 @@
 #include "dsl/Printer.h"
 #include "evalsuite/RewriteRuleMiner.h"
 #include "evalsuite/RuleBook.h"
+#include "observe/DecisionLog.h"
+#include "observe/Json.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "support/RNG.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -36,6 +40,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 using namespace stenso;
@@ -165,6 +170,14 @@ void printUsage(std::ostream &OS) {
         "                          any N returns the same program)\n"
         "  --no-branch-and-bound   disable cost pruning (ablation)\n"
         "  --stats                 print search statistics\n"
+        "  --stats-json FILE       write statistics + outcome as JSON\n"
+        "  --trace FILE            record a Chrome/Perfetto trace_event\n"
+        "                          timeline of the run (open FILE in\n"
+        "                          https://ui.perfetto.dev)\n"
+        "  --metrics FILE          write a JSON snapshot of the metrics\n"
+        "                          registry after the run\n"
+        "  --decisions FILE        stream every DFS branch decision as\n"
+        "                          JSONL (one decision per line)\n"
         "  --rule                  print the generalized rewrite rule\n"
         "  --rules_out FILE        append the mined rule to a rule file\n"
         "  --rules_in FILE         skip synthesis; rewrite the program\n"
@@ -182,6 +195,7 @@ int fail(const std::string &Message) {
 
 int main(int Argc, char **Argv) {
   std::string ProgramPath, OutPath, RulesOutPath, RulesInPath;
+  std::string TracePath, MetricsPath, DecisionsPath, StatsJsonPath;
   synth::SynthesisConfig Config;
   Config.CostModelName = "measured";
   Config.TimeoutSeconds = 60;
@@ -220,6 +234,14 @@ int main(int Argc, char **Argv) {
       RulesInPath = Value();
     else if (Arg == "--stats")
       PrintStats = true;
+    else if (Arg == "--stats-json")
+      StatsJsonPath = Value();
+    else if (Arg == "--trace")
+      TracePath = Value();
+    else if (Arg == "--metrics")
+      MetricsPath = Value();
+    else if (Arg == "--decisions")
+      DecisionsPath = Value();
     else if (Arg == "--rule")
       PrintRule = true;
     else if (Arg == "--help" || Arg == "-h") {
@@ -268,8 +290,44 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // Telemetry attachments: a trace session covering the synthesis run
+  // and an opt-in decision log.  Both are observation-only.
+  observe::DecisionLog Decisions;
+  if (!DecisionsPath.empty())
+    Config.Decisions = &Decisions;
+  std::optional<observe::TraceSession> Trace;
+  if (!TracePath.empty()) {
+    Trace.emplace();
+    Trace->start();
+  }
+
   synth::SynthesisResult Result =
       synth::Synthesizer(Config).run(*Parsed.Prog, File.Scaler);
+
+  if (Trace) {
+    Trace->stop();
+    std::ofstream TraceOut(TracePath);
+    if (!TraceOut)
+      return fail("cannot write '" + TracePath + "'");
+    Trace->writeJson(TraceOut);
+    std::cerr << "trace: " << Trace->eventCount() << " event(s) from "
+              << Trace->threadCount() << " thread(s) -> " << TracePath
+              << "\n";
+  }
+  if (!MetricsPath.empty()) {
+    std::ofstream MetricsOut(MetricsPath);
+    if (!MetricsOut)
+      return fail("cannot write '" + MetricsPath + "'");
+    observe::MetricsRegistry::global().writeJson(MetricsOut);
+  }
+  if (!DecisionsPath.empty()) {
+    std::ofstream DecisionsOut(DecisionsPath);
+    if (!DecisionsOut)
+      return fail("cannot write '" + DecisionsPath + "'");
+    Decisions.writeJsonl(DecisionsOut);
+    std::cerr << "decisions: " << Decisions.size() << " record(s) -> "
+              << DecisionsPath << "\n";
+  }
 
   std::cerr << (Result.Improved ? "improved" : "no improvement found")
             << " in "
@@ -287,6 +345,57 @@ int main(int Argc, char **Argv) {
               << " pruned(cost)=" << S.PrunedByCost
               << " pruned(simplification)=" << S.PrunedBySimplification
               << "\n";
+    std::cerr << "cache: solver hit/miss/evict=" << S.SolverCacheHits << "/"
+              << S.SolverCacheMisses << "/" << S.SolverCacheEvictions
+              << " intern nodes=" << S.InternedNodes
+              << " hit/lookup=" << S.InternHits << "/" << S.InternLookups
+              << " checkpoint calls/reads=" << S.CheckpointCalls << "/"
+              << S.CheckpointClockReads << "\n";
+  }
+  if (!StatsJsonPath.empty()) {
+    std::ofstream StatsOut(StatsJsonPath);
+    if (!StatsOut)
+      return fail("cannot write '" + StatsJsonPath + "'");
+    const synth::SynthesisStats &S = Result.Stats;
+    std::string J;
+    J += "{\n  \"improved\": ";
+    J += Result.Improved ? "true" : "false";
+    J += ",\n  \"abort\": ";
+    J += observe::jsonQuote(synth::toString(Result.Abort));
+    J += ",\n  \"timed_out\": ";
+    J += Result.TimedOut ? "true" : "false";
+    J += ",\n  \"original_cost\": " + observe::jsonNumber(Result.OriginalCost);
+    J +=
+        ",\n  \"optimized_cost\": " + observe::jsonNumber(Result.OptimizedCost);
+    J += ",\n  \"synthesis_seconds\": " +
+         observe::jsonNumber(Result.SynthesisSeconds);
+    J += ",\n  \"stats\": {";
+    auto Field = [&J](const char *Name, int64_t V, bool First = false) {
+      if (!First)
+        J += ",";
+      J += "\n    ";
+      J += observe::jsonQuote(Name);
+      J += ": " + std::to_string(V);
+    };
+    Field("num_stubs", static_cast<int64_t>(S.NumStubs), /*First=*/true);
+    Field("num_sketches", static_cast<int64_t>(S.NumSketches));
+    Field("dfs_calls", S.DfsCalls);
+    Field("sketches_explored", S.SketchesExplored);
+    Field("pruned_cost", S.PrunedByCost);
+    Field("pruned_simplification", S.PrunedBySimplification);
+    Field("pruned_error", S.PrunedByError);
+    Field("solver_calls", S.SolverCalls);
+    Field("solver_successes", S.SolverSuccesses);
+    Field("solver_cache_hits", S.SolverCacheHits);
+    Field("solver_cache_misses", S.SolverCacheMisses);
+    Field("solver_cache_evictions", S.SolverCacheEvictions);
+    Field("interned_nodes", S.InternedNodes);
+    Field("intern_lookups", S.InternLookups);
+    Field("intern_hits", S.InternHits);
+    Field("checkpoint_calls", S.CheckpointCalls);
+    Field("checkpoint_clock_reads", S.CheckpointClockReads);
+    J += "\n  }\n}\n";
+    StatsOut << J;
   }
   if (PrintRule && Result.Improved) {
     evalsuite::RewriteRule Rule = evalsuite::mineRewriteRule(

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+#===- tools/validate_trace.sh - Chrome/Perfetto trace file validation ----===#
+#
+# Part of the STENSO reproduction, released under the MIT License.
+#
+#===----------------------------------------------------------------------===#
+#
+# Validates a `--trace` output file as loadable Chrome/Perfetto
+# `trace_event` JSON:
+#
+#   * the file parses as JSON (python3's strict json module);
+#   * the top level is an object with a "traceEvents" array;
+#   * every event carries the required keys (name/cat/ph/ts/pid/tid), a
+#     known phase, and a duration on complete ('X') events.
+#
+# Usage: tools/validate_trace.sh TRACE.json
+#
+# Exit codes: 0 valid, 1 invalid, 77 skipped (no python3 on this host —
+# the JSON writer is covered by ObserveTest's validator in that case).
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+if [ $# -ne 1 ]; then
+  echo "usage: $0 TRACE.json" >&2
+  exit 1
+fi
+TRACE="$1"
+
+if [ ! -f "${TRACE}" ]; then
+  echo "validate_trace: no such file: ${TRACE}" >&2
+  exit 1
+fi
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "validate_trace: python3 not available, skipping validation" >&2
+  exit 77
+fi
+
+python3 - "${TRACE}" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        trace = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"validate_trace: {path}: not parseable JSON: {e}")
+
+if not isinstance(trace, dict):
+    sys.exit(f"validate_trace: {path}: top level is not an object")
+events = trace.get("traceEvents")
+if not isinstance(events, list):
+    sys.exit(f"validate_trace: {path}: missing 'traceEvents' array")
+
+required = ("name", "cat", "ph", "ts", "pid", "tid")
+known_phases = {"X", "i", "B", "E", "C", "M"}
+for i, ev in enumerate(events):
+    if not isinstance(ev, dict):
+        sys.exit(f"validate_trace: {path}: event {i} is not an object")
+    for key in required:
+        if key not in ev:
+            sys.exit(f"validate_trace: {path}: event {i} lacks '{key}'")
+    if ev["ph"] not in known_phases:
+        sys.exit(f"validate_trace: {path}: event {i} has unknown phase "
+                 f"{ev['ph']!r}")
+    if ev["ph"] == "X" and "dur" not in ev:
+        sys.exit(f"validate_trace: {path}: complete event {i} lacks 'dur'")
+    if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+        sys.exit(f"validate_trace: {path}: event {i} has bad ts")
+    args = ev.get("args")
+    if args is not None and not isinstance(args, dict):
+        sys.exit(f"validate_trace: {path}: event {i} has non-object args")
+
+other = trace.get("otherData", {})
+print(f"validate_trace: {path}: OK — {len(events)} event(s), "
+      f"{other.get('threads', '?')} thread(s), "
+      f"{other.get('droppedEvents', '?')} dropped")
+EOF
