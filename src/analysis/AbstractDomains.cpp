@@ -1,0 +1,147 @@
+//===- AbstractDomains.cpp - Lattice domain transfer functions ------------===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractDomains.h"
+
+namespace stenso {
+namespace analysis {
+
+namespace {
+
+/// Sign of a single concrete representative: -1, 0, +1 for the three bits.
+constexpr int Reps[3] = {-1, 0, 1};
+
+constexpr uint8_t bitOfRep(int R) {
+  return R < 0 ? SignSet::NegBit : (R == 0 ? SignSet::ZeroBit
+                                           : SignSet::PosBit);
+}
+
+/// Folds a binary concrete operation over every pair of representative
+/// signs.  Exact for operations whose result *sign* depends only on the
+/// operand signs (add does not qualify: pos + neg can be anything, which
+/// the lambda encodes by returning the full mask).
+template <typename Fn> SignSet foldPairs(SignSet A, SignSet B, Fn F) {
+  uint8_t Out = 0;
+  for (int I = 0; I < 3; ++I) {
+    if (!(A.bits() & bitOfRep(Reps[I])))
+      continue;
+    for (int J = 0; J < 3; ++J) {
+      if (!(B.bits() & bitOfRep(Reps[J])))
+        continue;
+      Out |= F(Reps[I], Reps[J]);
+    }
+  }
+  return SignSet(Out);
+}
+
+} // namespace
+
+SignSet SignSet::addSign(SignSet A, SignSet B) {
+  return foldPairs(A, B, [](int X, int Y) -> uint8_t {
+    if (X == 0)
+      return bitOfRep(Y);
+    if (Y == 0)
+      return bitOfRep(X);
+    if (X == Y)
+      return bitOfRep(X);
+    // pos + neg: the magnitudes decide; any sign is possible.
+    return AllBits;
+  });
+}
+
+SignSet SignSet::mulSign(SignSet A, SignSet B) {
+  return foldPairs(A, B, [](int X, int Y) -> uint8_t {
+    return bitOfRep(X * Y);
+  });
+}
+
+SignSet SignSet::negate(SignSet A) {
+  uint8_t Out = 0;
+  if (A.canBeNeg())
+    Out |= PosBit;
+  if (A.canBeZero())
+    Out |= ZeroBit;
+  if (A.canBePos())
+    Out |= NegBit;
+  return SignSet(Out);
+}
+
+SignSet SignSet::maxSign(SignSet A, SignSet B) {
+  uint8_t Out = 0;
+  // max can be positive iff either side can.
+  if (A.canBePos() || B.canBePos())
+    Out |= PosBit;
+  // max can be zero iff one side can be zero while the other is <= 0.
+  if ((A.canBeZero() && (B.canBeZero() || B.canBeNeg())) ||
+      (B.canBeZero() && A.canBeNeg()))
+    Out |= ZeroBit;
+  // max can be negative only when both sides can.
+  if (A.canBeNeg() && B.canBeNeg())
+    Out |= NegBit;
+  return SignSet(Out);
+}
+
+SignSet SignSet::lessSign(SignSet A, SignSet B) {
+  // a < b is certainly true when a is provably below b via signs alone.
+  bool AlwaysTrue = (A.subsetOf(neg()) && B.subsetOf(nonNeg())) ||
+                    (A.subsetOf(nonPos()) && B.subsetOf(pos()));
+  // a < b is certainly false when a >= 0 >= b.
+  bool AlwaysFalse = A.subsetOf(nonNeg()) && B.subsetOf(nonPos());
+  if (AlwaysTrue)
+    return pos();
+  if (AlwaysFalse)
+    return zero();
+  return nonNeg();
+}
+
+SignSet SignSet::selectSign(SignSet Cond, SignSet TrueV, SignSet FalseV) {
+  if (!Cond.canBeZero())
+    return TrueV;
+  if (Cond == zero())
+    return FalseV;
+  return TrueV.joinWith(FalseV);
+}
+
+SignSet SignSet::sumFold(SignSet A, int64_t Count) {
+  if (Count <= 0)
+    return zero();
+  SignSet Acc = A;
+  // The fold reaches a fixpoint in at most two steps on this lattice;
+  // iterating min(Count, 3) - 1 times is exact for any Count.
+  for (int64_t I = 1; I < Count && I < 3; ++I) {
+    SignSet Next = addSign(Acc, A);
+    if (Next == Acc)
+      break;
+    Acc = Next;
+  }
+  return Acc;
+}
+
+std::string SignSet::toString() const {
+  if (isTop())
+    return "T";
+  if (isEmpty())
+    return "{}";
+  std::string S = "{";
+  if (canBeNeg())
+    S += "-";
+  if (canBeZero())
+    S += "0";
+  if (canBePos())
+    S += "+";
+  return S + "}";
+}
+
+std::string DegreeRange::toString() const {
+  if (NonPoly)
+    return "nonpoly";
+  if (Lo == Hi)
+    return "deg " + std::to_string(Lo);
+  return "deg [" + std::to_string(Lo) + ", " + std::to_string(Hi) + "]";
+}
+
+} // namespace analysis
+} // namespace stenso

@@ -1,0 +1,182 @@
+//===- AbstractDomains.h - Lattice domains for abstract analysis -*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lattice domains of the static-analysis layer: a three-point sign
+/// domain (can the value be negative / zero / positive) and a polynomial
+/// degree domain (interval of possible total degrees, with an explicit
+/// "not provably a polynomial" top).  Both are finite-height join
+/// semilattices whose top element means "no information" — every
+/// transfer function in this subsystem over-approximates, so a verdict
+/// below top is a proof, never a heuristic.
+///
+/// The sign domain deliberately has no bottom: an empty sign set would
+/// claim "this expression has no value", which is a statement about
+/// definedness that the analysis tracks separately (the Suspect bit in
+/// the analyzers).  Keeping the sets non-empty makes "disjoint sign
+/// sets" equivalent to "provably different values", which is exactly the
+/// form of evidence the pruning oracle needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_ANALYSIS_ABSTRACTDOMAINS_H
+#define STENSO_ANALYSIS_ABSTRACTDOMAINS_H
+
+#include "support/Rational.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace stenso {
+namespace analysis {
+
+/// Which signs a real value may take.  A subset of {-, 0, +} encoded as a
+/// bitmask; the full set is top.  The empty set is representable but no
+/// analysis result ever is empty (see file comment).
+class SignSet {
+public:
+  enum : uint8_t { NegBit = 1, ZeroBit = 2, PosBit = 4, AllBits = 7 };
+
+  constexpr SignSet() : Bits(AllBits) {}
+  constexpr explicit SignSet(uint8_t Bits) : Bits(Bits & AllBits) {}
+
+  static constexpr SignSet top() { return SignSet(AllBits); }
+  static constexpr SignSet neg() { return SignSet(NegBit); }
+  static constexpr SignSet zero() { return SignSet(ZeroBit); }
+  static constexpr SignSet pos() { return SignSet(PosBit); }
+  static constexpr SignSet nonNeg() { return SignSet(ZeroBit | PosBit); }
+  static constexpr SignSet nonPos() { return SignSet(NegBit | ZeroBit); }
+
+  static SignSet ofConstant(const Rational &V) {
+    if (V.isZero())
+      return zero();
+    return V.isNegative() ? neg() : pos();
+  }
+  static SignSet ofDouble(double V) {
+    if (V == 0)
+      return zero();
+    return V < 0 ? neg() : pos();
+  }
+
+  bool canBeNeg() const { return Bits & NegBit; }
+  bool canBeZero() const { return Bits & ZeroBit; }
+  bool canBePos() const { return Bits & PosBit; }
+  bool isTop() const { return Bits == AllBits; }
+  bool isEmpty() const { return Bits == 0; }
+  uint8_t bits() const { return Bits; }
+
+  bool subsetOf(SignSet RHS) const { return (Bits & ~RHS.Bits) == 0; }
+  bool contains(SignSet RHS) const { return RHS.subsetOf(*this); }
+
+  SignSet joinWith(SignSet RHS) const { return SignSet(Bits | RHS.Bits); }
+  SignSet intersect(SignSet RHS) const { return SignSet(Bits & RHS.Bits); }
+  static bool disjoint(SignSet A, SignSet B) {
+    return (A.Bits & B.Bits) == 0;
+  }
+
+  bool operator==(SignSet RHS) const { return Bits == RHS.Bits; }
+  bool operator!=(SignSet RHS) const { return Bits != RHS.Bits; }
+
+  //===--------------------------------------------------------------------===//
+  // Transfer functions.  Each returns a superset of { f(a, b) : a in A,
+  // b in B } for the concrete operation f, i.e. exact set arithmetic on
+  // the three-point abstraction.
+  //===--------------------------------------------------------------------===//
+
+  /// Signs of a + b.
+  static SignSet addSign(SignSet A, SignSet B);
+  /// Signs of a * b.
+  static SignSet mulSign(SignSet A, SignSet B);
+  /// Signs of -a.
+  static SignSet negate(SignSet A);
+  /// Signs of max(a, b).
+  static SignSet maxSign(SignSet A, SignSet B);
+  /// Signs of the 0/1 predicate (a < b), refined when the sign sets alone
+  /// decide the comparison.
+  static SignSet lessSign(SignSet A, SignSet B);
+  /// Signs of select(c, t, f) with c a 0/1-ish condition: t when c can
+  /// never be zero, f when c is always zero, the join otherwise.
+  static SignSet selectSign(SignSet Cond, SignSet TrueV, SignSet FalseV);
+  /// Signs of a sum of \p Count values each drawn from \p A; Count == 0
+  /// is the empty sum (exactly zero).
+  static SignSet sumFold(SignSet A, int64_t Count);
+
+  std::string toString() const;
+
+private:
+  uint8_t Bits;
+};
+
+/// Interval of possible *total* polynomial degrees, or "not provably a
+/// polynomial" (NonPoly, the top element).  The soundness contract used
+/// by the pruning oracle: when !NonPoly and the expression is not the
+/// zero polynomial, its exact total degree lies in [Lo, Hi].  (The zero
+/// polynomial is excluded because cancellation can produce it at any
+/// syntactic degree; callers guard with the sign domain's canBeZero.)
+struct DegreeRange {
+  int Lo = 0;
+  int Hi = 0;
+  bool NonPoly = false;
+
+  static DegreeRange nonPoly() { return {0, 0, true}; }
+  static DegreeRange constant() { return {0, 0, false}; }
+  static DegreeRange symbol() { return {1, 1, false}; }
+
+  /// Degrees are clamped so pathological towers of Pow cannot overflow.
+  static constexpr int MaxDegree = 1 << 20;
+  static int clampDeg(int64_t D) {
+    return static_cast<int>(std::min<int64_t>(std::max<int64_t>(D, 0),
+                                              MaxDegree));
+  }
+
+  bool operator==(const DegreeRange &RHS) const {
+    return Lo == RHS.Lo && Hi == RHS.Hi && NonPoly == RHS.NonPoly;
+  }
+
+  /// deg(a + b): the sum can cancel down to any lower degree (or to the
+  /// zero polynomial, which the contract excludes), so Lo collapses to 0.
+  static DegreeRange addDeg(const DegreeRange &A, const DegreeRange &B) {
+    if (A.NonPoly || B.NonPoly)
+      return nonPoly();
+    return {0, std::max(A.Hi, B.Hi), false};
+  }
+  /// deg(a * b) = deg a + deg b whenever neither factor is the zero
+  /// polynomial (and if one is, the product is zero and excluded).
+  static DegreeRange mulDeg(const DegreeRange &A, const DegreeRange &B) {
+    if (A.NonPoly || B.NonPoly)
+      return nonPoly();
+    return {clampDeg(static_cast<int64_t>(A.Lo) + B.Lo),
+            clampDeg(static_cast<int64_t>(A.Hi) + B.Hi), false};
+  }
+  /// deg(a^k) for a non-negative integer k.
+  static DegreeRange powDeg(const DegreeRange &A, int64_t K) {
+    if (A.NonPoly || K < 0)
+      return nonPoly();
+    return {clampDeg(static_cast<int64_t>(A.Lo) * K),
+            clampDeg(static_cast<int64_t>(A.Hi) * K), false};
+  }
+  /// Join: possible degrees of "either of the two".
+  static DegreeRange join(const DegreeRange &A, const DegreeRange &B) {
+    if (A.NonPoly || B.NonPoly)
+      return nonPoly();
+    return {std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi), false};
+  }
+  /// True when the intervals cannot describe the same degree.  Only
+  /// meaningful evidence when neither side may be the zero polynomial.
+  static bool disjoint(const DegreeRange &A, const DegreeRange &B) {
+    if (A.NonPoly || B.NonPoly)
+      return false;
+    return A.Hi < B.Lo || B.Hi < A.Lo;
+  }
+
+  std::string toString() const;
+};
+
+} // namespace analysis
+} // namespace stenso
+
+#endif // STENSO_ANALYSIS_ABSTRACTDOMAINS_H

@@ -1,0 +1,334 @@
+//===- AbstractInterpreter.cpp - Abstract interpretation of the DSL -------===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractInterpreter.h"
+
+#include "dsl/Node.h"
+
+namespace stenso {
+namespace analysis {
+
+using dsl::Node;
+using dsl::OpKind;
+
+namespace {
+
+void unionInto(std::set<std::string> &Dst, const std::set<std::string> &Src) {
+  Dst.insert(Src.begin(), Src.end());
+}
+
+/// Per-input degree join for sum-like combinations (add, max, select
+/// branches, stack): Hi is the max across operands, Lo collapses.
+void addDegrees(std::map<std::string, DegreeRange> &Dst,
+                const std::map<std::string, DegreeRange> &Src) {
+  for (const auto &KV : Src) {
+    auto It = Dst.find(KV.first);
+    if (It == Dst.end())
+      Dst.emplace(KV.first,
+                  DegreeRange::addDeg(DegreeRange::constant(), KV.second));
+    else
+      It->second = DegreeRange::addDeg(It->second, KV.second);
+  }
+}
+
+/// Per-input degree combination for products and contractions: degrees
+/// add input by input.
+void mulDegrees(std::map<std::string, DegreeRange> &Dst,
+                const std::map<std::string, DegreeRange> &Src) {
+  for (const auto &KV : Src) {
+    auto It = Dst.find(KV.first);
+    if (It == Dst.end())
+      Dst.emplace(KV.first, KV.second);
+    else
+      It->second = DegreeRange::mulDeg(It->second, KV.second);
+  }
+}
+
+/// Marks every input of \p Names not provably polynomial (divisors,
+/// exp/log/sqrt arguments, comparison operands).
+void poisonDegrees(std::map<std::string, DegreeRange> &Dst,
+                   const std::set<std::string> &Names) {
+  for (const std::string &Name : Names)
+    Dst[Name] = DegreeRange::nonPoly();
+}
+
+/// Sign of 1/b; definedness (b can be zero) is handled by the caller's
+/// Suspect bit.
+SignSet recipSign(SignSet B) {
+  SignSet S(static_cast<uint8_t>(B.bits() & ~SignSet::ZeroBit));
+  return S.isEmpty() ? SignSet::top() : S;
+}
+
+} // namespace
+
+const AbstractValue &AbstractInterpreter::analyze(const Node *N) {
+  auto It = Memo.find(N);
+  if (It != Memo.end())
+    return It->second;
+  AbstractValue R = compute(N);
+  if (R.Suspect) {
+    // Same stickiness as the symbolic-side analyzer: a possible domain
+    // violation below invalidates sign and degree claims wholesale.
+    R.Sign = SignSet::top();
+    poisonDegrees(R.Degrees, R.Support);
+  }
+  return Memo.emplace(N, R).first->second;
+}
+
+AbstractValue AbstractInterpreter::compute(const Node *N) {
+  AbstractValue R;
+  // Leaves first: they have no operands to fold over.
+  switch (N->getKind()) {
+  case OpKind::Input: {
+    auto Bound = LoopEnv.find(N);
+    if (Bound != LoopEnv.end())
+      return Bound->second; // comprehension loop variable
+    if (Prog.findInput(N->getName()) != N) {
+      // A loop variable outside its comprehension (malformed walk):
+      // claim nothing.
+      R.Suspect = true;
+      return R;
+    }
+    R.Sign = N->getType().Dtype == DType::Bool
+                 ? SignSet(SignSet::ZeroBit | SignSet::PosBit)
+                 : SignSet::pos(); // inputs are strictly positive reals
+    R.Suspect = false;
+    R.Support.insert(N->getName());
+    R.Degrees.emplace(N->getName(), DegreeRange::symbol());
+    return R;
+  }
+  case OpKind::Constant:
+    R.Sign = SignSet::ofConstant(N->getValue());
+    R.Suspect = false;
+    return R;
+  default:
+    break;
+  }
+
+  std::vector<const AbstractValue *> Ops;
+  Ops.reserve(N->getNumOperands());
+  if (N->getKind() == OpKind::Comprehension) {
+    // Bind the loop variable to the abstract value of the slices it
+    // ranges over (identical sign/support/degree to the whole iterated
+    // tensor) before the body is analyzed.
+    const AbstractValue &Iterated = analyze(N->getOperand(0));
+    LoopEnv[N->getLoopVar()] = Iterated;
+    Ops.push_back(&Iterated);
+    Ops.push_back(&analyze(N->getOperand(1)));
+  } else {
+    for (const Node *Op : N->getOperands())
+      Ops.push_back(&analyze(Op));
+  }
+  for (const AbstractValue *Op : Ops) {
+    R.Suspect = R.Suspect || Op->Suspect;
+    unionInto(R.Support, Op->Support);
+  }
+
+  switch (N->getKind()) {
+  case OpKind::Add:
+  case OpKind::Subtract: {
+    SignSet B = Ops[1]->Sign;
+    if (N->getKind() == OpKind::Subtract)
+      B = SignSet::negate(B);
+    R.Sign = SignSet::addSign(Ops[0]->Sign, B);
+    R.Degrees = Ops[0]->Degrees;
+    addDegrees(R.Degrees, Ops[1]->Degrees);
+    return R;
+  }
+  case OpKind::Multiply:
+    R.Sign = SignSet::mulSign(Ops[0]->Sign, Ops[1]->Sign);
+    R.Degrees = Ops[0]->Degrees;
+    mulDegrees(R.Degrees, Ops[1]->Degrees);
+    return R;
+  case OpKind::Divide:
+    R.Sign = SignSet::mulSign(Ops[0]->Sign, recipSign(Ops[1]->Sign));
+    if (Ops[1]->Sign.canBeZero())
+      R.Suspect = true; // possible division by zero
+    R.Degrees = Ops[0]->Degrees;
+    poisonDegrees(R.Degrees, Ops[1]->Support);
+    return R;
+  case OpKind::Power: {
+    const Node *Exp = N->getOperand(1);
+    SignSet SB = Ops[0]->Sign;
+    R.Degrees = Ops[0]->Degrees;
+    if (!Exp->isConstant()) {
+      if (SB.subsetOf(SignSet::pos()))
+        R.Sign = SignSet::pos();
+      else
+        R.Suspect = true; // 0^neg or neg^fractional cannot be ruled out
+      poisonDegrees(R.Degrees, R.Support);
+      return R;
+    }
+    const Rational &K = Exp->getValue();
+    if (K.isInteger()) {
+      int64_t KI = K.getInteger();
+      uint8_t Out = 0;
+      if (KI == 0)
+        Out = SignSet::PosBit;
+      else {
+        bool Even = (KI % 2) == 0;
+        if (SB.canBePos())
+          Out |= SignSet::PosBit;
+        if (SB.canBeNeg())
+          Out |= Even ? SignSet::PosBit : SignSet::NegBit;
+        if (SB.canBeZero() && KI > 0)
+          Out |= SignSet::ZeroBit;
+      }
+      R.Sign = Out ? SignSet(Out) : SignSet::top();
+      if (KI <= 0 && SB.canBeZero())
+        R.Suspect = true;
+      if (KI >= 0)
+        for (auto &KV : R.Degrees)
+          KV.second = DegreeRange::powDeg(KV.second, KI);
+      else
+        poisonDegrees(R.Degrees, Ops[0]->Support);
+      return R;
+    }
+    // Fractional exponent.
+    if (SB.canBeNeg() || (K.isNegative() && SB.canBeZero()))
+      R.Suspect = true;
+    uint8_t Out = 0;
+    if (SB.canBePos())
+      Out |= SignSet::PosBit;
+    if (SB.canBeZero() && !K.isNegative())
+      Out |= SignSet::ZeroBit;
+    R.Sign = Out ? SignSet(Out) : SignSet::top();
+    poisonDegrees(R.Degrees, Ops[0]->Support);
+    return R;
+  }
+  case OpKind::Maximum:
+    R.Sign = SignSet::maxSign(Ops[0]->Sign, Ops[1]->Sign);
+    R.Degrees = Ops[0]->Degrees;
+    addDegrees(R.Degrees, Ops[1]->Degrees);
+    poisonDegrees(R.Degrees, R.Support); // piecewise, not polynomial
+    return R;
+  case OpKind::Less:
+    R.Sign = SignSet::lessSign(Ops[0]->Sign, Ops[1]->Sign);
+    poisonDegrees(R.Degrees, R.Support);
+    return R;
+  case OpKind::Sqrt: {
+    SignSet SB = Ops[0]->Sign;
+    if (SB.canBeNeg())
+      R.Suspect = true;
+    SignSet S(static_cast<uint8_t>(SB.bits() & ~SignSet::NegBit));
+    R.Sign = S.isEmpty() ? SignSet::top() : S;
+    R.Degrees = Ops[0]->Degrees;
+    poisonDegrees(R.Degrees, Ops[0]->Support);
+    return R;
+  }
+  case OpKind::Exp:
+    R.Sign = SignSet::pos();
+    R.Degrees = Ops[0]->Degrees;
+    poisonDegrees(R.Degrees, Ops[0]->Support);
+    return R;
+  case OpKind::Log: {
+    SignSet SB = Ops[0]->Sign;
+    if (!SB.subsetOf(SignSet::pos()))
+      R.Suspect = true; // log of a possibly non-positive value
+    const Node *Arg = N->getOperand(0);
+    if (Arg->isConstant() && Arg->getValue() > Rational(0) &&
+        Arg->getValue() != Rational(1))
+      R.Sign = Arg->getValue() > Rational(1) ? SignSet::pos()
+                                             : SignSet::neg();
+    else
+      R.Sign = SignSet::top(); // log of a positive value: any real
+    R.Degrees = Ops[0]->Degrees;
+    poisonDegrees(R.Degrees, Ops[0]->Support);
+    return R;
+  }
+  case OpKind::Where:
+    R.Sign = SignSet::selectSign(Ops[0]->Sign, Ops[1]->Sign, Ops[2]->Sign);
+    R.Degrees = Ops[1]->Degrees;
+    addDegrees(R.Degrees, Ops[2]->Degrees);
+    poisonDegrees(R.Degrees, Ops[0]->Support); // indicator factor
+    return R;
+  case OpKind::Triu:
+  case OpKind::Tril:
+    // Masked entries become exact zeros.
+    R.Sign = Ops[0]->Sign.joinWith(SignSet::zero());
+    R.Degrees = Ops[0]->Degrees;
+    return R;
+  case OpKind::Full:
+  case OpKind::Diag:
+  case OpKind::Transpose:
+  case OpKind::Reshape:
+  case OpKind::MaxAll:
+    R.Sign = Ops[0]->Sign;
+    R.Degrees = Ops[0]->Degrees;
+    if (N->getKind() == OpKind::MaxAll)
+      poisonDegrees(R.Degrees, R.Support);
+    return R;
+  case OpKind::Max: {
+    // np.max along an axis of statically non-zero extent: the join over
+    // the reduced elements is the operand's own sign set.
+    R.Sign = Ops[0]->Sign;
+    R.Degrees = Ops[0]->Degrees;
+    poisonDegrees(R.Degrees, R.Support);
+    return R;
+  }
+  case OpKind::Stack: {
+    R.Sign = Ops[0]->Sign;
+    R.Degrees = Ops[0]->Degrees;
+    for (size_t I = 1; I < Ops.size(); ++I) {
+      R.Sign = R.Sign.joinWith(Ops[I]->Sign);
+      addDegrees(R.Degrees, Ops[I]->Degrees);
+    }
+    return R;
+  }
+  case OpKind::Sum: {
+    int64_t Axis =
+        N->getOperand(0)->getType().TShape.normalizeAxis(*N->getAttrs().Axis);
+    int64_t Extent = N->getOperand(0)->getType().TShape.getDim(Axis);
+    R.Sign = SignSet::sumFold(Ops[0]->Sign, Extent);
+    R.Degrees = Ops[0]->Degrees;
+    return R;
+  }
+  case OpKind::SumAll:
+    R.Sign = SignSet::sumFold(
+        Ops[0]->Sign, N->getOperand(0)->getType().TShape.getNumElements());
+    R.Degrees = Ops[0]->Degrees;
+    return R;
+  case OpKind::Trace: {
+    const Shape &S = N->getOperand(0)->getType().TShape;
+    R.Sign = SignSet::sumFold(Ops[0]->Sign,
+                              std::min(S.getDim(0), S.getDim(1)));
+    R.Degrees = Ops[0]->Degrees;
+    return R;
+  }
+  case OpKind::Dot: {
+    const Shape &A = N->getOperand(0)->getType().TShape;
+    int64_t Extent = A.getDim(A.getRank() - 1);
+    R.Sign = SignSet::sumFold(SignSet::mulSign(Ops[0]->Sign, Ops[1]->Sign),
+                              Extent);
+    R.Degrees = Ops[0]->Degrees;
+    mulDegrees(R.Degrees, Ops[1]->Degrees);
+    return R;
+  }
+  case OpKind::Tensordot: {
+    const Shape &A = N->getOperand(0)->getType().TShape;
+    int64_t Extent = 1;
+    for (int64_t Axis : N->getAttrs().AxesA)
+      Extent *= A.getDim(A.normalizeAxis(Axis));
+    R.Sign = SignSet::sumFold(SignSet::mulSign(Ops[0]->Sign, Ops[1]->Sign),
+                              Extent);
+    R.Degrees = Ops[0]->Degrees;
+    mulDegrees(R.Degrees, Ops[1]->Degrees);
+    return R;
+  }
+  case OpKind::Comprehension:
+    // Ops[1] is the body analyzed under the loop-variable binding.
+    R.Sign = Ops[1]->Sign;
+    R.Degrees = Ops[1]->Degrees;
+    return R;
+  case OpKind::Input:
+  case OpKind::Constant:
+    break; // handled above
+  }
+  return R;
+}
+
+} // namespace analysis
+} // namespace stenso

@@ -1,0 +1,97 @@
+//===- AbstractInterpreter.h - Abstract interpretation of the DSL -*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract interpretation over the DSL AST (dsl::Node) in four composable
+/// domains:
+///
+///   * shape:   exact — every node already carries its inferred
+///              TensorType; the analysis exposes zero-size detection and
+///              reachability reasoning on top of it;
+///   * sign:    which of {-, 0, +} the elements may take, under the
+///              engine's convention that program inputs are strictly
+///              positive reals (boolean inputs are {0, +});
+///   * degree:  per-input polynomial degree upper bounds (Hi <= 1 means
+///              provably linear in that input), with an explicit
+///              "not provably polynomial" top;
+///   * support: which program inputs a value can possibly depend on.
+///
+/// Same contract as the symbolic-expression analyzer (ExprSign.h): every
+/// verdict over-approximates, and the sticky Suspect bit records that
+/// some sub-term may hit a pow/log/division domain violation, in which
+/// case sign and degree collapse to top.  When !Suspect, evaluation on
+/// any positive inputs is total and finite, with element signs inside
+/// the Sign set — the property the soundness fuzz test checks against
+/// the reference interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_ANALYSIS_ABSTRACTINTERPRETER_H
+#define STENSO_ANALYSIS_ABSTRACTINTERPRETER_H
+
+#include "analysis/AbstractDomains.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace stenso {
+namespace dsl {
+class Node;
+class Program;
+}
+
+namespace analysis {
+
+/// Joint abstract value of one DSL node (element-wise join over the
+/// tensor: a single sign set / degree bound covering every element).
+struct AbstractValue {
+  SignSet Sign = SignSet::top();
+  /// Possible pow/log/division domain violation somewhere below; forces
+  /// Sign/Degrees to top in published values.
+  bool Suspect = false;
+  /// Input names this value may depend on.
+  std::set<std::string> Support;
+  /// Per-input degree bounds; an input absent from the map (and from
+  /// Support) is provably not involved, i.e. degree 0.
+  std::map<std::string, DegreeRange> Degrees;
+
+  /// Degree bound in \p Input ([0,0] when the input is not involved).
+  DegreeRange degreeIn(const std::string &Input) const {
+    auto It = Degrees.find(Input);
+    return It != Degrees.end() ? It->second : DegreeRange::constant();
+  }
+  /// True when provably at most linear in \p Input.
+  bool linearIn(const std::string &Input) const {
+    DegreeRange D = degreeIn(Input);
+    return !D.NonPoly && D.Hi <= 1;
+  }
+};
+
+/// Memoizing abstract interpreter for one program.  Node verdicts are
+/// cached, so analyzing many candidate roots that share subtrees (the
+/// bottom-up enumerator's arena) costs O(new nodes).  Not thread-safe.
+class AbstractInterpreter {
+public:
+  explicit AbstractInterpreter(const dsl::Program &P) : Prog(P) {}
+
+  const AbstractValue &analyze(const dsl::Node *N);
+
+private:
+  AbstractValue compute(const dsl::Node *N);
+
+  const dsl::Program &Prog;
+  std::unordered_map<const dsl::Node *, AbstractValue> Memo;
+  /// Comprehension loop variables, bound to the abstract value of the
+  /// slices they range over while their body is analyzed.
+  std::unordered_map<const dsl::Node *, AbstractValue> LoopEnv;
+};
+
+} // namespace analysis
+} // namespace stenso
+
+#endif // STENSO_ANALYSIS_ABSTRACTINTERPRETER_H

@@ -1,0 +1,202 @@
+//===- ExprSign.cpp - Sign/degree analysis over symbolic exprs ------------===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ExprSign.h"
+
+#include "support/Casting.h"
+#include "symbolic/Expr.h"
+
+namespace stenso {
+namespace analysis {
+
+using sym::Expr;
+
+namespace {
+
+/// Sign of b^k for integer k, given the sign set of b.  Definedness
+/// (b == 0 with k <= 0) is the caller's problem.
+SignSet intPowSign(SignSet Base, int64_t K) {
+  if (K == 0)
+    return SignSet::pos(); // b^0 == 1 wherever defined
+  uint8_t Out = 0;
+  bool Even = (K % 2) == 0;
+  if (Base.canBePos())
+    Out |= SignSet::PosBit;
+  if (Base.canBeNeg())
+    Out |= Even ? SignSet::PosBit : SignSet::NegBit;
+  if (Base.canBeZero() && K > 0)
+    Out |= SignSet::ZeroBit;
+  return SignSet(Out);
+}
+
+} // namespace
+
+const ExprAbstract &ExprAnalyzer::analyze(const Expr *E) {
+  auto It = Memo.find(E);
+  if (It != Memo.end())
+    return It->second;
+  ExprAbstract R = compute(E);
+  // The sticky Suspect bit: a possible domain violation (or a hole
+  // symbol, whose substitution instance may hide one) invalidates every
+  // claim about the enclosing expression.  Publishing top here keeps the
+  // invariant "non-top verdict => total expression" airtight, because
+  // parents read these guarded values.
+  if (R.Suspect) {
+    R.Sign = SignSet::top();
+    R.Degree = DegreeRange::nonPoly();
+  }
+  return Memo.emplace(E, R).first->second;
+}
+
+ExprAbstract ExprAnalyzer::compute(const Expr *E) {
+  ExprAbstract R;
+  switch (E->getKind()) {
+  case Expr::Kind::Constant: {
+    const Rational &V = cast<sym::ConstantExpr>(E)->getValue();
+    R.Sign = SignSet::ofConstant(V);
+    R.Degree = DegreeRange::constant();
+    R.Suspect = false;
+    return R;
+  }
+  case Expr::Kind::Symbol: {
+    if (Top.count(E)) {
+      // A sketch hole: any real value, or any expression substituted by
+      // the solver — which the engine's exp/log/pow inverses make
+      // unconstrainable.  Suspect poisons the whole element.
+      R.Sign = SignSet::top();
+      R.Degree = DegreeRange::nonPoly();
+      R.Suspect = true;
+      return R;
+    }
+    // Input symbols are strictly positive reals (symbolic/Expr.h).
+    R.Sign = SignSet::pos();
+    R.Degree = DegreeRange::symbol();
+    R.Suspect = false;
+    return R;
+  }
+  case Expr::Kind::Add: {
+    const ExprAbstract &First = analyze(E->getOperand(0));
+    R = First;
+    for (size_t I = 1, N = E->getNumOperands(); I < N; ++I) {
+      const ExprAbstract &Op = analyze(E->getOperand(I));
+      R.Sign = SignSet::addSign(R.Sign, Op.Sign);
+      R.Degree = DegreeRange::addDeg(R.Degree, Op.Degree);
+      R.Suspect = R.Suspect || Op.Suspect;
+    }
+    return R;
+  }
+  case Expr::Kind::Mul: {
+    const ExprAbstract &First = analyze(E->getOperand(0));
+    R = First;
+    for (size_t I = 1, N = E->getNumOperands(); I < N; ++I) {
+      const ExprAbstract &Op = analyze(E->getOperand(I));
+      R.Sign = SignSet::mulSign(R.Sign, Op.Sign);
+      R.Degree = DegreeRange::mulDeg(R.Degree, Op.Degree);
+      R.Suspect = R.Suspect || Op.Suspect;
+    }
+    return R;
+  }
+  case Expr::Kind::Pow: {
+    const auto *P = cast<sym::PowExpr>(E);
+    const ExprAbstract &Base = analyze(P->getBase());
+    const ExprAbstract &Exp = analyze(P->getExponent());
+    R.Suspect = Base.Suspect || Exp.Suspect;
+    R.Degree = DegreeRange::nonPoly();
+    const auto *C = dyn_cast<sym::ConstantExpr>(P->getExponent());
+    if (!C) {
+      // Symbolic exponent: only a provably positive base keeps b^e both
+      // defined and positive; anything else may hit 0^negative or
+      // negative^fractional.
+      if (Base.Sign.subsetOf(SignSet::pos()))
+        R.Sign = SignSet::pos();
+      else
+        R.Suspect = true;
+      return R;
+    }
+    const Rational &K = C->getValue();
+    if (K.isInteger()) {
+      int64_t KI = K.getInteger();
+      R.Sign = intPowSign(Base.Sign, KI);
+      if (KI <= 0 && Base.Sign.canBeZero())
+        R.Suspect = true; // 0^0 / 0^negative
+      if (KI >= 0)
+        R.Degree = DegreeRange::powDeg(Base.Degree, KI);
+      return R;
+    }
+    // Fractional exponent: defined on b >= 0 (b > 0 when negative).
+    if (Base.Sign.canBeNeg())
+      R.Suspect = true;
+    if (K.isNegative() && Base.Sign.canBeZero())
+      R.Suspect = true;
+    uint8_t Out = 0;
+    if (Base.Sign.canBePos())
+      Out |= SignSet::PosBit;
+    if (Base.Sign.canBeZero() && !K.isNegative())
+      Out |= SignSet::ZeroBit;
+    R.Sign = Out ? SignSet(Out) : SignSet::top();
+    return R;
+  }
+  case Expr::Kind::Exp: {
+    const ExprAbstract &Arg = analyze(cast<sym::ExpExpr>(E)->getArg());
+    R.Sign = SignSet::pos();
+    R.Degree = DegreeRange::nonPoly();
+    R.Suspect = Arg.Suspect;
+    return R;
+  }
+  case Expr::Kind::Log: {
+    const auto *L = cast<sym::LogExpr>(E);
+    const ExprAbstract &Arg = analyze(L->getArg());
+    R.Degree = DegreeRange::nonPoly();
+    R.Suspect = Arg.Suspect || !Arg.Sign.subsetOf(SignSet::pos());
+    if (const auto *C = dyn_cast<sym::ConstantExpr>(L->getArg())) {
+      const Rational &V = C->getValue();
+      if (V > Rational(1))
+        R.Sign = SignSet::pos();
+      else if (V > Rational(0) && V < Rational(1))
+        R.Sign = SignSet::neg();
+      else
+        R.Sign = SignSet::top(); // log(1) folds; log(<=0) is Suspect
+    } else {
+      R.Sign = SignSet::top(); // log of a positive value: any real
+    }
+    return R;
+  }
+  case Expr::Kind::Max: {
+    const ExprAbstract &First = analyze(E->getOperand(0));
+    R = First;
+    R.Degree = DegreeRange::nonPoly(); // piecewise, not a polynomial
+    for (size_t I = 1, N = E->getNumOperands(); I < N; ++I) {
+      const ExprAbstract &Op = analyze(E->getOperand(I));
+      R.Sign = SignSet::maxSign(R.Sign, Op.Sign);
+      R.Suspect = R.Suspect || Op.Suspect;
+    }
+    return R;
+  }
+  case Expr::Kind::Less: {
+    const auto *L = cast<sym::LessExpr>(E);
+    const ExprAbstract &A = analyze(L->getLhs());
+    const ExprAbstract &B = analyze(L->getRhs());
+    R.Sign = SignSet::lessSign(A.Sign, B.Sign);
+    R.Degree = DegreeRange::nonPoly();
+    R.Suspect = A.Suspect || B.Suspect;
+    return R;
+  }
+  case Expr::Kind::Select: {
+    const auto *S = cast<sym::SelectExpr>(E);
+    const ExprAbstract &C = analyze(S->getCond());
+    const ExprAbstract &T = analyze(S->getTrueValue());
+    const ExprAbstract &F = analyze(S->getFalseValue());
+    R.Sign = SignSet::selectSign(C.Sign, T.Sign, F.Sign);
+    R.Degree = DegreeRange::nonPoly(); // piecewise
+    R.Suspect = C.Suspect || T.Suspect || F.Suspect;
+    return R;
+  }
+  }
+  return R; // unreachable; keeps -Wreturn-type quiet
+}
+
+} // namespace analysis
+} // namespace stenso

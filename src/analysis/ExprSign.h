@@ -1,0 +1,87 @@
+//===- ExprSign.h - Sign/degree analysis over symbolic exprs ---*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract interpretation of canonical symbolic expressions (sym::Expr)
+/// in the sign and degree domains, under the engine's semantics that all
+/// input symbols are strictly positive reals (see symbolic/Expr.h).
+///
+/// The central soundness invariant, relied on by the pruning oracle:
+///
+///   If analyze(E).Sign != top, then E is *total* on the positive
+///   orthant (no sub-term can hit a pow/log domain violation for any
+///   positive assignment of its non-top symbols) and every value E
+///   takes has its sign in the set.
+///
+/// Totality is enforced by a sticky Suspect bit: any Pow or Log node
+/// whose operand sign sets cannot rule out a domain violation forces the
+/// whole enclosing expression to top.  Disjoint non-top sign sets are
+/// therefore a proof that two expressions differ at every point, hence
+/// can never be the same canonical node.
+///
+/// Symbols in the analyzer's top set (the hole symbols of a sketch
+/// template) are treated as "any real, or any expression substituted
+/// later": their sign is top and they poison the degree domain.  By
+/// monotonicity of every transfer function, the result for the template
+/// over-approximates the result for any substitution instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_ANALYSIS_EXPRSIGN_H
+#define STENSO_ANALYSIS_EXPRSIGN_H
+
+#include "analysis/AbstractDomains.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace stenso {
+namespace sym {
+class Expr;
+}
+
+namespace analysis {
+
+/// Joint sign/degree verdict for one expression.
+struct ExprAbstract {
+  SignSet Sign = SignSet::top();
+  /// Total degree as a polynomial in all (positive) symbols; NonPoly for
+  /// exp/log/fractional powers/comparisons and anything touching a top
+  /// symbol.
+  DegreeRange Degree = DegreeRange::nonPoly();
+  /// Set when some sub-term may violate a pow/log domain; forces Sign to
+  /// top in the public result.
+  bool Suspect = false;
+  /// True when the expression may be the zero polynomial (canBeZero or
+  /// Suspect); guards the degree-disjointness argument.
+  bool possiblyZero() const { return Suspect || Sign.canBeZero(); }
+};
+
+/// Memoizing sign/degree walker over one ExprContext's interned nodes.
+/// Not thread-safe: each search driver / parallel branch owns its own
+/// instance (expressions are shared and immutable, memo tables are not).
+class ExprAnalyzer {
+public:
+  ExprAnalyzer() = default;
+  /// \p TopSymbols are treated as unconstrained (sign top, degree
+  /// poisoned) instead of as positive inputs.
+  explicit ExprAnalyzer(std::vector<const sym::Expr *> TopSymbols)
+      : Top(TopSymbols.begin(), TopSymbols.end()) {}
+
+  const ExprAbstract &analyze(const sym::Expr *E);
+
+private:
+  ExprAbstract compute(const sym::Expr *E);
+
+  std::unordered_set<const sym::Expr *> Top;
+  std::unordered_map<const sym::Expr *, ExprAbstract> Memo;
+};
+
+} // namespace analysis
+} // namespace stenso
+
+#endif // STENSO_ANALYSIS_EXPRSIGN_H

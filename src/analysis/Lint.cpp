@@ -1,0 +1,218 @@
+//===- Lint.cpp - Static diagnostics over DSL programs --------------------===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "analysis/AbstractInterpreter.h"
+#include "dsl/Parser.h"
+#include "observe/Json.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace stenso {
+namespace analysis {
+
+using dsl::Node;
+using dsl::OpKind;
+
+const char *toString(LintSeverity S) {
+  switch (S) {
+  case LintSeverity::Note:
+    return "note";
+  case LintSeverity::Warning:
+    return "warning";
+  case LintSeverity::Error:
+    return "error";
+  }
+  return "warning";
+}
+
+namespace {
+
+class Linter {
+public:
+  explicit Linter(const dsl::Program &P) : Prog(P), Interp(P) {}
+
+  std::vector<LintDiagnostic> run() {
+    if (const Node *Root = Prog.getRoot()) {
+      visit(Root);
+      checkProgramLevel(Root);
+    }
+    std::sort(Diags.begin(), Diags.end(),
+              [](const LintDiagnostic &A, const LintDiagnostic &B) {
+                if (A.Span.Begin != B.Span.Begin)
+                  return A.Span.Begin < B.Span.Begin;
+                return A.Check < B.Check;
+              });
+    return std::move(Diags);
+  }
+
+private:
+  void report(const Node *N, LintSeverity Severity, std::string Check,
+              std::string Message) {
+    LintDiagnostic D;
+    D.Severity = Severity;
+    D.Check = std::move(Check);
+    D.Message = std::move(Message);
+    D.Span = Prog.getSpan(N);
+    Diags.push_back(std::move(D));
+  }
+
+  void visit(const Node *N) {
+    if (!Visited.insert(N).second)
+      return;
+    for (const Node *Op : N->getOperands())
+      visit(Op);
+    checkNode(N);
+  }
+
+  void checkNode(const Node *N) {
+    if (N->getType().TShape.getNumElements() == 0 && !N->isInput())
+      report(N, LintSeverity::Note, "zero-size-tensor",
+             "expression has static type " + N->getType().toString() +
+                 " with zero elements; its value is never observable");
+
+    switch (N->getKind()) {
+    case OpKind::Divide: {
+      const AbstractValue &Den = Interp.analyze(N->getOperand(1));
+      if (Den.Sign.canBeZero())
+        report(N, LintSeverity::Warning, "division-by-possibly-zero",
+               "denominator may be zero (sign set " + Den.Sign.toString() +
+                   "); division is undefined there");
+      break;
+    }
+    case OpKind::Sqrt: {
+      const AbstractValue &Arg = Interp.analyze(N->getOperand(0));
+      if (Arg.Sign.canBeNeg())
+        report(N, LintSeverity::Warning, "sqrt-of-possibly-negative",
+               "sqrt argument may be negative (sign set " +
+                   Arg.Sign.toString() + ")");
+      break;
+    }
+    case OpKind::Log: {
+      const AbstractValue &Arg = Interp.analyze(N->getOperand(0));
+      if (Arg.Sign.canBeZero() || Arg.Sign.canBeNeg())
+        report(N, LintSeverity::Warning, "log-domain",
+               "log argument may be non-positive (sign set " +
+                   Arg.Sign.toString() + ")");
+      break;
+    }
+    case OpKind::Power: {
+      const AbstractValue &Base = Interp.analyze(N->getOperand(0));
+      const Node *ExpNode = N->getOperand(1);
+      if (!ExpNode->isConstant()) {
+        if (Base.Sign.canBeZero() || Base.Sign.canBeNeg())
+          report(N, LintSeverity::Warning, "pow-domain",
+                 "base of a non-constant power may be non-positive "
+                 "(sign set " +
+                     Base.Sign.toString() + ")");
+        break;
+      }
+      const Rational &K = ExpNode->getValue();
+      if (K.isInteger()) {
+        if (K.getInteger() <= 0 && Base.Sign.canBeZero())
+          report(N, LintSeverity::Warning, "pow-domain",
+                 "possibly-zero base raised to the non-positive power " +
+                     K.toString());
+      } else if (Base.Sign.canBeNeg() ||
+                 (K.isNegative() && Base.Sign.canBeZero())) {
+        report(N, LintSeverity::Warning, "pow-domain",
+               "base may leave the domain of the fractional power " +
+                   K.toString() + " (sign set " + Base.Sign.toString() + ")");
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  void checkProgramLevel(const Node *Root) {
+    const AbstractValue &Result = Interp.analyze(Root);
+    for (const Node *In : Prog.getInputs()) {
+      if (!Result.Support.count(In->getName())) {
+        LintDiagnostic D;
+        D.Severity = LintSeverity::Warning;
+        D.Check = "dead-input";
+        D.Message = "input '" + In->getName() +
+                    "' is declared but the result never depends on it";
+        D.Span = Prog.getSpan(In);
+        Diags.push_back(std::move(D));
+      }
+    }
+    if (Result.Support.empty())
+      report(Root, LintSeverity::Note, "constant-result",
+             "the program's result depends on no input; it is a constant");
+  }
+
+  const dsl::Program &Prog;
+  AbstractInterpreter Interp;
+  std::unordered_set<const Node *> Visited;
+  std::vector<LintDiagnostic> Diags;
+};
+
+} // namespace
+
+std::vector<LintDiagnostic> lintProgram(const dsl::Program &P) {
+  return Linter(P).run();
+}
+
+std::string renderDiagnostic(const std::string &Source,
+                             const LintDiagnostic &D) {
+  std::string Out;
+  bool HaveSpan =
+      D.Span.valid() && static_cast<size_t>(D.Span.Begin) <= Source.size();
+  if (HaveSpan) {
+    auto [Line, Col] = dsl::lineColAt(Source, D.Span.Begin);
+    Out += std::to_string(Line) + ":" + std::to_string(Col) + ": ";
+  }
+  Out += toString(D.Severity);
+  Out += ": " + D.Message + " [" + D.Check + "]\n";
+  if (!HaveSpan)
+    return Out;
+
+  // The source line the span starts on, with a caret run under the
+  // spanned range (clipped to that line).
+  size_t Begin = static_cast<size_t>(D.Span.Begin);
+  size_t LineStart = Source.rfind('\n', Begin == 0 ? 0 : Begin - 1);
+  LineStart = LineStart == std::string::npos ? 0 : LineStart + 1;
+  size_t LineEnd = Source.find('\n', Begin);
+  if (LineEnd == std::string::npos)
+    LineEnd = Source.size();
+  size_t End = std::min<size_t>(static_cast<size_t>(D.Span.End), LineEnd);
+  if (End <= Begin)
+    End = Begin + 1;
+  Out += "  " + Source.substr(LineStart, LineEnd - LineStart) + "\n";
+  Out += "  " + std::string(Begin - LineStart, ' ') + "^" +
+         std::string(End - Begin - 1, '~') + "\n";
+  return Out;
+}
+
+std::string diagnosticsToJson(const std::string &Source,
+                              const std::vector<LintDiagnostic> &Diags) {
+  std::string J = "[";
+  for (size_t I = 0; I < Diags.size(); ++I) {
+    const LintDiagnostic &D = Diags[I];
+    J += I ? ",\n " : "\n ";
+    J += "{\"severity\": " + observe::jsonQuote(toString(D.Severity));
+    J += ", \"check\": " + observe::jsonQuote(D.Check);
+    J += ", \"message\": " + observe::jsonQuote(D.Message);
+    if (D.Span.valid()) {
+      auto [Line, Col] = dsl::lineColAt(Source, D.Span.Begin);
+      J += ", \"span\": {\"begin\": " + std::to_string(D.Span.Begin) +
+           ", \"end\": " + std::to_string(D.Span.End) +
+           ", \"line\": " + std::to_string(Line) +
+           ", \"column\": " + std::to_string(Col) + "}";
+    }
+    J += "}";
+  }
+  J += "\n]\n";
+  return J;
+}
+
+} // namespace analysis
+} // namespace stenso

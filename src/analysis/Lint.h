@@ -1,0 +1,78 @@
+//===- Lint.h - Static diagnostics over DSL programs -----------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// stenso-lint's diagnostic pass: runs the abstract interpreter
+/// (AbstractInterpreter.h) over a parsed program and reports constructs
+/// that may be undefined or are certainly wasteful under the engine's
+/// positive-inputs convention:
+///
+///   * sqrt-of-possibly-negative, log-domain, pow-domain — the operand's
+///     sign set admits values outside the operation's domain;
+///   * division-by-possibly-zero — the denominator's sign set contains 0;
+///   * zero-size-tensor — a subexpression's static type has no elements;
+///   * dead-input — a declared input the result provably never reads;
+///   * constant-result — the whole program depends on no input at all.
+///
+/// Diagnostics carry the node's SourceSpan (populated by dsl::Parser), so
+/// both the human renderer (caret under the offending subexpression) and
+/// the JSON emitter can point into the original source line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_ANALYSIS_LINT_H
+#define STENSO_ANALYSIS_LINT_H
+
+#include "dsl/Node.h"
+
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace analysis {
+
+enum class LintSeverity {
+  Note,    ///< Informational; does not affect the exit status.
+  Warning, ///< Possible undefined behavior / dead code; exit nonzero.
+  Error,   ///< Parse/load failure (driver-level; lintProgram never emits).
+};
+
+const char *toString(LintSeverity S);
+
+struct LintDiagnostic {
+  LintSeverity Severity = LintSeverity::Warning;
+  /// Stable kebab-case check name (e.g. "division-by-possibly-zero").
+  std::string Check;
+  std::string Message;
+  /// Span of the offending subexpression; may be invalid for hand-built
+  /// programs, in which case renderers omit the caret.
+  dsl::SourceSpan Span;
+};
+
+/// Runs every check over \p P (walking from the root) and returns the
+/// diagnostics in source order (span begin, then check name).
+std::vector<LintDiagnostic> lintProgram(const dsl::Program &P);
+
+/// Renders \p D the way compilers do:
+///
+///   <line>:<col>: warning: message [check-name]
+///     A / (B - B)
+///         ^~~~~~~
+///
+/// \p Source is the text the program was parsed from; when the span is
+/// invalid the location and caret lines are omitted.
+std::string renderDiagnostic(const std::string &Source,
+                             const LintDiagnostic &D);
+
+/// All diagnostics as a JSON array (observe/Json.h escaping), one object
+/// per diagnostic: severity, check, message, span {begin, end, line, col}.
+std::string diagnosticsToJson(const std::string &Source,
+                              const std::vector<LintDiagnostic> &Diags);
+
+} // namespace analysis
+} // namespace stenso
+
+#endif // STENSO_ANALYSIS_LINT_H

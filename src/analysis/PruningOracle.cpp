@@ -1,0 +1,98 @@
+//===- PruningOracle.cpp - Sound static pruning for the search ------------===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PruningOracle.h"
+
+#include "support/Casting.h"
+#include "symbolic/Expr.h"
+#include "symexec/SymTensor.h"
+
+namespace stenso {
+namespace analysis {
+
+const char *toString(PruneDomain D) {
+  switch (D) {
+  case PruneDomain::None:
+    return "none";
+  case PruneDomain::Shape:
+    return "shape";
+  case PruneDomain::Sign:
+    return "sign";
+  case PruneDomain::Degree:
+    return "degree";
+  }
+  return "none";
+}
+
+TensorAbstract computeTensorAbstract(const symexec::SymTensor &T,
+                                     ExprAnalyzer &Analyzer) {
+  TensorAbstract R;
+  R.Elements.reserve(T.getElements().size());
+  R.Exprs = T.getElements();
+  for (const sym::Expr *E : T.getElements()) {
+    const ExprAbstract &A = Analyzer.analyze(E);
+    R.Elements.push_back(A);
+    if (!A.Sign.isTop() || !A.Degree.NonPoly)
+      R.AllTop = false;
+  }
+  return R;
+}
+
+PruneDomain oracleRejects(const TensorAbstract &Sketch,
+                          const TensorAbstract &Spec) {
+  if (Sketch.AllTop || Sketch.Elements.size() != Spec.Elements.size())
+    return PruneDomain::None;
+  for (size_t I = 0, N = Sketch.Elements.size(); I < N; ++I) {
+    const ExprAbstract &S = Sketch.Elements[I];
+    const ExprAbstract &P = Spec.Elements[I];
+    // Disjoint non-top sign sets: both elements are total on the
+    // positive orthant with every value's sign inside their set, so they
+    // cannot be the same canonical expression (ExprSign.h invariant).
+    if (SignSet::disjoint(S.Sign, P.Sign))
+      return PruneDomain::Sign;
+    // Degree intervals that cannot overlap: two non-zero polynomials of
+    // provably different total degree differ somewhere, and the
+    // possibly-zero guard excludes the one case (both the zero
+    // polynomial) where equal functions could carry disjoint syntactic
+    // intervals.
+    if (DegreeRange::disjoint(S.Degree, P.Degree) &&
+        !(S.possiblyZero() && P.possiblyZero()))
+      return PruneDomain::Degree;
+    // Two distinct interned constants are distinct values: the solver's
+    // residual expand(c_spec - c_template) is a non-zero constant.
+    if (Sketch.Exprs[I] != Spec.Exprs[I] &&
+        isa<sym::ConstantExpr>(Sketch.Exprs[I]) &&
+        isa<sym::ConstantExpr>(Spec.Exprs[I]))
+      return PruneDomain::Degree;
+  }
+  return PruneDomain::None;
+}
+
+TypeReachability TypeReachability::forProgram(const dsl::Program &P) {
+  TypeReachability R;
+  auto AddUnique = [&R](const dsl::TensorType &T) {
+    for (const dsl::TensorType &Have : R.Types)
+      if (Have == T)
+        return;
+    R.Types.push_back(T);
+  };
+  if (P.getRoot())
+    AddUnique(P.getRoot()->getType());
+  for (const dsl::Node *In : P.getInputs())
+    AddUnique(In->getType());
+  AddUnique(dsl::TensorType{DType::Float64, Shape()});
+  return R;
+}
+
+bool TypeReachability::mayMatch(const dsl::TensorType &T) const {
+  for (const dsl::TensorType &Have : Types)
+    if (Have == T)
+      return true;
+  return false;
+}
+
+} // namespace analysis
+} // namespace stenso

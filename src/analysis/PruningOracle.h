@@ -1,0 +1,115 @@
+//===- PruningOracle.h - Sound static pruning for the search ---*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static pruning oracle of the sketch search: rejects candidates
+/// whose abstract semantics provably cannot match the query spec, before
+/// the expensive symbolic execution / hole-solver work.  Sound by
+/// construction — every check returns "maybe" (no prune) whenever any
+/// domain is at top — so enabling the oracle changes which solver calls
+/// are made but never which candidates are *accepted*: the synthesized
+/// program, cost, and abort reason are identical with the oracle on or
+/// off (see DESIGN.md §10 for the argument and its two caveats).
+///
+/// Three check families:
+///
+///   * shape reachability (library build time): the specs the DFS can
+///     ever query have the type of Φ, of a program input, or of a
+///     scalar — stubs and sketch templates of any other type can never
+///     match or solve anything and are skipped before their symbolic
+///     trace;
+///   * sign disjointness (per solver call): a *hole-free* template
+///     element whose sign set is provably disjoint from the spec
+///     element's can never equal it (both sets non-top implies both
+///     expressions are total — ExprSign.h);
+///   * degree/constant mismatch (per solver call): hole-free template
+///     elements that are constants different from a constant spec
+///     element, or polynomials whose possible total degrees cannot
+///     overlap the spec element's, force the solver's residual test to
+///     fail.
+///
+/// Hole-containing template elements are never sign/degree-pruned: the
+/// engine's algebra inverts exp/log/pow/linear contexts unconditionally
+/// (exp(log x) = x for *any* x), so a single hole occurrence can match a
+/// spec element of any sign.  The analyzer encodes this by treating hole
+/// symbols as suspect, which collapses the element to top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_ANALYSIS_PRUNINGORACLE_H
+#define STENSO_ANALYSIS_PRUNINGORACLE_H
+
+#include "analysis/ExprSign.h"
+#include "dsl/Node.h"
+
+#include <vector>
+
+namespace stenso {
+
+namespace symexec {
+class SymTensor;
+}
+
+namespace analysis {
+
+/// Which domain proved a (sketch, spec) pair infeasible.
+enum class PruneDomain {
+  None,   ///< No proof — the candidate must be tried.
+  Shape,  ///< Result type unreachable by any query of this search.
+  Sign,   ///< Disjoint sign sets on some element pair.
+  Degree, ///< Disjoint polynomial degrees / unequal constants.
+};
+
+const char *toString(PruneDomain D);
+
+/// Per-element abstract signature of a tensor of symbolic expressions
+/// (a sketch template or a query spec Φ).
+struct TensorAbstract {
+  std::vector<ExprAbstract> Elements;
+  /// The analyzed expressions, aligned with Elements.  Hash-consing
+  /// makes pointer comparison of two constants an exact equality test,
+  /// which catches same-sign same-degree constant mismatches (2 vs 3).
+  std::vector<const sym::Expr *> Exprs;
+  /// True when no element carries any information (all top): lets the
+  /// per-sketch check exit without touching the spec side.
+  bool AllTop = true;
+};
+
+/// Computes the signature of \p T with \p Analyzer (which owns the memo
+/// and, for templates, the hole-symbol top set).
+TensorAbstract computeTensorAbstract(const symexec::SymTensor &T,
+                                     ExprAnalyzer &Analyzer);
+
+/// The element-wise feasibility check: can a substitution into the
+/// template (whose signature is \p Sketch) ever produce the spec (whose
+/// signature is \p Spec)?  Returns the domain that proves it cannot, or
+/// PruneDomain::None.  Sizes must match (the caller pairs per shape);
+/// mismatched sizes return None defensively.
+PruneDomain oracleRejects(const TensorAbstract &Sketch,
+                          const TensorAbstract &Spec);
+
+/// The shape/type-reachability domain: the closed set of tensor types a
+/// spec queried during the search of one program can have.  Query specs
+/// are Φ itself or hole specs, and hole types are always a sketch-leaf
+/// type — a program input's type or a scalar.
+class TypeReachability {
+public:
+  /// Builds the reachable set for a search rooted at \p P: the root
+  /// type, every input type, and the f64 scalar (hole constants).
+  static TypeReachability forProgram(const dsl::Program &P);
+
+  /// True when a stub/sketch of type \p T can match or solve some
+  /// reachable query.
+  bool mayMatch(const dsl::TensorType &T) const;
+
+private:
+  std::vector<dsl::TensorType> Types;
+};
+
+} // namespace analysis
+} // namespace stenso
+
+#endif // STENSO_ANALYSIS_PRUNINGORACLE_H

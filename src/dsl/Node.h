@@ -31,6 +31,17 @@
 namespace stenso {
 namespace dsl {
 
+/// Half-open byte range [Begin, End) into the source text a node was
+/// parsed from.  Begin < 0 means "no span recorded" — hand-built and
+/// synthesized programs carry no spans, and consumers must treat them as
+/// advisory.
+struct SourceSpan {
+  int64_t Begin = -1;
+  int64_t End = -1;
+
+  bool valid() const { return Begin >= 0 && End >= Begin; }
+};
+
 /// Static type of a DSL value: element dtype plus shape.
 struct TensorType {
   DType Dtype = DType::Float64;
@@ -212,6 +223,21 @@ public:
 
   size_t getNumNodes() const { return Nodes.size(); }
 
+  //===--------------------------------------------------------------------===//
+  // Source spans (parser-populated side table)
+  //===--------------------------------------------------------------------===//
+
+  /// Records where \p N came from in the source.  Shared leaves (inputs
+  /// referenced more than once) keep the span of their last textual
+  /// occurrence; operation nodes are trees, so their spans are unique.
+  void setSpan(const Node *N, SourceSpan S) { Spans[N] = S; }
+
+  /// The recorded span of \p N, or an invalid span when none was set.
+  SourceSpan getSpan(const Node *N) const {
+    auto It = Spans.find(N);
+    return It != Spans.end() ? It->second : SourceSpan();
+  }
+
 private:
   const Node *adopt(std::unique_ptr<Node> N) {
     Nodes.push_back(std::move(N));
@@ -225,6 +251,7 @@ private:
   std::vector<std::unique_ptr<Node>> Nodes;
   std::vector<const Node *> Inputs;
   std::unordered_map<std::string, const Node *> InputsByName;
+  std::unordered_map<const Node *, SourceSpan> Spans;
   const Node *Root = nullptr;
 };
 

@@ -39,7 +39,7 @@ struct Token {
 /// Lexes the whole source up front; the parser indexes into the vector so
 /// that comprehension parsing can jump around.
 bool lexAll(const std::string &Src, std::vector<Token> &Out,
-            std::string &Error) {
+            std::string &Error, size_t &ErrorOffset) {
   size_t I = 0;
   while (I < Src.size()) {
     char C = Src[I];
@@ -84,6 +84,7 @@ bool lexAll(const std::string &Src, std::vector<Token> &Out,
     } else {
       Error = "unexpected character '" + std::string(1, C) + "' at offset " +
               std::to_string(I);
+      ErrorOffset = I;
       return false;
     }
     Out.push_back(std::move(T));
@@ -106,13 +107,24 @@ public:
         Prog(std::make_unique<Program>()) {}
 
   ParseResult run() {
+    // Register every declared input up front, so Program::getInputs()
+    // reflects the declaration (in declaration order) rather than the
+    // reference order — the lint pass's dead-input check depends on
+    // unreferenced declarations being visible on the program.
+    for (const auto &[DeclName, Type] : Decls)
+      Prog->input(DeclName, Type);
     const Node *Root = parseExpr();
     if (!Failed && cur().K != Token::Kind::End)
       fail("trailing input after expression");
-    if (Failed)
-      return {nullptr, Error};
+    ParseResult R;
+    if (Failed) {
+      R.Error = Error;
+      R.ErrorOffset = ErrOffset;
+      return R;
+    }
     Prog->setRoot(Root);
-    return {std::move(Prog), ""};
+    R.Prog = std::move(Prog);
+    return R;
   }
 
 private:
@@ -122,6 +134,8 @@ private:
 
   const Token &cur() const { return Tokens[Index]; }
   void advance() {
+    // End of the token being consumed; spans close here.
+    LastEnd = cur().Pos + cur().Text.size();
     if (Index + 1 < Tokens.size())
       ++Index;
   }
@@ -140,12 +154,25 @@ private:
     return false;
   }
 
-  const Node *fail(const std::string &Msg) {
+  const Node *fail(const std::string &Msg) { return failAt(Msg, cur().Pos); }
+
+  const Node *failAt(const std::string &Msg, size_t Pos) {
+    if (Pos == NoPos)
+      Pos = cur().Pos;
     if (!Failed) {
       Failed = true;
-      Error = Msg + " at offset " + std::to_string(cur().Pos);
+      ErrOffset = Pos;
+      Error = Msg + " at offset " + std::to_string(Pos);
     }
     return nullptr;
+  }
+
+  /// Records a [Begin, LastEnd) span for \p N (no-op for null).
+  const Node *spanned(const Node *N, size_t Begin) {
+    if (N && Begin != NoPos)
+      Prog->setSpan(N, SourceSpan{static_cast<int64_t>(Begin),
+                                  static_cast<int64_t>(LastEnd)});
+    return N;
   }
 
   //===------------------------------------------------------------------===//
@@ -155,6 +182,7 @@ private:
   const Node *parseExpr() { return parseCompare(); }
 
   const Node *parseCompare() {
+    size_t Begin = cur().Pos;
     const Node *Lhs = parseAddSub();
     if (Failed)
       return nullptr;
@@ -163,12 +191,13 @@ private:
       const Node *Rhs = parseAddSub();
       if (Failed)
         return nullptr;
-      Lhs = buildOp(OpKind::Less, {Lhs, Rhs});
+      Lhs = buildOp(OpKind::Less, {Lhs, Rhs}, {}, Begin);
     }
     return Lhs;
   }
 
   const Node *parseAddSub() {
+    size_t Begin = cur().Pos;
     const Node *Lhs = parseMulDiv();
     while (!Failed && (cur().isPunct('+') || cur().isPunct('-'))) {
       OpKind Kind = cur().isPunct('+') ? OpKind::Add : OpKind::Subtract;
@@ -176,12 +205,13 @@ private:
       const Node *Rhs = parseMulDiv();
       if (Failed)
         return nullptr;
-      Lhs = buildOp(Kind, {Lhs, Rhs});
+      Lhs = buildOp(Kind, {Lhs, Rhs}, {}, Begin);
     }
     return Lhs;
   }
 
   const Node *parseMulDiv() {
+    size_t Begin = cur().Pos;
     const Node *Lhs = parseUnary();
     while (!Failed &&
            (cur().isPunct('*') || cur().isPunct('/') || cur().isPunct('@'))) {
@@ -192,23 +222,26 @@ private:
       const Node *Rhs = parseUnary();
       if (Failed)
         return nullptr;
-      Lhs = buildOp(Kind, {Lhs, Rhs});
+      Lhs = buildOp(Kind, {Lhs, Rhs}, {}, Begin);
     }
     return Lhs;
   }
 
   const Node *parseUnary() {
     if (cur().isPunct('-')) {
+      size_t Begin = cur().Pos;
       advance();
       const Node *Operand = parseUnary();
       if (Failed)
         return nullptr;
-      return buildOp(OpKind::Multiply, {Prog->constant(Rational(-1)), Operand});
+      return buildOp(OpKind::Multiply, {Prog->constant(Rational(-1)), Operand},
+                     {}, Begin);
     }
     return parsePowerLevel();
   }
 
   const Node *parsePowerLevel() {
+    size_t Begin = cur().Pos;
     const Node *Base = parsePostfix();
     if (Failed)
       return nullptr;
@@ -217,18 +250,19 @@ private:
       const Node *Exponent = parseUnary(); // ** is right-associative
       if (Failed)
         return nullptr;
-      return buildOp(OpKind::Power, {Base, Exponent});
+      return buildOp(OpKind::Power, {Base, Exponent}, {}, Begin);
     }
     return Base;
   }
 
   const Node *parsePostfix() {
+    size_t Begin = cur().Pos;
     const Node *N = parseAtom();
     while (!Failed && cur().isPunct('.')) {
       advance();
       if (cur().isIdent("T")) {
         advance();
-        N = buildOp(OpKind::Transpose, {N});
+        N = buildOp(OpKind::Transpose, {N}, {}, Begin);
       } else {
         return fail("expected 'T' after '.'");
       }
@@ -237,12 +271,13 @@ private:
   }
 
   const Node *parseAtom() {
+    size_t Begin = cur().Pos;
     if (cur().K == Token::Kind::Number) {
       std::optional<Rational> Value = parseRational(cur().Text);
       if (!Value)
         return fail("numeric literal out of range");
       advance();
-      return Prog->constant(*Value);
+      return spanned(Prog->constant(*Value), Begin);
     }
     if (cur().K == Token::Kind::Ident) {
       std::string Name = cur().Text;
@@ -256,10 +291,10 @@ private:
         advance();
         if (!expectPunct('('))
           return nullptr;
-        return parseCall(Fn);
+        return parseCall(Fn, Begin);
       }
       advance();
-      return lookupVariable(Name);
+      return spanned(lookupVariable(Name), Begin);
     }
     if (acceptPunct('(')) {
       const Node *Inner = parseExpr();
@@ -276,7 +311,7 @@ private:
   // np.<fn>(...) calls
   //===------------------------------------------------------------------===//
 
-  const Node *parseCall(const std::string &Fn) {
+  const Node *parseCall(const std::string &Fn, size_t Begin) {
     // Fixed-arity elementwise and linear-algebra functions.
     struct Simple {
       const char *Name;
@@ -305,27 +340,27 @@ private:
       }
       if (!expectPunct(')'))
         return nullptr;
-      return buildOp(S.Kind, std::move(Args));
+      return buildOp(S.Kind, std::move(Args), {}, Begin);
     }
 
     if (Fn == "sum" || Fn == "max")
-      return parseReduction(Fn == "sum");
+      return parseReduction(Fn == "sum", Begin);
     if (Fn == "transpose")
-      return parseTranspose();
+      return parseTranspose(Begin);
     if (Fn == "reshape")
-      return parseReshape();
+      return parseReshape(Begin);
     if (Fn == "full")
-      return parseFull();
+      return parseFull(Begin);
     if (Fn == "triu" || Fn == "tril")
-      return parseTriangle(Fn == "triu");
+      return parseTriangle(Fn == "triu", Begin);
     if (Fn == "stack")
-      return parseStack();
+      return parseStack(Begin);
     if (Fn == "tensordot")
-      return parseTensordot();
+      return parseTensordot(Begin);
     return fail("unknown function 'np." + Fn + "'");
   }
 
-  const Node *parseReduction(bool IsSum) {
+  const Node *parseReduction(bool IsSum, size_t Begin) {
     const Node *Arg = parseExpr();
     if (Failed)
       return nullptr;
@@ -346,12 +381,12 @@ private:
     NodeAttrs Attrs;
     if (Axis) {
       Attrs.Axis = *Axis;
-      return buildOp(IsSum ? OpKind::Sum : OpKind::Max, {Arg}, Attrs);
+      return buildOp(IsSum ? OpKind::Sum : OpKind::Max, {Arg}, Attrs, Begin);
     }
-    return buildOp(IsSum ? OpKind::SumAll : OpKind::MaxAll, {Arg});
+    return buildOp(IsSum ? OpKind::SumAll : OpKind::MaxAll, {Arg}, {}, Begin);
   }
 
-  const Node *parseTranspose() {
+  const Node *parseTranspose(size_t Begin) {
     const Node *Arg = parseExpr();
     if (Failed)
       return nullptr;
@@ -364,10 +399,10 @@ private:
     }
     if (!expectPunct(')'))
       return nullptr;
-    return buildOp(OpKind::Transpose, {Arg}, Attrs);
+    return buildOp(OpKind::Transpose, {Arg}, Attrs, Begin);
   }
 
-  const Node *parseReshape() {
+  const Node *parseReshape(size_t Begin) {
     const Node *Arg = parseExpr();
     if (Failed || !expectPunct(','))
       return nullptr;
@@ -376,10 +411,10 @@ private:
       return nullptr;
     NodeAttrs Attrs;
     Attrs.ShapeAttr = Shape(*Dims);
-    return buildOp(OpKind::Reshape, {Arg}, Attrs);
+    return buildOp(OpKind::Reshape, {Arg}, Attrs, Begin);
   }
 
-  const Node *parseFull() {
+  const Node *parseFull(size_t Begin) {
     std::optional<std::vector<int64_t>> Dims = parseIntTuple();
     if (!Dims || !expectPunct(','))
       return nullptr;
@@ -388,10 +423,10 @@ private:
       return nullptr;
     NodeAttrs Attrs;
     Attrs.ShapeAttr = Shape(*Dims);
-    return buildOp(OpKind::Full, {Value}, Attrs);
+    return buildOp(OpKind::Full, {Value}, Attrs, Begin);
   }
 
-  const Node *parseTriangle(bool Upper) {
+  const Node *parseTriangle(bool Upper, size_t Begin) {
     const Node *Arg = parseExpr();
     if (Failed)
       return nullptr;
@@ -404,10 +439,10 @@ private:
     }
     if (!expectPunct(')'))
       return nullptr;
-    return buildOp(Upper ? OpKind::Triu : OpKind::Tril, {Arg}, Attrs);
+    return buildOp(Upper ? OpKind::Triu : OpKind::Tril, {Arg}, Attrs, Begin);
   }
 
-  const Node *parseTensordot() {
+  const Node *parseTensordot(size_t Begin) {
     const Node *A = parseExpr();
     if (Failed || !expectPunct(','))
       return nullptr;
@@ -430,16 +465,16 @@ private:
     NodeAttrs Attrs;
     Attrs.AxesA = *AxesA;
     Attrs.AxesB = *AxesB;
-    return buildOp(OpKind::Tensordot, {A, B}, Attrs);
+    return buildOp(OpKind::Tensordot, {A, B}, Attrs, Begin);
   }
 
   /// np.stack([a, b, ...]) or np.stack([body for v in X]), optional axis=.
-  const Node *parseStack() {
+  const Node *parseStack(size_t Begin) {
     if (!expectPunct('['))
       return nullptr;
 
     if (size_t ForIdx = findComprehensionFor(); ForIdx != 0)
-      return parseComprehension(ForIdx);
+      return parseComprehension(ForIdx, Begin);
 
     std::vector<const Node *> Parts;
     Parts.push_back(parseExpr());
@@ -452,7 +487,7 @@ private:
       return nullptr;
     NodeAttrs Attrs;
     Attrs.Axis = Axis.value_or(0);
-    return buildOp(OpKind::Stack, std::move(Parts), Attrs);
+    return buildOp(OpKind::Stack, std::move(Parts), Attrs, Begin);
   }
 
   /// Scans ahead from the current index for a top-level 'for' before the
@@ -473,7 +508,7 @@ private:
     return 0;
   }
 
-  const Node *parseComprehension(size_t ForIdx) {
+  const Node *parseComprehension(size_t ForIdx, size_t Begin) {
     size_t BodyStart = Index;
 
     // Parse the iteration clause first so the loop variable's type is
@@ -516,8 +551,8 @@ private:
     const Node *Result = Prog->tryMakeComprehension(Iterated, Var, Body,
                                                     Axis.value_or(0));
     if (!Result)
-      return fail("ill-typed comprehension");
-    return Result;
+      return failAt("ill-typed comprehension", Begin);
+    return spanned(Result, Begin);
   }
 
   //===------------------------------------------------------------------===//
@@ -630,7 +665,7 @@ private:
   }
 
   const Node *buildOp(OpKind Kind, std::vector<const Node *> Operands,
-                      NodeAttrs Attrs = {}) {
+                      NodeAttrs Attrs = {}, size_t Begin = NoPos) {
     if (Failed)
       return nullptr;
     for (const Node *Op : Operands)
@@ -638,9 +673,11 @@ private:
         return nullptr;
     const Node *Result = Prog->tryMake(Kind, std::move(Operands), Attrs);
     if (!Result)
-      return fail("type error in " + getOpName(Kind));
-    return Result;
+      return failAt("type error in " + getOpName(Kind), Begin);
+    return spanned(Result, Begin);
   }
+
+  static constexpr size_t NoPos = static_cast<size_t>(-1);
 
   std::vector<Token> Tokens;
   size_t Index = 0;
@@ -649,15 +686,44 @@ private:
   std::vector<std::pair<std::string, const Node *>> LoopScope;
   bool Failed = false;
   std::string Error;
+  size_t ErrOffset = NoPos;
+  /// One past the end of the last consumed token (span closing offset).
+  size_t LastEnd = 0;
 };
 
 } // namespace
+
+std::pair<int, int> dsl::lineColAt(const std::string &Source, size_t Offset) {
+  int Line = 1, Col = 1;
+  for (size_t I = 0; I < Offset && I < Source.size(); ++I) {
+    if (Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+  }
+  return {Line, Col};
+}
 
 ParseResult dsl::parseProgram(const std::string &Source,
                               const InputDecls &Inputs) {
   std::vector<Token> Tokens;
   std::string LexError;
-  if (!lexAll(Source, Tokens, LexError))
-    return {nullptr, LexError};
-  return Parser(std::move(Tokens), Inputs).run();
+  size_t LexErrOff = 0;
+  ParseResult R;
+  if (!lexAll(Source, Tokens, LexError, LexErrOff)) {
+    R.Error = std::move(LexError);
+    R.ErrorOffset = LexErrOff;
+  } else {
+    R = Parser(std::move(Tokens), Inputs).run();
+  }
+  if (!R && R.ErrorOffset != std::string::npos) {
+    auto [Line, Col] = lineColAt(Source, R.ErrorOffset);
+    R.ErrorLine = Line;
+    R.ErrorCol = Col;
+    R.Error += " (line " + std::to_string(Line) + ", column " +
+               std::to_string(Col) + ")";
+  }
+  return R;
 }

@@ -23,18 +23,30 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace stenso {
 namespace dsl {
 
 /// Outcome of parsing: a program, or an error message with Prog == null.
+/// Failures carry the byte offset and 1-based line/column of the
+/// offending token so tools can render caret diagnostics.
 struct ParseResult {
   std::unique_ptr<Program> Prog;
   std::string Error;
+  /// Byte offset of the error in the source (npos on success).
+  size_t ErrorOffset = std::string::npos;
+  /// 1-based error position (0 on success).
+  int ErrorLine = 0;
+  int ErrorCol = 0;
 
   explicit operator bool() const { return Prog != nullptr; }
 };
+
+/// 1-based (line, column) of byte \p Offset in \p Source.  Offsets past
+/// the end clamp to the position just after the last character.
+std::pair<int, int> lineColAt(const std::string &Source, size_t Offset);
 
 /// Declared program inputs, in order.
 using InputDecls = std::vector<std::pair<std::string, TensorType>>;

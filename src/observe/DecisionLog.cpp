@@ -25,6 +25,8 @@ const char *DecisionLog::toString(Outcome O) {
     return "pruned-error";
   case Outcome::NoSolution:
     return "no-solution";
+  case Outcome::PrunedAnalysis:
+    return "pruned-analysis";
   case Outcome::BudgetStop:
     return "budget-stop";
   case Outcome::Explored:

@@ -50,6 +50,10 @@ public:
     PrunedError,
     /// The hole solver found no representable solution (benign miss).
     NoSolution,
+    /// The static analysis oracle proved the (sketch, spec) pair
+    /// infeasible before the solver ran (sign/degree disjointness; see
+    /// analysis/PruningOracle.h).
+    PrunedAnalysis,
     /// The resource budget latched; the enclosing loop unwound here.
     BudgetStop,
     /// The branch was recursed into but produced no improvement.

@@ -6,10 +6,14 @@
 
 #include "synth/BottomUpSynthesizer.h"
 
+#include "analysis/AbstractInterpreter.h"
+#include "analysis/ExprSign.h"
 #include "dsl/Printer.h"
 #include "observe/Trace.h"
 #include "support/Budget.h"
 #include "support/Timer.h"
+
+#include <set>
 
 using namespace stenso;
 using namespace stenso::synth;
@@ -77,16 +81,65 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
   SymTensor Phi = std::move(*MaybePhi);
   SpecKey PhiKey{Phi.getShape(), Phi.getDType(), Phi.getElements()};
 
+  // Phi-side facts for the final-depth static prunes: the exact input
+  // support of the spec (from its symbols) and per-element sign sets.
+  std::set<std::string> PhiSupport;
+  std::vector<analysis::SignSet> PhiSigns;
+  if (Config.UseAnalysisPruning) {
+    analysis::ExprAnalyzer PhiAnalyzer;
+    for (const sym::Expr *E : Phi.getElements()) {
+      for (const sym::SymbolExpr *S : sym::collectSymbols(E))
+        PhiSupport.insert(S->getTensorName().empty() ? S->getName()
+                                                     : S->getTensorName());
+      PhiSigns.push_back(PhiAnalyzer.analyze(E).Sign);
+    }
+  }
+
   Program Arena;
+  analysis::AbstractInterpreter AbsInterp(Arena);
   std::vector<Entry> Entries;
   std::unordered_map<SpecKey, size_t, SpecKeyHash> BySpec;
 
   const Node *BestTree = nullptr;
   double BestCost = Result.OriginalCost;
 
+  int CurDepth = 0;
   auto AddCandidate = [&](const Node *Root) {
     if (!Root)
       return;
+    // Final-depth candidates can no longer feed deeper programs, so a
+    // static proof that their spec differs from Phi makes both the
+    // symbolic execution and the table insertion pointless.  Sound for
+    // the search result — such candidates could only ever lose the
+    // Key == PhiKey test below; only the enumerated-program count and
+    // the MaxPrograms consumption change (DESIGN.md §10).
+    if (Config.UseAnalysisPruning && CurDepth >= Config.MaxDepth) {
+      if (!(Root->getType().TShape == Phi.getShape()) ||
+          Root->getType().Dtype != Phi.getDType()) {
+        ++Result.Stats.AnalysisPrunedShape;
+        ++Result.Stats.PrunedByAnalysis;
+        return;
+      }
+      const analysis::AbstractValue &V = AbsInterp.analyze(Root);
+      // Phi mentions an input the candidate provably never reads.
+      if (!std::includes(V.Support.begin(), V.Support.end(),
+                         PhiSupport.begin(), PhiSupport.end())) {
+        ++Result.Stats.AnalysisPrunedSupport;
+        ++Result.Stats.PrunedByAnalysis;
+        return;
+      }
+      // Some Phi element's sign set is disjoint from the candidate's
+      // (both sides total: non-top sets only — ExprSign.h contract).
+      if (!V.Suspect && !V.Sign.isTop()) {
+        for (analysis::SignSet S : PhiSigns) {
+          if (!S.isTop() && analysis::SignSet::disjoint(V.Sign, S)) {
+            ++Result.Stats.AnalysisPrunedSign;
+            ++Result.Stats.PrunedByAnalysis;
+            return;
+          }
+        }
+      }
+    }
     ++Result.Stats.DfsCalls; // reused as "programs enumerated"
     // Candidates whose spec fails to compute are pruned, not fatal.
     RecoverableErrorScope Scope;
@@ -125,6 +178,7 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
   size_t LevelBegin = 0;
   bool Exhausted = false;
   for (int Depth = 1; Depth <= Config.MaxDepth && !Exhausted; ++Depth) {
+    CurDepth = Depth;
     size_t LevelEnd = Entries.size();
     auto Expired = [&] {
       if (!Budget.checkpoint() || Entries.size() >= Config.MaxPrograms) {

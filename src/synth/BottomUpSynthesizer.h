@@ -31,6 +31,13 @@ struct BottomUpConfig {
   int MaxDepth = 4;
   /// Hard cap on retained distinct programs.
   size_t MaxPrograms = 500000;
+  /// Static analysis prunes at the final enumeration depth (candidates
+  /// that can no longer feed deeper programs and whose type, input
+  /// support, or sign provably differs from the target's are dropped
+  /// before their symbolic execution).  Sound for the search result; the
+  /// enumerated-program count and MaxPrograms consumption change (see
+  /// DESIGN.md §10).
+  bool UseAnalysisPruning = true;
   /// Grammar restriction; empty = SketchLibrary::defaultOps().
   std::vector<dsl::OpKind> Ops;
 };

@@ -42,9 +42,11 @@ SketchLibrary::SketchLibrary(const Program &Clamped, sym::ExprContext &Ctx,
                              const symexec::SymBinding &Bindings,
                              const CostModel &Model, const ShapeScaler &Scaler,
                              Config C, ResourceBudget *Budget)
-    : Ctx(Ctx), Bindings(Bindings), Budget(Budget) {
+    : Ctx(Ctx), Bindings(Bindings), Budget(Budget),
+      Reach(analysis::TypeReachability::forProgram(Clamped)) {
   if (C.Ops.empty())
     C.Ops = defaultOps();
+  Cfg = C;
   {
     STENSO_TRACE_NAMED_SPAN(Span, "library", "enumerate_stubs");
     enumerateStubs(Clamped, Model, Scaler, C);
@@ -66,6 +68,16 @@ void SketchLibrary::addCandidate(const Node *Root, int Depth,
     return;
   if (Budget && !Budget->checkpoint())
     return;
+  // Shape-reachability prune: every spec the search can query has the
+  // root's type, an input's type, or the f64 scalar type.  A final-depth
+  // stub of any other type is not composed further and cannot match any
+  // query, so its (expensive) symbolic trace is pure waste.  Shallower
+  // stubs are kept: deeper candidates are built from them.
+  if (Cfg.AnalysisPruning && Depth >= Cfg.MaxDepth &&
+      !Reach.mayMatch(Root->getType())) {
+    ++ShapePruned;
+    return;
+  }
   ++CandidatesTried;
   // A candidate that overflows Rational arithmetic (or trips an injected
   // tensor-op fault) while being specced is not library-worthy; skip it
@@ -280,6 +292,15 @@ void SketchLibrary::makeSketches(const CostModel &Model,
       break;
     if (S.Depth == 0)
       continue; // a bare hole is not a useful sketch
+    // Shape-reachability prune: getSketchesFor is only ever queried with
+    // reachable (shape, dtype) pairs, so sketches of any other type
+    // would sit in the library unread.  (Final-depth stubs of such types
+    // were already skipped; this catches the shallower ones kept for
+    // composition.)
+    if (Cfg.AnalysisPruning && !Reach.mayMatch(S.Root->getType())) {
+      ++ShapePruned;
+      continue;
+    }
     std::vector<std::vector<size_t>> Paths;
     std::vector<size_t> Prefix;
     collectLeafPaths(S.Root, Prefix, Paths);
@@ -375,6 +396,15 @@ void SketchLibrary::makeSketches(const CostModel &Model,
     Names.erase(Sk.Hole->getName());
     Sk.ConcreteTensors.assign(Names.begin(), Names.end());
     std::sort(Sk.ConcreteTensors.begin(), Sk.ConcreteTensors.end());
+    // Abstract signature for the search's oracle: hole symbols analyze
+    // as top/suspect, so only the hole-free template elements (triu/tril
+    // zeros, where/stack other-operand elements, concrete constants)
+    // carry information.  Left at the default all-top when pruning is
+    // off, which makes the oracle a no-op.
+    if (Cfg.AnalysisPruning) {
+      analysis::ExprAnalyzer Analyzer(Sk.HoleSymbols.getElements());
+      Sk.Signature = analysis::computeTensorAbstract(Sk.Template, Analyzer);
+    }
   }
   for (const Sketch &Sk : Sketches)
     SketchesByShape[SpecKey{Sk.Template.getShape(), Sk.Template.getDType(), {}}]

@@ -20,6 +20,7 @@
 #ifndef STENSO_SYNTH_SKETCHLIBRARY_H
 #define STENSO_SYNTH_SKETCHLIBRARY_H
 
+#include "analysis/PruningOracle.h"
 #include "dsl/Node.h"
 #include "support/Budget.h"
 #include "symexec/SymbolicExecutor.h"
@@ -58,6 +59,11 @@ struct Sketch {
   /// sorted.  Precomputed so the search's subset filter is a read-only
   /// scan, shareable across worker threads.
   std::vector<std::string> ConcreteTensors;
+  /// Per-element abstract signature of Template with the hole symbols at
+  /// top (analysis/PruningOracle.h).  Computed once at library build;
+  /// read-only afterwards, shareable across workers.  Left all-top when
+  /// analysis pruning is disabled.
+  analysis::TensorAbstract Signature;
 };
 
 /// Hash/equality over (shape, dtype, interned element pointers).
@@ -88,6 +94,14 @@ public:
     bool FullCombination = false;
     /// Grammar restriction; empty = the full default operation set.
     std::vector<dsl::OpKind> Ops;
+    /// Static shape-reachability pruning + sketch signature computation
+    /// (analysis/PruningOracle.h).  Skips the symbolic execution of
+    /// final-depth stubs and of sketches whose result type no query of
+    /// this search can have; sound because such candidates can never
+    /// match or solve anything (the skipped entries are unreachable, so
+    /// the search outcome is identical — only NumStubs/NumSketches and
+    /// the node budget consumption change).
+    bool AnalysisPruning = true;
   };
 
   /// Enumerates the library for \p Clamped (the reduced-shape program).
@@ -126,6 +140,10 @@ public:
   /// error (arithmetic overflow, injected fault, ...).
   int64_t getNumCandidatesFailed() const { return CandidatesFailed; }
 
+  /// Candidates skipped by the shape-reachability domain (final-depth
+  /// stubs and sketches whose type no query can have).
+  int64_t getNumShapePruned() const { return ShapePruned; }
+
 private:
   void enumerateStubs(const dsl::Program &Clamped, const CostModel &Model,
                       const ShapeScaler &Scaler, const Config &C);
@@ -139,6 +157,9 @@ private:
   const symexec::SymBinding &Bindings;
   ResourceBudget *Budget = nullptr;
   dsl::Program Arena;
+  Config Cfg;
+  /// Types a query spec of this search can have (root, inputs, scalar).
+  analysis::TypeReachability Reach;
 
   std::vector<Stub> Stubs;
   std::vector<Sketch> Sketches;
@@ -155,6 +176,7 @@ private:
       SketchesByShape;
   int64_t CandidatesTried = 0;
   int64_t CandidatesFailed = 0;
+  int64_t ShapePruned = 0;
 };
 
 } // namespace synth

@@ -6,6 +6,7 @@
 
 #include "synth/Synthesizer.h"
 
+#include "analysis/PruningOracle.h"
 #include "dsl/Printer.h"
 #include "observe/DecisionLog.h"
 #include "observe/Metrics.h"
@@ -154,6 +155,32 @@ public:
                                Config.DecisionsTag);
   }
 
+  /// The static oracle's per-pair check (analysis/PruningOracle.h): can
+  /// the sketch's template ever produce \p Phi?  Returns the domain that
+  /// proves it cannot, or None.  \p PhiSig is the caller's per-level
+  /// cache of the spec-side signature, filled on the first sketch that
+  /// needs it (one dfs level queries many sketches against one Phi; a
+  /// pointer-keyed cache would be wrong — spec temporaries of successive
+  /// loop iterations can reuse a stack address).
+  analysis::PruneDomain
+  oracleRejects(const Sketch &Sk, const SymTensor &Phi,
+                std::optional<analysis::TensorAbstract> &PhiSig) {
+    if (!Config.UseAnalysisPruning || Sk.Signature.AllTop)
+      return analysis::PruneDomain::None;
+    if (!PhiSig)
+      PhiSig = analysis::computeTensorAbstract(Phi, SpecAnalyzer);
+    return analysis::oracleRejects(Sk.Signature, *PhiSig);
+  }
+
+  /// Books one oracle rejection into the per-domain counters.
+  void countAnalysisPrune(analysis::PruneDomain D) {
+    ++Stats.PrunedByAnalysis;
+    if (D == analysis::PruneDomain::Sign)
+      ++Stats.AnalysisPrunedSign;
+    else if (D == analysis::PruneDomain::Degree)
+      ++Stats.AnalysisPrunedDegree;
+  }
+
   /// Algorithm 2.  \p CostSoFar is the concrete cost accumulated by
   /// enclosing sketches; \p CostMin is the branch-and-bound incumbent
   /// (pass-by-reference as in the paper).
@@ -198,6 +225,7 @@ public:
 
     double PhiComplexity = specComplexity(Phi);
     std::unordered_set<std::string> PhiTensors = tensorNamesOf(Phi);
+    std::optional<analysis::TensorAbstract> PhiSig;
     for (const Sketch *SkPtr :
          Library.getSketchesFor(Phi.getShape(), Phi.getDType())) {
       const Sketch &Sk = *SkPtr;
@@ -217,6 +245,14 @@ public:
           prunes(CostSoFar + Sk.ConcreteCost, CostMin)) {
         ++Stats.PrunedByCost;
         decide(SkIdx, Level, bound(CostMin), Decision::PrunedCost);
+        continue;
+      }
+
+      // Static oracle: provably-infeasible pairs skip the solver.
+      if (analysis::PruneDomain D = oracleRejects(Sk, Phi, PhiSig);
+          D != analysis::PruneDomain::None) {
+        countAnalysisPrune(D);
+        decide(SkIdx, Level, bound(CostMin), Decision::PrunedAnalysis);
         continue;
       }
 
@@ -292,6 +328,11 @@ private:
   ResourceBudget &Budget;
   Program &Arena;
   std::atomic<double> *SharedBound;
+  /// Spec-side analyzer (no top symbols: query-spec symbols are the
+  /// strictly positive inputs).  Memoizes per interned sym::Expr node,
+  /// which is safe across specs — expressions are immutable and live in
+  /// the run's shared ExprContext for the whole search.
+  analysis::ExprAnalyzer SpecAnalyzer;
 };
 
 /// The sketch-level parallel engine: each eligible top-level sketch
@@ -378,6 +419,13 @@ struct ParallelSearch {
         Decide(SkIdx, Driver.bound(LocalMin), Decision::PrunedCost);
         return;
       }
+      std::optional<analysis::TensorAbstract> PhiSig;
+      if (analysis::PruneDomain D = Driver.oracleRejects(Sk, Phi, PhiSig);
+          D != analysis::PruneDomain::None) {
+        Driver.countAnalysisPrune(D);
+        Decide(SkIdx, Driver.bound(LocalMin), Decision::PrunedAnalysis);
+        return;
+      }
       ++Out.Stats.SolverCalls;
       Expected<SymTensor> HoleSpec = Solver.solve(Sk, Phi);
       if (!HoleSpec) {
@@ -424,6 +472,9 @@ struct ParallelSearch {
       Stats.PrunedByCost += Out.Stats.PrunedByCost;
       Stats.PrunedBySimplification += Out.Stats.PrunedBySimplification;
       Stats.PrunedByError += Out.Stats.PrunedByError;
+      Stats.PrunedByAnalysis += Out.Stats.PrunedByAnalysis;
+      Stats.AnalysisPrunedSign += Out.Stats.AnalysisPrunedSign;
+      Stats.AnalysisPrunedDegree += Out.Stats.AnalysisPrunedDegree;
       Stats.SolverCalls += Out.Stats.SolverCalls;
       Stats.SolverSuccesses += Out.Stats.SolverSuccesses;
       if (Out.Cand && (!Best || Out.Cand->Cost < Best->Cost))
@@ -490,8 +541,10 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
   std::optional<SketchLibrary> LibraryStorage;
   {
     STENSO_TRACE_NAMED_SPAN(LibSpan, "synth", "library");
-    LibraryStorage.emplace(Clamped, Ctx, Bindings, *Model, Scaler,
-                           Config.Library, &Budget);
+    SketchLibrary::Config LibCfg = Config.Library;
+    LibCfg.AnalysisPruning = Config.UseAnalysisPruning;
+    LibraryStorage.emplace(Clamped, Ctx, Bindings, *Model, Scaler, LibCfg,
+                           &Budget);
     LibSpan.arg("stubs", LibraryStorage->getStubs().size());
     LibSpan.arg("sketches", LibraryStorage->getSketches().size());
   }
@@ -499,6 +552,8 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
   Result.Stats.NumStubs = Library.getStubs().size();
   Result.Stats.NumSketches = Library.getSketches().size();
   Result.Stats.PrunedByError += Library.getNumCandidatesFailed();
+  Result.Stats.AnalysisPrunedShape = Library.getNumShapePruned();
+  Result.Stats.PrunedByAnalysis += Result.Stats.AnalysisPrunedShape;
 
   HoleSolver Solver(Ctx, Bindings);
   Solver.setBudget(&Budget);
@@ -568,6 +623,10 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     M.counter("synth.prune.cost").add(S.PrunedByCost);
     M.counter("synth.prune.simplify").add(S.PrunedBySimplification);
     M.counter("synth.prune.error").add(S.PrunedByError);
+    M.counter("synth.prune.analysis").add(S.PrunedByAnalysis);
+    M.counter("synth.prune.analysis.sign").add(S.AnalysisPrunedSign);
+    M.counter("synth.prune.analysis.degree").add(S.AnalysisPrunedDegree);
+    M.counter("synth.prune.analysis.shape").add(S.AnalysisPrunedShape);
     M.counter("holesolver.calls").add(S.SolverCalls);
     M.counter("holesolver.cache.hit").add(S.SolverCacheHits);
     M.counter("holesolver.cache.miss").add(S.SolverCacheMisses);

@@ -41,6 +41,14 @@ struct SynthesisConfig {
   std::string CostModelName = "flops";
   /// Disable for the simplification-only ablation of Fig. 5.
   bool UseBranchAndBound = true;
+  /// The static analysis oracle (analysis/PruningOracle.h): shape
+  /// reachability at library build plus sign/degree disjointness before
+  /// each solver call.  Sound — the oracle only rejects (sketch, spec)
+  /// pairs the solver would fail on anyway, so the synthesized program,
+  /// cost, and AbortReason are identical with it on or off (DESIGN.md
+  /// §10 for the argument and the budget-boundary caveats).  Escape
+  /// hatch: stenso-opt --no-analysis-pruning.
+  bool UseAnalysisPruning = true;
   /// Wall-clock budget; <= 0 means unlimited.  The paper's evaluation
   /// uses 600 s.
   double TimeoutSeconds = 600;
@@ -80,6 +88,15 @@ struct SynthesisStats {
   /// Candidate branches abandoned because evaluation raised a
   /// recoverable error (overflow, injected fault, ...).
   int64_t PrunedByError = 0;
+  /// Candidates rejected by the static analysis oracle before any
+  /// solver/symexec work (sum of the per-domain counters below).
+  int64_t PrunedByAnalysis = 0;
+  int64_t AnalysisPrunedSign = 0;
+  int64_t AnalysisPrunedDegree = 0;
+  int64_t AnalysisPrunedShape = 0;
+  /// Variable-support prunes (bottom-up engine only; the DFS engine's
+  /// support filter predates the oracle and is counted separately).
+  int64_t AnalysisPrunedSupport = 0;
   int64_t SolverCalls = 0;
   int64_t SolverSuccesses = 0;
   size_t NumStubs = 0;

@@ -378,11 +378,14 @@ TEST(RobustnessTest, ParallelSynthesisDegradesUnderFaultsLikeSequential) {
     // concurrency — a racy counter would double-count (or drop) prunes.
     // The engines split the branches differently (sequential's `>=` cost
     // prune cuts equal-cost branches before the solver; parallel's
-    // strict `>` lets them reach the solver, where they fault), but with
-    // every solve failing each branch lands in exactly one of the two
-    // counters, so the sum is engine-invariant.
-    EXPECT_EQ(Parallel.Stats.PrunedByError + Parallel.Stats.PrunedByCost,
-              Sequential.Stats.PrunedByError + Sequential.Stats.PrunedByCost)
+    // strict `>` lets them reach the analysis oracle and then the
+    // solver, where they fault), but with every solve failing each
+    // branch lands in exactly one of the three counters — cost,
+    // analysis, or error — so the sum is engine-invariant.
+    EXPECT_EQ(Parallel.Stats.PrunedByError + Parallel.Stats.PrunedByCost +
+                  Parallel.Stats.PrunedByAnalysis,
+              Sequential.Stats.PrunedByError + Sequential.Stats.PrunedByCost +
+                  Sequential.Stats.PrunedByAnalysis)
         << Source;
     // And the parallel run is repeatable, not merely plausible.
     SynthesisResult Again = RunWith(4);

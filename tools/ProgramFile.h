@@ -1,0 +1,143 @@
+//===- ProgramFile.h - Shared .stenso program-file loader ------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `.stenso` program-file format shared by the command-line tools
+/// (stenso-opt, stenso-lint):
+///
+///   # comment lines start with '#'
+///   input A f64[96,96]
+///   input B f64[96,96]
+///   scale 96 4096          # optional search->production extent mapping
+///   np.diag(np.dot(A, B))
+///
+/// Header-only so the tools stay single-translation-unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_TOOLS_PROGRAMFILE_H
+#define STENSO_TOOLS_PROGRAMFILE_H
+
+#include "dsl/Parser.h"
+#include "support/StringUtils.h"
+#include "synth/CostModel.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace stenso {
+namespace tools {
+
+struct ProgramFile {
+  dsl::InputDecls Inputs;
+  synth::ShapeScaler Scaler;
+  std::string Source;
+};
+
+/// Parses "f64[4,4]", "bool[8]", "f64" (scalar).
+inline bool parseTypeSpec(const std::string &Spec, dsl::TensorType &Out,
+                          std::string &Error) {
+  size_t Bracket = Spec.find('[');
+  std::string DtypeName = Spec.substr(0, Bracket);
+  if (DtypeName == "f64")
+    Out.Dtype = DType::Float64;
+  else if (DtypeName == "bool")
+    Out.Dtype = DType::Bool;
+  else {
+    Error = "unknown dtype '" + DtypeName + "' (use f64 or bool)";
+    return false;
+  }
+  std::vector<int64_t> Dims;
+  if (Bracket != std::string::npos) {
+    if (Spec.back() != ']') {
+      Error = "missing ']' in type '" + Spec + "'";
+      return false;
+    }
+    std::string Body = Spec.substr(Bracket + 1, Spec.size() - Bracket - 2);
+    std::istringstream SS(Body);
+    std::string Piece;
+    while (std::getline(SS, Piece, ',')) {
+      std::optional<int64_t> Dim = parseInt64(Piece);
+      if (!Dim || *Dim < 0) {
+        Error = "bad dimension '" + Piece + "' in type '" + Spec + "'";
+        return false;
+      }
+      Dims.push_back(*Dim);
+    }
+  }
+  Out.TShape = Shape(Dims);
+  return true;
+}
+
+inline bool loadProgramFile(const std::string &Path, ProgramFile &Out,
+                            std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Line;
+  std::string Expression;
+  while (std::getline(In, Line)) {
+    // Trim.
+    size_t Begin = Line.find_first_not_of(" \t");
+    if (Begin == std::string::npos)
+      continue;
+    size_t End = Line.find_last_not_of(" \t\r");
+    Line = Line.substr(Begin, End - Begin + 1);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+
+    std::istringstream SS(Line);
+    std::string Keyword;
+    SS >> Keyword;
+    if (Keyword == "input") {
+      std::string Name, Spec;
+      SS >> Name >> Spec;
+      dsl::TensorType Type;
+      if (Name.empty() || Spec.empty() || !parseTypeSpec(Spec, Type, Error)) {
+        if (Error.empty())
+          Error = "malformed input line: " + Line;
+        return false;
+      }
+      Out.Inputs.emplace_back(Name, Type);
+      continue;
+    }
+    if (Keyword == "scale") {
+      int64_t Small = 0, Full = 0;
+      SS >> Small >> Full;
+      if (Small <= 0 || Full <= 0) {
+        Error = "malformed scale line: " + Line;
+        return false;
+      }
+      auto Existing = Out.Scaler.getMappings().find(Small);
+      if (Existing != Out.Scaler.getMappings().end() &&
+          Existing->second != Full) {
+        Error = "conflicting scale lines for extent " + std::to_string(Small);
+        return false;
+      }
+      Out.Scaler.addMapping(Small, Full);
+      continue;
+    }
+    // Everything else is (part of) the expression.
+    if (!Expression.empty())
+      Expression += " ";
+    Expression += Line;
+  }
+  if (Expression.empty()) {
+    Error = "no expression found in '" + Path + "'";
+    return false;
+  }
+  Out.Source = Expression;
+  return true;
+}
+
+} // namespace tools
+} // namespace stenso
+
+#endif // STENSO_TOOLS_PROGRAMFILE_H

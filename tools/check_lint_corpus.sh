@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs stenso-lint over the malformed-program corpus and asserts that
+# every file (a) exits nonzero and (b) reports at least one *spanned*
+# diagnostic (a "line:col:" location prefix), so regressions in either
+# the checks or the parser's span tracking fail the suite.
+#
+# Usage: check_lint_corpus.sh <stenso-lint-binary> <corpus-dir>
+set -u
+
+LINT="${1:?usage: check_lint_corpus.sh <stenso-lint-binary> <corpus-dir>}"
+CORPUS="${2:?usage: check_lint_corpus.sh <stenso-lint-binary> <corpus-dir>}"
+
+if [ ! -x "$LINT" ]; then
+  echo "check_lint_corpus: '$LINT' is not executable" >&2
+  exit 1
+fi
+
+shopt -s nullglob
+FILES=("$CORPUS"/*.stenso)
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "check_lint_corpus: no .stenso files under '$CORPUS'" >&2
+  exit 1
+fi
+
+FAILURES=0
+for FILE in "${FILES[@]}"; do
+  OUT="$("$LINT" --program "$FILE" 2>&1)"
+  STATUS=$?
+  if [ "$STATUS" -eq 0 ]; then
+    echo "FAIL $FILE: expected nonzero exit, got 0" >&2
+    echo "$OUT" | sed 's/^/  | /' >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  if ! echo "$OUT" | grep -Eq '^[0-9]+:[0-9]+: (error|warning|note):'; then
+    echo "FAIL $FILE: no spanned (line:col:) diagnostic in output" >&2
+    echo "$OUT" | sed 's/^/  | /' >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  echo "ok $FILE (exit $STATUS)"
+done
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "check_lint_corpus: $FAILURES file(s) failed" >&2
+  exit 1
+fi
+echo "check_lint_corpus: all ${#FILES[@]} corpus files diagnosed with spans"

@@ -6,7 +6,7 @@
 #===----------------------------------------------------------------------===#
 #
 # The CI job matrix in one script: configures, builds, and tests the tree
-# in three configurations —
+# in four configurations —
 #
 #   release   plain RelWithDebInfo, full ctest suite
 #   asan      STENSO_SANITIZE=ON (ASan+UBSan), full ctest suite
@@ -14,10 +14,13 @@
 #             the parallel-search surface (ThreadPool, the shared-state
 #             hammers, the parallel differential/robustness cases), since
 #             TSan slows the full suite ~10x for no extra race coverage
+#   lint      clang-tidy over the tree with the checks in .clang-tidy
+#             (configure-only: uses CMAKE_EXPORT_COMPILE_COMMANDS); the
+#             leg SKIPs — it does not fail — on hosts without clang-tidy
 #
 # Usage:
-#   tools/run_ctest_matrix.sh             # all three configurations
-#   tools/run_ctest_matrix.sh tsan        # just one (release|asan|tsan)
+#   tools/run_ctest_matrix.sh             # all four configurations
+#   tools/run_ctest_matrix.sh tsan        # just one (release|asan|tsan|lint)
 #
 # Each configuration builds into build-matrix-<name>/ so the matrix never
 # dirties the default build/ tree.  The script stops at the first failing
@@ -29,9 +32,32 @@ set -u
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
-CONFIGS=("${@:-release asan tsan}")
+CONFIGS=("${@:-release asan tsan lint}")
 # Word-split the default list when no argument was given.
-[ $# -eq 0 ] && CONFIGS=(release asan tsan)
+[ $# -eq 0 ] && CONFIGS=(release asan tsan lint)
+
+# clang-tidy over every first-party translation unit, against a
+# configure-only build tree's compile_commands.json.  Returns 77 (the
+# suite's skip convention) when clang-tidy is not installed.
+run_lint() {
+  local TIDY
+  TIDY="$(command -v clang-tidy || true)"
+  if [ -z "${TIDY}" ]; then
+    echo "=== [lint] clang-tidy not installed; skipping ==="
+    return 77
+  fi
+  local BUILD_DIR="build-matrix-lint"
+  echo "=== [lint] configure (compile_commands.json) ==="
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON || return 1
+  local FILES
+  FILES="$(git ls-files 'src/*.cpp' 'src/**/*.cpp' 'tools/*.cpp' \
+                        'bench/*.cpp' 'tests/*.cpp')"
+  [ -n "${FILES}" ] || { echo "no sources found" >&2; return 1; }
+  echo "=== [lint] clang-tidy (${JOBS} jobs) ==="
+  # xargs fans files out across cores; -quiet keeps output to findings.
+  echo "${FILES}" | xargs -P "${JOBS}" -n 8 \
+      "${TIDY}" -p "${BUILD_DIR}" -quiet || return 1
+}
 
 run_config() {
   local NAME="$1"
@@ -76,6 +102,20 @@ run_config() {
 STATUS=0
 SUMMARY=""
 for NAME in "${CONFIGS[@]}"; do
+  if [ "${NAME}" = "lint" ]; then
+    run_lint
+    RC=$?
+    if [ "${RC}" -eq 0 ]; then
+      SUMMARY+="lint: PASS"$'\n'
+    elif [ "${RC}" -eq 77 ]; then
+      SUMMARY+="lint: SKIP (clang-tidy not installed)"$'\n'
+    else
+      SUMMARY+="lint: FAIL"$'\n'
+      STATUS=1
+      break
+    fi
+    continue
+  fi
   if run_config "${NAME}"; then
     SUMMARY+="${NAME}: PASS"$'\n'
   else

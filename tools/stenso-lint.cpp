@@ -1,0 +1,115 @@
+//===- stenso-lint.cpp - Static diagnostics driver -------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end of the analysis layer's lint pass:
+///
+///   stenso-lint --program FILE [--json]
+///
+/// Parses the program file, runs the abstract-interpretation checks of
+/// analysis/Lint.h, and prints compiler-style diagnostics with a caret
+/// under the offending subexpression (or a JSON array with --json).
+///
+/// Exit status: 0 when the program is clean (notes only), 1 when any
+/// warning fired, 2 on a parse/load error.  Parse errors are themselves
+/// reported with the same line:column rendering, so every malformed file
+/// produces a spanned diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "dsl/Parser.h"
+
+#include "ProgramFile.h"
+
+#include <iostream>
+#include <string>
+
+using namespace stenso;
+
+namespace {
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: stenso-lint --program FILE [options]\n"
+        "\n"
+        "options:\n"
+        "  --program FILE   source program to check (required)\n"
+        "  --json           emit diagnostics as a JSON array on stdout\n"
+        "\n"
+        "exit status: 0 clean, 1 warnings found, 2 parse/load error\n";
+}
+
+int fail(const std::string &Message) {
+  std::cerr << "error: " << Message << "\n";
+  return 2;
+}
+
+/// Renders a parse error at its recorded position the way the lint
+/// renderer does, so syntax errors also come with a source line + caret.
+void printParseError(const std::string &Source, const dsl::ParseResult &R) {
+  analysis::LintDiagnostic D;
+  D.Severity = analysis::LintSeverity::Error;
+  D.Check = "parse-error";
+  D.Message = R.Error;
+  if (R.ErrorOffset != std::string::npos)
+    D.Span = dsl::SourceSpan{static_cast<int64_t>(R.ErrorOffset),
+                             static_cast<int64_t>(R.ErrorOffset)};
+  std::cerr << renderDiagnostic(Source, D);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string ProgramPath;
+  bool Json = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--program")
+      ProgramPath = I + 1 < Argc ? Argv[++I] : "";
+    else if (Arg == "--json")
+      Json = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else {
+      printUsage(std::cerr);
+      return fail("unknown option '" + Arg + "'");
+    }
+  }
+  if (ProgramPath.empty()) {
+    printUsage(std::cerr);
+    return fail("--program is required");
+  }
+
+  tools::ProgramFile File;
+  std::string Error;
+  if (!loadProgramFile(ProgramPath, File, Error))
+    return fail(Error);
+
+  dsl::ParseResult Parsed = dsl::parseProgram(File.Source, File.Inputs);
+  if (!Parsed) {
+    printParseError(File.Source, Parsed);
+    return 2;
+  }
+
+  std::vector<analysis::LintDiagnostic> Diags =
+      analysis::lintProgram(*Parsed.Prog);
+
+  if (Json) {
+    std::cout << analysis::diagnosticsToJson(File.Source, Diags) << "\n";
+  } else {
+    for (const analysis::LintDiagnostic &D : Diags)
+      std::cout << renderDiagnostic(File.Source, D);
+  }
+
+  int Warnings = 0, Notes = 0;
+  for (const analysis::LintDiagnostic &D : Diags)
+    (D.Severity == analysis::LintSeverity::Warning ? Warnings : Notes)++;
+  std::cerr << ProgramPath << ": " << Warnings << " warning(s), " << Notes
+            << " note(s)\n";
+  return Warnings > 0 ? 1 : 0;
+}

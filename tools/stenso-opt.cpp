@@ -38,6 +38,8 @@
 #include "support/TablePrinter.h"
 #include "synth/Synthesizer.h"
 
+#include "ProgramFile.h"
+
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -45,115 +47,10 @@
 
 using namespace stenso;
 using namespace stenso::dsl;
+using tools::ProgramFile;
+using tools::loadProgramFile;
 
 namespace {
-
-struct ProgramFile {
-  InputDecls Inputs;
-  synth::ShapeScaler Scaler;
-  std::string Source;
-};
-
-/// Parses "f64[4,4]", "bool[8]", "f64" (scalar).
-bool parseTypeSpec(const std::string &Spec, TensorType &Out,
-                   std::string &Error) {
-  size_t Bracket = Spec.find('[');
-  std::string DtypeName = Spec.substr(0, Bracket);
-  if (DtypeName == "f64")
-    Out.Dtype = DType::Float64;
-  else if (DtypeName == "bool")
-    Out.Dtype = DType::Bool;
-  else {
-    Error = "unknown dtype '" + DtypeName + "' (use f64 or bool)";
-    return false;
-  }
-  std::vector<int64_t> Dims;
-  if (Bracket != std::string::npos) {
-    if (Spec.back() != ']') {
-      Error = "missing ']' in type '" + Spec + "'";
-      return false;
-    }
-    std::string Body = Spec.substr(Bracket + 1,
-                                   Spec.size() - Bracket - 2);
-    std::istringstream SS(Body);
-    std::string Piece;
-    while (std::getline(SS, Piece, ',')) {
-      std::optional<int64_t> Dim = parseInt64(Piece);
-      if (!Dim || *Dim < 0) {
-        Error = "bad dimension '" + Piece + "' in type '" + Spec + "'";
-        return false;
-      }
-      Dims.push_back(*Dim);
-    }
-  }
-  Out.TShape = Shape(Dims);
-  return true;
-}
-
-bool loadProgramFile(const std::string &Path, ProgramFile &Out,
-                     std::string &Error) {
-  std::ifstream In(Path);
-  if (!In) {
-    Error = "cannot open '" + Path + "'";
-    return false;
-  }
-  std::string Line;
-  std::string Expression;
-  while (std::getline(In, Line)) {
-    // Trim.
-    size_t Begin = Line.find_first_not_of(" \t");
-    if (Begin == std::string::npos)
-      continue;
-    size_t End = Line.find_last_not_of(" \t\r");
-    Line = Line.substr(Begin, End - Begin + 1);
-    if (Line.empty() || Line[0] == '#')
-      continue;
-
-    std::istringstream SS(Line);
-    std::string Keyword;
-    SS >> Keyword;
-    if (Keyword == "input") {
-      std::string Name, Spec;
-      SS >> Name >> Spec;
-      TensorType Type;
-      if (Name.empty() || Spec.empty() ||
-          !parseTypeSpec(Spec, Type, Error)) {
-        if (Error.empty())
-          Error = "malformed input line: " + Line;
-        return false;
-      }
-      Out.Inputs.emplace_back(Name, Type);
-      continue;
-    }
-    if (Keyword == "scale") {
-      int64_t Small = 0, Full = 0;
-      SS >> Small >> Full;
-      if (Small <= 0 || Full <= 0) {
-        Error = "malformed scale line: " + Line;
-        return false;
-      }
-      auto Existing = Out.Scaler.getMappings().find(Small);
-      if (Existing != Out.Scaler.getMappings().end() &&
-          Existing->second != Full) {
-        Error = "conflicting scale lines for extent " +
-                std::to_string(Small);
-        return false;
-      }
-      Out.Scaler.addMapping(Small, Full);
-      continue;
-    }
-    // Everything else is (part of) the expression.
-    if (!Expression.empty())
-      Expression += " ";
-    Expression += Line;
-  }
-  if (Expression.empty()) {
-    Error = "no expression found in '" + Path + "'";
-    return false;
-  }
-  Out.Source = Expression;
-  return true;
-}
 
 void printUsage(std::ostream &OS) {
   OS << "usage: stenso-opt --program FILE [options]\n"
@@ -169,6 +66,9 @@ void printUsage(std::ostream &OS) {
         "                          (default: 1; 0 = all hardware threads;\n"
         "                          any N returns the same program)\n"
         "  --no-branch-and-bound   disable cost pruning (ablation)\n"
+        "  --no-analysis-pruning   disable the static analysis oracle\n"
+        "                          (escape hatch; the oracle is sound, so\n"
+        "                          the result is identical either way)\n"
         "  --stats                 print search statistics\n"
         "  --stats-json FILE       write statistics + outcome as JSON\n"
         "  --trace FILE            record a Chrome/Perfetto trace_event\n"
@@ -228,6 +128,8 @@ int main(int Argc, char **Argv) {
       Config.Jobs = static_cast<int>(*Parsed);
     } else if (Arg == "--no-branch-and-bound")
       Config.UseBranchAndBound = false;
+    else if (Arg == "--no-analysis-pruning")
+      Config.UseAnalysisPruning = false;
     else if (Arg == "--rules_out")
       RulesOutPath = Value();
     else if (Arg == "--rules_in")
@@ -344,7 +246,10 @@ int main(int Argc, char **Argv) {
               << " solver=" << S.SolverSuccesses << "/" << S.SolverCalls
               << " pruned(cost)=" << S.PrunedByCost
               << " pruned(simplification)=" << S.PrunedBySimplification
-              << "\n";
+              << " pruned(analysis)=" << S.PrunedByAnalysis << "\n";
+    std::cerr << "analysis: sign=" << S.AnalysisPrunedSign
+              << " degree=" << S.AnalysisPrunedDegree
+              << " shape=" << S.AnalysisPrunedShape << "\n";
     std::cerr << "cache: solver hit/miss/evict=" << S.SolverCacheHits << "/"
               << S.SolverCacheMisses << "/" << S.SolverCacheEvictions
               << " intern nodes=" << S.InternedNodes
@@ -384,6 +289,10 @@ int main(int Argc, char **Argv) {
     Field("pruned_cost", S.PrunedByCost);
     Field("pruned_simplification", S.PrunedBySimplification);
     Field("pruned_error", S.PrunedByError);
+    Field("pruned_analysis", S.PrunedByAnalysis);
+    Field("analysis_pruned_sign", S.AnalysisPrunedSign);
+    Field("analysis_pruned_degree", S.AnalysisPrunedDegree);
+    Field("analysis_pruned_shape", S.AnalysisPrunedShape);
     Field("solver_calls", S.SolverCalls);
     Field("solver_successes", S.SolverSuccesses);
     Field("solver_cache_hits", S.SolverCacheHits);
