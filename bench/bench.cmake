@@ -24,6 +24,8 @@ stenso_add_report(bench_analysis_pruning)
 stenso_add_report(bench_egraph_vs_synthesis)
 target_link_libraries(bench_egraph_vs_synthesis PRIVATE stenso_egraph)
 stenso_add_report(bench_observe_overhead)
+stenso_add_report(bench_persist)
+target_link_libraries(bench_persist PRIVATE stenso_persist)
 
 add_executable(bench_microops ${CMAKE_SOURCE_DIR}/bench/bench_microops.cpp)
 set_target_properties(bench_microops PROPERTIES

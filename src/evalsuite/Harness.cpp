@@ -92,6 +92,8 @@ evalsuite::synthesizeSuite(const synth::SynthesisConfig &Config,
       RunConfig.SharedBudget = Options.GlobalBudget;
     if (Options.Decisions)
       RunConfig.Decisions = Options.Decisions;
+    if (Options.Store)
+      RunConfig.Store = Options.Store;
     return RunConfig;
   };
 

@@ -29,6 +29,10 @@ namespace observe {
 class DecisionLog;
 }
 
+namespace persist {
+class StensoStore;
+}
+
 namespace evalsuite {
 
 /// Synthesis outcome lifted to the benchmark's full shapes.
@@ -113,6 +117,12 @@ struct SuiteRunOptions {
   /// tagged with the benchmark name.  Must outlive the call; the caller
   /// serializes it (writeJsonl).
   observe::DecisionLog *Decisions = nullptr;
+  /// When set, every benchmark's synthesis shares this persistent store
+  /// (persist/StensoStore.h): hole solutions found for one benchmark —
+  /// or by a previous suite run — are served warm to the others, keyed
+  /// by full canonical content so cross-benchmark reuse is sound.  Must
+  /// outlive the call.
+  persist::StensoStore *Store = nullptr;
 };
 
 /// Runs STENSO on the whole suite, verifying every result.  \p Progress

@@ -33,6 +33,8 @@ const char *DecisionLog::toString(Outcome O) {
     return "explored";
   case Outcome::Accepted:
     return "accepted";
+  case Outcome::StoreDegraded:
+    return "store-degraded";
   }
   return "unknown";
 }

@@ -60,6 +60,10 @@ public:
     Explored,
     /// The branch completed a program that became the incumbent.
     Accepted,
+    /// The attached persistent store latched into degraded in-memory
+    /// mode during this run (repeated write failures); recorded once at
+    /// run end with the search outcome untouched.
+    StoreDegraded,
   };
   static const char *toString(Outcome O);
 

@@ -1,0 +1,65 @@
+//===- Checkpoint.cpp - Search checkpoint records --------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/Checkpoint.h"
+
+#include "persist/Wire.h"
+#include "persist/XXHash.h"
+
+using namespace stenso;
+using namespace stenso::persist;
+
+namespace {
+
+/// Payload layout version, independent of the store's segment format.
+constexpr uint8_t CheckpointVersion = 1;
+constexpr const char *KeyTag = "stenso-checkpoint";
+
+} // namespace
+
+uint64_t persist::programKey(const std::string &PrintedProgram,
+                             const std::string &ConfigSalt) {
+  uint64_t H = xxhash64(PrintedProgram.data(), PrintedProgram.size());
+  return xxhash64(ConfigSalt.data(), ConfigSalt.size(), H);
+}
+
+std::vector<uint8_t> persist::checkpointKey(uint64_t ProgramKey) {
+  ByteWriter W;
+  W.putString(KeyTag);
+  W.putU64(ProgramKey);
+  return W.takeBytes();
+}
+
+std::vector<uint8_t> persist::encodeCheckpoint(const SearchCheckpoint &C) {
+  ByteWriter W;
+  W.putU8(CheckpointVersion);
+  W.putU64(C.ProgramKey);
+  W.putU8(C.Final ? 1 : 0);
+  W.putF64(C.BestCost);
+  W.putString(C.BestProgram);
+  W.putU8(C.AbortCode);
+  W.putI64(C.SolverCalls);
+  W.putU64(C.FrontierDigest);
+  return W.takeBytes();
+}
+
+std::optional<SearchCheckpoint>
+persist::decodeCheckpoint(const std::vector<uint8_t> &Bytes) {
+  ByteReader R(Bytes);
+  if (R.getU8() != CheckpointVersion)
+    return std::nullopt;
+  SearchCheckpoint C;
+  C.ProgramKey = R.getU64();
+  C.Final = R.getU8() != 0;
+  C.BestCost = R.getF64();
+  C.BestProgram = R.getString();
+  C.AbortCode = R.getU8();
+  C.SolverCalls = R.getI64();
+  C.FrontierDigest = R.getU64();
+  if (!R.ok() || R.remaining() != 0)
+    return std::nullopt;
+  return C;
+}

@@ -1,0 +1,77 @@
+//===- Checkpoint.h - Search checkpoint records ----------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encoding of periodic search checkpoints stored alongside the solver
+/// cache in the persistent store.
+///
+/// Resume model (DESIGN.md §11): the hole-solver cache memoizes a pure
+/// function of the query, so a killed or budget-aborted search resumes by
+/// simply *rerunning* against the warm store — the search replays its own
+/// decisions, skips every already-solved hole, and lands on the
+/// bit-identical result the uninterrupted run would have produced.
+/// Checkpoints therefore never short-circuit the search; they record
+/// progress (best cost/program so far, solver calls, a frontier digest)
+/// keyed by the (program, config) identity, so tools can report "resuming
+/// run X, best so far Y" and tests can cross-check that a resumed search
+/// converged to what the checkpoint promised.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_PERSIST_CHECKPOINT_H
+#define STENSO_PERSIST_CHECKPOINT_H
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace persist {
+
+/// One checkpoint record: a snapshot of search progress, or (Final) the
+/// finished search's result.
+struct SearchCheckpoint {
+  /// Identity of the (program, result-relevant config) pair; see
+  /// programKey().
+  uint64_t ProgramKey = 0;
+  /// True when the search ran to completion with this outcome; false for
+  /// an in-flight progress snapshot.
+  bool Final = false;
+  /// Cost of the best rewrite found so far (+inf when none yet).
+  double BestCost = std::numeric_limits<double>::infinity();
+  /// Printed form of the best program so far (may be empty).
+  std::string BestProgram;
+  /// Numeric synth::AbortReason of a final record (0 = none).
+  uint8_t AbortCode = 0;
+  /// Solver calls charged when the snapshot was taken.
+  int64_t SolverCalls = 0;
+  /// Order-independent digest (XOR of key hashes) of the cache records
+  /// this run contributed — schedule-independent, diagnostic only.
+  uint64_t FrontierDigest = 0;
+};
+
+/// Identity of a search: hash of the printed input program plus a salt
+/// string covering every config knob that changes the result (cost model,
+/// pruning, depth, library).  Deliberately excludes Jobs — the
+/// determinism contract makes the result independent of parallelism.
+uint64_t programKey(const std::string &PrintedProgram,
+                    const std::string &ConfigSalt);
+
+/// Store key under which the checkpoint for \p ProgramKey lives.
+std::vector<uint8_t> checkpointKey(uint64_t ProgramKey);
+
+std::vector<uint8_t> encodeCheckpoint(const SearchCheckpoint &C);
+
+/// Returns std::nullopt on malformed or version-mismatched bytes.
+std::optional<SearchCheckpoint>
+decodeCheckpoint(const std::vector<uint8_t> &Bytes);
+
+} // namespace persist
+} // namespace stenso
+
+#endif // STENSO_PERSIST_CHECKPOINT_H

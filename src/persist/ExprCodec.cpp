@@ -1,0 +1,264 @@
+//===- ExprCodec.cpp - Symbolic expression (de)serialization --------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/ExprCodec.h"
+
+using namespace stenso;
+using namespace stenso::persist;
+using sym::Expr;
+
+namespace {
+
+/// Stream item tags: a node definition (payload follows) or a reference
+/// to an already-defined node (u32 index follows).
+constexpr uint8_t TagDefine = 1;
+constexpr uint8_t TagRef = 0;
+
+/// Stable on-disk kind numbering (independent of the in-memory enum
+/// order, which is free to change).
+uint8_t kindCode(Expr::Kind K) {
+  switch (K) {
+  case Expr::Kind::Constant:
+    return 0;
+  case Expr::Kind::Symbol:
+    return 1;
+  case Expr::Kind::Add:
+    return 2;
+  case Expr::Kind::Mul:
+    return 3;
+  case Expr::Kind::Pow:
+    return 4;
+  case Expr::Kind::Exp:
+    return 5;
+  case Expr::Kind::Log:
+    return 6;
+  case Expr::Kind::Max:
+    return 7;
+  case Expr::Kind::Less:
+    return 8;
+  case Expr::Kind::Select:
+    return 9;
+  }
+  return 0xFF;
+}
+
+/// Sanity bounds a corrupted buffer must not be able to blow past: a
+/// single record never legitimately holds this many operands, tensor
+/// elements, or name bytes.
+constexpr uint32_t MaxOperands = 1u << 20;
+constexpr uint32_t MaxNameBytes = 1u << 16;
+constexpr int64_t MaxTensorElements = 1 << 22;
+constexpr int64_t MaxTensorRank = 16;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+uint32_t ExprEncoder::define(const Expr *E) {
+  auto It = Index.find(E);
+  if (It != Index.end())
+    return It->second;
+  // Define operands first so references always point backwards.
+  std::vector<uint32_t> Ops;
+  Ops.reserve(E->getNumOperands());
+  for (const Expr *Op : E->getOperands())
+    Ops.push_back(define(Op));
+
+  W.putU8(TagDefine);
+  W.putU8(kindCode(E->getKind()));
+  if (const auto *C = dyn_cast<sym::ConstantExpr>(E)) {
+    W.putI64(C->getValue().getNumerator());
+    W.putI64(C->getValue().getDenominator());
+  } else if (const auto *S = dyn_cast<sym::SymbolExpr>(E)) {
+    W.putString(S->getName());
+    W.putString(S->getTensorName());
+    W.putU32(static_cast<uint32_t>(S->getIndices().size()));
+    for (int64_t I : S->getIndices())
+      W.putI64(I);
+  } else {
+    W.putU32(static_cast<uint32_t>(Ops.size()));
+    for (uint32_t Ref : Ops)
+      W.putU32(Ref);
+  }
+  uint32_t Id = static_cast<uint32_t>(Index.size());
+  Index.emplace(E, Id);
+  return Id;
+}
+
+void ExprEncoder::addExpr(const Expr *E) {
+  uint32_t Id = define(E);
+  W.putU8(TagRef);
+  W.putU32(Id);
+}
+
+void ExprEncoder::addTensor(const symexec::SymTensor &T) {
+  const Shape &S = T.getShape();
+  W.putU32(static_cast<uint32_t>(S.getRank()));
+  for (int64_t D : S.getDims())
+    W.putI64(D);
+  W.putU8(T.getDType() == DType::Bool ? 1 : 0);
+  for (const Expr *E : T.getElements())
+    addExpr(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Decoding
+//===----------------------------------------------------------------------===//
+
+const Expr *ExprDecoder::buildNode(uint8_t Kind) {
+  switch (Kind) {
+  case 0: { // Constant
+    int64_t Num = R.getI64();
+    int64_t Den = R.getI64();
+    if (!R.ok() || Den <= 0)
+      return nullptr;
+    return Ctx.constant(Rational(Num, Den));
+  }
+  case 1: { // Symbol
+    std::string Name = R.getString();
+    std::string TensorName = R.getString();
+    uint32_t N = R.getU32();
+    if (!R.ok() || Name.empty() || Name.size() > MaxNameBytes ||
+        N > MaxOperands)
+      return nullptr;
+    std::vector<int64_t> Indices;
+    Indices.reserve(N);
+    for (uint32_t I = 0; I < N; ++I)
+      Indices.push_back(R.getI64());
+    if (!R.ok())
+      return nullptr;
+    // Symbols are identified by name: if the name is already interned in
+    // this context (the expected case — solutions mention input symbols
+    // the run created), the existing node wins whatever the stored tags
+    // say.  A tag-mismatched record therefore cannot smuggle in a
+    // different symbol identity; at worst it decodes to a semantically
+    // wrong expression, which the caller's re-verification gate rejects.
+    return Ctx.symbol(Name, TensorName, std::move(Indices));
+  }
+  default: {
+    uint32_t N = R.getU32();
+    if (!R.ok() || N > MaxOperands)
+      return nullptr;
+    std::vector<const Expr *> Ops;
+    Ops.reserve(N);
+    for (uint32_t I = 0; I < N; ++I) {
+      uint32_t Ref = R.getU32();
+      if (!R.ok() || Ref >= Table.size())
+        return nullptr;
+      Ops.push_back(Table[Ref]);
+    }
+    switch (Kind) {
+    case 2:
+      return Ctx.add(std::move(Ops));
+    case 3:
+      return Ctx.mul(std::move(Ops));
+    case 4:
+      return N == 2 ? Ctx.pow(Ops[0], Ops[1]) : nullptr;
+    case 5:
+      return N == 1 ? Ctx.expOf(Ops[0]) : nullptr;
+    case 6:
+      return N == 1 ? Ctx.logOf(Ops[0]) : nullptr;
+    case 7:
+      return Ctx.max(std::move(Ops));
+    case 8:
+      return N == 2 ? Ctx.less(Ops[0], Ops[1]) : nullptr;
+    case 9:
+      return N == 3 ? Ctx.select(Ops[0], Ops[1], Ops[2]) : nullptr;
+    default:
+      return nullptr;
+    }
+  }
+  }
+}
+
+const Expr *ExprDecoder::readExpr() {
+  if (!ok())
+    return nullptr;
+  for (;;) {
+    uint8_t Tag = R.getU8();
+    if (!R.ok()) {
+      Ok = false;
+      return nullptr;
+    }
+    if (Tag == TagRef) {
+      uint32_t Id = R.getU32();
+      if (!R.ok() || Id >= Table.size()) {
+        Ok = false;
+        return nullptr;
+      }
+      return Table[Id];
+    }
+    if (Tag != TagDefine) {
+      Ok = false;
+      return nullptr;
+    }
+    uint8_t Kind = R.getU8();
+    const Expr *Node = R.ok() ? buildNode(Kind) : nullptr;
+    if (!Node) {
+      Ok = false;
+      return nullptr;
+    }
+    Table.push_back(Node);
+  }
+}
+
+std::optional<symexec::SymTensor> ExprDecoder::readTensor() {
+  if (!ok())
+    return std::nullopt;
+  uint32_t Rank = R.getU32();
+  if (!R.ok() || Rank > MaxTensorRank) {
+    Ok = false;
+    return std::nullopt;
+  }
+  std::vector<int64_t> Dims;
+  int64_t Elements = 1;
+  for (uint32_t I = 0; I < Rank; ++I) {
+    int64_t D = R.getI64();
+    if (!R.ok() || D < 0 || (D > 0 && Elements > MaxTensorElements / D)) {
+      Ok = false;
+      return std::nullopt;
+    }
+    Elements *= D;
+    Dims.push_back(D);
+  }
+  uint8_t DTypeCode = R.getU8();
+  if (!R.ok() || DTypeCode > 1) {
+    Ok = false;
+    return std::nullopt;
+  }
+  Shape S(std::move(Dims));
+  std::vector<const Expr *> Elems;
+  Elems.reserve(static_cast<size_t>(S.getNumElements()));
+  for (int64_t I = 0; I < S.getNumElements(); ++I) {
+    const Expr *E = readExpr();
+    if (!E)
+      return std::nullopt;
+    Elems.push_back(E);
+  }
+  return symexec::SymTensor(std::move(S), std::move(Elems),
+                            DTypeCode == 1 ? DType::Bool : DType::Float64);
+}
+
+//===----------------------------------------------------------------------===//
+// One-shot helpers
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> persist::encodeSymTensor(const symexec::SymTensor &T) {
+  ByteWriter W;
+  ExprEncoder Enc(W);
+  Enc.addTensor(T);
+  return W.takeBytes();
+}
+
+std::optional<symexec::SymTensor>
+persist::decodeSymTensor(const std::vector<uint8_t> &Bytes,
+                         sym::ExprContext &Ctx) {
+  ByteReader R(Bytes);
+  ExprDecoder Dec(R, Ctx);
+  return Dec.readTensor();
+}

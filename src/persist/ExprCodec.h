@@ -1,0 +1,95 @@
+//===- ExprCodec.h - Symbolic expression (de)serialization -----*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level serialization of interned sym::Expr DAGs and SymTensors for
+/// the persistent synthesis store.
+///
+/// Encoding walks the DAG once, numbering nodes in first-visit order and
+/// emitting each exactly once, so shared subexpressions stay shared on
+/// disk.  The encoding is a pure function of expression *structure*
+/// (kinds, constants, symbol names/tags, operand order) — never of
+/// pointer values or context-local ids — which is what makes serialized
+/// keys content-addressed: two runs producing the same canonical spec
+/// produce the same bytes.
+///
+/// Decoding rebuilds expressions through the ExprContext smart
+/// constructors.  Canonical forms are fixed points of canonicalization,
+/// so a round trip through the codec reproduces the identical interned
+/// node in any context; decoding never trusts the input — malformed
+/// buffers fail cleanly (and on top of that every positive solver-cache
+/// hit is re-verified against the live sketch before use).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_PERSIST_EXPRCODEC_H
+#define STENSO_PERSIST_EXPRCODEC_H
+
+#include "persist/Wire.h"
+#include "symexec/SymTensor.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace stenso {
+namespace persist {
+
+/// Streams expressions and tensors into one ByteWriter with a shared
+/// node table, so everything added through one encoder dedups against
+/// everything added before it.
+class ExprEncoder {
+public:
+  explicit ExprEncoder(ByteWriter &W) : W(W) {}
+
+  /// Emits \p E (defining unseen nodes first) followed by a reference.
+  void addExpr(const sym::Expr *E);
+
+  /// Emits shape + dtype + every element of \p T.
+  void addTensor(const symexec::SymTensor &T);
+
+private:
+  /// Emits node-definition records for \p E's unseen transitive closure
+  /// and returns \p E's table index.
+  uint32_t define(const sym::Expr *E);
+
+  ByteWriter &W;
+  std::unordered_map<const sym::Expr *, uint32_t> Index;
+};
+
+/// Decodes expressions written by an ExprEncoder, rebuilding them in
+/// \p Ctx.  All accessors return nullptr / empty on malformed input and
+/// latch ok() == false.
+class ExprDecoder {
+public:
+  ExprDecoder(ByteReader &R, sym::ExprContext &Ctx) : R(R), Ctx(Ctx) {}
+
+  bool ok() const { return Ok && R.ok(); }
+
+  /// Reads one expression (consuming any node definitions that precede
+  /// its reference).  Returns nullptr on malformed input.
+  const sym::Expr *readExpr();
+
+  /// Reads one tensor; returns std::nullopt on malformed input.
+  std::optional<symexec::SymTensor> readTensor();
+
+private:
+  const sym::Expr *buildNode(uint8_t Kind);
+
+  ByteReader &R;
+  sym::ExprContext &Ctx;
+  std::vector<const sym::Expr *> Table;
+  bool Ok = true;
+};
+
+/// One-shot helpers with a private node table.
+std::vector<uint8_t> encodeSymTensor(const symexec::SymTensor &T);
+std::optional<symexec::SymTensor>
+decodeSymTensor(const std::vector<uint8_t> &Bytes, sym::ExprContext &Ctx);
+
+} // namespace persist
+} // namespace stenso
+
+#endif // STENSO_PERSIST_EXPRCODEC_H

@@ -1,0 +1,125 @@
+//===- Wire.h - Little-endian byte-buffer codec ----------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level encoding the persistent store speaks: fixed-width
+/// little-endian integers and length-prefixed strings appended to a
+/// growable buffer, plus a bounds-checked reader.  The reader never
+/// aborts on malformed input — every accessor reports failure and latches
+/// it, so decoding a corrupted record degrades to "record unusable"
+/// instead of undefined behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_PERSIST_WIRE_H
+#define STENSO_PERSIST_WIRE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace persist {
+
+/// Appends little-endian primitives to an owned byte buffer.
+class ByteWriter {
+public:
+  void putU8(uint8_t V) { Buf.push_back(V); }
+  void putU32(uint32_t V) { putLE(&V, 4); }
+  void putU64(uint64_t V) { putLE(&V, 8); }
+  void putI64(int64_t V) { putU64(static_cast<uint64_t>(V)); }
+  void putF64(double V) { putLE(&V, 8); }
+
+  void putBytes(const void *Data, size_t Len) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    Buf.insert(Buf.end(), P, P + Len);
+  }
+
+  /// u32 length prefix + raw bytes.
+  void putString(const std::string &S) {
+    putU32(static_cast<uint32_t>(S.size()));
+    putBytes(S.data(), S.size());
+  }
+
+  const std::vector<uint8_t> &bytes() const { return Buf; }
+  std::vector<uint8_t> takeBytes() { return std::move(Buf); }
+  size_t size() const { return Buf.size(); }
+
+private:
+  void putLE(const void *P, size_t N) {
+    // Little-endian hosts only; the store format is explicitly LE and the
+    // repo targets x86-64/aarch64.
+    putBytes(P, N);
+  }
+
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked reader over a borrowed byte range.  The first failed
+/// read latches ok() == false and every subsequent accessor returns a
+/// zero value, so decoders can be written straight-line and check once.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Len) : P(Data), End(Data + Len) {}
+  explicit ByteReader(const std::vector<uint8_t> &Buf)
+      : ByteReader(Buf.data(), Buf.size()) {}
+
+  bool ok() const { return Ok; }
+  size_t remaining() const { return static_cast<size_t>(End - P); }
+
+  uint8_t getU8() {
+    uint8_t V = 0;
+    getLE(&V, 1);
+    return V;
+  }
+  uint32_t getU32() {
+    uint32_t V = 0;
+    getLE(&V, 4);
+    return V;
+  }
+  uint64_t getU64() {
+    uint64_t V = 0;
+    getLE(&V, 8);
+    return V;
+  }
+  int64_t getI64() { return static_cast<int64_t>(getU64()); }
+  double getF64() {
+    double V = 0;
+    getLE(&V, 8);
+    return V;
+  }
+
+  std::string getString() {
+    uint32_t Len = getU32();
+    if (!Ok || remaining() < Len) {
+      Ok = false;
+      return std::string();
+    }
+    std::string S(reinterpret_cast<const char *>(P), Len);
+    P += Len;
+    return S;
+  }
+
+private:
+  void getLE(void *Out, size_t N) {
+    if (!Ok || remaining() < N) {
+      Ok = false;
+      return;
+    }
+    std::memcpy(Out, P, N);
+    P += N;
+  }
+
+  const uint8_t *P;
+  const uint8_t *End;
+  bool Ok = true;
+};
+
+} // namespace persist
+} // namespace stenso
+
+#endif // STENSO_PERSIST_WIRE_H

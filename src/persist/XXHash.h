@@ -1,0 +1,119 @@
+//===- XXHash.h - xxHash64 checksums for the persistent store --*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained implementation of the XXH64 algorithm (public-domain
+/// specification by Yann Collet).  The persistent store stamps every
+/// record with xxh64(payload) so torn writes and bit flips are detected
+/// on recovery; tests reuse it to corrupt records surgically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_PERSIST_XXHASH_H
+#define STENSO_PERSIST_XXHASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace stenso {
+namespace persist {
+
+namespace xxh_detail {
+
+constexpr uint64_t Prime1 = 0x9E3779B185EBCA87ULL;
+constexpr uint64_t Prime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t Prime3 = 0x165667B19E3779F9ULL;
+constexpr uint64_t Prime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr uint64_t Prime5 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t rotl(uint64_t X, int R) {
+  return (X << R) | (X >> (64 - R));
+}
+
+inline uint64_t read64(const uint8_t *P) {
+  uint64_t V;
+  std::memcpy(&V, P, 8);
+  return V; // little-endian hosts only (the whole store format is LE)
+}
+
+inline uint32_t read32(const uint8_t *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return V;
+}
+
+inline uint64_t round64(uint64_t Acc, uint64_t Input) {
+  Acc += Input * Prime2;
+  Acc = rotl(Acc, 31);
+  return Acc * Prime1;
+}
+
+inline uint64_t mergeRound(uint64_t Acc, uint64_t Val) {
+  Acc ^= round64(0, Val);
+  return Acc * Prime1 + Prime4;
+}
+
+} // namespace xxh_detail
+
+/// XXH64 of \p Len bytes at \p Data with the given \p Seed.
+inline uint64_t xxhash64(const void *Data, size_t Len, uint64_t Seed = 0) {
+  using namespace xxh_detail;
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  const uint8_t *End = P + Len;
+  uint64_t H;
+
+  if (Len >= 32) {
+    uint64_t V1 = Seed + Prime1 + Prime2;
+    uint64_t V2 = Seed + Prime2;
+    uint64_t V3 = Seed;
+    uint64_t V4 = Seed - Prime1;
+    const uint8_t *Limit = End - 32;
+    do {
+      V1 = round64(V1, read64(P));
+      V2 = round64(V2, read64(P + 8));
+      V3 = round64(V3, read64(P + 16));
+      V4 = round64(V4, read64(P + 24));
+      P += 32;
+    } while (P <= Limit);
+    H = rotl(V1, 1) + rotl(V2, 7) + rotl(V3, 12) + rotl(V4, 18);
+    H = mergeRound(H, V1);
+    H = mergeRound(H, V2);
+    H = mergeRound(H, V3);
+    H = mergeRound(H, V4);
+  } else {
+    H = Seed + Prime5;
+  }
+
+  H += static_cast<uint64_t>(Len);
+  while (P + 8 <= End) {
+    H ^= round64(0, read64(P));
+    H = rotl(H, 27) * Prime1 + Prime4;
+    P += 8;
+  }
+  if (P + 4 <= End) {
+    H ^= static_cast<uint64_t>(read32(P)) * Prime1;
+    H = rotl(H, 23) * Prime2 + Prime3;
+    P += 4;
+  }
+  while (P < End) {
+    H ^= static_cast<uint64_t>(*P) * Prime5;
+    H = rotl(H, 11) * Prime1;
+    ++P;
+  }
+
+  H ^= H >> 33;
+  H *= Prime2;
+  H ^= H >> 29;
+  H *= Prime3;
+  H ^= H >> 32;
+  return H;
+}
+
+} // namespace persist
+} // namespace stenso
+
+#endif // STENSO_PERSIST_XXHASH_H

@@ -23,6 +23,24 @@ const char *stenso::toString(FaultSite Site) {
     return "tensor-op";
   case FaultSite::Verifier:
     return "verifier";
+  case FaultSite::StoreWrite:
+    return "store-write";
+  case FaultSite::StoreRead:
+    return "store-read";
+  case FaultSite::StoreFsync:
+    return "store-fsync";
+  }
+  return "unknown";
+}
+
+const char *stenso::toString(FaultMode Mode) {
+  switch (Mode) {
+  case FaultMode::Fail:
+    return "fail";
+  case FaultMode::ShortWrite:
+    return "short";
+  case FaultMode::BitFlip:
+    return "flip";
   }
   return "unknown";
 }
@@ -35,6 +53,16 @@ std::optional<FaultSite> siteByName(const std::string &Name) {
     if (Name == toString(Site))
       return Site;
   }
+  return std::nullopt;
+}
+
+std::optional<FaultMode> modeByName(const std::string &Name) {
+  if (Name == "fail")
+    return FaultMode::Fail;
+  if (Name == "short")
+    return FaultMode::ShortWrite;
+  if (Name == "flip")
+    return FaultMode::BitFlip;
   return std::nullopt;
 }
 
@@ -89,18 +117,19 @@ Status FaultInjector::configureLocked(const std::string &Spec) {
   std::string Entry;
   while (std::getline(SS, Entry, ',')) {
     std::istringstream ES(Entry);
-    std::string SiteName, RateText, SeedText;
+    std::string SiteName, RateText, SeedText, ModeText;
     if (!std::getline(ES, SiteName, ':') || !std::getline(ES, RateText, ':') ||
-        !std::getline(ES, SeedText))
+        !std::getline(ES, SeedText, ':'))
       return makeError(ErrC::InvalidArgument,
                        "fault spec '" + Entry +
-                           "' is not <site>:<rate>:<seed>");
+                           "' is not <site>:<rate>:<seed>[:<mode>]");
+    bool HasMode = static_cast<bool>(std::getline(ES, ModeText));
     std::optional<FaultSite> Site = siteByName(SiteName);
     if (!Site)
       return makeError(ErrC::InvalidArgument,
                        "unknown fault site '" + SiteName +
                            "' (use holesolver|symbolic-eval|tensor-op|"
-                           "verifier)");
+                           "verifier|store-write|store-read|store-fsync)");
     std::optional<double> Rate = parseRate(RateText);
     if (!Rate)
       return makeError(ErrC::InvalidArgument,
@@ -110,10 +139,17 @@ Status FaultInjector::configureLocked(const std::string &Spec) {
       return makeError(ErrC::InvalidArgument,
                        "fault seed '" + SeedText +
                            "' is not a non-negative integer");
+    std::optional<FaultMode> Mode =
+        HasMode ? modeByName(ModeText) : FaultMode::Fail;
+    if (!Mode)
+      return makeError(ErrC::InvalidArgument,
+                       "unknown fault mode '" + ModeText +
+                           "' (use fail|short|flip)");
     SiteState &State = Sites[static_cast<size_t>(*Site)];
     State.Armed = *Rate > 0;
     State.Rate = *Rate;
     State.Seed = static_cast<uint64_t>(*Seed);
+    State.Mode = *Mode;
     State.Rng.emplace(State.Seed);
     State.Fired = 0;
   }
@@ -147,6 +183,19 @@ bool FaultInjector::shouldFire(FaultSite Site) {
   if (Fire)
     ++State.Fired;
   return Fire;
+}
+
+std::optional<FaultMode> FaultInjector::fireWithMode(FaultSite Site) {
+  std::lock_guard<std::mutex> Lock(M);
+  ensureLoadedLocked();
+  SiteState &State = Sites[static_cast<size_t>(Site)];
+  if (!State.Armed)
+    return std::nullopt;
+  bool Fire = State.Rate >= 1.0 || State.Rng->uniform(0.0, 1.0) < State.Rate;
+  if (!Fire)
+    return std::nullopt;
+  ++State.Fired;
+  return State.Mode;
 }
 
 int64_t FaultInjector::firedCount(FaultSite Site) const {

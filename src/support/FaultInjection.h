@@ -8,18 +8,30 @@
 /// Deterministic, environment-driven failure points so graceful-
 /// degradation paths are testable in CI.  Configuration comes from
 ///
-///   STENSO_FAULT=<site>:<rate>:<seed>[,<site>:<rate>:<seed>...]
+///   STENSO_FAULT=<site>:<rate>:<seed>[:<mode>][,...]
 ///
 /// e.g. STENSO_FAULT=holesolver:1.0:42 makes every hole solve fail, and
 /// STENSO_FAULT=tensor-op:0.05:7 fails ~5% of tensor-op evaluations with
 /// a sequence fully determined by seed 7 (via support/RNG.h).
 ///
-/// Sites: holesolver, symbolic-eval, tensor-op, verifier.
+/// Sites: holesolver, symbolic-eval, tensor-op, verifier, store-write,
+/// store-read, store-fsync.
 ///
-/// A firing fault raises an ErrC::FaultInjected error into the active
-/// RecoverableErrorScope.  Outside any scope a fault is *not* raised
-/// (and not counted): injection exercises degradation paths, and code
-/// without a recovery scope has none.
+/// The pipeline sites (holesolver, symbolic-eval, tensor-op, verifier)
+/// raise ErrC::FaultInjected into the active RecoverableErrorScope via
+/// maybeInjectFault().  Outside any scope a fault is *not* raised (and
+/// not counted): injection exercises degradation paths, and code without
+/// a recovery scope has none.
+///
+/// The store IO sites (store-write, store-read, store-fsync) are instead
+/// consumed directly by persist::StensoStore through fireWithMode() —
+/// the store has its own degradation machinery (retry, quarantine,
+/// memory-only fallback) rather than a recovery scope.  They accept an
+/// optional fourth mode field:
+///
+///   fail  (default) — the IO call reports a hard failure
+///   short — a write persists only a prefix (simulated torn write)
+///   flip  — one bit of the payload is flipped (simulated bit rot)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,10 +55,22 @@ enum class FaultSite {
   SymbolicEval,
   TensorOp,
   Verifier,
+  StoreWrite,
+  StoreRead,
+  StoreFsync,
 };
-constexpr size_t NumFaultSites = 4;
+constexpr size_t NumFaultSites = 7;
+
+/// How a firing store IO fault corrupts the operation (ignored by the
+/// pipeline sites, which always hard-fail).
+enum class FaultMode {
+  Fail = 0,
+  ShortWrite,
+  BitFlip,
+};
 
 const char *toString(FaultSite Site);
+const char *toString(FaultMode Mode);
 
 /// Process-wide fault-injection configuration and per-site deterministic
 /// firing decision.  Reads STENSO_FAULT lazily on first use; tests can
@@ -59,6 +83,11 @@ public:
   /// consumes one draw of the site's seeded RNG, so the fire/no-fire
   /// sequence is a pure function of (rate, seed).
   bool shouldFire(FaultSite Site);
+
+  /// shouldFire() plus the site's configured corruption mode; nullopt
+  /// when the site does not fire.  Used by the store IO sites, which
+  /// consume faults directly instead of raising into a recovery scope.
+  std::optional<FaultMode> fireWithMode(FaultSite Site);
 
   /// Replaces the configuration with \p Spec (same grammar as the env
   /// var; empty disables all sites).  Returns an error for a malformed
@@ -85,6 +114,7 @@ private:
     bool Armed = false;
     double Rate = 0;
     uint64_t Seed = 0;
+    FaultMode Mode = FaultMode::Fail;
     std::optional<RNG> Rng;
     int64_t Fired = 0;
   };

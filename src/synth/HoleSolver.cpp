@@ -6,11 +6,17 @@
 
 #include "synth/HoleSolver.h"
 
+#include "dsl/Printer.h"
 #include "observe/Trace.h"
+#include "persist/ExprCodec.h"
+#include "persist/StensoStore.h"
+#include "persist/XXHash.h"
 #include "support/FaultInjection.h"
 #include "support/Hashing.h"
 #include "symbolic/Linear.h"
 #include "symbolic/Transforms.h"
+
+#include <algorithm>
 
 using namespace stenso;
 using namespace stenso::synth;
@@ -143,7 +149,24 @@ Expected<SymTensor> HoleSolver::solve(const Sketch &Sk,
   // canonical answer and loses the emplace below, which is benign.
   STENSO_TRACE_NAMED_SPAN(Span, "holesolver", "solve");
   Span.arg("sketch", Sk.Index);
-  Expected<SymTensor> Result = solveUncached(Sk, Phi);
+
+  // Probe the persistent store before paying for a solve.  The budget
+  // was charged above either way, so warm and cold runs account solver
+  // calls identically; only the work differs.
+  std::vector<uint8_t> PersistKey;
+  std::optional<Expected<SymTensor>> FromStore;
+  if (Store) {
+    PersistKey = storeKeyFor(Sk, Phi);
+    if (std::optional<std::vector<uint8_t>> Bytes = Store->get(PersistKey)) {
+      FromStore = decodeStoreHit(Sk, Phi, *Bytes);
+      if (FromStore)
+        StoreHits.fetch_add(1, std::memory_order_relaxed);
+      else
+        StoreRejected.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Expected<SymTensor> Result =
+      FromStore ? std::move(*FromStore) : solveUncached(Sk, Phi);
   Span.arg("solved", static_cast<bool>(Result));
   if (Result)
     Solved.fetch_add(1, std::memory_order_relaxed);
@@ -161,7 +184,122 @@ Expected<SymTensor> HoleSolver::solve(const Sketch &Sk,
     }
     Shard.Map.emplace(std::move(Key), Result);
   }
+
+  // Write computed answers behind.  Only solutions and the benign
+  // no-solution outcome persist: run-specific failures (budget, injected
+  // faults, overflow context) describe this run, not the query.
+  if (Store && !FromStore &&
+      (Result || Result.error().code() == ErrC::NoSolution)) {
+    persist::ByteWriter W;
+    if (Result) {
+      W.putU8(1);
+      persist::ExprEncoder Enc(W);
+      Enc.addTensor(*Result);
+    } else {
+      W.putU8(0);
+    }
+    StoreDigest.fetch_xor(
+        persist::xxhash64(PersistKey.data(), PersistKey.size()),
+        std::memory_order_relaxed);
+    StorePuts.fetch_add(1, std::memory_order_relaxed);
+    Store->put(std::move(PersistKey), W.takeBytes());
+  }
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent store integration
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> HoleSolver::storeKeyFor(const Sketch &Sk,
+                                             const SymTensor &Phi) {
+  std::vector<uint8_t> Prefix;
+  {
+    std::lock_guard<std::mutex> Lock(PrefixMutex);
+    auto It = KeyPrefixes.find(Sk.Index);
+    if (It != KeyPrefixes.end())
+      Prefix = It->second;
+  }
+  if (Prefix.empty()) {
+    // Everything the answer is a function of, in canonical printed /
+    // serialized form — never pointers or run-local ids.  Two runs (or
+    // two different programs in one suite) that agree on these bytes are
+    // asking the same question.
+    persist::ByteWriter W;
+    W.putString("stenso-holesolve-v1");
+    W.putString(dsl::printNode(Sk.Root));
+    W.putString(Sk.Hole->getName());
+    W.putString(toString(Sk.HoleType.Dtype));
+    for (int64_t D : Sk.HoleType.TShape.getDims())
+      W.putI64(D);
+    std::vector<std::string> Names;
+    Names.reserve(Bindings.size());
+    for (const auto &[Name, T] : Bindings)
+      Names.push_back(Name);
+    std::sort(Names.begin(), Names.end());
+    W.putU32(static_cast<uint32_t>(Names.size()));
+    for (const std::string &Name : Names) {
+      const SymTensor &T = Bindings.at(Name);
+      W.putString(Name);
+      W.putString(toString(T.getDType()));
+      W.putU32(static_cast<uint32_t>(T.getShape().getRank()));
+      for (int64_t D : T.getShape().getDims())
+        W.putI64(D);
+    }
+    persist::ExprEncoder Enc(W);
+    Enc.addTensor(Sk.Template);
+    Enc.addTensor(Sk.HoleSymbols);
+    Prefix = W.takeBytes();
+    std::lock_guard<std::mutex> Lock(PrefixMutex);
+    KeyPrefixes.emplace(Sk.Index, Prefix);
+  }
+
+  persist::ByteWriter W;
+  persist::ExprEncoder Enc(W);
+  Enc.addTensor(Phi);
+  std::vector<uint8_t> Key = std::move(Prefix);
+  const std::vector<uint8_t> &Suffix = W.bytes();
+  Key.insert(Key.end(), Suffix.begin(), Suffix.end());
+  return Key;
+}
+
+std::optional<Expected<SymTensor>>
+HoleSolver::decodeStoreHit(const Sketch &Sk, const SymTensor &Phi,
+                           const std::vector<uint8_t> &Bytes) {
+  persist::ByteReader R(Bytes);
+  uint8_t Tag = R.getU8();
+  if (!R.ok())
+    return std::nullopt;
+  if (Tag == 0) {
+    // A persisted no-solution is a pure function of the full key bytes
+    // the store already compared; nothing further to verify.  Keep the
+    // message identical to the computed path so warm and cold runs are
+    // indistinguishable downstream.
+    if (R.remaining() != 0)
+      return std::nullopt;
+    return Expected<SymTensor>(
+        makeError(ErrC::NoSolution, "no representable hole solution"));
+  }
+  if (Tag != 1)
+    return std::nullopt;
+  persist::ExprDecoder Dec(R, Ctx);
+  std::optional<SymTensor> HoleSpec = Dec.readTensor();
+  if (!HoleSpec || R.remaining() != 0 ||
+      HoleSpec->getShape() != Sk.HoleSymbols.getShape() ||
+      HoleSpec->getDType() != Sk.HoleType.Dtype)
+    return std::nullopt;
+  // Re-verification gate: a persisted solution is only trusted after it
+  // passes the same soundness check a computed one does — re-execute the
+  // sketch with the decoded hole bound and demand the exact target spec.
+  // Decoding damage, hash collisions, or foreign records all fail here
+  // and degrade to a miss.
+  symexec::SymBinding Extended = Bindings;
+  Extended.insert_or_assign(Sk.Hole->getName(), *HoleSpec);
+  Expected<SymTensor> Check =
+      symexec::symbolicExecuteChecked(Sk.Root, Ctx, Extended);
+  if (!Check || !Check->identicalTo(Phi))
+    return std::nullopt;
+  return Expected<SymTensor>(std::move(*HoleSpec));
 }
 
 int64_t HoleSolver::getCacheHits() const {

@@ -39,8 +39,14 @@
 #include <atomic>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace stenso {
+
+namespace persist {
+class StensoStore;
+}
+
 namespace synth {
 
 /// Solves sketch holes against target specs, with memoization.
@@ -58,6 +64,17 @@ public:
   /// Attaches a cooperative budget: every solve charges one solver call
   /// and observes exhaustion before doing work.  Pass nullptr to detach.
   void setBudget(ResourceBudget *B) { Budget = B; }
+
+  /// Attaches the persistent cross-run cache (persist/StensoStore.h).
+  /// Probed after an in-memory miss, written behind on computed results.
+  /// Safety: store keys embed the full canonical sketch + spec content
+  /// (compared byte-for-byte by the store), persisted no-solutions are
+  /// pure functions of that key, and every persisted *solution* is
+  /// re-verified against the live sketch before use — a corrupt or
+  /// foreign record degrades to a miss, never a wrong answer.  Budget
+  /// charging happens before the probe, so warm and cold runs charge
+  /// identically.  Pass nullptr to detach.
+  void setStore(persist::StensoStore *St) { Store = St; }
 
   /// Returns the hole specification making \p Sk equivalent to \p Phi.
   /// ErrC::NoSolution is the benign "no representable solution" outcome;
@@ -83,6 +100,25 @@ public:
   std::array<int64_t, 16> getCacheHitsByShard() const;
   std::array<int64_t, 16> getCacheMissesByShard() const;
 
+  /// Persistent-store telemetry: hits are verified store answers (each
+  /// one a full solve avoided), rejections are records that failed
+  /// decoding or re-verification (degraded to misses), puts are results
+  /// written behind.
+  int64_t getStoreHits() const {
+    return StoreHits.load(std::memory_order_relaxed);
+  }
+  int64_t getStoreRejected() const {
+    return StoreRejected.load(std::memory_order_relaxed);
+  }
+  int64_t getStorePuts() const {
+    return StorePuts.load(std::memory_order_relaxed);
+  }
+  /// Order-independent digest (XOR of key hashes) of the records this
+  /// run contributed to the store.
+  uint64_t getStoreDigest() const {
+    return StoreDigest.load(std::memory_order_relaxed);
+  }
+
   /// Cache bound: when a shard reaches this many memoized entries the
   /// whole shard is flushed (counted in evictions).  The memo caches a
   /// pure function, so eviction can only cost recomputation, never change
@@ -95,9 +131,22 @@ private:
   std::optional<symexec::SymTensor> solveImpl(const Sketch &Sk,
                                               const symexec::SymTensor &Phi);
 
+  /// Full content-addressed store key for (\p Sk, \p Phi): version salt,
+  /// printed sketch, hole identity, sorted input declarations, serialized
+  /// template/hole-symbol/target tensors.  The per-sketch prefix is
+  /// cached by library index.
+  std::vector<uint8_t> storeKeyFor(const Sketch &Sk,
+                                   const symexec::SymTensor &Phi);
+  /// Decodes + re-verifies a persisted record; nullopt when the record
+  /// is unusable (treated as a store miss).
+  std::optional<Expected<symexec::SymTensor>>
+  decodeStoreHit(const Sketch &Sk, const symexec::SymTensor &Phi,
+                 const std::vector<uint8_t> &Bytes);
+
   sym::ExprContext &Ctx;
   const symexec::SymBinding &Bindings;
   ResourceBudget *Budget = nullptr;
+  persist::StensoStore *Store = nullptr;
 
   /// Keyed by the sketch's canonical library index, not its Root
   /// pointer: the index is structural (position in the (cost,
@@ -126,6 +175,14 @@ private:
   std::array<CacheShard, NumCacheShards> Shards;
   std::atomic<int64_t> Calls{0};
   std::atomic<int64_t> Solved{0};
+
+  /// Per-sketch store-key prefixes, built once per library index.
+  std::mutex PrefixMutex;
+  std::unordered_map<uint32_t, std::vector<uint8_t>> KeyPrefixes;
+  std::atomic<int64_t> StoreHits{0};
+  std::atomic<int64_t> StoreRejected{0};
+  std::atomic<int64_t> StorePuts{0};
+  std::atomic<uint64_t> StoreDigest{0};
 };
 
 } // namespace synth

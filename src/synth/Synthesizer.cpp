@@ -11,6 +11,8 @@
 #include "observe/DecisionLog.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
+#include "persist/Checkpoint.h"
+#include "persist/StensoStore.h"
 #include "support/Budget.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
@@ -103,12 +105,16 @@ public:
   /// arena in the sequential engine, a per-branch arena in the parallel
   /// one (workers must not allocate into a shared arena).  \p SharedBound
   /// non-null selects the parallel pruning discipline (see prunes()).
+  /// \p Progress, when attached, mirrors every tightened incumbent cost
+  /// for checkpointing.  Observation-only: the search never reads it.
   SearchDriver(const SynthesisConfig &Config, SketchLibrary &Library,
                HoleSolver &Solver, SynthesisStats &Stats,
                ResourceBudget &Budget, Program &Arena,
-               std::atomic<double> *SharedBound = nullptr)
+               std::atomic<double> *SharedBound = nullptr,
+               std::atomic<double> *Progress = nullptr)
       : Config(Config), Library(Library), Solver(Solver), Stats(Stats),
-        Budget(Budget), Arena(Arena), SharedBound(SharedBound) {}
+        Budget(Budget), Arena(Arena), SharedBound(SharedBound),
+        Progress(Progress) {}
 
   struct Candidate {
     const Node *Tree = nullptr;
@@ -142,6 +148,8 @@ public:
     LocalMin = std::min(LocalMin, Cost);
     if (SharedBound)
       atomicMinDouble(*SharedBound, Cost);
+    if (Progress)
+      atomicMinDouble(*Progress, Cost);
   }
 
   using Decision = observe::DecisionLog::Outcome;
@@ -328,6 +336,7 @@ private:
   ResourceBudget &Budget;
   Program &Arena;
   std::atomic<double> *SharedBound;
+  std::atomic<double> *Progress;
   /// Spec-side analyzer (no top symbols: query-spec symbols are the
   /// strictly positive inputs).  Memoizes per interned sym::Expr node,
   /// which is safe across specs — expressions are immutable and live in
@@ -350,7 +359,8 @@ struct ParallelSearch {
   std::optional<SearchDriver::Candidate>
   run(const SynthesisConfig &Config, SketchLibrary &Library,
       HoleSolver &Solver, SynthesisStats &Stats, ResourceBudget &Budget,
-      const SymTensor &Phi, double OriginalCost) {
+      const SymTensor &Phi, double OriginalCost,
+      std::atomic<double> *Progress = nullptr) {
     ++Stats.DfsCalls; // the level-0 call, as in the sequential engine
     std::atomic<double> Bound{OriginalCost};
     using Decision = observe::DecisionLog::Outcome;
@@ -375,6 +385,8 @@ struct ParallelSearch {
         Decide(-1, OriginalCost, Decision::StubMatch, Match->Cost);
         if (Config.UseBranchAndBound)
           atomicMinDouble(Bound, Match->Cost);
+        if (Progress)
+          atomicMinDouble(*Progress, Match->Cost);
       }
     }
 
@@ -398,6 +410,12 @@ struct ParallelSearch {
     size_t Jobs = Config.Jobs <= 0 ? ThreadPool::hardwareConcurrency()
                                    : static_cast<size_t>(Config.Jobs);
     ThreadPool Pool(Jobs);
+    // Write-behind flushes ride the search pool so durability never
+    // blocks a worker's solve loop.  Detached before the pool dies; the
+    // draining destructor then finishes any in-flight flush task.
+    if (Config.Store)
+      Config.Store->setAsyncExecutor(
+          [&Pool](std::function<void()> F) { Pool.submit(std::move(F)); });
     Pool.parallelFor(0, Branches.size(), [&](size_t I) {
       const Sketch &Sk = *Branches[I];
       int32_t SkIdx = static_cast<int32_t>(Sk.Index);
@@ -411,7 +429,7 @@ struct ParallelSearch {
       }
       Out.Arena = std::make_unique<Program>();
       SearchDriver Driver(Config, Library, Solver, Out.Stats, Budget,
-                          *Out.Arena, &Bound);
+                          *Out.Arena, &Bound, Progress);
       double LocalMin = OriginalCost;
       if (Config.UseBranchAndBound &&
           Driver.prunes(Sk.ConcreteCost, LocalMin)) {
@@ -460,7 +478,11 @@ struct ParallelSearch {
       Decide(SkIdx, Driver.bound(LocalMin), Decision::Accepted, SubtreeCost);
       if (Config.UseBranchAndBound)
         atomicMinDouble(Bound, SubtreeCost);
+      if (Progress)
+        atomicMinDouble(*Progress, SubtreeCost);
     });
+    if (Config.Store)
+      Config.Store->setAsyncExecutor(nullptr);
 
     // Deterministic merge: strict `<` keeps the stub match on ties and,
     // among branches, the lowest library index — the sequential DFS-first
@@ -558,6 +580,45 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
   HoleSolver Solver(Ctx, Bindings);
   Solver.setBudget(&Budget);
 
+  // Persistent store attachment.  The identity of this search is the
+  // printed program plus every result-relevant config knob; budget caps
+  // and Jobs are deliberately excluded so an aborted run and its resume
+  // (or a differently-parallel rerun) share one checkpoint lineage.
+  persist::StensoStore *Store = Config.Store;
+  uint64_t ProgKey = 0;
+  std::atomic<double> ProgressCost{Result.OriginalCost};
+  if (Store) {
+    Solver.setStore(Store);
+    std::string Salt = "v1|model=" + Config.CostModelName +
+                       "|bb=" + (Config.UseBranchAndBound ? "1" : "0") +
+                       "|ap=" + (Config.UseAnalysisPruning ? "1" : "0") +
+                       "|depth=" + std::to_string(Config.MaxRecursionDepth) +
+                       "|libdepth=" + std::to_string(Config.Library.MaxDepth) +
+                       "|stubs=" + std::to_string(Config.Library.MaxStubs) +
+                       "|full=" + (Config.Library.FullCombination ? "1" : "0") +
+                       "|ops=";
+    for (dsl::OpKind Op : Config.Library.Ops)
+      Salt += std::to_string(static_cast<int>(Op)) + ",";
+    ProgKey = persist::programKey(Result.OptimizedSource, Salt);
+    if (std::optional<std::vector<uint8_t>> Bytes =
+            Store->get(persist::checkpointKey(ProgKey)))
+      if (persist::decodeCheckpoint(*Bytes))
+        Result.Stats.StoreCheckpointLoaded = 1;
+    // Every write-behind flush carries a progress checkpoint: best cost
+    // so far, solver calls, frontier digest.  A SIGKILLed search thus
+    // leaves both its cache records and a progress marker on disk.
+    Store->setFlushHook([&Solver, &ProgressCost, ProgKey] {
+      persist::SearchCheckpoint C;
+      C.ProgramKey = ProgKey;
+      C.Final = false;
+      C.BestCost = ProgressCost.load(std::memory_order_relaxed);
+      C.SolverCalls = Solver.getNumCalls();
+      C.FrontierDigest = Solver.getStoreDigest();
+      return std::make_pair(persist::checkpointKey(ProgKey),
+                            persist::encodeCheckpoint(C));
+    });
+  }
+
   // Engine selection: Jobs == 1 is the sequential reference engine; any
   // other value fans top-level sketch branches out over a work-stealing
   // pool and must return the identical program/cost/AbortReason.
@@ -567,12 +628,14 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     STENSO_TRACE_NAMED_SPAN(SearchSpan, "synth", "search");
     if (Config.Jobs == 1) {
       SearchDriver Driver(Config, Library, Solver, Result.Stats, Budget,
-                          Library.getArena());
+                          Library.getArena(), nullptr,
+                          Store ? &ProgressCost : nullptr);
       double CostMin = Result.OriginalCost;
       Best = Driver.dfs(*Phi, 0, 0, CostMin);
     } else {
       Best = Parallel.run(Config, Library, Solver, Result.Stats, Budget, *Phi,
-                          Result.OriginalCost);
+                          Result.OriginalCost,
+                          Store ? &ProgressCost : nullptr);
     }
     SearchSpan.arg("found", Best.has_value());
   }
@@ -611,6 +674,32 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     Result.Abort = AbortReason::InternalError;
   Result.TimedOut = Result.Abort == AbortReason::Timeout;
 
+  // Store finalization: detach the progress hook (its captures die with
+  // this frame), write the final checkpoint, and flush synchronously —
+  // the search is over, durability is no longer on anyone's hot path.
+  if (Store) {
+    Store->setFlushHook(nullptr);
+    persist::SearchCheckpoint Ckpt;
+    Ckpt.ProgramKey = ProgKey;
+    Ckpt.Final = true;
+    Ckpt.BestCost = Result.OptimizedCost;
+    Ckpt.BestProgram = Result.OptimizedSource;
+    Ckpt.AbortCode = static_cast<uint8_t>(Result.Abort);
+    Ckpt.SolverCalls = Solver.getNumCalls();
+    Ckpt.FrontierDigest = Solver.getStoreDigest();
+    Store->put(persist::checkpointKey(ProgKey),
+               persist::encodeCheckpoint(Ckpt));
+    Store->flush();
+    Solver.setStore(nullptr);
+    Result.Stats.StoreHits = Solver.getStoreHits();
+    Result.Stats.StoreRejected = Solver.getStoreRejected();
+    Result.Stats.StorePuts = Solver.getStorePuts();
+    if (Store->degraded() && Config.Decisions)
+      Config.Decisions->record(-1, 0, Result.OptimizedCost,
+                               observe::DecisionLog::Outcome::StoreDegraded,
+                               0, Config.DecisionsTag);
+  }
+
   // Publish the run's telemetry into the global registry in one batch —
   // the flush point for every counter the hot paths kept local.
   {
@@ -636,6 +725,10 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     M.counter("exprctx.intern_hits").add(S.InternHits);
     M.counter("budget.checkpoint.calls").add(S.CheckpointCalls);
     M.counter("budget.checkpoint.clock_reads").add(S.CheckpointClockReads);
+    M.counter("synth.store.hits").add(S.StoreHits);
+    M.counter("synth.store.rejected").add(S.StoreRejected);
+    M.counter("synth.store.puts").add(S.StorePuts);
+    M.counter("synth.store.checkpoint_loaded").add(S.StoreCheckpointLoaded);
     M.histogram("synth.run_seconds",
                 {0.001, 0.01, 0.1, 1, 10, 60, 300, 600})
         .record(Result.SynthesisSeconds);

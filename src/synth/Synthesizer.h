@@ -73,6 +73,15 @@ struct SynthesisConfig {
   /// observation-only: attaching one never changes the search.  Must
   /// outlive the run.
   observe::DecisionLog *Decisions = nullptr;
+  /// Opt-in persistent synthesis store (persist/StensoStore.h).  Warm
+  /// records let the run skip already-solved holes, and the run writes
+  /// its own results plus periodic search checkpoints behind.  Because
+  /// the solver cache memoizes a pure function and every persisted
+  /// answer is content-keyed (and re-verified when positive), attaching
+  /// a store — warm, cold, torn, or corrupt — never changes the
+  /// synthesized program, cost, or AbortReason of an unbudgeted run; a
+  /// killed search resumes by rerunning warm.  Must outlive the run.
+  persist::StensoStore *Store = nullptr;
   /// Tag stamped on every decision record (the harness uses the
   /// benchmark name; empty for standalone runs).
   std::string DecisionsTag;
@@ -114,6 +123,14 @@ struct SynthesisStats {
   /// (the decimation keeps reads far below calls; see Budget.h).
   int64_t CheckpointCalls = 0;
   int64_t CheckpointClockReads = 0;
+  /// Persistent-store traffic (zero when no store is attached): verified
+  /// warm answers served (full solves avoided), records rejected by
+  /// decode/re-verification, results written behind, and whether a prior
+  /// checkpoint for this exact (program, config) identity was found.
+  int64_t StoreHits = 0;
+  int64_t StoreRejected = 0;
+  int64_t StorePuts = 0;
+  int64_t StoreCheckpointLoaded = 0;
 };
 
 /// Why a synthesis run stopped short of an exhaustive search.  Ordered by

@@ -14,6 +14,8 @@
 
 #include "dsl/Interpreter.h"
 #include "dsl/Parser.h"
+#include "observe/DecisionLog.h"
+#include "persist/StensoStore.h"
 #include "support/Budget.h"
 #include "support/FaultInjection.h"
 #include "support/Result.h"
@@ -24,6 +26,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
 
 using namespace stenso;
 using namespace stenso::dsl;
@@ -411,4 +417,184 @@ TEST(RobustnessTest, SynthesisIsCleanAfterFaultsDisarm) {
   SynthesisResult Clean = Synthesizer(fastConfig()).run(*P.Prog);
   EXPECT_TRUE(Clean.Improved);
   EXPECT_EQ(Clean.Abort, AbortReason::None);
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent-store degradation: a broken store must never change the
+// synthesis result, the abort reason, or crash — it only gets colder.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A unique scratch directory, removed on scope exit.
+class StoreTempDir {
+public:
+  StoreTempDir() {
+    std::string Template = (std::filesystem::temp_directory_path() /
+                            "stenso-robust-XXXXXX")
+                               .string();
+    std::vector<char> Buf(Template.begin(), Template.end());
+    Buf.push_back('\0');
+    const char *P = mkdtemp(Buf.data());
+    EXPECT_NE(P, nullptr);
+    Dir = P ? P : Template;
+  }
+  ~StoreTempDir() {
+    std::error_code EC;
+    std::filesystem::permissions(Dir,
+                                 std::filesystem::perms::owner_all,
+                                 std::filesystem::perm_options::add, EC);
+    std::filesystem::remove_all(Dir, EC);
+  }
+  std::string sub(const std::string &Name) const {
+    return (std::filesystem::path(Dir) / Name).string();
+  }
+
+private:
+  std::string Dir;
+};
+
+/// One cheap full search that still exercises the hole solver in the
+/// sequential engine (log-space programs win by stub match and never
+/// call it), optionally through a store and a decision log.
+SynthesisResult runStoreProgram(persist::StensoStore *Store,
+                                observe::DecisionLog *Decisions = nullptr) {
+  auto P = parseProgram("np.sum(A * w, axis=0)",
+                        {{"A", f64({3, 4})}, {"w", f64({})}});
+  EXPECT_TRUE(P) << P.Error;
+  SynthesisConfig Config = fastConfig();
+  Config.Store = Store;
+  Config.Decisions = Decisions;
+  return Synthesizer(Config).run(*P.Prog);
+}
+
+void expectStoreRunMatches(const SynthesisResult &Baseline,
+                           const SynthesisResult &WithStore,
+                           const char *What) {
+  EXPECT_EQ(WithStore.OptimizedSource, Baseline.OptimizedSource) << What;
+  EXPECT_EQ(WithStore.OptimizedCost, Baseline.OptimizedCost) << What;
+  EXPECT_EQ(WithStore.Abort, Baseline.Abort) << What;
+  EXPECT_EQ(WithStore.Improved, Baseline.Improved) << What;
+}
+
+} // namespace
+
+TEST(RobustnessTest, StoreUnusableDirectoryKeepsResultIdentical) {
+  SynthesisResult Baseline = runStoreProgram(nullptr);
+  ASSERT_EQ(Baseline.Abort, AbortReason::None);
+  StoreTempDir Tmp;
+  // A plain file where the store wants its directory: creation fails and
+  // the store must run in-memory-only, not crash and not write anywhere.
+  { std::ofstream(Tmp.sub("occupied")) << "not a directory"; }
+  persist::StensoStore::Options O;
+  O.Dir = Tmp.sub("occupied") + "/store";
+  persist::StensoStore Store(O);
+  EXPECT_FALSE(Store.onDisk());
+  SynthesisResult WithStore = runStoreProgram(&Store);
+  expectStoreRunMatches(Baseline, WithStore, "unusable-dir");
+  EXPECT_GT(WithStore.Stats.StorePuts, 0); // in-memory cache still works
+}
+
+TEST(RobustnessTest, StoreReadOnlyDirectoryServesWithoutWriting) {
+  SynthesisResult Baseline = runStoreProgram(nullptr);
+  StoreTempDir Tmp;
+  std::string Dir = Tmp.sub("store");
+  {
+    persist::StensoStore::Options O;
+    O.Dir = Dir;
+    persist::StensoStore Warmup(O);
+    SynthesisResult Cold = runStoreProgram(&Warmup);
+    expectStoreRunMatches(Baseline, Cold, "cold-populate");
+  }
+  // Revoke write permission.  Root (common in CI containers) bypasses
+  // permission bits, so the deterministic half of this test forces
+  // Options.ReadOnly; the chmod still exercises the probe for unprivileged
+  // runs.
+  std::error_code EC;
+  std::filesystem::permissions(Dir,
+                               std::filesystem::perms::owner_read |
+                                   std::filesystem::perms::owner_exec,
+                               std::filesystem::perm_options::replace, EC);
+  uintmax_t DiskBefore = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.is_regular_file())
+      DiskBefore += E.file_size();
+  {
+    persist::StensoStore::Options O;
+    O.Dir = Dir;
+    O.ReadOnly = true;
+    persist::StensoStore Store(O);
+    EXPECT_TRUE(Store.readOnly());
+    SynthesisResult Warm = runStoreProgram(&Store);
+    expectStoreRunMatches(Baseline, Warm, "read-only-warm");
+    EXPECT_GT(Warm.Stats.StoreHits, 0);
+  }
+  std::filesystem::permissions(Dir, std::filesystem::perms::owner_all,
+                               std::filesystem::perm_options::add, EC);
+  uintmax_t DiskAfter = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.is_regular_file())
+      DiskAfter += E.file_size();
+  EXPECT_EQ(DiskAfter, DiskBefore);
+}
+
+TEST(RobustnessTest, StoreWriteFailureLatchesInMemoryOnlyOnce) {
+  SynthesisResult Baseline = runStoreProgram(nullptr);
+  // ENOSPC-style: every durable append fails.  The store must retry,
+  // then latch degraded in-memory-only mode with one diagnostic line —
+  // and the search must not notice.
+  FaultGuard Guard;
+  ASSERT_TRUE(Guard.arm("store-write:1.0:3"));
+  StoreTempDir Tmp;
+  persist::StensoStore::Options O;
+  O.Dir = Tmp.sub("store");
+  // The search makes only a handful of puts; flush each one and latch
+  // after two failures so degradation happens mid-search.
+  O.FlushThreshold = 1;
+  O.MaxFlushFailures = 2;
+  persist::StensoStore Store(O);
+  observe::DecisionLog Decisions;
+  ::testing::internal::CaptureStderr();
+  SynthesisResult WithStore = runStoreProgram(&Store, &Decisions);
+  std::string Err = ::testing::internal::GetCapturedStderr();
+  expectStoreRunMatches(Baseline, WithStore, "write-failure");
+  EXPECT_TRUE(Store.degraded());
+  persist::StensoStore::Stats S = Store.stats();
+  EXPECT_GE(S.FlushFailures, 2);
+  EXPECT_GT(S.WriteRetriesUsed, 0);
+  // Exactly one diagnostic, not one per failed flush.
+  size_t First = Err.find("stenso-store:");
+  ASSERT_NE(First, std::string::npos) << Err;
+  EXPECT_EQ(Err.find("stenso-store:", First + 1), std::string::npos) << Err;
+  // The degradation is on the decision-log record too.
+  std::ostringstream Log;
+  Decisions.writeJsonl(Log);
+  EXPECT_NE(Log.str().find("store-degraded"), std::string::npos);
+}
+
+TEST(RobustnessTest, StoreVersionMismatchStartsColdAndIdentical) {
+  SynthesisResult Baseline = runStoreProgram(nullptr);
+  StoreTempDir Tmp;
+  std::string Dir = Tmp.sub("store");
+  std::filesystem::create_directories(Dir);
+  {
+    // A segment written by a "future" format version: magic matches,
+    // version does not.  It must be skipped wholesale, never decoded.
+    std::ofstream OS(Dir + "/seg-000001.log", std::ios::binary);
+    const char Magic[4] = {'S', 'T', 'S', 'O'};
+    OS.write(Magic, 4);
+    uint32_t Version = persist::StensoStore::FormatVersion + 7;
+    OS.write(reinterpret_cast<const char *>(&Version), 4);
+    OS << "opaque future-format payload that must never be parsed";
+  }
+  persist::StensoStore::Options O;
+  O.Dir = Dir;
+  persist::StensoStore Store(O);
+  EXPECT_EQ(Store.stats().VersionSkipped, 1);
+  EXPECT_EQ(Store.size(), 0u);
+  SynthesisResult WithStore = runStoreProgram(&Store);
+  expectStoreRunMatches(Baseline, WithStore, "version-mismatch");
+  EXPECT_EQ(WithStore.Stats.StoreHits, 0); // cold, as promised
+  EXPECT_GT(WithStore.Stats.StorePuts, 0); // and it warms back up
+  EXPECT_FALSE(Store.degraded());
 }

@@ -97,6 +97,40 @@ run_config() {
   if [ "${RC}" -ne 0 ] && [ "${RC}" -ne 77 ]; then
     return 1
   fi
+
+  # Store crash-recovery leg (release + asan; the tsan config covers the
+  # store through `ctest -L tsan` instead): SIGKILL a store-backed run
+  # mid-search, resume against the same store, and require the resumed
+  # run to complete with the byte-identical program of a store-less
+  # reference run.
+  if [ "${NAME}" != "tsan" ]; then
+    echo "=== [${NAME}] store crash recovery ==="
+    local STORE_DIR="${BUILD_DIR}/matrix.stenso-cache"
+    local REF_OUT="${BUILD_DIR}/matrix_ref.out"
+    local RES_OUT="${BUILD_DIR}/matrix_resume.out"
+    rm -rf "${STORE_DIR}"
+    "${BUILD_DIR}/tools/stenso-opt" \
+        --program examples/programs/diag_dot.stenso \
+        --cost_estimator flops --timeout 600 --no-store \
+        > "${REF_OUT}" || return 1
+    "${BUILD_DIR}/tools/stenso-opt" \
+        --program examples/programs/diag_dot.stenso \
+        --cost_estimator flops --timeout 600 --store "${STORE_DIR}" \
+        > /dev/null 2>&1 &
+    local OPT_PID=$!
+    sleep 2
+    kill -9 "${OPT_PID}" 2>/dev/null
+    wait "${OPT_PID}" 2>/dev/null
+    "${BUILD_DIR}/tools/stenso-opt" \
+        --program examples/programs/diag_dot.stenso \
+        --cost_estimator flops --timeout 600 --store "${STORE_DIR}" \
+        > "${RES_OUT}" || return 1
+    rm -rf "${STORE_DIR}"
+    if ! cmp -s "${REF_OUT}" "${RES_OUT}"; then
+      echo "store crash recovery: resumed result diverged" >&2
+      return 1
+    fi
+  fi
 }
 
 STATUS=0

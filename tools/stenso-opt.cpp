@@ -33,6 +33,7 @@
 #include "observe/Json.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
+#include "persist/StensoStore.h"
 #include "support/RNG.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -40,6 +41,7 @@
 
 #include "ProgramFile.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -78,6 +80,16 @@ void printUsage(std::ostream &OS) {
         "                          registry after the run\n"
         "  --decisions FILE        stream every DFS branch decision as\n"
         "                          JSONL (one decision per line)\n"
+        "  --store DIR             durable synthesis store: serve hole\n"
+        "                          solutions persisted by previous runs\n"
+        "                          and write this run's results + search\n"
+        "                          checkpoints behind (crash-safe: a\n"
+        "                          killed or budget-aborted run resumes\n"
+        "                          by rerunning warm and converges to the\n"
+        "                          identical result).  STENSO_STORE in\n"
+        "                          the environment is honored when the\n"
+        "                          flag is absent\n"
+        "  --no-store              ignore --store and STENSO_STORE\n"
         "  --rule                  print the generalized rewrite rule\n"
         "  --rules_out FILE        append the mined rule to a rule file\n"
         "  --rules_in FILE         skip synthesis; rewrite the program\n"
@@ -96,10 +108,11 @@ int fail(const std::string &Message) {
 int main(int Argc, char **Argv) {
   std::string ProgramPath, OutPath, RulesOutPath, RulesInPath;
   std::string TracePath, MetricsPath, DecisionsPath, StatsJsonPath;
+  std::string StorePath;
   synth::SynthesisConfig Config;
   Config.CostModelName = "measured";
   Config.TimeoutSeconds = 60;
-  bool PrintStats = false, PrintRule = false;
+  bool PrintStats = false, PrintRule = false, NoStore = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -144,6 +157,10 @@ int main(int Argc, char **Argv) {
       MetricsPath = Value();
     else if (Arg == "--decisions")
       DecisionsPath = Value();
+    else if (Arg == "--store")
+      StorePath = Value();
+    else if (Arg == "--no-store")
+      NoStore = true;
     else if (Arg == "--rule")
       PrintRule = true;
     else if (Arg == "--help" || Arg == "-h") {
@@ -203,6 +220,20 @@ int main(int Argc, char **Argv) {
     Trace->start();
   }
 
+  // Durable store: the flag wins over the environment; --no-store beats
+  // both.  Opening never fails hard — an unusable directory degrades the
+  // store to an in-memory cache and the run proceeds.
+  if (StorePath.empty() && !NoStore)
+    if (const char *Env = std::getenv("STENSO_STORE"))
+      StorePath = Env;
+  std::optional<persist::StensoStore> Store;
+  if (!StorePath.empty() && !NoStore) {
+    persist::StensoStore::Options StoreOptions;
+    StoreOptions.Dir = StorePath;
+    Store.emplace(StoreOptions);
+    Config.Store = &*Store;
+  }
+
   synth::SynthesisResult Result =
       synth::Synthesizer(Config).run(*Parsed.Prog, File.Scaler);
 
@@ -238,6 +269,31 @@ int main(int Argc, char **Argv) {
             << Result.OptimizedCost << ")"
             << (Result.TimedOut ? " [search timed out]" : "") << "\n";
   std::cerr << "AbortReason=" << synth::toString(Result.Abort) << "\n";
+
+  if (Store) {
+    // Flush the final checkpoint batch before reporting sizes so the
+    // record/byte counts reflect what actually survives this process.
+    Store->flush();
+    persist::StensoStore::Stats SS = Store->stats();
+    std::cerr << "store: dir=" << Store->dir()
+              << " hits=" << Result.Stats.StoreHits
+              << " rejected=" << Result.Stats.StoreRejected
+              << " puts=" << Result.Stats.StorePuts
+              << " records=" << Store->size()
+              << " bytes=" << Store->diskBytes();
+    if (SS.TornBytesTruncated || SS.SegmentsQuarantined || SS.VersionSkipped)
+      std::cerr << " recovered(torn_bytes=" << SS.TornBytesTruncated
+                << " quarantined=" << SS.SegmentsQuarantined
+                << " version_skipped=" << SS.VersionSkipped << ")";
+    if (Store->degraded())
+      std::cerr << " [degraded: in-memory only]";
+    else if (Store->readOnly())
+      std::cerr << " [read-only]";
+    std::cerr << "\n";
+    if (Result.Stats.StoreCheckpointLoaded)
+      std::cerr << "store: resumed from a prior checkpoint for this "
+                   "program/config\n";
+  }
 
   if (PrintStats) {
     const synth::SynthesisStats &S = Result.Stats;
@@ -303,6 +359,10 @@ int main(int Argc, char **Argv) {
     Field("intern_hits", S.InternHits);
     Field("checkpoint_calls", S.CheckpointCalls);
     Field("checkpoint_clock_reads", S.CheckpointClockReads);
+    Field("store_hits", S.StoreHits);
+    Field("store_rejected", S.StoreRejected);
+    Field("store_puts", S.StorePuts);
+    Field("store_checkpoint_loaded", S.StoreCheckpointLoaded);
     J += "\n  }\n}\n";
     StatsOut << J;
   }
