@@ -26,6 +26,10 @@ target_link_libraries(bench_egraph_vs_synthesis PRIVATE stenso_egraph)
 stenso_add_report(bench_observe_overhead)
 stenso_add_report(bench_persist)
 target_link_libraries(bench_persist PRIVATE stenso_persist)
+stenso_add_report(bench_fuzz_coverage)
+target_link_libraries(bench_fuzz_coverage PRIVATE stenso_fuzz)
+target_compile_definitions(bench_fuzz_coverage PRIVATE
+  STENSO_FUZZ_CORPUS_DIR="${CMAKE_SOURCE_DIR}/tests/fuzz_corpus")
 
 add_executable(bench_microops ${CMAKE_SOURCE_DIR}/bench/bench_microops.cpp)
 set_target_properties(bench_microops PROPERTIES

@@ -1,0 +1,234 @@
+//===- bench_fuzz_coverage.cpp - Fuzzer coverage beyond the suite ----------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the coverage-guided fuzzer (DESIGN.md §12) adds on top
+/// of the 33-program evaluation suite, and emits BENCH_fuzz.json.
+///
+/// Two coverage maps are compared: the baseline runs every suite
+/// benchmark (reduced shapes) through the oracle's reference leg and
+/// records its rewrite-class, search-outcome, pruning-disposition, and
+/// shape keys; the fuzz run spends a fixed budget of oracle evaluations
+/// seeded from the checked-in corpus.  The interesting number is the
+/// novel-key count: coverage keys the fuzzer lights up that the whole
+/// suite never does.
+///
+/// The measurement doubles as a health gate and exits nonzero when it
+/// fails: the fuzz run must produce zero differential findings (a
+/// finding is a determinism/pruning/verifier/e-graph bug), and must
+/// reach at least 5 rewrite-class/pruning/outcome/shape keys beyond the
+/// suite — below that the generator has regressed into the suite's
+/// shadow and the fuzzer tests nothing new.
+///
+/// Deterministic apart from the reported wall clock: flops cost model,
+/// node/solver caps instead of wall-clock timeouts, fixed seed
+/// (STENSO_SEED overrides).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "evalsuite/Benchmarks.h"
+#include "fuzz/Fuzzer.h"
+#include "support/RNG.h"
+#include "support/Timer.h"
+
+#include <fstream>
+
+using namespace stenso;
+using namespace stenso::bench;
+using namespace stenso::evalsuite;
+using namespace stenso::fuzz;
+
+namespace {
+
+/// Coverage-only oracle bounds: reference leg plus lint, differentials
+/// off for the baseline sweep (the suite's differential behaviour is
+/// bench_analysis_pruning / ParallelSynthTest territory).
+OracleConfig coverageOnlyOracle() {
+  OracleConfig C;
+  C.TimeoutSeconds = 0; // the node/solver caps are the deterministic bound
+  C.CheckJobs = false;
+  C.CheckPruning = false;
+  C.CheckVerify = false;
+  C.CheckEGraph = false;
+  return C;
+}
+
+/// A key class that counts toward the novelty gate: what the program
+/// rewrites to, how the search disposed of candidates, or a shape
+/// regime — not incidental op-mix keys.
+bool countsTowardGate(const std::string &Key) {
+  return Key.rfind("class:", 0) == 0 || Key.rfind("prune:", 0) == 0 ||
+         Key.rfind("outcome:", 0) == 0 || Key.rfind("shape:", 0) == 0;
+}
+
+} // namespace
+
+int main() {
+  printBanner("Fuzzer coverage — beyond the 33-program suite",
+              "stenso-fuzz harness (not a paper figure; coverage-novelty "
+              "and differential-cleanliness gate)");
+
+  uint64_t Seed = seedFromEnv(42);
+  const int Budget = 90;
+  std::cout << "\nseed " << Seed << " (STENSO_SEED overrides), budget "
+            << Budget << " oracle evaluations\n\n";
+
+  // Baseline: the whole evaluation suite, coverage keys only.
+  CoverageMap SuiteCoverage;
+  WallTimer SuiteTimer;
+  for (const BenchmarkDef &Def : benchmarkSuite()) {
+    FuzzCase Case;
+    Case.Name = Def.Name;
+    Case.Inputs = Def.declsFor(/*Full=*/false);
+    Case.Scaler = Def.scaler();
+    Case.Source = Def.sourceFor(/*Full=*/false);
+    OracleReport Report = runOracleStack(Case, coverageOnlyOracle());
+    if (Report.Status == OracleStatus::ParseError) {
+      std::cerr << "SUITE PARSE FAILURE on " << Def.Name << ": "
+                << Report.Detail << "\n";
+      return 1;
+    }
+    SuiteCoverage.addAll(Report.CoverageKeys);
+  }
+  double SuiteSeconds = SuiteTimer.elapsedSeconds();
+  std::cout << "suite baseline: " << benchmarkSuite().size()
+            << " benchmarks, " << SuiteCoverage.size()
+            << " distinct coverage keys, "
+            << TablePrinter::formatDouble(SuiteSeconds, 1) << " s\n";
+
+  // The fuzz run: full oracle stack, novelty-steered past the suite's
+  // keys.  The raised node cap lets searches run deep enough to reach
+  // decision depths the reduced-shape suite rarely hits.  Two streams
+  // split the budget: one seeded from the checked-in corpus (mutation
+  // around known-interesting programs), one fresh-only — a
+  // corpus-seeded population converges on the corpus's neighbourhood,
+  // and the fresh stream reaches keys it plateaus short of.
+  WallTimer FuzzTimer;
+  FuzzRunReport Fuzz;
+  for (bool UseCorpus : {true, false}) {
+    FuzzerConfig Config;
+    Config.Seed = UseCorpus ? Seed : Seed * 2654435761u + 1;
+    Config.Budget = Budget / 2;
+    Config.Oracle.TimeoutSeconds = 0;
+    Config.Oracle.MaxSymbolicNodes = 400000;
+    for (const auto &[Key, Count] : SuiteCoverage.counts())
+      Config.BaselineCoverage.push_back(Key);
+#ifdef STENSO_FUZZ_CORPUS_DIR
+    if (UseCorpus)
+      Config.CorpusDir = STENSO_FUZZ_CORPUS_DIR;
+#endif
+    FuzzRunReport Sub = Fuzzer(Config).run();
+    Fuzz.Stats.Executed += Sub.Stats.Executed;
+    Fuzz.Stats.FreshGenerated += Sub.Stats.FreshGenerated;
+    Fuzz.Stats.Mutants += Sub.Stats.Mutants;
+    Fuzz.Stats.Duplicates += Sub.Stats.Duplicates;
+    Fuzz.Stats.NonComparable += Sub.Stats.NonComparable;
+    Fuzz.Stats.SkippedLegs += Sub.Stats.SkippedLegs;
+    for (const auto &Point : Sub.Stats.CoverageCurve)
+      Fuzz.Stats.CoverageCurve.emplace_back(
+          static_cast<int>(Fuzz.Stats.CoverageCurve.size()) + 1,
+          Point.second);
+    for (const auto &[Key, Count] : Sub.Coverage.counts())
+      for (int64_t I = 0; I < Count; ++I)
+        Fuzz.Coverage.addAll({Key});
+    for (FuzzFinding &F : Sub.Findings)
+      Fuzz.Findings.push_back(std::move(F));
+    for (std::string &W : Sub.Warnings)
+      Fuzz.Warnings.push_back(std::move(W));
+  }
+  double FuzzSeconds = FuzzTimer.elapsedSeconds();
+  for (const std::string &W : Fuzz.Warnings)
+    std::cerr << "warning: " << W << "\n";
+
+  std::vector<std::string> AllKeys;
+  for (const auto &[Key, Count] : Fuzz.Coverage.counts())
+    AllKeys.push_back(Key);
+  std::vector<std::string> NovelKeys = SuiteCoverage.novel(AllKeys);
+  std::vector<std::string> GateKeys;
+  for (const std::string &Key : NovelKeys)
+    if (countsTowardGate(Key))
+      GateKeys.push_back(Key);
+
+  int Attempts = Fuzz.Stats.Executed + Fuzz.Stats.Duplicates;
+  double DedupRate =
+      Attempts > 0 ? double(Fuzz.Stats.Duplicates) / Attempts : 0;
+  double ProgramsPerSec =
+      FuzzSeconds > 0 ? Fuzz.Stats.Executed / FuzzSeconds : 0;
+
+  std::cout << "fuzz run: " << Fuzz.Stats.Executed << " evaluations ("
+            << Fuzz.Stats.FreshGenerated << " fresh, " << Fuzz.Stats.Mutants
+            << " mutants), " << Fuzz.Coverage.size() << " distinct keys, "
+            << TablePrinter::formatDouble(FuzzSeconds, 1) << " s ("
+            << TablePrinter::formatDouble(ProgramsPerSec, 1)
+            << " programs/s), dedup rate "
+            << TablePrinter::formatDouble(100 * DedupRate, 1) << " %\n"
+            << "novel vs suite: " << NovelKeys.size() << " keys, "
+            << GateKeys.size() << " of them class/prune/outcome/shape\n";
+  for (const std::string &Key : GateKeys)
+    std::cout << "  + " << Key << "\n";
+
+  std::ofstream Json("BENCH_fuzz.json");
+  Json << "{\n"
+       << "  \"bench\": \"fuzz_coverage\",\n"
+       << "  \"workloads\": \"33-program suite baseline vs seeded fuzz "
+          "run, flops cost model, deterministic caps\",\n"
+       << "  \"seed\": " << Seed << ",\n"
+       << "  \"budget\": " << Budget << ",\n"
+       << "  \"suite_benchmarks\": " << benchmarkSuite().size() << ",\n"
+       << "  \"suite_coverage_keys\": " << SuiteCoverage.size() << ",\n"
+       << "  \"suite_wall_seconds\": " << SuiteSeconds << ",\n"
+       << "  \"fuzz_evaluations\": " << Fuzz.Stats.Executed << ",\n"
+       << "  \"fuzz_fresh\": " << Fuzz.Stats.FreshGenerated << ",\n"
+       << "  \"fuzz_mutants\": " << Fuzz.Stats.Mutants << ",\n"
+       << "  \"fuzz_duplicates\": " << Fuzz.Stats.Duplicates << ",\n"
+       << "  \"fuzz_dedup_rate\": " << DedupRate << ",\n"
+       << "  \"fuzz_non_comparable\": " << Fuzz.Stats.NonComparable << ",\n"
+       << "  \"fuzz_skipped_legs\": " << Fuzz.Stats.SkippedLegs << ",\n"
+       << "  \"fuzz_coverage_keys\": " << Fuzz.Coverage.size() << ",\n"
+       << "  \"fuzz_wall_seconds\": " << FuzzSeconds << ",\n"
+       << "  \"fuzz_programs_per_second\": " << ProgramsPerSec << ",\n"
+       << "  \"findings\": " << Fuzz.Findings.size() << ",\n"
+       << "  \"suite_keys\": [";
+  {
+    size_t I = 0;
+    for (const auto &[Key, Count] : SuiteCoverage.counts())
+      Json << (I++ ? ", " : "") << "\"" << Key << "\"";
+  }
+  Json << "],\n"
+       << "  \"novel_keys\": [";
+  for (size_t I = 0; I < NovelKeys.size(); ++I)
+    Json << (I ? ", " : "") << "\"" << NovelKeys[I] << "\"";
+  Json << "],\n"
+       << "  \"novel_gate_keys\": " << GateKeys.size() << ",\n"
+       << "  \"coverage_curve\": [";
+  for (size_t I = 0; I < Fuzz.Stats.CoverageCurve.size(); ++I)
+    Json << (I ? ", " : "") << "[" << Fuzz.Stats.CoverageCurve[I].first
+         << ", " << Fuzz.Stats.CoverageCurve[I].second << "]";
+  Json << "],\n"
+       << "  \"note\": \"gate: zero differential findings and >= 5 novel "
+          "class/prune/outcome/shape keys vs the whole evaluation "
+          "suite\"\n"
+       << "}\n";
+  std::cout << "wrote BENCH_fuzz.json\n";
+
+  if (!Fuzz.Findings.empty()) {
+    std::cerr << "DIFFERENTIAL FAILURE: the fuzz run produced "
+              << Fuzz.Findings.size() << " finding(s):\n";
+    for (const FuzzFinding &F : Fuzz.Findings)
+      std::cerr << "  [" << F.Check << "] " << F.Detail << "\n    "
+                << F.Minimized.Source << "\n";
+    return 1;
+  }
+  if (GateKeys.size() < 5) {
+    std::cerr << "COVERAGE FAILURE: only " << GateKeys.size()
+              << " novel class/prune/outcome/shape keys vs the suite "
+                 "(need >= 5)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -161,6 +161,15 @@ std::vector<LintDiagnostic> lintProgram(const dsl::Program &P) {
   return Linter(P).run();
 }
 
+const std::vector<std::string> &lintCheckNames() {
+  static const std::vector<std::string> Names = {
+      "sqrt-of-possibly-negative", "log-domain",
+      "pow-domain",                "division-by-possibly-zero",
+      "zero-size-tensor",          "dead-input",
+      "constant-result"};
+  return Names;
+}
+
 std::string renderDiagnostic(const std::string &Source,
                              const LintDiagnostic &D) {
   std::string Out;

@@ -56,6 +56,11 @@ struct LintDiagnostic {
 /// diagnostics in source order (span begin, then check name).
 std::vector<LintDiagnostic> lintProgram(const dsl::Program &P);
 
+/// The stable names of every check lintProgram can emit, in a fixed
+/// order.  The fuzzer's coverage map uses this to enumerate the
+/// lint-check coverage dimension up front.
+const std::vector<std::string> &lintCheckNames();
+
 /// Renders \p D the way compilers do:
 ///
 ///   <line>:<col>: warning: message [check-name]

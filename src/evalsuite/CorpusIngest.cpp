@@ -1,0 +1,92 @@
+//===- CorpusIngest.cpp - Grown-corpus ingestion into the suite -----------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalsuite/CorpusIngest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+
+namespace fs = std::filesystem;
+
+bool evalsuite::benchmarkFromProgramFile(const std::string &Name,
+                                         const ProgramFile &File,
+                                         BenchmarkDef &Out) {
+  BenchmarkDef Def;
+  Def.Name = Name;
+  Def.Pattern = "fuzz-grown program";
+  Def.Domain = "Corpus";
+  Def.Synthetic = true;
+  Def.SourceTemplate = File.Source;
+
+  // One dimension per distinct extent; the ShapeScaler convention (an
+  // extent value identifies a dimension) makes this exact.
+  std::map<int64_t, std::string> DimNameByExtent;
+  for (const auto &[InName, Type] : File.Inputs) {
+    if (Type.Dtype != DType::Float64)
+      return false;
+    BenchmarkDef::InputDef In;
+    In.Name = InName;
+    for (int64_t Axis = 0; Axis < Type.TShape.getRank(); ++Axis) {
+      int64_t Extent = Type.TShape.getDim(Axis);
+      auto It = DimNameByExtent.find(Extent);
+      if (It == DimNameByExtent.end()) {
+        std::string DimName = "d" + std::to_string(Extent);
+        It = DimNameByExtent.emplace(Extent, DimName).first;
+        Def.Dims.push_back(BenchmarkDef::DimDef{
+            DimName, File.Scaler.scaleExtent(Extent), Extent});
+      }
+      In.DimNames.push_back(It->second);
+    }
+    Def.Inputs.push_back(std::move(In));
+  }
+  Out = std::move(Def);
+  return true;
+}
+
+bool evalsuite::loadCorpusSuite(const std::string &Dir,
+                                std::vector<BenchmarkDef> &Out,
+                                std::string &Error) {
+  std::error_code EC;
+  if (!fs::is_directory(Dir, EC))
+    return true; // no grown corpus yet — an empty suite, not an error
+  std::vector<std::string> Paths;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, EC)) {
+    if (Entry.path().extension() == ".stenso")
+      Paths.push_back(Entry.path().string());
+  }
+  if (EC) {
+    Error = "cannot list '" + Dir + "': " + EC.message();
+    return false;
+  }
+  std::sort(Paths.begin(), Paths.end());
+  for (const std::string &Path : Paths) {
+    ProgramFile File;
+    if (!loadProgramFile(Path, File, Error)) {
+      Error = Path + ": " + Error;
+      return false;
+    }
+    BenchmarkDef Def;
+    if (!benchmarkFromProgramFile(fs::path(Path).stem().string(), File,
+                                  Def)) {
+      Error = Path + ": non-f64 inputs cannot join the suite";
+      return false;
+    }
+    // The def must round-trip through the same parser the harness uses;
+    // a corpus entry that no longer parses is a corpus bug.
+    dsl::ParseResult Parsed =
+        dsl::parseProgram(Def.sourceFor(false), Def.declsFor(false));
+    if (!Parsed) {
+      Error = Path + ": " + Parsed.Error;
+      return false;
+    }
+    Out.push_back(std::move(Def));
+  }
+  return true;
+}

@@ -1,0 +1,57 @@
+//===- CorpusIngest.h - Grown-corpus ingestion into the suite --*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns `.stenso` program files — in particular the fuzz-grown corpus
+/// under tests/fuzz_corpus/ — into BenchmarkDefs, so grown programs run
+/// through exactly the same harness (synthesizeBenchmark, equivalence
+/// verification, speedup measurement) as the paper's 33 programs.  This
+/// is ROADMAP item 5(b) made concrete: every corpus entry doubles as a
+/// soundness test for the synthesizer, the pruning oracle, and the
+/// differential machinery.
+///
+/// A corpus program's `input` shapes are its *search* shapes; optional
+/// `scale` lines map search extents to production extents just as in
+/// stenso-opt.  Dimensions are derived from the distinct extents across
+/// all inputs (the same extent always denotes the same dimension, which
+/// matches the injectivity convention of ShapeScaler).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_EVALSUITE_CORPUSINGEST_H
+#define STENSO_EVALSUITE_CORPUSINGEST_H
+
+#include "evalsuite/Benchmarks.h"
+#include "evalsuite/ProgramFile.h"
+
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace evalsuite {
+
+/// Builds a synthetic BenchmarkDef from a loaded program file.  \p Name
+/// becomes the benchmark name (conventionally the file's basename).
+/// Dims are one per distinct extent, named "d<extent>"; extents with no
+/// `scale` mapping use Full == Reduced.  Only f64 inputs are
+/// representable as suite benchmarks; returns false (leaving \p Out
+/// untouched) for programs with bool inputs.
+bool benchmarkFromProgramFile(const std::string &Name,
+                              const ProgramFile &File, BenchmarkDef &Out);
+
+/// Loads every `*.stenso` file under \p Dir (sorted by filename, so the
+/// suite order is stable) and converts each into a BenchmarkDef.
+/// Unreadable or malformed files are reported through \p Error and make
+/// the whole load fail — a corrupt checked-in corpus must be loud, not
+/// silently smaller.  A missing directory yields an empty suite and
+/// succeeds (a repo without grown programs is a valid state).
+bool loadCorpusSuite(const std::string &Dir,
+                     std::vector<BenchmarkDef> &Out, std::string &Error);
+
+} // namespace evalsuite
+} // namespace stenso
+
+#endif // STENSO_EVALSUITE_CORPUSINGEST_H

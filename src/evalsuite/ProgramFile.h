@@ -6,7 +6,8 @@
 ///
 /// \file
 /// The `.stenso` program-file format shared by the command-line tools
-/// (stenso-opt, stenso-lint):
+/// (stenso-opt, stenso-lint, stenso-fuzz), the fuzz corpus, and the
+/// evalsuite corpus ingestion:
 ///
 ///   # comment lines start with '#'
 ///   input A f64[96,96]
@@ -14,12 +15,14 @@
 ///   scale 96 4096          # optional search->production extent mapping
 ///   np.diag(np.dot(A, B))
 ///
-/// Header-only so the tools stay single-translation-unit.
+/// Header-only so the tools stay single-translation-unit.  Lives in
+/// evalsuite (not tools/) because grown corpus programs are loaded
+/// through the same format when they join the suite (CorpusIngest.h).
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef STENSO_TOOLS_PROGRAMFILE_H
-#define STENSO_TOOLS_PROGRAMFILE_H
+#ifndef STENSO_EVALSUITE_PROGRAMFILE_H
+#define STENSO_EVALSUITE_PROGRAMFILE_H
 
 #include "dsl/Parser.h"
 #include "support/StringUtils.h"
@@ -31,7 +34,7 @@
 #include <string>
 
 namespace stenso {
-namespace tools {
+namespace evalsuite {
 
 struct ProgramFile {
   dsl::InputDecls Inputs;
@@ -137,7 +140,7 @@ inline bool loadProgramFile(const std::string &Path, ProgramFile &Out,
   return true;
 }
 
-} // namespace tools
+} // namespace evalsuite
 } // namespace stenso
 
-#endif // STENSO_TOOLS_PROGRAMFILE_H
+#endif // STENSO_EVALSUITE_PROGRAMFILE_H

@@ -1,0 +1,89 @@
+//===- Corpus.cpp - On-disk fuzz corpus ------------------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include "evalsuite/ProgramFile.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+using namespace stenso;
+using namespace stenso::fuzz;
+
+namespace fs = std::filesystem;
+
+bool Corpus::load(std::string &Error) {
+  Cases.clear();
+  Hashes.clear();
+  std::error_code EC;
+  if (!fs::is_directory(Dir, EC))
+    return true;
+  std::vector<std::string> Paths;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, EC))
+    if (Entry.path().extension() == ".stenso")
+      Paths.push_back(Entry.path().string());
+  if (EC) {
+    Error = "cannot list '" + Dir + "': " + EC.message();
+    return false;
+  }
+  std::sort(Paths.begin(), Paths.end());
+  for (const std::string &Path : Paths) {
+    evalsuite::ProgramFile File;
+    if (!evalsuite::loadProgramFile(Path, File, Error)) {
+      Error = Path + ": " + Error;
+      return false;
+    }
+    FuzzCase Case;
+    Case.Name = fs::path(Path).stem().string();
+    Case.Inputs = std::move(File.Inputs);
+    Case.Scaler = File.Scaler;
+    Case.Source = std::move(File.Source);
+    if (!parseCase(Case)) {
+      Error = Path + ": expression does not parse over its declared inputs";
+      return false;
+    }
+    Hashes.insert(specHash(Case));
+    Cases.push_back(std::move(Case));
+  }
+  return true;
+}
+
+std::string Corpus::add(const FuzzCase &Case, const std::string &Prefix,
+                        const std::vector<std::string> &Provenance,
+                        std::string &Error) {
+  Error.clear();
+  uint64_t Hash = specHash(Case);
+  if (Hashes.count(Hash))
+    return "";
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC) {
+    Error = "cannot create '" + Dir + "': " + EC.message();
+    return "";
+  }
+  std::string Name = Prefix + "_" + specHashHex(Case);
+  std::string Path = (fs::path(Dir) / (Name + ".stenso")).string();
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    Error = "cannot write '" + Path + "'";
+    return "";
+  }
+  for (const std::string &Line : Provenance)
+    Out << "# " << Line << "\n";
+  Out << toProgramText(Case);
+  Out.flush();
+  if (!Out) {
+    Error = "write to '" + Path + "' failed";
+    return "";
+  }
+  FuzzCase Stored = Case;
+  Stored.Name = Name;
+  Hashes.insert(Hash);
+  Cases.push_back(std::move(Stored));
+  return Path;
+}

@@ -1,0 +1,70 @@
+//===- Corpus.h - On-disk fuzz corpus --------------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checked-in corpus under tests/fuzz_corpus/: one `.stenso` file
+/// per entry, named `<prefix>_<spechash16>.stenso` so the filename *is*
+/// the dedup key.  Two prefixes by convention:
+///
+///   fz_        coverage-novel programs grown by stenso-fuzz --grow
+///   finding_   minimized differential findings (must be empty in a
+///              healthy tree — a checked-in finding is a regression
+///              test for a bug that was since fixed)
+///
+/// Entries carry provenance as `#` comments (seed, generation path,
+/// which oracle fired); loadProgramFile skips comments, so every entry
+/// is directly runnable with stenso-opt/stenso-lint and ingestible into
+/// the evaluation suite (evalsuite/CorpusIngest.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_FUZZ_CORPUS_H
+#define STENSO_FUZZ_CORPUS_H
+
+#include "fuzz/FuzzCase.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace stenso {
+namespace fuzz {
+
+/// A corpus directory, loaded eagerly.
+class Corpus {
+public:
+  explicit Corpus(std::string Dir) : Dir(std::move(Dir)) {}
+
+  /// Loads every `*.stenso` under the directory (sorted by filename).
+  /// A missing directory is an empty corpus; a malformed entry fails
+  /// the whole load through \p Error.
+  bool load(std::string &Error);
+
+  const std::vector<FuzzCase> &cases() const { return Cases; }
+  const std::string &dir() const { return Dir; }
+
+  /// Whether an entry with this structural spec hash is present.
+  bool contains(uint64_t Hash) const { return Hashes.count(Hash) != 0; }
+
+  /// Persists \p Case as `<prefix>_<hash16>.stenso` with \p Provenance
+  /// rendered as leading comment lines.  Creates the directory on
+  /// demand.  Returns the path written, "" when the entry was already
+  /// present (dedup), or sets \p Error and returns "" on I/O failure
+  /// (Error empty = dedup, non-empty = failure).
+  std::string add(const FuzzCase &Case, const std::string &Prefix,
+                  const std::vector<std::string> &Provenance,
+                  std::string &Error);
+
+private:
+  std::string Dir;
+  std::vector<FuzzCase> Cases;
+  std::unordered_set<uint64_t> Hashes;
+};
+
+} // namespace fuzz
+} // namespace stenso
+
+#endif // STENSO_FUZZ_CORPUS_H

@@ -1,0 +1,112 @@
+//===- Coverage.cpp - Rewrite/decision coverage signal --------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Coverage.h"
+
+#include "dsl/Node.h"
+#include "dsl/Ops.h"
+#include "evalsuite/Classifier.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace stenso;
+using namespace stenso::fuzz;
+
+int CoverageMap::addAll(const std::vector<std::string> &Keys) {
+  int Novel = 0;
+  for (const std::string &Key : Keys) {
+    auto [It, Inserted] = Counts.emplace(Key, 0);
+    ++It->second;
+    if (Inserted)
+      ++Novel;
+  }
+  return Novel;
+}
+
+std::vector<std::string>
+CoverageMap::novel(const std::vector<std::string> &Keys) const {
+  std::vector<std::string> Out;
+  for (const std::string &Key : Keys)
+    if (!contains(Key))
+      Out.push_back(Key);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+namespace {
+
+void collectOpKinds(const dsl::Node *N,
+                    std::unordered_set<const dsl::Node *> &Seen,
+                    std::vector<std::string> &Keys) {
+  if (!N || !Seen.insert(N).second)
+    return;
+  if (!N->isInput() && !N->isConstant())
+    Keys.push_back("op:" + dsl::getOpName(N->getKind()));
+  for (const dsl::Node *Op : N->getOperands())
+    collectOpKinds(Op, Seen, Keys);
+}
+
+} // namespace
+
+std::vector<std::string> fuzz::collectCoverageKeys(
+    const dsl::Program &Original, const synth::SynthesisResult &Result,
+    const std::vector<observe::DecisionLog::Decision> &Decisions) {
+  std::vector<std::string> Keys;
+
+  // --- Input-shape features -------------------------------------------------
+  bool AnyScalar = false;
+  for (const dsl::Node *In : Original.getInputs()) {
+    const Shape &S = In->getType().TShape;
+    Keys.push_back("shape:rank" + std::to_string(S.getRank()));
+    if (S.getRank() == 0)
+      AnyScalar = true;
+    if (S.getRank() == 2 && S.getDim(0) != S.getDim(1))
+      Keys.push_back("shape:ragged");
+    for (int64_t I = 0; I < S.getRank(); ++I)
+      Keys.push_back(S.getDim(I) > 5 ? "shape:ext-large" : "shape:ext-small");
+  }
+  if (AnyScalar)
+    Keys.push_back("shape:scalar-input");
+
+  // --- Operation-kind features of the program under test -------------------
+  std::unordered_set<const dsl::Node *> Seen;
+  collectOpKinds(Original.getRoot(), Seen, Keys);
+
+  // --- Search outcome -------------------------------------------------------
+  Keys.push_back(std::string("abort:") + synth::toString(Result.Abort));
+  Keys.push_back(Result.Improved ? "improved:yes" : "improved:no");
+  if (Result.Improved && Result.Optimized)
+    Keys.push_back("class:" + evalsuite::toString(evalsuite::classifyTransformation(
+                                  Original.getRoot(),
+                                  Result.Optimized->getRoot())));
+
+  // --- Analysis-pruning domains --------------------------------------------
+  const synth::SynthesisStats &S = Result.Stats;
+  if (S.AnalysisPrunedSign > 0)
+    Keys.push_back("prune:sign");
+  if (S.AnalysisPrunedDegree > 0)
+    Keys.push_back("prune:degree");
+  if (S.AnalysisPrunedShape > 0)
+    Keys.push_back("prune:shape");
+  if (S.AnalysisPrunedSupport > 0)
+    Keys.push_back("prune:support");
+  if (S.PrunedByError > 0)
+    Keys.push_back("prune:error");
+
+  // --- DecisionLog branch outcomes, depth-bucketed --------------------------
+  for (const observe::DecisionLog::Decision &D : Decisions) {
+    int32_t Depth = std::min<int32_t>(D.Depth, 4);
+    Keys.push_back(std::string("outcome:") +
+                   observe::DecisionLog::toString(D.O) + ":d" +
+                   std::to_string(Depth));
+  }
+
+  std::sort(Keys.begin(), Keys.end());
+  Keys.erase(std::unique(Keys.begin(), Keys.end()), Keys.end());
+  return Keys;
+}

@@ -1,0 +1,75 @@
+//===- Coverage.h - Rewrite/decision coverage signal -----------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's coverage signal.  There is no compiler instrumentation
+/// here; "coverage" is assembled from the observable behavior of one
+/// synthesis run: which transformation class the rewrite fell into
+/// (evalsuite::Classifier), which branch outcomes the DecisionLog saw at
+/// which depths, which analysis-pruning domains fired, how the search
+/// ended, and which structural features the input program exhibited.
+/// A program is *interesting* when it contributes a key no earlier
+/// program produced — exactly the novelty the acceptance criterion
+/// measures against the 33-program suite baseline.
+///
+/// Keys are short stable strings ("class:Vectorization",
+/// "outcome:PrunedAnalysis:d2", "prune:sign", "shape:ragged", ...); the
+/// map is ordered so reports are deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_FUZZ_COVERAGE_H
+#define STENSO_FUZZ_COVERAGE_H
+
+#include "observe/DecisionLog.h"
+#include "synth/Synthesizer.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace dsl {
+class Program;
+}
+namespace fuzz {
+
+/// Accumulated coverage over a fuzz run (or the suite baseline).
+class CoverageMap {
+public:
+  /// Adds every key; returns how many were new to this map.
+  int addAll(const std::vector<std::string> &Keys);
+
+  bool contains(const std::string &Key) const {
+    return Counts.find(Key) != Counts.end();
+  }
+  size_t size() const { return Counts.size(); }
+
+  /// The subset of \p Keys this map has never seen (deduplicated,
+  /// sorted).
+  std::vector<std::string> novel(const std::vector<std::string> &Keys) const;
+
+  /// Key -> hit count, ordered; stable to iterate for reports.
+  const std::map<std::string, int64_t> &counts() const { return Counts; }
+
+private:
+  std::map<std::string, int64_t> Counts;
+};
+
+/// Extracts the coverage keys of one synthesis run: \p Original is the
+/// program that was synthesized, \p Result the outcome, \p Decisions the
+/// branch log captured during the run (empty is fine — decision keys are
+/// simply absent).  Depths are clamped to 4 so the key space stays
+/// bounded.
+std::vector<std::string>
+collectCoverageKeys(const dsl::Program &Original,
+                    const synth::SynthesisResult &Result,
+                    const std::vector<observe::DecisionLog::Decision> &Decisions);
+
+} // namespace fuzz
+} // namespace stenso
+
+#endif // STENSO_FUZZ_COVERAGE_H

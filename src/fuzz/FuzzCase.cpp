@@ -1,0 +1,62 @@
+//===- FuzzCase.cpp - One fuzz-generated program ---------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FuzzCase.h"
+
+#include "dsl/Printer.h"
+#include "persist/XXHash.h"
+
+using namespace stenso;
+using namespace stenso::fuzz;
+
+dsl::ParseResult fuzz::parseCase(const FuzzCase &Case) {
+  return dsl::parseProgram(Case.Source, Case.Inputs);
+}
+
+FuzzCase fuzz::caseFromProgram(const dsl::Program &P) {
+  FuzzCase Case;
+  for (const dsl::Node *In : P.getInputs())
+    Case.Inputs.emplace_back(In->getName(), In->getType());
+  Case.Source = dsl::printProgram(P);
+  return Case;
+}
+
+std::string fuzz::toProgramText(const FuzzCase &Case) {
+  std::string Out;
+  for (const auto &[Name, Type] : Case.Inputs) {
+    Out += "input " + Name + " " + toString(Type.Dtype);
+    if (Type.TShape.getRank() > 0) {
+      Out += "[";
+      for (int64_t I = 0; I < Type.TShape.getRank(); ++I) {
+        if (I)
+          Out += ",";
+        Out += std::to_string(Type.TShape.getDim(I));
+      }
+      Out += "]";
+    }
+    Out += "\n";
+  }
+  for (const auto &[Small, Full] : Case.Scaler.getMappings())
+    if (Small != Full)
+      Out += "scale " + std::to_string(Small) + " " + std::to_string(Full) +
+             "\n";
+  Out += Case.Source + "\n";
+  return Out;
+}
+
+uint64_t fuzz::specHash(const FuzzCase &Case) {
+  std::string Text = toProgramText(Case);
+  return persist::xxhash64(Text.data(), Text.size(), /*Seed=*/0);
+}
+
+std::string fuzz::specHashHex(const FuzzCase &Case) {
+  uint64_t H = specHash(Case);
+  static const char *Digits = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I, H >>= 4)
+    Out[static_cast<size_t>(I)] = Digits[H & 0xF];
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- FuzzCase.h - One fuzz-generated program -----------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit the fuzzer generates, mutates, executes, shrinks, and
+/// persists: a `.stenso` program (typed input declarations + one NumPy
+/// expression) in *text* form.  Text is the canonical representation —
+/// the printer/parser round-trip is a tested property of the DSL, the
+/// structural spec hash is a pure function of the text, and a corpus
+/// entry on disk is byte-identical to the case in memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_FUZZ_FUZZCASE_H
+#define STENSO_FUZZ_FUZZCASE_H
+
+#include "dsl/Parser.h"
+#include "synth/CostModel.h"
+
+#include <memory>
+#include <string>
+
+namespace stenso {
+namespace fuzz {
+
+/// A self-contained program under test.
+struct FuzzCase {
+  /// Display / corpus name; "fz_<spechash16>" when persisted.
+  std::string Name;
+  dsl::InputDecls Inputs;
+  /// Search->production extent mapping (identity for generated cases).
+  synth::ShapeScaler Scaler;
+  /// The expression in the printer's NumPy dialect.
+  std::string Source;
+};
+
+/// Parses the case's expression over its declared inputs.
+dsl::ParseResult parseCase(const FuzzCase &Case);
+
+/// Builds a case from an in-memory program: declarations from the
+/// program's inputs (declaration order), source from the printer.
+FuzzCase caseFromProgram(const dsl::Program &P);
+
+/// Serializes to the `.stenso` program-file format the tools speak
+/// (`input` lines, `scale` lines, the expression) — loadProgramFile
+/// inverts this exactly.
+std::string toProgramText(const FuzzCase &Case);
+
+/// The structural spec hash: xxh64 over the canonical program text.
+/// Two cases with identical declarations, scaling, and expression text
+/// collide by construction; the corpus dedups on this.
+uint64_t specHash(const FuzzCase &Case);
+
+/// The hash as the fixed-width lowercase hex used in corpus filenames.
+std::string specHashHex(const FuzzCase &Case);
+
+} // namespace fuzz
+} // namespace stenso
+
+#endif // STENSO_FUZZ_FUZZCASE_H

@@ -1,0 +1,171 @@
+//===- Fuzzer.cpp - Coverage-guided fuzz loop -------------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/Shrinker.h"
+
+#include <unordered_set>
+
+using namespace stenso;
+using namespace stenso::fuzz;
+
+Fuzzer::Fuzzer(FuzzerConfig Config)
+    : Config(Config), Gen(Config.Seed, Config.Generator) {
+  Baseline.addAll(this->Config.BaselineCoverage);
+}
+
+int Fuzzer::evaluate(const FuzzCase &Case, FuzzRunReport &Report,
+                     bool Shrink, Corpus *Store) {
+  OracleReport OR = runOracleStack(Case, Config.Oracle);
+  ++Report.Stats.Executed;
+  if (OR.Status != OracleStatus::ParseError && !OR.Comparable)
+    ++Report.Stats.NonComparable;
+  Report.Stats.SkippedLegs += OR.SkippedLegs;
+
+  // Novelty credit excludes baseline keys: a program only earns its way
+  // into the population by behaviour the baseline never showed.  The
+  // report coverage still counts everything.
+  int Novel = 0;
+  for (const std::string &Key : OR.CoverageKeys)
+    if (!Baseline.contains(Key) && !Report.Coverage.contains(Key))
+      ++Novel;
+  Report.Coverage.addAll(OR.CoverageKeys);
+  Report.Stats.CoverageCurve.emplace_back(Report.Stats.Executed,
+                                          Report.Coverage.size());
+
+  if (OR.Status == OracleStatus::Clean)
+    return Novel;
+
+  FuzzFinding F;
+  F.Check = OR.Status == OracleStatus::ParseError ? "parse" : OR.Check;
+  F.Detail = OR.Detail;
+  F.Minimized = Case;
+  if (OR.Status == OracleStatus::Mismatch && Shrink &&
+      Config.ShrinkAttempts > 0) {
+    std::string Check = OR.Check;
+    ShrinkResult SR = shrinkCase(
+        Case,
+        [this, &Check](const FuzzCase &Cand) {
+          OracleReport R = runOracleStack(Cand, Config.Oracle);
+          return R.Status == OracleStatus::Mismatch && R.Check == Check;
+        },
+        Config.ShrinkAttempts);
+    F.Minimized = SR.Minimized;
+    F.ShrinkSteps = SR.Steps;
+    F.ShrinkAttempts = SR.Attempts;
+  }
+  F.Minimized.Name = "finding_" + specHashHex(F.Minimized);
+  if (Store) {
+    std::string Error;
+    F.PersistedPath = Store->add(
+        F.Minimized, "finding",
+        {"stenso-fuzz finding: " + F.Check, F.Detail,
+         "found with --seed " + std::to_string(Config.Seed),
+         "replay: stenso-fuzz --replay " + F.Minimized.Name + ".stenso"},
+        Error);
+    if (!Error.empty())
+      Report.Warnings.push_back("persisting finding: " + Error);
+  }
+  Report.Findings.push_back(std::move(F));
+  return Novel;
+}
+
+FuzzRunReport Fuzzer::run() {
+  FuzzRunReport Report;
+
+  Corpus Store(Config.CorpusDir);
+  Corpus *Attached = Config.CorpusDir.empty() ? nullptr : &Store;
+  if (Attached) {
+    std::string Error;
+    if (!Store.load(Error)) {
+      Report.Warnings.push_back("corpus load: " + Error);
+      Attached = nullptr;
+    }
+  }
+
+  struct PopEntry {
+    FuzzCase Case;
+    int Credit;
+  };
+  std::vector<PopEntry> Population;
+  std::unordered_set<uint64_t> Seen;
+  if (Attached)
+    for (const FuzzCase &C : Store.cases()) {
+      Seen.insert(specHash(C));
+      Population.push_back({C, 1});
+    }
+
+  // The attempt cap bounds the loop when dedup keeps rejecting drawn
+  // candidates (a saturated population); budget going unspent then is
+  // the honest answer, not an infinite loop.
+  int64_t MaxAttempts = static_cast<int64_t>(Config.Budget) * 4 + 16;
+  for (int64_t Attempt = 0;
+       Attempt < MaxAttempts && Report.Stats.Executed < Config.Budget;
+       ++Attempt) {
+    FuzzCase Case;
+    bool FromMutation = false;
+    if (!Population.empty() && Gen.rng().chance(Config.MutateProb)) {
+      int64_t Total = 0;
+      for (const PopEntry &E : Population)
+        Total += E.Credit;
+      int64_t Draw = Gen.rng().uniformInt(0, Total - 1);
+      size_t Idx = 0;
+      for (; Idx + 1 < Population.size(); ++Idx) {
+        Draw -= Population[Idx].Credit;
+        if (Draw < 0)
+          break;
+      }
+      std::optional<FuzzCase> Child = Gen.mutateAny(Population[Idx].Case);
+      if (!Child)
+        continue;
+      Case = *Child;
+      FromMutation = true;
+    } else {
+      Case = Gen.generate();
+    }
+
+    if (!Seen.insert(specHash(Case)).second) {
+      ++Report.Stats.Duplicates;
+      continue;
+    }
+    Case.Name = "fz_" + specHashHex(Case);
+    if (FromMutation)
+      ++Report.Stats.Mutants;
+    else
+      ++Report.Stats.FreshGenerated;
+
+    size_t FindingsBefore = Report.Findings.size();
+    int Novel = evaluate(Case, Report, /*Shrink=*/true, Attached);
+    bool Clean = Report.Findings.size() == FindingsBefore;
+    if (Novel <= 0)
+      continue;
+    Population.push_back({Case, Novel});
+    // Only clean, coverage-novel programs join the corpus; findings are
+    // persisted separately (and minimized) by evaluate().
+    if (Attached && Config.GrowCorpus && Clean) {
+      std::string Error;
+      std::string Path = Store.add(
+          Case, "fz",
+          {"grown by stenso-fuzz --seed " + std::to_string(Config.Seed) +
+               " (" + (FromMutation ? "mutant" : "fresh") + ")",
+           "contributed " + std::to_string(Novel) + " new coverage keys"},
+          Error);
+      if (!Error.empty())
+        Report.Warnings.push_back("growing corpus: " + Error);
+      else if (!Path.empty())
+        ++Report.Stats.CorpusAdded;
+    }
+  }
+  return Report;
+}
+
+FuzzRunReport Fuzzer::replay(const std::vector<FuzzCase> &Cases) {
+  FuzzRunReport Report;
+  for (const FuzzCase &Case : Cases)
+    evaluate(Case, Report, /*Shrink=*/false, /*Store=*/nullptr);
+  return Report;
+}

@@ -1,0 +1,124 @@
+//===- Fuzzer.h - Coverage-guided fuzz loop --------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coverage-guided loop behind stenso-fuzz (DESIGN.md §12).  Each
+/// iteration draws a program — by mutating a coverage-novel population
+/// member (weighted by how much novelty it contributed) or by fresh
+/// generation — dedups it by structural spec hash, and runs it through
+/// the differential oracle stack.  Programs that light up new coverage
+/// keys join the population (and, in grow mode, the on-disk corpus);
+/// mismatches are minimized by the shrinker and persisted as findings.
+///
+/// The whole loop is a pure function of (seed, budget, corpus
+/// contents): the budget counts oracle evaluations rather than seconds,
+/// every synthesis run uses the flops cost model, and all randomness
+/// flows through one RNG.  `stenso-fuzz --seed S --budget T` is
+/// bit-reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_FUZZ_FUZZER_H
+#define STENSO_FUZZ_FUZZER_H
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Coverage.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+
+#include <utility>
+
+namespace stenso {
+namespace fuzz {
+
+struct FuzzerConfig {
+  uint64_t Seed = 1;
+  /// Oracle evaluations to spend (the deterministic unit of work).
+  int Budget = 50;
+  /// Probability of mutating a population member vs generating fresh.
+  double MutateProb = 0.7;
+  /// Oracle-evaluation budget for minimizing one finding.
+  int ShrinkAttempts = 64;
+  /// Corpus directory; empty = in-memory only.
+  std::string CorpusDir;
+  /// Persist coverage-novel clean programs as corpus entries.
+  bool GrowCorpus = false;
+  /// Coverage keys that earn no novelty credit: the loop steers toward
+  /// behaviour *beyond* this baseline (e.g. the evaluation suite's
+  /// keys), while the run report still records every key it saw.
+  std::vector<std::string> BaselineCoverage;
+  GeneratorConfig Generator;
+  OracleConfig Oracle;
+};
+
+/// One confirmed, minimized discrepancy.
+struct FuzzFinding {
+  FuzzCase Minimized;
+  /// Which oracle fired ("jobs-determinism", "pruning-invariance",
+  /// "verify", "egraph", "parse").
+  std::string Check;
+  std::string Detail;
+  int ShrinkSteps = 0;
+  int ShrinkAttempts = 0;
+  /// Where the finding was persisted ("" when no corpus is attached).
+  std::string PersistedPath;
+};
+
+struct FuzzRunStats {
+  /// Oracle evaluations performed (budget consumed), shrinking excluded.
+  int Executed = 0;
+  int FreshGenerated = 0;
+  int Mutants = 0;
+  /// Candidates dropped by spec-hash dedup.
+  int Duplicates = 0;
+  /// Runs whose reference search aborted (coverage-only, differentials
+  /// skipped).
+  int NonComparable = 0;
+  /// Individual differential legs skipped on budget grounds.
+  int SkippedLegs = 0;
+  /// Entries written to the corpus in grow mode.
+  int CorpusAdded = 0;
+  /// (executed, distinct coverage keys) after each evaluation — the
+  /// coverage curve for BENCH_fuzz.json.
+  std::vector<std::pair<int, size_t>> CoverageCurve;
+};
+
+struct FuzzRunReport {
+  FuzzRunStats Stats;
+  CoverageMap Coverage;
+  std::vector<FuzzFinding> Findings;
+  /// Non-fatal corpus I/O problems, for the driver to report.
+  std::vector<std::string> Warnings;
+};
+
+class Fuzzer {
+public:
+  explicit Fuzzer(FuzzerConfig Config);
+
+  /// The generative loop described above.
+  FuzzRunReport run();
+
+  /// Replays fixed cases through the oracle stack — the corpus replay
+  /// test's entry point.  No generation, no shrinking, no corpus
+  /// writes; findings carry the failing case unminimized.
+  FuzzRunReport replay(const std::vector<FuzzCase> &Cases);
+
+private:
+  /// Runs one case through the oracle, folds coverage and findings into
+  /// \p Report; returns how many coverage keys were new.
+  int evaluate(const FuzzCase &Case, FuzzRunReport &Report, bool Shrink,
+               Corpus *Store);
+
+  FuzzerConfig Config;
+  ProgramGenerator Gen;
+  /// Keys from Config.BaselineCoverage; credit-exempt, not reported.
+  CoverageMap Baseline;
+};
+
+} // namespace fuzz
+} // namespace stenso
+
+#endif // STENSO_FUZZ_FUZZER_H

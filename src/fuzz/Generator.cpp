@@ -1,0 +1,579 @@
+//===- Generator.cpp - Seeded DSL program generator and mutator -----------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace stenso;
+using namespace stenso::fuzz;
+using dsl::Node;
+using dsl::NodeAttrs;
+using dsl::OpKind;
+using dsl::Program;
+
+const char *fuzz::toString(MutationKind K) {
+  switch (K) {
+  case MutationKind::Grow:
+    return "grow";
+  case MutationKind::Shrink:
+    return "shrink";
+  case MutationKind::OpSwap:
+    return "op-swap";
+  case MutationKind::ShapePerturb:
+    return "shape-perturb";
+  }
+  return "unknown";
+}
+
+ProgramGenerator::ProgramGenerator(uint64_t Seed, GeneratorConfig Config)
+    : Rng(Seed), Config(Config) {}
+
+const Node *ProgramGenerator::pick(const std::vector<const Node *> &Pool) {
+  return Pool[static_cast<size_t>(
+      Rng.uniformInt(0, static_cast<int64_t>(Pool.size()) - 1))];
+}
+
+namespace {
+
+/// One half, spelled as the division the parser produces for "1 / 2".
+/// A Rational(1,2) constant prints as "1/2", which re-parses as this
+/// Divide node — building the Divide directly keeps print(parse(s)) a
+/// fixed point, which the round-trip tests and spec hashing rely on.
+const Node *half(Program &P) {
+  return P.tryMake(OpKind::Divide,
+                   {P.constant(Rational(1)), P.constant(Rational(2))});
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fresh generation
+//===----------------------------------------------------------------------===//
+
+const Node *ProgramGenerator::randomComprehension(
+    Program &P, const std::vector<const Node *> &Pool) {
+  // Iterate over the leading axis of some rank>=1 pool node; the body is
+  // a small elementwise expression over the slice variable.
+  std::vector<const Node *> Candidates;
+  for (const Node *N : Pool)
+    if (N->getType().TShape.getRank() >= 1)
+      Candidates.push_back(N);
+  if (Candidates.empty())
+    return nullptr;
+  const Node *Iterated = pick(Candidates);
+  const dsl::TensorType &IterType = Iterated->getType();
+  std::vector<int64_t> SliceDims;
+  for (int64_t I = 1; I < IterType.TShape.getRank(); ++I)
+    SliceDims.push_back(IterType.TShape.getDim(I));
+  dsl::TensorType SliceType{IterType.Dtype, Shape(SliceDims)};
+  const Node *Var =
+      P.loopVar("it" + std::to_string(LoopVarCounter++), SliceType);
+  const Node *Body = nullptr;
+  switch (Rng.uniformInt(0, 3)) {
+  case 0:
+    Body = P.tryMake(OpKind::Multiply, {Var, Var});
+    break;
+  case 1:
+    Body = P.tryMake(OpKind::Add, {Var, P.constant(Rational(1))});
+    break;
+  case 2:
+    Body = P.tryMake(OpKind::Sqrt, {Var});
+    break;
+  default:
+    Body = P.tryMake(OpKind::Power, {Var, P.constant(Rational(2))});
+    break;
+  }
+  if (!Body)
+    return nullptr;
+  return P.tryMakeComprehension(Iterated, Var, Body, /*Axis=*/0);
+}
+
+const Node *ProgramGenerator::randomOp(Program &P,
+                                       const std::vector<const Node *> &Pool) {
+  if (Rng.chance(Config.ComprehensionProb))
+    if (const Node *Comp = randomComprehension(P, Pool))
+      return Comp;
+  switch (Rng.uniformInt(0, 19)) {
+  case 0:
+    return P.tryMake(OpKind::Add, {pick(Pool), pick(Pool)});
+  case 1:
+    return P.tryMake(OpKind::Subtract, {pick(Pool), pick(Pool)});
+  case 2:
+    return P.tryMake(OpKind::Multiply, {pick(Pool), pick(Pool)});
+  case 3:
+    return P.tryMake(OpKind::Divide, {pick(Pool), pick(Pool)});
+  case 4:
+    return P.tryMake(OpKind::Sqrt, {pick(Pool)});
+  case 5:
+    return P.tryMake(OpKind::Maximum, {pick(Pool), pick(Pool)});
+  case 6:
+    return P.tryMake(OpKind::Dot, {pick(Pool), pick(Pool)});
+  case 7: {
+    const Node *Operand = pick(Pool);
+    if (Operand->getType().TShape.getRank() == 0)
+      return nullptr;
+    NodeAttrs Attrs;
+    Attrs.Axis = Rng.uniformInt(0, Operand->getType().TShape.getRank() - 1);
+    return P.tryMake(OpKind::Sum, {Operand}, Attrs);
+  }
+  case 8:
+    return P.tryMake(OpKind::Transpose, {pick(Pool)});
+  case 9:
+    return P.tryMake(OpKind::Exp, {pick(Pool)});
+  case 10:
+    return P.tryMake(OpKind::Log, {pick(Pool)});
+  case 11: {
+    const Node *C = P.tryMake(OpKind::Less, {pick(Pool), pick(Pool)});
+    if (!C)
+      return nullptr;
+    return P.tryMake(OpKind::Where, {C, pick(Pool), pick(Pool)});
+  }
+  case 12:
+    return P.tryMake(OpKind::Power, {pick(Pool), half(P)});
+  case 13:
+    return P.tryMake(OpKind::Power, {pick(Pool), P.constant(Rational(2))});
+  case 14: {
+    const Node *Operand = pick(Pool);
+    if (Operand->getType().TShape.getRank() == 0)
+      return nullptr;
+    NodeAttrs Attrs;
+    Attrs.Axis = Rng.uniformInt(0, Operand->getType().TShape.getRank() - 1);
+    return P.tryMake(OpKind::Max, {Operand}, Attrs);
+  }
+  case 15:
+    return P.tryMake(OpKind::SumAll, {pick(Pool)});
+  case 16:
+    return P.tryMake(OpKind::MaxAll, {pick(Pool)});
+  case 17: {
+    NodeAttrs Attrs;
+    Attrs.Diagonal = Rng.uniformInt(-1, 1);
+    return P.tryMake(Rng.chance(0.5) ? OpKind::Triu : OpKind::Tril,
+                     {pick(Pool)}, Attrs);
+  }
+  case 18:
+    return P.tryMake(OpKind::Diag, {pick(Pool)});
+  default:
+    return P.tryMake(OpKind::Trace, {pick(Pool)});
+  }
+}
+
+FuzzCase ProgramGenerator::generate() {
+  // Generated programs round-trip through the printer/parser by
+  // construction; the retry is a belt for printer corner cases so the
+  // fuzz loop never carries an unparseable case.
+  FuzzCase Case = generateOnce();
+  for (int Attempt = 0; Attempt < 10 && !parseCase(Case); ++Attempt)
+    Case = generateOnce();
+  return Case;
+}
+
+FuzzCase ProgramGenerator::generateOnce() {
+  LoopVarCounter = 0;
+  Program P;
+
+  // Extent palette: the suite's 4/5 plus, when enabled, larger values.
+  std::vector<int64_t> Palette = {2, 3, 4, 5};
+  if (Config.LargeShapes) {
+    Palette.push_back(6);
+    Palette.push_back(7);
+    Palette.push_back(8);
+    Palette.push_back(9);
+  }
+  int64_t E1 = Palette[static_cast<size_t>(
+      Rng.uniformInt(0, static_cast<int64_t>(Palette.size()) - 1))];
+  int64_t E2 = Palette[static_cast<size_t>(
+      Rng.uniformInt(0, static_cast<int64_t>(Palette.size()) - 1))];
+
+  dsl::TensorType Scal{DType::Float64, Shape()};
+  dsl::TensorType Vec{DType::Float64, Shape({E1})};
+  bool Ragged = Config.RaggedShapes && E1 != E2 && Rng.chance(0.5);
+  dsl::TensorType Mat{DType::Float64,
+                      Ragged ? Shape({E1, E2}) : Shape({E1, E1})};
+
+  std::vector<const Node *> Pool = {
+      P.input("A", Vec),       P.input("B", Vec),
+      P.input("M", Mat),       P.input("s", Scal),
+      P.constant(Rational(2)), half(P)};
+  if (Config.Rank3Shapes && Rng.chance(0.2)) {
+    int64_t E3 = 2 + Rng.uniformInt(0, 1);
+    Pool.push_back(
+        P.input("T", dsl::TensorType{DType::Float64, Shape({E3, E1, E2})}));
+  }
+
+  for (int Step = 0; Step < Config.MaxOps; ++Step)
+    if (const Node *Made = randomOp(P, Pool))
+      Pool.push_back(Made);
+
+  // Root: the most recent genuine operation, like the suite generators.
+  const Node *Root = nullptr;
+  for (auto It = Pool.rbegin(); It != Pool.rend(); ++It)
+    if (!(*It)->isInput() && !(*It)->isConstant()) {
+      Root = *It;
+      break;
+    }
+  P.setRoot(Root ? Root : P.add(Pool[0], Pool[1]));
+  return caseFromProgram(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation: rebuild the tree with one edit
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Context for one rebuilding pass over a parsed case.  TypeMap (when
+/// set) rewrites every input and loop-variable type; Edit (when set)
+/// replaces the rebuilt form of Target.  Any tryMake failure aborts the
+/// whole pass — mutations never produce ill-typed programs.
+struct RebuildCtx {
+  const Node *Target = nullptr;
+  /// (destination, original node, rebuilt operands, rebuilt node or
+  /// null if the plain rebuild failed) -> replacement or null.
+  std::function<const Node *(Program &, const Node *,
+                             const std::vector<const Node *> &, const Node *)>
+      Edit;
+  std::function<dsl::TensorType(const dsl::TensorType &)> TypeMap;
+  bool Failed = false;
+  std::unordered_map<const Node *, const Node *> Map;
+};
+
+const Node *rebuild(Program &Dest, const Node *N, RebuildCtx &Ctx) {
+  if (Ctx.Failed)
+    return nullptr;
+  auto It = Ctx.Map.find(N);
+  if (It != Ctx.Map.end())
+    return It->second;
+
+  const Node *Result = nullptr;
+  std::vector<const Node *> Ops;
+  switch (N->getKind()) {
+  case OpKind::Input:
+    Result = Dest.input(N->getName(), Ctx.TypeMap ? Ctx.TypeMap(N->getType())
+                                                  : N->getType());
+    break;
+  case OpKind::Constant:
+    Result = Dest.constant(N->getValue());
+    break;
+  case OpKind::Comprehension: {
+    const Node *Iterated = rebuild(Dest, N->getOperand(0), Ctx);
+    if (Ctx.Failed)
+      return nullptr;
+    const Node *OldVar = N->getLoopVar();
+    const Node *Var = Dest.loopVar(
+        OldVar->getName(), Ctx.TypeMap ? Ctx.TypeMap(OldVar->getType())
+                                       : OldVar->getType());
+    Ctx.Map.emplace(OldVar, Var);
+    const Node *Body = rebuild(Dest, N->getOperand(1), Ctx);
+    if (Ctx.Failed)
+      return nullptr;
+    Result = Dest.tryMakeComprehension(Iterated, Var, Body,
+                                       N->getAttrs().Axis.value_or(0));
+    Ops = {Iterated, Body};
+    break;
+  }
+  default: {
+    Ops.reserve(N->getNumOperands());
+    for (const Node *Op : N->getOperands()) {
+      Ops.push_back(rebuild(Dest, Op, Ctx));
+      if (Ctx.Failed)
+        return nullptr;
+    }
+    NodeAttrs Attrs = N->getAttrs();
+    if (Ctx.TypeMap) {
+      // Reshape/Full carry a concrete shape attribute; a global extent
+      // remap must rewrite it too or the rebuild would reject programs
+      // the mutation never meant to touch.
+      std::vector<int64_t> Dims;
+      for (int64_t I = 0; I < Attrs.ShapeAttr.getRank(); ++I)
+        Dims.push_back(
+            Ctx.TypeMap(dsl::TensorType{DType::Float64,
+                                        Shape({Attrs.ShapeAttr.getDim(I)})})
+                .TShape.getDim(0));
+      if (Attrs.ShapeAttr.getRank() > 0)
+        Attrs.ShapeAttr = Shape(Dims);
+    }
+    Result = Dest.tryMake(N->getKind(), Ops, Attrs);
+    break;
+  }
+  }
+
+  if (N == Ctx.Target && Ctx.Edit)
+    Result = Ctx.Edit(Dest, N, Ops, Result);
+  if (!Result) {
+    Ctx.Failed = true;
+    return nullptr;
+  }
+  Ctx.Map.emplace(N, Result);
+  return Result;
+}
+
+/// Post-order node collection (each node once); loop variables are
+/// reported separately so mutation-site selection can skip them.
+void collectNodes(const Node *N, std::vector<const Node *> &Out,
+                  std::unordered_set<const Node *> &Seen,
+                  std::unordered_set<const Node *> &LoopVars) {
+  if (!Seen.insert(N).second)
+    return;
+  if (N->getKind() == OpKind::Comprehension)
+    LoopVars.insert(N->getLoopVar());
+  for (const Node *Op : N->getOperands())
+    collectNodes(Op, Out, Seen, LoopVars);
+  Out.push_back(N);
+}
+
+} // namespace
+
+std::optional<FuzzCase> ProgramGenerator::mutate(const FuzzCase &Parent,
+                                                 MutationKind K) {
+  dsl::ParseResult Parsed = parseCase(Parent);
+  if (!Parsed)
+    return std::nullopt;
+  const Program &P = *Parsed.Prog;
+
+  std::vector<const Node *> Nodes;
+  std::unordered_set<const Node *> Seen, LoopVars;
+  collectNodes(P.getRoot(), Nodes, Seen, LoopVars);
+
+  Program Out;
+  RebuildCtx Ctx;
+
+  auto PickNode = [&](bool OpsOnly) -> const Node * {
+    std::vector<const Node *> Candidates;
+    for (const Node *N : Nodes) {
+      if (LoopVars.count(N))
+        continue;
+      if (OpsOnly && (N->isInput() || N->isConstant()))
+        continue;
+      Candidates.push_back(N);
+    }
+    if (Candidates.empty())
+      return nullptr;
+    return pick(Candidates);
+  };
+
+  switch (K) {
+  case MutationKind::Grow: {
+    Ctx.Target = PickNode(/*OpsOnly=*/false);
+    if (!Ctx.Target)
+      return std::nullopt;
+    int64_t Choice = Rng.uniformInt(0, 6);
+    int64_t Axis = Rng.uniformInt(0, 2); // validated by tryMake below
+    Ctx.Edit = [Choice, Axis](Program &Dest, const Node *,
+                              const std::vector<const Node *> &,
+                              const Node *Rebuilt) -> const Node * {
+      if (!Rebuilt)
+        return nullptr;
+      switch (Choice) {
+      case 0:
+        return Dest.tryMake(OpKind::Add, {Rebuilt, Dest.constant(Rational(1))});
+      case 1:
+        return Dest.tryMake(OpKind::Multiply,
+                            {Rebuilt, Dest.constant(Rational(2))});
+      case 2:
+        return Dest.tryMake(OpKind::Sqrt, {Rebuilt});
+      case 3:
+        return Dest.tryMake(OpKind::Maximum, {Rebuilt, Rebuilt});
+      case 4:
+        return Dest.tryMake(OpKind::Power,
+                            {Rebuilt, Dest.constant(Rational(2))});
+      case 5: {
+        if (Rebuilt->getType().TShape.getRank() == 0 ||
+            Axis >= Rebuilt->getType().TShape.getRank())
+          return nullptr;
+        NodeAttrs Attrs;
+        Attrs.Axis = Axis;
+        return Dest.tryMake(OpKind::Sum, {Rebuilt}, Attrs);
+      }
+      default:
+        return Dest.tryMake(OpKind::Transpose, {Rebuilt});
+      }
+    };
+    break;
+  }
+  case MutationKind::Shrink: {
+    Ctx.Target = PickNode(/*OpsOnly=*/true);
+    if (!Ctx.Target || Ctx.Target->getNumOperands() == 0)
+      return std::nullopt;
+    int64_t Idx = Rng.uniformInt(
+        0, static_cast<int64_t>(Ctx.Target->getNumOperands()) - 1);
+    Ctx.Edit = [Idx](Program &, const Node *,
+                     const std::vector<const Node *> &Ops,
+                     const Node *) -> const Node * {
+      if (static_cast<size_t>(Idx) >= Ops.size())
+        return nullptr;
+      return Ops[static_cast<size_t>(Idx)];
+    };
+    break;
+  }
+  case MutationKind::OpSwap: {
+    Ctx.Target = PickNode(/*OpsOnly=*/true);
+    if (!Ctx.Target)
+      return std::nullopt;
+    OpKind Old = Ctx.Target->getKind();
+    OpKind New = Old;
+    auto SwapIn = [&](std::initializer_list<OpKind> Class) {
+      std::vector<OpKind> Others;
+      for (OpKind C : Class)
+        if (C != Old)
+          Others.push_back(C);
+      New = Others[static_cast<size_t>(
+          Rng.uniformInt(0, static_cast<int64_t>(Others.size()) - 1))];
+    };
+    switch (Old) {
+    case OpKind::Add:
+    case OpKind::Subtract:
+    case OpKind::Multiply:
+    case OpKind::Divide:
+    case OpKind::Maximum:
+      SwapIn({OpKind::Add, OpKind::Subtract, OpKind::Multiply, OpKind::Divide,
+              OpKind::Maximum});
+      break;
+    case OpKind::Sqrt:
+    case OpKind::Exp:
+    case OpKind::Log:
+      SwapIn({OpKind::Sqrt, OpKind::Exp, OpKind::Log});
+      break;
+    case OpKind::Sum:
+    case OpKind::Max:
+      SwapIn({OpKind::Sum, OpKind::Max});
+      break;
+    case OpKind::SumAll:
+    case OpKind::MaxAll:
+      SwapIn({OpKind::SumAll, OpKind::MaxAll});
+      break;
+    case OpKind::Triu:
+    case OpKind::Tril:
+      SwapIn({OpKind::Triu, OpKind::Tril});
+      break;
+    default:
+      return std::nullopt; // no arity-compatible peer
+    }
+    Ctx.Edit = [New](Program &Dest, const Node *Orig,
+                     const std::vector<const Node *> &Ops,
+                     const Node *) -> const Node * {
+      return Dest.tryMake(New, Ops, Orig->getAttrs());
+    };
+    break;
+  }
+  case MutationKind::ShapePerturb: {
+    // Collect the distinct extents across inputs, remap one of them
+    // everywhere.  Consistency (e -> e' globally) preserves typing for
+    // every shape-polymorphic op; anything extent-sensitive (Dot on a
+    // deliberately square matrix, say) is revalidated by tryMake.
+    std::vector<int64_t> Extents;
+    for (const Node *In : P.getInputs())
+      for (int64_t I = 0; I < In->getType().TShape.getRank(); ++I) {
+        int64_t E = In->getType().TShape.getDim(I);
+        if (std::find(Extents.begin(), Extents.end(), E) == Extents.end())
+          Extents.push_back(E);
+      }
+    if (Extents.empty())
+      return std::nullopt;
+    int64_t From = Extents[static_cast<size_t>(
+        Rng.uniformInt(0, static_cast<int64_t>(Extents.size()) - 1))];
+    int64_t To = Rng.uniformInt(2, Config.LargeShapes ? 9 : 5);
+    if (To == From)
+      return std::nullopt;
+    Ctx.TypeMap = [From, To](const dsl::TensorType &T) -> dsl::TensorType {
+      std::vector<int64_t> Dims;
+      for (int64_t I = 0; I < T.TShape.getRank(); ++I) {
+        int64_t E = T.TShape.getDim(I);
+        Dims.push_back(E == From ? To : E);
+      }
+      return dsl::TensorType{T.Dtype, Shape(Dims)};
+    };
+    break;
+  }
+  }
+
+  const Node *NewRoot = rebuild(Out, P.getRoot(), Ctx);
+  if (Ctx.Failed || !NewRoot)
+    return std::nullopt;
+  Out.setRoot(NewRoot);
+  FuzzCase Result = caseFromProgram(Out);
+  // Mutants keep the parent's search->production scaling only when the
+  // shapes were untouched; after a perturbation the old mapping talks
+  // about extents that may no longer exist.
+  if (K != MutationKind::ShapePerturb)
+    Result.Scaler = Parent.Scaler;
+  if (!parseCase(Result))
+    return std::nullopt;
+  return Result;
+}
+
+namespace {
+
+/// Shared site enumeration for the shrink primitives: op nodes in post
+/// order, loop variables excluded.
+std::vector<const Node *> shrinkSites(const Program &P) {
+  std::vector<const Node *> Nodes, Sites;
+  std::unordered_set<const Node *> Seen, LoopVars;
+  collectNodes(P.getRoot(), Nodes, Seen, LoopVars);
+  for (const Node *N : Nodes)
+    if (!N->isInput() && !N->isConstant() && !LoopVars.count(N))
+      Sites.push_back(N);
+  return Sites;
+}
+
+} // namespace
+
+int fuzz::countShrinkSites(const FuzzCase &Case) {
+  dsl::ParseResult Parsed = parseCase(Case);
+  if (!Parsed)
+    return 0;
+  return static_cast<int>(shrinkSites(*Parsed.Prog).size());
+}
+
+std::optional<FuzzCase> fuzz::shrinkAt(const FuzzCase &Case, int Site,
+                                       int Operand) {
+  dsl::ParseResult Parsed = parseCase(Case);
+  if (!Parsed)
+    return std::nullopt;
+  const Program &P = *Parsed.Prog;
+  std::vector<const Node *> Sites = shrinkSites(P);
+  if (Site < 0 || static_cast<size_t>(Site) >= Sites.size())
+    return std::nullopt;
+  const Node *Target = Sites[static_cast<size_t>(Site)];
+  if (Operand < 0 ||
+      static_cast<size_t>(Operand) >= Target->getNumOperands())
+    return std::nullopt;
+
+  Program Out;
+  RebuildCtx Ctx;
+  Ctx.Target = Target;
+  Ctx.Edit = [Operand](Program &, const Node *,
+                       const std::vector<const Node *> &Ops,
+                       const Node *) -> const Node * {
+    if (static_cast<size_t>(Operand) >= Ops.size())
+      return nullptr;
+    return Ops[static_cast<size_t>(Operand)];
+  };
+  const Node *NewRoot = rebuild(Out, P.getRoot(), Ctx);
+  if (Ctx.Failed || !NewRoot)
+    return std::nullopt;
+  Out.setRoot(NewRoot);
+  FuzzCase Result = caseFromProgram(Out);
+  Result.Scaler = Case.Scaler;
+  // Shrinking a comprehension to its body leaves a free loop variable;
+  // the parse-back check rejects that (and any other escape from the
+  // printable language) instead of shipping an unloadable case.
+  if (!parseCase(Result))
+    return std::nullopt;
+  return Result;
+}
+
+std::optional<FuzzCase> ProgramGenerator::mutateAny(const FuzzCase &Parent) {
+  for (int Attempt = 0; Attempt < 8; ++Attempt) {
+    auto K = static_cast<MutationKind>(Rng.uniformInt(0, NumMutationKinds - 1));
+    if (std::optional<FuzzCase> Child = mutate(Parent, K))
+      return Child;
+  }
+  return std::nullopt;
+}

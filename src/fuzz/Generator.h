@@ -1,0 +1,110 @@
+//===- Generator.h - Seeded DSL program generator and mutator --*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's front end: a deterministic, seed-reproducible generator
+/// of well-typed DSL programs and a set of AST mutations over existing
+/// cases.  Every constructed node goes through Program::tryMake, so a
+/// generated or mutated case is well-typed by construction — a mutation
+/// that would break typing simply fails and the caller draws again.
+///
+/// The generator deliberately covers signatures the 33-program
+/// evaluation suite does not: ragged matrices (distinct row/column
+/// extents), larger extents, rank-3 tensors, and occasional
+/// comprehension roots.  The mutations (DESIGN.md §12):
+///
+///   Grow          wrap a random subtree in one more operation
+///   Shrink        replace a random operation by one of its operands
+///   OpSwap        exchange an operation for an arity-compatible peer
+///   ShapePerturb  remap one input extent everywhere it occurs
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_FUZZ_GENERATOR_H
+#define STENSO_FUZZ_GENERATOR_H
+
+#include "fuzz/FuzzCase.h"
+#include "support/RNG.h"
+
+#include <optional>
+
+namespace stenso {
+namespace fuzz {
+
+/// Knobs for the fresh-program generator.
+struct GeneratorConfig {
+  /// Operation budget per fresh program (leaves excluded).
+  int MaxOps = 7;
+  /// Permit matrices with distinct row/column extents.
+  bool RaggedShapes = true;
+  /// Extend the extent palette past the suite's 4/5 up to 9.
+  bool LargeShapes = true;
+  /// Occasionally add a rank-3 input to the signature.
+  bool Rank3Shapes = true;
+  /// Probability that a generation step tries a comprehension.
+  double ComprehensionProb = 0.06;
+};
+
+/// The four structural mutations.
+enum class MutationKind { Grow, Shrink, OpSwap, ShapePerturb };
+constexpr int NumMutationKinds = 4;
+
+const char *toString(MutationKind K);
+
+/// Deterministic program source: same seed + same call sequence =>
+/// byte-identical cases, on any host.  All randomness flows through the
+/// single RNG member.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed, GeneratorConfig Config = {});
+
+  /// A fresh random well-typed case.
+  FuzzCase generate();
+
+  /// One structural mutation of \p Parent.  Returns std::nullopt when
+  /// the drawn mutation site cannot be rewritten into a well-typed
+  /// program (the caller should draw again) or when \p Parent fails to
+  /// parse.  The result may equal the parent textually; dedup is the
+  /// corpus's job, not the mutator's.
+  std::optional<FuzzCase> mutate(const FuzzCase &Parent, MutationKind K);
+
+  /// Draws a random mutation kind and retries a few times before giving
+  /// up; the workhorse for the fuzz loop.
+  std::optional<FuzzCase> mutateAny(const FuzzCase &Parent);
+
+  RNG &rng() { return Rng; }
+
+private:
+  FuzzCase generateOnce();
+  const dsl::Node *pick(const std::vector<const dsl::Node *> &Pool);
+  const dsl::Node *randomOp(dsl::Program &P,
+                            const std::vector<const dsl::Node *> &Pool);
+  const dsl::Node *randomComprehension(
+      dsl::Program &P, const std::vector<const dsl::Node *> &Pool);
+
+  RNG Rng;
+  GeneratorConfig Config;
+  /// Monotone counter so comprehension loop variables get fresh names
+  /// across one program's construction.
+  int LoopVarCounter = 0;
+};
+
+/// Deterministic shrink-step primitives used by the minimizer (no RNG:
+/// the shrinker enumerates sites exhaustively).  Sites are the
+/// operation nodes of the parsed case in post order, loop variables
+/// excluded.
+
+/// Number of shrink sites; 0 when the case does not parse.
+int countShrinkSites(const FuzzCase &Case);
+
+/// Replaces site \p Site by its operand \p Operand and revalidates the
+/// whole program.  std::nullopt when out of range or ill-typed.
+std::optional<FuzzCase> shrinkAt(const FuzzCase &Case, int Site, int Operand);
+
+} // namespace fuzz
+} // namespace stenso
+
+#endif // STENSO_FUZZ_GENERATOR_H

@@ -1,0 +1,142 @@
+//===- Oracle.cpp - Differential oracle stack ------------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "analysis/Lint.h"
+#include "egraph/EGraph.h"
+#include "observe/DecisionLog.h"
+#include "verify/Equivalence.h"
+
+using namespace stenso;
+using namespace stenso::fuzz;
+
+namespace {
+
+synth::SynthesisConfig baseConfig(const OracleConfig &Config,
+                                  const std::string &Tag) {
+  synth::SynthesisConfig C;
+  // The flops model is a pure function of the program; the measured
+  // model embeds wall time and would break bit-reproducibility.
+  C.CostModelName = "flops";
+  C.UseAnalysisPruning = true;
+  C.TimeoutSeconds = Config.TimeoutSeconds;
+  C.MaxSolverCalls = Config.MaxSolverCalls;
+  C.MaxSymbolicNodes = Config.MaxSymbolicNodes;
+  C.Jobs = 1;
+  C.DecisionsTag = Tag;
+  return C;
+}
+
+} // namespace
+
+OracleReport fuzz::runOracleStack(const FuzzCase &Case,
+                                  const OracleConfig &Config) {
+  OracleReport Report;
+
+  dsl::ParseResult Parsed = parseCase(Case);
+  if (!Parsed) {
+    Report.Status = OracleStatus::ParseError;
+    Report.Detail = Parsed.Error;
+    return Report;
+  }
+  const dsl::Program &P = *Parsed.Prog;
+
+  // Leg 1: lint must produce diagnostics without crashing; findings feed
+  // the coverage signal.
+  std::vector<std::string> LintKeys;
+  for (const analysis::LintDiagnostic &D : analysis::lintProgram(P))
+    LintKeys.push_back("lint:" + D.Check);
+
+  // Leg 2: the reference search.
+  observe::DecisionLog Log;
+  synth::SynthesisConfig RefConfig = baseConfig(Config, Case.Name);
+  RefConfig.Decisions = &Log;
+  Report.Reference = synth::Synthesizer(RefConfig).run(P, Case.Scaler);
+
+  Report.CoverageKeys =
+      collectCoverageKeys(P, Report.Reference, Log.snapshot());
+  Report.CoverageKeys.insert(Report.CoverageKeys.end(), LintKeys.begin(),
+                             LintKeys.end());
+
+  Report.Comparable = Report.Reference.Abort == synth::AbortReason::None;
+
+  auto Mismatch = [&](const std::string &Check, const std::string &Detail) {
+    Report.Status = OracleStatus::Mismatch;
+    Report.Check = Check;
+    Report.Detail = Detail;
+  };
+
+  // Legs 3 and 4: outcome differentials, gated on completion.  A run
+  // that hit a budget stops at a scheduling-dependent point (DESIGN.md
+  // §8/§10), so comparing it would manufacture false findings; such legs
+  // are counted as skipped instead.
+  if (Report.Comparable && Config.CheckJobs) {
+    synth::SynthesisConfig JobsConfig = baseConfig(Config, Case.Name);
+    JobsConfig.Jobs = Config.Jobs;
+    synth::SynthesisResult Par = synth::Synthesizer(JobsConfig).run(
+        P, Case.Scaler);
+    if (Par.Abort != synth::AbortReason::None)
+      ++Report.SkippedLegs;
+    else if (!synth::sameSearchOutcome(Report.Reference, Par))
+      Mismatch("jobs-determinism",
+               "jobs=" + std::to_string(Config.Jobs) +
+                   " diverged from jobs=1: " +
+                   synth::describeOutcomeDiff(Report.Reference, Par));
+  }
+
+  if (Report.Comparable && Report.Status == OracleStatus::Clean &&
+      Config.CheckPruning) {
+    synth::SynthesisConfig NoPrune = baseConfig(Config, Case.Name);
+    NoPrune.UseAnalysisPruning = false;
+    synth::SynthesisResult Off = synth::Synthesizer(NoPrune).run(
+        P, Case.Scaler);
+    if (Off.Abort != synth::AbortReason::None)
+      ++Report.SkippedLegs; // pruning-off legitimately does more work
+    else if (!synth::sameSearchOutcome(Report.Reference, Off))
+      Mismatch("pruning-invariance",
+               "analysis pruning changed the outcome: " +
+                   synth::describeOutcomeDiff(Report.Reference, Off));
+  }
+
+  // Legs 5 and 6 cross-check an accepted improvement.
+  if (Report.Reference.Improved && Report.Reference.Optimized) {
+    const dsl::Program &Opt = *Report.Reference.Optimized;
+
+    if (Config.CheckVerify && Report.Status == OracleStatus::Clean) {
+      Expected<verify::Verdict> V = verify::checkEquivalence(P, Opt);
+      if (!V)
+        ++Report.SkippedLegs; // the check itself could not run
+      else if (*V == verify::Verdict::NotEquivalent ||
+               *V == verify::Verdict::Incomparable)
+        Mismatch("verify", "the verifier refuted the accepted rewrite: " +
+                               verify::toString(*V));
+    }
+
+    if (Config.CheckEGraph && Report.Status == OracleStatus::Clean) {
+      egraph::EGraph G;
+      std::optional<egraph::ClassId> A = G.addProgram(P.getRoot());
+      std::optional<egraph::ClassId> B = G.addProgram(Opt.getRoot());
+      // Comprehensions are outside the e-graph's term language; those
+      // cases skip this leg (addProgram / addRule return empty).
+      if (A && B && G.addRule(P.getRoot(), Opt.getRoot())) {
+        egraph::SaturationStats Stats = G.saturate();
+        if (!G.sameClass(*A, *B)) {
+          if (Stats.Saturated)
+            Mismatch("egraph",
+                     "saturation with the original->optimized rule did "
+                     "not join the two programs' classes");
+          else
+            ++Report.SkippedLegs; // limits cut saturation short
+        }
+      } else {
+        ++Report.SkippedLegs;
+      }
+    }
+  }
+
+  return Report;
+}

@@ -1,0 +1,96 @@
+//===- Oracle.h - Differential oracle stack --------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One fuzz case runs through the whole synthesis stack with every
+/// cross-check the repo's contracts promise:
+///
+///   1. stenso-lint's pass must produce diagnostics without crashing;
+///   2. the reference search (jobs=1, analysis pruning on, flops cost
+///      model) runs with a DecisionLog attached;
+///   3. determinism contract (DESIGN.md §8): jobs=N must reproduce the
+///      reference outcome exactly;
+///   4. pruning soundness (DESIGN.md §10): analysis pruning off must
+///      reproduce the reference outcome exactly;
+///   5. when the search improved the program, the symbolic/random
+///      equivalence verifier must not refute the rewrite, and
+///   6. the e-graph, given original->optimized as a rewrite rule, must
+///      place both programs in one class after saturation.
+///
+/// Differentials 3 and 4 are only meaningful for *completed* searches
+/// (AbortReason::None): a budget-truncated search stops at a
+/// scheduling- or pruning-dependent point, exactly like the caveats in
+/// the parallel and analysis test suites.  Non-comparable runs still
+/// produce coverage — they are skipped, not silently dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_FUZZ_ORACLE_H
+#define STENSO_FUZZ_ORACLE_H
+
+#include "fuzz/Coverage.h"
+#include "fuzz/FuzzCase.h"
+#include "synth/Synthesizer.h"
+
+namespace stenso {
+namespace fuzz {
+
+/// Bounds for one oracle evaluation.  The caps keep a single fuzz
+/// iteration cheap; completion-gating (above) keeps them sound.
+struct OracleConfig {
+  /// Worker count for the jobs differential (leg 3).
+  int Jobs = 4;
+  /// Wall-clock cap per synthesis run.
+  double TimeoutSeconds = 10;
+  /// Hole-solver call cap per synthesis run (<= 0 unlimited).  The
+  /// deterministic way to bound search depth.
+  int64_t MaxSolverCalls = 3000;
+  /// Symbolic-node cap per synthesis run (<= 0 unlimited).  Bounds the
+  /// specs a fuzz-generated program can blow up to, deterministically —
+  /// unlike the wall clock, the same program aborts the same way on
+  /// every host.
+  int64_t MaxSymbolicNodes = 50000;
+  bool CheckJobs = true;
+  bool CheckPruning = true;
+  bool CheckVerify = true;
+  bool CheckEGraph = true;
+};
+
+enum class OracleStatus {
+  /// Every applicable check passed.
+  Clean,
+  /// The case did not parse (a generator or corpus bug, reported loudly).
+  ParseError,
+  /// A cross-check failed: a genuine finding.
+  Mismatch,
+};
+
+/// Outcome of one oracle evaluation.
+struct OracleReport {
+  OracleStatus Status = OracleStatus::Clean;
+  /// Which check fired on Mismatch: "jobs-determinism",
+  /// "pruning-invariance", "verify", "egraph"; empty when Clean.
+  std::string Check;
+  /// Human-readable description of the finding (or the parse error).
+  std::string Detail;
+  /// True when the reference search completed and differentials 3/4 ran.
+  bool Comparable = false;
+  /// Differential legs skipped because a run aborted on budget.
+  int SkippedLegs = 0;
+  /// The reference result (jobs=1, pruning on).
+  synth::SynthesisResult Reference;
+  /// Coverage keys of the reference run (plus lint:<check> keys).
+  std::vector<std::string> CoverageKeys;
+};
+
+/// Runs the full stack on \p Case.
+OracleReport runOracleStack(const FuzzCase &Case,
+                            const OracleConfig &Config = OracleConfig());
+
+} // namespace fuzz
+} // namespace stenso
+
+#endif // STENSO_FUZZ_ORACLE_H

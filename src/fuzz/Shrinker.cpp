@@ -1,0 +1,44 @@
+//===- Shrinker.cpp - Finding minimization ---------------------------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include "fuzz/Generator.h"
+
+using namespace stenso;
+using namespace stenso::fuzz;
+
+ShrinkResult fuzz::shrinkCase(const FuzzCase &Case,
+                              const ReproducePredicate &Predicate,
+                              int MaxAttempts) {
+  ShrinkResult Result;
+  Result.Minimized = Case;
+
+  bool Progress = true;
+  while (Progress && Result.Attempts < MaxAttempts) {
+    Progress = false;
+    int Sites = countShrinkSites(Result.Minimized);
+    std::string CurText = toProgramText(Result.Minimized);
+    for (int Site = 0; Site < Sites && !Progress; ++Site) {
+      // Up to three operands covers every op in the grammar (Where).
+      for (int Operand = 0; Operand < 3 && !Progress; ++Operand) {
+        if (Result.Attempts >= MaxAttempts)
+          break;
+        std::optional<FuzzCase> Cand =
+            shrinkAt(Result.Minimized, Site, Operand);
+        if (!Cand || toProgramText(*Cand) == CurText)
+          continue;
+        ++Result.Attempts;
+        if (Predicate(*Cand)) {
+          Result.Minimized = *Cand;
+          ++Result.Steps;
+          Progress = true; // restart site enumeration on the smaller case
+        }
+      }
+    }
+  }
+  return Result;
+}

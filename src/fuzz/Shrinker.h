@@ -1,0 +1,49 @@
+//===- Shrinker.h - Finding minimization -----------------------*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy structural minimization of a failing case.  The shrinker
+/// repeatedly replaces an operation node by one of its operands and
+/// keeps the smaller program whenever the caller's predicate still
+/// reproduces the finding; it runs to fixpoint under an attempt budget
+/// (each attempt is a full oracle evaluation — the budget is what keeps
+/// minimization affordable).  Fully deterministic: sites are enumerated
+/// in post order, no randomness involved, so a minimized finding is the
+/// same on every host.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_FUZZ_SHRINKER_H
+#define STENSO_FUZZ_SHRINKER_H
+
+#include "fuzz/FuzzCase.h"
+
+#include <functional>
+
+namespace stenso {
+namespace fuzz {
+
+/// True when the candidate still reproduces the original finding.
+using ReproducePredicate = std::function<bool(const FuzzCase &)>;
+
+struct ShrinkResult {
+  FuzzCase Minimized;
+  /// Accepted shrink steps (0 = the input was already minimal).
+  int Steps = 0;
+  /// Predicate evaluations spent.
+  int Attempts = 0;
+};
+
+/// Minimizes \p Case under \p Predicate.  The input must itself satisfy
+/// the predicate; the result always does.
+ShrinkResult shrinkCase(const FuzzCase &Case,
+                        const ReproducePredicate &Predicate,
+                        int MaxAttempts = 64);
+
+} // namespace fuzz
+} // namespace stenso
+
+#endif // STENSO_FUZZ_SHRINKER_H

@@ -85,6 +85,16 @@ void DecisionLog::writeJsonl(std::ostream &OS) const {
   }
 }
 
+std::vector<DecisionLog::Decision> DecisionLog::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<Decision> Out;
+  Out.reserve(Records.size());
+  for (const Record &R : Records)
+    Out.push_back(Decision{R.Sketch, R.Depth, R.CostBound, R.Cost, R.O,
+                           R.Tag ? Tags[R.Tag - 1] : std::string()});
+  return Out;
+}
+
 void DecisionLog::clear() {
   std::lock_guard<std::mutex> Lock(M);
   Records.clear();

@@ -82,6 +82,22 @@ public:
   ///  "cost":0,"tag":"diag_dot"}
   void writeJsonl(std::ostream &OS) const;
 
+  /// One decision with the tag resolved, for in-process consumers (the
+  /// fuzzer's coverage map folds these into branch-coverage keys).
+  struct Decision {
+    int32_t Sketch;
+    int32_t Depth;
+    double CostBound;
+    double Cost;
+    Outcome O;
+    std::string Tag;
+  };
+
+  /// A copy of every record in arrival order.  Remember that inter-branch
+  /// order is scheduling-dependent under --jobs > 1; consumers must treat
+  /// the result as a multiset (see the file comment).
+  std::vector<Decision> snapshot() const;
+
   void clear();
 
 private:

@@ -16,6 +16,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <random>
 
 namespace stenso {
@@ -53,6 +54,20 @@ public:
 private:
   std::mt19937_64 Engine;
 };
+
+/// Seed discipline for fuzz/stress tests: the STENSO_SEED environment
+/// variable (decimal or 0x-prefixed hex) overrides \p Default, so any CI
+/// failure is reproducible with `STENSO_SEED=<printed seed> <test>`.
+/// Tests must announce the seed they ran with on failure (gtest:
+/// SCOPED_TRACE the value) — see DESIGN.md §12.
+inline uint64_t seedFromEnv(uint64_t Default) {
+  const char *E = std::getenv("STENSO_SEED");
+  if (!E || !*E)
+    return Default;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(E, &End, 0);
+  return (End && *End == '\0') ? static_cast<uint64_t>(V) : Default;
+}
 
 } // namespace stenso
 

@@ -52,6 +52,35 @@ double synth::specComplexity(const SymTensor &Spec) {
   return static_cast<double>(Occurrences) * Spec.density();
 }
 
+bool synth::sameSearchOutcome(const SynthesisResult &A,
+                              const SynthesisResult &B) {
+  return A.Improved == B.Improved && A.Abort == B.Abort &&
+         A.OptimizedCost == B.OptimizedCost &&
+         A.OptimizedSource == B.OptimizedSource;
+}
+
+std::string synth::describeOutcomeDiff(const SynthesisResult &A,
+                                       const SynthesisResult &B) {
+  std::string Out;
+  auto Add = [&Out](const std::string &Piece) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += Piece;
+  };
+  if (A.Improved != B.Improved)
+    Add(std::string("improved ") + (A.Improved ? "true" : "false") + " vs " +
+        (B.Improved ? "true" : "false"));
+  if (A.Abort != B.Abort)
+    Add(std::string("abort ") + toString(A.Abort) + " vs " +
+        toString(B.Abort));
+  if (A.OptimizedCost != B.OptimizedCost)
+    Add("cost " + std::to_string(A.OptimizedCost) + " vs " +
+        std::to_string(B.OptimizedCost));
+  if (A.OptimizedSource != B.OptimizedSource)
+    Add("source '" + A.OptimizedSource + "' vs '" + B.OptimizedSource + "'");
+  return Out;
+}
+
 namespace {
 
 /// Distinct input-tensor names mentioned by a spec.

@@ -192,6 +192,23 @@ private:
 /// (Section V-A): distinct symbols times non-zero density.
 double specComplexity(const symexec::SymTensor &Spec);
 
+/// The determinism contract's equality: two runs agree when they found
+/// the same improvement (source text), at the same cost, with the same
+/// abort classification.  Exact double comparison is intentional — the
+/// contract promises identical results, not close ones.  Search
+/// *statistics* are excluded (DESIGN.md §8: pruning-discipline counters
+/// legitimately differ across engines).  This is the comparison every
+/// differential harness (fuzz oracle, parallel/pruning benches) uses;
+/// remember it is only meaningful when both runs completed
+/// (Abort == None) — budget-truncated searches stop at
+/// scheduling-dependent points.
+bool sameSearchOutcome(const SynthesisResult &A, const SynthesisResult &B);
+
+/// Human-readable diff of the contract fields for mismatch reports;
+/// empty when sameSearchOutcome(A, B).
+std::string describeOutcomeDiff(const SynthesisResult &A,
+                                const SynthesisResult &B);
+
 } // namespace synth
 } // namespace stenso
 

@@ -346,6 +346,11 @@ TEST(AbstractInterpreterTest, BooleansSelectionsAndShapeEdgeCases) {
 // Soundness fuzz: abstract claims vs the reference interpreter
 //===----------------------------------------------------------------------===//
 
+/// Seed discipline (DESIGN.md §12): STENSO_SEED offsets every derived
+/// shard seed below; failing tests announce the value to export for an
+/// exact rerun.
+uint64_t baseSeed() { return seedFromEnv(0); }
+
 /// Random well-typed program generator, extended relative to
 /// PropertyTest's with the domain-sensitive operations the analysis
 /// exists for (exp, log, where/less, maximum, power by 1/2).
@@ -535,9 +540,10 @@ class AnalysisFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(AnalysisFuzzTest, AbstractClaimsHoldOnRandomPrograms) {
   // 10 shards x >= 52 programs each = 520 random well-typed programs.
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(baseSeed()));
   int64_t Checked = 0;
   for (int Round = 0; Round < 52; ++Round) {
-    uint64_t Seed =
+    uint64_t Seed = baseSeed() +
         static_cast<uint64_t>(GetParam()) * 1000003 + Round * 97 + 11;
     AnalysisFuzzer Fuzzer(Seed);
     std::unique_ptr<dsl::Program> P = Fuzzer.generate(6);
@@ -621,8 +627,10 @@ TEST(PruningOracleTest, EveryOracleRejectionIsASolverFailure) {
     Q.setRoot(Q.add(M, M));
     CheckSpec(symexec::computeSpec(Q, Ctx));
   }
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(baseSeed()));
   for (int Round = 0; Round < 40; ++Round) {
-    AnalysisFuzzer Fuzzer(90001 + Round * 13, /*SquareShapes=*/true);
+    AnalysisFuzzer Fuzzer(baseSeed() + 90001 + Round * 13,
+                          /*SquareShapes=*/true);
     std::unique_ptr<dsl::Program> Q = Fuzzer.generate(5);
     symexec::SymTensor Spec = symexec::computeSpec(*Q, Ctx);
     if (Library.getSketchesFor(Spec.getShape(), Spec.getDType()).empty())
@@ -641,8 +649,10 @@ TEST(PruningOracleTest, EveryOracleRejectionIsASolverFailure) {
 //===----------------------------------------------------------------------===//
 
 TEST(AnalysisPruningTest, SynthesisResultIdenticalWithOracleOnOrOff) {
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(baseSeed()));
   for (int SeedIdx = 0; SeedIdx < 3; ++SeedIdx) {
-    AnalysisFuzzer Fuzzer(static_cast<uint64_t>(SeedIdx) * 7741 + 5);
+    AnalysisFuzzer Fuzzer(baseSeed() + static_cast<uint64_t>(SeedIdx) * 7741 +
+                          5);
     std::unique_ptr<dsl::Program> P = Fuzzer.generate(4);
 
     struct Outcome {

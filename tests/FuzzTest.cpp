@@ -1,0 +1,400 @@
+//===- FuzzTest.cpp - Tests for the coverage-guided fuzzing stack ----------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer fuzzes the synthesizer, so its own guarantees need pinning:
+/// seed-determinism of generation and mutation, well-typedness of every
+/// mutant, spec-hash dedup, shrinker convergence, coverage-key
+/// extraction — plus the checked-in corpus contract: every entry under
+/// tests/fuzz_corpus/ replays cleanly through the differential oracle
+/// at jobs=1 and jobs=4 and ingests into the evaluation suite.
+///
+/// Seed discipline (DESIGN.md §12): randomized tests read STENSO_SEED
+/// from the environment and announce the seed via SCOPED_TRACE, so any
+/// CI failure reproduces with `STENSO_SEED=<seed> ./FuzzTest`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Shrinker.h"
+
+#include "dsl/Printer.h"
+#include "evalsuite/Classifier.h"
+#include "evalsuite/CorpusIngest.h"
+#include "support/RNG.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <map>
+
+using namespace stenso;
+using namespace stenso::fuzz;
+
+#ifndef STENSO_FUZZ_CORPUS_DIR
+#define STENSO_FUZZ_CORPUS_DIR "tests/fuzz_corpus"
+#endif
+
+namespace {
+
+/// The announced-seed idiom every randomized test here uses.
+uint64_t testSeed(uint64_t Default) { return seedFromEnv(Default); }
+
+/// Oracle bounds for tests: no wall clock (deterministic on any host),
+/// solver/symbolic caps doing the limiting.
+OracleConfig testOracle(int Jobs, bool CheckJobs) {
+  OracleConfig Config;
+  Config.TimeoutSeconds = 0;
+  Config.Jobs = Jobs;
+  Config.CheckJobs = CheckJobs;
+  return Config;
+}
+
+std::vector<FuzzCase> loadCheckedInCorpus() {
+  Corpus Store(STENSO_FUZZ_CORPUS_DIR);
+  std::string Error;
+  EXPECT_TRUE(Store.load(Error)) << Error;
+  return Store.cases();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Generator
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzGeneratorTest, SameSeedSamePrograms) {
+  uint64_t Seed = testSeed(0xfeed5eed);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(Seed));
+  ProgramGenerator A(Seed), B(Seed);
+  for (int I = 0; I < 20; ++I)
+    EXPECT_EQ(toProgramText(A.generate()), toProgramText(B.generate())) << I;
+}
+
+TEST(FuzzGeneratorTest, DifferentSeedsDiverge) {
+  ProgramGenerator A(1), B(2);
+  bool Diverged = false;
+  for (int I = 0; I < 10 && !Diverged; ++I)
+    Diverged = toProgramText(A.generate()) != toProgramText(B.generate());
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(FuzzGeneratorTest, GeneratedProgramsParseAndRoundTrip) {
+  uint64_t Seed = testSeed(11);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(Seed));
+  ProgramGenerator Gen(Seed);
+  for (int I = 0; I < 50; ++I) {
+    FuzzCase Case = Gen.generate();
+    dsl::ParseResult Parsed = parseCase(Case);
+    ASSERT_TRUE(Parsed) << Case.Source << "\n" << Parsed.Error;
+    // The printer's text is the canonical form; parsing and re-printing
+    // must be a fixed point or spec hashing would be unstable.
+    EXPECT_EQ(dsl::printProgram(*Parsed.Prog), Case.Source);
+  }
+}
+
+TEST(FuzzGeneratorTest, GeneratorReachesShapesTheSuiteNeverUses) {
+  uint64_t Seed = testSeed(29);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(Seed));
+  ProgramGenerator Gen(Seed);
+  bool SawRagged = false, SawLarge = false, SawRank3 = false;
+  for (int I = 0; I < 80; ++I) {
+    FuzzCase Case = Gen.generate();
+    for (const auto &[Name, Type] : Case.Inputs) {
+      const Shape &S = Type.TShape;
+      if (S.getRank() == 2 && S.getDim(0) != S.getDim(1))
+        SawRagged = true;
+      if (S.getRank() == 3)
+        SawRank3 = true;
+      for (int64_t D = 0; D < S.getRank(); ++D)
+        SawLarge |= S.getDim(D) > 5;
+    }
+  }
+  EXPECT_TRUE(SawRagged);
+  EXPECT_TRUE(SawLarge);
+  EXPECT_TRUE(SawRank3);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzMutationTest, EveryMutantIsWellTyped) {
+  uint64_t Seed = testSeed(5);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(Seed));
+  ProgramGenerator Gen(Seed);
+  int Produced = 0;
+  for (int I = 0; I < 25; ++I) {
+    FuzzCase Parent = Gen.generate();
+    for (int K = 0; K < NumMutationKinds; ++K) {
+      std::optional<FuzzCase> Child =
+          Gen.mutate(Parent, static_cast<MutationKind>(K));
+      if (!Child)
+        continue; // the drawn site could not be rewritten; that's fine
+      ++Produced;
+      dsl::ParseResult Parsed = parseCase(*Child);
+      EXPECT_TRUE(Parsed) << toString(static_cast<MutationKind>(K)) << " of\n"
+                          << Parent.Source << "\nproduced unparseable\n"
+                          << Child->Source << "\n"
+                          << Parsed.Error;
+    }
+  }
+  // The mutations must actually fire, not vacuously pass.
+  EXPECT_GT(Produced, 25);
+}
+
+TEST(FuzzMutationTest, ShapePerturbRemapsConsistently) {
+  // A ShapePerturb mutant must still parse (checked above) *and* keep
+  // using each input; a square matrix becoming ragged is the
+  // interesting outcome the suite shapes never exercise.
+  uint64_t Seed = testSeed(17);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(Seed));
+  ProgramGenerator Gen(Seed);
+  int Perturbed = 0;
+  for (int I = 0; I < 40 && Perturbed < 5; ++I) {
+    FuzzCase Parent = Gen.generate();
+    std::optional<FuzzCase> Child =
+        Gen.mutate(Parent, MutationKind::ShapePerturb);
+    if (!Child)
+      continue;
+    ++Perturbed;
+    EXPECT_NE(toProgramText(*Child), toProgramText(Parent));
+  }
+  EXPECT_GE(Perturbed, 5);
+}
+
+TEST(FuzzMutationTest, SpecHashDedupsStructurally) {
+  ProgramGenerator Gen(3);
+  FuzzCase A = Gen.generate();
+  FuzzCase B = A;
+  EXPECT_EQ(specHash(A), specHash(B));
+  EXPECT_EQ(specHashHex(A).size(), 16u);
+  // A textual change of any kind moves the hash.
+  B.Source += " ";
+  EXPECT_NE(specHash(A), specHash(B));
+}
+
+//===----------------------------------------------------------------------===//
+// Shrinker
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzShrinkerTest, MinimizesToThePredicateCore) {
+  FuzzCase Case;
+  Case.Inputs = {{"A", dsl::TensorType{DType::Float64, Shape({4})}},
+                 {"B", dsl::TensorType{DType::Float64, Shape({4})}}};
+  Case.Source = "np.sqrt(np.sum(A * A)) + (B - B)";
+  ASSERT_TRUE(parseCase(Case));
+
+  auto StillHasSum = [](const FuzzCase &C) {
+    return C.Source.find("np.sum") != std::string::npos;
+  };
+  ShrinkResult R = shrinkCase(Case, StillHasSum);
+  EXPECT_TRUE(StillHasSum(R.Minimized));
+  EXPECT_GT(R.Steps, 0);
+  // The (B - B) half, the sqrt wrapper, and one multiplicand are not
+  // needed to keep the predicate true, so a correct shrinker removes
+  // them all.
+  EXPECT_EQ(R.Minimized.Source, "np.sum(A)");
+  // Deterministic: shrinking again from the original reproduces it.
+  ShrinkResult R2 = shrinkCase(Case, StillHasSum);
+  EXPECT_EQ(R2.Minimized.Source, R.Minimized.Source);
+}
+
+TEST(FuzzShrinkerTest, AlreadyMinimalCaseIsUntouched) {
+  FuzzCase Case;
+  Case.Inputs = {{"A", dsl::TensorType{DType::Float64, Shape({4})}}};
+  Case.Source = "np.sum(A)";
+  ShrinkResult R = shrinkCase(Case, [](const FuzzCase &C) {
+    return C.Source.find("np.sum") != std::string::npos;
+  });
+  EXPECT_EQ(R.Steps, 0);
+  EXPECT_EQ(R.Minimized.Source, Case.Source);
+}
+
+//===----------------------------------------------------------------------===//
+// Coverage
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzCoverageTest, MapCountsNoveltyOnce) {
+  CoverageMap Map;
+  EXPECT_EQ(Map.addAll({"a", "b", "a"}), 2);
+  EXPECT_EQ(Map.addAll({"a", "c"}), 1);
+  EXPECT_EQ(Map.size(), 3u);
+  EXPECT_EQ(Map.novel({"b", "d", "d"}), std::vector<std::string>{"d"});
+  EXPECT_EQ(Map.counts().at("a"), 3);
+}
+
+TEST(FuzzCoverageTest, KeysDescribeShapesAndOutcome) {
+  FuzzCase Case;
+  Case.Inputs = {{"M", dsl::TensorType{DType::Float64, Shape({3, 7})}},
+                 {"s", dsl::TensorType{DType::Float64, Shape()}}};
+  Case.Source = "np.sum(M, axis=0) * s";
+  dsl::ParseResult Parsed = parseCase(Case);
+  ASSERT_TRUE(Parsed);
+  synth::SynthesisResult Result; // not improved, completed
+  std::vector<std::string> Keys =
+      collectCoverageKeys(*Parsed.Prog, Result, {});
+  auto Has = [&Keys](const std::string &K) {
+    return std::find(Keys.begin(), Keys.end(), K) != Keys.end();
+  };
+  EXPECT_TRUE(Has("shape:ragged"));
+  EXPECT_TRUE(Has("shape:rank2"));
+  EXPECT_TRUE(Has("shape:scalar-input"));
+  EXPECT_TRUE(Has("shape:ext-large"));
+  EXPECT_TRUE(Has("abort:None"));
+  EXPECT_TRUE(Has("improved:no"));
+  EXPECT_TRUE(Has("op:np.sum"));
+  EXPECT_TRUE(Has("op:np.multiply"));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end smoke: a short fuzz run must be clean and reproducible
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzLoopTest, ShortRunIsCleanAndDeterministic) {
+  uint64_t Seed = testSeed(23);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(Seed));
+  FuzzerConfig Config;
+  Config.Seed = Seed;
+  Config.Budget = 6;
+  Config.Oracle = testOracle(/*Jobs=*/2, /*CheckJobs=*/true);
+  FuzzRunReport A = Fuzzer(Config).run();
+  EXPECT_EQ(A.Stats.Executed, Config.Budget);
+  for (const FuzzFinding &F : A.Findings)
+    ADD_FAILURE() << F.Check << ": " << F.Detail << "\n"
+                  << toProgramText(F.Minimized);
+  EXPECT_GE(A.Coverage.size(), 5u);
+
+  FuzzRunReport B = Fuzzer(Config).run();
+  EXPECT_EQ(A.Coverage.counts(), B.Coverage.counts());
+  EXPECT_EQ(A.Stats.CoverageCurve, B.Stats.CoverageCurve);
+}
+
+TEST(FuzzLoopTest, BaselineCoverageSuppressesNoveltyCredit) {
+  uint64_t Seed = testSeed(23);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(Seed));
+  FuzzerConfig Config;
+  Config.Seed = Seed;
+  Config.Budget = 6;
+  Config.Oracle = testOracle(/*Jobs=*/1, /*CheckJobs=*/false);
+
+  // Credit is only earned beyond the baseline, so folding every key a
+  // run observes back into the baseline must reach a fixpoint where no
+  // case earns credit, the population never forms, and every draw is
+  // fresh.  (Iteration is needed because the baseline changes which
+  // branches the loop takes, which shifts the RNG stream.)
+  CoverageMap Baseline;
+  bool Converged = false;
+  for (int Round = 0; Round < 10 && !Converged; ++Round) {
+    Config.BaselineCoverage.clear();
+    for (const auto &[Key, Count] : Baseline.counts())
+      Config.BaselineCoverage.push_back(Key);
+    FuzzRunReport Run = Fuzzer(Config).run();
+    EXPECT_GT(Run.Coverage.size(), 0u);
+    int Beyond = 0;
+    for (const auto &[Key, Count] : Run.Coverage.counts())
+      if (!Baseline.contains(Key))
+        Beyond += Baseline.addAll({Key});
+    if (Beyond == 0) {
+      // Nothing earned credit: the run must have been mutation-free.
+      EXPECT_EQ(Run.Stats.Mutants, 0);
+      EXPECT_EQ(Run.Stats.FreshGenerated, Run.Stats.Executed);
+      Converged = true;
+    }
+  }
+  EXPECT_TRUE(Converged) << "baseline never absorbed the run's coverage";
+}
+
+//===----------------------------------------------------------------------===//
+// Checked-in corpus: replay and suite ingestion
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzCorpusTest, CorpusIsNonEmptyAndNamedByHash) {
+  std::vector<FuzzCase> Cases = loadCheckedInCorpus();
+  ASSERT_FALSE(Cases.empty())
+      << "tests/fuzz_corpus must ship grown entries";
+  for (const FuzzCase &Case : Cases) {
+    // The filename embeds the structural hash; recomputing it from the
+    // loaded text must agree (the file round-trips byte-exactly).
+    EXPECT_EQ(Case.Name.substr(Case.Name.size() - 16), specHashHex(Case))
+        << Case.Name;
+  }
+}
+
+TEST(FuzzCorpusTest, ReplaysCleanSequential) {
+  std::vector<FuzzCase> Cases = loadCheckedInCorpus();
+  FuzzerConfig Config;
+  Config.Oracle = testOracle(/*Jobs=*/1, /*CheckJobs=*/false);
+  FuzzRunReport Report = Fuzzer(Config).replay(Cases);
+  for (const FuzzFinding &F : Report.Findings)
+    ADD_FAILURE() << F.Minimized.Name << " " << F.Check << ": " << F.Detail;
+}
+
+TEST(FuzzCorpusTest, ReplaysCleanJobs4) {
+  std::vector<FuzzCase> Cases = loadCheckedInCorpus();
+  FuzzerConfig Config;
+  Config.Oracle = testOracle(/*Jobs=*/4, /*CheckJobs=*/true);
+  FuzzRunReport Report = Fuzzer(Config).replay(Cases);
+  for (const FuzzFinding &F : Report.Findings)
+    ADD_FAILURE() << F.Minimized.Name << " " << F.Check << ": " << F.Detail;
+}
+
+TEST(FuzzCorpusTest, IngestsIntoTheEvaluationSuite) {
+  std::vector<evalsuite::BenchmarkDef> Defs;
+  std::string Error;
+  ASSERT_TRUE(evalsuite::loadCorpusSuite(STENSO_FUZZ_CORPUS_DIR, Defs, Error))
+      << Error;
+  size_t Files = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(STENSO_FUZZ_CORPUS_DIR))
+    Files += Entry.path().extension() == ".stenso" ? 1 : 0;
+  EXPECT_EQ(Defs.size(), Files);
+  for (const evalsuite::BenchmarkDef &Def : Defs) {
+    EXPECT_EQ(Def.Domain, "Corpus");
+    EXPECT_TRUE(Def.Synthetic);
+    // declsFor/sourceFor must reproduce a parseable program at both the
+    // reduced and full scales.
+    EXPECT_TRUE(dsl::parseProgram(Def.sourceFor(false), Def.declsFor(false)))
+        << Def.Name;
+    EXPECT_TRUE(dsl::parseProgram(Def.sourceFor(true), Def.declsFor(true)))
+        << Def.Name;
+  }
+}
+
+TEST(FuzzCorpusTest, ClassifierHistogramIsStable) {
+  // Every grown-corpus program gets exactly one transformation class
+  // (the classifier is total), and the histogram is identical across
+  // passes — the corpus pins the classifier against drift.
+  std::vector<FuzzCase> Cases = loadCheckedInCorpus();
+  auto Histogram = [&Cases]() {
+    std::map<std::string, int> H;
+    for (const FuzzCase &Case : Cases) {
+      dsl::ParseResult Parsed = parseCase(Case);
+      EXPECT_TRUE(Parsed) << Case.Name;
+      if (!Parsed)
+        continue;
+      // Self-classification exercises the total function; shrunken
+      // variants exercise the (original, changed) paths.
+      evalsuite::TransformClass C = evalsuite::classifyTransformation(
+          Parsed.Prog->getRoot(), Parsed.Prog->getRoot());
+      H[toString(C)] += 1;
+      if (std::optional<FuzzCase> Smaller = shrinkAt(Case, 0, 0)) {
+        dsl::ParseResult SmallParsed = parseCase(*Smaller);
+        if (SmallParsed)
+          H[toString(evalsuite::classifyTransformation(
+              Parsed.Prog->getRoot(), SmallParsed.Prog->getRoot()))] += 1;
+      }
+    }
+    return H;
+  };
+  std::map<std::string, int> First = Histogram();
+  EXPECT_FALSE(First.empty());
+  int Total = 0;
+  for (const auto &[Name, Count] : First)
+    Total += Count;
+  EXPECT_GE(Total, static_cast<int>(Cases.size()));
+  EXPECT_EQ(Histogram(), First);
+}

@@ -32,6 +32,11 @@ using namespace stenso::dsl;
 
 namespace {
 
+/// Seed discipline (DESIGN.md §12): STENSO_SEED in the environment
+/// offsets every derived shard seed, and each randomized test announces
+/// the value to set for an exact reproduction.
+uint64_t baseSeed() { return seedFromEnv(0); }
+
 /// Generates random well-typed DSL programs over a fixed input signature.
 class ProgramFuzzer {
 public:
@@ -127,7 +132,8 @@ InputBinding randomInputsFor(const Program &P, RNG &Rng) {
 class FuzzSeedTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzSeedTest, BackendsMatchReferenceInterpreter) {
-  ProgramFuzzer Fuzzer(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(baseSeed()));
+  ProgramFuzzer Fuzzer(baseSeed() + static_cast<uint64_t>(GetParam()) * 7919 + 13);
   std::unique_ptr<Program> P = Fuzzer.generate(8);
   InputBinding Inputs = randomInputsFor(*P, Fuzzer.rng());
   Tensor Expected = interpretProgram(*P, Inputs);
@@ -147,7 +153,8 @@ TEST_P(FuzzSeedTest, BackendsMatchReferenceInterpreter) {
 }
 
 TEST_P(FuzzSeedTest, SymbolicExecutionMatchesConcrete) {
-  ProgramFuzzer Fuzzer(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(baseSeed()));
+  ProgramFuzzer Fuzzer(baseSeed() + static_cast<uint64_t>(GetParam()) * 104729 + 7);
   std::unique_ptr<Program> P = Fuzzer.generate(6);
   InputBinding Inputs = randomInputsFor(*P, Fuzzer.rng());
   Tensor Concrete = interpretProgram(*P, Inputs);
@@ -176,7 +183,8 @@ TEST_P(FuzzSeedTest, SymbolicExecutionMatchesConcrete) {
 }
 
 TEST_P(FuzzSeedTest, PrintParseRoundTripPreservesSemantics) {
-  ProgramFuzzer Fuzzer(static_cast<uint64_t>(GetParam()) * 31337 + 3);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(baseSeed()));
+  ProgramFuzzer Fuzzer(baseSeed() + static_cast<uint64_t>(GetParam()) * 31337 + 3);
   std::unique_ptr<Program> P = Fuzzer.generate(8);
   std::string Printed = printProgram(*P);
 
@@ -195,7 +203,8 @@ TEST_P(FuzzSeedTest, PrintParseRoundTripPreservesSemantics) {
 }
 
 TEST_P(FuzzSeedTest, SynthesisResultIsEquivalentAndNoCostlier) {
-  ProgramFuzzer Fuzzer(static_cast<uint64_t>(GetParam()) * 15485863 + 1);
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(baseSeed()));
+  ProgramFuzzer Fuzzer(baseSeed() + static_cast<uint64_t>(GetParam()) * 15485863 + 1);
   std::unique_ptr<Program> P = Fuzzer.generate(5);
   InputBinding Probe = randomInputsFor(*P, Fuzzer.rng());
   Tensor Expected = interpretProgram(*P, Probe);
@@ -269,8 +278,9 @@ TEST(ParserRobustnessTest, MutatedValidProgramsNeverAbortTheParser) {
   // Take printed valid programs and corrupt single characters: every
   // mutant must either reparse or fail with a diagnostic, never abort.
   const char Junk[] = {'(', ')', ',', '*', 'x', '@', '\0', '\xff'};
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(baseSeed()));
   for (int Seed = 0; Seed < 4; ++Seed) {
-    ProgramFuzzer Fuzzer(static_cast<uint64_t>(Seed) * 2654435761u + 17);
+    ProgramFuzzer Fuzzer(baseSeed() + static_cast<uint64_t>(Seed) * 2654435761u + 17);
     std::unique_ptr<Program> P = Fuzzer.generate(5);
     std::string Printed = printProgram(*P);
     InputDecls Decls;

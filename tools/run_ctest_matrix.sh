@@ -98,6 +98,19 @@ run_config() {
     return 1
   fi
 
+  # Fuzz-smoke leg (release + asan; under ASan the whole differential
+  # stack runs instrumented, which is where a fuzz-found memory bug
+  # would surface): a fixed-seed, ~30s-budget coverage-guided run over
+  # the full oracle stack must finish with zero findings.  No wall-clock
+  # timeout — the deterministic node/solver caps bound each evaluation,
+  # so the leg is bit-reproducible across hosts.
+  if [ "${NAME}" != "tsan" ]; then
+    echo "=== [${NAME}] fuzz smoke ==="
+    "${BUILD_DIR}/tools/stenso-fuzz" \
+        --seed 1 --budget 12 --timeout 0 \
+        --corpus tests/fuzz_corpus || return 1
+  fi
+
   # Store crash-recovery leg (release + asan; the tsan config covers the
   # store through `ctest -L tsan` instead): SIGKILL a store-backed run
   # mid-search, resume against the same store, and require the resumed

@@ -1,0 +1,270 @@
+//===- stenso-fuzz.cpp - Coverage-guided differential fuzzing driver -------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end of src/fuzz: generates (or replays) DSL
+/// programs and runs each through the differential oracle stack —
+/// jobs=1 vs jobs=N, analysis pruning on vs off, equivalence
+/// verification and e-graph cross-checking of every accepted rewrite,
+/// lint must not crash (DESIGN.md §12).
+///
+///   stenso-fuzz --seed 7 --budget 50
+///   stenso-fuzz --seed 7 --budget 200 --corpus tests/fuzz_corpus --grow
+///   stenso-fuzz --replay tests/fuzz_corpus/fz_0123456789abcdef.stenso
+///
+/// Reproducibility contract: stdout for a given --seed/--budget (and
+/// corpus contents) is byte-identical across runs and hosts — the
+/// budget counts oracle evaluations, all synthesis uses the flops cost
+/// model, and timing goes to stderr / the --report JSON only.  The
+/// STENSO_SEED environment variable overrides the default seed; an
+/// explicit --seed flag wins over both.
+///
+/// Exit status: 0 clean, 1 when any finding (differential mismatch or
+/// unparseable corpus entry) was produced, 2 on usage/load errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "evalsuite/ProgramFile.h"
+#include "fuzz/Fuzzer.h"
+#include "observe/Json.h"
+#include "support/RNG.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace stenso;
+
+namespace {
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: stenso-fuzz [options]\n"
+        "\n"
+        "options:\n"
+        "  --seed N         RNG seed (default 1; STENSO_SEED env overrides,\n"
+        "                   an explicit flag wins over both)\n"
+        "  --budget N       oracle evaluations to spend (default 25)\n"
+        "  --max-ops N      operation budget per generated program "
+        "(default 7)\n"
+        "  --jobs N         worker count for the jobs differential "
+        "(default 4)\n"
+        "  --timeout SEC    wall-clock cap per synthesis run (default 10)\n"
+        "  --solver-cap N   hole-solver call cap per run (default 3000)\n"
+        "  --node-cap N     symbolic-node cap per run (default 50000; the\n"
+        "                   deterministic bound on search depth)\n"
+        "  --corpus DIR     seed the population from DIR's .stenso entries\n"
+        "  --grow           persist coverage-novel clean programs into "
+        "--corpus\n"
+        "  --replay FILE    replay one .stenso file instead of generating\n"
+        "                   (repeatable; findings are not minimized)\n"
+        "  --report FILE    write a JSON report (includes timing; stdout\n"
+        "                   stays deterministic)\n"
+        "\n"
+        "exit status: 0 clean, 1 findings produced, 2 usage/load error\n";
+}
+
+int fail(const std::string &Message) {
+  std::cerr << "error: " << Message << "\n";
+  return 2;
+}
+
+std::string reportJson(const fuzz::FuzzRunReport &Report, uint64_t Seed,
+                       int Budget, double Seconds) {
+  using observe::jsonAppendNumber;
+  using observe::jsonQuote;
+  const fuzz::FuzzRunStats &S = Report.Stats;
+  std::string J = "{\n  \"seed\": " + std::to_string(Seed) +
+                  ",\n  \"budget\": " + std::to_string(Budget);
+  auto Int = [&J](const char *Key, int64_t V) {
+    J += ",\n  \"";
+    J += Key;
+    J += "\": ";
+    jsonAppendNumber(J, V);
+  };
+  Int("executed", S.Executed);
+  Int("fresh", S.FreshGenerated);
+  Int("mutants", S.Mutants);
+  Int("duplicates", S.Duplicates);
+  Int("non_comparable", S.NonComparable);
+  Int("skipped_legs", S.SkippedLegs);
+  Int("corpus_added", S.CorpusAdded);
+  Int("findings", static_cast<int64_t>(Report.Findings.size()));
+  Int("coverage_keys", static_cast<int64_t>(Report.Coverage.size()));
+  J += ",\n  \"seconds\": " + observe::jsonNumber(Seconds);
+  J += ",\n  \"programs_per_sec\": " +
+       observe::jsonNumber(Seconds > 0 ? S.Executed / Seconds : 0);
+  J += ",\n  \"coverage\": {";
+  bool First = true;
+  for (const auto &[Key, Count] : Report.Coverage.counts()) {
+    J += First ? "\n    " : ",\n    ";
+    First = false;
+    J += jsonQuote(Key);
+    J += ": ";
+    jsonAppendNumber(J, Count);
+  }
+  J += "\n  },\n  \"coverage_curve\": [";
+  First = true;
+  for (const auto &[Executed, Keys] : S.CoverageCurve) {
+    J += First ? "" : ", ";
+    First = false;
+    J += "[" + std::to_string(Executed) + ", " + std::to_string(Keys) + "]";
+  }
+  J += "],\n  \"finding_list\": [";
+  First = true;
+  for (const fuzz::FuzzFinding &F : Report.Findings) {
+    J += First ? "\n    " : ",\n    ";
+    First = false;
+    J += "{\"check\": " + jsonQuote(F.Check) +
+         ", \"name\": " + jsonQuote(F.Minimized.Name) +
+         ", \"detail\": " + jsonQuote(F.Detail) +
+         ", \"shrink_steps\": " + std::to_string(F.ShrinkSteps) +
+         ", \"path\": " + jsonQuote(F.PersistedPath) + "}";
+  }
+  J += Report.Findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return J;
+}
+
+void printReport(const fuzz::FuzzRunReport &Report) {
+  const fuzz::FuzzRunStats &S = Report.Stats;
+  std::cout << "executed " << S.Executed << " programs (" << S.FreshGenerated
+            << " fresh, " << S.Mutants << " mutants, " << S.Duplicates
+            << " duplicates dropped)\n";
+  std::cout << "coverage: " << Report.Coverage.size() << " distinct keys\n";
+  for (const auto &[Key, Count] : Report.Coverage.counts())
+    std::cout << "  " << Key << " x" << Count << "\n";
+  std::cout << "non-comparable runs: " << S.NonComparable
+            << ", skipped differential legs: " << S.SkippedLegs << "\n";
+  if (S.CorpusAdded > 0)
+    std::cout << "corpus entries added: " << S.CorpusAdded << "\n";
+  for (const std::string &W : Report.Warnings)
+    std::cout << "warning: " << W << "\n";
+  if (Report.Findings.empty()) {
+    std::cout << "findings: none\n";
+    return;
+  }
+  std::cout << "findings: " << Report.Findings.size() << "\n";
+  for (const fuzz::FuzzFinding &F : Report.Findings) {
+    std::cout << "== " << F.Check << ": " << F.Detail << "\n";
+    if (!F.PersistedPath.empty())
+      std::cout << "   persisted: " << F.PersistedPath << "\n";
+    std::cout << "   minimized (" << F.ShrinkSteps << " shrink steps):\n";
+    std::cout << fuzz::toProgramText(F.Minimized);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  fuzz::FuzzerConfig Config;
+  Config.Seed = seedFromEnv(1);
+  Config.Budget = 25;
+  std::vector<std::string> ReplayPaths;
+  std::string ReportPath;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextArg = [&]() -> std::optional<std::string> {
+      if (I + 1 >= Argc)
+        return std::nullopt;
+      return std::string(Argv[++I]);
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    }
+    auto Value = [&](const char *Name) -> std::optional<std::string> {
+      if (Arg != Name)
+        return std::nullopt;
+      std::optional<std::string> V = NextArg();
+      if (!V)
+        std::cerr << "error: " << Name << " needs a value\n";
+      return V;
+    };
+    if (Arg == "--grow") {
+      Config.GrowCorpus = true;
+      continue;
+    }
+    std::optional<std::string> V;
+    if ((V = Value("--seed")))
+      Config.Seed = std::strtoull(V->c_str(), nullptr, 0);
+    else if ((V = Value("--budget")))
+      Config.Budget = std::atoi(V->c_str());
+    else if ((V = Value("--max-ops")))
+      Config.Generator.MaxOps = std::atoi(V->c_str());
+    else if ((V = Value("--jobs")))
+      Config.Oracle.Jobs = std::atoi(V->c_str());
+    else if ((V = Value("--timeout")))
+      Config.Oracle.TimeoutSeconds = std::atof(V->c_str());
+    else if ((V = Value("--solver-cap")))
+      Config.Oracle.MaxSolverCalls = std::atoll(V->c_str());
+    else if ((V = Value("--node-cap")))
+      Config.Oracle.MaxSymbolicNodes = std::atoll(V->c_str());
+    else if ((V = Value("--corpus")))
+      Config.CorpusDir = *V;
+    else if ((V = Value("--replay")))
+      ReplayPaths.push_back(*V);
+    else if ((V = Value("--report")))
+      ReportPath = *V;
+    else if (Arg == "--seed" || Arg == "--budget" || Arg == "--max-ops" ||
+             Arg == "--jobs" || Arg == "--timeout" || Arg == "--solver-cap" ||
+             Arg == "--node-cap" || Arg == "--corpus" || Arg == "--replay" ||
+             Arg == "--report")
+      return 2; // missing value, already reported
+    else {
+      printUsage(std::cerr);
+      return fail("unknown option '" + Arg + "'");
+    }
+  }
+  if (Config.Budget <= 0 && ReplayPaths.empty())
+    return fail("--budget must be positive");
+  if (Config.GrowCorpus && Config.CorpusDir.empty())
+    return fail("--grow needs --corpus DIR");
+
+  auto Start = std::chrono::steady_clock::now();
+  fuzz::Fuzzer Driver(Config);
+  fuzz::FuzzRunReport Report;
+
+  if (!ReplayPaths.empty()) {
+    std::vector<fuzz::FuzzCase> Cases;
+    for (const std::string &Path : ReplayPaths) {
+      evalsuite::ProgramFile File;
+      std::string Error;
+      if (!evalsuite::loadProgramFile(Path, File, Error))
+        return fail(Error);
+      fuzz::FuzzCase Case;
+      size_t Slash = Path.find_last_of('/');
+      Case.Name = Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+      Case.Inputs = std::move(File.Inputs);
+      Case.Scaler = File.Scaler;
+      Case.Source = std::move(File.Source);
+      Cases.push_back(std::move(Case));
+    }
+    std::cout << "replaying " << Cases.size() << " case(s)\n";
+    Report = Driver.replay(Cases);
+  } else {
+    std::cout << "stenso-fuzz: seed " << Config.Seed << ", budget "
+              << Config.Budget << "\n";
+    Report = Driver.run();
+  }
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  printReport(Report);
+  std::cerr << "elapsed: " << Seconds << " s\n";
+
+  if (!ReportPath.empty()) {
+    std::ofstream Out(ReportPath, std::ios::trunc);
+    if (!Out)
+      return fail("cannot write '" + ReportPath + "'");
+    Out << reportJson(Report, Config.Seed, Config.Budget, Seconds);
+  }
+  return Report.Findings.empty() ? 0 : 1;
+}

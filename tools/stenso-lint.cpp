@@ -23,7 +23,7 @@
 #include "analysis/Lint.h"
 #include "dsl/Parser.h"
 
-#include "ProgramFile.h"
+#include "evalsuite/ProgramFile.h"
 
 #include <iostream>
 #include <string>
@@ -85,7 +85,7 @@ int main(int Argc, char **Argv) {
     return fail("--program is required");
   }
 
-  tools::ProgramFile File;
+  evalsuite::ProgramFile File;
   std::string Error;
   if (!loadProgramFile(ProgramPath, File, Error))
     return fail(Error);

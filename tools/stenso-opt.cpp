@@ -39,7 +39,7 @@
 #include "support/TablePrinter.h"
 #include "synth/Synthesizer.h"
 
-#include "ProgramFile.h"
+#include "evalsuite/ProgramFile.h"
 
 #include <cstdlib>
 #include <fstream>
@@ -49,8 +49,8 @@
 
 using namespace stenso;
 using namespace stenso::dsl;
-using tools::ProgramFile;
-using tools::loadProgramFile;
+using evalsuite::ProgramFile;
+using evalsuite::loadProgramFile;
 
 namespace {
 
