@@ -24,6 +24,7 @@ stenso_add_report(bench_analysis_pruning)
 stenso_add_report(bench_egraph_vs_synthesis)
 target_link_libraries(bench_egraph_vs_synthesis PRIVATE stenso_egraph)
 stenso_add_report(bench_observe_overhead)
+stenso_add_report(bench_report)
 stenso_add_report(bench_persist)
 target_link_libraries(bench_persist PRIVATE stenso_persist)
 stenso_add_report(bench_fuzz_coverage)

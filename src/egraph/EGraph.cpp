@@ -7,7 +7,9 @@
 #include "egraph/EGraph.h"
 
 #include "dsl/Printer.h"
+#include "observe/Metrics.h"
 #include "support/Hashing.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <functional>
@@ -355,6 +357,24 @@ size_t EGraph::getNumRules() const { return P->Rules.size(); }
 
 SaturationStats EGraph::saturate(SaturationLimits Limits) {
   SaturationStats Stats;
+  // Publish the run's totals whichever return below is taken (limit
+  // stops included): the fuzz oracle and the comparator benches read
+  // these from the global registry.
+  WallTimer Timer;
+  auto Publish = [&] {
+    observe::MetricsRegistry &M = observe::MetricsRegistry::global();
+    M.counter("egraph.saturate.runs").add(1);
+    M.counter("egraph.saturate.iterations").add(Stats.Iterations);
+    M.counter("egraph.saturate.matches").add(Stats.Matches);
+    M.counter("egraph.saturate.merges").add(Stats.Merges);
+    M.counter("egraph.saturate.saturated").add(Stats.Saturated ? 1 : 0);
+    M.counter("egraph.saturate.classes")
+        .add(static_cast<int64_t>(getNumClasses()));
+    M.counter("egraph.saturate.nodes")
+        .add(static_cast<int64_t>(getNumNodes()));
+    M.counter("egraph.saturate.micros")
+        .add(static_cast<int64_t>(Timer.elapsedSeconds() * 1e6));
+  };
   for (int Iter = 0; Iter < Limits.MaxIterations; ++Iter) {
     ++Stats.Iterations;
     // Phase 1: collect matches on a snapshot of canonical classes.
@@ -382,8 +402,10 @@ SaturationStats EGraph::saturate(SaturationLimits Limits) {
     int64_t Before = P->Merges;
     for (PendingMerge &M : Pending) {
       if (P->Classes.size() > Limits.MaxClasses ||
-          getNumNodes() > Limits.MaxNodes)
+          getNumNodes() > Limits.MaxNodes) {
+        Publish();
         return Stats;
+      }
       std::optional<ClassId> RhsId = P->instantiate(M.Rule->Rhs, M.Vars);
       if (!RhsId)
         continue;
@@ -396,6 +418,7 @@ SaturationStats EGraph::saturate(SaturationLimits Limits) {
       break;
     }
   }
+  Publish();
   return Stats;
 }
 
@@ -425,6 +448,18 @@ size_t EGraph::getNumNodes() const {
 std::unique_ptr<Program> EGraph::extract(ClassId Root,
                                          const synth::CostModel &Model,
                                          const synth::ShapeScaler &Scaler) {
+  WallTimer Timer;
+  observe::MetricsRegistry &M = observe::MetricsRegistry::global();
+  M.counter("egraph.extract.runs").add(1);
+  // Publishes on scope exit, covering the extraction-failed return too.
+  struct TimeGuard {
+    WallTimer &Timer;
+    observe::MetricsRegistry &M;
+    ~TimeGuard() {
+      M.counter("egraph.extract.micros")
+          .add(static_cast<int64_t>(Timer.elapsedSeconds() * 1e6));
+    }
+  } Guard{Timer, M};
   Root = P->find(Root);
   const double Inf = 1e300;
   std::vector<double> Cost(P->Classes.size(), Inf);

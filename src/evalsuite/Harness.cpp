@@ -10,6 +10,7 @@
 #include "dsl/Parser.h"
 #include "observe/DecisionLog.h"
 #include "observe/Metrics.h"
+#include "observe/Progress.h"
 #include "observe/Trace.h"
 #include "support/Error.h"
 #include "support/TablePrinter.h"
@@ -86,6 +87,25 @@ evalsuite::synthesizeSuite(const synth::SynthesisConfig &Config,
     Trace->start();
   }
 
+  // Suite-scoped heartbeat: one monitor outlives every benchmark's
+  // synthesis; each run re-points the sampler at its own counters
+  // (Synthesizer freezes a final snapshot on exit, so the stream never
+  // dangles between benchmarks).
+  std::optional<observe::ProgressMonitor> Monitor;
+  if (!Options.ProgressFile.empty()) {
+    observe::ProgressOptions ProgressOpts;
+    ProgressOpts.IntervalMs = Options.ProgressIntervalMs;
+    Monitor.emplace(Options.ProgressFile, ProgressOpts);
+    if (!Monitor->openedOk()) {
+      if (Progress)
+        *Progress << "  warning: could not write progress to '"
+                  << Options.ProgressFile << "'\n";
+      Monitor.reset();
+    } else {
+      Monitor->start();
+    }
+  }
+
   auto RunConfigFor = [&](const BenchmarkDef &) {
     synth::SynthesisConfig RunConfig = Config;
     if (Options.GlobalBudget)
@@ -94,6 +114,8 @@ evalsuite::synthesizeSuite(const synth::SynthesisConfig &Config,
       RunConfig.Decisions = Options.Decisions;
     if (Options.Store)
       RunConfig.Store = Options.Store;
+    if (Monitor)
+      RunConfig.Progress = &*Monitor;
     return RunConfig;
   };
 
@@ -145,6 +167,8 @@ evalsuite::synthesizeSuite(const synth::SynthesisConfig &Config,
     });
   }
 
+  if (Monitor)
+    Monitor->stop();
   if (Trace) {
     Trace->stop();
     std::ofstream OS(Options.TraceFile);

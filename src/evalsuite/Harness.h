@@ -123,6 +123,14 @@ struct SuiteRunOptions {
   /// by full canonical content so cross-benchmark reuse is sound.  Must
   /// outlive the call.
   persist::StensoStore *Store = nullptr;
+  /// When non-empty, one ProgressMonitor (observe/Progress.h) spans the
+  /// whole suite run and appends heartbeat JSONL here.  Each benchmark's
+  /// synthesis re-points the monitor's sampler at its own counters, so
+  /// the stream shows whichever run is (most recently) active — enough
+  /// to answer "is it stuck and on what" for a multi-minute suite.
+  std::string ProgressFile;
+  /// Heartbeat period for ProgressFile.
+  int ProgressIntervalMs = 1000;
 };
 
 /// Runs STENSO on the whole suite, verifying every result.  \p Progress

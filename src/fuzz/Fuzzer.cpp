@@ -7,11 +7,41 @@
 #include "fuzz/Fuzzer.h"
 
 #include "fuzz/Shrinker.h"
+#include "observe/Metrics.h"
+#include "support/Timer.h"
 
 #include <unordered_set>
 
 using namespace stenso;
 using namespace stenso::fuzz;
+
+namespace {
+
+/// Aggregate a run's (or replay's) totals into the global registry —
+/// the report tool and the fuzz benches read oracle throughput and
+/// shrink effort from here.  `fuzz.micros` alongside `fuzz.cases`
+/// yields cases/sec without a wall-clock sample in the registry.
+void publishFuzzMetrics(const FuzzRunReport &Report, double Seconds) {
+  observe::MetricsRegistry &M = observe::MetricsRegistry::global();
+  M.counter("fuzz.runs").add(1);
+  M.counter("fuzz.cases").add(Report.Stats.Executed);
+  M.counter("fuzz.micros").add(static_cast<int64_t>(Seconds * 1e6));
+  M.counter("fuzz.duplicates").add(Report.Stats.Duplicates);
+  M.counter("fuzz.non_comparable").add(Report.Stats.NonComparable);
+  M.counter("fuzz.skipped_legs").add(Report.Stats.SkippedLegs);
+  M.counter("fuzz.corpus_added").add(Report.Stats.CorpusAdded);
+  M.counter("fuzz.findings")
+      .add(static_cast<int64_t>(Report.Findings.size()));
+  int64_t ShrinkSteps = 0, ShrinkAttempts = 0;
+  for (const FuzzFinding &F : Report.Findings) {
+    ShrinkSteps += F.ShrinkSteps;
+    ShrinkAttempts += F.ShrinkAttempts;
+  }
+  M.counter("fuzz.shrink_steps").add(ShrinkSteps);
+  M.counter("fuzz.shrink_attempts").add(ShrinkAttempts);
+}
+
+} // namespace
 
 Fuzzer::Fuzzer(FuzzerConfig Config)
     : Config(Config), Gen(Config.Seed, Config.Generator) {
@@ -75,6 +105,7 @@ int Fuzzer::evaluate(const FuzzCase &Case, FuzzRunReport &Report,
 }
 
 FuzzRunReport Fuzzer::run() {
+  WallTimer Timer;
   FuzzRunReport Report;
 
   Corpus Store(Config.CorpusDir);
@@ -160,12 +191,15 @@ FuzzRunReport Fuzzer::run() {
         ++Report.Stats.CorpusAdded;
     }
   }
+  publishFuzzMetrics(Report, Timer.elapsedSeconds());
   return Report;
 }
 
 FuzzRunReport Fuzzer::replay(const std::vector<FuzzCase> &Cases) {
+  WallTimer Timer;
   FuzzRunReport Report;
   for (const FuzzCase &Case : Cases)
     evaluate(Case, Report, /*Shrink=*/false, /*Store=*/nullptr);
+  publishFuzzMetrics(Report, Timer.elapsedSeconds());
   return Report;
 }

@@ -1,0 +1,375 @@
+//===- JsonValue.cpp - Minimal JSON parsing for telemetry ingest ----------===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/JsonValue.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+using namespace stenso;
+using namespace stenso::observe;
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = Obj.find(Key);
+  return It != Obj.end() ? &It->second : nullptr;
+}
+
+double JsonValue::numberOr(const std::string &Key, double Default) const {
+  const JsonValue *V = find(Key);
+  if (!V)
+    return Default;
+  if (V->isNumber())
+    return V->numberValue();
+  if (V->isBool()) // stats JSON spells some counters as booleans
+    return V->boolValue() ? 1 : 0;
+  return Default;
+}
+
+std::string JsonValue::stringOr(const std::string &Key,
+                                const std::string &Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isString() ? V->stringValue() : Default;
+}
+
+bool JsonValue::boolOr(const std::string &Key, bool Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isBool() ? V->boolValue() : Default;
+}
+
+JsonValue JsonValue::makeBool(bool V) {
+  JsonValue J;
+  J.K = Kind::Bool;
+  J.B = V;
+  return J;
+}
+JsonValue JsonValue::makeNumber(double V) {
+  JsonValue J;
+  J.K = Kind::Number;
+  J.Num = V;
+  return J;
+}
+JsonValue JsonValue::makeString(std::string V) {
+  JsonValue J;
+  J.K = Kind::String;
+  J.Str = std::move(V);
+  return J;
+}
+JsonValue JsonValue::makeArray(std::vector<JsonValue> V) {
+  JsonValue J;
+  J.K = Kind::Array;
+  J.Arr = std::move(V);
+  return J;
+}
+JsonValue JsonValue::makeObject(std::map<std::string, JsonValue> V) {
+  JsonValue J;
+  J.K = Kind::Object;
+  J.Obj = std::move(V);
+  return J;
+}
+
+namespace {
+
+/// Recursive-descent parser over one in-memory document.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parseDocument(JsonValue &Out) {
+    skipWhitespace();
+    if (!parseValue(Out, /*Depth=*/0))
+      return false;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return fail("trailing garbage after JSON value");
+    return true;
+  }
+
+private:
+  /// Deep enough for every telemetry stream; shallow enough that a
+  /// malicious or corrupt file cannot blow the stack.
+  static constexpr int MaxDepth = 64;
+
+  bool fail(const std::string &Reason) {
+    size_t Line = 1, Col = 1;
+    for (size_t I = 0; I < Pos && I < Text.size(); ++I) {
+      if (Text[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    Error = "line " + std::to_string(Line) + ", column " +
+            std::to_string(Col) + ": " + Reason;
+    return false;
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consumeLiteral(const char *Lit) {
+    size_t N = 0;
+    while (Lit[N])
+      ++N;
+    if (Text.compare(Pos, N, Lit) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting deeper than " + std::to_string(MaxDepth));
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      if (!consumeLiteral("null"))
+        return fail("bad literal (expected 'null')");
+      Out = JsonValue::makeNull();
+      return true;
+    case 't':
+      if (!consumeLiteral("true"))
+        return fail("bad literal (expected 'true')");
+      Out = JsonValue::makeBool(true);
+      return true;
+    case 'f':
+      if (!consumeLiteral("false"))
+        return fail("bad literal (expected 'false')");
+      Out = JsonValue::makeBool(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::makeString(std::move(S));
+      return true;
+    }
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode the BMP code point; our writers only ever emit
+        // \u00xx for control bytes, but accept the full range.
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail(std::string("unknown escape '\\") + E + "'");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a JSON value");
+    std::string Num = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    double V = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size() || !std::isfinite(V)) {
+      Pos = Start;
+      return fail("malformed number '" + Num + "'");
+    }
+    Out = JsonValue::makeNumber(V);
+    return true;
+  }
+
+  bool parseArray(JsonValue &Out, int Depth) {
+    ++Pos; // '['
+    std::vector<JsonValue> Items;
+    skipWhitespace();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      Out = JsonValue::makeArray(std::move(Items));
+      return true;
+    }
+    while (true) {
+      JsonValue Item;
+      skipWhitespace();
+      if (!parseValue(Item, Depth + 1))
+        return false;
+      Items.push_back(std::move(Item));
+      skipWhitespace();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      char C = Text[Pos++];
+      if (C == ']')
+        break;
+      if (C != ',') {
+        --Pos;
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    Out = JsonValue::makeArray(std::move(Items));
+    return true;
+  }
+
+  bool parseObject(JsonValue &Out, int Depth) {
+    ++Pos; // '{'
+    std::map<std::string, JsonValue> Members;
+    skipWhitespace();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      Out = JsonValue::makeObject(std::move(Members));
+      return true;
+    }
+    while (true) {
+      skipWhitespace();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected a string key in object");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWhitespace();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      skipWhitespace();
+      JsonValue Value;
+      if (!parseValue(Value, Depth + 1))
+        return false;
+      Members[std::move(Key)] = std::move(Value);
+      skipWhitespace();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      char C = Text[Pos++];
+      if (C == '}')
+        break;
+      if (C != ',') {
+        --Pos;
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    Out = JsonValue::makeObject(std::move(Members));
+    return true;
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool observe::parseJson(const std::string &Text, JsonValue &Out,
+                        std::string &Error) {
+  return Parser(Text, Error).parseDocument(Out);
+}
+
+bool observe::parseJsonl(const std::string &Text, std::vector<JsonValue> &Out,
+                         std::string &Error) {
+  size_t LineNo = 0;
+  size_t Begin = 0;
+  while (Begin <= Text.size()) {
+    size_t End = Text.find('\n', Begin);
+    std::string Line = Text.substr(
+        Begin, End == std::string::npos ? std::string::npos : End - Begin);
+    ++LineNo;
+    Begin = End == std::string::npos ? Text.size() + 1 : End + 1;
+    bool Blank = true;
+    for (char C : Line)
+      if (C != ' ' && C != '\t' && C != '\r')
+        Blank = false;
+    if (Blank)
+      continue;
+    JsonValue V;
+    std::string LineError;
+    if (!parseJson(Line, V, LineError)) {
+      Error = "line " + std::to_string(LineNo) + ": " + LineError;
+      return false;
+    }
+    Out.push_back(std::move(V));
+  }
+  return true;
+}

@@ -1,0 +1,95 @@
+//===- JsonValue.h - Minimal JSON parsing for telemetry ingest -*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader for the introspection layer
+/// (Report.h): every stream the telemetry subsystem *emits* — trace
+/// JSON, decision/progress JSONL, `--stats-json` — must be readable
+/// back post-hoc by `stenso-report`.  Json.h stays emission-only; this
+/// is the matching ingest side, deliberately minimal:
+///
+///   * strict enough for round-tripping our own writers (and for
+///     rejecting truncated or torn files with a positioned error);
+///   * no streaming — telemetry files are bounded, so parse-to-tree;
+///   * numbers are doubles (the writers emit %.17g, which round-trips
+///     every int64 the streams actually carry well below 2^53).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_OBSERVE_JSONVALUE_H
+#define STENSO_OBSERVE_JSONVALUE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace observe {
+
+/// One parsed JSON value.  Objects keep their members in a sorted map —
+/// key order never matters to a consumer, and sorted iteration keeps
+/// report output deterministic.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolValue() const { return B; }
+  double numberValue() const { return Num; }
+  int64_t intValue() const { return static_cast<int64_t>(Num); }
+  const std::string &stringValue() const { return Str; }
+  const std::vector<JsonValue> &array() const { return Arr; }
+  const std::map<std::string, JsonValue> &object() const { return Obj; }
+
+  /// Member lookup; null when absent or when this is not an object.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// Typed member accessors with defaults, for tolerant ingestion.
+  double numberOr(const std::string &Key, double Default) const;
+  std::string stringOr(const std::string &Key,
+                       const std::string &Default) const;
+  bool boolOr(const std::string &Key, bool Default) const;
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool V);
+  static JsonValue makeNumber(double V);
+  static JsonValue makeString(std::string V);
+  static JsonValue makeArray(std::vector<JsonValue> V);
+  static JsonValue makeObject(std::map<std::string, JsonValue> V);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+};
+
+/// Parses \p Text as one JSON document.  On failure returns false and
+/// sets \p Error to a "line L, column C: reason" message (telemetry
+/// files are hand-inspected often enough that positions matter).
+/// Trailing whitespace is allowed; trailing garbage is an error.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string &Error);
+
+/// Parses JSONL: one JSON value per non-empty line.  Stops at the first
+/// malformed line (reported with its 1-based line number in \p Error).
+bool parseJsonl(const std::string &Text, std::vector<JsonValue> &Out,
+                std::string &Error);
+
+} // namespace observe
+} // namespace stenso
+
+#endif // STENSO_OBSERVE_JSONVALUE_H

@@ -1,0 +1,174 @@
+//===- Progress.cpp - Live heartbeat for long-running searches ------------===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Progress.h"
+
+#include "observe/Json.h"
+
+#include <algorithm>
+#include <fstream>
+
+using namespace stenso;
+using namespace stenso::observe;
+
+ProgressMonitor::ProgressMonitor(std::ostream &OS, ProgressOptions Opts)
+    : OS(&OS), Opts(std::move(Opts)) {
+  this->Opts.IntervalMs = std::max(1, this->Opts.IntervalMs);
+}
+
+ProgressMonitor::ProgressMonitor(const std::string &Path, ProgressOptions Opts)
+    : Opts(std::move(Opts)) {
+  this->Opts.IntervalMs = std::max(1, this->Opts.IntervalMs);
+  auto File = std::make_unique<std::ofstream>(Path, std::ios::trunc);
+  if (File->is_open()) {
+    OS = File.get();
+    OwnedOS = std::move(File);
+  }
+}
+
+ProgressMonitor::~ProgressMonitor() { stop(); }
+
+void ProgressMonitor::setSampler(std::function<ProgressSample()> S) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Sampler = std::move(S);
+}
+
+void ProgressMonitor::setQueueProbe(std::function<int64_t()> P) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  QueueProbe = std::move(P);
+}
+
+void ProgressMonitor::start() {
+  std::lock_guard<std::mutex> Lock(ThreadMu);
+  if (Started)
+    return;
+  Started = true;
+  Stopping = false;
+  StartTime = std::chrono::steady_clock::now();
+  Worker = std::thread([this] { threadMain(); });
+}
+
+void ProgressMonitor::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(ThreadMu);
+    if (!Started)
+      return;
+    Stopping = true;
+  }
+  WakeCV.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+  {
+    std::lock_guard<std::mutex> Lock(ThreadMu);
+    Started = false;
+  }
+  emitRecord(/*Final=*/true);
+  if (OS)
+    OS->flush();
+}
+
+int64_t ProgressMonitor::recordsWritten() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Seq;
+}
+
+void ProgressMonitor::threadMain() {
+  std::unique_lock<std::mutex> Lock(ThreadMu);
+  while (!Stopping) {
+    // Wait first: a short-lived search should produce its snapshot at
+    // stop() time, not a burst of startup records.
+    WakeCV.wait_for(Lock, std::chrono::milliseconds(Opts.IntervalMs),
+                    [this] { return Stopping; });
+    if (Stopping)
+      break;
+    Lock.unlock();
+    emitRecord(/*Final=*/false);
+    Lock.lock();
+  }
+}
+
+void ProgressMonitor::emitRecord(bool Final) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // No sampler yet (monitor started before the engine attached, or the
+  // run never attached one): emit a default sample rather than nothing,
+  // so the final "final":true record the header promises always exists.
+  ProgressSample S = Sampler ? Sampler() : ProgressSample{};
+  int64_t Queue = QueueProbe ? QueueProbe() : -1;
+
+  double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    StartTime)
+          .count();
+
+  std::string Line;
+  Line += "{\"seq\":";
+  jsonAppendNumber(Line, Seq);
+  Line += ",\"elapsed\":";
+  jsonAppendNumber(Line, Elapsed);
+  Line += ",\"candidates\":";
+  jsonAppendNumber(Line, S.Candidates);
+  if (Elapsed > 0) {
+    Line += ",\"cps\":";
+    jsonAppendNumber(Line, static_cast<double>(S.Candidates) / Elapsed);
+  }
+  Line += ",\"nodes\":";
+  jsonAppendNumber(Line, S.Nodes);
+  if (S.NodeCap > 0) {
+    Line += ",\"node_cap\":";
+    jsonAppendNumber(Line, S.NodeCap);
+  }
+  Line += ",\"solver_calls\":";
+  jsonAppendNumber(Line, S.SolverCalls);
+  if (S.SolverCap > 0) {
+    Line += ",\"solver_cap\":";
+    jsonAppendNumber(Line, S.SolverCap);
+  }
+  if (S.HasBest) {
+    Line += ",\"best_cost\":";
+    jsonAppendNumber(Line, S.BestCost);
+  }
+  if (S.CacheHits + S.CacheMisses > 0) {
+    Line += ",\"cache_hit_rate\":";
+    jsonAppendNumber(Line, static_cast<double>(S.CacheHits) /
+                               static_cast<double>(S.CacheHits +
+                                                   S.CacheMisses));
+  }
+  if (Queue >= 0) {
+    Line += ",\"queue_depth\":";
+    jsonAppendNumber(Line, Queue);
+  }
+  Line += ",\"jobs\":";
+  jsonAppendNumber(Line, static_cast<int64_t>(S.Jobs));
+
+  // Crude ETA: the run ends when its tightest budget dimension runs
+  // out, so project from the most-consumed fraction.  Only meaningful
+  // once something has been consumed.
+  double Frac = 0;
+  if (S.NodeCap > 0)
+    Frac = std::max(Frac, static_cast<double>(S.Nodes) /
+                              static_cast<double>(S.NodeCap));
+  if (S.SolverCap > 0)
+    Frac = std::max(Frac, static_cast<double>(S.SolverCalls) /
+                              static_cast<double>(S.SolverCap));
+  if (S.WallLimitSeconds > 0)
+    Frac = std::max(Frac, Elapsed / S.WallLimitSeconds);
+  if (Frac > 0 && Frac < 1) {
+    Line += ",\"eta_seconds\":";
+    jsonAppendNumber(Line, Elapsed * (1 - Frac) / Frac);
+  }
+
+  if (!Opts.Tag.empty()) {
+    Line += ",\"tag\":";
+    Line += jsonQuote(Opts.Tag);
+  }
+  Line += ",\"final\":";
+  Line += Final ? "true" : "false";
+  Line += "}\n";
+
+  ++Seq;
+  if (OS)
+    (*OS) << Line;
+}

@@ -1,0 +1,155 @@
+//===- Progress.h - Live heartbeat for long-running searches ---*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead periodic heartbeat for long synthesis runs.  The
+/// monitor owns one background thread that wakes every IntervalMs,
+/// pulls a ProgressSample from an installed sampler callback, and
+/// appends one JSONL record to its sink (a file or stderr).  The
+/// search never blocks on the monitor: the sampler only reads the
+/// atomic counters the engine already maintains (ResourceBudget,
+/// HoleSolver cache stats, the shared best-cost bound), so attaching
+/// a monitor is observation-only in the DESIGN.md §9 sense — it must
+/// not change what any search returns.
+///
+/// Layering: observe sits below support and synth, so this header
+/// knows nothing about budgets or solvers.  The synth layer installs
+/// a `std::function` sampler for the duration of a run; the parallel
+/// driver may additionally install a queue-depth probe while its
+/// thread pool exists.  Both are swapped under the monitor's mutex,
+/// so clearing a probe synchronizes with any in-flight sample and the
+/// callee can safely die afterwards.
+///
+/// Record shape (one JSON object per line; stenso-report ingests it):
+///
+///   {"seq":3,"elapsed":1.502,"candidates":41923,"cps":27911.2,
+///    "nodes":52110,"node_cap":200000,"solver_calls":812,
+///    "solver_cap":0,"best_cost":42.0,"cache_hit_rate":0.913,
+///    "queue_depth":7,"jobs":4,"eta_seconds":5.3,"tag":"diag_dot",
+///    "final":false}
+///
+/// `best_cost` is omitted until a candidate has been accepted; caps
+/// and `eta_seconds` are omitted when unlimited/unknown.  The stop()
+/// path always emits one last record with `"final":true` so a
+/// consumer can distinguish "run ended" from "writer died".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_OBSERVE_PROGRESS_H
+#define STENSO_OBSERVE_PROGRESS_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+namespace stenso {
+namespace observe {
+
+/// One instantaneous snapshot of a search, as read from the engine's
+/// atomic counters.  Fields left at their defaults are treated as
+/// "unknown" and omitted from the record.
+struct ProgressSample {
+  /// Candidates considered so far (DFS calls or bottom-up enumerations).
+  int64_t Candidates = 0;
+  /// Symbolic nodes allocated vs. the node cap (0 = unlimited).
+  int64_t Nodes = 0;
+  int64_t NodeCap = 0;
+  /// Hole-solver calls vs. the solver-call cap (0 = unlimited).
+  int64_t SolverCalls = 0;
+  int64_t SolverCap = 0;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double WallLimitSeconds = 0;
+  /// Best accepted candidate cost; HasBest gates emission.
+  double BestCost = 0;
+  bool HasBest = false;
+  /// Hole-solver cache traffic (for the hit-rate gauge).
+  int64_t CacheHits = 0;
+  int64_t CacheMisses = 0;
+  /// Worker count for this run (1 = sequential).
+  int Jobs = 1;
+};
+
+/// Options for constructing a ProgressMonitor.
+struct ProgressOptions {
+  /// Heartbeat period.  Clamped to >= 1ms.
+  int IntervalMs = 1000;
+  /// Stamped into every record when non-empty (benchmark name).
+  std::string Tag;
+};
+
+/// Periodic JSONL heartbeat writer.  Thread-safe; one background
+/// thread between start() and stop().  The monitor never owns the
+/// sampled state — samplers are borrowed views that the engine
+/// installs for a run's duration and clears before the sampled
+/// objects die.
+class ProgressMonitor {
+public:
+  /// Writes records to \p OS (not owned; must outlive the monitor).
+  ProgressMonitor(std::ostream &OS, ProgressOptions Opts);
+  /// Opens \p Path for writing (truncates).  openedOk() reports
+  /// failure; a monitor whose sink failed to open still runs, and
+  /// drops records, so callers may treat a bad path as non-fatal.
+  ProgressMonitor(const std::string &Path, ProgressOptions Opts);
+  ~ProgressMonitor();
+
+  ProgressMonitor(const ProgressMonitor &) = delete;
+  ProgressMonitor &operator=(const ProgressMonitor &) = delete;
+
+  bool openedOk() const { return OS != nullptr; }
+
+  /// Installs (or clears, with nullptr) the per-run sampler.  Swaps
+  /// under the sample mutex: after setSampler(nullptr) returns, no
+  /// further calls into the previous sampler are possible.
+  void setSampler(std::function<ProgressSample()> S);
+
+  /// Installs (or clears) the queue-depth probe; same synchronization
+  /// contract as setSampler.  Kept separate because the thread pool's
+  /// lifetime is narrower than the run's.
+  void setQueueProbe(std::function<int64_t()> P);
+
+  /// Starts the heartbeat thread.  The elapsed clock starts here.
+  void start();
+
+  /// Emits one final record (`"final":true`), stops the thread, and
+  /// flushes the sink.  Idempotent.
+  void stop();
+
+  /// Records written so far (tests and overhead accounting).
+  int64_t recordsWritten() const;
+
+private:
+  void threadMain();
+  void emitRecord(bool Final);
+
+  std::ostream *OS = nullptr;
+  std::unique_ptr<std::ostream> OwnedOS;
+  ProgressOptions Opts;
+
+  // Guards Sampler/QueueProbe and record emission.
+  mutable std::mutex Mu;
+  std::function<ProgressSample()> Sampler;
+  std::function<int64_t()> QueueProbe;
+  int64_t Seq = 0;
+
+  // Thread lifecycle.
+  std::mutex ThreadMu;
+  std::condition_variable WakeCV;
+  bool Stopping = false;
+  bool Started = false;
+  std::thread Worker;
+  std::chrono::steady_clock::time_point StartTime;
+};
+
+} // namespace observe
+} // namespace stenso
+
+#endif // STENSO_OBSERVE_PROGRESS_H

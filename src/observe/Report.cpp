@@ -1,0 +1,887 @@
+//===- Report.cpp - Post-hoc run introspection ----------------------------===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Report.h"
+
+#include "observe/Json.h"
+#include "observe/JsonValue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace stenso;
+using namespace stenso::observe;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out, std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot read '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+bool ingestStats(const std::string &Text, RunReport &R, std::string &Error) {
+  JsonValue Root;
+  if (!parseJson(Text, Root, Error)) {
+    Error = "stats: " + Error;
+    return false;
+  }
+  if (!Root.isObject()) {
+    Error = "stats: top level is not an object";
+    return false;
+  }
+  R.HasStats = true;
+  R.Improved = Root.boolOr("improved", false);
+  R.TimedOut = Root.boolOr("timed_out", false);
+  R.Abort = Root.stringOr("abort", "none");
+  R.OriginalCost = Root.numberOr("original_cost", 0);
+  R.OptimizedCost = Root.numberOr("optimized_cost", 0);
+  R.SynthesisSeconds = Root.numberOr("synthesis_seconds", 0);
+  if (const JsonValue *Stats = Root.find("stats"); Stats && Stats->isObject())
+    for (const auto &[Key, V] : Stats->object())
+      if (V.isNumber())
+        R.Stats[Key] = V.numberValue();
+  return true;
+}
+
+bool ingestDecisions(const std::string &Text, int TopK, RunReport &R,
+                     std::string &Error) {
+  std::vector<JsonValue> Lines;
+  if (!parseJsonl(Text, Lines, Error)) {
+    Error = "decisions: " + Error;
+    return false;
+  }
+  R.HasDecisions = true;
+  std::vector<DecisionRecord> Losers;
+  double RunningMin = 0;
+  bool HaveMin = false;
+  for (const JsonValue &L : Lines) {
+    if (!L.isObject()) {
+      Error = "decisions: record is not an object";
+      return false;
+    }
+    DecisionRecord D;
+    D.Seq = static_cast<int64_t>(L.numberOr("seq", -1));
+    D.Sketch = static_cast<int64_t>(L.numberOr("sketch", 0));
+    D.Depth = static_cast<int64_t>(L.numberOr("depth", 0));
+    D.Bound = L.numberOr("bound", 0);
+    D.Cost = L.numberOr("cost", 0);
+    D.Outcome = L.stringOr("outcome", "");
+    D.Tag = L.stringOr("tag", "");
+    if (D.Outcome.empty()) {
+      Error = "decisions: record " + std::to_string(R.DecisionCount) +
+              " has no outcome";
+      return false;
+    }
+    ++R.DecisionCount;
+    ++R.OutcomeCounts[D.Outcome];
+
+    bool Completed =
+        D.Outcome == "accepted" || D.Outcome == "stub-match";
+    if (Completed && D.Depth == 0) {
+      // Depth-0 completions carry full-program costs; deeper accepts
+      // are subtree costs and must not enter the trajectory.
+      if (!HaveMin || D.Cost < RunningMin) {
+        RunningMin = D.Cost;
+        HaveMin = true;
+        R.CostTrajectory.push_back({D.Seq, D.Cost});
+      }
+    } else if (!Completed && D.Outcome != "store-degraded") {
+      Losers.push_back(D);
+    }
+  }
+  if (HaveMin)
+    R.MinCompletedCost = RunningMin;
+
+  // Most expensive losers first: rank by the bound the search held at
+  // abandonment, ties broken by log order for determinism.
+  std::stable_sort(Losers.begin(), Losers.end(),
+                   [](const DecisionRecord &A, const DecisionRecord &B) {
+                     return A.Bound > B.Bound;
+                   });
+  if (TopK >= 0 && Losers.size() > static_cast<size_t>(TopK))
+    Losers.resize(static_cast<size_t>(TopK));
+  R.TopLosers = std::move(Losers);
+  return true;
+}
+
+bool ingestTrace(const std::string &Text, RunReport &R, std::string &Error) {
+  JsonValue Root;
+  if (!parseJson(Text, Root, Error)) {
+    Error = "trace: " + Error;
+    return false;
+  }
+  const JsonValue *Events = Root.find("traceEvents");
+  if (!Events || !Events->isArray()) {
+    Error = "trace: no traceEvents array";
+    return false;
+  }
+  R.HasTrace = true;
+  std::map<std::pair<std::string, std::string>, PhaseStat> Phases;
+  double MinTs = 0, MaxEnd = 0;
+  bool Any = false;
+  for (const JsonValue &E : Events->array()) {
+    if (!E.isObject())
+      continue;
+    ++R.TraceEventCount;
+    if (E.stringOr("ph", "") != "X")
+      continue;
+    double Ts = E.numberOr("ts", 0);
+    double Dur = E.numberOr("dur", 0);
+    int64_t Tid = static_cast<int64_t>(E.numberOr("tid", 0));
+    if (!Any || Ts < MinTs)
+      MinTs = Ts;
+    if (!Any || Ts + Dur > MaxEnd)
+      MaxEnd = Ts + Dur;
+    Any = true;
+    PhaseStat &P = Phases[{E.stringOr("cat", ""), E.stringOr("name", "")}];
+    ++P.Count;
+    P.TotalMicros += Dur;
+    P.MaxMicros = std::max(P.MaxMicros, Dur);
+    P.MicrosByTid[Tid] += Dur;
+  }
+  if (Any)
+    R.TraceExtentMicros = MaxEnd - MinTs;
+  if (const JsonValue *Other = Root.find("otherData")) {
+    R.DroppedEvents = static_cast<int64_t>(Other->numberOr("droppedEvents", 0));
+    R.TraceThreadCount = static_cast<int64_t>(Other->numberOr("threads", 0));
+  }
+  for (auto &[Key, P] : Phases) {
+    P.Cat = Key.first;
+    P.Name = Key.second;
+    R.Phases.push_back(std::move(P));
+  }
+  std::stable_sort(R.Phases.begin(), R.Phases.end(),
+                   [](const PhaseStat &A, const PhaseStat &B) {
+                     return A.TotalMicros > B.TotalMicros;
+                   });
+  return true;
+}
+
+bool ingestProgress(const std::string &Text, RunReport &R,
+                    std::string &Error) {
+  std::vector<JsonValue> Lines;
+  if (!parseJsonl(Text, Lines, Error)) {
+    Error = "progress: " + Error;
+    return false;
+  }
+  R.HasProgress = true;
+  for (const JsonValue &L : Lines) {
+    if (!L.isObject()) {
+      Error = "progress: record is not an object";
+      return false;
+    }
+    ProgressPoint P;
+    P.Elapsed = L.numberOr("elapsed", 0);
+    P.Candidates = static_cast<int64_t>(L.numberOr("candidates", 0));
+    if (const JsonValue *Best = L.find("best_cost");
+        Best && Best->isNumber()) {
+      P.BestCost = Best->numberValue();
+      P.HasBest = true;
+    }
+    ++R.ProgressCount;
+    R.FinalElapsed = P.Elapsed;
+    if (P.HasBest)
+      R.FinalBest = P.BestCost;
+    if (L.boolOr("final", false))
+      R.SawFinalHeartbeat = true;
+    R.ProgressTrajectory.push_back(P);
+  }
+  return true;
+}
+
+bool ingestMetrics(const std::string &Text, RunReport &R,
+                   std::string &Error) {
+  JsonValue Root;
+  if (!parseJson(Text, Root, Error)) {
+    Error = "metrics: " + Error;
+    return false;
+  }
+  R.HasMetrics = true;
+  if (const JsonValue *Counters = Root.find("counters");
+      Counters && Counters->isObject())
+    for (const auto &[Key, V] : Counters->object())
+      if (V.isNumber())
+        R.Counters[Key] = V.numberValue();
+
+  // Per-shard solver-cache traffic: holesolver.cache.shard.N.{hit,miss}.
+  std::map<int, ShardCacheStat> Shards;
+  const std::string Prefix = "holesolver.cache.shard.";
+  for (const auto &[Key, V] : R.Counters) {
+    if (Key.compare(0, Prefix.size(), Prefix) != 0)
+      continue;
+    size_t Dot = Key.find('.', Prefix.size());
+    if (Dot == std::string::npos)
+      continue;
+    int Shard = std::atoi(Key.substr(Prefix.size(), Dot - Prefix.size()).c_str());
+    std::string Kind = Key.substr(Dot + 1);
+    ShardCacheStat &S = Shards[Shard];
+    S.Shard = Shard;
+    if (Kind == "hit")
+      S.Hits = V;
+    else if (Kind == "miss")
+      S.Misses = V;
+  }
+  for (auto &[Shard, S] : Shards)
+    R.ShardCaches.push_back(S);
+  return true;
+}
+
+bool buildReportImpl(const ReportStreams &Streams, const ReportOptions &Opts,
+                     RunReport &Out, std::string &Error) {
+  Out = RunReport();
+  Out.Label = Opts.Label;
+  if (!Streams.StatsJson && !Streams.DecisionsJsonl && !Streams.TraceJson &&
+      !Streams.ProgressJsonl && !Streams.MetricsJson) {
+    Error = "no input streams given";
+    return false;
+  }
+  if (Streams.StatsJson && !ingestStats(*Streams.StatsJson, Out, Error))
+    return false;
+  if (Streams.DecisionsJsonl &&
+      !ingestDecisions(*Streams.DecisionsJsonl, Opts.TopK, Out, Error))
+    return false;
+  if (Streams.TraceJson && !ingestTrace(*Streams.TraceJson, Out, Error))
+    return false;
+  if (Streams.ProgressJsonl &&
+      !ingestProgress(*Streams.ProgressJsonl, Out, Error))
+    return false;
+  if (Streams.MetricsJson && !ingestMetrics(*Streams.MetricsJson, Out, Error))
+    return false;
+  return true;
+}
+
+/// Relative difference with a floor so near-zero pairs compare sanely.
+double relDiff(double A, double B) {
+  double Scale = std::max({std::fabs(A), std::fabs(B), 1e-12});
+  return std::fabs(A - B) / Scale;
+}
+
+std::string formatDouble(double V, int Precision = 3) {
+  char Buf[64];
+  // Costs can live at 1e-5 scale (flops-normalized); a fixed rendering
+  // that would collapse a nonzero value to "0" switches to %g instead.
+  if (V != 0 && std::fabs(V) < 0.5 * std::pow(10.0, -Precision)) {
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  std::string S = Buf;
+  // Trim trailing zeros but keep one decimal ("1.50" -> "1.5", "2.00" -> "2").
+  if (S.find('.') != std::string::npos) {
+    while (!S.empty() && S.back() == '0')
+      S.pop_back();
+    if (!S.empty() && S.back() == '.')
+      S.pop_back();
+  }
+  return S;
+}
+
+std::string padRight(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.append(Width - S.size(), ' ');
+  return S;
+}
+
+std::string padLeft(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.insert(0, Width - S.size(), ' ');
+  return S;
+}
+
+} // namespace
+
+bool observe::buildReport(const ReportStreams &Streams,
+                          const ReportOptions &Opts, RunReport &Out,
+                          std::string &Error) {
+  return buildReportImpl(Streams, Opts, Out, Error);
+}
+
+bool observe::buildReport(const ReportInputs &Inputs,
+                          const ReportOptions &Opts, RunReport &Out,
+                          std::string &Error) {
+  std::string Stats, Decisions, Trace, Progress, Metrics;
+  ReportStreams Streams;
+  if (!Inputs.StatsPath.empty()) {
+    if (!readFile(Inputs.StatsPath, Stats, Error))
+      return false;
+    Streams.StatsJson = &Stats;
+  }
+  if (!Inputs.DecisionsPath.empty()) {
+    if (!readFile(Inputs.DecisionsPath, Decisions, Error))
+      return false;
+    Streams.DecisionsJsonl = &Decisions;
+  }
+  if (!Inputs.TracePath.empty()) {
+    if (!readFile(Inputs.TracePath, Trace, Error))
+      return false;
+    Streams.TraceJson = &Trace;
+  }
+  if (!Inputs.ProgressPath.empty()) {
+    if (!readFile(Inputs.ProgressPath, Progress, Error))
+      return false;
+    Streams.ProgressJsonl = &Progress;
+  }
+  if (!Inputs.MetricsPath.empty()) {
+    if (!readFile(Inputs.MetricsPath, Metrics, Error))
+      return false;
+    Streams.MetricsJson = &Metrics;
+  }
+  ReportOptions WithLabel = Opts;
+  if (WithLabel.Label.empty()) {
+    for (const std::string *P :
+         {&Inputs.StatsPath, &Inputs.DecisionsPath, &Inputs.TracePath,
+          &Inputs.ProgressPath, &Inputs.MetricsPath})
+      if (!P->empty()) {
+        WithLabel.Label = *P;
+        break;
+      }
+  }
+  return buildReportImpl(Streams, WithLabel, Out, Error);
+}
+
+std::vector<std::string> observe::crossCheckReport(const RunReport &R) {
+  std::vector<std::string> Mismatches;
+  auto Count = [&R](const char *Outcome) -> int64_t {
+    auto It = R.OutcomeCounts.find(Outcome);
+    return It == R.OutcomeCounts.end() ? 0 : It->second;
+  };
+  auto Stat = [&R](const char *Key) -> double {
+    auto It = R.Stats.find(Key);
+    return It == R.Stats.end() ? 0 : It->second;
+  };
+  auto CheckExact = [&](const std::string &What, double FromDecisions,
+                        double FromStats) {
+    if (FromDecisions != FromStats)
+      Mismatches.push_back(What + ": decisions=" +
+                           formatDouble(FromDecisions, 0) + " stats=" +
+                           formatDouble(FromStats, 0));
+  };
+
+  if (R.HasDecisions && R.HasStats) {
+    // These stats counters are decision-paired in the engine: every
+    // increment emits exactly one record with the matching outcome.
+    CheckExact("pruned_cost", static_cast<double>(Count("pruned-cost")),
+               Stat("pruned_cost"));
+    CheckExact("pruned_simplification",
+               static_cast<double>(Count("pruned-simplification")),
+               Stat("pruned_simplification"));
+    // Shape prunes happen at library build time (no decision records);
+    // the runtime analysis prunes are sign + degree exactly.
+    CheckExact("pruned_analysis (sign+degree)",
+               static_cast<double>(Count("pruned-analysis")),
+               Stat("analysis_pruned_sign") + Stat("analysis_pruned_degree"));
+
+    if (R.Improved) {
+      if (!R.MinCompletedCost)
+        Mismatches.push_back(
+            "improved run but the decision log has no completed candidate");
+      else if (relDiff(*R.MinCompletedCost, R.OptimizedCost) > 1e-9)
+        Mismatches.push_back(
+            "min completed cost " + formatDouble(*R.MinCompletedCost) +
+            " != optimized cost " + formatDouble(R.OptimizedCost));
+    } else if (R.MinCompletedCost &&
+               *R.MinCompletedCost < R.OriginalCost &&
+               relDiff(*R.MinCompletedCost, R.OriginalCost) > 1e-9) {
+      Mismatches.push_back("run not improved but the decision log saw a "
+                           "candidate cheaper than the original (" +
+                           formatDouble(*R.MinCompletedCost) + " < " +
+                           formatDouble(R.OriginalCost) + ")");
+    }
+  }
+
+  if (R.HasProgress && R.HasStats && R.SawFinalHeartbeat && R.FinalBest &&
+      relDiff(*R.FinalBest, R.OptimizedCost) > 1e-9)
+    Mismatches.push_back("final heartbeat best " + formatDouble(*R.FinalBest) +
+                         " != optimized cost " +
+                         formatDouble(R.OptimizedCost));
+  return Mismatches;
+}
+
+void observe::renderReportText(const RunReport &R, std::ostream &OS) {
+  OS << "== stenso-report: " << (R.Label.empty() ? "(unnamed)" : R.Label)
+     << " ==\n";
+  OS << "streams:";
+  if (R.HasStats)
+    OS << " stats";
+  if (R.HasDecisions)
+    OS << " decisions";
+  if (R.HasTrace)
+    OS << " trace";
+  if (R.HasProgress)
+    OS << " progress";
+  if (R.HasMetrics)
+    OS << " metrics";
+  OS << "\n";
+
+  if (R.HasStats) {
+    OS << "\noutcome\n";
+    OS << "  improved         " << (R.Improved ? "yes" : "no") << "\n";
+    OS << "  original cost    " << formatDouble(R.OriginalCost) << "\n";
+    OS << "  optimized cost   " << formatDouble(R.OptimizedCost);
+    if (R.Improved && R.OptimizedCost > 0)
+      OS << "  (" << formatDouble(R.OriginalCost / R.OptimizedCost, 2)
+         << "x)";
+    OS << "\n";
+    OS << "  synthesis time   " << formatDouble(R.SynthesisSeconds) << " s\n";
+    OS << "  abort            " << R.Abort
+       << (R.TimedOut ? " (timed out)" : "") << "\n";
+  }
+
+  if (R.HasTrace) {
+    OS << "\nphase wall-time (inclusive; extent "
+       << formatDouble(R.TraceExtentMicros / 1e3) << " ms, "
+       << R.TraceThreadCount << " thread(s), " << R.DroppedEvents
+       << " dropped)\n";
+    OS << "  " << padRight("phase", 28) << padLeft("count", 8)
+       << padLeft("total ms", 12) << padLeft("max ms", 10)
+       << "  per-thread ms\n";
+    for (const PhaseStat &P : R.Phases) {
+      OS << "  " << padRight(P.Cat + "/" + P.Name, 28)
+         << padLeft(std::to_string(P.Count), 8)
+         << padLeft(formatDouble(P.TotalMicros / 1e3), 12)
+         << padLeft(formatDouble(P.MaxMicros / 1e3), 10) << "  ";
+      bool First = true;
+      for (const auto &[Tid, Micros] : P.MicrosByTid) {
+        if (!First)
+          OS << " ";
+        First = false;
+        OS << "t" << Tid << "=" << formatDouble(Micros / 1e3, 1);
+      }
+      OS << "\n";
+    }
+  }
+
+  if (R.HasDecisions) {
+    OS << "\ndecision breakdown (" << R.DecisionCount << " record(s))\n";
+    for (const auto &[Outcome, N] : R.OutcomeCounts) {
+      double Share =
+          R.DecisionCount ? 100.0 * static_cast<double>(N) /
+                                static_cast<double>(R.DecisionCount)
+                          : 0;
+      // Shares round at the column precision on purpose (a 0.0002%
+      // outcome reads as "0%"), unlike costs, which must not vanish.
+      OS << "  " << padRight(Outcome, 24) << padLeft(std::to_string(N), 10)
+         << padLeft(Share < 0.05 ? "0" : formatDouble(Share, 1), 7) << "%\n";
+    }
+    if (R.MinCompletedCost)
+      OS << "  min completed cost: " << formatDouble(*R.MinCompletedCost)
+         << "\n";
+
+    OS << "\nbest-cost trajectory (" << R.CostTrajectory.size()
+       << " improvement(s))\n";
+    for (const TrajectoryPoint &T : R.CostTrajectory)
+      OS << "  seq " << padLeft(std::to_string(T.Seq), 8) << "  cost "
+         << formatDouble(T.Cost) << "\n";
+
+    if (!R.TopLosers.empty()) {
+      OS << "\nmost expensive losing candidates (by bound at "
+            "abandonment)\n";
+      OS << "  " << padLeft("sketch", 7) << padLeft("depth", 6)
+         << padRight("  outcome", 24) << padLeft("bound", 14) << "  tag\n";
+      for (const DecisionRecord &D : R.TopLosers)
+        OS << "  " << padLeft(std::to_string(D.Sketch), 7)
+           << padLeft(std::to_string(D.Depth), 6) << "  "
+           << padRight(D.Outcome, 22) << padLeft(formatDouble(D.Bound), 14)
+           << "  " << D.Tag << "\n";
+    }
+  }
+
+  if (R.HasStats || R.HasMetrics) {
+    OS << "\ncache efficiency\n";
+    if (R.HasStats) {
+      auto Stat = [&R](const char *Key) -> double {
+        auto It = R.Stats.find(Key);
+        return It == R.Stats.end() ? 0 : It->second;
+      };
+      double Hits = Stat("solver_cache_hits");
+      double Misses = Stat("solver_cache_misses");
+      OS << "  solver cache     hit " << formatDouble(Hits, 0) << " / miss "
+         << formatDouble(Misses, 0) << " / evict "
+         << formatDouble(Stat("solver_cache_evictions"), 0);
+      if (Hits + Misses > 0)
+        OS << "  (hit rate "
+           << formatDouble(100 * Hits / (Hits + Misses), 1) << "%)";
+      OS << "\n";
+      double Lookups = Stat("intern_lookups");
+      double InternHits = Stat("intern_hits");
+      OS << "  intern table     " << formatDouble(Stat("interned_nodes"), 0)
+         << " node(s), hit " << formatDouble(InternHits, 0) << " / "
+         << formatDouble(Lookups, 0) << " lookup(s)\n";
+      double StoreHits = Stat("store_hits");
+      double StorePuts = Stat("store_puts");
+      double StoreRejected = Stat("store_rejected");
+      if (StoreHits + StorePuts + StoreRejected > 0)
+        OS << "  store            hit " << formatDouble(StoreHits, 0)
+           << " / rejected " << formatDouble(StoreRejected, 0) << " / put "
+           << formatDouble(StorePuts, 0) << "\n";
+    }
+    if (!R.ShardCaches.empty()) {
+      OS << "  solver shards   ";
+      for (const ShardCacheStat &S : R.ShardCaches) {
+        double Total = S.Hits + S.Misses;
+        OS << " s" << S.Shard << "="
+           << (Total > 0 ? formatDouble(100 * S.Hits / Total, 0) : "0")
+           << "%";
+      }
+      OS << "  (hit rate per shard)\n";
+    }
+  }
+
+  if (R.HasProgress) {
+    OS << "\nprogress (" << R.ProgressCount << " heartbeat(s), final "
+       << (R.SawFinalHeartbeat ? "seen" : "MISSING") << ")\n";
+    OS << "  last elapsed     " << formatDouble(R.FinalElapsed) << " s\n";
+    if (R.FinalBest)
+      OS << "  last best cost   " << formatDouble(*R.FinalBest) << "\n";
+    if (!R.ProgressTrajectory.empty()) {
+      const ProgressPoint &Last = R.ProgressTrajectory.back();
+      if (Last.Elapsed > 0)
+        OS << "  candidates/sec   "
+           << formatDouble(static_cast<double>(Last.Candidates) /
+                               Last.Elapsed,
+                           1)
+           << "\n";
+    }
+  }
+
+  std::vector<std::string> Mismatches = crossCheckReport(R);
+  OS << "\ncross-check: ";
+  if (Mismatches.empty()) {
+    OS << "OK\n";
+  } else {
+    OS << Mismatches.size() << " mismatch(es)\n";
+    for (const std::string &M : Mismatches)
+      OS << "  MISMATCH " << M << "\n";
+  }
+}
+
+void observe::renderReportJson(const RunReport &R, std::ostream &OS) {
+  std::string J;
+  J += "{\"label\":" + jsonQuote(R.Label);
+  J += ",\"streams\":{\"stats\":";
+  J += R.HasStats ? "true" : "false";
+  J += ",\"decisions\":";
+  J += R.HasDecisions ? "true" : "false";
+  J += ",\"trace\":";
+  J += R.HasTrace ? "true" : "false";
+  J += ",\"progress\":";
+  J += R.HasProgress ? "true" : "false";
+  J += ",\"metrics\":";
+  J += R.HasMetrics ? "true" : "false";
+  J += "}";
+
+  if (R.HasStats) {
+    J += ",\"outcome\":{\"improved\":";
+    J += R.Improved ? "true" : "false";
+    J += ",\"timed_out\":";
+    J += R.TimedOut ? "true" : "false";
+    J += ",\"abort\":" + jsonQuote(R.Abort);
+    J += ",\"original_cost\":" + jsonNumber(R.OriginalCost);
+    J += ",\"optimized_cost\":" + jsonNumber(R.OptimizedCost);
+    J += ",\"synthesis_seconds\":" + jsonNumber(R.SynthesisSeconds);
+    J += "},\"stats\":{";
+    bool First = true;
+    for (const auto &[Key, V] : R.Stats) {
+      if (!First)
+        J += ",";
+      First = false;
+      J += jsonQuote(Key) + ":" + jsonNumber(V);
+    }
+    J += "}";
+  }
+
+  if (R.HasDecisions) {
+    J += ",\"decisions\":{\"count\":";
+    jsonAppendNumber(J, R.DecisionCount);
+    J += ",\"outcomes\":{";
+    bool First = true;
+    for (const auto &[Outcome, N] : R.OutcomeCounts) {
+      if (!First)
+        J += ",";
+      First = false;
+      J += jsonQuote(Outcome) + ":";
+      jsonAppendNumber(J, N);
+    }
+    J += "}";
+    if (R.MinCompletedCost)
+      J += ",\"min_completed_cost\":" + jsonNumber(*R.MinCompletedCost);
+    J += ",\"trajectory\":[";
+    First = true;
+    for (const TrajectoryPoint &T : R.CostTrajectory) {
+      if (!First)
+        J += ",";
+      First = false;
+      J += "{\"seq\":";
+      jsonAppendNumber(J, T.Seq);
+      J += ",\"cost\":" + jsonNumber(T.Cost) + "}";
+    }
+    J += "],\"top_losers\":[";
+    First = true;
+    for (const DecisionRecord &D : R.TopLosers) {
+      if (!First)
+        J += ",";
+      First = false;
+      J += "{\"sketch\":";
+      jsonAppendNumber(J, D.Sketch);
+      J += ",\"depth\":";
+      jsonAppendNumber(J, D.Depth);
+      J += ",\"outcome\":" + jsonQuote(D.Outcome);
+      J += ",\"bound\":" + jsonNumber(D.Bound);
+      J += ",\"tag\":" + jsonQuote(D.Tag) + "}";
+    }
+    J += "]}";
+  }
+
+  if (R.HasTrace) {
+    J += ",\"trace\":{\"events\":";
+    jsonAppendNumber(J, R.TraceEventCount);
+    J += ",\"threads\":";
+    jsonAppendNumber(J, R.TraceThreadCount);
+    J += ",\"dropped\":";
+    jsonAppendNumber(J, R.DroppedEvents);
+    J += ",\"extent_micros\":" + jsonNumber(R.TraceExtentMicros);
+    J += ",\"phases\":[";
+    bool First = true;
+    for (const PhaseStat &P : R.Phases) {
+      if (!First)
+        J += ",";
+      First = false;
+      J += "{\"cat\":" + jsonQuote(P.Cat);
+      J += ",\"name\":" + jsonQuote(P.Name);
+      J += ",\"count\":";
+      jsonAppendNumber(J, P.Count);
+      J += ",\"total_micros\":" + jsonNumber(P.TotalMicros);
+      J += ",\"max_micros\":" + jsonNumber(P.MaxMicros);
+      J += ",\"by_tid\":{";
+      bool FirstTid = true;
+      for (const auto &[Tid, Micros] : P.MicrosByTid) {
+        if (!FirstTid)
+          J += ",";
+        FirstTid = false;
+        J += jsonQuote(std::to_string(Tid)) + ":" + jsonNumber(Micros);
+      }
+      J += "}}";
+    }
+    J += "]}";
+  }
+
+  if (R.HasProgress) {
+    J += ",\"progress\":{\"records\":";
+    jsonAppendNumber(J, R.ProgressCount);
+    J += ",\"saw_final\":";
+    J += R.SawFinalHeartbeat ? "true" : "false";
+    J += ",\"final_elapsed\":" + jsonNumber(R.FinalElapsed);
+    if (R.FinalBest)
+      J += ",\"final_best\":" + jsonNumber(*R.FinalBest);
+    J += "}";
+  }
+
+  if (R.HasMetrics) {
+    J += ",\"counters\":{";
+    bool First = true;
+    for (const auto &[Key, V] : R.Counters) {
+      if (!First)
+        J += ",";
+      First = false;
+      J += jsonQuote(Key) + ":" + jsonNumber(V);
+    }
+    J += "},\"shard_caches\":[";
+    First = true;
+    for (const ShardCacheStat &S : R.ShardCaches) {
+      if (!First)
+        J += ",";
+      First = false;
+      J += "{\"shard\":";
+      jsonAppendNumber(J, static_cast<int64_t>(S.Shard));
+      J += ",\"hits\":" + jsonNumber(S.Hits);
+      J += ",\"misses\":" + jsonNumber(S.Misses) + "}";
+    }
+    J += "]";
+  }
+
+  std::vector<std::string> Mismatches = crossCheckReport(R);
+  J += ",\"cross_check\":{\"ok\":";
+  J += Mismatches.empty() ? "true" : "false";
+  J += ",\"mismatches\":[";
+  bool First = true;
+  for (const std::string &M : Mismatches) {
+    if (!First)
+      J += ",";
+    First = false;
+    J += jsonQuote(M);
+  }
+  J += "]}}\n";
+  OS << J;
+}
+
+ReportDiff observe::diffReports(const RunReport &A, const RunReport &B,
+                                double RelTol) {
+  ReportDiff D;
+  auto OutcomeNum = [&D](const std::string &Key, double VA, double VB) {
+    if (relDiff(VA, VB) > 1e-9)
+      D.OutcomeDiffs.push_back({Key, VA, VB, "", ""});
+  };
+  auto OutcomeText = [&D](const std::string &Key, const std::string &TA,
+                          const std::string &TB) {
+    if (TA != TB)
+      D.OutcomeDiffs.push_back({Key, 0, 0, TA, TB});
+  };
+  auto Metric = [&D, RelTol](const std::string &Key, double VA, double VB) {
+    if (relDiff(VA, VB) > RelTol)
+      D.MetricDiffs.push_back({Key, VA, VB, "", ""});
+  };
+
+  // Determinism-contract fields: any difference here means the two
+  // runs found different answers, not just different timings.
+  if (A.HasStats && B.HasStats) {
+    OutcomeText("improved", A.Improved ? "yes" : "no",
+                B.Improved ? "yes" : "no");
+    OutcomeText("abort", A.Abort, B.Abort);
+    OutcomeText("timed_out", A.TimedOut ? "yes" : "no",
+                B.TimedOut ? "yes" : "no");
+    OutcomeNum("original_cost", A.OriginalCost, B.OriginalCost);
+    OutcomeNum("optimized_cost", A.OptimizedCost, B.OptimizedCost);
+  }
+  if (A.HasDecisions && B.HasDecisions) {
+    if (A.MinCompletedCost.has_value() != B.MinCompletedCost.has_value())
+      D.OutcomeDiffs.push_back({"min_completed_cost", 0, 0,
+                                A.MinCompletedCost ? "present" : "absent",
+                                B.MinCompletedCost ? "present" : "absent"});
+    else if (A.MinCompletedCost && B.MinCompletedCost)
+      OutcomeNum("min_completed_cost", *A.MinCompletedCost,
+                 *B.MinCompletedCost);
+  }
+
+  // Drift candidates: stats counters, outcome counts, phase times.
+  // Under jobs=N the bound propagates on wall-clock order, so a branch
+  // pruned by cost in one run may be explored in the other — these
+  // shift legitimately and only gate on the tolerance.
+  if (A.HasStats && B.HasStats) {
+    Metric("synthesis_seconds", A.SynthesisSeconds, B.SynthesisSeconds);
+    std::map<std::string, double> Keys = A.Stats;
+    Keys.insert(B.Stats.begin(), B.Stats.end());
+    for (const auto &[Key, Unused] : Keys) {
+      (void)Unused;
+      auto ItA = A.Stats.find(Key);
+      auto ItB = B.Stats.find(Key);
+      Metric("stats." + Key, ItA == A.Stats.end() ? 0 : ItA->second,
+             ItB == B.Stats.end() ? 0 : ItB->second);
+    }
+  }
+  if (A.HasDecisions && B.HasDecisions) {
+    std::map<std::string, int64_t> Keys = A.OutcomeCounts;
+    Keys.insert(B.OutcomeCounts.begin(), B.OutcomeCounts.end());
+    for (const auto &[Key, Unused] : Keys) {
+      (void)Unused;
+      auto ItA = A.OutcomeCounts.find(Key);
+      auto ItB = B.OutcomeCounts.find(Key);
+      Metric("decisions." + Key,
+             ItA == A.OutcomeCounts.end()
+                 ? 0
+                 : static_cast<double>(ItA->second),
+             ItB == B.OutcomeCounts.end()
+                 ? 0
+                 : static_cast<double>(ItB->second));
+    }
+  }
+  if (A.HasTrace && B.HasTrace) {
+    std::map<std::string, const PhaseStat *> PA, PB;
+    for (const PhaseStat &P : A.Phases)
+      PA[P.Cat + "/" + P.Name] = &P;
+    for (const PhaseStat &P : B.Phases)
+      PB[P.Cat + "/" + P.Name] = &P;
+    std::map<std::string, int> Keys;
+    for (const auto &[Key, Unused] : PA)
+      Keys[Key] = 0;
+    for (const auto &[Key, Unused] : PB)
+      Keys[Key] = 0;
+    for (const auto &[Key, Unused] : Keys) {
+      (void)Unused;
+      auto ItA = PA.find(Key);
+      auto ItB = PB.find(Key);
+      Metric("phase." + Key + ".total_ms",
+             ItA == PA.end() ? 0 : ItA->second->TotalMicros / 1e3,
+             ItB == PB.end() ? 0 : ItB->second->TotalMicros / 1e3);
+    }
+  }
+  return D;
+}
+
+void observe::renderDiffText(const ReportDiff &D, const RunReport &A,
+                             const RunReport &B, std::ostream &OS) {
+  OS << "== stenso-report diff: " << (A.Label.empty() ? "A" : A.Label)
+     << " vs " << (B.Label.empty() ? "B" : B.Label) << " ==\n";
+  if (!D.diverged()) {
+    OS << "outcome: IDENTICAL (the two runs found the same answer)\n";
+  } else {
+    OS << "outcome: DIVERGED — " << D.OutcomeDiffs.size()
+       << " contract field(s) differ\n";
+    for (const ReportDiff::Entry &E : D.OutcomeDiffs) {
+      OS << "  " << padRight(E.Key, 24);
+      if (!E.TextA.empty() || !E.TextB.empty())
+        OS << E.TextA << " -> " << E.TextB << "\n";
+      else
+        OS << formatDouble(E.A) << " -> " << formatDouble(E.B) << "\n";
+    }
+  }
+  if (D.MetricDiffs.empty()) {
+    OS << "metric drift: none beyond tolerance\n";
+  } else {
+    OS << "metric drift (" << D.MetricDiffs.size()
+       << " beyond tolerance)\n";
+    OS << "  " << padRight("metric", 36) << padLeft("A", 14)
+       << padLeft("B", 14) << padLeft("delta", 10) << "\n";
+    for (const ReportDiff::Entry &E : D.MetricDiffs) {
+      double Delta = 100 * relDiff(E.A, E.B);
+      OS << "  " << padRight(E.Key, 36) << padLeft(formatDouble(E.A), 14)
+         << padLeft(formatDouble(E.B), 14)
+         << padLeft(formatDouble(Delta, 1) + "%", 10) << "\n";
+    }
+  }
+}
+
+void observe::renderDiffJson(const ReportDiff &D, const RunReport &A,
+                             const RunReport &B, std::ostream &OS) {
+  std::string J;
+  J += "{\"label_a\":" + jsonQuote(A.Label);
+  J += ",\"label_b\":" + jsonQuote(B.Label);
+  J += ",\"diverged\":";
+  J += D.diverged() ? "true" : "false";
+  auto AppendEntries = [&J](const std::vector<ReportDiff::Entry> &Entries) {
+    bool First = true;
+    for (const ReportDiff::Entry &E : Entries) {
+      if (!First)
+        J += ",";
+      First = false;
+      J += "{\"key\":" + jsonQuote(E.Key);
+      if (!E.TextA.empty() || !E.TextB.empty()) {
+        J += ",\"a\":" + jsonQuote(E.TextA);
+        J += ",\"b\":" + jsonQuote(E.TextB);
+      } else {
+        J += ",\"a\":" + jsonNumber(E.A);
+        J += ",\"b\":" + jsonNumber(E.B);
+      }
+      J += "}";
+    }
+  };
+  J += ",\"outcome_diffs\":[";
+  AppendEntries(D.OutcomeDiffs);
+  J += "],\"metric_diffs\":[";
+  AppendEntries(D.MetricDiffs);
+  J += "]}\n";
+  OS << J;
+}

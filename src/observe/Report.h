@@ -1,0 +1,231 @@
+//===- Report.h - Post-hoc run introspection ("stenso-report") -*- C++ -*-===//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ingest half of the observability layer: everything the engine
+/// *emits* during a run — trace JSON, decision JSONL, `--stats-json`,
+/// progress JSONL, metrics snapshots — can be read back and condensed
+/// into one RunReport: per-phase wall-time attribution (per thread),
+/// prune-reason breakdown, cache efficiency (aggregate, per HoleSolver
+/// shard, and for the persistent store), the best-cost trajectory, and
+/// the most expensive losing candidates.  A second entry point diffs
+/// two reports — the standing differential-testing methodology (jobs=1
+/// vs jobs=N, pruning on vs off) as a one-command diagnosis.
+///
+/// Every input is optional; the report records which streams were
+/// present and fills only the sections they support.  Ingestion is
+/// tolerant of unknown keys (streams may grow fields) but strict about
+/// malformed JSON — a torn file is an error, not a silent zero.
+///
+/// Cross-checking (`crossCheckReport`) ties the streams to each other:
+/// decision-log outcome counts must reproduce the `--stats-json`
+/// totals *exactly* for the counters that are decision-paired in the
+/// engine (pruned_cost, pruned_simplification, sign+degree analysis
+/// prunes), the cheapest depth-0 accepted candidate must equal the
+/// reported optimized cost, and the final progress heartbeat must
+/// agree with the run outcome.  A mismatch means a stream was
+/// truncated or the engine broke a pairing invariant — either is worth
+/// failing loudly over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENSO_OBSERVE_REPORT_H
+#define STENSO_OBSERVE_REPORT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stenso {
+namespace observe {
+
+/// Paths to a run's telemetry streams.  Empty = absent.
+struct ReportInputs {
+  std::string StatsPath;     ///< --stats-json output
+  std::string DecisionsPath; ///< --decisions JSONL
+  std::string TracePath;     ///< --trace Chrome/Perfetto JSON
+  std::string ProgressPath;  ///< --progress JSONL
+  std::string MetricsPath;   ///< --metrics registry snapshot
+};
+
+/// Same streams as in-memory text (tests, future stenso-serve).
+/// nullptr = absent.
+struct ReportStreams {
+  const std::string *StatsJson = nullptr;
+  const std::string *DecisionsJsonl = nullptr;
+  const std::string *TraceJson = nullptr;
+  const std::string *ProgressJsonl = nullptr;
+  const std::string *MetricsJson = nullptr;
+};
+
+struct ReportOptions {
+  /// Rows in the "most expensive losing candidates" table.
+  int TopK = 10;
+  /// Label stamped into the report (defaults to a stream path).
+  std::string Label;
+};
+
+/// One ingested decision record (see DecisionLog.h for the writer).
+struct DecisionRecord {
+  int64_t Seq = 0;
+  int64_t Sketch = 0;
+  int64_t Depth = 0;
+  double Bound = 0;
+  double Cost = 0;
+  std::string Outcome;
+  std::string Tag;
+};
+
+/// Aggregated timing for one span category (trace "cat"/"name" pair).
+/// Totals are *inclusive* time — nested spans (dfs inside search inside
+/// run) each accumulate their own wall time, so categories do not sum
+/// to the run's wall clock.
+struct PhaseStat {
+  std::string Cat;
+  std::string Name;
+  int64_t Count = 0;
+  double TotalMicros = 0;
+  double MaxMicros = 0;
+  /// Per-thread attribution, keyed by the trace tid.
+  std::map<int64_t, double> MicrosByTid;
+};
+
+/// One point of the best-cost trajectory (running incumbent minimum
+/// over depth-0 accepted / stub-match decisions, in log order).
+struct TrajectoryPoint {
+  int64_t Seq = 0;
+  double Cost = 0;
+};
+
+/// One ingested progress heartbeat (subset the report cares about).
+struct ProgressPoint {
+  double Elapsed = 0;
+  int64_t Candidates = 0;
+  double BestCost = 0;
+  bool HasBest = false;
+};
+
+/// Per-shard solver-cache traffic (from the metrics snapshot).
+struct ShardCacheStat {
+  int Shard = 0;
+  double Hits = 0;
+  double Misses = 0;
+};
+
+/// Everything the streams of one run condense to.
+struct RunReport {
+  std::string Label;
+  bool HasStats = false;
+  bool HasDecisions = false;
+  bool HasTrace = false;
+  bool HasProgress = false;
+  bool HasMetrics = false;
+
+  // --- stats-json ---
+  bool Improved = false;
+  bool TimedOut = false;
+  std::string Abort;
+  double OriginalCost = 0;
+  double OptimizedCost = 0;
+  double SynthesisSeconds = 0;
+  /// The flat "stats" object, verbatim (pruned_cost, solver_calls, ...).
+  std::map<std::string, double> Stats;
+
+  // --- decision log ---
+  int64_t DecisionCount = 0;
+  std::map<std::string, int64_t> OutcomeCounts;
+  std::vector<TrajectoryPoint> CostTrajectory;
+  /// Losing candidates (every non-accepted, non-stub outcome), ranked
+  /// most-expensive-first by the cost bound the search held when it
+  /// abandoned them — the price paid before giving up.
+  std::vector<DecisionRecord> TopLosers;
+  /// Cheapest full program the log saw (depth-0 accepted/stub-match).
+  std::optional<double> MinCompletedCost;
+
+  // --- trace ---
+  int64_t TraceEventCount = 0;
+  int64_t TraceThreadCount = 0;
+  int64_t DroppedEvents = 0;
+  /// Wall extent of the trace: last span end minus first span start.
+  double TraceExtentMicros = 0;
+  /// Sorted by TotalMicros, descending.
+  std::vector<PhaseStat> Phases;
+
+  // --- progress ---
+  int64_t ProgressCount = 0;
+  bool SawFinalHeartbeat = false;
+  double FinalElapsed = 0;
+  std::optional<double> FinalBest;
+  std::vector<ProgressPoint> ProgressTrajectory;
+
+  // --- metrics snapshot ---
+  std::map<std::string, double> Counters;
+  std::vector<ShardCacheStat> ShardCaches;
+};
+
+/// Builds a report from files.  Returns false (with \p Error set) when
+/// no input was given, a named file cannot be read, or a stream is
+/// malformed.
+bool buildReport(const ReportInputs &Inputs, const ReportOptions &Opts,
+                 RunReport &Out, std::string &Error);
+
+/// Same, from in-memory stream text.
+bool buildReport(const ReportStreams &Streams, const ReportOptions &Opts,
+                 RunReport &Out, std::string &Error);
+
+/// Stream-consistency check (see file comment).  Returns one message
+/// per mismatch; empty means every applicable invariant held.  Checks
+/// needing absent streams are skipped, not failed.
+std::vector<std::string> crossCheckReport(const RunReport &R);
+
+/// Human-readable report (tables + sections).
+void renderReportText(const RunReport &R, std::ostream &OS);
+
+/// Machine-readable report (one JSON object).
+void renderReportJson(const RunReport &R, std::ostream &OS);
+
+/// The result of comparing two runs.
+struct ReportDiff {
+  struct Entry {
+    std::string Key;
+    /// Values in run A / run B; for non-numeric keys (abort reason)
+    /// the text forms are carried instead.
+    double A = 0;
+    double B = 0;
+    std::string TextA;
+    std::string TextB;
+  };
+  /// Determinism-contract fields that differ (improved, abort,
+  /// timed_out, original/optimized cost, min completed cost): any
+  /// entry here means the two runs found *different answers*.
+  std::vector<Entry> OutcomeDiffs;
+  /// Everything else that drifted beyond the tolerance (outcome
+  /// counts, stats counters, phase times, cache rates).  Expected to
+  /// be non-empty for jobs=1 vs jobs=N — that is the point of reading
+  /// the diff — so these never set diverged().
+  std::vector<Entry> MetricDiffs;
+
+  bool diverged() const { return !OutcomeDiffs.empty(); }
+};
+
+/// Compares two runs.  \p RelTol bounds the relative drift tolerated
+/// in MetricDiffs candidates before they are reported (outcome fields
+/// always compare exactly).
+ReportDiff diffReports(const RunReport &A, const RunReport &B,
+                       double RelTol = 0.05);
+
+void renderDiffText(const ReportDiff &D, const RunReport &A,
+                    const RunReport &B, std::ostream &OS);
+void renderDiffJson(const ReportDiff &D, const RunReport &A,
+                    const RunReport &B, std::ostream &OS);
+
+} // namespace observe
+} // namespace stenso
+
+#endif // STENSO_OBSERVE_REPORT_H

@@ -79,6 +79,14 @@ int64_t ThreadPool::getHelpRuns() const {
   return HelpRuns;
 }
 
+int64_t ThreadPool::getQueueDepth() const {
+  std::lock_guard<std::mutex> Lock(Monitor);
+  int64_t Pending = 0;
+  for (const std::unique_ptr<Worker> &W : Workers)
+    Pending += static_cast<int64_t>(W->Queue.size());
+  return Pending;
+}
+
 void ThreadPool::enqueue(std::function<void()> Task) {
   {
     std::lock_guard<std::mutex> Lock(Monitor);

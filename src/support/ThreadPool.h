@@ -107,6 +107,11 @@ public:
   int64_t getStealCount() const;
   int64_t getHelpRuns() const;
 
+  /// Pending (queued, not yet running) tasks across all deques — the
+  /// progress heartbeat samples this as "queue_depth".  Takes the
+  /// scheduling lock briefly; intended for low-rate observers.
+  int64_t getQueueDepth() const;
+
 private:
   void enqueue(std::function<void()> Task);
   void workerLoop(size_t Index);

@@ -9,10 +9,13 @@
 #include "analysis/AbstractInterpreter.h"
 #include "analysis/ExprSign.h"
 #include "dsl/Printer.h"
+#include "observe/Metrics.h"
+#include "observe/Progress.h"
 #include "observe/Trace.h"
 #include "support/Budget.h"
 #include "support/Timer.h"
 
+#include <atomic>
 #include <set>
 
 using namespace stenso;
@@ -31,6 +34,22 @@ struct Entry {
   SymTensor Spec;
   double Cost;
 };
+
+/// Aggregate run counters into the global registry.  Called on every
+/// exit path (including setup failure) so a budget-aborted or degraded
+/// baseline run still leaves its telemetry behind.
+void publishBottomUpMetrics(const SynthesisResult &Result) {
+  observe::MetricsRegistry &M = observe::MetricsRegistry::global();
+  M.counter("bottomup.runs").add(1);
+  M.counter("bottomup.improved").add(Result.Improved ? 1 : 0);
+  M.counter("bottomup.aborted")
+      .add(Result.Abort == AbortReason::None ? 0 : 1);
+  M.counter("bottomup.enumerated").add(Result.Stats.DfsCalls);
+  M.counter("bottomup.retained").add(static_cast<int64_t>(
+      Result.Stats.NumStubs));
+  M.counter("bottomup.pruned.error").add(Result.Stats.PrunedByError);
+  M.counter("bottomup.pruned.analysis").add(Result.Stats.PrunedByAnalysis);
+}
 
 /// Collects the distinct constants appearing in a program tree.
 void collectConstants(const Node *N, std::vector<Rational> &Out) {
@@ -61,6 +80,36 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
   Result.OriginalCost = Model->costOfTree(Clamped.getRoot(), Scaler);
   Result.OptimizedCost = Result.OriginalCost;
 
+  // Heartbeat cells: the monitor thread samples these while the
+  // (sequential) enumeration updates them with relaxed stores.
+  std::atomic<int64_t> EnumeratedCell{0};
+  std::atomic<double> BestCostCell{Result.OriginalCost};
+  observe::ProgressMonitor *Monitor = Config.Progress;
+  auto SampleNow = [&Budget, &EnumeratedCell, &BestCostCell,
+                    Limits = Budget.getLimits()] {
+    observe::ProgressSample S;
+    S.Candidates = EnumeratedCell.load(std::memory_order_relaxed);
+    S.Nodes = Budget.getSymbolicNodes();
+    S.NodeCap = Limits.MaxSymbolicNodes;
+    S.WallLimitSeconds = Limits.WallSeconds;
+    S.BestCost = BestCostCell.load(std::memory_order_relaxed);
+    S.HasBest = true;
+    S.Jobs = 1;
+    return S;
+  };
+  if (Monitor)
+    Monitor->setSampler(SampleNow);
+  // Freeze-and-publish shared by every exit path, so telemetry survives
+  // setup failures and budget aborts alike.
+  auto FinishTelemetry = [&] {
+    publishBottomUpMetrics(Result);
+    if (Monitor) {
+      observe::ProgressSample Final = SampleNow();
+      Final.BestCost = Result.OptimizedCost;
+      Monitor->setSampler([Final] { return Final; });
+    }
+  };
+
   sym::ExprContext Ctx;
   Ctx.setBudget(&Budget);
   symexec::SymBinding Bindings;
@@ -76,6 +125,7 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
     ++Result.Stats.PrunedByError;
     Result.Abort = AbortReason::InternalError;
     Result.SynthesisSeconds = Timer.elapsedSeconds();
+    FinishTelemetry();
     return Result;
   }
   SymTensor Phi = std::move(*MaybePhi);
@@ -141,6 +191,7 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
       }
     }
     ++Result.Stats.DfsCalls; // reused as "programs enumerated"
+    EnumeratedCell.store(Result.Stats.DfsCalls, std::memory_order_relaxed);
     // Candidates whose spec fails to compute are pruned, not fatal.
     RecoverableErrorScope Scope;
     SymTensor Spec = symexec::symbolicExecute(Root, Ctx, Bindings);
@@ -153,6 +204,7 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
     if (Key == PhiKey && Cost < BestCost) {
       BestTree = Root;
       BestCost = Cost;
+      BestCostCell.store(Cost, std::memory_order_relaxed);
     }
     auto It = BySpec.find(Key);
     if (It != BySpec.end()) {
@@ -258,5 +310,6 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
   else if (!Result.Improved && Result.Stats.PrunedByError > 0)
     Result.Abort = AbortReason::InternalError;
   Result.TimedOut = Result.Abort == AbortReason::Timeout;
+  FinishTelemetry();
   return Result;
 }

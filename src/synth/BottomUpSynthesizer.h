@@ -40,6 +40,11 @@ struct BottomUpConfig {
   bool UseAnalysisPruning = true;
   /// Grammar restriction; empty = SketchLibrary::defaultOps().
   std::vector<dsl::OpKind> Ops;
+  /// Opt-in live heartbeat, same contract as SynthesisConfig::Progress:
+  /// the run installs a sampler over atomic counters for its duration
+  /// and freezes a final snapshot on exit.  Caller owns start()/stop();
+  /// must outlive the run.
+  observe::ProgressMonitor *Progress = nullptr;
 };
 
 /// One-shot enumerative search; reuses SynthesisResult for reporting.

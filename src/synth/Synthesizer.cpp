@@ -9,7 +9,9 @@
 #include "analysis/PruningOracle.h"
 #include "dsl/Printer.h"
 #include "observe/DecisionLog.h"
+#include "observe/Json.h"
 #include "observe/Metrics.h"
+#include "observe/Progress.h"
 #include "observe/Trace.h"
 #include "persist/Checkpoint.h"
 #include "persist/StensoStore.h"
@@ -254,6 +256,10 @@ public:
         decide(-1, Level, bound(CostMin), Decision::StubMatch, Match->Cost);
         if (Config.UseBranchAndBound)
           tighten(CostMin, CostSoFar + Match->Cost);
+        else if (Progress)
+          // No bound to tighten in the ablation config, but the
+          // heartbeat/checkpoint cell still tracks the incumbent.
+          atomicMinDouble(*Progress, CostSoFar + Match->Cost);
       }
     }
 
@@ -342,6 +348,8 @@ public:
       // recursion is a chain); tighten the incumbent.
       if (Config.UseBranchAndBound)
         tighten(CostMin, CostSoFar + SubtreeCost);
+      else if (Progress)
+        atomicMinDouble(*Progress, CostSoFar + SubtreeCost);
     }
     return Best;
   }
@@ -389,7 +397,8 @@ struct ParallelSearch {
   run(const SynthesisConfig &Config, SketchLibrary &Library,
       HoleSolver &Solver, SynthesisStats &Stats, ResourceBudget &Budget,
       const SymTensor &Phi, double OriginalCost,
-      std::atomic<double> *Progress = nullptr) {
+      std::atomic<double> *Progress = nullptr,
+      observe::ProgressMonitor *Monitor = nullptr) {
     ++Stats.DfsCalls; // the level-0 call, as in the sequential engine
     std::atomic<double> Bound{OriginalCost};
     using Decision = observe::DecisionLog::Outcome;
@@ -445,6 +454,13 @@ struct ParallelSearch {
     if (Config.Store)
       Config.Store->setAsyncExecutor(
           [&Pool](std::function<void()> F) { Pool.submit(std::move(F)); });
+    // Queue-depth probe for the heartbeat, for exactly the pool's
+    // lifetime: the clearing call below swaps under the monitor's
+    // sample mutex, so it blocks until any in-flight sample finishes
+    // and no heartbeat can touch a dead pool.
+    if (Monitor)
+      Monitor->setQueueProbe(
+          [&Pool]() -> int64_t { return Pool.getQueueDepth(); });
     Pool.parallelFor(0, Branches.size(), [&](size_t I) {
       const Sketch &Sk = *Branches[I];
       int32_t SkIdx = static_cast<int32_t>(Sk.Index);
@@ -510,6 +526,8 @@ struct ParallelSearch {
       if (Progress)
         atomicMinDouble(*Progress, SubtreeCost);
     });
+    if (Monitor)
+      Monitor->setQueueProbe(nullptr);
     if (Config.Store)
       Config.Store->setAsyncExecutor(nullptr);
 
@@ -536,6 +554,62 @@ struct ParallelSearch {
     return Best;
   }
 };
+
+} // namespace
+
+namespace {
+
+/// Publishes a run's counters into the global registry — the flush
+/// point for everything the hot paths kept in local SynthesisStats.
+/// Called on *every* exit path of Synthesizer::run, including budget
+/// aborts and setup failures, so an aborted search never loses its
+/// telemetry tail.  \p Solver adds the per-shard cache breakdown when
+/// the run got far enough to have one.
+void publishRunMetrics(const SynthesisResult &Result,
+                       const HoleSolver *Solver) {
+  observe::MetricsRegistry &M = observe::MetricsRegistry::global();
+  const SynthesisStats &S = Result.Stats;
+  M.counter("synth.runs").add(1);
+  M.counter("synth.improved").add(Result.Improved ? 1 : 0);
+  M.counter("synth.aborted")
+      .add(Result.Abort == AbortReason::None ? 0 : 1);
+  M.counter("synth.dfs_calls").add(S.DfsCalls);
+  M.counter("synth.sketches_explored").add(S.SketchesExplored);
+  M.counter("synth.prune.cost").add(S.PrunedByCost);
+  M.counter("synth.prune.simplify").add(S.PrunedBySimplification);
+  M.counter("synth.prune.error").add(S.PrunedByError);
+  M.counter("synth.prune.analysis").add(S.PrunedByAnalysis);
+  M.counter("synth.prune.analysis.sign").add(S.AnalysisPrunedSign);
+  M.counter("synth.prune.analysis.degree").add(S.AnalysisPrunedDegree);
+  M.counter("synth.prune.analysis.shape").add(S.AnalysisPrunedShape);
+  M.counter("holesolver.calls").add(S.SolverCalls);
+  M.counter("holesolver.cache.hit").add(S.SolverCacheHits);
+  M.counter("holesolver.cache.miss").add(S.SolverCacheMisses);
+  M.counter("holesolver.cache.evict").add(S.SolverCacheEvictions);
+  M.counter("exprctx.interned_nodes").add(S.InternedNodes);
+  M.counter("exprctx.intern_lookups").add(S.InternLookups);
+  M.counter("exprctx.intern_hits").add(S.InternHits);
+  M.counter("budget.checkpoint.calls").add(S.CheckpointCalls);
+  M.counter("budget.checkpoint.clock_reads").add(S.CheckpointClockReads);
+  M.counter("synth.store.hits").add(S.StoreHits);
+  M.counter("synth.store.rejected").add(S.StoreRejected);
+  M.counter("synth.store.puts").add(S.StorePuts);
+  M.counter("synth.store.checkpoint_loaded").add(S.StoreCheckpointLoaded);
+  M.histogram("synth.run_seconds", {0.001, 0.01, 0.1, 1, 10, 60, 300, 600})
+      .record(Result.SynthesisSeconds);
+  if (Solver) {
+    std::array<int64_t, 16> Hits = Solver->getCacheHitsByShard();
+    std::array<int64_t, 16> Misses = Solver->getCacheMissesByShard();
+    for (size_t I = 0; I < Hits.size(); ++I) {
+      if (Hits[I] == 0 && Misses[I] == 0)
+        continue;
+      std::string Prefix =
+          "holesolver.cache.shard." + std::to_string(I);
+      M.counter(Prefix + ".hit").add(Hits[I]);
+      M.counter(Prefix + ".miss").add(Misses[I]);
+    }
+  }
+}
 
 } // namespace
 
@@ -586,6 +660,14 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     ++Result.Stats.PrunedByError;
     Result.Abort = AbortReason::InternalError;
     Result.SynthesisSeconds = Timer.elapsedSeconds();
+    // A failed-setup run still reports itself: flush the counters it
+    // accumulated (and the failure record) so telemetry never loses a
+    // degraded run's tail.
+    publishRunMetrics(Result, /*Solver=*/nullptr);
+    if (Config.Decisions)
+      Config.Decisions->record(-1, 0, Result.OriginalCost,
+                               observe::DecisionLog::Outcome::PrunedError, 0,
+                               Config.DecisionsTag);
     return Result;
   }
 
@@ -648,6 +730,37 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     });
   }
 
+  // Live heartbeat attachment: the sampler reads nothing but atomics
+  // (budget consumption, solver counters, the shared best-cost cell),
+  // so the monitor's thread can fire mid-search without perturbing it.
+  // The monitor's lifecycle (start/stop) belongs to the caller; this
+  // run only lends it a view of the search for the duration.
+  observe::ProgressMonitor *Monitor = Config.Progress;
+  bool TrackProgressCost = Store != nullptr || Monitor != nullptr;
+  int ResolvedJobs = Config.Jobs <= 0
+                         ? static_cast<int>(ThreadPool::hardwareConcurrency())
+                         : Config.Jobs;
+  auto SampleNow = [&Budget, &Solver, &ProgressCost, ResolvedJobs,
+                    Limits = Budget.getLimits()] {
+    observe::ProgressSample S;
+    // "Candidates" is hole-solver invocations: the unit of search work
+    // whose rate the heartbeat tracks (DESIGN.md §13).
+    S.Candidates = Solver.getNumCalls();
+    S.Nodes = Budget.getSymbolicNodes();
+    S.NodeCap = Limits.MaxSymbolicNodes;
+    S.SolverCalls = Solver.getNumCalls();
+    S.SolverCap = Limits.MaxSolverCalls;
+    S.WallLimitSeconds = Limits.WallSeconds;
+    S.BestCost = ProgressCost.load(std::memory_order_relaxed);
+    S.HasBest = true;
+    S.CacheHits = Solver.getCacheHits();
+    S.CacheMisses = Solver.getCacheMisses();
+    S.Jobs = ResolvedJobs;
+    return S;
+  };
+  if (Monitor)
+    Monitor->setSampler(SampleNow);
+
   // Engine selection: Jobs == 1 is the sequential reference engine; any
   // other value fans top-level sketch branches out over a work-stealing
   // pool and must return the identical program/cost/AbortReason.
@@ -658,13 +771,14 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     if (Config.Jobs == 1) {
       SearchDriver Driver(Config, Library, Solver, Result.Stats, Budget,
                           Library.getArena(), nullptr,
-                          Store ? &ProgressCost : nullptr);
+                          TrackProgressCost ? &ProgressCost : nullptr);
       double CostMin = Result.OriginalCost;
       Best = Driver.dfs(*Phi, 0, 0, CostMin);
     } else {
       Best = Parallel.run(Config, Library, Solver, Result.Stats, Budget, *Phi,
                           Result.OriginalCost,
-                          Store ? &ProgressCost : nullptr);
+                          TrackProgressCost ? &ProgressCost : nullptr,
+                          Monitor);
     }
     SearchSpan.arg("found", Best.has_value());
   }
@@ -730,38 +844,71 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
   }
 
   // Publish the run's telemetry into the global registry in one batch —
-  // the flush point for every counter the hot paths kept local.
-  {
-    observe::MetricsRegistry &M = observe::MetricsRegistry::global();
-    const SynthesisStats &S = Result.Stats;
-    M.counter("synth.runs").add(1);
-    M.counter("synth.improved").add(Result.Improved ? 1 : 0);
-    M.counter("synth.dfs_calls").add(S.DfsCalls);
-    M.counter("synth.sketches_explored").add(S.SketchesExplored);
-    M.counter("synth.prune.cost").add(S.PrunedByCost);
-    M.counter("synth.prune.simplify").add(S.PrunedBySimplification);
-    M.counter("synth.prune.error").add(S.PrunedByError);
-    M.counter("synth.prune.analysis").add(S.PrunedByAnalysis);
-    M.counter("synth.prune.analysis.sign").add(S.AnalysisPrunedSign);
-    M.counter("synth.prune.analysis.degree").add(S.AnalysisPrunedDegree);
-    M.counter("synth.prune.analysis.shape").add(S.AnalysisPrunedShape);
-    M.counter("holesolver.calls").add(S.SolverCalls);
-    M.counter("holesolver.cache.hit").add(S.SolverCacheHits);
-    M.counter("holesolver.cache.miss").add(S.SolverCacheMisses);
-    M.counter("holesolver.cache.evict").add(S.SolverCacheEvictions);
-    M.counter("exprctx.interned_nodes").add(S.InternedNodes);
-    M.counter("exprctx.intern_lookups").add(S.InternLookups);
-    M.counter("exprctx.intern_hits").add(S.InternHits);
-    M.counter("budget.checkpoint.calls").add(S.CheckpointCalls);
-    M.counter("budget.checkpoint.clock_reads").add(S.CheckpointClockReads);
-    M.counter("synth.store.hits").add(S.StoreHits);
-    M.counter("synth.store.rejected").add(S.StoreRejected);
-    M.counter("synth.store.puts").add(S.StorePuts);
-    M.counter("synth.store.checkpoint_loaded").add(S.StoreCheckpointLoaded);
-    M.histogram("synth.run_seconds",
-                {0.001, 0.01, 0.1, 1, 10, 60, 300, 600})
-        .record(Result.SynthesisSeconds);
+  // the flush point for every counter the hot paths kept local.  The
+  // same helper runs on the setup-failure path above, so aborted runs
+  // flush too.
+  publishRunMetrics(Result, &Solver);
+
+  // Freeze the heartbeat's view: the sampled objects (budget, solver,
+  // the progress cell) die with this frame, so swap in a by-value
+  // snapshot of the finished run.  The monitor's stop() then emits its
+  // final record from this snapshot, whenever the caller gets there.
+  if (Monitor) {
+    observe::ProgressSample Final = SampleNow();
+    Final.BestCost = Result.OptimizedCost;
+    Monitor->setSampler([Final] { return Final; });
+    Monitor->setQueueProbe(nullptr);
   }
   RunSpan.arg("improved", Result.Improved);
   return Result;
+}
+
+void synth::writeStatsJson(const SynthesisResult &Result, std::ostream &OS) {
+  const SynthesisStats &S = Result.Stats;
+  std::string J;
+  J += "{\n  \"improved\": ";
+  J += Result.Improved ? "true" : "false";
+  J += ",\n  \"abort\": ";
+  J += observe::jsonQuote(toString(Result.Abort));
+  J += ",\n  \"timed_out\": ";
+  J += Result.TimedOut ? "true" : "false";
+  J += ",\n  \"original_cost\": " + observe::jsonNumber(Result.OriginalCost);
+  J += ",\n  \"optimized_cost\": " + observe::jsonNumber(Result.OptimizedCost);
+  J += ",\n  \"synthesis_seconds\": " +
+       observe::jsonNumber(Result.SynthesisSeconds);
+  J += ",\n  \"stats\": {";
+  auto Field = [&J](const char *Name, int64_t V, bool First = false) {
+    if (!First)
+      J += ",";
+    J += "\n    ";
+    J += observe::jsonQuote(Name);
+    J += ": " + std::to_string(V);
+  };
+  Field("num_stubs", static_cast<int64_t>(S.NumStubs), /*First=*/true);
+  Field("num_sketches", static_cast<int64_t>(S.NumSketches));
+  Field("dfs_calls", S.DfsCalls);
+  Field("sketches_explored", S.SketchesExplored);
+  Field("pruned_cost", S.PrunedByCost);
+  Field("pruned_simplification", S.PrunedBySimplification);
+  Field("pruned_error", S.PrunedByError);
+  Field("pruned_analysis", S.PrunedByAnalysis);
+  Field("analysis_pruned_sign", S.AnalysisPrunedSign);
+  Field("analysis_pruned_degree", S.AnalysisPrunedDegree);
+  Field("analysis_pruned_shape", S.AnalysisPrunedShape);
+  Field("solver_calls", S.SolverCalls);
+  Field("solver_successes", S.SolverSuccesses);
+  Field("solver_cache_hits", S.SolverCacheHits);
+  Field("solver_cache_misses", S.SolverCacheMisses);
+  Field("solver_cache_evictions", S.SolverCacheEvictions);
+  Field("interned_nodes", S.InternedNodes);
+  Field("intern_lookups", S.InternLookups);
+  Field("intern_hits", S.InternHits);
+  Field("checkpoint_calls", S.CheckpointCalls);
+  Field("checkpoint_clock_reads", S.CheckpointClockReads);
+  Field("store_hits", S.StoreHits);
+  Field("store_rejected", S.StoreRejected);
+  Field("store_puts", S.StorePuts);
+  Field("store_checkpoint_loaded", S.StoreCheckpointLoaded);
+  J += "\n  }\n}\n";
+  OS << J;
 }

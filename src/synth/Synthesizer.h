@@ -24,6 +24,7 @@
 #include "synth/HoleSolver.h"
 #include "synth/SketchLibrary.h"
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -31,6 +32,7 @@ namespace stenso {
 
 namespace observe {
 class DecisionLog;
+class ProgressMonitor;
 }
 
 namespace synth {
@@ -85,6 +87,15 @@ struct SynthesisConfig {
   /// Tag stamped on every decision record (the harness uses the
   /// benchmark name; empty for standalone runs).
   std::string DecisionsTag;
+  /// Opt-in live heartbeat (observe/Progress.h).  The run installs a
+  /// sampler over its atomic counters (budget consumption, solver-cache
+  /// traffic, the shared best-cost bound) for its duration, then
+  /// freezes a final snapshot so the monitor's closing record reflects
+  /// the finished run.  Observation-only: the sampler only *reads*
+  /// atomics, so attaching a monitor never changes the search.  The
+  /// caller owns start()/stop() (a monitor may span a whole suite).
+  /// Must outlive the run.
+  observe::ProgressMonitor *Progress = nullptr;
   SketchLibrary::Config Library;
 };
 
@@ -208,6 +219,12 @@ bool sameSearchOutcome(const SynthesisResult &A, const SynthesisResult &B);
 /// empty when sameSearchOutcome(A, B).
 std::string describeOutcomeDiff(const SynthesisResult &A,
                                 const SynthesisResult &B);
+
+/// Serializes a run's outcome + stats as the canonical `--stats-json`
+/// document (the format stenso-report ingests and cross-checks against
+/// the decision log).  One writer, shared by stenso-opt, the harness,
+/// and the benches, so the schema cannot fork.
+void writeStatsJson(const SynthesisResult &Result, std::ostream &OS);
 
 } // namespace synth
 } // namespace stenso

@@ -8,22 +8,31 @@
 /// The observe/ contracts: trace JSON well-formedness, span/arg recording,
 /// the inactive-mode zero-allocation guarantee, histogram bucket
 /// boundaries, counter atomicity under a real thread pool, decision-log
-/// JSONL shape, and the budget checkpoint decimation (clock reads far
-/// below calls; first call decisive; unlimited budgets clock-free).
+/// JSONL shape, the budget checkpoint decimation (clock reads far
+/// below calls; first call decisive; unlimited budgets clock-free),
+/// the JsonValue ingest parser, and the progress heartbeat — including
+/// the observation-only guarantee that a fast heartbeat never perturbs
+/// a jobs={1,4} search result.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "observe/DecisionLog.h"
 #include "observe/Json.h"
+#include "observe/JsonValue.h"
 #include "observe/Metrics.h"
+#include "observe/Progress.h"
 #include "observe/Trace.h"
 #include "support/Budget.h"
 #include "support/ThreadPool.h"
+
+#include "dsl/Parser.h"
+#include "synth/Synthesizer.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +40,7 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace stenso;
 using namespace stenso::observe;
@@ -485,4 +495,235 @@ TEST(ObserveTest, JsonHelpersEscapeAndFormat) {
   // %.17g round-trips doubles exactly.
   double Tricky = 0.1 + 0.2;
   EXPECT_EQ(std::stod(jsonNumber(Tricky)), Tricky);
+}
+
+//===----------------------------------------------------------------------===//
+// JsonValue — the ingest side must round-trip every emitter above
+//===----------------------------------------------------------------------===//
+
+TEST(ObserveTest, JsonValueParsesScalarsAndContainers) {
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(parseJson(
+      R"({"i":42,"f":2.5,"neg":-1e-3,"s":"hi","t":true,"n":null,)"
+      R"("arr":[1,2,3],"nested":{"k":"v"}})",
+      V, Error))
+      << Error;
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.find("i")->intValue(), 42);
+  EXPECT_DOUBLE_EQ(V.find("f")->numberValue(), 2.5);
+  EXPECT_DOUBLE_EQ(V.find("neg")->numberValue(), -1e-3);
+  EXPECT_EQ(V.find("s")->stringValue(), "hi");
+  EXPECT_TRUE(V.find("t")->boolValue());
+  EXPECT_TRUE(V.find("n")->isNull());
+  ASSERT_EQ(V.find("arr")->array().size(), 3u);
+  EXPECT_EQ(V.find("nested")->find("k")->stringValue(), "v");
+  EXPECT_EQ(V.find("absent"), nullptr);
+  // Tolerant accessors for optional stream fields.
+  EXPECT_DOUBLE_EQ(V.numberOr("i", 0), 42.0);
+  EXPECT_DOUBLE_EQ(V.numberOr("absent", 7.5), 7.5);
+  EXPECT_EQ(V.stringOr("absent", "dflt"), "dflt");
+  EXPECT_TRUE(V.boolOr("t", false));
+}
+
+TEST(ObserveTest, JsonValueRoundTripsTheEmitters) {
+  // jsonQuote's escapes must come back as the original bytes.
+  std::string Original = "a\"b\\c\nd\tctrl:\x01 end";
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(parseJson(jsonQuote(Original), V, Error)) << Error;
+  EXPECT_EQ(V.stringValue(), Original);
+  // \uXXXX escapes decode to UTF-8.
+  ASSERT_TRUE(parseJson(R"("pi: π")", V, Error)) << Error;
+  EXPECT_EQ(V.stringValue(), "pi: \xcf\x80");
+  // A registry snapshot parses back whole.
+  MetricsRegistry Registry;
+  Registry.counter("rt.count").add(3);
+  Registry.histogram("rt.hist", {1.0}).record(0.5);
+  ASSERT_TRUE(parseJson(Registry.toJson(), V, Error)) << Error;
+  const JsonValue *Counters = V.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_EQ(Counters->find("rt.count")->intValue(), 3);
+}
+
+TEST(ObserveTest, JsonValueErrorsCarryPositions) {
+  JsonValue V;
+  std::string Error;
+  // A torn object on line 2: errors must name where.
+  EXPECT_FALSE(parseJson("{\"ok\":1,\n\"torn\":", V, Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+  // Trailing garbage after a complete value is malformed, not ignored.
+  EXPECT_FALSE(parseJson("{} trailing", V, Error));
+  // JSONL reports the first bad line by number.
+  std::vector<JsonValue> Lines;
+  EXPECT_TRUE(parseJsonl("{\"a\":1}\n\n{\"b\":2}\n", Lines, Error)) << Error;
+  EXPECT_EQ(Lines.size(), 2u);
+  EXPECT_FALSE(parseJsonl("{\"a\":1}\n{\"b\":\n", Lines, Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Progress heartbeat
+//===----------------------------------------------------------------------===//
+
+TEST(ObserveTest, ProgressMonitorEmitsParseableHeartbeats) {
+  std::ostringstream OS;
+  ProgressOptions Opts;
+  Opts.IntervalMs = 5;
+  Opts.Tag = "unit";
+  ProgressMonitor Monitor(OS, Opts);
+  std::atomic<int64_t> Work{0};
+  Monitor.setSampler([&] {
+    ProgressSample S;
+    S.Candidates = Work.load(std::memory_order_relaxed);
+    S.Nodes = 10;
+    S.NodeCap = 100;
+    S.BestCost = 42.0;
+    S.HasBest = true;
+    S.CacheHits = 9;
+    S.CacheMisses = 1;
+    S.Jobs = 4;
+    return S;
+  });
+  Monitor.setQueueProbe([] { return int64_t(7); });
+  Monitor.start();
+  for (int I = 0; I < 8; ++I) {
+    Work.fetch_add(100, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Monitor.stop();
+  ASSERT_GE(Monitor.recordsWritten(), 2);
+
+  std::vector<JsonValue> Records;
+  std::string Error;
+  ASSERT_TRUE(parseJsonl(OS.str(), Records, Error)) << Error;
+  ASSERT_EQ(static_cast<int64_t>(Records.size()), Monitor.recordsWritten());
+  int64_t PrevSeq = -1;
+  double PrevElapsed = -1;
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const JsonValue &R = Records[I];
+    EXPECT_GT(R.find("seq")->intValue(), PrevSeq);
+    PrevSeq = R.find("seq")->intValue();
+    EXPECT_GE(R.find("elapsed")->numberValue(), PrevElapsed);
+    PrevElapsed = R.find("elapsed")->numberValue();
+    EXPECT_EQ(R.stringOr("tag", ""), "unit");
+    EXPECT_EQ(R.find("jobs")->intValue(), 4);
+    EXPECT_DOUBLE_EQ(R.numberOr("best_cost", 0), 42.0);
+    EXPECT_DOUBLE_EQ(R.numberOr("cache_hit_rate", 0), 0.9);
+    EXPECT_EQ(R.find("queue_depth")->intValue(), 7);
+    // Only the very last record is final.
+    EXPECT_EQ(R.boolOr("final", false), I + 1 == Records.size());
+  }
+}
+
+TEST(ObserveTest, ProgressMonitorOmitsUnknownFields) {
+  std::ostringstream OS;
+  ProgressOptions Opts;
+  Opts.IntervalMs = 1000; // only the final record fires
+  ProgressMonitor Monitor(OS, Opts);
+  Monitor.start(); // no sampler installed at all
+  Monitor.stop();
+  std::vector<JsonValue> Records;
+  std::string Error;
+  ASSERT_TRUE(parseJsonl(OS.str(), Records, Error)) << Error;
+  ASSERT_EQ(Records.size(), 1u);
+  EXPECT_TRUE(Records[0].boolOr("final", false));
+  // No sampler -> no best cost, no caps, no ETA.
+  EXPECT_EQ(Records[0].find("best_cost"), nullptr);
+  EXPECT_EQ(Records[0].find("node_cap"), nullptr);
+  EXPECT_EQ(Records[0].find("eta_seconds"), nullptr);
+}
+
+TEST(ObserveTest, ProgressMonitorStopIsIdempotentAndSamplerClearable) {
+  std::ostringstream OS;
+  ProgressOptions Opts;
+  Opts.IntervalMs = 1;
+  ProgressMonitor Monitor(OS, Opts);
+  {
+    // The sampler dies right after being cleared: if a stale in-flight
+    // call could still reach it, this would be use-after-scope (and the
+    // sanitizer matrix would catch it).
+    std::atomic<int64_t> Local{5};
+    Monitor.setSampler([&Local] {
+      ProgressSample S;
+      S.Candidates = Local.load(std::memory_order_relaxed);
+      return S;
+    });
+    Monitor.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Monitor.setSampler(nullptr);
+  }
+  Monitor.stop();
+  int64_t After = Monitor.recordsWritten();
+  Monitor.stop(); // idempotent: no second final record
+  EXPECT_EQ(Monitor.recordsWritten(), After);
+  std::vector<JsonValue> Records;
+  std::string Error;
+  ASSERT_TRUE(parseJsonl(OS.str(), Records, Error)) << Error;
+  EXPECT_EQ(static_cast<int64_t>(Records.size()), After);
+}
+
+TEST(ObserveTest, ProgressMonitorBadPathIsNonFatal) {
+  ProgressMonitor Monitor("/nonexistent-dir/progress.jsonl",
+                          ProgressOptions());
+  EXPECT_FALSE(Monitor.openedOk());
+  // Still safe to run; records are dropped.
+  Monitor.start();
+  Monitor.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Observation-only: a fast heartbeat must not perturb the search
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+synth::SynthesisResult runLogExp(int Jobs, observe::ProgressMonitor *Monitor) {
+  dsl::TensorType Vec4{DType::Float64, Shape({4})};
+  dsl::InputDecls Decls = {{"A", Vec4}, {"B", Vec4}};
+  auto P = dsl::parseProgram("np.exp(np.log(A + B))", Decls);
+  EXPECT_TRUE(P) << P.Error;
+  synth::SynthesisConfig Config;
+  Config.CostModelName = "flops";
+  Config.TimeoutSeconds = 300;
+  Config.Jobs = Jobs;
+  Config.Progress = Monitor;
+  return synth::Synthesizer(Config).run(*P.Prog);
+}
+
+} // namespace
+
+TEST(ObserveTest, HeartbeatDoesNotPerturbSearch) {
+  // DESIGN.md §9: attaching a monitor is observation-only.  A 10ms
+  // heartbeat hammering the sampler during both a sequential and a
+  // parallel search must leave the entire result contract untouched.
+  for (int Jobs : {1, 4}) {
+    synth::SynthesisResult Bare = runLogExp(Jobs, nullptr);
+    std::ostringstream OS;
+    ProgressOptions Opts;
+    Opts.IntervalMs = 10;
+    ProgressMonitor Monitor(OS, Opts);
+    Monitor.start();
+    synth::SynthesisResult Watched = runLogExp(Jobs, &Monitor);
+    Monitor.stop();
+
+    EXPECT_EQ(Bare.Improved, Watched.Improved) << "jobs=" << Jobs;
+    EXPECT_EQ(Bare.OptimizedSource, Watched.OptimizedSource)
+        << "jobs=" << Jobs;
+    EXPECT_EQ(Bare.OriginalCost, Watched.OriginalCost) << "jobs=" << Jobs;
+    EXPECT_EQ(Bare.OptimizedCost, Watched.OptimizedCost) << "jobs=" << Jobs;
+    EXPECT_EQ(Bare.Abort, Watched.Abort) << "jobs=" << Jobs;
+    EXPECT_EQ(Bare.TimedOut, Watched.TimedOut) << "jobs=" << Jobs;
+
+    // The stream is real: a final record exists and carries the answer.
+    std::vector<JsonValue> Records;
+    std::string Error;
+    ASSERT_TRUE(parseJsonl(OS.str(), Records, Error)) << Error;
+    ASSERT_FALSE(Records.empty());
+    const JsonValue &Last = Records.back();
+    EXPECT_TRUE(Last.boolOr("final", false));
+    EXPECT_NEAR(Last.numberOr("best_cost", -1), Watched.OptimizedCost,
+                1e-9 * Watched.OptimizedCost)
+        << "jobs=" << Jobs;
+  }
 }

@@ -15,6 +15,7 @@
 #include "dsl/Interpreter.h"
 #include "dsl/Parser.h"
 #include "observe/DecisionLog.h"
+#include "observe/Metrics.h"
 #include "persist/StensoStore.h"
 #include "support/Budget.h"
 #include "support/FaultInjection.h"
@@ -319,6 +320,50 @@ TEST(RobustnessTest, SymbolicEvalFaultDegradesSynthesisToOriginal) {
   EXPECT_EQ(Result.Abort, AbortReason::InternalError);
   EXPECT_FALSE(Result.OptimizedSource.empty());
   EXPECT_GT(FaultInjector::instance().firedCount(FaultSite::SymbolicEval), 0);
+}
+
+// A run that stops early must still flush its telemetry: the metrics
+// registry sees the run (and its abort), and the decision log carries
+// the degradation record.  Guards the publish-on-every-exit-path
+// contract that stenso-report's ingestion relies on.
+TEST(RobustnessTest, TelemetrySurvivesBudgetAbort) {
+  observe::MetricsRegistry &M = observe::MetricsRegistry::global();
+  int64_t RunsBefore = M.counterValue("synth.runs");
+  int64_t AbortedBefore = M.counterValue("synth.aborted");
+  auto P = parseProgram("np.diag(np.dot(A, B))",
+                        {{"A", f64({3, 3})}, {"B", f64({3, 3})}});
+  ASSERT_TRUE(P) << P.Error;
+  SynthesisConfig Config = fastConfig();
+  Config.MaxSymbolicNodes = 50; // far below what the search needs
+  SynthesisResult Result = Synthesizer(Config).run(*P.Prog);
+  ASSERT_EQ(Result.Abort, AbortReason::BudgetExceeded);
+  EXPECT_EQ(M.counterValue("synth.runs"), RunsBefore + 1);
+  EXPECT_EQ(M.counterValue("synth.aborted"), AbortedBefore + 1);
+}
+
+TEST(RobustnessTest, TelemetrySurvivesFaultDegradation) {
+  FaultGuard Guard;
+  // symbolic-eval at rate 1.0 kills spec construction itself — the
+  // earliest exit the synthesizer has.
+  ASSERT_TRUE(Guard.arm("symbolic-eval:1.0:42"));
+  observe::MetricsRegistry &M = observe::MetricsRegistry::global();
+  int64_t RunsBefore = M.counterValue("synth.runs");
+  int64_t AbortedBefore = M.counterValue("synth.aborted");
+  auto P = parseProgram("np.diag(np.dot(A, B))",
+                        {{"A", f64({3, 3})}, {"B", f64({3, 3})}});
+  ASSERT_TRUE(P) << P.Error;
+  observe::DecisionLog Log;
+  SynthesisConfig Config = fastConfig();
+  Config.Decisions = &Log;
+  SynthesisResult Result = Synthesizer(Config).run(*P.Prog);
+  ASSERT_EQ(Result.Abort, AbortReason::InternalError);
+  EXPECT_EQ(M.counterValue("synth.runs"), RunsBefore + 1);
+  EXPECT_EQ(M.counterValue("synth.aborted"), AbortedBefore + 1);
+  // The degraded run leaves a pruned-error decision behind, so a log
+  // that ends here still explains *why* the search stopped.
+  std::ostringstream OS;
+  Log.writeJsonl(OS);
+  EXPECT_NE(OS.str().find("pruned-error"), std::string::npos) << OS.str();
 }
 
 TEST(RobustnessTest, TensorOpFaultSurfacesThroughCheckedInterpreter) {

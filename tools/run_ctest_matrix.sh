@@ -6,7 +6,7 @@
 #===----------------------------------------------------------------------===#
 #
 # The CI job matrix in one script: configures, builds, and tests the tree
-# in four configurations —
+# in five configurations —
 #
 #   release   plain RelWithDebInfo, full ctest suite
 #   asan      STENSO_SANITIZE=ON (ASan+UBSan), full ctest suite
@@ -17,10 +17,17 @@
 #   lint      clang-tidy over the tree with the checks in .clang-tidy
 #             (configure-only: uses CMAKE_EXPORT_COMPILE_COMMANDS); the
 #             leg SKIPs — it does not fail — on hosts without clang-tidy
+#   bench-regression
+#             runs the observability bench binaries in the release tree
+#             and gates their BENCH_*.json against the checked-in
+#             baselines with tools/check_bench_regression.sh (SKIPs on
+#             hosts without python3)
 #
 # Usage:
-#   tools/run_ctest_matrix.sh             # all four configurations
-#   tools/run_ctest_matrix.sh tsan        # just one (release|asan|tsan|lint)
+#   tools/run_ctest_matrix.sh             # all five configurations
+#   tools/run_ctest_matrix.sh tsan        # just one
+#                                         # (release|asan|tsan|lint|
+#                                         #  bench-regression)
 #
 # Each configuration builds into build-matrix-<name>/ so the matrix never
 # dirties the default build/ tree.  The script stops at the first failing
@@ -32,9 +39,9 @@ set -u
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
-CONFIGS=("${@:-release asan tsan lint}")
+CONFIGS=("${@:-release asan tsan lint bench-regression}")
 # Word-split the default list when no argument was given.
-[ $# -eq 0 ] && CONFIGS=(release asan tsan lint)
+[ $# -eq 0 ] && CONFIGS=(release asan tsan lint bench-regression)
 
 # clang-tidy over every first-party translation unit, against a
 # configure-only build tree's compile_commands.json.  Returns 77 (the
@@ -57,6 +64,25 @@ run_lint() {
   # xargs fans files out across cores; -quiet keeps output to findings.
   echo "${FILES}" | xargs -P "${JOBS}" -n 8 \
       "${TIDY}" -p "${BUILD_DIR}" -quiet || return 1
+}
+
+# The perf-regression gate: run the observability benches in the release
+# matrix tree (reusing it when the release leg already built it) and
+# compare the fresh BENCH_*.json against the checked-in baselines.
+# check_bench_regression.sh returns 77 when python3 is missing; that
+# propagates as a SKIP.
+run_bench_regression() {
+  local BUILD_DIR="build-matrix-release"
+  echo "=== [bench-regression] configure + build ==="
+  cmake -B "${BUILD_DIR}" -S . || return 1
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+      --target bench_observe_overhead bench_report || return 1
+  echo "=== [bench-regression] run benches ==="
+  (cd "${BUILD_DIR}/bench" && ./bench_observe_overhead && ./bench_report) \
+      || return 1
+  echo "=== [bench-regression] compare against baselines ==="
+  tools/check_bench_regression.sh --fresh-dir "${BUILD_DIR}/bench" \
+      BENCH_observe BENCH_report
 }
 
 run_config() {
@@ -158,6 +184,20 @@ for NAME in "${CONFIGS[@]}"; do
       SUMMARY+="lint: SKIP (clang-tidy not installed)"$'\n'
     else
       SUMMARY+="lint: FAIL"$'\n'
+      STATUS=1
+      break
+    fi
+    continue
+  fi
+  if [ "${NAME}" = "bench-regression" ]; then
+    run_bench_regression
+    RC=$?
+    if [ "${RC}" -eq 0 ]; then
+      SUMMARY+="bench-regression: PASS"$'\n'
+    elif [ "${RC}" -eq 77 ]; then
+      SUMMARY+="bench-regression: SKIP (python3 not installed)"$'\n'
+    else
+      SUMMARY+="bench-regression: FAIL"$'\n'
       STATUS=1
       break
     fi

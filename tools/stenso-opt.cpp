@@ -32,6 +32,7 @@
 #include "observe/DecisionLog.h"
 #include "observe/Json.h"
 #include "observe/Metrics.h"
+#include "observe/Progress.h"
 #include "observe/Trace.h"
 #include "persist/StensoStore.h"
 #include "support/RNG.h"
@@ -80,6 +81,12 @@ void printUsage(std::ostream &OS) {
         "                          registry after the run\n"
         "  --decisions FILE        stream every DFS branch decision as\n"
         "                          JSONL (one decision per line)\n"
+        "  --progress[=FILE]       live heartbeat: periodic JSONL\n"
+        "                          progress records (elapsed, rate,\n"
+        "                          budget consumption, best cost, ETA)\n"
+        "                          to FILE, or stderr when no FILE\n"
+        "  --progress-interval-ms N\n"
+        "                          heartbeat period (default 1000)\n"
         "  --store DIR             durable synthesis store: serve hole\n"
         "                          solutions persisted by previous runs\n"
         "                          and write this run's results + search\n"
@@ -108,7 +115,9 @@ int fail(const std::string &Message) {
 int main(int Argc, char **Argv) {
   std::string ProgramPath, OutPath, RulesOutPath, RulesInPath;
   std::string TracePath, MetricsPath, DecisionsPath, StatsJsonPath;
-  std::string StorePath;
+  std::string StorePath, ProgressPath;
+  bool WantProgress = false;
+  int ProgressIntervalMs = 1000;
   synth::SynthesisConfig Config;
   Config.CostModelName = "measured";
   Config.TimeoutSeconds = 60;
@@ -157,7 +166,18 @@ int main(int Argc, char **Argv) {
       MetricsPath = Value();
     else if (Arg == "--decisions")
       DecisionsPath = Value();
-    else if (Arg == "--store")
+    else if (Arg == "--progress")
+      WantProgress = true;
+    else if (Arg.rfind("--progress=", 0) == 0) {
+      WantProgress = true;
+      ProgressPath = Arg.substr(std::string("--progress=").size());
+    } else if (Arg == "--progress-interval-ms") {
+      std::string Interval = Value();
+      std::optional<int64_t> Parsed = parseInt64(Interval);
+      if (!Parsed || *Parsed <= 0 || *Parsed > 3600000)
+        return fail("bad --progress-interval-ms value '" + Interval + "'");
+      ProgressIntervalMs = static_cast<int>(*Parsed);
+    } else if (Arg == "--store")
       StorePath = Value();
     else if (Arg == "--no-store")
       NoStore = true;
@@ -219,6 +239,20 @@ int main(int Argc, char **Argv) {
     Trace.emplace();
     Trace->start();
   }
+  std::optional<observe::ProgressMonitor> Progress;
+  if (WantProgress) {
+    observe::ProgressOptions ProgressOpts;
+    ProgressOpts.IntervalMs = ProgressIntervalMs;
+    if (ProgressPath.empty()) {
+      Progress.emplace(std::cerr, ProgressOpts);
+    } else {
+      Progress.emplace(ProgressPath, ProgressOpts);
+      if (!Progress->openedOk())
+        return fail("cannot write '" + ProgressPath + "'");
+    }
+    Config.Progress = &*Progress;
+    Progress->start();
+  }
 
   // Durable store: the flag wins over the environment; --no-store beats
   // both.  Opening never fails hard — an unusable directory degrades the
@@ -237,6 +271,12 @@ int main(int Argc, char **Argv) {
   synth::SynthesisResult Result =
       synth::Synthesizer(Config).run(*Parsed.Prog, File.Scaler);
 
+  if (Progress) {
+    Progress->stop();
+    if (!ProgressPath.empty())
+      std::cerr << "progress: " << Progress->recordsWritten()
+                << " heartbeat(s) -> " << ProgressPath << "\n";
+  }
   if (Trace) {
     Trace->stop();
     std::ofstream TraceOut(TracePath);
@@ -317,54 +357,7 @@ int main(int Argc, char **Argv) {
     std::ofstream StatsOut(StatsJsonPath);
     if (!StatsOut)
       return fail("cannot write '" + StatsJsonPath + "'");
-    const synth::SynthesisStats &S = Result.Stats;
-    std::string J;
-    J += "{\n  \"improved\": ";
-    J += Result.Improved ? "true" : "false";
-    J += ",\n  \"abort\": ";
-    J += observe::jsonQuote(synth::toString(Result.Abort));
-    J += ",\n  \"timed_out\": ";
-    J += Result.TimedOut ? "true" : "false";
-    J += ",\n  \"original_cost\": " + observe::jsonNumber(Result.OriginalCost);
-    J +=
-        ",\n  \"optimized_cost\": " + observe::jsonNumber(Result.OptimizedCost);
-    J += ",\n  \"synthesis_seconds\": " +
-         observe::jsonNumber(Result.SynthesisSeconds);
-    J += ",\n  \"stats\": {";
-    auto Field = [&J](const char *Name, int64_t V, bool First = false) {
-      if (!First)
-        J += ",";
-      J += "\n    ";
-      J += observe::jsonQuote(Name);
-      J += ": " + std::to_string(V);
-    };
-    Field("num_stubs", static_cast<int64_t>(S.NumStubs), /*First=*/true);
-    Field("num_sketches", static_cast<int64_t>(S.NumSketches));
-    Field("dfs_calls", S.DfsCalls);
-    Field("sketches_explored", S.SketchesExplored);
-    Field("pruned_cost", S.PrunedByCost);
-    Field("pruned_simplification", S.PrunedBySimplification);
-    Field("pruned_error", S.PrunedByError);
-    Field("pruned_analysis", S.PrunedByAnalysis);
-    Field("analysis_pruned_sign", S.AnalysisPrunedSign);
-    Field("analysis_pruned_degree", S.AnalysisPrunedDegree);
-    Field("analysis_pruned_shape", S.AnalysisPrunedShape);
-    Field("solver_calls", S.SolverCalls);
-    Field("solver_successes", S.SolverSuccesses);
-    Field("solver_cache_hits", S.SolverCacheHits);
-    Field("solver_cache_misses", S.SolverCacheMisses);
-    Field("solver_cache_evictions", S.SolverCacheEvictions);
-    Field("interned_nodes", S.InternedNodes);
-    Field("intern_lookups", S.InternLookups);
-    Field("intern_hits", S.InternHits);
-    Field("checkpoint_calls", S.CheckpointCalls);
-    Field("checkpoint_clock_reads", S.CheckpointClockReads);
-    Field("store_hits", S.StoreHits);
-    Field("store_rejected", S.StoreRejected);
-    Field("store_puts", S.StorePuts);
-    Field("store_checkpoint_loaded", S.StoreCheckpointLoaded);
-    J += "\n  }\n}\n";
-    StatsOut << J;
+    synth::writeStatsJson(Result, StatsOut);
   }
   if (PrintRule && Result.Improved) {
     evalsuite::RewriteRule Rule = evalsuite::mineRewriteRule(

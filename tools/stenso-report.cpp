@@ -1,0 +1,196 @@
+//===- stenso-report.cpp - Post-hoc run introspection driver ---------------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end of observe/Report.h:
+///
+///   stenso-report [--stats F] [--decisions F] [--trace F]
+///                 [--progress F] [--metrics F] [options]
+///
+/// Ingests whichever telemetry streams of a run are given and prints one
+/// condensed report: outcome, per-phase wall time (per thread),
+/// prune-reason breakdown, cache efficiency, the best-cost trajectory,
+/// the most expensive losing candidates, and a cross-check that the
+/// streams agree with each other.
+///
+/// Diff mode (any --diff-* stream given) builds a second report and
+/// compares the two: determinism-contract fields exactly, everything
+/// else against --rel-tol.
+///
+/// Exit status: 0 OK, 1 usage/read/parse error, 2 the diff diverged on
+/// an outcome field, 3 the cross-check found a stream inconsistency
+/// (only with --check; the report itself always prints the mismatches).
+///
+//===----------------------------------------------------------------------===//
+
+#include "observe/Report.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace stenso;
+
+namespace {
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: stenso-report [streams] [options]\n"
+        "\n"
+        "streams of the run (each optional, at least one required):\n"
+        "  --stats FILE          --stats-json output of stenso-opt\n"
+        "  --decisions FILE      decision JSONL (--decisions)\n"
+        "  --trace FILE          Chrome/Perfetto trace JSON (--trace)\n"
+        "  --progress FILE       progress heartbeat JSONL (--progress)\n"
+        "  --metrics FILE        metrics registry snapshot (--metrics)\n"
+        "\n"
+        "second run (presence of any switches to diff mode):\n"
+        "  --diff-stats FILE --diff-decisions FILE --diff-trace FILE\n"
+        "  --diff-progress FILE --diff-metrics FILE\n"
+        "\n"
+        "options:\n"
+        "  --json                machine-readable output\n"
+        "  --top K               losing-candidate rows (default 10)\n"
+        "  --rel-tol T           metric drift tolerance in diff mode\n"
+        "                        (default 0.05)\n"
+        "  --check               exit 3 when the cross-check finds a\n"
+        "                        stream inconsistency\n"
+        "  --label NAME          label for run A (--diff-label for B)\n"
+        "\n"
+        "exit status: 0 ok, 1 error, 2 diff diverged, 3 cross-check "
+        "failed (--check)\n";
+}
+
+int fail(const std::string &Message) {
+  std::cerr << "error: " << Message << "\n";
+  return 1;
+}
+
+bool parseDouble(const std::string &Text, double &Out) {
+  char *End = nullptr;
+  Out = std::strtod(Text.c_str(), &End);
+  return End && *End == '\0' && End != Text.c_str();
+}
+
+bool anyInput(const observe::ReportInputs &I) {
+  return !I.StatsPath.empty() || !I.DecisionsPath.empty() ||
+         !I.TracePath.empty() || !I.ProgressPath.empty() ||
+         !I.MetricsPath.empty();
+}
+
+/// Label fallback: the first stream path given.
+std::string defaultLabel(const observe::ReportInputs &I) {
+  if (!I.StatsPath.empty())
+    return I.StatsPath;
+  if (!I.DecisionsPath.empty())
+    return I.DecisionsPath;
+  if (!I.TracePath.empty())
+    return I.TracePath;
+  if (!I.ProgressPath.empty())
+    return I.ProgressPath;
+  return I.MetricsPath;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  observe::ReportInputs RunA, RunB;
+  observe::ReportOptions Opts;
+  std::string LabelB;
+  double RelTol = 0.05;
+  bool Json = false;
+  bool Check = false;
+
+  auto NextArg = [&](int &I) -> std::string {
+    return I + 1 < Argc ? Argv[++I] : "";
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--stats")
+      RunA.StatsPath = NextArg(I);
+    else if (Arg == "--decisions")
+      RunA.DecisionsPath = NextArg(I);
+    else if (Arg == "--trace")
+      RunA.TracePath = NextArg(I);
+    else if (Arg == "--progress")
+      RunA.ProgressPath = NextArg(I);
+    else if (Arg == "--metrics")
+      RunA.MetricsPath = NextArg(I);
+    else if (Arg == "--diff-stats")
+      RunB.StatsPath = NextArg(I);
+    else if (Arg == "--diff-decisions")
+      RunB.DecisionsPath = NextArg(I);
+    else if (Arg == "--diff-trace")
+      RunB.TracePath = NextArg(I);
+    else if (Arg == "--diff-progress")
+      RunB.ProgressPath = NextArg(I);
+    else if (Arg == "--diff-metrics")
+      RunB.MetricsPath = NextArg(I);
+    else if (Arg == "--label")
+      Opts.Label = NextArg(I);
+    else if (Arg == "--diff-label")
+      LabelB = NextArg(I);
+    else if (Arg == "--json")
+      Json = true;
+    else if (Arg == "--check")
+      Check = true;
+    else if (Arg == "--top") {
+      std::string V = NextArg(I);
+      double D = 0;
+      if (!parseDouble(V, D) || D < 0 || D > 10000 ||
+          D != static_cast<int>(D))
+        return fail("--top expects an integer in [0, 10000], got '" + V +
+                    "'");
+      Opts.TopK = static_cast<int>(D);
+    } else if (Arg == "--rel-tol") {
+      std::string V = NextArg(I);
+      if (!parseDouble(V, RelTol) || RelTol < 0)
+        return fail("--rel-tol expects a non-negative number, got '" + V +
+                    "'");
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else {
+      printUsage(std::cerr);
+      return fail("unknown option '" + Arg + "'");
+    }
+  }
+
+  if (!anyInput(RunA)) {
+    printUsage(std::cerr);
+    return fail("at least one input stream is required");
+  }
+  if (Opts.Label.empty())
+    Opts.Label = defaultLabel(RunA);
+
+  std::string Error;
+  observe::RunReport A;
+  if (!buildReport(RunA, Opts, A, Error))
+    return fail(Error);
+
+  if (anyInput(RunB)) {
+    observe::ReportOptions OptsB = Opts;
+    OptsB.Label = LabelB.empty() ? defaultLabel(RunB) : LabelB;
+    observe::RunReport B;
+    if (!buildReport(RunB, OptsB, B, Error))
+      return fail(Error);
+    observe::ReportDiff Diff = observe::diffReports(A, B, RelTol);
+    if (Json)
+      renderDiffJson(Diff, A, B, std::cout);
+    else
+      renderDiffText(Diff, A, B, std::cout);
+    return Diff.diverged() ? 2 : 0;
+  }
+
+  if (Json)
+    renderReportJson(A, std::cout);
+  else
+    renderReportText(A, std::cout);
+  if (Check && !crossCheckReport(A).empty())
+    return 3;
+  return 0;
+}

@@ -1,48 +1,79 @@
 #!/usr/bin/env bash
-#===- tools/validate_trace.sh - Chrome/Perfetto trace file validation ----===#
+#===- tools/validate_trace.sh - Telemetry stream schema validation -------===#
 #
 # Part of the STENSO reproduction, released under the MIT License.
 #
 #===----------------------------------------------------------------------===#
 #
-# Validates a `--trace` output file as loadable Chrome/Perfetto
-# `trace_event` JSON:
+# Validates the engine's telemetry streams:
 #
-#   * the file parses as JSON (python3's strict json module);
-#   * the top level is an object with a "traceEvents" array;
-#   * every event carries the required keys (name/cat/ph/ts/pid/tid), a
-#     known phase, and a duration on complete ('X') events.
+#   * `--trace` output as loadable Chrome/Perfetto `trace_event` JSON:
+#     the file parses (python3's strict json module), the top level is an
+#     object with a "traceEvents" array, and every event carries the
+#     required keys (name/cat/ph/ts/pid/tid), a known phase, and a
+#     duration on complete ('X') events.
+#   * `--decisions` JSONL (optional, --decisions FILE): one object per
+#     line with seq/sketch/depth/bound/outcome, a known outcome enum,
+#     and strictly increasing seq.
+#   * `--progress` JSONL (optional, --progress FILE): one object per
+#     line with seq/elapsed/candidates, strictly increasing seq,
+#     non-decreasing elapsed, and "final": true on the last record only.
 #
-# Usage: tools/validate_trace.sh TRACE.json
+# Usage: tools/validate_trace.sh TRACE.json [--decisions FILE]
+#                                           [--progress FILE]
 #
 # Exit codes: 0 valid, 1 invalid, 77 skipped (no python3 on this host —
-# the JSON writer is covered by ObserveTest's validator in that case).
+# the JSON writers are covered by ObserveTest's validator in that case).
 #
 #===----------------------------------------------------------------------===#
 
 set -u
 
-if [ $# -ne 1 ]; then
-  echo "usage: $0 TRACE.json" >&2
+if [ $# -lt 1 ]; then
+  echo "usage: $0 TRACE.json [--decisions FILE] [--progress FILE]" >&2
   exit 1
 fi
 TRACE="$1"
+shift
+DECISIONS=""
+PROGRESS=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --decisions)
+      DECISIONS="${2:-}"
+      shift 2 || { echo "validate_trace: --decisions needs a file" >&2; exit 1; }
+      ;;
+    --progress)
+      PROGRESS="${2:-}"
+      shift 2 || { echo "validate_trace: --progress needs a file" >&2; exit 1; }
+      ;;
+    *)
+      echo "validate_trace: unknown option: $1" >&2
+      exit 1
+      ;;
+  esac
+done
 
-if [ ! -f "${TRACE}" ]; then
-  echo "validate_trace: no such file: ${TRACE}" >&2
-  exit 1
-fi
+for F in "${TRACE}" ${DECISIONS:+"${DECISIONS}"} ${PROGRESS:+"${PROGRESS}"}; do
+  if [ ! -f "${F}" ]; then
+    echo "validate_trace: no such file: ${F}" >&2
+    exit 1
+  fi
+done
 
 if ! command -v python3 >/dev/null 2>&1; then
   echo "validate_trace: python3 not available, skipping validation" >&2
   exit 77
 fi
 
-python3 - "${TRACE}" <<'EOF'
+python3 - "${TRACE}" "${DECISIONS}" "${PROGRESS}" <<'EOF'
 import json
 import sys
 
 path = sys.argv[1]
+decisions_path = sys.argv[2]
+progress_path = sys.argv[3]
+
 try:
     with open(path) as f:
         trace = json.load(f)
@@ -78,4 +109,88 @@ other = trace.get("otherData", {})
 print(f"validate_trace: {path}: OK — {len(events)} event(s), "
       f"{other.get('threads', '?')} thread(s), "
       f"{other.get('droppedEvents', '?')} dropped")
+
+
+def load_jsonl(p):
+    """One JSON object per non-empty line, with line numbers for errors."""
+    records = []
+    with open(p) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError as e:
+                sys.exit(f"validate_trace: {p}: line {lineno}: "
+                         f"not parseable JSON: {e}")
+            if not isinstance(rec, dict):
+                sys.exit(f"validate_trace: {p}: line {lineno}: "
+                         f"record is not an object")
+            records.append((lineno, rec))
+    return records
+
+
+if decisions_path:
+    known_outcomes = {
+        "stub-match", "pruned-cost", "pruned-simplification",
+        "pruned-error", "no-solution", "pruned-analysis", "budget-stop",
+        "explored", "accepted", "store-degraded",
+    }
+    prev_seq = None
+    records = load_jsonl(decisions_path)
+    for lineno, rec in records:
+        for key in ("seq", "sketch", "depth", "bound", "outcome"):
+            if key not in rec:
+                sys.exit(f"validate_trace: {decisions_path}: line {lineno}: "
+                         f"record lacks '{key}'")
+        if rec["outcome"] not in known_outcomes:
+            sys.exit(f"validate_trace: {decisions_path}: line {lineno}: "
+                     f"unknown outcome {rec['outcome']!r}")
+        seq = rec["seq"]
+        if not isinstance(seq, int) or seq < 0:
+            sys.exit(f"validate_trace: {decisions_path}: line {lineno}: "
+                     f"bad seq {seq!r}")
+        if prev_seq is not None and seq <= prev_seq:
+            sys.exit(f"validate_trace: {decisions_path}: line {lineno}: "
+                     f"seq not strictly increasing ({prev_seq} -> {seq})")
+        prev_seq = seq
+    print(f"validate_trace: {decisions_path}: OK — "
+          f"{len(records)} decision(s)")
+
+if progress_path:
+    prev_seq = None
+    prev_elapsed = None
+    records = load_jsonl(progress_path)
+    for i, (lineno, rec) in enumerate(records):
+        for key in ("seq", "elapsed", "candidates"):
+            if key not in rec:
+                sys.exit(f"validate_trace: {progress_path}: line {lineno}: "
+                         f"record lacks '{key}'")
+        seq = rec["seq"]
+        elapsed = rec["elapsed"]
+        if not isinstance(seq, int) or seq < 0:
+            sys.exit(f"validate_trace: {progress_path}: line {lineno}: "
+                     f"bad seq {seq!r}")
+        if not isinstance(elapsed, (int, float)) or elapsed < 0:
+            sys.exit(f"validate_trace: {progress_path}: line {lineno}: "
+                     f"bad elapsed {elapsed!r}")
+        if prev_seq is not None and seq <= prev_seq:
+            sys.exit(f"validate_trace: {progress_path}: line {lineno}: "
+                     f"seq not strictly increasing ({prev_seq} -> {seq})")
+        if prev_elapsed is not None and elapsed < prev_elapsed:
+            sys.exit(f"validate_trace: {progress_path}: line {lineno}: "
+                     f"elapsed went backwards "
+                     f"({prev_elapsed} -> {elapsed})")
+        is_last = i == len(records) - 1
+        if rec.get("final", False) and not is_last:
+            sys.exit(f"validate_trace: {progress_path}: line {lineno}: "
+                     f"'final' on a non-last record")
+        prev_seq = seq
+        prev_elapsed = elapsed
+    if records and not records[-1][1].get("final", False):
+        sys.exit(f"validate_trace: {progress_path}: last record is not "
+                 f"marked final")
+    print(f"validate_trace: {progress_path}: OK — "
+          f"{len(records)} heartbeat(s)")
 EOF
