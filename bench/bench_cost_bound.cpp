@@ -1,0 +1,193 @@
+//===- bench_cost_bound.cpp - Branch-and-bound cost floor impact ----------==//
+//
+// Part of the STENSO reproduction, released under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the admissible cost-bound analysis (DESIGN.md section 14) on
+/// the evaluation suite: synthesizes every benchmark with the bound off
+/// and on, sequentially and at --jobs 4, and emits BENCH_cost_bound.json
+/// with the sketches cut, the solver calls avoided, and the end-to-end
+/// search-time delta.
+///
+/// The bound is admissible, so the measurement doubles as its
+/// differential test: every configuration must return the identical
+/// program, cost, and abort reason as the bound-off sequential baseline
+/// on every benchmark that ran to completion in both (mid-search
+/// timeouts trip at a scheduling-dependent point and are excluded, but
+/// counted).  Any mismatch marks the measurement invalid and the binary
+/// exits nonzero, as does a silent bound (zero prunes or zero solver
+/// calls avoided would make the branch-and-bound claim vacuous).
+///
+/// Uses the flops cost model: it has a real static floor
+/// (CostModel::opCostFloor), and measured costs would both perturb the
+/// timing and break the differential check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "support/Timer.h"
+
+#include <fstream>
+
+using namespace stenso;
+using namespace stenso::evalsuite;
+using namespace stenso::bench;
+using namespace stenso::synth;
+
+namespace {
+
+struct BoundRun {
+  bool Bound = false;
+  int Jobs = 1;
+  double WallSeconds = 0;
+  int Improved = 0;
+  int Degraded = 0;
+  int Mismatches = 0;     // vs the bound-off sequential baseline
+  int TimeoutSkipped = 0; // timed out in either run; not comparable
+  int64_t PrunedCostBound = 0;
+  int64_t SolverCalls = 0;
+  int BenchmarksCompleted = 0;
+};
+
+} // namespace
+
+int main() {
+  printBanner("Cost-bound pruning — branch-and-bound impact on suite "
+              "synthesis",
+              "admissible static floor harness (not a paper figure; "
+              "differential soundness check + solver-call accounting)");
+
+  double Timeout = suiteTimeoutSeconds(10);
+  std::cout << "\nPer-benchmark timeout: " << Timeout
+            << " s (STENSO_TIMEOUT overrides)\n\n";
+
+  SynthesisConfig Config;
+  Config.CostModelName = "flops";
+  Config.TimeoutSeconds = Timeout;
+
+  std::vector<BoundRun> Runs;
+  std::vector<BenchmarkRun> Baseline;
+  std::vector<BenchmarkRun> BoundSequential;
+  for (bool Bound : {false, true})
+    for (int Jobs : {1, 4}) {
+      Config.UseCostBoundPruning = Bound;
+      SuiteRunOptions Options;
+      Options.Jobs = Jobs;
+      std::cout << "cost bound " << (Bound ? "on" : "off") << ", --jobs "
+                << Jobs << ":\n";
+      WallTimer Timer;
+      std::vector<BenchmarkRun> Results =
+          synthesizeSuite(Config, Options, &std::cout);
+      BoundRun Run;
+      Run.Bound = Bound;
+      Run.Jobs = Jobs;
+      Run.WallSeconds = Timer.elapsedSeconds();
+      for (size_t I = 0; I < Results.size(); ++I) {
+        const synth::SynthesisResult &B = Results[I].Synthesis;
+        Run.Improved += B.Improved;
+        Run.Degraded += Results[I].Degraded;
+        Run.PrunedCostBound += B.Stats.PrunedByCostBound;
+        Run.SolverCalls += B.Stats.SolverCalls;
+        if (Baseline.empty())
+          continue; // this IS the baseline run
+        const synth::SynthesisResult &A = Baseline[I].Synthesis;
+        if (A.TimedOut || B.TimedOut) {
+          ++Run.TimeoutSkipped;
+          continue;
+        }
+        ++Run.BenchmarksCompleted;
+        if (A.OptimizedSource != B.OptimizedSource ||
+            A.OptimizedCost != B.OptimizedCost || A.Abort != B.Abort)
+          ++Run.Mismatches;
+      }
+      // Disjoint with the baseline capture: that fires only on the very
+      // first (off/1) configuration.
+      if (Bound && Jobs == 1)
+        BoundSequential = std::move(Results);
+      else if (Baseline.empty())
+        Baseline = std::move(Results);
+      std::cout << "  wall " << TablePrinter::formatDouble(Run.WallSeconds, 2)
+                << " s, solver calls " << Run.SolverCalls
+                << ", pruned(costbound) " << Run.PrunedCostBound << ", "
+                << Run.Mismatches << " differential mismatch(es), "
+                << Run.TimeoutSkipped << " skipped (timed out)\n\n";
+      Runs.push_back(Run);
+    }
+
+  // The fixed configuration order is off/1, off/4, on/1, on/4: compare
+  // the two sequential runs for the headline numbers, restricted to the
+  // benchmarks both completed — a timed-out search with pruning on gets
+  // *further* inside the same budget and so makes more solver calls,
+  // which would corrupt the avoided-call accounting.
+  int64_t SketchesCut = 0, Avoided = 0;
+  for (size_t I = 0; I < Baseline.size() && I < BoundSequential.size();
+       ++I) {
+    const synth::SynthesisResult &Off = Baseline[I].Synthesis;
+    const synth::SynthesisResult &On = BoundSequential[I].Synthesis;
+    if (Off.TimedOut || On.TimedOut)
+      continue;
+    SketchesCut += On.Stats.PrunedByCostBound;
+    Avoided += Off.Stats.SolverCalls - On.Stats.SolverCalls;
+  }
+  double TimeDelta = Runs[0].WallSeconds - Runs[2].WallSeconds;
+  int TotalMismatches = 0;
+  for (const BoundRun &R : Runs)
+    TotalMismatches += R.Mismatches;
+
+  std::ofstream Json("BENCH_cost_bound.json");
+  Json << "{\n"
+       << "  \"bench\": \"cost_bound\",\n"
+       << "  \"workloads\": \"fig5 suite, reduced shapes, flops cost "
+          "model\",\n"
+       << "  \"timeout_seconds_per_benchmark\": " << Timeout << ",\n"
+       << "  \"benchmarks\": " << benchmarkSuite().size() << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    const BoundRun &R = Runs[I];
+    Json << "    {\"cost_bound_pruning\": " << (R.Bound ? "true" : "false")
+         << ", \"jobs\": " << R.Jobs << ", \"wall_seconds\": "
+         << R.WallSeconds << ", \"improved\": " << R.Improved
+         << ", \"degraded\": " << R.Degraded << ", \"solver_calls\": "
+         << R.SolverCalls << ", \"pruned_costbound\": " << R.PrunedCostBound
+         << ", \"differential_mismatches\": " << R.Mismatches
+         << ", \"timeout_skipped\": " << R.TimeoutSkipped << "}"
+         << (I + 1 < Runs.size() ? "," : "") << "\n";
+  }
+  Json << "  ],\n"
+       << "  \"sketches_cut_sequential\": " << SketchesCut << ",\n"
+       << "  \"solver_calls_avoided_sequential\": " << Avoided << ",\n"
+       << "  \"search_time_delta_seconds\": " << TimeDelta << ",\n"
+       << "  \"sketches_cut_positive\": "
+       << (SketchesCut > 0 ? "true" : "false") << ",\n"
+       << "  \"solver_calls_avoided_positive\": "
+       << (Avoided > 0 ? "true" : "false") << ",\n"
+       << "  \"differential_mismatches\": " << TotalMismatches << ",\n"
+       << "  \"note\": \"the bound is admissible: every run must match "
+          "the bound-off sequential baseline program/cost/abort exactly "
+          "(timed-out benchmarks excluded — a mid-search timeout trips "
+          "at a scheduling-dependent point). sketches_cut and "
+          "solver_calls_avoided compare the two sequential runs over the "
+          "benchmarks both completed\"\n"
+       << "}\n";
+  std::cout << "wrote BENCH_cost_bound.json\n";
+
+  if (TotalMismatches != 0) {
+    std::cerr << "DIFFERENTIAL FAILURE: " << TotalMismatches
+              << " result(s) diverged from the bound-off baseline\n";
+    return 1;
+  }
+  if (SketchesCut <= 0 || Avoided <= 0) {
+    std::cerr << "COVERAGE FAILURE: the bound cut " << SketchesCut
+              << " sketch(es) and avoided " << Avoided
+              << " solver call(s); both must be positive\n";
+    return 1;
+  }
+  std::cout << "sketches cut (sequential): " << SketchesCut
+            << ", solver calls avoided: " << Avoided << ", search-time "
+            << "delta: " << TablePrinter::formatDouble(TimeDelta, 2)
+            << " s\n";
+  return 0;
+}

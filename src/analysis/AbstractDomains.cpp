@@ -6,6 +6,9 @@
 
 #include "analysis/AbstractDomains.h"
 
+#include <cmath>
+#include <cstdio>
+
 namespace stenso {
 namespace analysis {
 
@@ -133,6 +136,246 @@ std::string SignSet::toString() const {
   if (canBePos())
     S += "+";
   return S + "}";
+}
+
+//===----------------------------------------------------------------------===//
+// Interval
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// One candidate endpoint: a value plus whether it is provably never
+/// attained.  Endpoint arithmetic (mul, pow, ...) computes a handful of
+/// candidates and keeps the extremes; an extreme is open only when every
+/// candidate achieving it is open.
+struct EndPt {
+  double V;
+  bool Open;
+};
+
+/// Product of two endpoint values with the interval convention
+/// 0 * inf = 0 (the zero factor pins the product; the infinite factor
+/// only says "arbitrarily large finite values occur").
+EndPt mulEndPt(EndPt A, EndPt B) {
+  if (A.V == 0 || B.V == 0) {
+    // An attained zero factor pins the product at an attained zero no
+    // matter what the other side contributes (any witness from the
+    // non-empty other interval works), so the result is open only when
+    // every zero factor is itself unattained.
+    bool Open = (A.V != 0 || A.Open) && (B.V != 0 || B.Open);
+    return {0.0, Open};
+  }
+  return {A.V * B.V, A.Open || B.Open};
+}
+
+Interval fromCandidates(const EndPt *C, int N) {
+  double Lo = Inf, Hi = -Inf;
+  for (int I = 0; I < N; ++I) {
+    Lo = std::min(Lo, C[I].V);
+    Hi = std::max(Hi, C[I].V);
+  }
+  bool LoOpen = true, HiOpen = true;
+  for (int I = 0; I < N; ++I) {
+    if (C[I].V == Lo)
+      LoOpen = LoOpen && C[I].Open;
+    if (C[I].V == Hi)
+      HiOpen = HiOpen && C[I].Open;
+  }
+  return {Lo, LoOpen, Hi, HiOpen};
+}
+
+/// Endpoint openness for min/max of two endpoints: the winner's flag
+/// when one side strictly wins, the conjunction on a tie (the extremum
+/// is attained as soon as either side attains it).
+bool pickOpen(double A, bool AOpen, double B, bool BOpen, double Winner) {
+  if (A == Winner && B == Winner)
+    return AOpen && BOpen;
+  return A == Winner ? AOpen : BOpen;
+}
+
+} // namespace
+
+void Interval::normalize() {
+  if (std::isnan(Lo) || std::isnan(Hi) || Lo > Hi) {
+    *this = top();
+    return;
+  }
+  if (std::isinf(Lo))
+    LoOpen = false;
+  if (std::isinf(Hi))
+    HiOpen = false;
+  // A degenerate open point would be empty; retreat to closed.
+  if (Lo == Hi && (LoOpen || HiOpen))
+    LoOpen = HiOpen = false;
+}
+
+Interval Interval::top() { return {-Inf, false, Inf, false}; }
+
+bool Interval::isTop() const { return Lo == -Inf && Hi == Inf; }
+
+bool Interval::contains(double V) const {
+  if (V < Lo || (V == Lo && LoOpen))
+    return false;
+  if (V > Hi || (V == Hi && HiOpen))
+    return false;
+  return true;
+}
+
+Interval Interval::join(const Interval &A, const Interval &B) {
+  double Lo = std::min(A.Lo, B.Lo);
+  double Hi = std::max(A.Hi, B.Hi);
+  return {Lo, pickOpen(A.Lo, A.LoOpen, B.Lo, B.LoOpen, Lo), Hi,
+          pickOpen(A.Hi, A.HiOpen, B.Hi, B.HiOpen, Hi)};
+}
+
+Interval Interval::add(const Interval &A, const Interval &B) {
+  // Lower endpoints never pair -inf with +inf (Lo <= Hi on both sides),
+  // so the sums are well-defined.
+  return {A.Lo + B.Lo, A.LoOpen || B.LoOpen, A.Hi + B.Hi,
+          A.HiOpen || B.HiOpen};
+}
+
+Interval Interval::negate(const Interval &A) {
+  return {-A.Hi, A.HiOpen, -A.Lo, A.LoOpen};
+}
+
+Interval Interval::sub(const Interval &A, const Interval &B) {
+  return add(A, negate(B));
+}
+
+Interval Interval::mul(const Interval &A, const Interval &B) {
+  const EndPt C[4] = {
+      mulEndPt({A.Lo, A.LoOpen}, {B.Lo, B.LoOpen}),
+      mulEndPt({A.Lo, A.LoOpen}, {B.Hi, B.HiOpen}),
+      mulEndPt({A.Hi, A.HiOpen}, {B.Lo, B.LoOpen}),
+      mulEndPt({A.Hi, A.HiOpen}, {B.Hi, B.HiOpen}),
+  };
+  return fromCandidates(C, 4);
+}
+
+Interval Interval::div(const Interval &A, const Interval &B) {
+  if (B.contains(0))
+    return top();
+  // B excludes zero, so it lies entirely on one side of it and the
+  // reciprocal is monotone decreasing on it: 1/[lo, hi] = [1/hi, 1/lo],
+  // with 1/±inf pinned to an open 0.
+  EndPt InvLo = std::isinf(B.Hi) ? EndPt{0.0, true}
+                                 : EndPt{1.0 / B.Hi, B.HiOpen};
+  EndPt InvHi = std::isinf(B.Lo) ? EndPt{0.0, true}
+                                 : EndPt{1.0 / B.Lo, B.LoOpen};
+  return mul(A, {InvLo.V, InvLo.Open, InvHi.V, InvHi.Open});
+}
+
+Interval Interval::minOf(const Interval &A, const Interval &B) {
+  double Lo = std::min(A.Lo, B.Lo);
+  double Hi = std::min(A.Hi, B.Hi);
+  return {Lo, pickOpen(A.Lo, A.LoOpen, B.Lo, B.LoOpen, Lo), Hi,
+          pickOpen(A.Hi, A.HiOpen, B.Hi, B.HiOpen, Hi)};
+}
+
+Interval Interval::maxOf(const Interval &A, const Interval &B) {
+  double Lo = std::max(A.Lo, B.Lo);
+  double Hi = std::max(A.Hi, B.Hi);
+  return {Lo, pickOpen(A.Lo, A.LoOpen, B.Lo, B.LoOpen, Lo), Hi,
+          pickOpen(A.Hi, A.HiOpen, B.Hi, B.HiOpen, Hi)};
+}
+
+Interval Interval::sqrtOf(const Interval &A) {
+  // Negative parts of A are undefined (Suspect territory); bound the
+  // defined subset.
+  double Lo = std::max(A.Lo, 0.0);
+  bool LoOpen = A.Lo > 0 && A.LoOpen;
+  if (A.Hi < 0)
+    return top();
+  return {std::sqrt(Lo), LoOpen, std::sqrt(A.Hi), A.HiOpen};
+}
+
+Interval Interval::expOf(const Interval &A) {
+  bool LoOpen = std::isinf(A.Lo) ? true : A.LoOpen;
+  double Lo = std::isinf(A.Lo) && A.Lo < 0 ? 0.0 : std::exp(A.Lo);
+  double Hi = std::isinf(A.Hi) && A.Hi > 0 ? Inf : std::exp(A.Hi);
+  return {Lo, LoOpen, Hi, A.HiOpen};
+}
+
+Interval Interval::logOf(const Interval &A) {
+  if (A.Hi <= 0)
+    return top();
+  double Lo = A.Lo <= 0 ? -Inf : std::log(A.Lo);
+  double Hi = std::isinf(A.Hi) ? Inf : std::log(A.Hi);
+  return {Lo, A.Lo > 0 && A.LoOpen, Hi, A.HiOpen};
+}
+
+Interval Interval::powInt(const Interval &A, int64_t K) {
+  if (K == 0)
+    return point(1.0);
+  if (K < 0)
+    return div(point(1.0), powInt(A, -K));
+  auto P = [K](double V) -> double {
+    if (std::isinf(V))
+      return (V < 0 && K % 2 == 0) ? Inf : V;
+    return std::pow(V, static_cast<double>(K));
+  };
+  if (K % 2 == 1 || A.Lo >= 0)
+    return {P(A.Lo), A.LoOpen, P(A.Hi), A.HiOpen};
+  if (A.Hi <= 0)
+    return {P(A.Hi), A.HiOpen, P(A.Lo), A.LoOpen};
+  // Even power of an interval straddling zero: minimum 0 is attained
+  // (zero is interior), maximum comes from the larger-magnitude side.
+  const EndPt C[2] = {{P(A.Lo), A.LoOpen}, {P(A.Hi), A.HiOpen}};
+  Interval HiSide = fromCandidates(C, 2);
+  return {0.0, false, HiSide.Hi, HiSide.HiOpen};
+}
+
+Interval Interval::powReal(const Interval &A, double R) {
+  if (R == 0)
+    return point(1.0);
+  if (R < 0)
+    return div(point(1.0), powReal(A, -R));
+  // Defined only on the non-negative part of A; x^r is monotone
+  // increasing there for r > 0.
+  double Lo = std::max(A.Lo, 0.0);
+  bool LoOpen = A.Lo > 0 && A.LoOpen;
+  if (A.Hi < 0)
+    return top();
+  double HiV = std::isinf(A.Hi) ? Inf : std::pow(A.Hi, R);
+  return {std::pow(Lo, R), LoOpen, HiV, A.HiOpen};
+}
+
+Interval Interval::sumFold(const Interval &A, int64_t Count) {
+  if (Count <= 0)
+    return point(0.0);
+  double N = static_cast<double>(Count);
+  // N > 0, so scaling is monotone; an open endpoint stays open (a sum
+  // of Count values each strictly above Lo is strictly above N * Lo).
+  auto Scale = [N](double V) { return std::isinf(V) ? V : V * N; };
+  return {Scale(A.Lo), A.LoOpen, Scale(A.Hi), A.HiOpen};
+}
+
+Interval Interval::select(SignSet Cond, const Interval &TrueV,
+                          const Interval &FalseV) {
+  if (!Cond.canBeZero())
+    return TrueV;
+  if (Cond == SignSet::zero())
+    return FalseV;
+  return join(TrueV, FalseV);
+}
+
+std::string Interval::toString() const {
+  if (isTop())
+    return "T";
+  auto Fmt = [](double V) -> std::string {
+    if (std::isinf(V))
+      return V < 0 ? "-inf" : "inf";
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%g", V);
+    return Buf;
+  };
+  std::string S = LoOpen || std::isinf(Lo) ? "(" : "[";
+  S += Fmt(Lo) + ", " + Fmt(Hi);
+  S += HiOpen || std::isinf(Hi) ? ")" : "]";
+  return S;
 }
 
 std::string DegreeRange::toString() const {

@@ -6,12 +6,17 @@
 ///
 /// \file
 /// The lattice domains of the static-analysis layer: a three-point sign
-/// domain (can the value be negative / zero / positive) and a polynomial
+/// domain (can the value be negative / zero / positive), a polynomial
 /// degree domain (interval of possible total degrees, with an explicit
-/// "not provably a polynomial" top).  Both are finite-height join
-/// semilattices whose top element means "no information" — every
-/// transfer function in this subsystem over-approximates, so a verdict
-/// below top is a proof, never a heuristic.
+/// "not provably a polynomial" top), and a real interval domain (a range
+/// [Lo, Hi] with per-endpoint openness) that refines the sign domain
+/// when magnitudes matter — a denominator in (0, inf) excludes zero even
+/// though its sign set alone may not.  All are join semilattices whose
+/// top element means "no information" — every transfer function in this
+/// subsystem over-approximates, so a verdict below top is a proof, never
+/// a heuristic.  (The interval domain's proofs are over exact real
+/// arithmetic; IEEE rounding in a concrete evaluation can graze an open
+/// endpoint, which is why the soundness fuzz compares with a tolerance.)
 ///
 /// The sign domain deliberately has no bottom: an empty sign set would
 /// claim "this expression has no value", which is a statement about
@@ -29,6 +34,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace stenso {
@@ -174,6 +180,100 @@ struct DegreeRange {
   }
 
   std::string toString() const;
+};
+
+/// Interval of possible real values, with per-endpoint openness.  The
+/// soundness contract: every *finite* value the expression can take lies
+/// inside the interval (non-finite concrete results are the Suspect
+/// bit's business, and Suspect collapses the interval to top anyway).
+/// Openness is the stronger claim — "the endpoint itself is never
+/// attained" — so transfer functions only set an Open flag when that is
+/// provable; closing an endpoint is always a sound retreat.  Infinite
+/// endpoints carry no openness (the flag is kept false and ignored).
+///
+/// Like the sign domain there is no bottom: an empty interval would be a
+/// definedness claim, which Suspect owns.  Top is (-inf, +inf).
+struct Interval {
+  double Lo;
+  double Hi;
+  bool LoOpen;
+  bool HiOpen;
+
+  Interval() : Interval(top()) {}
+  Interval(double Lo, bool LoOpen, double Hi, bool HiOpen)
+      : Lo(Lo), Hi(Hi), LoOpen(LoOpen), HiOpen(HiOpen) {
+    normalize();
+  }
+
+  static Interval top();
+  static Interval point(double V) { return {V, false, V, false}; }
+  static Interval closed(double Lo, double Hi) {
+    return {Lo, false, Hi, false};
+  }
+  /// [Lo, +inf) or (Lo, +inf).
+  static Interval above(double Lo, bool Open) {
+    return {Lo, Open, std::numeric_limits<double>::infinity(), false};
+  }
+  static Interval ofConstant(const Rational &V) {
+    return point(V.toDouble());
+  }
+
+  bool isTop() const;
+  bool contains(double V) const;
+  /// True when 0 provably cannot occur — the refinement the lint layer
+  /// uses to retire division-by-zero warnings the sign domain cannot.
+  bool excludesZero() const { return !contains(0); }
+  /// Every value provably > 0 (log/sqrt domains).
+  bool provablyPositive() const { return Lo > 0 || (Lo == 0 && LoOpen); }
+  bool provablyNonNegative() const { return Lo >= 0; }
+
+  bool operator==(const Interval &RHS) const {
+    return Lo == RHS.Lo && Hi == RHS.Hi && LoOpen == RHS.LoOpen &&
+           HiOpen == RHS.HiOpen;
+  }
+  bool operator!=(const Interval &RHS) const { return !(*this == RHS); }
+
+  //===--------------------------------------------------------------------===//
+  // Transfer functions.  Each returns an interval containing f(a, b) for
+  // every a in A, b in B (exact real arithmetic; see file comment for
+  // the IEEE caveat).
+  //===--------------------------------------------------------------------===//
+
+  static Interval join(const Interval &A, const Interval &B);
+  static Interval add(const Interval &A, const Interval &B);
+  static Interval sub(const Interval &A, const Interval &B);
+  static Interval negate(const Interval &A);
+  static Interval mul(const Interval &A, const Interval &B);
+  /// Top whenever B contains zero (the quotient is then unbounded or
+  /// undefined); an interval excluding zero is entirely one-signed, so
+  /// the inverse is again an interval.
+  static Interval div(const Interval &A, const Interval &B);
+  static Interval minOf(const Interval &A, const Interval &B);
+  static Interval maxOf(const Interval &A, const Interval &B);
+  static Interval sqrtOf(const Interval &A);
+  static Interval expOf(const Interval &A);
+  /// Sound on the defined subset of A (arguments <= 0 are Suspect's
+  /// business): the lower endpoint collapses to -inf when A reaches 0.
+  static Interval logOf(const Interval &A);
+  /// a^k for a constant integer exponent (negative k goes through div).
+  static Interval powInt(const Interval &A, int64_t K);
+  /// a^r for a constant non-integer exponent; only the non-negative part
+  /// of A is defined (negative bases are Suspect).
+  static Interval powReal(const Interval &A, double R);
+  /// Sum of \p Count values each drawn from A; Count == 0 is the empty
+  /// sum (exactly zero).
+  static Interval sumFold(const Interval &A, int64_t Count);
+  /// select(c, t, f) with c a 0/1-ish condition, mirroring selectSign.
+  static Interval select(SignSet Cond, const Interval &TrueV,
+                         const Interval &FalseV);
+
+  std::string toString() const;
+
+private:
+  /// Clears openness on infinite endpoints and widens any inverted or
+  /// NaN-tainted pair to top, so every constructed value is a valid
+  /// over-approximation.
+  void normalize();
 };
 
 } // namespace analysis

@@ -73,6 +73,7 @@ const AbstractValue &AbstractInterpreter::analyze(const Node *N) {
     // Same stickiness as the symbolic-side analyzer: a possible domain
     // violation below invalidates sign and degree claims wholesale.
     R.Sign = SignSet::top();
+    R.Range = Interval::top();
     poisonDegrees(R.Degrees, R.Support);
   }
   return Memo.emplace(N, R).first->second;
@@ -92,9 +93,13 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
       R.Suspect = true;
       return R;
     }
-    R.Sign = N->getType().Dtype == DType::Bool
-                 ? SignSet(SignSet::ZeroBit | SignSet::PosBit)
-                 : SignSet::pos(); // inputs are strictly positive reals
+    if (N->getType().Dtype == DType::Bool) {
+      R.Sign = SignSet(SignSet::ZeroBit | SignSet::PosBit);
+      R.Range = Interval::closed(0, 1);
+    } else {
+      R.Sign = SignSet::pos(); // inputs are strictly positive reals
+      R.Range = Interval::above(0, /*Open=*/true);
+    }
     R.Suspect = false;
     R.Support.insert(N->getName());
     R.Degrees.emplace(N->getName(), DegreeRange::symbol());
@@ -102,6 +107,7 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
   }
   case OpKind::Constant:
     R.Sign = SignSet::ofConstant(N->getValue());
+    R.Range = Interval::ofConstant(N->getValue());
     R.Suspect = false;
     return R;
   default:
@@ -134,19 +140,27 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
     if (N->getKind() == OpKind::Subtract)
       B = SignSet::negate(B);
     R.Sign = SignSet::addSign(Ops[0]->Sign, B);
+    R.Range = N->getKind() == OpKind::Subtract
+                  ? Interval::sub(Ops[0]->Range, Ops[1]->Range)
+                  : Interval::add(Ops[0]->Range, Ops[1]->Range);
     R.Degrees = Ops[0]->Degrees;
     addDegrees(R.Degrees, Ops[1]->Degrees);
     return R;
   }
   case OpKind::Multiply:
     R.Sign = SignSet::mulSign(Ops[0]->Sign, Ops[1]->Sign);
+    R.Range = Interval::mul(Ops[0]->Range, Ops[1]->Range);
     R.Degrees = Ops[0]->Degrees;
     mulDegrees(R.Degrees, Ops[1]->Degrees);
     return R;
   case OpKind::Divide:
     R.Sign = SignSet::mulSign(Ops[0]->Sign, recipSign(Ops[1]->Sign));
+    R.Range = Interval::div(Ops[0]->Range, Ops[1]->Range);
     if (Ops[1]->Sign.canBeZero())
-      R.Suspect = true; // possible division by zero
+      R.Suspect = true; // possible division by zero (sign-based on
+                        // purpose: the interval's zero-exclusion proofs
+                        // are over exact reals, and the Suspect bit
+                        // backs the oracle's IEEE-level totality claim)
     R.Degrees = Ops[0]->Degrees;
     poisonDegrees(R.Degrees, Ops[1]->Support);
     return R;
@@ -155,10 +169,12 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
     SignSet SB = Ops[0]->Sign;
     R.Degrees = Ops[0]->Degrees;
     if (!Exp->isConstant()) {
-      if (SB.subsetOf(SignSet::pos()))
+      if (SB.subsetOf(SignSet::pos())) {
         R.Sign = SignSet::pos();
-      else
+        R.Range = Interval::above(0, /*Open=*/true);
+      } else {
         R.Suspect = true; // 0^neg or neg^fractional cannot be ruled out
+      }
       poisonDegrees(R.Degrees, R.Support);
       return R;
     }
@@ -178,6 +194,7 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
           Out |= SignSet::ZeroBit;
       }
       R.Sign = Out ? SignSet(Out) : SignSet::top();
+      R.Range = Interval::powInt(Ops[0]->Range, KI);
       if (KI <= 0 && SB.canBeZero())
         R.Suspect = true;
       if (KI >= 0)
@@ -196,17 +213,22 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
     if (SB.canBeZero() && !K.isNegative())
       Out |= SignSet::ZeroBit;
     R.Sign = Out ? SignSet(Out) : SignSet::top();
+    R.Range = Interval::powReal(Ops[0]->Range, K.toDouble());
     poisonDegrees(R.Degrees, Ops[0]->Support);
     return R;
   }
   case OpKind::Maximum:
     R.Sign = SignSet::maxSign(Ops[0]->Sign, Ops[1]->Sign);
+    R.Range = Interval::maxOf(Ops[0]->Range, Ops[1]->Range);
     R.Degrees = Ops[0]->Degrees;
     addDegrees(R.Degrees, Ops[1]->Degrees);
     poisonDegrees(R.Degrees, R.Support); // piecewise, not polynomial
     return R;
   case OpKind::Less:
     R.Sign = SignSet::lessSign(Ops[0]->Sign, Ops[1]->Sign);
+    R.Range = R.Sign == SignSet::pos()    ? Interval::point(1)
+              : R.Sign == SignSet::zero() ? Interval::point(0)
+                                          : Interval::closed(0, 1);
     poisonDegrees(R.Degrees, R.Support);
     return R;
   case OpKind::Sqrt: {
@@ -215,12 +237,14 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
       R.Suspect = true;
     SignSet S(static_cast<uint8_t>(SB.bits() & ~SignSet::NegBit));
     R.Sign = S.isEmpty() ? SignSet::top() : S;
+    R.Range = Interval::sqrtOf(Ops[0]->Range);
     R.Degrees = Ops[0]->Degrees;
     poisonDegrees(R.Degrees, Ops[0]->Support);
     return R;
   }
   case OpKind::Exp:
     R.Sign = SignSet::pos();
+    R.Range = Interval::expOf(Ops[0]->Range);
     R.Degrees = Ops[0]->Degrees;
     poisonDegrees(R.Degrees, Ops[0]->Support);
     return R;
@@ -235,12 +259,14 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
                                              : SignSet::neg();
     else
       R.Sign = SignSet::top(); // log of a positive value: any real
+    R.Range = Interval::logOf(Ops[0]->Range);
     R.Degrees = Ops[0]->Degrees;
     poisonDegrees(R.Degrees, Ops[0]->Support);
     return R;
   }
   case OpKind::Where:
     R.Sign = SignSet::selectSign(Ops[0]->Sign, Ops[1]->Sign, Ops[2]->Sign);
+    R.Range = Interval::select(Ops[0]->Sign, Ops[1]->Range, Ops[2]->Range);
     R.Degrees = Ops[1]->Degrees;
     addDegrees(R.Degrees, Ops[2]->Degrees);
     poisonDegrees(R.Degrees, Ops[0]->Support); // indicator factor
@@ -249,6 +275,7 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
   case OpKind::Tril:
     // Masked entries become exact zeros.
     R.Sign = Ops[0]->Sign.joinWith(SignSet::zero());
+    R.Range = Interval::join(Ops[0]->Range, Interval::point(0));
     R.Degrees = Ops[0]->Degrees;
     return R;
   case OpKind::Full:
@@ -257,6 +284,7 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
   case OpKind::Reshape:
   case OpKind::MaxAll:
     R.Sign = Ops[0]->Sign;
+    R.Range = Ops[0]->Range;
     R.Degrees = Ops[0]->Degrees;
     if (N->getKind() == OpKind::MaxAll)
       poisonDegrees(R.Degrees, R.Support);
@@ -265,15 +293,18 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
     // np.max along an axis of statically non-zero extent: the join over
     // the reduced elements is the operand's own sign set.
     R.Sign = Ops[0]->Sign;
+    R.Range = Ops[0]->Range;
     R.Degrees = Ops[0]->Degrees;
     poisonDegrees(R.Degrees, R.Support);
     return R;
   }
   case OpKind::Stack: {
     R.Sign = Ops[0]->Sign;
+    R.Range = Ops[0]->Range;
     R.Degrees = Ops[0]->Degrees;
     for (size_t I = 1; I < Ops.size(); ++I) {
       R.Sign = R.Sign.joinWith(Ops[I]->Sign);
+      R.Range = Interval::join(R.Range, Ops[I]->Range);
       addDegrees(R.Degrees, Ops[I]->Degrees);
     }
     return R;
@@ -283,18 +314,23 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
         N->getOperand(0)->getType().TShape.normalizeAxis(*N->getAttrs().Axis);
     int64_t Extent = N->getOperand(0)->getType().TShape.getDim(Axis);
     R.Sign = SignSet::sumFold(Ops[0]->Sign, Extent);
+    R.Range = Interval::sumFold(Ops[0]->Range, Extent);
     R.Degrees = Ops[0]->Degrees;
     return R;
   }
   case OpKind::SumAll:
     R.Sign = SignSet::sumFold(
         Ops[0]->Sign, N->getOperand(0)->getType().TShape.getNumElements());
+    R.Range = Interval::sumFold(
+        Ops[0]->Range, N->getOperand(0)->getType().TShape.getNumElements());
     R.Degrees = Ops[0]->Degrees;
     return R;
   case OpKind::Trace: {
     const Shape &S = N->getOperand(0)->getType().TShape;
     R.Sign = SignSet::sumFold(Ops[0]->Sign,
                               std::min(S.getDim(0), S.getDim(1)));
+    R.Range = Interval::sumFold(Ops[0]->Range,
+                                std::min(S.getDim(0), S.getDim(1)));
     R.Degrees = Ops[0]->Degrees;
     return R;
   }
@@ -303,6 +339,8 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
     int64_t Extent = A.getDim(A.getRank() - 1);
     R.Sign = SignSet::sumFold(SignSet::mulSign(Ops[0]->Sign, Ops[1]->Sign),
                               Extent);
+    R.Range = Interval::sumFold(Interval::mul(Ops[0]->Range, Ops[1]->Range),
+                                Extent);
     R.Degrees = Ops[0]->Degrees;
     mulDegrees(R.Degrees, Ops[1]->Degrees);
     return R;
@@ -314,6 +352,8 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
       Extent *= A.getDim(A.normalizeAxis(Axis));
     R.Sign = SignSet::sumFold(SignSet::mulSign(Ops[0]->Sign, Ops[1]->Sign),
                               Extent);
+    R.Range = Interval::sumFold(Interval::mul(Ops[0]->Range, Ops[1]->Range),
+                                Extent);
     R.Degrees = Ops[0]->Degrees;
     mulDegrees(R.Degrees, Ops[1]->Degrees);
     return R;
@@ -321,6 +361,7 @@ AbstractValue AbstractInterpreter::compute(const Node *N) {
   case OpKind::Comprehension:
     // Ops[1] is the body analyzed under the loop-variable binding.
     R.Sign = Ops[1]->Sign;
+    R.Range = Ops[1]->Range;
     R.Degrees = Ops[1]->Degrees;
     return R;
   case OpKind::Input:

@@ -14,6 +14,9 @@
 ///   * sign:    which of {-, 0, +} the elements may take, under the
 ///              engine's convention that program inputs are strictly
 ///              positive reals (boolean inputs are {0, +});
+///   * range:   a real interval bounding every element, refining the
+///              sign domain with magnitudes (exp(x) - 1 of a positive x
+///              is in (0, +inf), which no sign set can say);
 ///   * degree:  per-input polynomial degree upper bounds (Hi <= 1 means
 ///              provably linear in that input), with an explicit
 ///              "not provably polynomial" top;
@@ -51,8 +54,13 @@ namespace analysis {
 /// tensor: a single sign set / degree bound covering every element).
 struct AbstractValue {
   SignSet Sign = SignSet::top();
+  /// Real interval covering every finite element value (element-wise
+  /// join over the tensor, like Sign).  Only meaningful when !Suspect:
+  /// the claim quantifies over runs where evaluation is total and
+  /// finite, and Suspect collapses it to top.
+  Interval Range = Interval::top();
   /// Possible pow/log/division domain violation somewhere below; forces
-  /// Sign/Degrees to top in published values.
+  /// Sign/Range/Degrees to top in published values.
   bool Suspect = false;
   /// Input names this value may depend on.
   std::set<std::string> Support;

@@ -79,10 +79,23 @@ private:
     switch (N->getKind()) {
     case OpKind::Divide: {
       const AbstractValue &Den = Interp.analyze(N->getOperand(1));
-      if (Den.Sign.canBeZero())
-        report(N, LintSeverity::Warning, "division-by-possibly-zero",
-               "denominator may be zero (sign set " + Den.Sign.toString() +
-                   "); division is undefined there");
+      if (Den.Sign.canBeZero()) {
+        // The interval domain can retire the sign domain's alarm: when
+        // the denominator's range provably excludes zero (over exact
+        // reals — AbstractDomains.h documents the IEEE caveat, which is
+        // why this stays a note rather than vanishing), the division is
+        // defined on every reachable value.  A Suspect operand's Range
+        // is top by the collapse rule, so no downgrade fires on one.
+        if (!Den.Suspect && Den.Range.excludesZero())
+          report(N, LintSeverity::Note, "division-by-possibly-zero",
+                 "denominator sign set " + Den.Sign.toString() +
+                     " admits zero but its interval " +
+                     Den.Range.toString() + " excludes it");
+        else
+          report(N, LintSeverity::Warning, "division-by-possibly-zero",
+                 "denominator may be zero (sign set " + Den.Sign.toString() +
+                     "); division is undefined there");
+      }
       break;
     }
     case OpKind::Sqrt: {
@@ -95,10 +108,19 @@ private:
     }
     case OpKind::Log: {
       const AbstractValue &Arg = Interp.analyze(N->getOperand(0));
-      if (Arg.Sign.canBeZero() || Arg.Sign.canBeNeg())
-        report(N, LintSeverity::Warning, "log-domain",
-               "log argument may be non-positive (sign set " +
-                   Arg.Sign.toString() + ")");
+      if (Arg.Sign.canBeZero() || Arg.Sign.canBeNeg()) {
+        // Same interval-backed downgrade as Divide: a provably positive
+        // range keeps the argument inside log's domain everywhere.
+        if (!Arg.Suspect && Arg.Range.provablyPositive())
+          report(N, LintSeverity::Note, "log-domain",
+                 "log argument sign set " + Arg.Sign.toString() +
+                     " admits non-positives but its interval " +
+                     Arg.Range.toString() + " is positive");
+        else
+          report(N, LintSeverity::Warning, "log-domain",
+                 "log argument may be non-positive (sign set " +
+                     Arg.Sign.toString() + ")");
+      }
       break;
     }
     case OpKind::Power: {

@@ -250,9 +250,20 @@ struct EGraph::Impl {
       Vars.erase(Pattern);
       return;
     }
-    // Iterate over a copy: recursive matching can grow/merge classes? No
-    // mutation happens during matching, but rebuilds do between passes.
+    // Iterating the class's node vector by reference is safe: matching
+    // never mutates the e-graph.  saturate() is two-phase — Phase 1 only
+    // collects matches (the recursion below reads Classes and calls
+    // find(), which at most path-compresses the union-find), and every
+    // instantiate/merge/rebuild runs in Phase 2, between passes.  The
+    // assertion pins that invariant against future recursive-rewrite
+    // changes; EGraphTest.NestedRedexMergesAcrossSaturationPhases covers
+    // the merge-affects-later-matches scenario end to end.
     const std::vector<ENode> &Nodes = Classes[Id].Nodes;
+#ifndef NDEBUG
+    const size_t ClassesBefore = Classes.size();
+    const ENode *NodesDataBefore = Nodes.data();
+    const size_t NodesSizeBefore = Nodes.size();
+#endif
     for (const ENode &N : Nodes) {
       if (Pattern->isConstant()) {
         if (N.Kind == OpKind::Constant && N.InputName.empty() &&
@@ -270,6 +281,12 @@ struct EGraph::Impl {
         continue;
       matchChildren(Pattern, N, 0, Vars, Out);
     }
+#ifndef NDEBUG
+    assert(Classes.size() == ClassesBefore &&
+           Classes[Id].Nodes.data() == NodesDataBefore &&
+           Classes[Id].Nodes.size() == NodesSizeBefore &&
+           "e-matching must not mutate the e-graph (Phase 1 contract)");
+#endif
   }
 
   void matchChildren(const Node *Pattern, const ENode &N, size_t Index,

@@ -35,6 +35,8 @@ const char *DecisionLog::toString(Outcome O) {
     return "accepted";
   case Outcome::StoreDegraded:
     return "store-degraded";
+  case Outcome::PrunedCostBound:
+    return "pruned-costbound";
   }
   return "unknown";
 }

@@ -376,6 +376,9 @@ std::vector<std::string> observe::crossCheckReport(const RunReport &R) {
     // increment emits exactly one record with the matching outcome.
     CheckExact("pruned_cost", static_cast<double>(Count("pruned-cost")),
                Stat("pruned_cost"));
+    CheckExact("pruned_costbound",
+               static_cast<double>(Count("pruned-costbound")),
+               Stat("pruned_costbound"));
     CheckExact("pruned_simplification",
                static_cast<double>(Count("pruned-simplification")),
                Stat("pruned_simplification"));

@@ -49,6 +49,8 @@ void publishBottomUpMetrics(const SynthesisResult &Result) {
       Result.Stats.NumStubs));
   M.counter("bottomup.pruned.error").add(Result.Stats.PrunedByError);
   M.counter("bottomup.pruned.analysis").add(Result.Stats.PrunedByAnalysis);
+  M.counter("bottomup.pruned.costbound")
+      .add(Result.Stats.PrunedByCostBound);
 }
 
 /// Collects the distinct constants appearing in a program tree.
@@ -200,6 +202,16 @@ SynthesisResult BottomUpSynthesizer::run(const Program &Clamped,
       return;
     }
     double Cost = Model->costOfTree(Root, Scaler);
+    // Cost-bound prune: any program containing this candidate as a
+    // subtree costs at least Cost, so at or above the incumbent it can
+    // neither win the Key == PhiKey test below (strict <) nor seed an
+    // improving deeper program.  BestCost only ever decreases and ties
+    // keep the first find, so the search outcome is unchanged; only the
+    // table contents and the enumeration's truncation point shift.
+    if (Config.UseCostBoundPruning && Cost >= BestCost) {
+      ++Result.Stats.PrunedByCostBound;
+      return;
+    }
     SpecKey Key{Spec.getShape(), Spec.getDType(), Spec.getElements()};
     if (Key == PhiKey && Cost < BestCost) {
       BestTree = Root;

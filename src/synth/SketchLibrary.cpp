@@ -418,6 +418,27 @@ SketchLibrary::getSketchesFor(const Shape &S, DType Ty) const {
   return It == SketchesByShape.end() ? Empty : It->second;
 }
 
+size_t SketchLibrary::removeSketchesIf(
+    const std::function<bool(const Sketch &)> &Pred) {
+  size_t Before = Sketches.size();
+  Sketches.erase(std::remove_if(Sketches.begin(), Sketches.end(),
+                                [&](const Sketch &Sk) { return Pred(Sk); }),
+                 Sketches.end());
+  if (Sketches.size() == Before)
+    return 0;
+  // SketchesByShape holds pointers into Sketches and remove_if relocated
+  // the survivors; rebuild it.  remove_if keeps relative order, so the
+  // per-shape ascending-cost ordering is preserved.  SketchByTemplate's
+  // indices are stale too; it is dedup-only state of makeSketches, but
+  // clear it so nothing can read a stale index.
+  SketchByTemplate.clear();
+  SketchesByShape.clear();
+  for (const Sketch &Sk : Sketches)
+    SketchesByShape[SpecKey{Sk.Template.getShape(), Sk.Template.getDType(), {}}]
+        .push_back(&Sk);
+  return Before - Sketches.size();
+}
+
 const Stub *SketchLibrary::findMatchingStub(const SymTensor &Phi) const {
   auto It = StubBySpec.find(keyOf(Phi));
   return It == StubBySpec.end() ? nullptr : &Stubs[It->second];

@@ -26,6 +26,7 @@
 #include "symexec/SymbolicExecutor.h"
 #include "synth/CostModel.h"
 
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -129,6 +130,18 @@ public:
 
   /// The default grammar operation set.
   static std::vector<dsl::OpKind> defaultOps();
+
+  /// The resolved grammar operation set of this library (Config::Ops, or
+  /// the default set when that was left empty).
+  const std::vector<dsl::OpKind> &getOps() const { return Cfg.Ops; }
+
+  /// Drops every sketch \p Pred accepts.  Surviving sketches keep their
+  /// Index values (the solver cache and the persistent store key on it)
+  /// and their relative — ascending-cost — order; the shape index is
+  /// rebuilt.  Returns the number of sketches dropped.  Used by the
+  /// cost-bound analysis to drop sketches no completion of which can
+  /// beat the original program (DESIGN.md §14).
+  size_t removeSketchesIf(const std::function<bool(const Sketch &)> &Pred);
 
   /// Arena owning all stub/sketch trees (needed for cloning results out).
   dsl::Program &getArena() { return Arena; }

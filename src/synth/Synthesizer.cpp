@@ -54,6 +54,34 @@ double synth::specComplexity(const SymTensor &Spec) {
   return static_cast<double>(Occurrences) * Spec.density();
 }
 
+analysis::CostBoundAnalysis
+synth::buildCostBound(const SketchLibrary &Library, const CostModel &Model,
+                      const ShapeScaler &Scaler,
+                      const symexec::SymBinding &Bindings,
+                      int MaxRecursionDepth) {
+  // Floors are queried at search (clamped) shapes; map them to the
+  // workload's real extents exactly as costOfOp does, so the bound and
+  // the costs it is compared against share one unit system.
+  analysis::CostBoundAnalysis::OpFloorFn Floors =
+      [&Model, &Scaler](dsl::OpKind K, const dsl::TensorType &T) {
+        return Model.opCostFloor(
+            K, dsl::TensorType{T.Dtype, Scaler.scaleUp(T.TShape)});
+      };
+  analysis::CostBoundAnalysis CB(std::move(Floors), Library.getOps());
+  for (const Stub &S : Library.getStubs())
+    CB.addLeafCompletion(S.Root->getType(), S.Cost);
+  for (const Sketch &Sk : Library.getSketches())
+    CB.addSketchEdge(
+        dsl::TensorType{Sk.Template.getDType(), Sk.Template.getShape()},
+        Sk.HoleType, Sk.ConcreteCost);
+  for (const auto &[Name, Spec] : Bindings) {
+    (void)Name;
+    CB.addInputSpec(Spec);
+  }
+  CB.seal(MaxRecursionDepth);
+  return CB;
+}
+
 bool synth::sameSearchOutcome(const SynthesisResult &A,
                               const SynthesisResult &B) {
   return A.Improved == B.Improved && A.Abort == B.Abort &&
@@ -138,14 +166,18 @@ public:
   /// non-null selects the parallel pruning discipline (see prunes()).
   /// \p Progress, when attached, mirrors every tightened incumbent cost
   /// for checkpointing.  Observation-only: the search never reads it.
+  /// \p CostBound, when attached, enables the admissible static
+  /// cost-bound prune (the caller only passes one when both
+  /// UseBranchAndBound and UseCostBoundPruning are set).
   SearchDriver(const SynthesisConfig &Config, SketchLibrary &Library,
                HoleSolver &Solver, SynthesisStats &Stats,
                ResourceBudget &Budget, Program &Arena,
                std::atomic<double> *SharedBound = nullptr,
-               std::atomic<double> *Progress = nullptr)
+               std::atomic<double> *Progress = nullptr,
+               const analysis::CostBoundAnalysis *CostBound = nullptr)
       : Config(Config), Library(Library), Solver(Solver), Stats(Stats),
         Budget(Budget), Arena(Arena), SharedBound(SharedBound),
-        Progress(Progress) {}
+        Progress(Progress), CostBound(CostBound) {}
 
   struct Candidate {
     const Node *Tree = nullptr;
@@ -233,6 +265,18 @@ public:
       return std::nullopt;
     }
 
+    // True branch-and-bound (DESIGN.md §14): a static lower bound on the
+    // cost of *every* well-typed completion of Phi.  When even that floor
+    // cannot beat the incumbent, nothing below this level can — not even
+    // the stub match, whose cost the floor under-approximates (so the
+    // tighten it would have applied is a no-op anyway).
+    if (CostBound &&
+        prunes(CostSoFar + CostBound->specLowerBound(Phi), CostMin)) {
+      ++Stats.PrunedByCostBound;
+      decide(-1, Level, bound(CostMin), Decision::PrunedCostBound);
+      return std::nullopt;
+    }
+
     // Base case (lines 2-8): a direct stub match.  The library keeps the
     // cheapest stub per spec, so this is the argmin over matches.  Unlike
     // the paper's pseudo-code we do not return early: the target spec can
@@ -288,6 +332,25 @@ public:
           prunes(CostSoFar + Sk.ConcreteCost, CostMin)) {
         ++Stats.PrunedByCost;
         decide(SkIdx, Level, bound(CostMin), Decision::PrunedCost);
+        continue;
+      }
+
+      // Cost-bound refinement of the check above: the hole still has to
+      // be completed.  Two admissible floors apply — the fixpoint floor
+      // over typed completions reachable at the remaining depth, and the
+      // obligation floor forcing the completion to supply every spec
+      // tensor the concrete part misses (DESIGN.md §14).
+      if (CostBound &&
+          prunes(CostSoFar + Sk.ConcreteCost +
+                     std::max(CostBound->holeCompletionBound(
+                                  Sk.HoleType,
+                                  Config.MaxRecursionDepth - Level - 1),
+                              CostBound->holeObligationFloor(
+                                  Sk.HoleType, PhiTensors,
+                                  Sk.ConcreteTensors)),
+                 CostMin)) {
+        ++Stats.PrunedByCostBound;
+        decide(SkIdx, Level, bound(CostMin), Decision::PrunedCostBound);
         continue;
       }
 
@@ -374,6 +437,7 @@ private:
   Program &Arena;
   std::atomic<double> *SharedBound;
   std::atomic<double> *Progress;
+  const analysis::CostBoundAnalysis *CostBound;
   /// Spec-side analyzer (no top symbols: query-spec symbols are the
   /// strictly positive inputs).  Memoizes per interned sym::Expr node,
   /// which is safe across specs — expressions are immutable and live in
@@ -397,6 +461,7 @@ struct ParallelSearch {
   run(const SynthesisConfig &Config, SketchLibrary &Library,
       HoleSolver &Solver, SynthesisStats &Stats, ResourceBudget &Budget,
       const SymTensor &Phi, double OriginalCost,
+      const analysis::CostBoundAnalysis *CostBound = nullptr,
       std::atomic<double> *Progress = nullptr,
       observe::ProgressMonitor *Monitor = nullptr) {
     ++Stats.DfsCalls; // the level-0 call, as in the sequential engine
@@ -408,6 +473,16 @@ struct ParallelSearch {
         Config.Decisions->record(SkIdx, 0, BoundAtEntry, O, Cost,
                                  Config.DecisionsTag);
     };
+
+    // Level-0 cost-bound entry check, mirroring the sequential engine's
+    // (identical numbers: CostSoFar = 0, incumbent = OriginalCost, and
+    // the sequential `>=` discipline — this check runs before any worker
+    // exists, so the bound cell cannot yet differ from OriginalCost).
+    if (CostBound && CostBound->specLowerBound(Phi) >= OriginalCost) {
+      ++Stats.PrunedByCostBound;
+      Decide(-1, OriginalCost, Decision::PrunedCostBound);
+      return std::nullopt;
+    }
 
     // Root stub match on the calling thread, before any worker runs: its
     // fault-site draw keeps the same global position as sequentially.
@@ -474,12 +549,25 @@ struct ParallelSearch {
       }
       Out.Arena = std::make_unique<Program>();
       SearchDriver Driver(Config, Library, Solver, Out.Stats, Budget,
-                          *Out.Arena, &Bound, Progress);
+                          *Out.Arena, &Bound, Progress, CostBound);
       double LocalMin = OriginalCost;
       if (Config.UseBranchAndBound &&
           Driver.prunes(Sk.ConcreteCost, LocalMin)) {
         ++Out.Stats.PrunedByCost;
         Decide(SkIdx, Driver.bound(LocalMin), Decision::PrunedCost);
+        return;
+      }
+      if (CostBound &&
+          Driver.prunes(Sk.ConcreteCost +
+                            std::max(CostBound->holeCompletionBound(
+                                         Sk.HoleType,
+                                         Config.MaxRecursionDepth - 1),
+                                     CostBound->holeObligationFloor(
+                                         Sk.HoleType, PhiTensors,
+                                         Sk.ConcreteTensors)),
+                        LocalMin)) {
+        ++Out.Stats.PrunedByCostBound;
+        Decide(SkIdx, Driver.bound(LocalMin), Decision::PrunedCostBound);
         return;
       }
       std::optional<analysis::TensorAbstract> PhiSig;
@@ -539,6 +627,7 @@ struct ParallelSearch {
       Stats.DfsCalls += Out.Stats.DfsCalls;
       Stats.SketchesExplored += Out.Stats.SketchesExplored;
       Stats.PrunedByCost += Out.Stats.PrunedByCost;
+      Stats.PrunedByCostBound += Out.Stats.PrunedByCostBound;
       Stats.PrunedBySimplification += Out.Stats.PrunedBySimplification;
       Stats.PrunedByError += Out.Stats.PrunedByError;
       Stats.PrunedByAnalysis += Out.Stats.PrunedByAnalysis;
@@ -576,6 +665,7 @@ void publishRunMetrics(const SynthesisResult &Result,
   M.counter("synth.dfs_calls").add(S.DfsCalls);
   M.counter("synth.sketches_explored").add(S.SketchesExplored);
   M.counter("synth.prune.cost").add(S.PrunedByCost);
+  M.counter("synth.prune.costbound").add(S.PrunedByCostBound);
   M.counter("synth.prune.simplify").add(S.PrunedBySimplification);
   M.counter("synth.prune.error").add(S.PrunedByError);
   M.counter("synth.prune.analysis").add(S.PrunedByAnalysis);
@@ -688,6 +778,35 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
   Result.Stats.AnalysisPrunedShape = Library.getNumShapePruned();
   Result.Stats.PrunedByAnalysis += Result.Stats.AnalysisPrunedShape;
 
+  // Admissible static cost-bound analysis (analysis/CostBound.h;
+  // DESIGN.md §14): built over the full library, then used twice —
+  // here, to drop sketches no completion of which can beat the original
+  // program (at any level: the floor at the full remaining depth is the
+  // smallest, hence valid everywhere), and during the search, to bound
+  // partial chains against the shared incumbent.  NumSketches keeps the
+  // enumerated count; the drops are booked as cost-bound prunes.
+  std::optional<analysis::CostBoundAnalysis> CostBound;
+  if (Config.UseBranchAndBound && Config.UseCostBoundPruning) {
+    STENSO_TRACE_NAMED_SPAN(CbSpan, "synth", "costbound");
+    CostBound.emplace(buildCostBound(Library, *Model, Scaler, Bindings,
+                                     Config.MaxRecursionDepth));
+    double Original = Result.OriginalCost;
+    size_t Dropped = Library.removeSketchesIf([&](const Sketch &Sk) {
+      double Floor = CostBound->holeCompletionBound(Sk.HoleType,
+                                                    Config.MaxRecursionDepth);
+      if (Sk.ConcreteCost + Floor < Original)
+        return false;
+      ++Result.Stats.PrunedByCostBound;
+      if (Config.Decisions)
+        Config.Decisions->record(
+            static_cast<int32_t>(Sk.Index), 0, Original,
+            observe::DecisionLog::Outcome::PrunedCostBound, 0,
+            Config.DecisionsTag);
+      return true;
+    });
+    CbSpan.arg("dropped", Dropped);
+  }
+
   HoleSolver Solver(Ctx, Bindings);
   Solver.setBudget(&Budget);
 
@@ -703,6 +822,7 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     std::string Salt = "v1|model=" + Config.CostModelName +
                        "|bb=" + (Config.UseBranchAndBound ? "1" : "0") +
                        "|ap=" + (Config.UseAnalysisPruning ? "1" : "0") +
+                       "|cb=" + (Config.UseCostBoundPruning ? "1" : "0") +
                        "|depth=" + std::to_string(Config.MaxRecursionDepth) +
                        "|libdepth=" + std::to_string(Config.Library.MaxDepth) +
                        "|stubs=" + std::to_string(Config.Library.MaxStubs) +
@@ -771,12 +891,14 @@ SynthesisResult Synthesizer::run(const Program &Clamped,
     if (Config.Jobs == 1) {
       SearchDriver Driver(Config, Library, Solver, Result.Stats, Budget,
                           Library.getArena(), nullptr,
-                          TrackProgressCost ? &ProgressCost : nullptr);
+                          TrackProgressCost ? &ProgressCost : nullptr,
+                          CostBound ? &*CostBound : nullptr);
       double CostMin = Result.OriginalCost;
       Best = Driver.dfs(*Phi, 0, 0, CostMin);
     } else {
       Best = Parallel.run(Config, Library, Solver, Result.Stats, Budget, *Phi,
                           Result.OriginalCost,
+                          CostBound ? &*CostBound : nullptr,
                           TrackProgressCost ? &ProgressCost : nullptr,
                           Monitor);
     }
@@ -889,6 +1011,7 @@ void synth::writeStatsJson(const SynthesisResult &Result, std::ostream &OS) {
   Field("dfs_calls", S.DfsCalls);
   Field("sketches_explored", S.SketchesExplored);
   Field("pruned_cost", S.PrunedByCost);
+  Field("pruned_costbound", S.PrunedByCostBound);
   Field("pruned_simplification", S.PrunedBySimplification);
   Field("pruned_error", S.PrunedByError);
   Field("pruned_analysis", S.PrunedByAnalysis);

@@ -21,6 +21,7 @@
 #ifndef STENSO_SYNTH_SYNTHESIZER_H
 #define STENSO_SYNTH_SYNTHESIZER_H
 
+#include "analysis/CostBound.h"
 #include "synth/HoleSolver.h"
 #include "synth/SketchLibrary.h"
 
@@ -51,6 +52,15 @@ struct SynthesisConfig {
   /// §10 for the argument and the budget-boundary caveats).  Escape
   /// hatch: stenso-opt --no-analysis-pruning.
   bool UseAnalysisPruning = true;
+  /// Admissible static cost-bound pruning (analysis/CostBound.h): a
+  /// lower bound on the cost of every well-typed completion of a partial
+  /// sketch, checked against the best complete program found so far —
+  /// true branch-and-bound rather than cost-so-far pruning alone.
+  /// Admissible, so the synthesized program, cost, and AbortReason are
+  /// identical with it on or off (DESIGN.md §14 for the argument).
+  /// Only active when UseBranchAndBound is also set.  Escape hatch:
+  /// stenso-opt --no-cost-bound-pruning.
+  bool UseCostBoundPruning = true;
   /// Wall-clock budget; <= 0 means unlimited.  The paper's evaluation
   /// uses 600 s.
   double TimeoutSeconds = 600;
@@ -104,6 +114,9 @@ struct SynthesisStats {
   int64_t DfsCalls = 0;
   int64_t SketchesExplored = 0;
   int64_t PrunedByCost = 0;
+  /// Branches (and library sketches) cut by the admissible static
+  /// cost-bound analysis (analysis/CostBound.h; DESIGN.md §14).
+  int64_t PrunedByCostBound = 0;
   int64_t PrunedBySimplification = 0;
   /// Candidate branches abandoned because evaluation raised a
   /// recoverable error (overflow, injected fault, ...).
@@ -202,6 +215,18 @@ private:
 /// The specification-complexity metric |var(Phi)| * density(Phi)
 /// (Section V-A): distinct symbols times non-zero density.
 double specComplexity(const symexec::SymTensor &Spec);
+
+/// Builds and seals the admissible cost-bound analysis for \p Library:
+/// stubs become leaf completions, sketches become fixpoint edges, the
+/// run's input bindings become free completions, and per-op floors come
+/// from Model.opCostFloor at Scaler-mapped shapes.  Exposed so tests and
+/// benches exercise exactly the production construction.  The returned
+/// analysis captures \p Model and \p Scaler by reference — both must
+/// outlive it.
+analysis::CostBoundAnalysis
+buildCostBound(const SketchLibrary &Library, const CostModel &Model,
+               const ShapeScaler &Scaler, const symexec::SymBinding &Bindings,
+               int MaxRecursionDepth);
 
 /// The determinism contract's equality: two runs agree when they found
 /// the same improvement (source text), at the same cost, with the same

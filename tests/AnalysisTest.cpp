@@ -26,6 +26,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AbstractInterpreter.h"
+#include "analysis/CostBound.h"
 #include "analysis/ExprSign.h"
 #include "analysis/Lint.h"
 #include "analysis/PruningOracle.h"
@@ -43,6 +44,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 using namespace stenso;
 using namespace stenso::analysis;
@@ -176,6 +178,143 @@ TEST(DegreeRangeTest, TransferFunctions) {
   // The clamp keeps pathological powers finite.
   DegreeRange Huge = DegreeRange::powDeg(X, int64_t(1) << 40);
   EXPECT_EQ(Huge.Hi, DegreeRange::MaxDegree);
+}
+
+//===----------------------------------------------------------------------===//
+// Interval domain: transfer functions vs concrete arithmetic
+//===----------------------------------------------------------------------===//
+
+/// Representative intervals spanning the shapes the analysis produces:
+/// points, closed and open finite ranges, half-lines, and top.
+std::vector<Interval> representativeIntervals() {
+  double Inf = std::numeric_limits<double>::infinity();
+  return {Interval::top(),
+          Interval::point(0),
+          Interval::point(2),
+          Interval::point(-1.5),
+          Interval::closed(-1, 1),
+          Interval::closed(0, 3),
+          Interval::closed(-3, -0.5),
+          Interval::above(0, /*Open=*/true),
+          Interval::above(1, /*Open=*/false),
+          Interval(0, true, 1, true),
+          Interval(-Inf, false, 2, false)};
+}
+
+/// Concrete members of \p I drawn from a fixed pool.  Membership is
+/// decided by the interval itself, so open endpoints need no epsilon
+/// gymnastics, and the pool values are exactly representable.
+std::vector<double> samplesIn(const Interval &I) {
+  static const double Pool[] = {-3, -2.5, -1, -0.5, 0, 0.25, 0.5, 1, 2, 3.5};
+  std::vector<double> Out;
+  for (double V : Pool)
+    if (I.contains(V))
+      Out.push_back(V);
+  return Out;
+}
+
+TEST(IntervalTest, BinaryTransferFunctionsCoverConcreteArithmetic) {
+  for (const Interval &A : representativeIntervals())
+    for (const Interval &B : representativeIntervals())
+      for (double X : samplesIn(A))
+        for (double Y : samplesIn(B)) {
+          EXPECT_TRUE(Interval::add(A, B).contains(X + Y))
+              << A.toString() << " + " << B.toString() << " at " << X << ","
+              << Y;
+          EXPECT_TRUE(Interval::sub(A, B).contains(X - Y))
+              << A.toString() << " - " << B.toString() << " at " << X << ","
+              << Y;
+          EXPECT_TRUE(Interval::mul(A, B).contains(X * Y))
+              << A.toString() << " * " << B.toString() << " at " << X << ","
+              << Y;
+          EXPECT_TRUE(Interval::minOf(A, B).contains(std::min(X, Y)))
+              << "min(" << A.toString() << ", " << B.toString() << ")";
+          EXPECT_TRUE(Interval::maxOf(A, B).contains(std::max(X, Y)))
+              << "max(" << A.toString() << ", " << B.toString() << ")";
+          // Quotients: non-finite results are the Suspect bit's business
+          // (the contract only covers finite values).
+          double Q = X / Y;
+          if (std::isfinite(Q)) {
+            EXPECT_TRUE(Interval::div(A, B).contains(Q))
+                << A.toString() << " / " << B.toString() << " at " << X << ","
+                << Y;
+          }
+          Interval J = Interval::join(A, B);
+          EXPECT_TRUE(J.contains(X) && J.contains(Y))
+              << "join(" << A.toString() << ", " << B.toString() << ")";
+        }
+}
+
+TEST(IntervalTest, UnaryTransferFunctionsCoverConcreteArithmetic) {
+  for (const Interval &A : representativeIntervals()) {
+    std::vector<double> Xs = samplesIn(A);
+    for (double X : Xs) {
+      EXPECT_TRUE(Interval::negate(A).contains(-X)) << A.toString();
+      EXPECT_TRUE(Interval::expOf(A).contains(std::exp(X))) << A.toString();
+      if (X >= 0) {
+        EXPECT_TRUE(Interval::sqrtOf(A).contains(std::sqrt(X)))
+            << A.toString() << " at " << X;
+        EXPECT_TRUE(Interval::powReal(A, 0.5).contains(std::pow(X, 0.5)))
+            << A.toString() << " at " << X;
+      }
+      if (X > 0) {
+        EXPECT_TRUE(Interval::logOf(A).contains(std::log(X)))
+            << A.toString() << " at " << X;
+      }
+      for (int64_t K : {0, 1, 2, 3})
+        EXPECT_TRUE(Interval::powInt(A, K).contains(std::pow(X, K)))
+            << A.toString() << " ** " << K << " at " << X;
+      if (X != 0) {
+        EXPECT_TRUE(Interval::powInt(A, -1).contains(1.0 / X))
+            << A.toString() << " at " << X;
+      }
+      EXPECT_TRUE(Interval::sumFold(A, 1).contains(X)) << A.toString();
+    }
+    // Small sums: the empty sum is exactly zero; two-element sums take
+    // any pair of members.
+    EXPECT_TRUE(Interval::sumFold(A, 0).contains(0)) << A.toString();
+    for (double X : Xs)
+      for (double Y : Xs)
+        EXPECT_TRUE(Interval::sumFold(A, 2).contains(X + Y))
+            << A.toString() << " at " << X << "+" << Y;
+  }
+}
+
+TEST(IntervalTest, QueriesAndSelectMirrorTheSignDomain) {
+  // provablyPositive demands the open or strictly-positive lower end;
+  // provablyNonNegative accepts a closed zero.
+  EXPECT_TRUE(Interval::above(0, true).provablyPositive());
+  EXPECT_FALSE(Interval::above(0, false).provablyPositive());
+  EXPECT_TRUE(Interval::above(0, false).provablyNonNegative());
+  EXPECT_TRUE(Interval::closed(1, 2).excludesZero());
+  EXPECT_FALSE(Interval::closed(-1, 1).excludesZero());
+  EXPECT_TRUE(Interval::point(0).contains(0));
+  EXPECT_TRUE(Interval::top().isTop());
+  EXPECT_FALSE(Interval::closed(0, 3).isTop());
+  EXPECT_FALSE(Interval::point(2).toString().empty());
+
+  // The queries agree with membership on every representative.
+  for (const Interval &A : representativeIntervals()) {
+    EXPECT_EQ(A.excludesZero(), !A.contains(0)) << A.toString();
+    for (double X : samplesIn(A)) {
+      if (A.provablyPositive()) {
+        EXPECT_GT(X, 0) << A.toString();
+      }
+      if (A.provablyNonNegative()) {
+        EXPECT_GE(X, 0) << A.toString();
+      }
+    }
+  }
+
+  // select mirrors selectSign: a decided condition picks one branch, an
+  // undecided one joins.
+  Interval T = Interval::closed(1, 2), F = Interval::closed(-2, -1);
+  EXPECT_TRUE(Interval::select(SignSet::pos(), T, F).contains(1.5));
+  EXPECT_FALSE(Interval::select(SignSet::pos(), T, F).contains(-1.5));
+  EXPECT_TRUE(Interval::select(SignSet::zero(), T, F).contains(-1.5));
+  EXPECT_FALSE(Interval::select(SignSet::zero(), T, F).contains(1.5));
+  Interval Both = Interval::select(SignSet::nonNeg(), T, F);
+  EXPECT_TRUE(Both.contains(1.5) && Both.contains(-1.5));
 }
 
 //===----------------------------------------------------------------------===//
@@ -481,6 +620,24 @@ void checkSoundnessOnce(const dsl::Program &P, RNG &Rng, int64_t &Checked) {
     }
   }
 
+  // Claim 1b (interval): when not suspect, every finite element lies in
+  // the published range.  The interval's proofs are over exact reals
+  // (AbstractDomains.h), so IEEE rounding may graze an endpoint; a
+  // relative tolerance absorbs that without masking real unsoundness.
+  if (!V.Suspect && !V.Range.isTop()) {
+    for (int64_t I = 0; I < Got.getNumElements(); ++I) {
+      double X = Got.at(I);
+      if (!std::isfinite(X))
+        continue;
+      double Tol = 1e-9 * std::max(1.0, std::abs(X));
+      EXPECT_TRUE(V.Range.contains(X) || V.Range.contains(X - Tol) ||
+                  V.Range.contains(X + Tol))
+          << dsl::printProgram(P) << " element " << I << " = " << X
+          << " outside " << V.Range.toString();
+      ++Checked;
+    }
+  }
+
   // Claim 2 (support): re-randomizing inputs outside the support set
   // cannot change the result.
   bool HasDeadInput = false;
@@ -693,6 +850,166 @@ TEST(AnalysisPruningTest, SynthesisResultIdenticalWithOracleOnOrOff) {
     // prunes (the counters are tied to the flag, not merely unused).
     EXPECT_EQ(PrunedOff, 0);
     EXPECT_GE(PrunedOn, 0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cost-bound analysis: admissibility and search-outcome preservation
+//===----------------------------------------------------------------------===//
+
+TEST(CostBoundTest, BoundsAreAdmissibleOnEnumeratedCompletions) {
+  // DESIGN.md section 14's contract, checked against the enumerated
+  // library: no bound may exceed the true (flops-additive) cost of any
+  // completion the search could build from it.
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(baseSeed()));
+  for (int SeedIdx = 0; SeedIdx < 4; ++SeedIdx) {
+    uint64_t Seed = baseSeed() + static_cast<uint64_t>(SeedIdx) * 7919 + 3;
+    AnalysisFuzzer Fuzzer(Seed, /*SquareShapes=*/SeedIdx % 2 == 1);
+    std::unique_ptr<dsl::Program> P = Fuzzer.generate(5);
+
+    sym::ExprContext Ctx;
+    symexec::SymBinding Bindings = symexec::makeInputBindings(*P, Ctx);
+    std::unique_ptr<synth::CostModel> Model = synth::makeCostModel("flops");
+    synth::ShapeScaler Scaler;
+    synth::SketchLibrary Library(*P, Ctx, Bindings, *Model, Scaler,
+                                 synth::SketchLibrary::Config());
+    ASSERT_GT(Library.getStubs().size(), 0u);
+
+    const int MaxDepth = 4;
+    CostBoundAnalysis CB =
+        synth::buildCostBound(Library, *Model, Scaler, Bindings, MaxDepth);
+
+    // Spec floor: every complete fragment is a program with that spec,
+    // so the floor of its spec cannot exceed its cost...
+    for (const synth::Stub &S : Library.getStubs())
+      EXPECT_LE(CB.specLowerBound(S.Spec), S.Cost)
+          << dsl::printProgram(*P) << " stub of cost " << S.Cost;
+    // ... and the fuzz program itself is a completion of its own spec.
+    symexec::SymTensor Spec = symexec::computeSpec(*P, Ctx);
+    EXPECT_LE(CB.specLowerBound(Spec),
+              Model->costOfTree(P->getRoot(), Scaler))
+        << dsl::printProgram(*P);
+
+    // Depth-0 completions are exactly the stubs.
+    for (const synth::Stub &S : Library.getStubs())
+      EXPECT_LE(CB.holeCompletionBound(S.Root->getType(), 0), S.Cost)
+          << dsl::printProgram(*P);
+
+    // Obligation floor: every stub is a completion whose spec supplies
+    // exactly the tensors it mentions, so demanding that full set (with
+    // an empty concrete part) can never exceed the stub's cost.  The
+    // floor is monotone in the missing set, so this dominates every
+    // subset a real sketch would leave missing.
+    auto specTensors = [](const symexec::SymTensor &Spec) {
+      std::unordered_set<std::string> Names;
+      for (const sym::Expr *E : Spec.getElements())
+        for (const sym::SymbolExpr *S : sym::collectSymbols(E))
+          Names.insert(S->getTensorName().empty() ? S->getName()
+                                                  : S->getTensorName());
+      return Names;
+    };
+    for (const synth::Stub &S : Library.getStubs())
+      EXPECT_LE(CB.holeObligationFloor(S.Root->getType(),
+                                       specTensors(S.Spec), {}),
+                S.Cost)
+          << dsl::printProgram(*P) << " stub of cost " << S.Cost;
+
+    // The hole floor must be monotone nonincreasing in the remaining
+    // depth: everything reachable at depth d is reachable at d+1.
+    for (const synth::Stub &S : Library.getStubs())
+      for (int D = 0; D < MaxDepth; ++D)
+        EXPECT_LE(CB.holeCompletionBound(S.Root->getType(), D + 1),
+                  CB.holeCompletionBound(S.Root->getType(), D));
+    for (const synth::Sketch &Sk : Library.getSketches()) {
+      dsl::TensorType T{Sk.Template.getDType(), Sk.Template.getShape()};
+      for (int D = 0; D < MaxDepth; ++D)
+        EXPECT_LE(CB.holeCompletionBound(T, D + 1),
+                  CB.holeCompletionBound(T, D));
+    }
+
+    // Random sketch chains ending in a stub are the deep completions the
+    // DFS builds.  The flops model is additive per node and a sketch's
+    // hole is a zero-cost input, so the composed tree's cost is the sum
+    // of the concrete costs plus the stub's; the floor at every depth
+    // that can reach the chain must stay below that.
+    RNG Rng(Seed ^ 0x9e3779b97f4a7c15ull);
+    const std::vector<synth::Stub> &Stubs = Library.getStubs();
+    const std::vector<synth::Sketch> &Sketches = Library.getSketches();
+    for (int Walk = 0; Walk < 32; ++Walk) {
+      const synth::Stub &S = Stubs[static_cast<size_t>(Rng.uniformInt(
+          0, static_cast<int64_t>(Stubs.size()) - 1))];
+      dsl::TensorType CurType = S.Root->getType();
+      double Total = S.Cost;
+      int Len = 0;
+      for (int D = Len; D <= MaxDepth; ++D)
+        EXPECT_LE(CB.holeCompletionBound(CurType, D), Total);
+      while (Len < MaxDepth) {
+        std::vector<const synth::Sketch *> Fits;
+        for (const synth::Sketch &Sk : Sketches)
+          if (Sk.HoleType == CurType)
+            Fits.push_back(&Sk);
+        if (Fits.empty())
+          break;
+        const synth::Sketch &Sk = *Fits[static_cast<size_t>(Rng.uniformInt(
+            0, static_cast<int64_t>(Fits.size()) - 1))];
+        Total += Sk.ConcreteCost;
+        CurType = {Sk.Template.getDType(), Sk.Template.getShape()};
+        ++Len;
+        for (int D = Len; D <= MaxDepth; ++D)
+          EXPECT_LE(CB.holeCompletionBound(CurType, D), Total)
+              << dsl::printProgram(*P) << " chain of length " << Len;
+      }
+    }
+  }
+}
+
+TEST(CostBoundPruningTest, SearchOutcomeIdenticalWithBoundOnOrOff) {
+  // The bound is admissible, so branch-and-bound may only skip work,
+  // never change the winner: jobs={1,4} x bound on/off must return the
+  // bit-identical (Improved, Source, Cost, Abort) quadruple.
+  SCOPED_TRACE("STENSO_SEED=" + std::to_string(baseSeed()));
+  for (int SeedIdx = 0; SeedIdx < 3; ++SeedIdx) {
+    AnalysisFuzzer Fuzzer(baseSeed() + static_cast<uint64_t>(SeedIdx) * 6151 +
+                          17);
+    std::unique_ptr<dsl::Program> P = Fuzzer.generate(4);
+
+    struct Outcome {
+      bool Improved;
+      std::string Source;
+      double Cost;
+      synth::AbortReason Abort;
+    };
+    std::vector<Outcome> Outcomes;
+    int64_t PrunedOnSeq = -1, PrunedOff = 0;
+    for (bool Bound : {true, false})
+      for (int Jobs : {1, 4}) {
+        synth::SynthesisConfig Config;
+        Config.TimeoutSeconds = 60;
+        Config.UseCostBoundPruning = Bound;
+        Config.Jobs = Jobs;
+        synth::SynthesisResult R = synth::Synthesizer(Config).run(*P);
+        Outcomes.push_back(
+            {R.Improved, R.OptimizedSource, R.OptimizedCost, R.Abort});
+        if (Bound && Jobs == 1)
+          PrunedOnSeq = R.Stats.PrunedByCostBound;
+        if (!Bound)
+          PrunedOff += R.Stats.PrunedByCostBound;
+        if (R.Abort == synth::AbortReason::Timeout)
+          GTEST_SKIP() << "timeout; determinism only promised on "
+                          "completed searches";
+      }
+    for (size_t I = 1; I < Outcomes.size(); ++I) {
+      EXPECT_EQ(Outcomes[0].Improved, Outcomes[I].Improved)
+          << dsl::printProgram(*P);
+      EXPECT_EQ(Outcomes[0].Source, Outcomes[I].Source)
+          << dsl::printProgram(*P);
+      EXPECT_EQ(Outcomes[0].Cost, Outcomes[I].Cost) << dsl::printProgram(*P);
+      EXPECT_EQ(Outcomes[0].Abort, Outcomes[I].Abort)
+          << dsl::printProgram(*P);
+    }
+    // The counter is tied to the flag: off-runs must report zero prunes.
+    EXPECT_EQ(PrunedOff, 0);
+    EXPECT_GE(PrunedOnSeq, 0);
   }
 }
 

@@ -221,6 +221,40 @@ TEST(EGraphTest, ExtractionUsesMeasuredCostsThroughScaler) {
   EXPECT_EQ(printProgram(*Best), "A * A");
 }
 
+TEST(EGraphTest, NestedRedexMergesAcrossSaturationPhases) {
+  // Regression for the e-matching iteration contract (EGraph.cpp,
+  // ematch): a rule whose RHS instantiation merges classes must not
+  // mutate anything *during* matching.  (A + 0) + 0 under X + 0 => X
+  // is the canonical nested redex: both additions match in one Phase 1
+  // pass over the same snapshot, and the first Phase 2 merge changes
+  // the classes the second pending merge touches.  Saturation must
+  // still drive the whole tower into A's class (and the debug
+  // assertions in ematch verify Phase 1 stayed read-only).
+  EGraph G;
+  InputDecls RuleDecls = {{"X", f64({4})}};
+  ASSERT_TRUE(addRuleFrom(G, "X + 0", "X", RuleDecls));
+
+  InputDecls Decls = {{"A", f64({4})}};
+  auto P = parseProgram("(A + 0) + 0", Decls);
+  auto Plain = parseProgram("A", Decls);
+  auto Id = G.addProgram(P.Prog->getRoot());
+  auto IdA = G.addProgram(Plain.Prog->getRoot());
+  ASSERT_TRUE(Id && IdA);
+  EXPECT_FALSE(G.sameClass(*Id, *IdA));
+
+  SaturationStats Stats = G.saturate();
+  EXPECT_TRUE(Stats.Saturated);
+  EXPECT_GE(Stats.Merges, 2); // both + 0 layers collapsed
+  EXPECT_TRUE(G.sameClass(*Id, *IdA));
+
+  // The merged class extracts to the bare input.
+  synth::FlopCostModel Model;
+  synth::ShapeScaler Scaler;
+  std::unique_ptr<Program> Best = G.extract(*Id, Model, Scaler);
+  ASSERT_TRUE(Best);
+  EXPECT_EQ(printProgram(*Best), "A");
+}
+
 TEST(EGraphTest, StatsReportMatchesAndIterations) {
   EGraph G;
   InputDecls RuleDecls = {{"X", f64({4})}};

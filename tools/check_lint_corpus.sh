@@ -4,6 +4,12 @@
 # diagnostic (a "line:col:" location prefix), so regressions in either
 # the checks or the parser's span tracking fail the suite.
 #
+# Corpus files may pin diagnostics with comment directives:
+#   # lint-expect: REGEX   — the output must match REGEX (grep -E)
+#   # lint-forbid: REGEX   — the output must NOT match REGEX
+# Used by the interval-downgrade cases to assert a check fires as a
+# note and no longer as a warning.
+#
 # Usage: check_lint_corpus.sh <stenso-lint-binary> <corpus-dir>
 set -u
 
@@ -35,6 +41,25 @@ for FILE in "${FILES[@]}"; do
   if ! echo "$OUT" | grep -Eq '^[0-9]+:[0-9]+: (error|warning|note):'; then
     echo "FAIL $FILE: no spanned (line:col:) diagnostic in output" >&2
     echo "$OUT" | sed 's/^/  | /' >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  DIRECTIVE_FAIL=0
+  while IFS= read -r RE; do
+    if ! echo "$OUT" | grep -Eq "$RE"; then
+      echo "FAIL $FILE: no diagnostic matching lint-expect '$RE'" >&2
+      echo "$OUT" | sed 's/^/  | /' >&2
+      DIRECTIVE_FAIL=1
+    fi
+  done < <(sed -n 's/^# lint-expect: //p' "$FILE")
+  while IFS= read -r RE; do
+    if echo "$OUT" | grep -Eq "$RE"; then
+      echo "FAIL $FILE: diagnostic matches lint-forbid '$RE'" >&2
+      echo "$OUT" | sed 's/^/  | /' >&2
+      DIRECTIVE_FAIL=1
+    fi
+  done < <(sed -n 's/^# lint-forbid: //p' "$FILE")
+  if [ "$DIRECTIVE_FAIL" -ne 0 ]; then
     FAILURES=$((FAILURES + 1))
     continue
   fi

@@ -64,25 +64,49 @@ run_lint() {
   # xargs fans files out across cores; -quiet keeps output to findings.
   echo "${FILES}" | xargs -P "${JOBS}" -n 8 \
       "${TIDY}" -p "${BUILD_DIR}" -quiet || return 1
+
+  # Strict pass over the analysis + synthesis layers: the bugprone-* and
+  # performance-* families promoted to errors.  These are the hot,
+  # correctness-critical directories (the admissible bound must never
+  # silently truncate or copy its way into a wrong floor); the rest of
+  # the tree stays on the advisory default above.
+  local STRICT_FILES
+  STRICT_FILES="$(git ls-files 'src/analysis/*.cpp' 'src/synth/*.cpp')"
+  [ -n "${STRICT_FILES}" ] || { echo "no strict sources found" >&2
+                                return 1; }
+  echo "=== [lint] clang-tidy strict (bugprone-*,performance-* as" \
+       "errors: src/analysis src/synth) ==="
+  echo "${STRICT_FILES}" | xargs -P "${JOBS}" -n 4 \
+      "${TIDY}" -p "${BUILD_DIR}" -quiet \
+      -checks='bugprone-*,performance-*,-bugprone-easily-swappable-parameters,-bugprone-branch-clone' \
+      -warnings-as-errors='bugprone-*,performance-*' || return 1
 }
 
-# The perf-regression gate: run the observability benches in the release
-# matrix tree (reusing it when the release leg already built it) and
-# compare the fresh BENCH_*.json against the checked-in baselines.
-# check_bench_regression.sh returns 77 when python3 is missing; that
-# propagates as a SKIP.
+# The perf-regression gate: run the contract-carrying benches in the
+# release matrix tree (reusing it when the release leg already built it)
+# and compare the fresh BENCH_*.json against the checked-in baselines.
+# Beyond the observability pair this covers the differential benches:
+# analysis pruning, the persistent store, and the cost-bound
+# branch-and-bound floor — each embeds a result-identity contract the
+# gate enforces.  check_bench_regression.sh returns 77 when python3 is
+# missing; that propagates as a SKIP.
 run_bench_regression() {
   local BUILD_DIR="build-matrix-release"
+  local TARGETS=(bench_observe_overhead bench_report bench_analysis_pruning
+                 bench_persist bench_cost_bound)
   echo "=== [bench-regression] configure + build ==="
   cmake -B "${BUILD_DIR}" -S . || return 1
-  cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-      --target bench_observe_overhead bench_report || return 1
-  echo "=== [bench-regression] run benches ==="
-  (cd "${BUILD_DIR}/bench" && ./bench_observe_overhead && ./bench_report) \
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target "${TARGETS[@]}" \
       || return 1
+  echo "=== [bench-regression] run benches ==="
+  local BIN
+  for BIN in "${TARGETS[@]}"; do
+    (cd "${BUILD_DIR}/bench" && "./${BIN}") || return 1
+  done
   echo "=== [bench-regression] compare against baselines ==="
   tools/check_bench_regression.sh --fresh-dir "${BUILD_DIR}/bench" \
-      BENCH_observe BENCH_report
+      BENCH_observe BENCH_report BENCH_analysis_pruning BENCH_persist \
+      BENCH_cost_bound
 }
 
 run_config() {

@@ -72,6 +72,10 @@ void printUsage(std::ostream &OS) {
         "  --no-analysis-pruning   disable the static analysis oracle\n"
         "                          (escape hatch; the oracle is sound, so\n"
         "                          the result is identical either way)\n"
+        "  --no-cost-bound-pruning disable the admissible static cost\n"
+        "                          bound (escape hatch; the bound is\n"
+        "                          admissible, so the result is identical\n"
+        "                          either way)\n"
         "  --stats                 print search statistics\n"
         "  --stats-json FILE       write statistics + outcome as JSON\n"
         "  --trace FILE            record a Chrome/Perfetto trace_event\n"
@@ -152,6 +156,8 @@ int main(int Argc, char **Argv) {
       Config.UseBranchAndBound = false;
     else if (Arg == "--no-analysis-pruning")
       Config.UseAnalysisPruning = false;
+    else if (Arg == "--no-cost-bound-pruning")
+      Config.UseCostBoundPruning = false;
     else if (Arg == "--rules_out")
       RulesOutPath = Value();
     else if (Arg == "--rules_in")
@@ -341,6 +347,7 @@ int main(int Argc, char **Argv) {
               << " sketches=" << S.NumSketches << " dfs=" << S.DfsCalls
               << " solver=" << S.SolverSuccesses << "/" << S.SolverCalls
               << " pruned(cost)=" << S.PrunedByCost
+              << " pruned(costbound)=" << S.PrunedByCostBound
               << " pruned(simplification)=" << S.PrunedBySimplification
               << " pruned(analysis)=" << S.PrunedByAnalysis << "\n";
     std::cerr << "analysis: sign=" << S.AnalysisPrunedSign

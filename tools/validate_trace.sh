@@ -135,7 +135,7 @@ if decisions_path:
     known_outcomes = {
         "stub-match", "pruned-cost", "pruned-simplification",
         "pruned-error", "no-solution", "pruned-analysis", "budget-stop",
-        "explored", "accepted", "store-degraded",
+        "explored", "accepted", "store-degraded", "pruned-costbound",
     }
     prev_seq = None
     records = load_jsonl(decisions_path)
